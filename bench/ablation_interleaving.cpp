@@ -1,0 +1,90 @@
+// Extension ablation: interleaving granularity in Pipelined task mode.
+//
+// The paper evaluates one queue shape (strict round-robin over 3 tasks,
+// with the controller free to fetch the right parameters per item). This
+// bench sweeps the run length of same-task stretches under an
+// arrival-order-preserving controller: conventional schemes reload
+// weights at every task switch (for layers whose per-task versions
+// cannot coexist in cache), while MIME is insensitive to the queue shape
+// — quantifying *when* MIME's advantage is largest and how much a
+// task-major reordering window recovers for the conventional scheme.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "hw/schedule.h"
+
+using namespace mime;
+using hw::Scheme;
+
+int main() {
+    bench::print_banner(
+        "Ablation — interleaving granularity vs energy (extension)",
+        "paper evaluates run length 1 only; MIME's win should shrink as "
+        "runs lengthen");
+
+    const auto layers = bench::hw_eval_layers();
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    constexpr std::int64_t kTasks = 3;
+    constexpr std::int64_t kQueue = 24;
+
+    const std::vector<hw::SparsityProfile> relu_profiles = {
+        hw::SparsityProfile::paper_baseline(hw::PaperTask::cifar10),
+        hw::SparsityProfile::paper_baseline(hw::PaperTask::cifar100),
+        hw::SparsityProfile::paper_baseline(hw::PaperTask::fmnist)};
+    const std::vector<hw::SparsityProfile> mime_profiles = {
+        hw::SparsityProfile::paper_mime(hw::PaperTask::cifar10),
+        hw::SparsityProfile::paper_mime(hw::PaperTask::cifar100),
+        hw::SparsityProfile::paper_mime(hw::PaperTask::fmnist)};
+
+    Table table({"run length", "task switches", "Case-2 energy",
+                 "MIME energy", "MIME advantage"});
+    double finest = 0.0;
+    double coarsest = 0.0;
+    // Run length 8 over a 24-item, 3-task queue is fully task-major.
+    for (const std::int64_t run_length : {1, 2, 4, 8}) {
+        const auto queue = hw::make_run_queue(kTasks, run_length, kQueue);
+        const auto stats = hw::analyze_queue(queue);
+        const double conventional = hw::queue_energy(
+            sim, layers, Scheme::baseline_sparse, queue, relu_profiles);
+        const double mime = hw::queue_energy(sim, layers, Scheme::mime,
+                                             queue, mime_profiles);
+        const double advantage = conventional / mime;
+        if (run_length == 1) {
+            finest = advantage;
+        }
+        coarsest = advantage;
+        table.add_row({std::to_string(run_length),
+                       std::to_string(stats.task_switches),
+                       Table::num(conventional, 0), Table::num(mime, 0),
+                       Table::ratio(advantage)});
+    }
+
+    // Best case for the conventional scheme: a task-major reordering
+    // window over the whole queue.
+    const auto round_robin = hw::make_run_queue(kTasks, 1, kQueue);
+    const auto reordered = hw::task_major_order(round_robin);
+    const double conv_reordered = hw::queue_energy(
+        sim, layers, Scheme::baseline_sparse, reordered, relu_profiles);
+    const double mime_rr = hw::queue_energy(sim, layers, Scheme::mime,
+                                            round_robin, mime_profiles);
+    table.add_row({"1 (reordered)", "2", Table::num(conv_reordered, 0),
+                   Table::num(mime_rr, 0),
+                   Table::ratio(conv_reordered / mime_rr)});
+    table.print();
+
+    std::printf("\n");
+    bench::print_claim("MIME advantage at finest interleaving", "(max)",
+                       Table::ratio(finest));
+    bench::print_claim("MIME advantage at task-major queue", "(min)",
+                       Table::ratio(coarsest));
+    bench::print_claim(
+        "advantage shrinks with coarser interleaving", "expected",
+        finest > coarsest ? "yes" : "no");
+    std::printf(
+        "\ntakeaway: MIME's energy edge is exactly the task-switch tax. A\n"
+        "conventional scheme needs a full reordering window (added latency,\n"
+        "task-aware batching) to approach task-major efficiency; MIME gets\n"
+        "it at run length 1 with no reordering.\n");
+    return 0;
+}

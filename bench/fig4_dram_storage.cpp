@@ -1,0 +1,73 @@
+// Reproduces paper Fig 1 / Fig 4: off-chip DRAM storage of all network
+// parameters vs. number of child tasks, conventional multi-task inference
+// (one fine-tuned weight set per task) against MIME (one W_parent + one
+// threshold set per child). Paper headline: ~3.48x savings at 3 children
+// and "> n x" savings for n children.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/storage.h"
+
+using namespace mime;
+
+int main() {
+    bench::print_banner(
+        "Fig 1 / Fig 4 — off-chip DRAM storage vs. number of child tasks",
+        "~3.48x storage savings at 3 child tasks; > n x for n children");
+
+    arch::VggConfig vgg;
+    vgg.input_size = 64;   // hardware-evaluation geometry (DESIGN.md §2)
+    vgg.num_classes = 100; // largest child task (CIFAR100)
+    const auto layers = arch::vgg16_spec(vgg);
+    const auto classifier = arch::vgg16_classifier(vgg);
+
+    core::StorageModel model(layers, classifier);
+
+    std::printf("one weight set W: %s   one threshold set T: %s   T/W = %.4f\n\n",
+                Table::bytes(static_cast<double>(model.weight_bytes())).c_str(),
+                Table::bytes(static_cast<double>(model.threshold_bytes()))
+                    .c_str(),
+                static_cast<double>(model.threshold_bytes()) /
+                    static_cast<double>(model.weight_bytes()));
+
+    Table table({"child tasks", "conventional", "MIME", "savings",
+                 "> n x ?"});
+    double savings_at_3 = 0.0;
+    for (std::int64_t n = 1; n <= 8; ++n) {
+        const double savings = model.savings(n);
+        if (n == 3) {
+            savings_at_3 = savings;
+        }
+        table.add_row(
+            {std::to_string(n),
+             Table::bytes(
+                 static_cast<double>(model.conventional_total_bytes(n))),
+             Table::bytes(static_cast<double>(model.mime_total_bytes(n))),
+             Table::ratio(savings),
+             savings > static_cast<double>(n) ? "yes" : "no"});
+    }
+    table.print();
+
+    // The alternative accounting conventions (see DESIGN.md).
+    core::StorageModelConfig children_only;
+    children_only.count_parent_model = false;
+    core::StorageModel model_children(layers, classifier, children_only);
+    core::StorageModelConfig with_heads;
+    with_heads.count_child_heads = true;
+    core::StorageModel model_heads(layers, classifier, with_heads);
+
+    std::printf("\n");
+    bench::print_claim("savings at 3 children (parent counted)", "~3.48x",
+                       Table::ratio(savings_at_3));
+    bench::print_claim("savings at 3 children (children only)", "(n/a)",
+                       Table::ratio(model_children.savings(3)));
+    bench::print_claim("savings at 3 children (incl. child heads)", "(n/a)",
+                       Table::ratio(model_heads.savings(3)));
+    bench::print_claim("> n x rule over paper range n in 1..3", "holds",
+                       model.savings(1) > 1 && model.savings(2) > 2 &&
+                               model.savings(3) > 3
+                           ? "holds"
+                           : "violated");
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces paper Fig 5: layerwise energy distribution of the VGG16
+// convolutional layers on the systolic array in *Singular task mode*
+// (batch of 3 CIFAR10 images).
+//
+//   Case-1: baseline weights, no zero-skipping
+//   Case-2: baseline weights, zero-skipping at ReLU sparsity
+//   Case-3: MIME (shared weights + thresholds, MIME sparsity)
+//
+// Paper headline: MIME saves ~1.8-2.5x vs Case-1 and ~1.07-1.30x vs
+// Case-2; MIME's E_DRAM is slightly *higher* than Case-2 (threshold
+// fetches have no payoff without task interleaving).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace mime;
+using hw::Scheme;
+
+int main() {
+    bench::print_banner(
+        "Fig 5 — layerwise energy, Singular task mode (3x CIFAR10)",
+        "MIME ~1.8-2.5x vs Case-1, ~1.07-1.30x vs Case-2; MIME E_DRAM "
+        "slightly above Case-2");
+
+    const auto layers = bench::hw_eval_layers();
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+
+    const auto case1 = sim.run(
+        layers, hw::singular_options(Scheme::baseline_dense,
+                                     hw::PaperTask::cifar10));
+    const auto case2 = sim.run(
+        layers, hw::singular_options(Scheme::baseline_sparse,
+                                     hw::PaperTask::cifar10));
+    const auto mime = sim.run(
+        layers, hw::singular_options(Scheme::mime, hw::PaperTask::cifar10));
+
+    Table table({"layer", "case", "E_DRAM", "E_cache", "E_reg", "E_MAC",
+                 "total", "vs Case-1"});
+    for (const auto& name : bench::paper_figure_layers()) {
+        const hw::LayerResult* rows[3] = {&case1.layer(name),
+                                          &case2.layer(name),
+                                          &mime.layer(name)};
+        const char* case_names[3] = {"Case-1", "Case-2", "MIME"};
+        for (int i = 0; i < 3; ++i) {
+            const auto& e = rows[i]->energy;
+            table.add_row({name, case_names[i], Table::num(e.e_dram, 0),
+                           Table::num(e.e_cache, 0), Table::num(e.e_reg, 0),
+                           Table::num(e.e_mac, 0), Table::num(e.total(), 0),
+                           Table::ratio(rows[0]->energy.total() / e.total())});
+        }
+    }
+    table.print();
+
+    double worst_vs1 = 1e30;
+    double best_vs1 = 0.0;
+    double worst_vs2 = 1e30;
+    double best_vs2 = 0.0;
+    int dram_above = 0;
+    for (const auto& name : bench::paper_band_layers()) {
+        const double c1 = case1.layer(name).energy.total();
+        const double c2 = case2.layer(name).energy.total();
+        const double m = mime.layer(name).energy.total();
+        worst_vs1 = std::min(worst_vs1, c1 / m);
+        best_vs1 = std::max(best_vs1, c1 / m);
+        worst_vs2 = std::min(worst_vs2, c2 / m);
+        best_vs2 = std::max(best_vs2, c2 / m);
+        if (mime.layer(name).energy.e_dram >=
+            case2.layer(name).energy.e_dram) {
+            ++dram_above;
+        }
+    }
+
+    std::printf("\n(bands over the paper's even conv layers conv2-conv12)\n");
+    bench::print_claim("MIME savings vs Case-1 (layer range)", "1.8-2.5x",
+                       Table::ratio(worst_vs1) + " - " +
+                           Table::ratio(best_vs1));
+    bench::print_claim("MIME savings vs Case-2 (layer range)", "1.07-1.30x",
+                       Table::ratio(worst_vs2) + " - " +
+                           Table::ratio(best_vs2));
+    bench::print_claim(
+        "MIME E_DRAM above Case-2 (threshold fetches)", "every layer",
+        std::to_string(dram_above) + "/" +
+            std::to_string(bench::paper_band_layers().size()) + " layers");
+    return 0;
+}

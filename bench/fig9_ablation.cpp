@@ -1,0 +1,80 @@
+// Reproduces paper Fig 9: the hardware design-space ablation under MIME
+// in Pipelined task mode, comparing three fixed designs with the natural
+// OS mapping (the ablation holds the mapping fixed; a re-optimizing
+// mapper would mask the hardware penalty — see DESIGN.md):
+//
+//   Case-A: PE array 1024, cache 156 KB (Table IV)
+//   Case-B: PE array  256, cache 156 KB (reduced PE array)
+//   Case-C: PE array 1024, cache 128 KB (reduced cache)
+//
+// Paper headline: Case-B costs ~1.26-1.41x extra energy in conv5-conv10;
+// Case-C's penalty is not significant → prefer a larger PE array over a
+// larger cache.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace mime;
+using hw::Scheme;
+
+int main() {
+    bench::print_banner(
+        "Fig 9 — ablation: PE-array size vs cache size (MIME, Pipelined)",
+        "Case-B (PE 256): +1.26-1.41x in conv5-conv10; Case-C (cache "
+        "128KB): not significant");
+
+    const auto layers = bench::hw_eval_layers();
+
+    hw::SystolicConfig config_a;  // Table IV defaults
+    hw::SystolicConfig config_b;
+    config_b.pe_array_size = 256;
+    hw::SystolicConfig config_c;
+    config_c.total_cache_bytes = 128 * 1024;
+
+    auto options = hw::pipelined_options(Scheme::mime);
+    options.optimize_tiling = false;  // fixed natural mapping
+
+    const auto a = hw::InferenceSimulator{config_a}.run(layers, options);
+    const auto b = hw::InferenceSimulator{config_b}.run(layers, options);
+    const auto c = hw::InferenceSimulator{config_c}.run(layers, options);
+
+    Table table({"layer", "Case-A total", "Case-B total", "Case-C total",
+                 "B/A", "C/A"});
+    double mid_worst = 0.0;
+    double mid_best = 1e30;
+    for (const auto& layer : layers) {
+        const double ea = a.layer(layer.name).energy.total();
+        const double eb = b.layer(layer.name).energy.total();
+        const double ec = c.layer(layer.name).energy.total();
+        table.add_row({layer.name, Table::num(ea, 0), Table::num(eb, 0),
+                       Table::num(ec, 0), Table::ratio(eb / ea),
+                       Table::ratio(ec / ea)});
+        for (const char* mid :
+             {"conv5", "conv6", "conv7", "conv8", "conv9", "conv10"}) {
+            if (layer.name == mid) {
+                mid_worst = std::max(mid_worst, eb / ea);
+                mid_best = std::min(mid_best, eb / ea);
+            }
+        }
+    }
+    table.print();
+
+    std::printf("\n");
+    bench::print_claim("Case-B penalty across conv5-conv10", "1.26-1.41x",
+                       Table::ratio(mid_best) + " - " +
+                           Table::ratio(mid_worst));
+    bench::print_claim(
+        "Case-C network penalty", "not significant",
+        Table::ratio(c.total_energy.total() / a.total_energy.total()));
+    bench::print_claim(
+        "Case-B network penalty", "(larger than Case-C)",
+        Table::ratio(b.total_energy.total() / a.total_energy.total()));
+    bench::print_claim(
+        "Case-B throughput penalty", "(4x fewer PEs)",
+        Table::ratio(b.total_cycles / a.total_cycles));
+    std::printf(
+        "\nconclusion (paper §V-C): prefer a larger PE array over a larger\n"
+        "cache to reduce repeated fetches of task-specific parameters.\n");
+    return 0;
+}

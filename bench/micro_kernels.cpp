@@ -1,0 +1,108 @@
+// google-benchmark micro-benchmarks for the library's compute kernels and
+// the hardware simulator itself (these measure this repository's code, not
+// a paper artifact).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/threshold_mask.h"
+#include "data/task_suite.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace mime;
+
+void BM_GemmSingleThread(benchmark::State& state) {
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    Rng rng(1);
+    const Tensor a = Tensor::randn({n, n}, rng);
+    const Tensor b = Tensor::randn({n, n}, rng);
+    Tensor c({n, n});
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+             c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmSingleThread)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmThreaded(benchmark::State& state) {
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    Rng rng(1);
+    ThreadPool pool(8);
+    const Tensor a = Tensor::randn({n, n}, rng);
+    const Tensor b = Tensor::randn({n, n}, rng);
+    Tensor c({n, n});
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+             c.data(), n, &pool);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmThreaded)->Arg(256)->Arg(512);
+
+void BM_Conv2dForward(benchmark::State& state) {
+    Rng rng(2);
+    nn::Conv2d conv(32, 64, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({4, 32, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_ThresholdMaskForward(benchmark::State& state) {
+    Rng rng(3);
+    core::ThresholdMask mask({64, 16, 16}, 0.1f);
+    const Tensor y = Tensor::randn({8, 64, 16, 16}, rng);
+    for (auto _ : state) {
+        Tensor a = mask.forward(y);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * y.numel());
+}
+BENCHMARK(BM_ThresholdMaskForward);
+
+void BM_SyntheticDatasetGeneration(benchmark::State& state) {
+    for (auto _ : state) {
+        data::TaskSuiteOptions options;
+        options.train_size = 64;
+        options.test_size = 8;
+        options.cifar100_classes = 10;
+        const auto suite = data::make_task_suite(options);
+        const auto ds = suite.family->train_split(suite.cifar10_like);
+        benchmark::DoNotOptimize(ds.images().data());
+    }
+}
+BENCHMARK(BM_SyntheticDatasetGeneration);
+
+void BM_SimulatorFullVgg(benchmark::State& state) {
+    const auto layers = bench::hw_eval_layers();
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    const auto options = hw::pipelined_options(hw::Scheme::mime);
+    for (auto _ : state) {
+        const auto result = sim.run(layers, options);
+        benchmark::DoNotOptimize(result.total_energy.total());
+    }
+}
+BENCHMARK(BM_SimulatorFullVgg);
+
+void BM_SimulatorMapperOff(benchmark::State& state) {
+    const auto layers = bench::hw_eval_layers();
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    auto options = hw::pipelined_options(hw::Scheme::mime);
+    options.optimize_tiling = false;
+    for (auto _ : state) {
+        const auto result = sim.run(layers, options);
+        benchmark::DoNotOptimize(result.total_energy.total());
+    }
+}
+BENCHMARK(BM_SimulatorMapperOff);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Hardware design-space exploration (extends the paper's Fig 9 ablation).
+//
+// Sweeps PE-array sizes and on-chip cache budgets for MIME in Pipelined
+// task mode and prints the energy / throughput frontier, under both the
+// fixed natural mapping (as a hardware ablation holds the mapping
+// constant) and the per-layer tile-shape optimizer.
+#include <cstdio>
+#include <vector>
+
+#include "arch/vgg.h"
+#include "common/table.h"
+#include "hw/simulator.h"
+
+using namespace mime;
+
+namespace {
+
+struct DesignPoint {
+    std::int64_t pe;
+    std::int64_t cache_kb;
+};
+
+}  // namespace
+
+int main() {
+    arch::VggConfig vgg;
+    vgg.input_size = 64;
+    const auto layers = arch::vgg16_spec(vgg);
+
+    const std::vector<DesignPoint> designs = {
+        {256, 156},  {512, 156},  {1024, 156}, {2048, 156}, {4096, 156},
+        {1024, 64},  {1024, 96},  {1024, 128}, {1024, 256}, {1024, 512},
+    };
+
+    for (const bool optimize : {false, true}) {
+        std::printf("\n== %s ==\n",
+                    optimize ? "per-layer tile-shape optimizer"
+                             : "fixed natural mapping (ablation view)");
+        Table table({"PEs", "cache", "E_DRAM", "E_cache", "E_reg+MAC",
+                     "total energy", "cycles", "vs Table-IV design"});
+
+        // Reference: the paper's Table IV design under the same mapping.
+        hw::SystolicConfig reference;
+        auto options = hw::pipelined_options(hw::Scheme::mime);
+        options.optimize_tiling = optimize;
+        const auto base =
+            hw::InferenceSimulator{reference}.run(layers, options);
+
+        for (const DesignPoint& d : designs) {
+            hw::SystolicConfig config;
+            config.pe_array_size = d.pe;
+            config.total_cache_bytes = d.cache_kb * 1024;
+            const auto result =
+                hw::InferenceSimulator{config}.run(layers, options);
+            table.add_row(
+                {std::to_string(d.pe), std::to_string(d.cache_kb) + " KB",
+                 Table::num(result.total_energy.e_dram, 0),
+                 Table::num(result.total_energy.e_cache, 0),
+                 Table::num(result.total_energy.e_reg +
+                                result.total_energy.e_mac,
+                            0),
+                 Table::num(result.total_energy.total(), 0),
+                 Table::num(result.total_cycles, 0),
+                 Table::ratio(result.total_energy.total() /
+                              base.total_energy.total())});
+        }
+        table.print();
+    }
+
+    std::printf(
+        "\nreading the frontier: energy is far more sensitive to the PE\n"
+        "array (parameter re-fetch per tile) than to the cache budget —\n"
+        "the paper's design recommendation. The optimizer rows show how\n"
+        "much of the penalty a smarter compiler mapping can recover.\n");
+    return 0;
+}

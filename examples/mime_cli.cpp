@@ -1,0 +1,292 @@
+// mime_cli — drive the whole MIME workflow from the command line.
+//
+//   mime_cli train-parent --store DIR [--epochs N]
+//   mime_cli adapt        --store DIR --task NAME [--epochs N]
+//   mime_cli calibrate    --store DIR --task NAME [--sparsity S]
+//   mime_cli serve        --store DIR [--items N]
+//   mime_cli simulate     [--scheme case1|case2|mime|pruned]
+//                         [--mode singular|pipelined] [--csv PATH]
+//   mime_cli storage      [--children N]
+//
+// `train-parent` persists the backbone into an AdaptationStore; `adapt` /
+// `calibrate` add per-task threshold sets; `serve` reloads everything and
+// runs a pipelined evaluation — demonstrating that the on-disk artifact
+// (one backbone + small per-task files) is all a deployment needs.
+// Task names map to the built-in suite: cifar10 | cifar100 | fmnist.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/adaptation_store.h"
+#include "core/calibration.h"
+#include "core/sparsity.h"
+#include "core/storage.h"
+#include "core/trainer.h"
+#include "data/task_suite.h"
+#include "hw/report.h"
+#include "hw/simulator.h"
+
+using namespace mime;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::string store = "mime_store";
+    std::string task;
+    std::string csv;
+    std::string scheme = "mime";
+    std::string mode = "pipelined";
+    std::int64_t epochs = 5;
+    std::int64_t items = 32;
+    std::int64_t children = 3;
+    double sparsity = 0.6;
+};
+
+Args parse(int argc, char** argv) {
+    Args args;
+    if (argc < 2) {
+        return args;
+    }
+    args.command = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        const std::string key = argv[i];
+        const std::string value = argv[i + 1];
+        if (key == "--store") args.store = value;
+        else if (key == "--task") args.task = value;
+        else if (key == "--csv") args.csv = value;
+        else if (key == "--scheme") args.scheme = value;
+        else if (key == "--mode") args.mode = value;
+        else if (key == "--epochs") args.epochs = std::atoll(value.c_str());
+        else if (key == "--items") args.items = std::atoll(value.c_str());
+        else if (key == "--children") args.children = std::atoll(value.c_str());
+        else if (key == "--sparsity") args.sparsity = std::atof(value.c_str());
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", key.c_str());
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+core::MimeNetworkConfig network_config() {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.125;
+    config.vgg.num_classes = 20;
+    config.batchnorm = true;
+    config.seed = 19;
+    return config;
+}
+
+data::TaskSuite make_suite() {
+    data::TaskSuiteOptions options;
+    options.seed = 19;
+    options.train_size = 640;
+    options.test_size = 160;
+    options.cifar100_classes = 20;
+    return data::make_task_suite(options);
+}
+
+std::int64_t task_index(const data::TaskSuite& suite,
+                        const std::string& name) {
+    if (name == "cifar10") return suite.cifar10_like;
+    if (name == "cifar100") return suite.cifar100_like;
+    if (name == "fmnist") return suite.fmnist_like;
+    std::fprintf(stderr,
+                 "unknown task '%s' (use cifar10 | cifar100 | fmnist)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+core::TrainOptions train_options(std::int64_t epochs) {
+    core::TrainOptions options;
+    options.epochs = epochs;
+    options.batch_size = 32;
+    options.learning_rate = 3e-3f;
+    options.pool = &global_pool();
+    return options;
+}
+
+int cmd_train_parent(const Args& args) {
+    auto suite = make_suite();
+    core::MimeNetwork network(network_config());
+    std::printf("training parent (%lld epochs) ...\n",
+                static_cast<long long>(args.epochs));
+    core::train_backbone(network, suite.family->train_split(suite.parent),
+                         train_options(args.epochs));
+    const auto eval = core::evaluate(
+        network, suite.family->test_split(suite.parent), 64, &global_pool());
+    core::AdaptationStore store(args.store);
+    store.save_backbone(network);
+    std::printf("parent accuracy %.3f; backbone saved to %s (%lld bytes)\n",
+                eval.accuracy, args.store.c_str(),
+                static_cast<long long>(store.backbone_bytes()));
+    return 0;
+}
+
+int cmd_adapt(const Args& args, bool calibrate_only) {
+    if (args.task.empty()) {
+        std::fprintf(stderr, "--task is required\n");
+        return 2;
+    }
+    auto suite = make_suite();
+    const std::int64_t task = task_index(suite, args.task);
+    const std::int64_t classes = suite.family->task(task).num_classes;
+
+    core::MimeNetwork network(network_config());
+    core::AdaptationStore store(args.store);
+    store.load_backbone(network);
+
+    const auto train = suite.family->train_split(task);
+    if (calibrate_only) {
+        std::printf("calibrating thresholds for '%s' at sparsity %.2f ...\n",
+                    args.task.c_str(), args.sparsity);
+        core::CalibrationOptions options;
+        options.target_sparsity = args.sparsity;
+        core::calibrate_thresholds(network, train.head(128), options);
+        // Head adaptation only (thresholds frozen).
+        auto options_head = train_options(std::max<std::int64_t>(
+            2, args.epochs / 2));
+        for (auto* p : network.threshold_parameters()) {
+            p->trainable = false;
+        }
+        core::train_thresholds(network, train, options_head);
+    } else {
+        std::printf("training thresholds for '%s' (%lld epochs) ...\n",
+                    args.task.c_str(), static_cast<long long>(args.epochs));
+        network.reset_thresholds(0.05f);
+        core::train_thresholds(network, train, train_options(args.epochs));
+    }
+
+    const auto test = suite.family->test_split(task);
+    const auto eval = core::evaluate(network, test, 64, &global_pool());
+    const auto report = core::measure_sparsity(network, test, 64,
+                                               &global_pool());
+    store.save_task(core::capture_adaptation(network, args.task, classes));
+    std::printf("task '%s': accuracy %.3f, mean sparsity %.3f; adaptation "
+                "saved (store now holds %lld adaptation bytes vs %lld "
+                "backbone bytes)\n",
+                args.task.c_str(), eval.accuracy, report.overall(),
+                static_cast<long long>(store.adaptation_bytes()),
+                static_cast<long long>(store.backbone_bytes()));
+    return 0;
+}
+
+int cmd_serve(const Args& args) {
+    auto suite = make_suite();
+    core::MimeNetwork network(network_config());
+    core::AdaptationStore store(args.store);
+    store.load_backbone(network);
+
+    core::MultiTaskEngine engine(network);
+    const std::int64_t tasks = store.load_all_into(engine);
+    if (tasks == 0) {
+        std::fprintf(stderr, "store has no adaptations; run 'adapt' first\n");
+        return 1;
+    }
+    std::printf("serving %lld task(s): ", static_cast<long long>(tasks));
+    std::vector<data::Dataset> test_sets;
+    std::vector<const data::Dataset*> set_ptrs;
+    for (const auto& name : store.task_names()) {
+        std::printf("%s ", name.c_str());
+        test_sets.push_back(
+            suite.family->test_split(task_index(suite, name)));
+    }
+    std::printf("\n");
+    for (const auto& ds : test_sets) {
+        set_ptrs.push_back(&ds);
+    }
+
+    const auto queue = core::interleave_tasks(set_ptrs, args.items);
+    const double accuracy =
+        engine.accuracy(core::MultiTaskEngine::Scheme::mime, queue);
+    std::printf("pipelined queue: %zu items, accuracy %.3f, %lld threshold "
+                "swaps, %lld backbone reloads\n",
+                queue.size(), accuracy,
+                static_cast<long long>(engine.threshold_switches()),
+                static_cast<long long>(engine.backbone_switches()));
+    return 0;
+}
+
+int cmd_simulate(const Args& args) {
+    hw::Scheme scheme = hw::Scheme::mime;
+    if (args.scheme == "case1") scheme = hw::Scheme::baseline_dense;
+    else if (args.scheme == "case2") scheme = hw::Scheme::baseline_sparse;
+    else if (args.scheme == "pruned") scheme = hw::Scheme::pruned;
+    else if (args.scheme != "mime") {
+        std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
+        return 2;
+    }
+
+    arch::VggConfig vgg;
+    vgg.input_size = 64;
+    const auto layers = arch::vgg16_spec(vgg);
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    const auto options =
+        args.mode == "singular"
+            ? hw::singular_options(scheme, hw::PaperTask::cifar10)
+            : hw::pipelined_options(scheme);
+    const auto result = sim.run(layers, options);
+
+    const std::string name = hw::scheme_name(scheme);
+    std::fputs(hw::render_energy_table({{name, &result}}).c_str(), stdout);
+    std::printf("total energy %.0f MAC-units, total cycles %.0f\n",
+                result.total_energy.total(), result.total_cycles);
+    if (!args.csv.empty()) {
+        hw::write_csv_file({{name, &result}}, args.csv);
+        std::printf("CSV written to %s\n", args.csv.c_str());
+    }
+    return 0;
+}
+
+int cmd_storage(const Args& args) {
+    arch::VggConfig vgg;
+    vgg.input_size = 64;
+    vgg.num_classes = 100;
+    core::StorageModel model(arch::vgg16_spec(vgg),
+                             arch::vgg16_classifier(vgg));
+    for (std::int64_t n = 1; n <= args.children; ++n) {
+        std::printf("%lld child task(s): conventional %.2f MiB, MIME %.2f "
+                    "MiB, savings %.2fx\n",
+                    static_cast<long long>(n),
+                    model.conventional_total_bytes(n) / (1024.0 * 1024.0),
+                    model.mime_total_bytes(n) / (1024.0 * 1024.0),
+                    model.savings(n));
+    }
+    return 0;
+}
+
+void usage() {
+    std::puts(
+        "usage: mime_cli <command> [options]\n"
+        "  train-parent --store DIR [--epochs N]\n"
+        "  adapt        --store DIR --task cifar10|cifar100|fmnist"
+        " [--epochs N]\n"
+        "  calibrate    --store DIR --task NAME [--sparsity S]\n"
+        "  serve        --store DIR [--items N]\n"
+        "  simulate     [--scheme case1|case2|mime|pruned]"
+        " [--mode singular|pipelined] [--csv PATH]\n"
+        "  storage      [--children N]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args = parse(argc, argv);
+    try {
+        if (args.command == "train-parent") return cmd_train_parent(args);
+        if (args.command == "adapt") return cmd_adapt(args, false);
+        if (args.command == "calibrate") return cmd_adapt(args, true);
+        if (args.command == "serve") return cmd_serve(args);
+        if (args.command == "simulate") return cmd_simulate(args);
+        if (args.command == "storage") return cmd_storage(args);
+        usage();
+        return args.command.empty() ? 2 : 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

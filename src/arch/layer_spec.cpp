@@ -1,0 +1,48 @@
+#include "arch/layer_spec.h"
+
+#include "common/check.h"
+
+namespace mime::arch {
+
+void LayerSpec::validate() const {
+    MIME_REQUIRE(!name.empty(), "layer needs a name");
+    MIME_REQUIRE(in_channels > 0 && out_channels > 0,
+                 name + ": channel extents must be positive");
+    MIME_REQUIRE(kernel > 0 && stride > 0 && padding >= 0,
+                 name + ": kernel/stride/padding invalid");
+    MIME_REQUIRE(in_height > 0 && in_width > 0,
+                 name + ": input extents must be positive");
+    MIME_REQUIRE(out_height() > 0 && out_width() > 0,
+                 name + ": output extent non-positive");
+    if (kind == LayerKind::fc) {
+        MIME_REQUIRE(kernel == 1 && stride == 1 && padding == 0 &&
+                         in_height == 1 && in_width == 1,
+                     name + ": fc layers are 1x1 maps");
+    }
+}
+
+std::int64_t total_weights(const std::vector<LayerSpec>& layers) {
+    std::int64_t n = 0;
+    for (const auto& l : layers) {
+        n += l.weight_count();
+    }
+    return n;
+}
+
+std::int64_t total_neurons(const std::vector<LayerSpec>& layers) {
+    std::int64_t n = 0;
+    for (const auto& l : layers) {
+        n += l.neuron_count();
+    }
+    return n;
+}
+
+std::int64_t total_macs(const std::vector<LayerSpec>& layers) {
+    std::int64_t n = 0;
+    for (const auto& l : layers) {
+        n += l.mac_count();
+    }
+    return n;
+}
+
+}  // namespace mime::arch

@@ -1,0 +1,79 @@
+// Architecture-level layer descriptions.
+//
+// A LayerSpec captures the static geometry of one weight layer — enough
+// for the trainable network builder (src/core) to instantiate it and for
+// the systolic-array simulator (src/hw) to count weights, thresholds,
+// MACs and traffic. Keeping this in its own small library lets the
+// algorithm and hardware sides share one source of truth without
+// depending on each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mime::arch {
+
+/// Kind of weight layer.
+enum class LayerKind {
+    conv,  ///< 2-D convolution
+    fc     ///< fully connected (modeled as 1x1 conv on a 1x1 map)
+};
+
+/// Static geometry of one weight layer instance in a concrete network.
+struct LayerSpec {
+    std::string name;     ///< e.g. "conv5" (paper naming: fc layers are
+                          ///< "conv14"/"conv15")
+    LayerKind kind = LayerKind::conv;
+    std::int64_t in_channels = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 1;   ///< 1 for fc
+    std::int64_t stride = 1;
+    std::int64_t padding = 0;
+    std::int64_t in_height = 1;
+    std::int64_t in_width = 1;
+    bool pool_after = false;   ///< 2x2/stride-2 max pool follows
+
+    std::int64_t out_height() const {
+        return (in_height + 2 * padding - kernel) / stride + 1;
+    }
+    std::int64_t out_width() const {
+        return (in_width + 2 * padding - kernel) / stride + 1;
+    }
+
+    /// Output neurons = threshold parameters (MIME keeps one threshold
+    /// per output neuron; OS dataflow pins one neuron per PE).
+    std::int64_t neuron_count() const {
+        return out_channels * out_height() * out_width();
+    }
+
+    /// Weight parameters (no bias; the paper's storage model counts
+    /// weights).
+    std::int64_t weight_count() const {
+        return out_channels * in_channels * kernel * kernel;
+    }
+
+    /// Dense multiply-accumulate count for one input sample.
+    std::int64_t mac_count() const {
+        return neuron_count() * in_channels * kernel * kernel;
+    }
+
+    /// MACs contributing to a single output neuron.
+    std::int64_t macs_per_neuron() const {
+        return in_channels * kernel * kernel;
+    }
+
+    /// Throws unless the geometry is self-consistent.
+    void validate() const;
+};
+
+/// Sum of weight parameters across layers.
+std::int64_t total_weights(const std::vector<LayerSpec>& layers);
+
+/// Sum of output neurons (= thresholds) across layers.
+std::int64_t total_neurons(const std::vector<LayerSpec>& layers);
+
+/// Sum of dense MACs across layers for one sample.
+std::int64_t total_macs(const std::vector<LayerSpec>& layers);
+
+}  // namespace mime::arch

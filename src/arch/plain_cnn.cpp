@@ -1,0 +1,78 @@
+#include "arch/plain_cnn.h"
+
+#include "common/check.h"
+
+namespace mime::arch {
+
+std::vector<LayerSpec> plain_cnn_spec(const PlainCnnConfig& config) {
+    MIME_REQUIRE(!config.blocks.empty(), "plain CNN needs conv blocks");
+    std::int64_t pooled = 1;
+    for (std::size_t b = 0; b < config.blocks.size(); ++b) {
+        pooled *= 2;
+    }
+    MIME_REQUIRE(config.input_size % pooled == 0 &&
+                     config.input_size / pooled >= 1,
+                 "input size must survive " +
+                     std::to_string(config.blocks.size()) + " poolings");
+
+    std::vector<LayerSpec> layers;
+    std::int64_t in_c = config.input_channels;
+    std::int64_t hw = config.input_size;
+    int index = 1;
+    for (const CnnBlock& block : config.blocks) {
+        MIME_REQUIRE(block.channels > 0 && block.convs > 0,
+                     "block extents must be positive");
+        for (int i = 0; i < block.convs; ++i, ++index) {
+            LayerSpec spec;
+            spec.name = "conv" + std::to_string(index);
+            spec.kind = LayerKind::conv;
+            spec.in_channels = in_c;
+            spec.out_channels = block.channels;
+            spec.kernel = 3;
+            spec.stride = 1;
+            spec.padding = 1;
+            spec.in_height = hw;
+            spec.in_width = hw;
+            spec.pool_after = (i == block.convs - 1);
+            spec.validate();
+            layers.push_back(spec);
+            in_c = block.channels;
+        }
+        hw /= 2;
+    }
+
+    std::int64_t flat = in_c * hw * hw;
+    for (const std::int64_t width : config.fc_widths) {
+        MIME_REQUIRE(width > 0, "fc width must be positive");
+        LayerSpec fc;
+        fc.name = "fc" + std::to_string(index++);
+        fc.kind = LayerKind::fc;
+        fc.in_channels = flat;
+        fc.out_channels = width;
+        fc.validate();
+        layers.push_back(fc);
+        flat = width;
+    }
+    return layers;
+}
+
+LayerSpec plain_cnn_classifier(const PlainCnnConfig& config) {
+    const auto layers = plain_cnn_spec(config);
+    LayerSpec cls;
+    cls.name = "classifier";
+    cls.kind = LayerKind::fc;
+    cls.in_channels = layers.back().kind == LayerKind::fc
+                          ? layers.back().out_channels
+                          : layers.back().neuron_count() / 4;  // post-pool
+    if (layers.back().kind == LayerKind::conv) {
+        // Conv output pools once more before flattening.
+        cls.in_channels = layers.back().out_channels *
+                          (layers.back().out_height() / 2) *
+                          (layers.back().out_width() / 2);
+    }
+    cls.out_channels = config.num_classes;
+    cls.validate();
+    return cls;
+}
+
+}  // namespace mime::arch

@@ -1,0 +1,41 @@
+// Generic plain-CNN architecture builder.
+//
+// The paper evaluates VGG16 only; MIME itself applies to any
+// conv-stack-plus-fc classifier. This builder emits LayerSpec stacks for
+// arbitrary block structures so the trainable network, storage model and
+// hardware simulator can all run non-VGG backbones (used by tests and
+// the generality examples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layer_spec.h"
+
+namespace mime::arch {
+
+/// One conv block: `convs` 3x3 convolutions at `channels`, followed by a
+/// 2x2/stride-2 max pool.
+struct CnnBlock {
+    std::int64_t channels = 64;
+    int convs = 2;
+};
+
+struct PlainCnnConfig {
+    std::int64_t input_size = 32;  ///< must be divisible by 2^blocks
+    std::int64_t input_channels = 3;
+    std::vector<CnnBlock> blocks{{32, 2}, {64, 2}, {128, 2}};
+    /// Hidden fc widths appended after the conv stack (threshold-bearing,
+    /// like the paper's conv14/conv15). May be empty.
+    std::vector<std::int64_t> fc_widths{128};
+    std::int64_t num_classes = 10;
+};
+
+/// Threshold-bearing layers (convs + hidden fcs) of the plain CNN, named
+/// conv1..convN then fcN+1... following the paper's convention.
+std::vector<LayerSpec> plain_cnn_spec(const PlainCnnConfig& config);
+
+/// The classifier layer (no threshold).
+LayerSpec plain_cnn_classifier(const PlainCnnConfig& config);
+
+}  // namespace mime::arch

@@ -1,0 +1,102 @@
+#include "arch/vgg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::arch {
+
+std::int64_t scale_channels(std::int64_t channels, double width_scale) {
+    MIME_REQUIRE(width_scale > 0.0 && width_scale <= 1.0,
+                 "width_scale must be in (0, 1]");
+    const auto scaled = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(channels) * width_scale));
+    return std::max<std::int64_t>(4, scaled);
+}
+
+std::vector<LayerSpec> vgg16_spec(const VggConfig& config) {
+    MIME_REQUIRE(config.input_size >= 32,
+                 "VGG16 needs input_size >= 32 (five 2x2 pools)");
+    MIME_REQUIRE(config.input_size % 32 == 0,
+                 "input_size must be divisible by 32 so pooling is exact");
+
+    // (block channel count, convs in block) per classic VGG16.
+    struct Block {
+        std::int64_t channels;
+        int convs;
+    };
+    const Block blocks[] = {{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}};
+
+    std::vector<LayerSpec> layers;
+    layers.reserve(15);
+
+    std::int64_t in_c = config.input_channels;
+    std::int64_t hw = config.input_size;
+    int index = 1;
+    for (const Block& block : blocks) {
+        const std::int64_t out_c =
+            scale_channels(block.channels, config.width_scale);
+        for (int i = 0; i < block.convs; ++i, ++index) {
+            LayerSpec spec;
+            spec.name = "conv" + std::to_string(index);
+            spec.kind = LayerKind::conv;
+            spec.in_channels = in_c;
+            spec.out_channels = out_c;
+            spec.kernel = 3;
+            spec.stride = 1;
+            spec.padding = 1;
+            spec.in_height = hw;
+            spec.in_width = hw;
+            spec.pool_after = (i == block.convs - 1);
+            spec.validate();
+            layers.push_back(spec);
+            in_c = out_c;
+        }
+        hw /= 2;
+    }
+
+    // After five pools the map is (input_size/32)^2 spatial; the flattened
+    // features feed two hidden FC layers named conv14 / conv15.
+    const std::int64_t spatial = (config.input_size / 32);
+    const std::int64_t flat = in_c * spatial * spatial;
+    const std::int64_t fc_w = scale_channels(config.fc_width,
+                                             config.width_scale);
+
+    LayerSpec fc14;
+    fc14.name = "conv14";
+    fc14.kind = LayerKind::fc;
+    fc14.in_channels = flat;
+    fc14.out_channels = fc_w;
+    fc14.in_height = 1;
+    fc14.in_width = 1;
+    fc14.validate();
+    layers.push_back(fc14);
+
+    LayerSpec fc15;
+    fc15.name = "conv15";
+    fc15.kind = LayerKind::fc;
+    fc15.in_channels = fc_w;
+    fc15.out_channels = fc_w;
+    fc15.in_height = 1;
+    fc15.in_width = 1;
+    fc15.validate();
+    layers.push_back(fc15);
+
+    MIME_ENSURE(layers.size() == 15, "VGG16 must have 15 threshold layers");
+    return layers;
+}
+
+LayerSpec vgg16_classifier(const VggConfig& config) {
+    const auto layers = vgg16_spec(config);
+    LayerSpec cls;
+    cls.name = "classifier";
+    cls.kind = LayerKind::fc;
+    cls.in_channels = layers.back().out_channels;
+    cls.out_channels = config.num_classes;
+    cls.in_height = 1;
+    cls.in_width = 1;
+    cls.validate();
+    return cls;
+}
+
+}  // namespace mime::arch

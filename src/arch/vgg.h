@@ -1,0 +1,42 @@
+// VGG16 geometry, following the paper's layer naming.
+//
+// The paper's VGG16 counts 15 threshold-bearing layers: conv1..conv13
+// are the classic 13 convolutions; the two hidden fully-connected layers
+// are named conv14 and conv15 (they behave as 1x1 convolutions under the
+// OS dataflow). The final classifier layer produces logits and carries no
+// threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layer_spec.h"
+
+namespace mime::arch {
+
+/// Configuration of a VGG16 instance.
+struct VggConfig {
+    std::int64_t input_size = 32;      ///< square input H = W
+    std::int64_t input_channels = 3;
+    std::int64_t num_classes = 10;
+    /// Channel multiplier; 1.0 is the paper's full-size network, smaller
+    /// values give CPU-trainable "VGG16-mini" variants with identical
+    /// topology. Channel counts are rounded up and floored at 4.
+    double width_scale = 1.0;
+    /// Width of the two hidden FC layers (conv14/conv15) before scaling.
+    std::int64_t fc_width = 512;
+};
+
+/// The 15 threshold-bearing layers (13 conv + 2 fc) of VGG16, in order.
+/// Pooling positions follow the classic 2-2-3-3-3 block structure.
+std::vector<LayerSpec> vgg16_spec(const VggConfig& config = {});
+
+/// The classifier layer (logits; no threshold). Provided separately so
+/// storage and compute models can include or exclude it explicitly.
+LayerSpec vgg16_classifier(const VggConfig& config = {});
+
+/// Applies `width_scale` rounding exactly as vgg16_spec does; exposed for
+/// tests.
+std::int64_t scale_channels(std::int64_t channels, double width_scale);
+
+}  // namespace mime::arch

@@ -1,0 +1,36 @@
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+std::string format_what(const std::string& expr, const std::string& file,
+                        int line, const std::string& message) {
+    std::string what = file;
+    what += ':';
+    what += std::to_string(line);
+    what += ": check failed: (";
+    what += expr;
+    what += ")";
+    if (!message.empty()) {
+        what += " — ";
+        what += message;
+    }
+    return what;
+}
+}  // namespace
+
+check_error::check_error(const std::string& expr, const std::string& file,
+                         int line, const std::string& message)
+    : std::logic_error(format_what(expr, file, line, message)),
+      expression_(expr),
+      file_(file),
+      line_(line) {}
+
+namespace detail {
+void throw_check_error(const char* expr, const char* file, int line,
+                       const std::string& message) {
+    throw check_error(expr, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace mime

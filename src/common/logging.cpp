@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace mime {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+
+const char* level_tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::debug: return "DEBUG";
+        case LogLevel::info:  return "INFO ";
+        case LogLevel::warn:  return "WARN ";
+        case LogLevel::error: return "ERROR";
+        case LogLevel::off:   return "OFF  ";
+    }
+    return "?    ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(log_level())) {
+        return;
+    }
+    std::string line = "[mime ";
+    line += level_tag(level);
+    line += "] ";
+    line += message;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void log_debug(const std::string& message) { log(LogLevel::debug, message); }
+void log_info(const std::string& message) { log(LogLevel::info, message); }
+void log_warn(const std::string& message) { log(LogLevel::warn, message); }
+void log_error(const std::string& message) { log(LogLevel::error, message); }
+
+}  // namespace mime

@@ -1,0 +1,31 @@
+// Minimal leveled logging.
+//
+// The library itself stays quiet by default (level = warn); examples and
+// benches raise the level to info to narrate progress. No global mutable
+// state beyond one atomic level (Core Guidelines I.2 exception: a logger
+// threshold is conventionally process-wide).
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace mime {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current minimum level.
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` passes the threshold. Thread-safe
+/// (single formatted write per call).
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace mime

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+        s = splitmix64(sm);
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53 high bits → double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    MIME_REQUIRE(lo <= hi, "uniform range must satisfy lo <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+    MIME_REQUIRE(n > 0, "uniform_index requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = n * (UINT64_MAX / n);
+    std::uint64_t x = next_u64();
+    while (x >= limit) {
+        x = next_u64();
+    }
+    return x % n;
+}
+
+double Rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 is kept away from 0 so log() is finite.
+    double u1 = uniform();
+    while (u1 <= 1e-300) {
+        u1 = uniform();
+    }
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+    MIME_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+    return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+    MIME_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+    return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        idx[i] = i;
+    }
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = uniform_index(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng Rng::fork() {
+    return Rng(next_u64());
+}
+
+}  // namespace mime

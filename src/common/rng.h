@@ -1,0 +1,58 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component of the library (weight init, dataset
+// synthesis, dropout, pruning tie-breaks) draws from an explicitly seeded
+// mime::Rng so that a run is reproducible bit-for-bit from its seed.
+// std::mt19937 is avoided because its distributions are not guaranteed
+// identical across standard-library implementations; all distribution
+// code here is self-contained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mime {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna) plus the
+/// distribution helpers the library needs. Small, fast, and fully
+/// deterministic across platforms.
+class Rng {
+public:
+    /// Seeds the state via splitmix64 expansion of `seed`.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double uniform();
+
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n). Requires n > 0.
+    std::uint64_t uniform_index(std::uint64_t n);
+
+    /// Standard normal via Box–Muller (cached second value).
+    double normal();
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Bernoulli draw with probability `p` of true.
+    bool bernoulli(double p);
+
+    /// Fisher–Yates shuffle of an index vector [0, n).
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /// Derive an independent child generator; used to give each task /
+    /// module its own stream while staying reproducible from one seed.
+    Rng fork();
+
+private:
+    std::uint64_t state_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace mime

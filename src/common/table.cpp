@@ -1,0 +1,88 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace mime {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    MIME_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    MIME_REQUIRE(cells.size() == headers_.size(),
+                 "row width " + std::to_string(cells.size()) +
+                     " does not match header width " +
+                     std::to_string(headers_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(headers_);
+    std::string sep = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        sep.append(widths[c] + 2, '-');
+        sep += '|';
+    }
+    sep += '\n';
+    out += sep;
+    for (const auto& row : rows_) {
+        out += render_row(row);
+    }
+    return out;
+}
+
+void Table::print() const {
+    const std::string s = to_string();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string Table::num(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string Table::ratio(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, value);
+    return buf;
+}
+
+std::string Table::bytes(double value) {
+    const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int s = 0;
+    while (value >= 1024.0 && s < 4) {
+        value /= 1024.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix[s]);
+    return buf;
+}
+
+}  // namespace mime

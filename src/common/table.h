@@ -1,0 +1,46 @@
+// Console table rendering for the bench harness.
+//
+// Every reproduction binary prints rows in the same shape as the paper's
+// tables/figures; this helper keeps the formatting consistent (fixed
+// column widths, aligned numerics) across the eight bench targets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mime {
+
+/// A simple left/right-aligned text table with a header row.
+class Table {
+public:
+    /// Creates a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends one row; must match the header count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows.
+    std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table (header, separator, rows) as a string.
+    std::string to_string() const;
+
+    /// Renders and writes to stdout.
+    void print() const;
+
+    /// Formats a double with `digits` places after the decimal point.
+    static std::string num(double value, int digits = 4);
+
+    /// Formats a ratio as e.g. "3.48x".
+    static std::string ratio(double value, int digits = 2);
+
+    /// Formats a byte count with a binary-unit suffix (KiB/MiB/GiB).
+    static std::string bytes(double value);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mime

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mime {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+    if (thread_count == 0) {
+        thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(thread_count);
+    for (std::size_t i = 0; i < thread_count; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    task_available_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    MIME_REQUIRE(task != nullptr, "cannot submit an empty task");
+    {
+        std::lock_guard lock(mutex_);
+        MIME_REQUIRE(!stopping_, "cannot submit to a stopping pool");
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            task_available_.wait(lock,
+                                 [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                return;  // stopping_ and drained
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) {
+                all_done_.notify_all();
+            }
+        }
+    }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk) {
+    if (n == 0) {
+        return;
+    }
+    const std::size_t workers = pool.size();
+    if (workers <= 1 || n <= min_chunk) {
+        body(0, n);
+        return;
+    }
+    const std::size_t chunks = std::min(workers * 2, (n + min_chunk - 1) / min_chunk);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, n);
+        pool.submit([&body, begin, end] { body(begin, end); });
+    }
+    pool.wait_idle();
+}
+
+ThreadPool& global_pool() {
+    static ThreadPool pool;
+    return pool;
+}
+
+}  // namespace mime

@@ -1,0 +1,62 @@
+// A small fixed-size thread pool plus a parallel_for helper.
+//
+// Used by the GEMM / convolution kernels and the dataset synthesizer.
+// The pool is created explicitly and passed by reference (Core Guidelines
+// I.2/I.3: no hidden global singleton); `global_pool()` exists only as an
+// opt-in convenience for examples and benches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mime {
+
+/// Fixed-size worker pool executing enqueued tasks FIFO.
+class ThreadPool {
+public:
+    /// Creates `thread_count` workers; 0 means hardware_concurrency
+    /// (min 1).
+    explicit ThreadPool(std::size_t thread_count = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads.
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task; returns immediately.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_available_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
+/// pool, blocking until completion. Executes inline when the range is
+/// small or the pool has a single thread, so callers need no size checks.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk = 1024);
+
+/// Lazily constructed process-wide pool sized to the hardware; intended
+/// for examples/benches where threading is a detail, not a dependency.
+ThreadPool& global_pool();
+
+}  // namespace mime

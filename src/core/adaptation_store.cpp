@@ -1,0 +1,219 @@
+#include "core/adaptation_store.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "nn/serialize.h"
+
+namespace mime::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'I', 'M', 'E', 'A', 'D', 'P', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    MIME_REQUIRE(in.good(), "unexpected end of adaptation stream");
+    return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+    write_u64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+    const std::uint64_t len = read_u64(in);
+    MIME_REQUIRE(len < (1u << 20), "implausible string length in stream");
+    std::string s(len, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    MIME_REQUIRE(in.good(), "unexpected end of adaptation stream");
+    return s;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+    const auto& dims = t.shape().dims();
+    write_u64(out, dims.size());
+    for (const auto d : dims) {
+        write_u64(out, static_cast<std::uint64_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in) {
+    const std::uint64_t rank = read_u64(in);
+    MIME_REQUIRE(rank <= 8, "implausible tensor rank in stream");
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) {
+        d = static_cast<std::int64_t>(read_u64(in));
+        MIME_REQUIRE(d > 0 && d < (1 << 28), "implausible tensor extent");
+    }
+    Tensor t{dims.empty() ? Shape{} : Shape(dims)};
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    MIME_REQUIRE(in.good(), "unexpected end of tensor data");
+    return t;
+}
+
+}  // namespace
+
+void save_adaptation(const TaskAdaptation& adaptation, std::ostream& out) {
+    MIME_REQUIRE(adaptation.num_classes > 0,
+                 "cannot save an adaptation without classes");
+    out.write(kMagic, sizeof(kMagic));
+    write_string(out, adaptation.name);
+    write_u64(out, static_cast<std::uint64_t>(adaptation.num_classes));
+    write_u64(out, adaptation.thresholds.thresholds.size());
+    for (const Tensor& t : adaptation.thresholds.thresholds) {
+        write_tensor(out, t);
+    }
+    write_tensor(out, adaptation.head_weight);
+    write_tensor(out, adaptation.head_bias);
+    MIME_ENSURE(out.good(), "failed to write adaptation stream");
+}
+
+TaskAdaptation load_adaptation(std::istream& in) {
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    MIME_REQUIRE(in.good() && std::equal(magic, magic + 8, kMagic),
+                 "bad adaptation stream magic");
+    TaskAdaptation adaptation;
+    adaptation.name = read_string(in);
+    adaptation.num_classes = static_cast<std::int64_t>(read_u64(in));
+    MIME_REQUIRE(adaptation.num_classes > 0, "adaptation needs classes");
+    const std::uint64_t sites = read_u64(in);
+    MIME_REQUIRE(sites > 0 && sites <= 64, "implausible site count");
+    adaptation.thresholds.task_name = adaptation.name;
+    adaptation.thresholds.thresholds.reserve(sites);
+    for (std::uint64_t i = 0; i < sites; ++i) {
+        adaptation.thresholds.thresholds.push_back(read_tensor(in));
+    }
+    adaptation.head_weight = read_tensor(in);
+    adaptation.head_bias = read_tensor(in);
+    return adaptation;
+}
+
+void save_adaptation_file(const TaskAdaptation& adaptation,
+                          const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    MIME_REQUIRE(out.is_open(), "cannot open '" + path + "' for writing");
+    save_adaptation(adaptation, out);
+}
+
+TaskAdaptation load_adaptation_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    MIME_REQUIRE(in.is_open(), "cannot open '" + path + "' for reading");
+    return load_adaptation(in);
+}
+
+AdaptationStore::AdaptationStore(std::string directory)
+    : directory_(std::move(directory)) {
+    MIME_REQUIRE(!directory_.empty(), "store needs a directory");
+    std::filesystem::create_directories(directory_);
+}
+
+void AdaptationStore::save_backbone(MimeNetwork& network) const {
+    nn::save_parameters_file(network.network(), directory_ + "/backbone.bin");
+}
+
+void AdaptationStore::load_backbone(MimeNetwork& network) const {
+    MIME_REQUIRE(has_backbone(),
+                 "store '" + directory_ + "' has no backbone.bin");
+    nn::load_parameters_file(network.network(), directory_ + "/backbone.bin");
+}
+
+bool AdaptationStore::has_backbone() const {
+    return std::filesystem::exists(directory_ + "/backbone.bin");
+}
+
+std::string AdaptationStore::task_path(const std::string& task_name) const {
+    MIME_REQUIRE(!task_name.empty() &&
+                     task_name.find('/') == std::string::npos &&
+                     task_name.find("..") == std::string::npos,
+                 "task name must be a plain file-name component");
+    return directory_ + "/task_" + task_name + ".mta";
+}
+
+void AdaptationStore::write_manifest(
+    const std::vector<std::string>& names) const {
+    std::ofstream out(directory_ + "/manifest.txt");
+    MIME_REQUIRE(out.is_open(), "cannot write manifest");
+    for (const auto& name : names) {
+        out << name << '\n';
+    }
+}
+
+void AdaptationStore::save_task(const TaskAdaptation& adaptation) {
+    save_adaptation_file(adaptation, task_path(adaptation.name));
+    auto names = task_names();
+    if (std::find(names.begin(), names.end(), adaptation.name) ==
+        names.end()) {
+        names.push_back(adaptation.name);
+        std::sort(names.begin(), names.end());
+        write_manifest(names);
+    }
+}
+
+TaskAdaptation AdaptationStore::load_task(
+    const std::string& task_name) const {
+    return load_adaptation_file(task_path(task_name));
+}
+
+bool AdaptationStore::has_task(const std::string& task_name) const {
+    return std::filesystem::exists(task_path(task_name));
+}
+
+std::vector<std::string> AdaptationStore::task_names() const {
+    std::vector<std::string> names;
+    std::ifstream in(directory_ + "/manifest.txt");
+    if (!in.is_open()) {
+        return names;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) {
+            names.push_back(line);
+        }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::int64_t AdaptationStore::load_all_into(MultiTaskEngine& engine) const {
+    std::int64_t count = 0;
+    for (const auto& name : task_names()) {
+        engine.register_mime_task(load_task(name));
+        ++count;
+    }
+    return count;
+}
+
+std::int64_t AdaptationStore::backbone_bytes() const {
+    if (!has_backbone()) {
+        return 0;
+    }
+    return static_cast<std::int64_t>(
+        std::filesystem::file_size(directory_ + "/backbone.bin"));
+}
+
+std::int64_t AdaptationStore::adaptation_bytes() const {
+    std::int64_t total = 0;
+    for (const auto& name : task_names()) {
+        if (has_task(name)) {
+            total += static_cast<std::int64_t>(
+                std::filesystem::file_size(task_path(name)));
+        }
+    }
+    return total;
+}
+
+}  // namespace mime::core

@@ -1,0 +1,74 @@
+// Persistence for MIME deployments.
+//
+// A deployment artifact mirrors the paper's DRAM layout (Fig 1): one
+// parent backbone plus one small adaptation (thresholds + task head) per
+// child task. The store writes/reads:
+//
+//   <dir>/backbone.bin            — full backbone parameters
+//   <dir>/task_<name>.mta        — one TaskAdaptation
+//   <dir>/manifest.txt            — task index (name per line)
+//
+// Formats are versioned binary (magic + u64 fields + f32 payloads), and
+// every loader validates magic, shapes and stream length so corrupted or
+// mismatched artifacts fail loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/mime_network.h"
+#include "core/multitask.h"
+
+namespace mime::core {
+
+/// Writes one adaptation to a binary stream.
+void save_adaptation(const TaskAdaptation& adaptation, std::ostream& out);
+
+/// Reads one adaptation; throws mime::check_error on malformed input.
+TaskAdaptation load_adaptation(std::istream& in);
+
+/// File-path conveniences.
+void save_adaptation_file(const TaskAdaptation& adaptation,
+                          const std::string& path);
+TaskAdaptation load_adaptation_file(const std::string& path);
+
+/// Directory-level store managing a backbone plus named adaptations.
+class AdaptationStore {
+public:
+    /// Opens (and creates if needed) the store rooted at `directory`.
+    explicit AdaptationStore(std::string directory);
+
+    const std::string& directory() const noexcept { return directory_; }
+
+    /// Persists the network's backbone parameters.
+    void save_backbone(MimeNetwork& network) const;
+    /// Restores backbone parameters; structure must match.
+    void load_backbone(MimeNetwork& network) const;
+    bool has_backbone() const;
+
+    /// Persists one adaptation and records it in the manifest.
+    void save_task(const TaskAdaptation& adaptation);
+    /// Loads one adaptation by task name.
+    TaskAdaptation load_task(const std::string& task_name) const;
+    bool has_task(const std::string& task_name) const;
+
+    /// Task names currently in the manifest (sorted).
+    std::vector<std::string> task_names() const;
+
+    /// Registers every stored task with an engine; returns the count.
+    std::int64_t load_all_into(MultiTaskEngine& engine) const;
+
+    /// Bytes on disk for the backbone / all adaptations — the physical
+    /// counterpart of core::StorageModel's accounting.
+    std::int64_t backbone_bytes() const;
+    std::int64_t adaptation_bytes() const;
+
+private:
+    std::string task_path(const std::string& task_name) const;
+    void write_manifest(const std::vector<std::string>& names) const;
+
+    std::string directory_;
+};
+
+}  // namespace mime::core

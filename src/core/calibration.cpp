@@ -1,0 +1,90 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mime::core {
+
+namespace {
+
+/// q-th quantile of `values` (in-place nth_element; q in [0, 1)).
+float quantile(std::vector<float>& values, double q) {
+    MIME_REQUIRE(!values.empty(), "quantile of empty set");
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(values.size()));
+    const std::size_t clamped = std::min(index, values.size() - 1);
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(clamped),
+                     values.end());
+    return values[clamped];
+}
+
+}  // namespace
+
+std::vector<double> calibrate_thresholds(MimeNetwork& network,
+                                         const data::Batch& calibration,
+                                         const CalibrationOptions& options) {
+    MIME_REQUIRE(options.target_sparsity >= 0.0 &&
+                     options.target_sparsity < 1.0,
+                 "target sparsity must be in [0, 1)");
+    MIME_REQUIRE(calibration.size() > 0, "calibration batch is empty");
+    if (options.granularity == CalibrationGranularity::per_neuron) {
+        MIME_REQUIRE(calibration.size() >= 8,
+                     "per-neuron calibration needs at least 8 samples");
+    }
+
+    network.set_training(false);
+    network.set_mode(ActivationMode::threshold);
+    // Pass-through thresholds everywhere: masks fire for every neuron, so
+    // each forward exposes raw MAC outputs at the not-yet-calibrated
+    // sites while already-calibrated earlier sites take effect.
+    constexpr float kPassThrough = -1e9f;
+    network.reset_thresholds(kPassThrough);
+
+    std::vector<double> achieved;
+    achieved.reserve(static_cast<std::size_t>(network.site_count()));
+
+    for (std::int64_t k = 0; k < network.site_count(); ++k) {
+        network.forward(calibration.images);
+        ThresholdMask& mask = network.site(k).mask();
+        const Tensor& y = mask.last_input();
+        const std::int64_t per_sample = mask.activation_shape().numel();
+        const std::int64_t batch = calibration.size();
+
+        Tensor thresholds(mask.activation_shape());
+        if (options.granularity == CalibrationGranularity::per_layer) {
+            std::vector<float> all(y.data(), y.data() + y.numel());
+            const float t = std::max(
+                quantile(all, options.target_sparsity), options.floor);
+            thresholds.fill(t);
+        } else {
+            std::vector<float> column(static_cast<std::size_t>(batch));
+            for (std::int64_t i = 0; i < per_sample; ++i) {
+                for (std::int64_t n = 0; n < batch; ++n) {
+                    column[static_cast<std::size_t>(n)] =
+                        y[n * per_sample + i];
+                }
+                thresholds[i] = std::max(
+                    quantile(column, options.target_sparsity), options.floor);
+            }
+        }
+        mask.thresholds().value = thresholds;
+
+        // Achieved sparsity on the calibration batch after clamping.
+        std::int64_t masked = 0;
+        for (std::int64_t n = 0; n < batch; ++n) {
+            for (std::int64_t i = 0; i < per_sample; ++i) {
+                if (y[n * per_sample + i] - thresholds[i] < 0.0f) {
+                    ++masked;
+                }
+            }
+        }
+        achieved.push_back(static_cast<double>(masked) /
+                           static_cast<double>(batch * per_sample));
+    }
+    return achieved;
+}
+
+}  // namespace mime::core

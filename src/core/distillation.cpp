@@ -1,0 +1,123 @@
+#include "core/distillation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::core {
+
+void DistillationOptions::validate() const {
+    MIME_REQUIRE(temperature > 0.0f, "temperature must be positive");
+    MIME_REQUIRE(alpha >= 0.0f && alpha <= 1.0f, "alpha must be in [0, 1]");
+    MIME_REQUIRE(train.epochs > 0, "epochs must be positive");
+}
+
+double distillation_loss(const Tensor& student_logits,
+                         const Tensor& teacher_logits, float temperature) {
+    MIME_REQUIRE(student_logits.shape() == teacher_logits.shape(),
+                 "student/teacher logit shapes differ");
+    MIME_REQUIRE(temperature > 0.0f, "temperature must be positive");
+    const Tensor teacher_probs =
+        softmax_rows(mul(teacher_logits, 1.0f / temperature));
+    const Tensor student_log_probs =
+        log_softmax_rows(mul(student_logits, 1.0f / temperature));
+    const std::int64_t batch = student_logits.shape().dim(0);
+
+    double kl = 0.0;
+    for (std::int64_t i = 0; i < teacher_probs.numel(); ++i) {
+        const double p = teacher_probs[i];
+        if (p > 0.0) {
+            kl += p * (std::log(p) - student_log_probs[i]);
+        }
+    }
+    return kl / static_cast<double>(batch);
+}
+
+TrainHistory train_distilled(MimeNetwork& student, MimeNetwork& teacher,
+                             const data::Dataset& train_set,
+                             const DistillationOptions& options) {
+    options.validate();
+    const TrainOptions& train = options.train;
+
+    student.set_mode(ActivationMode::relu);
+    student.freeze_backbone(false);
+    student.set_pool(train.pool);
+    student.set_training(true);
+    teacher.set_mode(ActivationMode::relu);
+    teacher.set_pool(train.pool);
+    teacher.set_training(false);
+
+    nn::Adam optimizer(student.backbone_parameters(), train.learning_rate);
+    nn::SoftmaxCrossEntropy ce;
+    data::DataLoader loader(train_set, train.batch_size,
+                            Rng(train.shuffle_seed));
+
+    const float temperature = options.temperature;
+    const float alpha = options.alpha;
+
+    TrainHistory history;
+    for (std::int64_t epoch = 0; epoch < train.epochs; ++epoch) {
+        double epoch_loss = 0.0;
+        std::int64_t correct = 0;
+        std::int64_t seen = 0;
+
+        for (const data::Batch& batch : loader.epoch()) {
+            optimizer.zero_grad();
+            const Tensor student_logits = student.forward(batch.images);
+            const Tensor teacher_logits = teacher.forward(batch.images);
+
+            const double hard_loss = ce.forward(student_logits, batch.labels);
+            const double soft_loss = distillation_loss(
+                student_logits, teacher_logits, temperature);
+            const double total =
+                alpha * temperature * temperature * soft_loss +
+                (1.0 - alpha) * hard_loss;
+
+            // d(total)/d(student_logits):
+            //   hard term: (1-alpha) * (softmax(z_s) - onehot) / B
+            //   soft term: alpha * T * (softmax(z_s/T) - softmax(z_t/T)) / B
+            // (the T^2 prefactor cancels one 1/T from the inner softmax
+            // derivative, leaving a single factor T).
+            const Tensor hard_grad = ce.backward();
+            const Tensor student_soft =
+                softmax_rows(mul(student_logits, 1.0f / temperature));
+            const Tensor teacher_soft =
+                softmax_rows(mul(teacher_logits, 1.0f / temperature));
+            const auto batch_size = static_cast<float>(batch.size());
+
+            Tensor grad(student_logits.shape());
+            for (std::int64_t i = 0; i < grad.numel(); ++i) {
+                grad[i] = (1.0f - alpha) * hard_grad[i] +
+                          alpha * temperature *
+                              (student_soft[i] - teacher_soft[i]) /
+                              batch_size;
+            }
+            student.backward(grad);
+            optimizer.step();
+
+            epoch_loss += total * static_cast<double>(batch.size());
+            correct += ce.last_correct();
+            seen += batch.size();
+        }
+
+        EpochStats stats;
+        stats.epoch = epoch + 1;
+        stats.train_loss = epoch_loss / static_cast<double>(seen);
+        stats.train_accuracy =
+            static_cast<double>(correct) / static_cast<double>(seen);
+        history.epochs.push_back(stats);
+        if (train.verbose) {
+            log_info("distill epoch " + std::to_string(stats.epoch) +
+                     " loss " + std::to_string(stats.train_loss) + " acc " +
+                     std::to_string(stats.train_accuracy));
+        }
+    }
+    student.set_training(false);
+    return history;
+}
+
+}  // namespace mime::core

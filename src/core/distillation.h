@@ -1,0 +1,48 @@
+// Knowledge distillation baseline (paper Table I related work).
+//
+// The paper positions MIME against distillation-style transfer learning:
+// a smaller child model learns from a larger parent via softened logits
+// (Hinton et al., 2015). Like conventional fine-tuning — and unlike MIME
+// — every child still owns a full weight set; distillation is provided
+// as the third per-task baseline so the related-work comparison is
+// executable, not just prose.
+//
+// Loss: L = alpha * T^2 * KL(softmax(z_t / T) || softmax(z_s / T))
+//         + (1 - alpha) * CE(z_s, y)
+// (the conventional T^2 scaling keeps gradient magnitudes comparable
+// across temperatures).
+#pragma once
+
+#include <cstdint>
+
+#include "core/mime_network.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace mime::core {
+
+struct DistillationOptions {
+    /// Softmax temperature for teacher and student logits.
+    float temperature = 3.0f;
+    /// Weight of the distillation term vs. the hard-label CE term.
+    float alpha = 0.7f;
+    /// Underlying optimization settings (epochs, lr, batch size, pool).
+    TrainOptions train;
+
+    void validate() const;
+};
+
+/// Trains `student` (all parameters, ReLU mode) on `train_set` using
+/// `teacher` as the soft-label source. The teacher runs in inference
+/// mode and is not modified. Student and teacher must produce logits of
+/// the same width.
+TrainHistory train_distilled(MimeNetwork& student, MimeNetwork& teacher,
+                             const data::Dataset& train_set,
+                             const DistillationOptions& options);
+
+/// KL(softmax(teacher/T) || softmax(student/T)) averaged over the batch;
+/// exposed for tests.
+double distillation_loss(const Tensor& student_logits,
+                         const Tensor& teacher_logits, float temperature);
+
+}  // namespace mime::core

@@ -1,0 +1,182 @@
+// MimeNetwork: a VGG16 backbone whose activations are switchable between
+// the ReLU baseline and MIME threshold masks, with per-task threshold
+// sets that can be snapshotted and swapped (the algorithmic heart of the
+// paper: one W_parent, many T_child).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/vgg.h"
+#include "core/threshold_mask.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+
+namespace mime::core {
+
+/// Which activation the network's sites apply.
+enum class ActivationMode {
+    relu,      ///< baseline: a = max(y, 0)
+    threshold  ///< MIME: a = y * 1[y - t >= 0]
+};
+
+/// One activation site (after each conv / hidden fc). Owns both a ReLU
+/// and a ThresholdMask and dispatches on the current mode, so the same
+/// backbone instance can serve as baseline and MIME model.
+class ActivationSite : public nn::Module {
+public:
+    ActivationSite(std::string site_name, Shape activation_shape,
+                   float initial_threshold, SteConfig ste);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "ActivationSite"; }
+    std::vector<nn::Parameter*> parameters() override;
+    void set_training(bool training) override;
+
+    void set_mode(ActivationMode mode) { mode_ = mode; }
+    ActivationMode mode() const noexcept { return mode_; }
+
+    const std::string& site_name() const noexcept { return site_name_; }
+
+    /// Zero fraction of the most recent forward (whichever mode ran).
+    double last_sparsity() const noexcept;
+
+    ThresholdMask& mask() noexcept { return mask_; }
+    const ThresholdMask& mask() const noexcept { return mask_; }
+
+private:
+    std::string site_name_;
+    ActivationMode mode_ = ActivationMode::relu;
+    nn::ReLU relu_;
+    ThresholdMask mask_;
+};
+
+/// A named snapshot of every site's thresholds for one child task.
+struct ThresholdSet {
+    std::string task_name;
+    std::vector<Tensor> thresholds;  ///< one tensor per site, in site order
+
+    /// Total threshold parameters in the set.
+    std::int64_t parameter_count() const;
+};
+
+/// Configuration for building a MimeNetwork.
+struct MimeNetworkConfig {
+    arch::VggConfig vgg{};
+    /// When non-empty, build this architecture instead of VGG16.
+    /// `custom_classifier` must then be set too. Specs must follow the
+    /// builder conventions (convs first, then fcs; pool_after flags).
+    std::vector<arch::LayerSpec> custom_layers{};
+    arch::LayerSpec custom_classifier{};
+    /// Insert BatchNorm2d between conv and activation site. Off by
+    /// default (the paper's VGG16 has none); useful for fast CPU
+    /// convergence of width-scaled backbones.
+    bool batchnorm = false;
+    float initial_threshold = 0.05f;
+    SteConfig ste{};
+    std::uint64_t seed = 1;
+};
+
+/// The full model: backbone (conv/fc weights), activation sites, and a
+/// classifier head.
+class MimeNetwork {
+public:
+    explicit MimeNetwork(const MimeNetworkConfig& config);
+
+    // -- running -----------------------------------------------------------
+
+    /// Forward through backbone + classifier; input [N, 3, S, S].
+    Tensor forward(const Tensor& input);
+    /// Backward from dL/dlogits; accumulates parameter gradients.
+    Tensor backward(const Tensor& grad_logits);
+
+    /// Sets train/eval mode. While the backbone is frozen, BatchNorm
+    /// layers stay in inference mode even during threshold training so
+    /// their running statistics — part of W_parent — never drift.
+    void set_training(bool training);
+    void set_pool(ThreadPool* pool) { network_.set_pool(pool); }
+
+    // -- modes and parameter groups -----------------------------------------
+
+    /// Switches every activation site between ReLU and threshold mode.
+    void set_mode(ActivationMode mode);
+    ActivationMode mode() const noexcept { return mode_; }
+
+    /// Conv / fc / batchnorm / classifier parameters (the weights W).
+    std::vector<nn::Parameter*> backbone_parameters();
+    /// All per-site threshold parameters (the T of one child task).
+    std::vector<nn::Parameter*> threshold_parameters();
+    /// Everything (backbone + thresholds).
+    std::vector<nn::Parameter*> all_parameters();
+
+    /// Marks backbone parameters (non-)trainable and freezes/unfreezes
+    /// BatchNorm running statistics; MIME freezes both while training
+    /// thresholds.
+    void freeze_backbone(bool frozen);
+
+    // -- threshold sets ------------------------------------------------------
+
+    /// Copies the current thresholds into a named set.
+    ThresholdSet snapshot_thresholds(const std::string& task_name) const;
+    /// Installs a previously snapshotted set.
+    void load_thresholds(const ThresholdSet& set);
+    /// Resets every threshold to a constant (fresh task).
+    void reset_thresholds(float value);
+
+    // -- backbone snapshots (conventional multi-task baseline) ---------------
+
+    /// Copies all backbone parameter values plus persistent buffers
+    /// (BatchNorm running statistics).
+    std::vector<Tensor> snapshot_backbone() const;
+    /// Restores backbone parameter values from a snapshot.
+    void load_backbone(const std::vector<Tensor>& snapshot);
+
+    // -- introspection --------------------------------------------------------
+
+    std::int64_t site_count() const {
+        return static_cast<std::int64_t>(sites_.size());
+    }
+    ActivationSite& site(std::int64_t index);
+    const ActivationSite& site(std::int64_t index) const;
+    const std::string& site_name(std::int64_t index) const;
+
+    /// Per-site zero fraction of the most recent forward batch.
+    std::vector<double> last_site_sparsities() const;
+
+    /// Sum of L_t over all sites (eq. 4).
+    double threshold_regularization_loss() const;
+    /// Adds beta * exp(t) to every site's threshold gradient (eq. 3).
+    void add_threshold_regularization_gradient(float beta);
+    /// Clamps all thresholds to >= floor (paper: t_i > 0).
+    void clamp_thresholds(float floor);
+
+    const std::vector<arch::LayerSpec>& layer_specs() const noexcept {
+        return layer_specs_;
+    }
+    const arch::LayerSpec& classifier_spec() const noexcept {
+        return classifier_spec_;
+    }
+    const MimeNetworkConfig& config() const noexcept { return config_; }
+
+    /// Underlying module graph (for serialization / gradcheck).
+    nn::Sequential& network() noexcept { return network_; }
+
+private:
+    MimeNetworkConfig config_;
+    std::vector<arch::LayerSpec> layer_specs_;
+    arch::LayerSpec classifier_spec_;
+    nn::Sequential network_;
+    std::vector<ActivationSite*> sites_;       // non-owning
+    std::vector<nn::Parameter*> backbone_params_;  // non-owning
+    std::vector<nn::BatchNorm2d*> batchnorms_;     // non-owning
+    ActivationMode mode_ = ActivationMode::relu;
+    bool backbone_frozen_ = false;
+};
+
+}  // namespace mime::core

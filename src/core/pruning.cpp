@@ -1,0 +1,149 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/mime_network.h"
+#include "nn/loss.h"
+
+namespace mime::core {
+
+void WeightMaskSet::add(nn::Parameter* parameter, Tensor mask) {
+    MIME_REQUIRE(parameter != nullptr, "mask needs a parameter");
+    MIME_REQUIRE(mask.shape() == parameter->value.shape(),
+                 "mask shape mismatch for '" + parameter->name + "'");
+    entries_.push_back(Entry{parameter, std::move(mask)});
+}
+
+void WeightMaskSet::apply() const {
+    for (const Entry& e : entries_) {
+        Tensor& w = e.parameter->value;
+        for (std::int64_t i = 0; i < w.numel(); ++i) {
+            w[i] *= e.mask[i];
+        }
+    }
+}
+
+double WeightMaskSet::sparsity(std::size_t index) const {
+    return zero_fraction(entry(index).mask);
+}
+
+double WeightMaskSet::overall_sparsity() const {
+    std::int64_t zeros = 0;
+    std::int64_t total = 0;
+    for (const Entry& e : entries_) {
+        for (std::int64_t i = 0; i < e.mask.numel(); ++i) {
+            if (e.mask[i] == 0.0f) {
+                ++zeros;
+            }
+        }
+        total += e.mask.numel();
+    }
+    MIME_REQUIRE(total > 0, "empty mask set");
+    return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+const WeightMaskSet::Entry& WeightMaskSet::entry(std::size_t index) const {
+    MIME_REQUIRE(index < entries_.size(), "mask entry index out of range");
+    return entries_[index];
+}
+
+namespace {
+
+/// Weight parameters of the network in layer order, excluding biases and
+/// the classifier head (the comparators of Fig 8 prune feature layers).
+std::vector<nn::Parameter*> prunable_weights(MimeNetwork& network) {
+    std::vector<nn::Parameter*> weights;
+    for (nn::Parameter* p : network.backbone_parameters()) {
+        const bool is_weight =
+            p->name.size() > 7 &&
+            p->name.compare(p->name.size() - 7, 7, ".weight") == 0;
+        const bool is_classifier = p->name.rfind("classifier", 0) == 0;
+        if (is_weight && !is_classifier) {
+            weights.push_back(p);
+        }
+    }
+    return weights;
+}
+
+/// Builds a keep-mask keeping the `keep_count` largest scores per layer.
+Tensor mask_from_scores(const Tensor& scores, double sparsity) {
+    const std::int64_t n = scores.numel();
+    const auto prune_count = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(n) * sparsity));
+    Tensor mask = Tensor::ones(scores.shape());
+    if (prune_count <= 0) {
+        return mask;
+    }
+    std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        order[static_cast<std::size_t>(i)] = i;
+    }
+    std::nth_element(order.begin(), order.begin() + prune_count, order.end(),
+                     [&scores](std::int64_t a, std::int64_t b) {
+                         return scores[a] < scores[b];
+                     });
+    for (std::int64_t i = 0; i < prune_count; ++i) {
+        mask[order[static_cast<std::size_t>(i)]] = 0.0f;
+    }
+    return mask;
+}
+
+}  // namespace
+
+WeightMaskSet prune_at_init(MimeNetwork& network, const data::Batch& probe,
+                            double sparsity, ThreadPool* pool) {
+    MIME_REQUIRE(sparsity >= 0.0 && sparsity < 1.0,
+                 "sparsity must be in [0, 1)");
+
+    // One forward/backward pass on the probe batch to get dL/dw.
+    network.set_pool(pool);
+    network.set_training(true);
+    network.set_mode(ActivationMode::relu);
+    for (nn::Parameter* p : network.backbone_parameters()) {
+        p->zero_grad();
+    }
+    nn::SoftmaxCrossEntropy loss;
+    const Tensor logits = network.forward(probe.images);
+    loss.forward(logits, probe.labels);
+    network.backward(loss.backward());
+    network.set_training(false);
+
+    WeightMaskSet set;
+    for (nn::Parameter* p : prunable_weights(network)) {
+        // SNIP connection saliency: |g ⊙ w|.
+        Tensor scores(p->value.shape());
+        for (std::int64_t i = 0; i < scores.numel(); ++i) {
+            scores[i] = std::abs(p->grad[i] * p->value[i]);
+        }
+        set.add(p, mask_from_scores(scores, sparsity));
+    }
+    set.apply();
+    return set;
+}
+
+WeightMaskSet magnitude_prune(MimeNetwork& network, double sparsity) {
+    MIME_REQUIRE(sparsity >= 0.0 && sparsity < 1.0,
+                 "sparsity must be in [0, 1)");
+    WeightMaskSet set;
+    for (nn::Parameter* p : prunable_weights(network)) {
+        Tensor scores(p->value.shape());
+        for (std::int64_t i = 0; i < scores.numel(); ++i) {
+            scores[i] = std::abs(p->value[i]);
+        }
+        set.add(p, mask_from_scores(scores, sparsity));
+    }
+    set.apply();
+    return set;
+}
+
+std::vector<double> measured_weight_sparsity(MimeNetwork& network) {
+    std::vector<double> result;
+    for (nn::Parameter* p : prunable_weights(network)) {
+        result.push_back(zero_fraction(p->value));
+    }
+    return result;
+}
+
+}  // namespace mime::core

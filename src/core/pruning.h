@@ -1,0 +1,61 @@
+// Weight pruning for the Fig 8 comparators: highly compressed per-task
+// models (90% layerwise weight sparsity) obtained by pruning at
+// initialization (SNIP-style connection saliency, refs [32, 33] of the
+// paper) or by magnitude.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "nn/parameter.h"
+
+namespace mime::core {
+
+class MimeNetwork;
+
+/// A set of binary masks over backbone *weight* tensors (biases are never
+/// pruned). apply() re-zeroes pruned weights; training loops call it
+/// after every optimizer step so pruned connections stay dead.
+class WeightMaskSet {
+public:
+    struct Entry {
+        nn::Parameter* parameter = nullptr;  // non-owning
+        Tensor mask;                         // 1 = keep, 0 = pruned
+    };
+
+    void add(nn::Parameter* parameter, Tensor mask);
+
+    /// Zeroes masked weights in place.
+    void apply() const;
+
+    /// Fraction of zeros in the mask of entry `index`.
+    double sparsity(std::size_t index) const;
+    /// Weighted overall sparsity.
+    double overall_sparsity() const;
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    const Entry& entry(std::size_t index) const;
+
+private:
+    std::vector<Entry> entries_;
+};
+
+/// SNIP-style pruning at initialization: connection saliency
+/// |dL/dw ⊙ w| is computed from one probe batch and the lowest-saliency
+/// `sparsity` fraction of each weight layer is pruned (the paper's
+/// comparators use 90% *layerwise* sparsity).
+WeightMaskSet prune_at_init(MimeNetwork& network, const data::Batch& probe,
+                            double sparsity, ThreadPool* pool = nullptr);
+
+/// Magnitude pruning: smallest |w| pruned per layer.
+WeightMaskSet magnitude_prune(MimeNetwork& network, double sparsity);
+
+/// Per-layer weight sparsity of the network's current weights (fraction
+/// of exact zeros), in layer-spec order. Used to hand the hardware model
+/// its weight-sparsity profile.
+std::vector<double> measured_weight_sparsity(MimeNetwork& network);
+
+}  // namespace mime::core

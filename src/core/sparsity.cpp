@@ -1,0 +1,67 @@
+#include "core/sparsity.h"
+
+#include "common/check.h"
+
+namespace mime::core {
+
+double SparsityReport::overall() const {
+    MIME_REQUIRE(!average_sparsity.empty(), "empty sparsity report");
+    double acc = 0.0;
+    for (const double s : average_sparsity) {
+        acc += s;
+    }
+    return acc / static_cast<double>(average_sparsity.size());
+}
+
+double SparsityReport::layer(const std::string& name) const {
+    for (std::size_t i = 0; i < layer_names.size(); ++i) {
+        if (layer_names[i] == name) {
+            return average_sparsity[i];
+        }
+    }
+    MIME_REQUIRE(false, "no layer named '" + name + "' in sparsity report");
+    return 0.0;  // unreachable
+}
+
+SparsityReport measure_sparsity(MimeNetwork& network,
+                                const data::Dataset& dataset,
+                                std::int64_t batch_size, ThreadPool* pool) {
+    MIME_REQUIRE(dataset.size() > 0, "cannot measure sparsity on empty data");
+    network.set_pool(pool);
+    network.set_training(false);
+
+    const std::int64_t sites = network.site_count();
+    std::vector<double> weighted(static_cast<std::size_t>(sites), 0.0);
+    std::int64_t seen = 0;
+
+    const std::int64_t n = dataset.size();
+    for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+        const std::int64_t count = std::min(batch_size, n - begin);
+        std::vector<std::size_t> indices(static_cast<std::size_t>(count));
+        for (std::int64_t i = 0; i < count; ++i) {
+            indices[static_cast<std::size_t>(i)] =
+                static_cast<std::size_t>(begin + i);
+        }
+        const data::Batch batch = dataset.gather(indices);
+        network.forward(batch.images);
+        const std::vector<double> s = network.last_site_sparsities();
+        for (std::int64_t i = 0; i < sites; ++i) {
+            weighted[static_cast<std::size_t>(i)] +=
+                s[static_cast<std::size_t>(i)] * static_cast<double>(count);
+        }
+        seen += count;
+    }
+
+    SparsityReport report;
+    report.layer_names.reserve(static_cast<std::size_t>(sites));
+    report.average_sparsity.reserve(static_cast<std::size_t>(sites));
+    for (std::int64_t i = 0; i < sites; ++i) {
+        report.layer_names.push_back(network.site_name(i));
+        report.average_sparsity.push_back(
+            weighted[static_cast<std::size_t>(i)] /
+            static_cast<double>(seen));
+    }
+    return report;
+}
+
+}  // namespace mime::core

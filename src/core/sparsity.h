@@ -1,0 +1,37 @@
+// Layerwise neuronal-sparsity measurement (Tables II and III).
+//
+// Sparsity here means the fraction of zero output activations at each
+// activation site, averaged over a dataset — produced by ReLU in the
+// baselines and by threshold masking in MIME.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mime_network.h"
+#include "data/dataset.h"
+
+namespace mime::core {
+
+/// Average zero-activation fraction per activation site.
+struct SparsityReport {
+    std::vector<std::string> layer_names;  ///< conv1..conv15
+    std::vector<double> average_sparsity;  ///< aligned with layer_names
+
+    /// Mean across layers (unweighted, as the paper's "average layerwise
+    /// neuronal sparsity" heading suggests per-layer averages).
+    double overall() const;
+
+    /// Sparsity of the layer with the given name; throws if absent.
+    double layer(const std::string& name) const;
+};
+
+/// Runs the dataset through the network in inference mode (current
+/// activation mode) and averages each site's zero fraction, weighted by
+/// batch size.
+SparsityReport measure_sparsity(MimeNetwork& network,
+                                const data::Dataset& dataset,
+                                std::int64_t batch_size = 100,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace mime::core

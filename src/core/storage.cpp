@@ -1,0 +1,64 @@
+#include "core/storage.h"
+
+#include "common/check.h"
+
+namespace mime::core {
+
+StorageModel::StorageModel(std::vector<arch::LayerSpec> layers,
+                           arch::LayerSpec classifier,
+                           StorageModelConfig config)
+    : layers_(std::move(layers)),
+      classifier_(std::move(classifier)),
+      config_(config) {
+    MIME_REQUIRE(!layers_.empty(), "storage model needs layers");
+    MIME_REQUIRE(config_.precision_bits > 0 &&
+                     config_.precision_bits % 8 == 0,
+                 "precision must be a positive multiple of 8 bits");
+    for (const auto& l : layers_) {
+        l.validate();
+    }
+    classifier_.validate();
+}
+
+std::int64_t StorageModel::weight_bytes() const {
+    const std::int64_t bytes_per = config_.precision_bits / 8;
+    std::int64_t params = arch::total_weights(layers_);
+    if (config_.include_classifier) {
+        params += classifier_.weight_count();
+    }
+    return params * bytes_per;
+}
+
+std::int64_t StorageModel::threshold_bytes() const {
+    const std::int64_t bytes_per = config_.precision_bits / 8;
+    return arch::total_neurons(layers_) * bytes_per;
+}
+
+std::int64_t StorageModel::head_bytes() const {
+    const std::int64_t bytes_per = config_.precision_bits / 8;
+    return classifier_.weight_count() * bytes_per;
+}
+
+std::int64_t StorageModel::conventional_total_bytes(
+    std::int64_t child_tasks) const {
+    MIME_REQUIRE(child_tasks >= 0, "child task count must be >= 0");
+    const std::int64_t models =
+        child_tasks + (config_.count_parent_model ? 1 : 0);
+    return models * weight_bytes();
+}
+
+std::int64_t StorageModel::mime_total_bytes(std::int64_t child_tasks) const {
+    MIME_REQUIRE(child_tasks >= 0, "child task count must be >= 0");
+    std::int64_t total = weight_bytes() + child_tasks * threshold_bytes();
+    if (config_.count_child_heads) {
+        total += child_tasks * head_bytes();
+    }
+    return total;
+}
+
+double StorageModel::savings(std::int64_t child_tasks) const {
+    return static_cast<double>(conventional_total_bytes(child_tasks)) /
+           static_cast<double>(mime_total_bytes(child_tasks));
+}
+
+}  // namespace mime::core

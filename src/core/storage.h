@@ -1,0 +1,60 @@
+// Off-chip DRAM storage model (paper Fig 1 and Fig 4).
+//
+// Conventional multi-task inference stores one fine-tuned weight set per
+// task; MIME stores a single W_parent plus one (much smaller) threshold
+// set per child task. All parameters are 16-bit (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layer_spec.h"
+
+namespace mime::core {
+
+struct StorageModelConfig {
+    /// Bits per stored parameter (weights and thresholds). Table IV: 16.
+    int precision_bits = 16;
+    /// Count the classifier head's weights in each weight set.
+    bool include_classifier = true;
+    /// Conventional scenario also keeps the parent model deployed
+    /// alongside the per-child models (the paper's Fig 4 stores "the
+    /// parent task and its child tasks").
+    bool count_parent_model = true;
+    /// Count each child's (tiny) classifier head in MIME's per-child
+    /// storage. Off by default to match the paper's parameter list
+    /// {W_parent, T_child-1..n}; the bench reports both conventions.
+    bool count_child_heads = false;
+};
+
+/// Computes DRAM storage for both schemes over a given network geometry.
+class StorageModel {
+public:
+    StorageModel(std::vector<arch::LayerSpec> layers,
+                 arch::LayerSpec classifier, StorageModelConfig config = {});
+
+    /// Bytes of one full weight set (optionally incl. classifier).
+    std::int64_t weight_bytes() const;
+    /// Bytes of one child threshold set (one threshold per neuron across
+    /// the 15 threshold layers; the classifier has no thresholds).
+    std::int64_t threshold_bytes() const;
+    /// Bytes of one child classifier head.
+    std::int64_t head_bytes() const;
+
+    /// Total conventional storage for n child tasks.
+    std::int64_t conventional_total_bytes(std::int64_t child_tasks) const;
+    /// Total MIME storage for n child tasks.
+    std::int64_t mime_total_bytes(std::int64_t child_tasks) const;
+
+    /// conventional / MIME storage ratio (the paper's "~3.48x" at n = 3).
+    double savings(std::int64_t child_tasks) const;
+
+    const StorageModelConfig& config() const noexcept { return config_; }
+
+private:
+    std::vector<arch::LayerSpec> layers_;
+    arch::LayerSpec classifier_;
+    StorageModelConfig config_;
+};
+
+}  // namespace mime::core

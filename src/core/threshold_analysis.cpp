@@ -1,0 +1,115 @@
+#include "core/threshold_analysis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::core {
+
+std::vector<ThresholdLayerStats> threshold_statistics(
+    const ThresholdSet& set, const std::vector<arch::LayerSpec>& layers,
+    float floor) {
+    MIME_REQUIRE(set.thresholds.size() == layers.size(),
+                 "threshold set / layer spec size mismatch");
+    std::vector<ThresholdLayerStats> stats;
+    stats.reserve(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const Tensor& t = set.thresholds[i];
+        ThresholdLayerStats s;
+        s.layer = layers[i].name;
+        s.count = t.numel();
+        double acc = 0.0;
+        double acc_sq = 0.0;
+        std::int64_t at_floor = 0;
+        s.min = t[0];
+        s.max = t[0];
+        for (std::int64_t j = 0; j < t.numel(); ++j) {
+            const double v = t[j];
+            acc += v;
+            acc_sq += v * v;
+            s.min = std::min(s.min, static_cast<double>(t[j]));
+            s.max = std::max(s.max, static_cast<double>(t[j]));
+            if (t[j] <= floor) {
+                ++at_floor;
+            }
+        }
+        const auto n = static_cast<double>(t.numel());
+        s.mean = acc / n;
+        s.stddev = std::sqrt(std::max(0.0, acc_sq / n - s.mean * s.mean));
+        s.at_floor_fraction = static_cast<double>(at_floor) / n;
+        stats.push_back(s);
+    }
+    return stats;
+}
+
+std::vector<MaskOverlap> mask_overlap(MimeNetwork& network,
+                                      const ThresholdSet& task_a,
+                                      const ThresholdSet& task_b,
+                                      const data::Batch& probe) {
+    MIME_REQUIRE(probe.size() > 0, "probe batch must be non-empty");
+
+    const ThresholdSet saved = network.snapshot_thresholds("__saved__");
+    const ActivationMode saved_mode = network.mode();
+    network.set_training(false);
+    network.set_mode(ActivationMode::threshold);
+
+    // Pass 1: task A masks.
+    network.load_thresholds(task_a);
+    network.forward(probe.images);
+    std::vector<Tensor> masks_a;
+    masks_a.reserve(static_cast<std::size_t>(network.site_count()));
+    for (std::int64_t i = 0; i < network.site_count(); ++i) {
+        masks_a.push_back(network.site(i).mask().last_mask());
+    }
+
+    // Pass 2: task B masks.
+    network.load_thresholds(task_b);
+    network.forward(probe.images);
+
+    std::vector<MaskOverlap> overlaps;
+    overlaps.reserve(masks_a.size());
+    for (std::int64_t i = 0; i < network.site_count(); ++i) {
+        const Tensor& a = masks_a[static_cast<std::size_t>(i)];
+        const Tensor& b = network.site(i).mask().last_mask();
+        MIME_ENSURE(a.shape() == b.shape(), "mask shape mismatch");
+
+        std::int64_t intersection = 0;
+        std::int64_t union_count = 0;
+        std::int64_t active_a = 0;
+        std::int64_t active_b = 0;
+        for (std::int64_t j = 0; j < a.numel(); ++j) {
+            const bool fa = a[j] != 0.0f;
+            const bool fb = b[j] != 0.0f;
+            intersection += (fa && fb) ? 1 : 0;
+            union_count += (fa || fb) ? 1 : 0;
+            active_a += fa ? 1 : 0;
+            active_b += fb ? 1 : 0;
+        }
+        MaskOverlap o;
+        o.layer = network.site_name(i);
+        o.jaccard = union_count == 0
+                        ? 1.0
+                        : static_cast<double>(intersection) /
+                              static_cast<double>(union_count);
+        o.active_fraction_a =
+            static_cast<double>(active_a) / static_cast<double>(a.numel());
+        o.active_fraction_b =
+            static_cast<double>(active_b) / static_cast<double>(b.numel());
+        overlaps.push_back(o);
+    }
+
+    network.load_thresholds(saved);
+    network.set_mode(saved_mode);
+    return overlaps;
+}
+
+double mean_overlap(const std::vector<MaskOverlap>& overlaps) {
+    MIME_REQUIRE(!overlaps.empty(), "no overlaps to average");
+    double acc = 0.0;
+    for (const auto& o : overlaps) {
+        acc += o.jaccard;
+    }
+    return acc / static_cast<double>(overlaps.size());
+}
+
+}  // namespace mime::core

@@ -1,0 +1,58 @@
+// Analysis of learned threshold sets and the subnetworks they select.
+//
+// The paper's Fig 2(b) pictures MIME as activating a different
+// sub-network of the shared backbone per (task, input). These tools
+// quantify that: per-layer threshold statistics, per-task mask firing
+// rates, and the overlap between the subnetworks two tasks select on the
+// same inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mime_network.h"
+#include "data/dataset.h"
+
+namespace mime::core {
+
+/// Distribution summary of one layer's thresholds.
+struct ThresholdLayerStats {
+    std::string layer;
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Fraction of thresholds at (or below) the clamp floor — neurons the
+    /// task leaves essentially ungated.
+    double at_floor_fraction = 0.0;
+};
+
+/// Per-layer statistics of a threshold set.
+std::vector<ThresholdLayerStats> threshold_statistics(
+    const ThresholdSet& set, const std::vector<arch::LayerSpec>& layers,
+    float floor = 1e-4f);
+
+/// Overlap between the binary masks two tasks produce on identical
+/// inputs, per layer. Overlap = |A ∩ B| / |A ∪ B| (Jaccard) over active
+/// neurons, averaged across the probe batch.
+struct MaskOverlap {
+    std::string layer;
+    double jaccard = 0.0;
+    double active_fraction_a = 0.0;  ///< mean firing rate under task A
+    double active_fraction_b = 0.0;  ///< mean firing rate under task B
+};
+
+/// Runs `probe` through the network once under each task's thresholds
+/// (threshold mode) and measures per-layer mask agreement. The network's
+/// threshold state is restored afterwards.
+std::vector<MaskOverlap> mask_overlap(MimeNetwork& network,
+                                      const ThresholdSet& task_a,
+                                      const ThresholdSet& task_b,
+                                      const data::Batch& probe);
+
+/// Mean Jaccard overlap across layers.
+double mean_overlap(const std::vector<MaskOverlap>& overlaps);
+
+}  // namespace mime::core

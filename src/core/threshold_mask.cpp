@@ -1,0 +1,134 @@
+#include "core/threshold_mask.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::core {
+
+float SteConfig::operator()(float x) const {
+    const float ax = std::abs(x);
+    if (ax <= inner_width) {
+        const float slope = (inner_peak - outer_value) / inner_width;
+        return inner_peak - slope * ax;
+    }
+    if (ax <= outer_width) {
+        return outer_value;
+    }
+    return 0.0f;
+}
+
+void SteConfig::validate() const {
+    MIME_REQUIRE(inner_width > 0.0f, "ste inner_width must be positive");
+    MIME_REQUIRE(outer_width >= inner_width,
+                 "ste outer_width must be >= inner_width");
+    MIME_REQUIRE(inner_peak > 0.0f, "ste inner_peak must be positive");
+    MIME_REQUIRE(outer_value >= 0.0f && outer_value <= inner_peak,
+                 "ste outer_value must be in [0, inner_peak]");
+}
+
+ThresholdMask::ThresholdMask(Shape activation_shape, float initial_threshold,
+                             SteConfig ste)
+    : activation_shape_(std::move(activation_shape)), ste_(ste) {
+    ste_.validate();
+    MIME_REQUIRE(activation_shape_.rank() >= 1,
+                 "threshold mask needs a non-scalar activation shape");
+    thresholds_ = nn::Parameter(
+        "thresholds", Tensor::full(activation_shape_, initial_threshold));
+}
+
+Tensor ThresholdMask::forward(const Tensor& input) {
+    MIME_REQUIRE(input.shape().rank() == activation_shape_.rank() + 1,
+                 "ThresholdMask expects batched input, got " +
+                     input.shape().to_string() + " for activation " +
+                     activation_shape_.to_string());
+    const std::int64_t per_sample = activation_shape_.numel();
+    const std::int64_t batch = input.shape().dim(0);
+    MIME_REQUIRE(input.numel() == batch * per_sample,
+                 "ThresholdMask activation shape mismatch: input " +
+                     input.shape().to_string() + " vs " +
+                     activation_shape_.to_string());
+
+    cached_input_ = input;
+    cached_mask_ = Tensor(input.shape());
+    Tensor output(input.shape());
+    const float* t = thresholds_.value.data();
+
+    std::int64_t zeros = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* y = input.data() + n * per_sample;
+        float* m = cached_mask_.data() + n * per_sample;
+        float* a = output.data() + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            if (y[i] - t[i] >= 0.0f) {
+                m[i] = 1.0f;
+                a[i] = y[i];
+            } else {
+                m[i] = 0.0f;
+                a[i] = 0.0f;
+                ++zeros;
+            }
+        }
+    }
+    last_sparsity_ =
+        static_cast<double>(zeros) / static_cast<double>(input.numel());
+    return output;
+}
+
+Tensor ThresholdMask::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(cached_input_.shape().rank() >= 1 &&
+                     grad_output.shape() == cached_input_.shape(),
+                 "ThresholdMask::backward grad shape mismatch");
+    const std::int64_t per_sample = activation_shape_.numel();
+    const std::int64_t batch = cached_input_.shape().dim(0);
+
+    Tensor grad_input(cached_input_.shape());
+    const float* t = thresholds_.value.data();
+    float* gt = thresholds_.grad.data();
+
+    // a = y * H(y - t):
+    //   da/dy = H(y - t) + y * g(y - t)
+    //   da/dt = -y * g(y - t)
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* y = cached_input_.data() + n * per_sample;
+        const float* m = cached_mask_.data() + n * per_sample;
+        const float* go = grad_output.data() + n * per_sample;
+        float* gi = grad_input.data() + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            const float g_est = ste_(y[i] - t[i]);
+            gi[i] = go[i] * (m[i] + y[i] * g_est);
+            gt[i] -= go[i] * y[i] * g_est;
+        }
+    }
+    return grad_input;
+}
+
+std::vector<nn::Parameter*> ThresholdMask::parameters() {
+    return {&thresholds_};
+}
+
+double ThresholdMask::regularization_loss() const {
+    double acc = 0.0;
+    const float* t = thresholds_.value.data();
+    for (std::int64_t i = 0; i < thresholds_.value.numel(); ++i) {
+        acc += std::exp(static_cast<double>(std::min(t[i], kExpClamp)));
+    }
+    return acc;
+}
+
+void ThresholdMask::add_regularization_gradient(float beta) {
+    float* gt = thresholds_.grad.data();
+    const float* t = thresholds_.value.data();
+    for (std::int64_t i = 0; i < thresholds_.value.numel(); ++i) {
+        gt[i] += beta * std::exp(std::min(t[i], kExpClamp));
+    }
+}
+
+void ThresholdMask::clamp_thresholds(float floor) {
+    float* t = thresholds_.value.data();
+    for (std::int64_t i = 0; i < thresholds_.value.numel(); ++i) {
+        t[i] = std::max(t[i], floor);
+    }
+}
+
+}  // namespace mime::core

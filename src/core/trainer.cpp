@@ -1,0 +1,170 @@
+#include "core/trainer.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace mime::core {
+
+namespace {
+
+/// Shared epoch loop. `post_step` runs after every optimizer step
+/// (threshold clamping / weight re-masking).
+template <typename PostStep>
+TrainHistory run_training(MimeNetwork& network,
+                          const data::Dataset& train_set,
+                          const TrainOptions& options,
+                          std::vector<nn::Parameter*> trainable,
+                          float beta, PostStep post_step) {
+    MIME_REQUIRE(options.epochs > 0, "epochs must be positive");
+    MIME_REQUIRE(!trainable.empty(), "no trainable parameters");
+
+    network.set_pool(options.pool);
+    network.set_training(true);
+
+    nn::Adam optimizer(trainable, options.learning_rate);
+    nn::SoftmaxCrossEntropy loss;
+    data::DataLoader loader(train_set, options.batch_size,
+                            Rng(options.shuffle_seed));
+    Rng augment_rng(options.augment_seed);
+
+    TrainHistory history;
+    for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+        double epoch_loss = 0.0;
+        std::int64_t correct = 0;
+        std::int64_t seen = 0;
+
+        if (options.lr_schedule != nullptr) {
+            optimizer.set_learning_rate(
+                options.lr_schedule(epoch, options.learning_rate));
+        }
+
+        for (data::Batch& batch : loader.epoch()) {
+            if (options.augment != nullptr) {
+                data::augment_batch(batch, *options.augment, augment_rng);
+            }
+            optimizer.zero_grad();
+            const Tensor logits = network.forward(batch.images);
+            double batch_loss = loss.forward(logits, batch.labels);
+            if (beta > 0.0f) {
+                batch_loss +=
+                    beta * network.threshold_regularization_loss();
+            }
+            network.backward(loss.backward());
+            if (beta > 0.0f) {
+                network.add_threshold_regularization_gradient(beta);
+            }
+            optimizer.step();
+            post_step();
+
+            epoch_loss += batch_loss * static_cast<double>(batch.size());
+            correct += loss.last_correct();
+            seen += batch.size();
+        }
+
+        EpochStats stats;
+        stats.epoch = epoch + 1;
+        stats.train_loss = epoch_loss / static_cast<double>(seen);
+        stats.train_accuracy =
+            static_cast<double>(correct) / static_cast<double>(seen);
+        history.epochs.push_back(stats);
+
+        if (options.verbose) {
+            log_info("epoch " + std::to_string(stats.epoch) + "/" +
+                     std::to_string(options.epochs) + " loss " +
+                     std::to_string(stats.train_loss) + " acc " +
+                     std::to_string(stats.train_accuracy));
+        }
+    }
+    network.set_training(false);
+    return history;
+}
+
+}  // namespace
+
+const EpochStats& TrainHistory::final_epoch() const {
+    MIME_REQUIRE(!epochs.empty(), "empty training history");
+    return epochs.back();
+}
+
+TrainHistory train_backbone(MimeNetwork& network,
+                            const data::Dataset& train_set,
+                            const TrainOptions& options) {
+    network.set_mode(ActivationMode::relu);
+    network.freeze_backbone(false);
+    const WeightMaskSet* masks = options.weight_masks;
+    if (masks != nullptr) {
+        masks->apply();
+    }
+    return run_training(
+        network, train_set, options, network.backbone_parameters(),
+        /*beta=*/0.0f, [masks] {
+            if (masks != nullptr) {
+                masks->apply();
+            }
+        });
+}
+
+TrainHistory train_thresholds(MimeNetwork& network,
+                              const data::Dataset& train_set,
+                              const TrainOptions& options) {
+    network.set_mode(ActivationMode::threshold);
+    network.freeze_backbone(true);
+
+    std::vector<nn::Parameter*> trainable = network.threshold_parameters();
+    if (options.train_classifier_with_thresholds) {
+        // The task head must adapt to the child label space; its
+        // parameters are negligible next to W_parent (see DESIGN.md).
+        auto backbone = network.backbone_parameters();
+        MIME_REQUIRE(backbone.size() >= 2,
+                     "backbone must end with classifier weight+bias");
+        nn::Parameter* cls_weight = backbone[backbone.size() - 2];
+        nn::Parameter* cls_bias = backbone[backbone.size() - 1];
+        cls_weight->trainable = true;
+        cls_bias->trainable = true;
+        trainable.push_back(cls_weight);
+        trainable.push_back(cls_bias);
+    }
+
+    MimeNetwork* net = &network;
+    const float floor = options.threshold_floor;
+    return run_training(network, train_set, options, std::move(trainable),
+                        options.beta,
+                        [net, floor] { net->clamp_thresholds(floor); });
+}
+
+EvalResult evaluate(MimeNetwork& network, const data::Dataset& test_set,
+                    std::int64_t batch_size, ThreadPool* pool) {
+    MIME_REQUIRE(batch_size > 0, "batch size must be positive");
+    network.set_pool(pool);
+    network.set_training(false);
+
+    nn::SoftmaxCrossEntropy loss;
+    EvalResult result;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    double total_loss = 0.0;
+
+    const std::int64_t n = test_set.size();
+    for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+        const std::int64_t count = std::min(batch_size, n - begin);
+        std::vector<std::size_t> indices(static_cast<std::size_t>(count));
+        for (std::int64_t i = 0; i < count; ++i) {
+            indices[static_cast<std::size_t>(i)] =
+                static_cast<std::size_t>(begin + i);
+        }
+        const data::Batch batch = test_set.gather(indices);
+        const Tensor logits = network.forward(batch.images);
+        total_loss +=
+            loss.forward(logits, batch.labels) * static_cast<double>(count);
+        correct += loss.last_correct();
+        seen += count;
+    }
+    result.loss = total_loss / static_cast<double>(seen);
+    result.accuracy =
+        static_cast<double>(correct) / static_cast<double>(seen);
+    return result;
+}
+
+}  // namespace mime::core

@@ -1,0 +1,85 @@
+// Training loops for the three model families of the paper:
+//   * parent backbone training / conventional per-child fine-tuning
+//     (Table III baselines),
+//   * MIME threshold training with a frozen backbone (Table II),
+//   * masked (pruned) training for the 90%-weight-sparse comparators
+//     (Fig 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mime_network.h"
+#include "core/pruning.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+#include "nn/lr_schedule.h"
+
+namespace mime::core {
+
+/// Hyper-parameters. Defaults follow the paper's threshold training:
+/// 10 epochs, Adam, lr = 1e-3, beta = 1e-6 at batch size 100.
+struct TrainOptions {
+    std::int64_t epochs = 10;
+    std::int64_t batch_size = 100;
+    float learning_rate = 1e-3f;
+    /// Weight of the threshold regularizer L_t (eq. 3). Only used by
+    /// train_thresholds.
+    float beta = 1e-6f;
+    /// Thresholds are clamped to >= this after every step (paper: t > 0).
+    float threshold_floor = 0.0f;
+    /// Train the classifier head together with the thresholds. The paper
+    /// is silent on task heads; child tasks with differing class counts
+    /// require one (see DESIGN.md), and its parameters are negligible
+    /// next to W_parent.
+    bool train_classifier_with_thresholds = true;
+    std::uint64_t shuffle_seed = 13;
+    ThreadPool* pool = nullptr;
+    bool verbose = false;
+    /// When set, weights are re-masked after every optimizer step
+    /// (pruned-model training).
+    const WeightMaskSet* weight_masks = nullptr;
+    /// Optional per-epoch learning-rate schedule (null = constant).
+    nn::LrSchedule lr_schedule = nullptr;
+    /// Optional training-time augmentation applied to every batch.
+    const data::AugmentOptions* augment = nullptr;
+    std::uint64_t augment_seed = 29;
+};
+
+/// Loss / accuracy after each epoch.
+struct EpochStats {
+    std::int64_t epoch = 0;
+    double train_loss = 0.0;
+    double train_accuracy = 0.0;
+};
+
+struct TrainHistory {
+    std::vector<EpochStats> epochs;
+
+    const EpochStats& final_epoch() const;
+};
+
+/// Trains all parameters (backbone + classifier) in ReLU mode. Used for
+/// the parent task and for conventional per-child fine-tuning.
+TrainHistory train_backbone(MimeNetwork& network,
+                            const data::Dataset& train_set,
+                            const TrainOptions& options);
+
+/// Trains only threshold parameters (plus optionally the classifier
+/// head) in threshold mode with the backbone frozen; loss is
+/// L = L_CE + beta * L_t (eq. 3). This is Algorithm "MIME" of the paper.
+TrainHistory train_thresholds(MimeNetwork& network,
+                              const data::Dataset& train_set,
+                              const TrainOptions& options);
+
+/// Accuracy / loss on a dataset in the network's current mode.
+struct EvalResult {
+    double loss = 0.0;
+    double accuracy = 0.0;
+};
+
+EvalResult evaluate(MimeNetwork& network, const data::Dataset& test_set,
+                    std::int64_t batch_size = 100,
+                    ThreadPool* pool = nullptr);
+
+}  // namespace mime::core

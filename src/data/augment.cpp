@@ -1,0 +1,91 @@
+#include "data/augment.h"
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::data {
+
+void AugmentOptions::validate() const {
+    MIME_REQUIRE(flip_probability >= 0.0 && flip_probability <= 1.0,
+                 "flip probability must be in [0, 1]");
+    MIME_REQUIRE(max_shift >= 0, "max shift must be non-negative");
+    MIME_REQUIRE(noise_stddev >= 0.0, "noise stddev must be non-negative");
+}
+
+void flip_horizontal(Tensor& image) {
+    MIME_REQUIRE(image.shape().rank() == 3, "expected [C, H, W] image");
+    const std::int64_t channels = image.shape().dim(0);
+    const std::int64_t height = image.shape().dim(1);
+    const std::int64_t width = image.shape().dim(2);
+    for (std::int64_t c = 0; c < channels; ++c) {
+        float* plane = image.data() + c * height * width;
+        for (std::int64_t y = 0; y < height; ++y) {
+            float* row = plane + y * width;
+            for (std::int64_t x = 0; x < width / 2; ++x) {
+                std::swap(row[x], row[width - 1 - x]);
+            }
+        }
+    }
+}
+
+void shift_image(Tensor& image, std::int64_t dy, std::int64_t dx) {
+    MIME_REQUIRE(image.shape().rank() == 3, "expected [C, H, W] image");
+    const std::int64_t channels = image.shape().dim(0);
+    const std::int64_t height = image.shape().dim(1);
+    const std::int64_t width = image.shape().dim(2);
+    if (dy == 0 && dx == 0) {
+        return;
+    }
+    Tensor shifted(image.shape());
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const float* src = image.data() + c * height * width;
+        float* dst = shifted.data() + c * height * width;
+        for (std::int64_t y = 0; y < height; ++y) {
+            const std::int64_t sy = y - dy;
+            if (sy < 0 || sy >= height) {
+                continue;  // zero fill
+            }
+            for (std::int64_t x = 0; x < width; ++x) {
+                const std::int64_t sx = x - dx;
+                if (sx >= 0 && sx < width) {
+                    dst[y * width + x] = src[sy * width + sx];
+                }
+            }
+        }
+    }
+    image = std::move(shifted);
+}
+
+void augment_batch(Batch& batch, const AugmentOptions& options, Rng& rng) {
+    options.validate();
+    if (!options.enabled) {
+        return;
+    }
+    const std::int64_t n = batch.size();
+    for (std::int64_t i = 0; i < n; ++i) {
+        Tensor image = batch_slice(batch.images, i);
+        if (rng.bernoulli(options.flip_probability)) {
+            flip_horizontal(image);
+        }
+        if (options.max_shift > 0) {
+            const auto span = static_cast<std::uint64_t>(
+                2 * options.max_shift + 1);
+            const std::int64_t dy =
+                static_cast<std::int64_t>(rng.uniform_index(span)) -
+                options.max_shift;
+            const std::int64_t dx =
+                static_cast<std::int64_t>(rng.uniform_index(span)) -
+                options.max_shift;
+            shift_image(image, dy, dx);
+        }
+        if (options.noise_stddev > 0.0) {
+            for (std::int64_t j = 0; j < image.numel(); ++j) {
+                image[j] +=
+                    static_cast<float>(rng.normal(0.0, options.noise_stddev));
+            }
+        }
+        batch_assign(batch.images, i, image);
+    }
+}
+
+}  // namespace mime::data

@@ -1,0 +1,32 @@
+// Training-time data augmentation.
+//
+// The standard light CIFAR recipe: random horizontal flips, random
+// shift-with-zero-pad crops, and additive pixel noise. Augmentation
+// operates on batches so the trainer can apply it per epoch without
+// rematerializing datasets.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace mime::data {
+
+struct AugmentOptions {
+    double flip_probability = 0.5;   ///< horizontal mirror
+    std::int64_t max_shift = 2;      ///< random shift in [-max, +max] px
+    double noise_stddev = 0.01;      ///< additive Gaussian pixel noise
+    bool enabled = true;
+
+    void validate() const;
+};
+
+/// Augments `batch` in place (images only; labels untouched).
+void augment_batch(Batch& batch, const AugmentOptions& options, Rng& rng);
+
+/// Horizontal mirror of one sample image [C, H, W] in place.
+void flip_horizontal(Tensor& image);
+
+/// Shifts one sample image [C, H, W] by (dy, dx) with zero fill.
+void shift_image(Tensor& image, std::int64_t dy, std::int64_t dx);
+
+}  // namespace mime::data

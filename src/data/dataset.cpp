@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::data {
+
+Dataset::Dataset(Tensor images, std::vector<std::int64_t> labels)
+    : images_(std::move(images)), labels_(std::move(labels)) {
+    MIME_REQUIRE(images_.shape().rank() == 4,
+                 "dataset images must be [N, C, H, W], got " +
+                     images_.shape().to_string());
+    MIME_REQUIRE(static_cast<std::int64_t>(labels_.size()) ==
+                     images_.shape().dim(0),
+                 "label count does not match image count");
+}
+
+Batch Dataset::gather(const std::vector<std::size_t>& indices) const {
+    MIME_REQUIRE(!indices.empty(), "cannot gather an empty batch");
+    const std::int64_t n = size();
+    std::vector<std::int64_t> dims = images_.shape().dims();
+    dims[0] = static_cast<std::int64_t>(indices.size());
+    Batch batch;
+    batch.images = Tensor{Shape(dims)};
+    batch.labels.reserve(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto src = static_cast<std::int64_t>(indices[i]);
+        MIME_REQUIRE(src >= 0 && src < n, "gather index out of range");
+        batch_assign(batch.images, static_cast<std::int64_t>(i),
+                     batch_slice(images_, src));
+        batch.labels.push_back(labels_[indices[i]]);
+    }
+    return batch;
+}
+
+Batch Dataset::head(std::int64_t count) const {
+    MIME_REQUIRE(count > 0 && count <= size(),
+                 "head count " + std::to_string(count) +
+                     " out of range for dataset of size " +
+                     std::to_string(size()));
+    std::vector<std::size_t> indices(static_cast<std::size_t>(count));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        indices[i] = i;
+    }
+    return gather(indices);
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       Rng rng)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+    MIME_REQUIRE(batch_size > 0, "batch size must be positive");
+    MIME_REQUIRE(dataset.size() > 0, "cannot iterate an empty dataset");
+}
+
+std::vector<Batch> DataLoader::epoch() {
+    const auto n = static_cast<std::size_t>(dataset_->size());
+    const std::vector<std::size_t> order = rng_.permutation(n);
+    std::vector<Batch> batches;
+    batches.reserve((n + batch_size_ - 1) / batch_size_);
+    for (std::size_t begin = 0; begin < n;
+         begin += static_cast<std::size_t>(batch_size_)) {
+        const std::size_t end =
+            std::min(begin + static_cast<std::size_t>(batch_size_), n);
+        std::vector<std::size_t> indices(order.begin() + begin,
+                                         order.begin() + end);
+        batches.push_back(dataset_->gather(indices));
+    }
+    return batches;
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+    return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace mime::data

@@ -1,0 +1,65 @@
+// In-memory labeled image dataset and mini-batch loader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mime::data {
+
+/// One mini-batch: images [B, C, H, W] and integer labels.
+struct Batch {
+    Tensor images;
+    std::vector<std::int64_t> labels;
+
+    std::int64_t size() const { return images.shape().dim(0); }
+};
+
+/// A fully materialized dataset: images [N, C, H, W] + labels.
+class Dataset {
+public:
+    Dataset() = default;
+    Dataset(Tensor images, std::vector<std::int64_t> labels);
+
+    std::int64_t size() const {
+        return images_.shape().rank() == 0 ? 0 : images_.shape().dim(0);
+    }
+    const Tensor& images() const noexcept { return images_; }
+    const std::vector<std::int64_t>& labels() const noexcept {
+        return labels_;
+    }
+
+    /// Copies the samples at `indices` into a batch.
+    Batch gather(const std::vector<std::size_t>& indices) const;
+
+    /// First `count` samples as one batch (deterministic; used by tests
+    /// and evaluation).
+    Batch head(std::int64_t count) const;
+
+private:
+    Tensor images_;
+    std::vector<std::int64_t> labels_;
+};
+
+/// Shuffling mini-batch iterator. Each epoch() call yields a fresh
+/// permutation; the final short batch is kept (not dropped).
+class DataLoader {
+public:
+    DataLoader(const Dataset& dataset, std::int64_t batch_size, Rng rng);
+
+    /// Batches covering one shuffled epoch.
+    std::vector<Batch> epoch();
+
+    std::int64_t batch_size() const noexcept { return batch_size_; }
+    std::int64_t batches_per_epoch() const;
+
+private:
+    const Dataset* dataset_;
+    std::int64_t batch_size_;
+    Rng rng_;
+};
+
+}  // namespace mime::data

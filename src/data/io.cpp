@@ -1,0 +1,75 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace mime::data {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'I', 'M', 'E', 'D', 'A', 'T', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    MIME_REQUIRE(in.good(), "unexpected end of dataset stream");
+    return v;
+}
+}  // namespace
+
+void save_dataset(const Dataset& dataset, std::ostream& out) {
+    MIME_REQUIRE(dataset.size() > 0, "cannot save an empty dataset");
+    const Shape& s = dataset.images().shape();
+    out.write(kMagic, sizeof(kMagic));
+    for (std::int64_t axis = 0; axis < 4; ++axis) {
+        write_u64(out, static_cast<std::uint64_t>(s.dim(axis)));
+    }
+    out.write(reinterpret_cast<const char*>(dataset.images().data()),
+              static_cast<std::streamsize>(dataset.images().numel() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char*>(dataset.labels().data()),
+              static_cast<std::streamsize>(dataset.labels().size() *
+                                           sizeof(std::int64_t)));
+    MIME_ENSURE(out.good(), "failed to write dataset stream");
+}
+
+Dataset load_dataset(std::istream& in) {
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    MIME_REQUIRE(in.good() && std::equal(magic, magic + 8, kMagic),
+                 "bad dataset stream magic");
+    std::vector<std::int64_t> dims(4);
+    for (auto& d : dims) {
+        d = static_cast<std::int64_t>(read_u64(in));
+        MIME_REQUIRE(d > 0 && d < (1 << 24), "implausible dataset extent");
+    }
+    Tensor images{Shape(dims)};
+    in.read(reinterpret_cast<char*>(images.data()),
+            static_cast<std::streamsize>(images.numel() * sizeof(float)));
+    MIME_REQUIRE(in.good(), "unexpected end of image data");
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(dims[0]));
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size() *
+                                         sizeof(std::int64_t)));
+    MIME_REQUIRE(in.good(), "unexpected end of label data");
+    return Dataset(std::move(images), std::move(labels));
+}
+
+void save_dataset_file(const Dataset& dataset, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    MIME_REQUIRE(out.is_open(), "cannot open '" + path + "' for writing");
+    save_dataset(dataset, out);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    MIME_REQUIRE(in.is_open(), "cannot open '" + path + "' for reading");
+    return load_dataset(in);
+}
+
+}  // namespace mime::data

@@ -1,0 +1,26 @@
+// Dataset (de)serialization.
+//
+// Synthetic datasets are cheap to regenerate, but caching them preserves
+// bit-identical splits across tool invocations (e.g. the CLI trains in
+// one process and evaluates in another). Format: magic "MIMEDAT1",
+// u64 n/c/h/w, f32 images, i64 labels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mime::data {
+
+/// Writes `dataset` to a binary stream.
+void save_dataset(const Dataset& dataset, std::ostream& out);
+
+/// Reads a dataset; throws mime::check_error on malformed input.
+Dataset load_dataset(std::istream& in);
+
+/// File conveniences.
+void save_dataset_file(const Dataset& dataset, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace mime::data

@@ -1,0 +1,239 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::data {
+
+namespace {
+
+constexpr std::int64_t kPixels = SyntheticTaskFamily::kChannels *
+                                 SyntheticTaskFamily::kHeight *
+                                 SyntheticTaskFamily::kWidth;
+
+std::vector<float> random_unit_vector(std::int64_t dim, Rng& rng) {
+    std::vector<float> v(static_cast<std::size_t>(dim));
+    double norm_sq = 0.0;
+    for (auto& x : v) {
+        x = static_cast<float>(rng.normal());
+        norm_sq += static_cast<double>(x) * x;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
+    for (auto& x : v) {
+        x *= inv;
+    }
+    return v;
+}
+
+void normalize(std::vector<float>& v) {
+    double norm_sq = 0.0;
+    for (const float x : v) {
+        norm_sq += static_cast<double>(x) * x;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-12));
+    for (auto& x : v) {
+        x *= inv;
+    }
+}
+
+}  // namespace
+
+SyntheticTaskFamily::SyntheticTaskFamily(std::uint64_t seed,
+                                         std::int64_t parent_classes,
+                                         std::int64_t latent_dim,
+                                         std::int64_t style_dim)
+    : seed_(seed),
+      latent_dim_(latent_dim),
+      style_dim_(style_dim),
+      hidden_dim_(64) {
+    MIME_REQUIRE(parent_classes > 1, "parent task needs at least 2 classes");
+    MIME_REQUIRE(latent_dim > 0 && style_dim > 0,
+                 "latent/style dims must be positive");
+
+    Rng rng(seed_);
+
+    // Fixed decoder. Scales are chosen so tanh() stays in its responsive
+    // range for unit-norm latents.
+    auto fill = [&rng](std::vector<float>& w, std::int64_t count,
+                       double stddev) {
+        w.resize(static_cast<std::size_t>(count));
+        for (auto& x : w) {
+            x = static_cast<float>(rng.normal(0.0, stddev));
+        }
+    };
+    fill(w1_, hidden_dim_ * latent_dim_, 1.4 / std::sqrt(latent_dim_));
+    fill(u1_, hidden_dim_ * style_dim_, 0.25 / std::sqrt(style_dim_));
+    fill(b1_, hidden_dim_, 0.1);
+    fill(w2_, kPixels * hidden_dim_, 1.6 / std::sqrt(hidden_dim_));
+    fill(u2_, kPixels * style_dim_, 0.12 / std::sqrt(style_dim_));
+
+    parent_prototypes_.reserve(static_cast<std::size_t>(parent_classes));
+    for (std::int64_t c = 0; c < parent_classes; ++c) {
+        parent_prototypes_.push_back(random_unit_vector(latent_dim_, rng));
+    }
+
+    // Task 0 is the parent itself: prototypes are the parent bank.
+    TaskSpec parent_spec;
+    parent_spec.name = "parent";
+    parent_spec.num_classes = parent_classes;
+    parent_spec.style = ImageStyle::rgb;
+    parent_spec.parent_affinity = 1.0;
+    tasks_.push_back(parent_spec);
+    task_prototypes_.push_back(parent_prototypes_);
+}
+
+std::int64_t SyntheticTaskFamily::add_task(const TaskSpec& spec) {
+    MIME_REQUIRE(spec.num_classes > 1, "task needs at least 2 classes");
+    MIME_REQUIRE(spec.parent_affinity >= 0.0 && spec.parent_affinity <= 1.0,
+                 "parent_affinity must be in [0, 1]");
+    MIME_REQUIRE(spec.train_size > 0 && spec.test_size > 0,
+                 "split sizes must be positive");
+
+    // Per-task prototype stream, independent of sample generation.
+    Rng rng(seed_ ^ (0xC0FFEEULL + 0x9E37ULL * (tasks_.size() + 1)));
+    std::vector<std::vector<float>> prototypes;
+    prototypes.reserve(static_cast<std::size_t>(spec.num_classes));
+    for (std::int64_t c = 0; c < spec.num_classes; ++c) {
+        // Remix of 2 random parent prototypes + fresh direction.
+        const auto& pa =
+            parent_prototypes_[rng.uniform_index(parent_prototypes_.size())];
+        const auto& pb =
+            parent_prototypes_[rng.uniform_index(parent_prototypes_.size())];
+        const double mix = rng.uniform();
+        std::vector<float> fresh = random_unit_vector(latent_dim_, rng);
+        std::vector<float> proto(static_cast<std::size_t>(latent_dim_));
+        for (std::int64_t d = 0; d < latent_dim_; ++d) {
+            const double remix = mix * pa[static_cast<std::size_t>(d)] +
+                                 (1.0 - mix) * pb[static_cast<std::size_t>(d)];
+            proto[static_cast<std::size_t>(d)] = static_cast<float>(
+                spec.parent_affinity * remix +
+                (1.0 - spec.parent_affinity) *
+                    fresh[static_cast<std::size_t>(d)]);
+        }
+        normalize(proto);
+        prototypes.push_back(std::move(proto));
+    }
+    tasks_.push_back(spec);
+    task_prototypes_.push_back(std::move(prototypes));
+    return static_cast<std::int64_t>(tasks_.size()) - 1;
+}
+
+const TaskSpec& SyntheticTaskFamily::task(std::int64_t index) const {
+    MIME_REQUIRE(index >= 0 && index < task_count(),
+                 "task index " + std::to_string(index) + " out of range");
+    return tasks_[static_cast<std::size_t>(index)];
+}
+
+Dataset SyntheticTaskFamily::train_split(std::int64_t index) const {
+    return generate(index, /*train=*/true, task(index).train_size);
+}
+
+Dataset SyntheticTaskFamily::test_split(std::int64_t index) const {
+    return generate(index, /*train=*/false, task(index).test_size);
+}
+
+void SyntheticTaskFamily::decode(const std::vector<float>& latent,
+                                 const std::vector<float>& style,
+                                 float* pixels) const {
+    std::vector<float> hidden(static_cast<std::size_t>(hidden_dim_));
+    for (std::int64_t h = 0; h < hidden_dim_; ++h) {
+        double acc = b1_[static_cast<std::size_t>(h)];
+        const float* w_row = w1_.data() + h * latent_dim_;
+        for (std::int64_t d = 0; d < latent_dim_; ++d) {
+            acc += static_cast<double>(w_row[d]) *
+                   latent[static_cast<std::size_t>(d)];
+        }
+        const float* u_row = u1_.data() + h * style_dim_;
+        for (std::int64_t s = 0; s < style_dim_; ++s) {
+            acc += static_cast<double>(u_row[s]) *
+                   style[static_cast<std::size_t>(s)];
+        }
+        hidden[static_cast<std::size_t>(h)] =
+            std::tanh(static_cast<float>(acc));
+    }
+    for (std::int64_t p = 0; p < kPixels; ++p) {
+        double acc = 0.0;
+        const float* w_row = w2_.data() + p * hidden_dim_;
+        for (std::int64_t h = 0; h < hidden_dim_; ++h) {
+            acc += static_cast<double>(w_row[h]) *
+                   hidden[static_cast<std::size_t>(h)];
+        }
+        const float* u_row = u2_.data() + p * style_dim_;
+        for (std::int64_t s = 0; s < style_dim_; ++s) {
+            acc += static_cast<double>(u_row[s]) *
+                   style[static_cast<std::size_t>(s)];
+        }
+        pixels[p] = std::tanh(static_cast<float>(acc));
+    }
+}
+
+Dataset SyntheticTaskFamily::generate(std::int64_t task_index, bool train,
+                                      std::int64_t count) const {
+    const TaskSpec& spec = task(task_index);
+    const auto& prototypes =
+        task_prototypes_[static_cast<std::size_t>(task_index)];
+
+    // Split-specific deterministic stream.
+    Rng rng(seed_ ^ (train ? 0xAAAA5555ULL : 0x5555AAAAULL) ^
+            (0x1234567ULL * (task_index + 1)));
+
+    Tensor images({count, kChannels, kHeight, kWidth});
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(count));
+
+    std::vector<float> latent(static_cast<std::size_t>(latent_dim_));
+    std::vector<float> style(static_cast<std::size_t>(style_dim_));
+
+    for (std::int64_t n = 0; n < count; ++n) {
+        const auto label = static_cast<std::int64_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(spec.num_classes)));
+        labels[static_cast<std::size_t>(n)] = label;
+        const auto& proto = prototypes[static_cast<std::size_t>(label)];
+
+        for (std::int64_t d = 0; d < latent_dim_; ++d) {
+            latent[static_cast<std::size_t>(d)] =
+                proto[static_cast<std::size_t>(d)] +
+                static_cast<float>(rng.normal(0.0, spec.latent_noise));
+        }
+        for (std::int64_t s = 0; s < style_dim_; ++s) {
+            style[static_cast<std::size_t>(s)] =
+                static_cast<float>(rng.normal());
+        }
+
+        float* px = images.data() + n * kPixels;
+        decode(latent, style, px);
+
+        if (spec.pixel_noise > 0.0) {
+            for (std::int64_t p = 0; p < kPixels; ++p) {
+                px[p] += static_cast<float>(rng.normal(0.0, spec.pixel_noise));
+            }
+        }
+
+        if (spec.style == ImageStyle::grayscale) {
+            // Collapse to luminance, replicate across channels, and zero a
+            // 2-pixel border to emulate 28x28 content in a 32x32 canvas.
+            constexpr std::int64_t plane = kHeight * kWidth;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                const float gray =
+                    (px[i] + px[plane + i] + px[2 * plane + i]) / 3.0f;
+                px[i] = gray;
+                px[plane + i] = gray;
+                px[2 * plane + i] = gray;
+            }
+            for (std::int64_t c = 0; c < kChannels; ++c) {
+                float* ch = px + c * plane;
+                for (std::int64_t y = 0; y < kHeight; ++y) {
+                    for (std::int64_t x = 0; x < kWidth; ++x) {
+                        if (y < 2 || y >= kHeight - 2 || x < 2 ||
+                            x >= kWidth - 2) {
+                            ch[y * kWidth + x] = 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return Dataset(std::move(images), std::move(labels));
+}
+
+}  // namespace mime::data

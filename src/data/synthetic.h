@@ -1,0 +1,105 @@
+// Synthetic multi-task image classification datasets.
+//
+// Substitute for the paper's ImageNet (parent) and CIFAR10 / CIFAR100 /
+// Fashion-MNIST (children); see DESIGN.md §2. All tasks share one fixed
+// random *generator network* that decodes class latents into images, so
+// low-level image statistics are shared across tasks — exactly the
+// transfer structure MIME exploits (a frozen parent backbone stays useful
+// for every child task). Task difficulty is controlled by latent noise,
+// nuisance style vectors and pixel noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace mime::data {
+
+/// Visual style of a task's images.
+enum class ImageStyle {
+    rgb,       ///< full-color 32x32 content (CIFAR-like)
+    grayscale  ///< single-channel content replicated to 3 channels and
+               ///< centered in a 28x28 window (Fashion-MNIST-like)
+};
+
+/// Declarative description of one classification task.
+struct TaskSpec {
+    std::string name;
+    std::int64_t num_classes = 10;
+    ImageStyle style = ImageStyle::rgb;
+    /// Blend of parent prototypes in this task's class prototypes
+    /// (0 = unrelated to parent, 1 = pure remix of parent classes).
+    double parent_affinity = 0.5;
+    /// Latent-space noise stddev per dimension around each (unit-norm)
+    /// prototype. Noise norm grows with sqrt(latent_dim), so values much
+    /// above ~0.2 drown the class signal entirely.
+    double latent_noise = 0.16;
+    /// Additive pixel noise stddev.
+    double pixel_noise = 0.03;
+    std::int64_t train_size = 2000;
+    std::int64_t test_size = 500;
+};
+
+/// The shared fixed-random decoder plus per-task prototypes.
+///
+/// Images are [3, 32, 32] in [-1, 1]. Generation is deterministic in
+/// (family seed, task index, split, sample index).
+class SyntheticTaskFamily {
+public:
+    /// Creates the shared generator. `latent_dim` is the class-identity
+    /// space, `style_dim` the per-sample nuisance space, `parent_classes`
+    /// the size of the parent prototype bank the children remix.
+    SyntheticTaskFamily(std::uint64_t seed, std::int64_t parent_classes = 20,
+                        std::int64_t latent_dim = 24,
+                        std::int64_t style_dim = 8);
+
+    /// Registers a task and returns its task index.
+    std::int64_t add_task(const TaskSpec& spec);
+
+    std::int64_t task_count() const {
+        return static_cast<std::int64_t>(tasks_.size());
+    }
+    const TaskSpec& task(std::int64_t index) const;
+
+    /// The parent task spec (registered automatically at construction as
+    /// task 0, `parent_classes` classes, RGB).
+    const TaskSpec& parent() const { return task(0); }
+
+    /// Materializes the train split of task `index`.
+    Dataset train_split(std::int64_t index) const;
+    /// Materializes the test split of task `index`.
+    Dataset test_split(std::int64_t index) const;
+
+    static constexpr std::int64_t kChannels = 3;
+    static constexpr std::int64_t kHeight = 32;
+    static constexpr std::int64_t kWidth = 32;
+
+private:
+    Dataset generate(std::int64_t task_index, bool train,
+                     std::int64_t count) const;
+    /// Decodes one latent + style pair into a [3*32*32] pixel vector.
+    void decode(const std::vector<float>& latent,
+                const std::vector<float>& style, float* pixels) const;
+
+    std::uint64_t seed_;
+    std::int64_t latent_dim_;
+    std::int64_t style_dim_;
+    std::int64_t hidden_dim_;
+
+    // Fixed random decoder weights (shared across all tasks).
+    std::vector<float> w1_;  ///< [hidden, latent]
+    std::vector<float> u1_;  ///< [hidden, style]
+    std::vector<float> b1_;  ///< [hidden]
+    std::vector<float> w2_;  ///< [pixels, hidden]
+    std::vector<float> u2_;  ///< [pixels, style]
+
+    std::vector<std::vector<float>> parent_prototypes_;  ///< unit vectors
+    std::vector<TaskSpec> tasks_;
+    std::vector<std::vector<std::vector<float>>> task_prototypes_;
+};
+
+}  // namespace mime::data

@@ -1,0 +1,50 @@
+#include "data/task_suite.h"
+
+#include "common/check.h"
+
+namespace mime::data {
+
+TaskSuite make_task_suite(const TaskSuiteOptions& options) {
+    MIME_REQUIRE(options.cifar100_classes > 1,
+                 "cifar100 analogue needs at least 2 classes");
+
+    TaskSuite suite;
+    suite.family = std::make_shared<SyntheticTaskFamily>(options.seed);
+    suite.parent = 0;
+
+    TaskSpec c10;
+    c10.name = "cifar10-like";
+    c10.num_classes = 10;
+    c10.style = ImageStyle::rgb;
+    c10.parent_affinity = 0.6;
+    c10.latent_noise = 0.18;
+    c10.pixel_noise = 0.03;
+    c10.train_size = options.train_size;
+    c10.test_size = options.test_size;
+    suite.cifar10_like = suite.family->add_task(c10);
+
+    TaskSpec c100 = c10;
+    c100.name = "cifar100-like";
+    c100.num_classes = options.cifar100_classes;
+    // More classes in the same latent space → intrinsically harder, like
+    // CIFAR100 vs CIFAR10.
+    c100.latent_noise = 0.16;
+    suite.cifar100_like = suite.family->add_task(c100);
+
+    TaskSpec fm;
+    fm.name = "fmnist-like";
+    fm.num_classes = 10;
+    fm.style = ImageStyle::grayscale;
+    // F-MNIST is visually unlike ImageNet; lower affinity models the
+    // domain gap while grayscale models the input-statistics gap.
+    fm.parent_affinity = 0.35;
+    fm.latent_noise = 0.15;
+    fm.pixel_noise = 0.02;
+    fm.train_size = options.train_size;
+    fm.test_size = options.test_size;
+    suite.fmnist_like = suite.family->add_task(fm);
+
+    return suite;
+}
+
+}  // namespace mime::data

@@ -1,0 +1,39 @@
+// The canonical experiment suite: one parent + the three child-task
+// analogues used throughout the paper's evaluation.
+#pragma once
+
+#include <memory>
+
+#include "data/synthetic.h"
+
+namespace mime::data {
+
+/// Task indices within the canonical suite.
+struct TaskSuite {
+    std::shared_ptr<SyntheticTaskFamily> family;
+    std::int64_t parent = 0;       ///< ImageNet analogue (20 classes)
+    std::int64_t cifar10_like = 0; ///< 10-class RGB child
+    std::int64_t cifar100_like = 0;///< 100-class RGB child
+    std::int64_t fmnist_like = 0;  ///< 10-class grayscale child
+
+    /// All child task indices, in paper order.
+    std::vector<std::int64_t> children() const {
+        return {cifar10_like, cifar100_like, fmnist_like};
+    }
+};
+
+/// Options scaling the suite for quick tests vs. full benches.
+struct TaskSuiteOptions {
+    std::uint64_t seed = 7;
+    std::int64_t train_size = 2000;
+    std::int64_t test_size = 500;
+    /// Class-100 analogue keeps the full 100 classes only when true;
+    /// tests use fewer classes to stay fast.
+    std::int64_t cifar100_classes = 100;
+};
+
+/// Builds the parent + {CIFAR10, CIFAR100, F-MNIST} analogue suite with
+/// the difficulty settings used in EXPERIMENTS.md.
+TaskSuite make_task_suite(const TaskSuiteOptions& options = {});
+
+}  // namespace mime::data

@@ -1,0 +1,56 @@
+#include "hw/cache_model.h"
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+LruCache::LruCache(std::int64_t capacity_bytes) : capacity_(capacity_bytes) {
+    MIME_REQUIRE(capacity_bytes >= 0, "capacity must be non-negative");
+}
+
+bool LruCache::touch(std::uint64_t key, std::int64_t size_bytes) {
+    MIME_REQUIRE(size_bytes > 0, "block size must be positive");
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Hit: move to front.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    if (size_bytes > capacity_) {
+        return false;  // cannot ever be resident
+    }
+    while (used_ + size_bytes > capacity_) {
+        const Block& victim = lru_.back();
+        used_ -= victim.size;
+        index_.erase(victim.key);
+        lru_.pop_back();
+    }
+    lru_.push_front(Block{key, size_bytes});
+    index_[key] = lru_.begin();
+    used_ += size_bytes;
+    return false;
+}
+
+void LruCache::clear() {
+    lru_.clear();
+    index_.clear();
+    used_ = 0;
+}
+
+double resident_fraction(std::int64_t bytes_needed,
+                         std::int64_t capacity_bytes) {
+    MIME_REQUIRE(bytes_needed >= 0 && capacity_bytes >= 0,
+                 "sizes must be non-negative");
+    if (bytes_needed == 0) {
+        return 1.0;
+    }
+    if (bytes_needed <= capacity_bytes) {
+        return 1.0;
+    }
+    return static_cast<double>(capacity_bytes) /
+           static_cast<double>(bytes_needed);
+}
+
+}  // namespace mime::hw

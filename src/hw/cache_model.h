@@ -1,0 +1,59 @@
+// On-chip cache models.
+//
+// Two granularities are provided:
+//  * LruCache — an exact block-level LRU used for weight/threshold
+//    version residency across task switches in Pipelined task mode (a
+//    small layer's per-task weight sets can all stay resident, in which
+//    case even the conventional scheme avoids DRAM reloads);
+//  * resident_fraction — an analytic capacity model for streaming
+//    activation maps (fraction of a map that stays cache-resident
+//    between reuse passes).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace mime::hw {
+
+/// Exact LRU over variable-size blocks identified by 64-bit keys.
+class LruCache {
+public:
+    explicit LruCache(std::int64_t capacity_bytes);
+
+    /// Touches block `key` of `size_bytes`. Returns true on hit; on miss
+    /// the block is inserted (evicting LRU blocks as needed) and false is
+    /// returned. Blocks larger than the capacity are never resident (each
+    /// touch is a miss and nothing is evicted).
+    bool touch(std::uint64_t key, std::int64_t size_bytes);
+
+    /// Drops everything (e.g. when moving to the next layer, whose
+    /// parameters displace the previous layer's).
+    void clear();
+
+    std::int64_t capacity_bytes() const noexcept { return capacity_; }
+    std::int64_t used_bytes() const noexcept { return used_; }
+    std::int64_t hit_count() const noexcept { return hits_; }
+    std::int64_t miss_count() const noexcept { return misses_; }
+
+private:
+    struct Block {
+        std::uint64_t key;
+        std::int64_t size;
+    };
+
+    std::int64_t capacity_;
+    std::int64_t used_ = 0;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+    std::list<Block> lru_;  ///< front = most recent
+    std::unordered_map<std::uint64_t, std::list<Block>::iterator> index_;
+};
+
+/// Fraction of a `bytes_needed`-sized working set that stays resident in
+/// a cache of `capacity_bytes` between reuse passes (1 if it fits, else
+/// proportional).
+double resident_fraction(std::int64_t bytes_needed,
+                         std::int64_t capacity_bytes);
+
+}  // namespace mime::hw

@@ -1,0 +1,76 @@
+#include "hw/dse.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+std::vector<DesignResult> explore(const DesignSweep& sweep,
+                                  const std::vector<arch::LayerSpec>& layers,
+                                  const SimulationOptions& options) {
+    MIME_REQUIRE(!sweep.pe_array_sizes.empty() && !sweep.cache_bytes.empty(),
+                 "sweep axes must be non-empty");
+    std::vector<DesignResult> results;
+    results.reserve(sweep.pe_array_sizes.size() * sweep.cache_bytes.size());
+    for (const std::int64_t pe : sweep.pe_array_sizes) {
+        for (const std::int64_t cache : sweep.cache_bytes) {
+            SystolicConfig config = sweep.base;
+            config.pe_array_size = pe;
+            config.total_cache_bytes = cache;
+            const InferenceSimulator sim{config};
+            const SimulationResult run = sim.run(layers, options);
+
+            DesignResult r;
+            r.config = config;
+            r.total_energy = run.total_energy.total();
+            r.total_cycles = run.total_cycles;
+            r.label = "pe=" + std::to_string(pe) + " cache=" +
+                      std::to_string(cache / 1024) + "KB";
+            results.push_back(r);
+        }
+    }
+    return results;
+}
+
+std::vector<DesignResult> pareto_frontier(
+    const std::vector<DesignResult>& results) {
+    MIME_REQUIRE(!results.empty(), "no design results");
+    std::vector<DesignResult> frontier;
+    for (const auto& candidate : results) {
+        bool dominated = false;
+        for (const auto& other : results) {
+            const bool no_worse = other.total_energy <= candidate.total_energy &&
+                                  other.total_cycles <= candidate.total_cycles;
+            const bool strictly_better =
+                other.total_energy < candidate.total_energy ||
+                other.total_cycles < candidate.total_cycles;
+            if (no_worse && strictly_better) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            frontier.push_back(candidate);
+        }
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const DesignResult& a, const DesignResult& b) {
+                  return a.total_energy < b.total_energy;
+              });
+    return frontier;
+}
+
+const DesignResult& best_energy_delay(
+    const std::vector<DesignResult>& results) {
+    MIME_REQUIRE(!results.empty(), "no design results");
+    const DesignResult* best = &results.front();
+    for (const auto& r : results) {
+        if (r.energy_delay() < best->energy_delay()) {
+            best = &r;
+        }
+    }
+    return *best;
+}
+
+}  // namespace mime::hw

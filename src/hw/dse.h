@@ -1,0 +1,49 @@
+// Design-space exploration over systolic-array configurations.
+//
+// Generalizes the paper's Fig 9 ablation: sweep PE-array sizes and cache
+// budgets (optionally cache partitions), evaluate each design under a
+// fixed workload/scheme, and extract the energy-delay Pareto frontier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/simulator.h"
+
+namespace mime::hw {
+
+/// One evaluated design point.
+struct DesignResult {
+    SystolicConfig config;
+    double total_energy = 0.0;
+    double total_cycles = 0.0;
+    /// energy * delay — the scalar figure of merit used for ranking.
+    double energy_delay() const { return total_energy * total_cycles; }
+    std::string label;  ///< e.g. "pe=1024 cache=156KB"
+};
+
+/// Sweep axes. Every combination of the listed values is evaluated.
+struct DesignSweep {
+    std::vector<std::int64_t> pe_array_sizes{256, 512, 1024, 2048};
+    std::vector<std::int64_t> cache_bytes{96 * 1024, 128 * 1024, 156 * 1024,
+                                          256 * 1024};
+    /// Base config supplying all other parameters (energies, spads...).
+    SystolicConfig base{};
+};
+
+/// Evaluates the full sweep under `options` on `layers`.
+std::vector<DesignResult> explore(const DesignSweep& sweep,
+                                  const std::vector<arch::LayerSpec>& layers,
+                                  const SimulationOptions& options);
+
+/// Subset of `results` not dominated in (energy, cycles) — lower is
+/// better on both axes. Output is sorted by energy ascending.
+std::vector<DesignResult> pareto_frontier(
+    const std::vector<DesignResult>& results);
+
+/// The design with the lowest energy-delay product.
+const DesignResult& best_energy_delay(
+    const std::vector<DesignResult>& results);
+
+}  // namespace mime::hw

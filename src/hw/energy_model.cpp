@@ -1,0 +1,38 @@
+#include "hw/energy_model.h"
+
+namespace mime::hw {
+
+AccessCounts& AccessCounts::operator+=(const AccessCounts& other) {
+    dram_weight_words += other.dram_weight_words;
+    dram_threshold_words += other.dram_threshold_words;
+    dram_activation_in_words += other.dram_activation_in_words;
+    dram_activation_out_words += other.dram_activation_out_words;
+    cache_weight_words += other.cache_weight_words;
+    cache_threshold_words += other.cache_threshold_words;
+    cache_activation_words += other.cache_activation_words;
+    cache_output_words += other.cache_output_words;
+    reg_words += other.reg_words;
+    macs += other.macs;
+    cmps += other.cmps;
+    return *this;
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+    e_dram += other.e_dram;
+    e_cache += other.e_cache;
+    e_reg += other.e_reg;
+    e_mac += other.e_mac;
+    return *this;
+}
+
+EnergyBreakdown energy_from_counts(const AccessCounts& counts,
+                                   const SystolicConfig& config) {
+    EnergyBreakdown energy;
+    energy.e_dram = config.e_dram * counts.dram_total();
+    energy.e_cache = config.e_cache * counts.cache_total();
+    energy.e_reg = config.e_reg * counts.reg_words;
+    energy.e_mac = config.e_mac * counts.macs + config.e_cmp * counts.cmps;
+    return energy;
+}
+
+}  // namespace mime::hw

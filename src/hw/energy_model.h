@@ -1,0 +1,62 @@
+// Event counts and the normalized energy model (Table IV).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/systolic_config.h"
+
+namespace mime::hw {
+
+/// Raw event counts accumulated by the simulator for one layer (or
+/// summed over layers).
+struct AccessCounts {
+    // DRAM word transfers, split by stream.
+    double dram_weight_words = 0.0;
+    double dram_threshold_words = 0.0;
+    double dram_activation_in_words = 0.0;
+    double dram_activation_out_words = 0.0;
+
+    // Cache word accesses.
+    double cache_weight_words = 0.0;
+    double cache_threshold_words = 0.0;
+    double cache_activation_words = 0.0;
+    double cache_output_words = 0.0;
+
+    // PE-local scratchpad accesses.
+    double reg_words = 0.0;
+
+    // Compute.
+    double macs = 0.0;
+    double cmps = 0.0;
+
+    double dram_total() const {
+        return dram_weight_words + dram_threshold_words +
+               dram_activation_in_words + dram_activation_out_words;
+    }
+    double cache_total() const {
+        return cache_weight_words + cache_threshold_words +
+               cache_activation_words + cache_output_words;
+    }
+
+    AccessCounts& operator+=(const AccessCounts& other);
+};
+
+/// Normalized energies (units of one MAC op), mirroring the paper's four
+/// stacked components E_DRAM / E_cache / E_reg / E_MAC.
+struct EnergyBreakdown {
+    double e_dram = 0.0;
+    double e_cache = 0.0;
+    double e_reg = 0.0;
+    double e_mac = 0.0;
+
+    double total() const { return e_dram + e_cache + e_reg + e_mac; }
+
+    EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+};
+
+/// Applies the config's per-access energies to raw counts. CMP ops are
+/// charged at e_cmp and folded into the e_mac component.
+EnergyBreakdown energy_from_counts(const AccessCounts& counts,
+                                   const SystolicConfig& config);
+
+}  // namespace mime::hw

@@ -1,0 +1,93 @@
+#include "hw/report.h"
+
+#include <fstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace mime::hw {
+
+namespace {
+void require_runs(const std::vector<NamedResult>& runs) {
+    MIME_REQUIRE(!runs.empty(), "no runs to render");
+    for (const auto& run : runs) {
+        MIME_REQUIRE(run.result != nullptr, "null run '" + run.name + "'");
+        MIME_REQUIRE(run.result->layers.size() ==
+                         runs.front().result->layers.size(),
+                     "runs cover different layer counts");
+    }
+}
+}  // namespace
+
+std::string render_energy_table(const std::vector<NamedResult>& runs) {
+    require_runs(runs);
+    Table table({"layer", "run", "E_DRAM", "E_cache", "E_reg", "E_MAC",
+                 "total"});
+    const auto& layers = runs.front().result->layers;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        for (const auto& run : runs) {
+            const auto& l = run.result->layers[li];
+            table.add_row({l.name, run.name, Table::num(l.energy.e_dram, 0),
+                           Table::num(l.energy.e_cache, 0),
+                           Table::num(l.energy.e_reg, 0),
+                           Table::num(l.energy.e_mac, 0),
+                           Table::num(l.energy.total(), 0)});
+        }
+    }
+    return table.to_string();
+}
+
+std::string render_throughput_table(const std::vector<NamedResult>& runs) {
+    require_runs(runs);
+    std::vector<std::string> headers{"layer"};
+    for (const auto& run : runs) {
+        headers.push_back(run.name + " cycles");
+        if (&run != &runs.front()) {
+            headers.push_back(run.name + " speedup");
+        }
+    }
+    Table table(headers);
+    const auto& base_layers = runs.front().result->layers;
+    for (std::size_t li = 0; li < base_layers.size(); ++li) {
+        std::vector<std::string> row{base_layers[li].name};
+        const double base = base_layers[li].cycles;
+        for (const auto& run : runs) {
+            const double cycles = run.result->layers[li].cycles;
+            row.push_back(Table::num(cycles, 0));
+            if (&run != &runs.front()) {
+                row.push_back(Table::ratio(base / cycles));
+            }
+        }
+        table.add_row(row);
+    }
+    return table.to_string();
+}
+
+void write_csv(const std::vector<NamedResult>& runs, std::ostream& out) {
+    require_runs(runs);
+    out << "run,layer,e_dram,e_cache,e_reg,e_mac,total,cycles,"
+           "dram_weight_words,dram_threshold_words,dram_act_in_words,"
+           "dram_act_out_words,macs\n";
+    for (const auto& run : runs) {
+        for (const auto& l : run.result->layers) {
+            out << run.name << ',' << l.name << ',' << l.energy.e_dram << ','
+                << l.energy.e_cache << ',' << l.energy.e_reg << ','
+                << l.energy.e_mac << ',' << l.energy.total() << ','
+                << l.cycles << ',' << l.counts.dram_weight_words << ','
+                << l.counts.dram_threshold_words << ','
+                << l.counts.dram_activation_in_words << ','
+                << l.counts.dram_activation_out_words << ',' << l.counts.macs
+                << '\n';
+        }
+    }
+    MIME_ENSURE(out.good(), "failed to write CSV");
+}
+
+void write_csv_file(const std::vector<NamedResult>& runs,
+                    const std::string& path) {
+    std::ofstream out(path);
+    MIME_REQUIRE(out.is_open(), "cannot open '" + path + "' for writing");
+    write_csv(runs, out);
+}
+
+}  // namespace mime::hw

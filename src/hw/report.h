@@ -1,0 +1,39 @@
+// Rendering and export of simulation results.
+//
+// The bench harness prints paper-style tables; this module additionally
+// renders full per-layer breakdowns and exports CSV so results can be
+// re-plotted against the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hw/simulator.h"
+
+namespace mime::hw {
+
+/// One named simulation run (e.g. "Case-1", "MIME").
+struct NamedResult {
+    std::string name;
+    const SimulationResult* result = nullptr;
+};
+
+/// Renders a per-layer energy-breakdown table for several runs side by
+/// side (layer-major, one row per (layer, run)).
+std::string render_energy_table(const std::vector<NamedResult>& runs);
+
+/// Renders a per-layer cycles table with speedups relative to the first
+/// run.
+std::string render_throughput_table(const std::vector<NamedResult>& runs);
+
+/// Writes a CSV with one row per (run, layer):
+/// run,layer,e_dram,e_cache,e_reg,e_mac,total,cycles,
+/// dram_weight_words,dram_threshold_words,dram_act_in,dram_act_out,macs
+void write_csv(const std::vector<NamedResult>& runs, std::ostream& out);
+
+/// File convenience for write_csv.
+void write_csv_file(const std::vector<NamedResult>& runs,
+                    const std::string& path);
+
+}  // namespace mime::hw

@@ -1,0 +1,72 @@
+#include "hw/schedule.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+std::vector<std::int64_t> make_run_queue(std::int64_t tasks,
+                                         std::int64_t run_length,
+                                         std::int64_t total) {
+    MIME_REQUIRE(tasks > 0 && run_length > 0 && total > 0,
+                 "queue parameters must be positive");
+    std::vector<std::int64_t> queue;
+    queue.reserve(static_cast<std::size_t>(total));
+    std::int64_t task = 0;
+    while (static_cast<std::int64_t>(queue.size()) < total) {
+        for (std::int64_t i = 0;
+             i < run_length &&
+             static_cast<std::int64_t>(queue.size()) < total;
+             ++i) {
+            queue.push_back(task);
+        }
+        task = (task + 1) % tasks;
+    }
+    return queue;
+}
+
+QueueStats analyze_queue(const std::vector<std::int64_t>& queue) {
+    MIME_REQUIRE(!queue.empty(), "empty queue");
+    QueueStats stats;
+    stats.length = static_cast<std::int64_t>(queue.size());
+    std::vector<std::int64_t> seen;
+    std::int64_t runs = 1;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (std::find(seen.begin(), seen.end(), queue[i]) == seen.end()) {
+            seen.push_back(queue[i]);
+        }
+        if (i > 0 && queue[i] != queue[i - 1]) {
+            ++stats.task_switches;
+            ++runs;
+        }
+    }
+    stats.distinct_tasks = static_cast<std::int64_t>(seen.size());
+    stats.mean_run_length =
+        static_cast<double>(stats.length) / static_cast<double>(runs);
+    return stats;
+}
+
+std::vector<std::int64_t> task_major_order(
+    const std::vector<std::int64_t>& queue) {
+    std::vector<std::int64_t> sorted = queue;
+    std::stable_sort(sorted.begin(), sorted.end());
+    return sorted;
+}
+
+double queue_energy(const InferenceSimulator& simulator,
+                    const std::vector<arch::LayerSpec>& layers,
+                    Scheme scheme, const std::vector<std::int64_t>& queue,
+                    const std::vector<SparsityProfile>& profiles,
+                    double weight_sparsity) {
+    SimulationOptions options;
+    options.scheme = scheme;
+    options.batch = queue;
+    options.profiles = profiles;
+    options.weight_sparsity =
+        scheme == Scheme::pruned ? weight_sparsity : 0.0;
+    options.preserve_arrival_order = true;
+    return simulator.run(layers, options).total_energy.total();
+}
+
+}  // namespace mime::hw

@@ -1,0 +1,294 @@
+#include "hw/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "hw/cache_model.h"
+
+namespace mime::hw {
+
+std::string scheme_name(Scheme scheme) {
+    switch (scheme) {
+        case Scheme::baseline_dense: return "Case-1";
+        case Scheme::baseline_sparse: return "Case-2";
+        case Scheme::mime: return "MIME";
+        case Scheme::pruned: return "Pruned";
+    }
+    return "?";
+}
+
+void SimulationOptions::validate(std::int64_t layer_count) const {
+    MIME_REQUIRE(!batch.empty(), "batch must contain at least one image");
+    MIME_REQUIRE(!profiles.empty(), "at least one sparsity profile needed");
+    for (const auto task : batch) {
+        MIME_REQUIRE(task >= 0 &&
+                         task < static_cast<std::int64_t>(profiles.size()),
+                     "batch references unknown task " + std::to_string(task));
+    }
+    for (const auto& p : profiles) {
+        MIME_REQUIRE(p.layer_count() >= layer_count,
+                     "profile '" + p.name() + "' covers " +
+                         std::to_string(p.layer_count()) + " layers, need " +
+                         std::to_string(layer_count));
+    }
+    MIME_REQUIRE(weight_sparsity >= 0.0 && weight_sparsity < 1.0,
+                 "weight sparsity must be in [0, 1)");
+    if (scheme != Scheme::pruned) {
+        MIME_REQUIRE(weight_sparsity == 0.0,
+                     "weight sparsity applies to the pruned scheme only");
+    }
+}
+
+const LayerResult& SimulationResult::layer(const std::string& name) const {
+    for (const auto& l : layers) {
+        if (l.name == name) {
+            return l;
+        }
+    }
+    MIME_REQUIRE(false, "no layer named '" + name + "' in simulation result");
+    return layers.front();  // unreachable
+}
+
+InferenceSimulator::InferenceSimulator(SystolicConfig config)
+    : config_(config) {
+    config_.validate();
+}
+
+namespace {
+
+/// Number of distinct tasks in the batch (weight versions for the
+/// conventional schemes, threshold sets for MIME).
+std::int64_t distinct_tasks(const std::vector<std::int64_t>& batch) {
+    std::set<std::int64_t> tasks(batch.begin(), batch.end());
+    return static_cast<std::int64_t>(tasks.size());
+}
+
+/// Number of maximal same-task runs in arrival order (= task switches
+/// + 1); each run forces a parameter reload when versions cannot
+/// coexist in cache and the controller must preserve arrival order.
+std::int64_t task_runs(const std::vector<std::int64_t>& batch) {
+    std::int64_t runs = 1;
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+        if (batch[i] != batch[i - 1]) {
+            ++runs;
+        }
+    }
+    return runs;
+}
+
+/// Parameter-set loads for a stream needing `versions` distinct sets of
+/// `bytes_per_version` each: compulsory loads if they all fit the cache
+/// or the controller may reorder task-major; otherwise one load per
+/// same-task run.
+double version_loads(std::int64_t versions, double bytes_per_version,
+                     std::int64_t cache_bytes, bool preserve_order,
+                     std::int64_t runs) {
+    if (versions <= 1) {
+        return static_cast<double>(versions);
+    }
+    const bool all_fit =
+        bytes_per_version * static_cast<double>(versions) <=
+        static_cast<double>(cache_bytes);
+    if (all_fit || !preserve_order) {
+        return static_cast<double>(versions);
+    }
+    return static_cast<double>(runs);
+}
+
+}  // namespace
+
+LayerResult InferenceSimulator::simulate_layer(
+    const arch::LayerSpec& layer, std::int64_t layer_index,
+    const SimulationOptions& options, const Tiling& tiling) const {
+    const auto w_words = static_cast<double>(layer.weight_count());
+    const auto t_words = static_cast<double>(layer.neuron_count());
+    const auto a_words = static_cast<double>(
+        layer.in_channels * layer.in_height * layer.in_width);
+    const auto o_words = static_cast<double>(layer.neuron_count());
+    const auto m1 = static_cast<double>(layer.macs_per_neuron());
+    const double word_bytes = static_cast<double>(config_.word_bytes());
+
+    const bool zero_skip = options.scheme != Scheme::baseline_dense;
+    const bool has_thresholds = options.scheme == Scheme::mime;
+    const double keep_w = 1.0 - options.weight_sparsity;
+
+    const std::int64_t tasks = distinct_tasks(options.batch);
+    const std::int64_t weight_versions = has_thresholds ? 1 : tasks;
+    const std::int64_t threshold_versions = has_thresholds ? tasks : 0;
+
+    const double halo = tiling.halo_factor(layer);
+    const auto n_cb = static_cast<double>(tiling.channel_blocks);
+    const auto n_sb = static_cast<double>(tiling.spatial_blocks);
+
+    AccessCounts counts;
+
+    // ---- DRAM: weight versions ------------------------------------------
+    // The controller knows each queued input's task (paper §IV). By
+    // default it orders the per-tile image sweep task-major, so every
+    // needed weight version streams from DRAM once per layer: V_w loads.
+    // MIME's single shared version is the whole point — in Pipelined
+    // task mode V_w = 1 for MIME vs. V_w = #tasks conventionally. Under
+    // preserve_arrival_order, versions that cannot coexist in the weight
+    // cache are reloaded at every task switch instead.
+    const std::int64_t runs = task_runs(options.batch);
+    counts.dram_weight_words =
+        version_loads(weight_versions, w_words * word_bytes,
+                      config_.weight_cache_bytes(),
+                      options.preserve_arrival_order, runs) *
+        w_words;
+
+    // ---- DRAM: thresholds (MIME only) ------------------------------------
+    counts.dram_threshold_words =
+        version_loads(threshold_versions, t_words * word_bytes,
+                      config_.threshold_cache_bytes(),
+                      options.preserve_arrival_order, runs) *
+        t_words;
+
+    // ---- per-image streams -------------------------------------------------
+    double compute_cycles = 0.0;
+    for (const std::int64_t task : options.batch) {
+        const SparsityProfile& profile =
+            options.profiles[static_cast<std::size_t>(task)];
+        const double s_in = profile.input_sparsity(layer_index);
+        const double s_out = profile.output_sparsity(layer_index);
+        // Compute-path skipping uses the real activation sparsity; the
+        // dense baseline does not skip.
+        const double s_comp = zero_skip ? s_in : 0.0;
+        // DRAM layouts: zero-skipping schemes store activations
+        // compressed (non-zeros only); Case-1 stores dense maps.
+        const double s_storage_in = zero_skip ? s_in : 0.0;
+        const double s_storage_out = zero_skip ? s_out : 0.0;
+
+        // Input activations: loaded once if the (compressed) map stays
+        // cache-resident across channel-block passes; spilled fractions
+        // pay per-pass and halo re-fetches.
+        const double stored_in = a_words * (1.0 - s_storage_in);
+        const double resident = resident_fraction(
+            static_cast<std::int64_t>(stored_in * word_bytes),
+            config_.activation_cache_bytes());
+        const double touches = std::max(1.0, n_cb * halo);
+        counts.dram_activation_in_words +=
+            stored_in * (resident + (1.0 - resident) * touches);
+
+        // Output activations written back to DRAM (paper: outputs are
+        // stored back to off-chip memory).
+        counts.dram_activation_out_words += o_words * (1.0 - s_storage_out);
+        counts.cache_output_words += o_words * (1.0 - s_storage_out);
+
+        // Cache->PE operand traffic. A weight word is read once per
+        // spatial block and broadcast along its channel's pixel lanes; an
+        // activation word is read once per channel block (plus halo) and
+        // broadcast across channel lanes. Zero-skipping suppresses reads
+        // for zero activations and pruned weights.
+        counts.cache_weight_words +=
+            w_words * n_sb * (1.0 - s_comp) * keep_w;
+        counts.cache_activation_words +=
+            a_words * (1.0 - s_comp) * n_cb * halo;
+        if (has_thresholds) {
+            counts.cache_threshold_words += t_words;
+        }
+
+        // PE-local traffic and compute: 3 spad accesses per surviving MAC
+        // (weight read, activation read, psum update), plus per output a
+        // threshold read (MIME) and the masked-output write.
+        const double macs = o_words * m1 * (1.0 - s_comp) * keep_w;
+        counts.macs += macs;
+        counts.cmps += o_words;
+        counts.reg_words += 3.0 * macs + o_words * (has_thresholds ? 2.0 : 1.0);
+
+        // Each PE executes its surviving MACs sequentially; tiles run
+        // back-to-back with an array fill/drain bubble.
+        const double fill = static_cast<double>(tiling.channels_per_tile +
+                                                tiling.pixels_per_tile);
+        compute_cycles += static_cast<double>(tiling.tile_count()) *
+                          (m1 * (1.0 - s_comp) * keep_w + fill);
+    }
+
+    LayerResult result;
+    result.name = layer.name;
+    result.tiling = tiling;
+    result.counts = counts;
+    result.energy = energy_from_counts(counts, config_);
+    result.compute_cycles = compute_cycles;
+    result.memory_cycles = counts.dram_total() / config_.dram_words_per_cycle;
+    result.cycles = std::max(result.compute_cycles, result.memory_cycles);
+    return result;
+}
+
+SimulationResult InferenceSimulator::run(
+    const std::vector<arch::LayerSpec>& layers,
+    const SimulationOptions& options) const {
+    MIME_REQUIRE(!layers.empty(), "need at least one layer");
+    options.validate(static_cast<std::int64_t>(layers.size()));
+
+    SimulationResult result;
+    result.layers.reserve(layers.size());
+
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        const arch::LayerSpec& layer = layers[li];
+        layer.validate();
+
+        LayerResult best;
+        if (options.optimize_tiling) {
+            bool first = true;
+            for (const Tiling& tiling :
+                 enumerate_tilings(layer, config_.pe_array_size)) {
+                LayerResult candidate = simulate_layer(
+                    layer, static_cast<std::int64_t>(li), options, tiling);
+                if (first || candidate.energy.total() < best.energy.total()) {
+                    best = candidate;
+                    first = false;
+                }
+            }
+        } else {
+            best = simulate_layer(layer, static_cast<std::int64_t>(li),
+                                  options,
+                                  default_tiling(layer,
+                                                 config_.pe_array_size));
+        }
+
+        result.total_counts += best.counts;
+        result.total_energy += best.energy;
+        result.total_cycles += best.cycles;
+        result.layers.push_back(std::move(best));
+    }
+    return result;
+}
+
+SimulationOptions singular_options(Scheme scheme, PaperTask task,
+                                   std::int64_t batch_size) {
+    MIME_REQUIRE(batch_size > 0, "batch size must be positive");
+    SimulationOptions options;
+    options.scheme = scheme;
+    options.batch.assign(static_cast<std::size_t>(batch_size), 0);
+    if (scheme == Scheme::mime) {
+        options.profiles = {SparsityProfile::paper_mime(task)};
+    } else {
+        options.profiles = {SparsityProfile::paper_baseline(task)};
+    }
+    if (scheme == Scheme::pruned) {
+        options.weight_sparsity = 0.9;
+    }
+    return options;
+}
+
+SimulationOptions pipelined_options(Scheme scheme) {
+    SimulationOptions options;
+    options.scheme = scheme;
+    options.batch = {0, 1, 2};
+    const PaperTask tasks[] = {PaperTask::cifar10, PaperTask::cifar100,
+                               PaperTask::fmnist};
+    for (const PaperTask t : tasks) {
+        options.profiles.push_back(scheme == Scheme::mime
+                                       ? SparsityProfile::paper_mime(t)
+                                       : SparsityProfile::paper_baseline(t));
+    }
+    if (scheme == Scheme::pruned) {
+        options.weight_sparsity = 0.9;
+    }
+    return options;
+}
+
+}  // namespace mime::hw

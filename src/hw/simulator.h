@@ -1,0 +1,121 @@
+// The systolic-array inference simulator.
+//
+// Reproduces the paper's hardware evaluation: a batch of images (each
+// tagged with a task) streams through the network layer by layer under
+// OS dataflow. Four schemes are modeled:
+//
+//  * baseline_dense  — Case-1: conventional per-task weights, no
+//                      zero-skipping;
+//  * baseline_sparse — Case-2: conventional per-task weights, compute and
+//                      cache traffic skip zero activations (ReLU
+//                      sparsity);
+//  * mime            — Case-3: one shared W_parent + per-task thresholds,
+//                      zero-skipping at MIME's (higher) sparsity;
+//  * pruned          — Fig 8 comparators: conventional per-task weights
+//                      with 90% weight sparsity exploited by the compute
+//                      path (DRAM layouts stay dense, as in the paper's
+//                      accounting — its stated advantage of the pruned
+//                      models is the absence of threshold fetches, not
+//                      weight compression in DRAM).
+//
+// In Pipelined task mode the batch interleaves tasks, so conventional
+// schemes must keep one weight version per task; MIME keeps a single
+// version plus per-task thresholds. Version residency, activation-map
+// residency, tile-shape choice and halo re-fetching all follow from the
+// cache capacities and PE-array size, which is what the Fig 9 ablations
+// exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/layer_spec.h"
+#include "hw/energy_model.h"
+#include "hw/sparsity_profile.h"
+#include "hw/systolic_config.h"
+#include "hw/tiler.h"
+
+namespace mime::hw {
+
+/// Inference scheme (see file header).
+enum class Scheme { baseline_dense, baseline_sparse, mime, pruned };
+
+/// Returns the paper's name for a scheme ("Case-1", ...).
+std::string scheme_name(Scheme scheme);
+
+/// Options for one simulation run.
+struct SimulationOptions {
+    Scheme scheme = Scheme::mime;
+    /// One entry per image in arrival order; the value indexes
+    /// `profiles`. {0,0,0} is Singular task mode; {0,1,2} is Pipelined.
+    std::vector<std::int64_t> batch{0, 0, 0};
+    /// Per-task activation sparsity profiles (outputs per layer).
+    std::vector<SparsityProfile> profiles;
+    /// Layerwise weight sparsity exploited by the compute path
+    /// (Scheme::pruned; 0 otherwise).
+    double weight_sparsity = 0.0;
+    /// Let the mapper pick the cheapest tile shape per layer; otherwise
+    /// the largest-channel-block default is used.
+    bool optimize_tiling = true;
+    /// When false (default, the paper's assumption), the task-aware
+    /// controller may reorder the batch window task-major, so each weight
+    /// version streams from DRAM once per layer. When true, images are
+    /// processed in arrival order and a version is reloaded at every task
+    /// switch unless all needed versions fit the cache together — the
+    /// lever behind the interleaving-granularity ablation
+    /// (bench/ablation_interleaving).
+    bool preserve_arrival_order = false;
+
+    void validate(std::int64_t layer_count) const;
+};
+
+/// Per-layer simulation output.
+struct LayerResult {
+    std::string name;
+    Tiling tiling;
+    AccessCounts counts;
+    EnergyBreakdown energy;
+    double compute_cycles = 0.0;
+    double memory_cycles = 0.0;
+    /// max(compute, memory) — the layer's latency in PE cycles.
+    double cycles = 0.0;
+};
+
+/// Whole-network simulation output.
+struct SimulationResult {
+    std::vector<LayerResult> layers;
+    AccessCounts total_counts;
+    EnergyBreakdown total_energy;
+    double total_cycles = 0.0;
+
+    const LayerResult& layer(const std::string& name) const;
+};
+
+/// Runs batches through layer stacks under a fixed hardware config.
+class InferenceSimulator {
+public:
+    explicit InferenceSimulator(SystolicConfig config);
+
+    const SystolicConfig& config() const noexcept { return config_; }
+
+    /// Simulates one batch through `layers` (threshold-bearing layers of
+    /// the network, classifier excluded as in the paper's figures).
+    SimulationResult run(const std::vector<arch::LayerSpec>& layers,
+                         const SimulationOptions& options) const;
+
+private:
+    LayerResult simulate_layer(const arch::LayerSpec& layer,
+                               std::int64_t layer_index,
+                               const SimulationOptions& options,
+                               const Tiling& tiling) const;
+
+    SystolicConfig config_;
+};
+
+/// Convenience: builds the canonical three-task batches of the paper.
+SimulationOptions singular_options(Scheme scheme, PaperTask task,
+                                   std::int64_t batch_size = 3);
+SimulationOptions pipelined_options(Scheme scheme);
+
+}  // namespace mime::hw

@@ -1,0 +1,119 @@
+#include "hw/sparsity_profile.h"
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+namespace {
+
+// Paper Tables II / III report 11 of the 15 layers:
+// conv2 conv4 conv5 conv7 conv8 conv9 conv10 conv12 conv13 conv14 conv15.
+// Indices (0-based) of the reported layers in the 15-layer sequence:
+constexpr int kReported[11] = {1, 3, 4, 6, 7, 8, 9, 11, 12, 13, 14};
+
+// Table II: average layerwise neuronal sparsity due to MIME.
+constexpr double kMime[3][11] = {
+    // CIFAR10
+    {0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553,
+     0.6855, 0.657},
+    // CIFAR100
+    {0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388,
+     0.6703, 0.6571},
+    // F-MNIST
+    {0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125,
+     0.6138, 0.6287},
+};
+
+// Table III: average layerwise neuronal sparsity due to ReLU (baselines).
+constexpr double kBaseline[3][11] = {
+    // CIFAR10
+    {0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420,
+     0.5627, 0.5608},
+    // CIFAR100
+    {0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449,
+     0.5842, 0.6002},
+    // F-MNIST
+    {0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343,
+     0.5507, 0.5820},
+};
+
+std::vector<double> expand_reported(const double (&values)[11]) {
+    // Fill the 15-layer vector; unreported layers take the value of the
+    // nearest reported layer (ties resolve to the earlier layer).
+    std::vector<double> full(15, 0.0);
+    for (int layer = 0; layer < 15; ++layer) {
+        int best = 0;
+        int best_dist = 1 << 20;
+        for (int r = 0; r < 11; ++r) {
+            const int dist = layer >= kReported[r] ? layer - kReported[r]
+                                                   : kReported[r] - layer;
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = r;
+            }
+        }
+        full[static_cast<std::size_t>(layer)] = values[best];
+    }
+    return full;
+}
+
+const char* task_name(PaperTask task) {
+    switch (task) {
+        case PaperTask::cifar10: return "CIFAR10";
+        case PaperTask::cifar100: return "CIFAR100";
+        case PaperTask::fmnist: return "F-MNIST";
+    }
+    return "?";
+}
+
+}  // namespace
+
+SparsityProfile::SparsityProfile(std::string name,
+                                 std::vector<double> output_sparsity)
+    : name_(std::move(name)), output_sparsity_(std::move(output_sparsity)) {
+    MIME_REQUIRE(!output_sparsity_.empty(), "profile needs layers");
+    for (const double s : output_sparsity_) {
+        MIME_REQUIRE(s >= 0.0 && s < 1.0,
+                     "sparsity values must be in [0, 1)");
+    }
+}
+
+SparsityProfile SparsityProfile::uniform(std::string name, double sparsity,
+                                         std::int64_t layers) {
+    MIME_REQUIRE(layers > 0, "profile needs at least one layer");
+    return SparsityProfile(
+        std::move(name),
+        std::vector<double>(static_cast<std::size_t>(layers), sparsity));
+}
+
+SparsityProfile SparsityProfile::paper_mime(PaperTask task) {
+    return SparsityProfile(std::string("mime/") + task_name(task),
+                           expand_reported(kMime[static_cast<int>(task)]));
+}
+
+SparsityProfile SparsityProfile::paper_baseline(PaperTask task) {
+    return SparsityProfile(std::string("relu/") + task_name(task),
+                           expand_reported(kBaseline[static_cast<int>(task)]));
+}
+
+double SparsityProfile::output_sparsity(std::int64_t index) const {
+    MIME_REQUIRE(index >= 0 && index < layer_count(),
+                 "layer index out of range");
+    return output_sparsity_[static_cast<std::size_t>(index)];
+}
+
+double SparsityProfile::input_sparsity(std::int64_t index) const {
+    MIME_REQUIRE(index >= 0 && index < layer_count(),
+                 "layer index out of range");
+    return index == 0 ? 0.0 : output_sparsity(index - 1);
+}
+
+double SparsityProfile::average() const {
+    double acc = 0.0;
+    for (const double s : output_sparsity_) {
+        acc += s;
+    }
+    return acc / static_cast<double>(output_sparsity_.size());
+}
+
+}  // namespace mime::hw

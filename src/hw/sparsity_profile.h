@@ -1,0 +1,58 @@
+// Per-layer neuronal-sparsity profiles driving the hardware simulator.
+//
+// The simulator consumes, for each of the 15 threshold-bearing VGG16
+// layers, the average fraction of zero output activations. Profiles can
+// come from: the paper's published Tables II/III (default, so the
+// hardware reproduction does not depend on CPU training time), from a
+// model trained in this repository (core::SparsityReport), or from a
+// constant (ablations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mime::hw {
+
+/// Child tasks of the paper's evaluation, in paper order.
+enum class PaperTask { cifar10 = 0, cifar100 = 1, fmnist = 2 };
+
+/// Output-activation sparsity per layer for one task/model pair.
+class SparsityProfile {
+public:
+    /// Builds from explicit per-layer values (size must be 15).
+    SparsityProfile(std::string name, std::vector<double> output_sparsity);
+
+    /// Constant sparsity at every layer.
+    static SparsityProfile uniform(std::string name, double sparsity,
+                                   std::int64_t layers = 15);
+
+    /// Paper Table II: MIME threshold-induced sparsity for `task`.
+    /// Layers the table omits (conv1, conv3, conv6, conv11) are filled
+    /// with the nearest reported neighbour.
+    static SparsityProfile paper_mime(PaperTask task);
+
+    /// Paper Table III: baseline ReLU sparsity for `task`.
+    static SparsityProfile paper_baseline(PaperTask task);
+
+    const std::string& name() const noexcept { return name_; }
+    std::int64_t layer_count() const {
+        return static_cast<std::int64_t>(output_sparsity_.size());
+    }
+
+    /// Sparsity of layer `index`'s outputs (0-based: conv1 is 0).
+    double output_sparsity(std::int64_t index) const;
+
+    /// Sparsity of layer `index`'s *inputs*: 0 for the first layer (raw
+    /// images are dense), else the previous layer's output sparsity.
+    double input_sparsity(std::int64_t index) const;
+
+    /// Mean over layers.
+    double average() const;
+
+private:
+    std::string name_;
+    std::vector<double> output_sparsity_;
+};
+
+}  // namespace mime::hw

@@ -1,0 +1,48 @@
+#include "hw/systolic_config.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+namespace {
+std::int64_t carve(std::int64_t total, double fraction) {
+    return static_cast<std::int64_t>(
+        std::floor(static_cast<double>(total) * fraction));
+}
+}  // namespace
+
+std::int64_t SystolicConfig::weight_cache_bytes() const {
+    return carve(total_cache_bytes, weight_cache_fraction);
+}
+
+std::int64_t SystolicConfig::activation_cache_bytes() const {
+    return carve(total_cache_bytes, activation_cache_fraction);
+}
+
+std::int64_t SystolicConfig::threshold_cache_bytes() const {
+    return carve(total_cache_bytes, threshold_cache_fraction);
+}
+
+void SystolicConfig::validate() const {
+    MIME_REQUIRE(pe_array_size > 0, "PE array must have at least one PE");
+    MIME_REQUIRE(total_cache_bytes > 0, "cache budget must be positive");
+    MIME_REQUIRE(weight_cache_fraction > 0.0 &&
+                     activation_cache_fraction > 0.0 &&
+                     threshold_cache_fraction > 0.0,
+                 "cache fractions must be positive");
+    MIME_REQUIRE(weight_cache_fraction + activation_cache_fraction +
+                         threshold_cache_fraction <= 1.0 + 1e-9,
+                 "cache fractions must sum to at most 1");
+    MIME_REQUIRE(spad_bytes > 0, "spad must be non-empty");
+    MIME_REQUIRE(precision_bits > 0 && precision_bits % 8 == 0,
+                 "precision must be a positive multiple of 8 bits");
+    MIME_REQUIRE(e_dram > 0 && e_cache > 0 && e_reg > 0 && e_mac > 0,
+                 "energy constants must be positive");
+    MIME_REQUIRE(e_cmp >= 0, "e_cmp must be non-negative");
+    MIME_REQUIRE(dram_words_per_cycle > 0,
+                 "DRAM bandwidth must be positive");
+}
+
+}  // namespace mime::hw

@@ -1,0 +1,53 @@
+// Systolic-array accelerator configuration (paper Table IV).
+//
+// The accelerator is an Eyeriss-like spatial array in 65 nm CMOS running
+// an output-stationary (OS) dataflow. All energies are normalized to one
+// MAC operation: eDRAM = 200x, ecache = 6x, ereg (spad) = 2x, eMAC = 1x.
+#pragma once
+
+#include <cstdint>
+
+namespace mime::hw {
+
+/// Hardware parameters; defaults reproduce Table IV.
+struct SystolicConfig {
+    /// Number of processing elements (Table IV: 1024, i.e. a 32x32 array).
+    std::int64_t pe_array_size = 1024;
+
+    /// Total on-chip cache budget shared by the activation, weight and
+    /// threshold caches (Table IV: 156 KB). The per-cache capacities are
+    /// carved out by the fractions below.
+    std::int64_t total_cache_bytes = 156 * 1024;
+    double weight_cache_fraction = 0.50;
+    double activation_cache_fraction = 0.40;
+    double threshold_cache_fraction = 0.10;
+
+    /// Scratchpad bytes per PE (Table IV: 512 B).
+    std::int64_t spad_bytes = 512;
+
+    /// Bits per word for W, X, A and T (Table IV: 16).
+    int precision_bits = 16;
+
+    /// Energy per 16-bit access / op, normalized to one MAC (Table IV).
+    double e_dram = 200.0;
+    double e_cache = 6.0;
+    double e_reg = 2.0;
+    double e_mac = 1.0;
+    /// Comparator op energy. The paper folds CMP into its four reported
+    /// components; we count CMP ops separately and default their energy
+    /// contribution to 0 to keep component parity with the paper.
+    double e_cmp = 0.0;
+
+    /// DRAM words deliverable per cycle (throughput stall model only).
+    double dram_words_per_cycle = 8.0;
+
+    std::int64_t weight_cache_bytes() const;
+    std::int64_t activation_cache_bytes() const;
+    std::int64_t threshold_cache_bytes() const;
+    std::int64_t word_bytes() const { return precision_bits / 8; }
+
+    /// Throws unless the configuration is self-consistent.
+    void validate() const;
+};
+
+}  // namespace mime::hw

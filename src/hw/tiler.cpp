@@ -1,0 +1,72 @@
+#include "hw/tiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::hw {
+
+double Tiling::halo_factor(const arch::LayerSpec& layer) const {
+    if (layer.kind == arch::LayerKind::fc || layer.kernel == 1) {
+        return 1.0;
+    }
+    const std::int64_t spatial = layer.out_height() * layer.out_width();
+    if (pixels_per_tile >= spatial) {
+        return 1.0;
+    }
+    // Model a square tile of side sqrt(S_t): its receptive field extends
+    // (kernel - stride) beyond the tile on each side, so adjacent tiles
+    // re-fetch the overlap. Clamped to the single-pixel worst case.
+    const double side = std::sqrt(static_cast<double>(pixels_per_tile));
+    const double extent =
+        static_cast<double>(layer.kernel - layer.stride);
+    const double grown = (side * static_cast<double>(layer.stride) + extent);
+    const double factor =
+        (grown * grown) / (side * side *
+                           static_cast<double>(layer.stride * layer.stride));
+    const double worst = static_cast<double>(layer.kernel * layer.kernel) /
+                         static_cast<double>(layer.stride * layer.stride);
+    return std::clamp(factor, 1.0, worst);
+}
+
+std::vector<Tiling> enumerate_tilings(const arch::LayerSpec& layer,
+                                      std::int64_t pe_array_size) {
+    MIME_REQUIRE(pe_array_size > 0, "PE array must be positive");
+    layer.validate();
+
+    const std::int64_t co = layer.out_channels;
+    const std::int64_t spatial = layer.out_height() * layer.out_width();
+
+    std::vector<std::int64_t> channel_candidates;
+    for (std::int64_t c = 1; c < std::min(co, pe_array_size); c *= 2) {
+        channel_candidates.push_back(c);
+    }
+    channel_candidates.push_back(std::min(co, pe_array_size));
+
+    std::vector<Tiling> tilings;
+    for (const std::int64_t ct : channel_candidates) {
+        Tiling t;
+        t.channels_per_tile = ct;
+        t.pixels_per_tile =
+            std::min(spatial, std::max<std::int64_t>(1, pe_array_size / ct));
+        t.channel_blocks = (co + ct - 1) / ct;
+        t.spatial_blocks =
+            (spatial + t.pixels_per_tile - 1) / t.pixels_per_tile;
+        MIME_ENSURE(t.pe_used() <= pe_array_size,
+                    "tile exceeds the PE array");
+        MIME_ENSURE(t.channel_blocks * t.channels_per_tile >= co &&
+                        t.spatial_blocks * t.pixels_per_tile >= spatial,
+                    "tiling must cover all output neurons");
+        tilings.push_back(t);
+    }
+    return tilings;
+}
+
+Tiling default_tiling(const arch::LayerSpec& layer,
+                      std::int64_t pe_array_size) {
+    const auto tilings = enumerate_tilings(layer, pe_array_size);
+    return tilings.back();  // largest channel block
+}
+
+}  // namespace mime::hw

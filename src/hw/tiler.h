@@ -1,0 +1,52 @@
+// Output-stationary dataflow tiler.
+//
+// Under OS dataflow each PE owns one output neuron (channel c, pixel p)
+// of the current tile; a tile is a block of C_t channels x S_t pixels
+// with C_t * S_t <= PE-array size. Channel blocks are the outer loop so a
+// block's weights stay cache-resident across its spatial sweep (and
+// across the batch); activations are re-touched once per channel block.
+//
+// The tiler enumerates candidate tile shapes; the simulator's mapper
+// picks the cheapest per layer (a miniature Timeloop-style search).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layer_spec.h"
+
+namespace mime::hw {
+
+/// One concrete tiling of a layer onto the PE array.
+struct Tiling {
+    std::int64_t channels_per_tile = 1;  ///< C_t
+    std::int64_t pixels_per_tile = 1;    ///< S_t
+    std::int64_t channel_blocks = 1;     ///< ceil(Cout / C_t)
+    std::int64_t spatial_blocks = 1;     ///< ceil(Hout*Wout / S_t)
+
+    std::int64_t tile_count() const {
+        return channel_blocks * spatial_blocks;
+    }
+    std::int64_t pe_used() const {
+        return channels_per_tile * pixels_per_tile;
+    }
+
+    /// Ratio of activations touched (incl. halo overlap between adjacent
+    /// spatial tiles) to the layer's input activations. 1 for fc layers
+    /// and for full-map tiles; up to K^2/stride^2 for single-pixel tiles.
+    double halo_factor(const arch::LayerSpec& layer) const;
+};
+
+/// All candidate tilings for `layer` on `pe_array_size` PEs: C_t sweeps
+/// powers of two (plus Cout) up to min(Cout, PEs); S_t fills the
+/// remaining PEs up to the output map size. Every candidate covers each
+/// output neuron exactly once.
+std::vector<Tiling> enumerate_tilings(const arch::LayerSpec& layer,
+                                      std::int64_t pe_array_size);
+
+/// The natural (largest-channel-block) tiling, used when no cost-based
+/// choice is requested.
+Tiling default_tiling(const arch::LayerSpec& layer,
+                      std::int64_t pe_array_size);
+
+}  // namespace mime::hw

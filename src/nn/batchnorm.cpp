@@ -1,0 +1,156 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_("gamma", Tensor::ones({channels})),
+      beta_("beta", Tensor::zeros({channels})),
+      running_mean_("running_mean", Tensor::zeros({channels})),
+      running_var_("running_var", Tensor::ones({channels})) {
+    running_mean_.trainable = false;
+    running_var_.trainable = false;
+    MIME_REQUIRE(channels > 0, "BatchNorm2d channels must be positive");
+    MIME_REQUIRE(momentum > 0.0f && momentum <= 1.0f,
+                 "BatchNorm2d momentum must be in (0, 1]");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+    MIME_REQUIRE(input.shape().rank() == 4 &&
+                     input.shape().dim(1) == channels_,
+                 "BatchNorm2d expects [N, " + std::to_string(channels_) +
+                     ", H, W], got " + input.shape().to_string());
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t h = input.shape().dim(2);
+    const std::int64_t w = input.shape().dim(3);
+    const std::int64_t plane = h * w;
+    const std::int64_t per_channel = batch * plane;
+
+    cached_input_ = input;
+    cached_mean_ = Tensor({channels_});
+    cached_inv_std_ = Tensor({channels_});
+    Tensor output(input.shape());
+    cached_normalized_ = Tensor(input.shape());
+
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        double mean_acc = 0.0;
+        double var_acc = 0.0;
+        float mean_value;
+        float var_value;
+        if (training()) {
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* p = input.data() + (n * channels_ + c) * plane;
+                for (std::int64_t s = 0; s < plane; ++s) {
+                    mean_acc += p[s];
+                }
+            }
+            mean_value =
+                static_cast<float>(mean_acc / static_cast<double>(per_channel));
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* p = input.data() + (n * channels_ + c) * plane;
+                for (std::int64_t s = 0; s < plane; ++s) {
+                    const double d = p[s] - mean_value;
+                    var_acc += d * d;
+                }
+            }
+            var_value =
+                static_cast<float>(var_acc / static_cast<double>(per_channel));
+            running_mean_.value[c] = (1.0f - momentum_) * running_mean_.value[c] +
+                               momentum_ * mean_value;
+            running_var_.value[c] =
+                (1.0f - momentum_) * running_var_.value[c] + momentum_ * var_value;
+        } else {
+            mean_value = running_mean_.value[c];
+            var_value = running_var_.value[c];
+        }
+
+        const float inv_std = 1.0f / std::sqrt(var_value + epsilon_);
+        cached_mean_[c] = mean_value;
+        cached_inv_std_[c] = inv_std;
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* p = input.data() + (n * channels_ + c) * plane;
+            float* norm =
+                cached_normalized_.data() + (n * channels_ + c) * plane;
+            float* o = output.data() + (n * channels_ + c) * plane;
+            for (std::int64_t s = 0; s < plane; ++s) {
+                norm[s] = (p[s] - mean_value) * inv_std;
+                o[s] = g * norm[s] + b;
+            }
+        }
+    }
+    return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(grad_output.shape() == cached_input_.shape(),
+                 "BatchNorm2d::backward grad shape mismatch");
+    const std::int64_t batch = cached_input_.shape().dim(0);
+    const std::int64_t plane =
+        cached_input_.shape().dim(2) * cached_input_.shape().dim(3);
+    const auto m = static_cast<double>(batch * plane);
+
+    Tensor grad_input(cached_input_.shape());
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        double sum_gout = 0.0;
+        double sum_gout_norm = 0.0;
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* go = grad_output.data() + (n * channels_ + c) * plane;
+            const float* norm =
+                cached_normalized_.data() + (n * channels_ + c) * plane;
+            for (std::int64_t s = 0; s < plane; ++s) {
+                sum_gout += go[s];
+                sum_gout_norm += static_cast<double>(go[s]) * norm[s];
+            }
+        }
+        gamma_.grad[c] += static_cast<float>(sum_gout_norm);
+        beta_.grad[c] += static_cast<float>(sum_gout);
+
+        const float g = gamma_.value[c];
+        const float inv_std = cached_inv_std_[c];
+        if (training()) {
+            // Full batch-statistics adjoint.
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* go =
+                    grad_output.data() + (n * channels_ + c) * plane;
+                const float* norm =
+                    cached_normalized_.data() + (n * channels_ + c) * plane;
+                float* gi = grad_input.data() + (n * channels_ + c) * plane;
+                for (std::int64_t s = 0; s < plane; ++s) {
+                    const double term = static_cast<double>(go[s]) -
+                                        sum_gout / m -
+                                        norm[s] * sum_gout_norm / m;
+                    gi[s] = static_cast<float>(g * inv_std * term);
+                }
+            }
+        } else {
+            // Running statistics are constants in inference mode.
+            for (std::int64_t n = 0; n < batch; ++n) {
+                const float* go =
+                    grad_output.data() + (n * channels_ + c) * plane;
+                float* gi = grad_input.data() + (n * channels_ + c) * plane;
+                for (std::int64_t s = 0; s < plane; ++s) {
+                    gi[s] = g * inv_std * go[s];
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() {
+    return {&gamma_, &beta_};
+}
+
+std::vector<Parameter*> BatchNorm2d::buffers() {
+    return {&running_mean_, &running_var_};
+}
+
+}  // namespace mime::nn

@@ -1,0 +1,49 @@
+// Per-channel batch normalization for NCHW tensors.
+//
+// Not part of the paper's VGG16, but provided (and tested) so that
+// width-scaled backbones train reliably on CPU; the MIME network builder
+// can insert it behind a flag.
+#pragma once
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// BatchNorm2d with learnable affine parameters and running statistics
+/// for inference mode.
+class BatchNorm2d : public Module {
+public:
+    explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                         float epsilon = 1e-5f);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "BatchNorm2d"; }
+    std::vector<Parameter*> parameters() override;
+    /// Running statistics — persisted with the model, never optimized.
+    std::vector<Parameter*> buffers() override;
+
+    Parameter& gamma() noexcept { return gamma_; }
+    Parameter& beta() noexcept { return beta_; }
+    const Tensor& running_mean() const noexcept {
+        return running_mean_.value;
+    }
+    const Tensor& running_var() const noexcept { return running_var_.value; }
+
+private:
+    std::int64_t channels_;
+    float momentum_;
+    float epsilon_;
+    Parameter gamma_;
+    Parameter beta_;
+    Parameter running_mean_;  ///< buffer (trainable = false)
+    Parameter running_var_;   ///< buffer (trainable = false)
+
+    // Forward caches for the backward pass.
+    Tensor cached_input_;
+    Tensor cached_normalized_;
+    Tensor cached_inv_std_;  ///< per channel
+    Tensor cached_mean_;     ///< per channel
+};
+
+}  // namespace mime::nn

@@ -1,0 +1,188 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace mime::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+    MIME_REQUIRE(in_channels > 0 && out_channels > 0 && kernel > 0,
+                 "Conv2d extents must be positive");
+    MIME_REQUIRE(stride > 0 && padding >= 0, "Conv2d stride/padding invalid");
+    const std::int64_t fan_in = in_channels * kernel * kernel;
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    weight_ = Parameter(
+        "weight",
+        Tensor::randn({out_channels, in_channels, kernel, kernel}, rng, 0.0f,
+                      stddev));
+    if (bias) {
+        bias_.emplace("bias", Tensor::zeros({out_channels}));
+    }
+}
+
+ConvGeometry Conv2d::geometry_for(const Tensor& input) const {
+    MIME_REQUIRE(input.shape().rank() == 4,
+                 "Conv2d expects [N, C, H, W], got " +
+                     input.shape().to_string());
+    MIME_REQUIRE(input.shape().dim(1) == in_channels_,
+                 "Conv2d channel mismatch: layer expects " +
+                     std::to_string(in_channels_) + ", input has " +
+                     std::to_string(input.shape().dim(1)));
+    ConvGeometry g;
+    g.in_channels = in_channels_;
+    g.in_height = input.shape().dim(2);
+    g.in_width = input.shape().dim(3);
+    g.kernel = kernel_;
+    g.stride = stride_;
+    g.padding = padding_;
+    g.validate();
+    return g;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+    const ConvGeometry g = geometry_for(input);
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t spatial = ho * wo;
+    const std::int64_t ckk = g.col_rows();
+
+    cached_input_ = input;
+    Tensor output({batch, out_channels_, ho, wo});
+
+    const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
+    const std::int64_t out_stride = out_channels_ * spatial;
+
+    auto run_sample = [&](std::int64_t n, std::vector<float>& cols,
+                          ThreadPool* gemm_pool) {
+        im2col(g, input.data() + n * in_stride, cols.data());
+        float* out = output.data() + n * out_stride;
+        gemm(false, false, out_channels_, spatial, ckk, 1.0f,
+             weight_.value.data(), ckk, cols.data(), spatial, 0.0f, out,
+             spatial, gemm_pool);
+        if (bias_) {
+            const float* b = bias_->value.data();
+            for (std::int64_t c = 0; c < out_channels_; ++c) {
+                float* row = out + c * spatial;
+                for (std::int64_t s = 0; s < spatial; ++s) {
+                    row[s] += b[c];
+                }
+            }
+        }
+    };
+
+    if (pool_ != nullptr && batch > 1) {
+        // Parallelize across samples; each sample's GEMM stays
+        // single-threaded to avoid nested pool usage.
+        parallel_for(
+            *pool_, static_cast<std::size_t>(batch),
+            [&](std::size_t begin, std::size_t end) {
+                std::vector<float> cols(
+                    static_cast<std::size_t>(ckk * spatial));
+                for (std::size_t n = begin; n < end; ++n) {
+                    run_sample(static_cast<std::int64_t>(n), cols, nullptr);
+                }
+            },
+            /*min_chunk=*/1);
+    } else {
+        std::vector<float> cols(static_cast<std::size_t>(ckk * spatial));
+        for (std::int64_t n = 0; n < batch; ++n) {
+            run_sample(n, cols, pool_);
+        }
+    }
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(cached_input_.shape().rank() == 4,
+                 "Conv2d::backward called before forward");
+    const ConvGeometry g = geometry_for(cached_input_);
+    const std::int64_t batch = cached_input_.shape().dim(0);
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t spatial = ho * wo;
+    const std::int64_t ckk = g.col_rows();
+
+    MIME_REQUIRE(grad_output.shape() ==
+                     Shape({batch, out_channels_, ho, wo}),
+                 "Conv2d::backward grad shape mismatch: " +
+                     grad_output.shape().to_string());
+
+    Tensor grad_input(cached_input_.shape());
+    const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
+    const std::int64_t out_stride = out_channels_ * spatial;
+
+    std::mutex accumulate_mutex;
+
+    auto run_range = [&](std::size_t begin, std::size_t end) {
+        std::vector<float> cols(static_cast<std::size_t>(ckk * spatial));
+        std::vector<float> grad_cols(static_cast<std::size_t>(ckk * spatial));
+        Tensor local_grad_w(weight_.grad.shape());
+        Tensor local_grad_b =
+            bias_ ? Tensor(bias_->grad.shape()) : Tensor();
+
+        for (std::size_t un = begin; un < end; ++un) {
+            const auto n = static_cast<std::int64_t>(un);
+            const float* gout = grad_output.data() + n * out_stride;
+
+            // grad_W += gout [Cout, S] x cols^T [S, CKK]
+            im2col(g, cached_input_.data() + n * in_stride, cols.data());
+            gemm(false, true, out_channels_, ckk, spatial, 1.0f, gout, spatial,
+                 cols.data(), spatial, 1.0f, local_grad_w.data(), ckk,
+                 nullptr);
+
+            if (bias_) {
+                float* gb = local_grad_b.data();
+                for (std::int64_t c = 0; c < out_channels_; ++c) {
+                    const float* row = gout + c * spatial;
+                    double acc = 0.0;
+                    for (std::int64_t s = 0; s < spatial; ++s) {
+                        acc += row[s];
+                    }
+                    gb[c] += static_cast<float>(acc);
+                }
+            }
+
+            // grad_cols = W^T [CKK, Cout] x gout [Cout, S]
+            gemm(true, false, ckk, spatial, out_channels_, 1.0f,
+                 weight_.value.data(), ckk, gout, spatial, 0.0f,
+                 grad_cols.data(), spatial, nullptr);
+            col2im(g, grad_cols.data(), grad_input.data() + n * in_stride);
+        }
+
+        std::lock_guard lock(accumulate_mutex);
+        weight_.grad.axpy(1.0f, local_grad_w);
+        if (bias_) {
+            bias_->grad.axpy(1.0f, local_grad_b);
+        }
+    };
+
+    if (pool_ != nullptr && batch > 1) {
+        parallel_for(*pool_, static_cast<std::size_t>(batch), run_range,
+                     /*min_chunk=*/1);
+    } else {
+        run_range(0, static_cast<std::size_t>(batch));
+    }
+    return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+    std::vector<Parameter*> params{&weight_};
+    if (bias_) {
+        params.push_back(&*bias_);
+    }
+    return params;
+}
+
+}  // namespace mime::nn

@@ -1,0 +1,49 @@
+// 2-D convolution layer (NCHW, square kernels, symmetric padding).
+#pragma once
+
+#include <optional>
+
+#include "nn/module.h"
+#include "tensor/im2col.h"
+
+namespace mime::nn {
+
+/// Conv2d lowered to GEMM via im2col. Weight layout is
+/// [out_channels, in_channels, k, k]; contiguity makes the same buffer a
+/// [out_channels, in_channels*k*k] row-major matrix for the GEMM.
+class Conv2d : public Module {
+public:
+    /// He-normal weight init (fan-in), zero bias.
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+           std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+           Rng& rng, bool bias = true);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "Conv2d"; }
+    std::vector<Parameter*> parameters() override;
+
+    Parameter& weight() noexcept { return weight_; }
+    Parameter& bias() { return bias_.value(); }
+    bool has_bias() const noexcept { return bias_.has_value(); }
+
+    std::int64_t in_channels() const noexcept { return in_channels_; }
+    std::int64_t out_channels() const noexcept { return out_channels_; }
+    std::int64_t kernel() const noexcept { return kernel_; }
+    std::int64_t stride() const noexcept { return stride_; }
+    std::int64_t padding() const noexcept { return padding_; }
+
+private:
+    ConvGeometry geometry_for(const Tensor& input) const;
+
+    std::int64_t in_channels_;
+    std::int64_t out_channels_;
+    std::int64_t kernel_;
+    std::int64_t stride_;
+    std::int64_t padding_;
+    Parameter weight_;
+    std::optional<Parameter> bias_;
+    Tensor cached_input_;  ///< saved by forward for the backward pass
+};
+
+}  // namespace mime::nn

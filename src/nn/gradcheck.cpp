@@ -1,0 +1,131 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+namespace {
+
+double scalar_head(Module& module, const Tensor& input,
+                   const Tensor& head_weights) {
+    const Tensor out = module.forward(input);
+    MIME_REQUIRE(out.shape() == head_weights.shape(),
+                 "gradcheck head shape mismatch");
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        acc += static_cast<double>(out[i]) * head_weights[i];
+    }
+    return acc;
+}
+
+void update_result(GradCheckResult& result, double analytic, double numeric,
+                   const GradCheckOptions& options, const std::string& where) {
+    const double abs_err = std::abs(analytic - numeric);
+    const double denom =
+        std::max({std::abs(analytic), std::abs(numeric), 1e-8});
+    const double rel_err = abs_err / denom;
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    ++result.checked_count;
+    const bool ok =
+        abs_err <= options.absolute_floor || rel_err <= options.tolerance;
+    if (!ok && result.passed) {
+        result.passed = false;
+        result.detail = where + ": analytic " + std::to_string(analytic) +
+                        " vs numeric " + std::to_string(numeric);
+    }
+    if (ok) {
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    } else {
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    }
+}
+
+std::vector<std::int64_t> probe_indices(std::int64_t numel,
+                                        std::int64_t max_count, Rng& rng) {
+    std::vector<std::int64_t> indices;
+    if (numel <= max_count) {
+        indices.resize(static_cast<std::size_t>(numel));
+        for (std::int64_t i = 0; i < numel; ++i) {
+            indices[static_cast<std::size_t>(i)] = i;
+        }
+        return indices;
+    }
+    indices.reserve(static_cast<std::size_t>(max_count));
+    for (std::int64_t i = 0; i < max_count; ++i) {
+        indices.push_back(static_cast<std::int64_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(numel))));
+    }
+    return indices;
+}
+
+}  // namespace
+
+GradCheckResult check_input_gradient(Module& module, const Tensor& input,
+                                     Rng& rng,
+                                     const GradCheckOptions& options) {
+    GradCheckResult result;
+    result.passed = true;
+
+    // Fixed random head so the scalar objective touches all outputs.
+    Tensor probe_out = module.forward(input);
+    const Tensor head = Tensor::randn(probe_out.shape(), rng);
+
+    // Analytic pass.
+    module.forward(input);
+    const Tensor analytic = module.backward(head);
+    MIME_REQUIRE(analytic.shape() == input.shape(),
+                 "backward returned wrong input-grad shape");
+
+    Tensor x = input;
+    for (const std::int64_t i :
+         probe_indices(input.numel(), options.max_coordinates, rng)) {
+        const float saved = x[i];
+        x[i] = saved + static_cast<float>(options.epsilon);
+        const double plus = scalar_head(module, x, head);
+        x[i] = saved - static_cast<float>(options.epsilon);
+        const double minus = scalar_head(module, x, head);
+        x[i] = saved;
+        const double numeric = (plus - minus) / (2.0 * options.epsilon);
+        update_result(result, analytic[i], numeric, options,
+                      "input[" + std::to_string(i) + "]");
+    }
+    return result;
+}
+
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input,
+                                          Rng& rng,
+                                          const GradCheckOptions& options) {
+    GradCheckResult result;
+    result.passed = true;
+
+    Tensor probe_out = module.forward(input);
+    const Tensor head = Tensor::randn(probe_out.shape(), rng);
+
+    for (Parameter* p : module.parameters()) {
+        p->zero_grad();
+    }
+    module.forward(input);
+    module.backward(head);
+
+    for (Parameter* p : module.parameters()) {
+        Tensor analytic = p->grad;  // copy before we perturb
+        for (const std::int64_t i :
+             probe_indices(p->numel(), options.max_coordinates, rng)) {
+            const float saved = p->value[i];
+            p->value[i] = saved + static_cast<float>(options.epsilon);
+            const double plus = scalar_head(module, input, head);
+            p->value[i] = saved - static_cast<float>(options.epsilon);
+            const double minus = scalar_head(module, input, head);
+            p->value[i] = saved;
+            const double numeric = (plus - minus) / (2.0 * options.epsilon);
+            update_result(result, analytic[i], numeric, options,
+                          p->name + "[" + std::to_string(i) + "]");
+        }
+    }
+    return result;
+}
+
+}  // namespace mime::nn

@@ -1,0 +1,45 @@
+// Numerical gradient verification.
+//
+// Compares analytic backward() gradients against central finite
+// differences through an arbitrary scalar head. Used extensively by the
+// test suite, including for the MIME threshold straight-through estimator
+// (where agreement is only expected away from the mask discontinuity).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// Result of one gradient check.
+struct GradCheckResult {
+    double max_abs_error = 0.0;
+    double max_rel_error = 0.0;
+    std::int64_t checked_count = 0;
+    bool passed = false;
+    std::string detail;  ///< first offending coordinate, if any
+};
+
+/// Options controlling the finite-difference sweep.
+struct GradCheckOptions {
+    double epsilon = 1e-3;       ///< finite-difference step
+    double tolerance = 5e-2;     ///< max allowed relative error
+    double absolute_floor = 1e-4;///< abs errors below this always pass
+    std::int64_t max_coordinates = 64;  ///< probe at most this many entries
+};
+
+/// Checks d(scalar head)/d(input) of `module` at `input`. The scalar head
+/// is sum(output ⊙ head_weights) with fixed random head weights, which
+/// exercises every output coordinate.
+GradCheckResult check_input_gradient(Module& module, const Tensor& input,
+                                     Rng& rng,
+                                     const GradCheckOptions& options = {});
+
+/// Checks d(scalar head)/d(parameter) for every parameter of `module`.
+GradCheckResult check_parameter_gradients(Module& module, const Tensor& input,
+                                          Rng& rng,
+                                          const GradCheckOptions& options = {});
+
+}  // namespace mime::nn

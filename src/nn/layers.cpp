@@ -1,0 +1,77 @@
+#include "nn/layers.h"
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+    Tensor output(input.shape());
+    cached_mask_ = Tensor(input.shape());
+    std::int64_t zeros = 0;
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        if (input[i] > 0.0f) {
+            output[i] = input[i];
+            cached_mask_[i] = 1.0f;
+        } else {
+            output[i] = 0.0f;
+            cached_mask_[i] = 0.0f;
+            ++zeros;
+        }
+    }
+    last_sparsity_ =
+        static_cast<double>(zeros) / static_cast<double>(input.numel());
+    return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(cached_mask_.shape() == grad_output.shape(),
+                 "ReLU::backward grad shape mismatch");
+    return mul(grad_output, cached_mask_);
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+    MIME_REQUIRE(input.shape().rank() >= 2,
+                 "Flatten expects a batched tensor, got " +
+                     input.shape().to_string());
+    cached_input_shape_ = input.shape();
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t features = input.numel() / batch;
+    return input.reshaped({batch, features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(grad_output.numel() == cached_input_shape_.numel(),
+                 "Flatten::backward grad size mismatch");
+    return grad_output.reshaped(cached_input_shape_);
+}
+
+Dropout::Dropout(double drop_probability, Rng& rng)
+    : drop_probability_(drop_probability), rng_(rng.fork()) {
+    MIME_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0,
+                 "dropout probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+    if (!training() || drop_probability_ == 0.0) {
+        cached_scale_ = Tensor::ones(input.shape());
+        return input;
+    }
+    const float keep_scale =
+        static_cast<float>(1.0 / (1.0 - drop_probability_));
+    cached_scale_ = Tensor(input.shape());
+    Tensor output(input.shape());
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+        const float s = rng_.bernoulli(drop_probability_) ? 0.0f : keep_scale;
+        cached_scale_[i] = s;
+        output[i] = input[i] * s;
+    }
+    return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(cached_scale_.shape() == grad_output.shape(),
+                 "Dropout::backward grad shape mismatch");
+    return mul(grad_output, cached_scale_);
+}
+
+}  // namespace mime::nn

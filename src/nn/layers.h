@@ -1,0 +1,61 @@
+// Stateless / lightweight layers: ReLU, Flatten, Dropout, Identity.
+#pragma once
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// Elementwise max(x, 0). The baseline activation whose induced zero
+/// fraction is the "sparsity due to ReLU" of the paper's Table III.
+class ReLU : public Module {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "ReLU"; }
+
+    /// Zero fraction of the most recent forward output (layerwise
+    /// neuronal sparsity of the batch).
+    double last_sparsity() const noexcept { return last_sparsity_; }
+
+private:
+    Tensor cached_mask_;  ///< 1 where input > 0
+    double last_sparsity_ = 0.0;
+};
+
+/// Collapses [N, ...] to [N, features].
+class Flatten : public Module {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "Flatten"; }
+
+private:
+    Shape cached_input_shape_;
+};
+
+/// Inverted dropout; active only in training mode.
+class Dropout : public Module {
+public:
+    Dropout(double drop_probability, Rng& rng);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "Dropout"; }
+
+    double drop_probability() const noexcept { return drop_probability_; }
+
+private:
+    double drop_probability_;
+    Rng rng_;
+    Tensor cached_scale_;  ///< 0 or 1/(1-p) per element
+};
+
+/// Pass-through; useful as a placeholder when composing variants.
+class Identity : public Module {
+public:
+    Tensor forward(const Tensor& input) override { return input; }
+    Tensor backward(const Tensor& grad_output) override { return grad_output; }
+    std::string kind() const override { return "Identity"; }
+};
+
+}  // namespace mime::nn

@@ -1,0 +1,91 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace mime::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+    MIME_REQUIRE(in_features > 0 && out_features > 0,
+                 "Linear extents must be positive");
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+    weight_ = Parameter(
+        "weight", Tensor::randn({out_features, in_features}, rng, 0.0f,
+                                stddev));
+    if (bias) {
+        bias_.emplace("bias", Tensor::zeros({out_features}));
+    }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+    MIME_REQUIRE(input.shape().rank() == 2,
+                 "Linear expects [N, features], got " +
+                     input.shape().to_string());
+    MIME_REQUIRE(input.shape().dim(1) == in_features_,
+                 "Linear feature mismatch: layer expects " +
+                     std::to_string(in_features_) + ", input has " +
+                     std::to_string(input.shape().dim(1)));
+    cached_input_ = input;
+    const std::int64_t batch = input.shape().dim(0);
+
+    Tensor output({batch, out_features_});
+    // out[N, O] = x[N, I] * W^T[I, O]
+    gemm(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
+         in_features_, weight_.value.data(), in_features_, 0.0f, output.data(),
+         out_features_, pool_);
+    if (bias_) {
+        const float* b = bias_->value.data();
+        for (std::int64_t n = 0; n < batch; ++n) {
+            float* row = output.data() + n * out_features_;
+            for (std::int64_t o = 0; o < out_features_; ++o) {
+                row[o] += b[o];
+            }
+        }
+    }
+    return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(cached_input_.shape().rank() == 2,
+                 "Linear::backward called before forward");
+    const std::int64_t batch = cached_input_.shape().dim(0);
+    MIME_REQUIRE(grad_output.shape() == Shape({batch, out_features_}),
+                 "Linear::backward grad shape mismatch: " +
+                     grad_output.shape().to_string());
+
+    // grad_W += gout^T[O, N] * x[N, I]
+    gemm(true, false, out_features_, in_features_, batch, 1.0f,
+         grad_output.data(), out_features_, cached_input_.data(), in_features_,
+         1.0f, weight_.grad.data(), in_features_, pool_);
+
+    if (bias_) {
+        float* gb = bias_->grad.data();
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* row = grad_output.data() + n * out_features_;
+            for (std::int64_t o = 0; o < out_features_; ++o) {
+                gb[o] += row[o];
+            }
+        }
+    }
+
+    // grad_x[N, I] = gout[N, O] * W[O, I]
+    Tensor grad_input({batch, in_features_});
+    gemm(false, false, batch, in_features_, out_features_, 1.0f,
+         grad_output.data(), out_features_, weight_.value.data(), in_features_,
+         0.0f, grad_input.data(), in_features_, pool_);
+    return grad_input;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+    std::vector<Parameter*> params{&weight_};
+    if (bias_) {
+        params.push_back(&*bias_);
+    }
+    return params;
+}
+
+}  // namespace mime::nn

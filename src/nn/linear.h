@@ -1,0 +1,39 @@
+// Fully-connected layer.
+#pragma once
+
+#include <optional>
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// y[N, out] = x[N, in] * W^T + b. Weight layout [out_features,
+/// in_features] (row per output neuron, matching Conv2d's channel-major
+/// convention).
+class Linear : public Module {
+public:
+    /// He-normal weight init (fan-in), zero bias.
+    Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "Linear"; }
+    std::vector<Parameter*> parameters() override;
+
+    Parameter& weight() noexcept { return weight_; }
+    Parameter& bias() { return bias_.value(); }
+    bool has_bias() const noexcept { return bias_.has_value(); }
+
+    std::int64_t in_features() const noexcept { return in_features_; }
+    std::int64_t out_features() const noexcept { return out_features_; }
+
+private:
+    std::int64_t in_features_;
+    std::int64_t out_features_;
+    Parameter weight_;
+    std::optional<Parameter> bias_;
+    Tensor cached_input_;
+};
+
+}  // namespace mime::nn

@@ -1,0 +1,68 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+    MIME_REQUIRE(logits.shape().rank() == 2,
+                 "SoftmaxCrossEntropy expects [N, classes], got " +
+                     logits.shape().to_string());
+    const std::int64_t batch = logits.shape().dim(0);
+    const std::int64_t classes = logits.shape().dim(1);
+    MIME_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch,
+                 "label count " + std::to_string(labels.size()) +
+                     " does not match batch " + std::to_string(batch));
+
+    const Tensor log_probs = log_softmax_rows(logits);
+    cached_probabilities_ = Tensor(logits.shape());
+    cached_labels_ = labels;
+    last_correct_ = 0;
+
+    double loss = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const std::int64_t label = labels[static_cast<std::size_t>(n)];
+        MIME_REQUIRE(label >= 0 && label < classes,
+                     "label " + std::to_string(label) +
+                         " out of range for " + std::to_string(classes) +
+                         " classes");
+        const float* lp = log_probs.data() + n * classes;
+        loss -= lp[label];
+
+        float* probs = cached_probabilities_.data() + n * classes;
+        std::int64_t best = 0;
+        for (std::int64_t c = 0; c < classes; ++c) {
+            probs[c] = std::exp(lp[c]);
+            if (lp[c] > lp[best]) {
+                best = c;
+            }
+        }
+        if (best == label) {
+            ++last_correct_;
+        }
+    }
+    return loss / static_cast<double>(batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+    MIME_REQUIRE(cached_probabilities_.shape().rank() == 2,
+                 "SoftmaxCrossEntropy::backward called before forward");
+    const std::int64_t batch = cached_probabilities_.shape().dim(0);
+    const std::int64_t classes = cached_probabilities_.shape().dim(1);
+    Tensor grad = cached_probabilities_;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::int64_t n = 0; n < batch; ++n) {
+        float* row = grad.data() + n * classes;
+        row[cached_labels_[static_cast<std::size_t>(n)]] -= 1.0f;
+        for (std::int64_t c = 0; c < classes; ++c) {
+            row[c] *= inv_batch;
+        }
+    }
+    return grad;
+}
+
+}  // namespace mime::nn

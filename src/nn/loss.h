@@ -1,0 +1,32 @@
+// Loss functions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mime::nn {
+
+/// Softmax + cross-entropy fused loss over logits [N, classes] and
+/// integer labels. `forward` returns the mean loss; `backward` returns
+/// dL/dlogits (already divided by batch size).
+class SoftmaxCrossEntropy {
+public:
+    /// Mean cross-entropy of the batch.
+    double forward(const Tensor& logits,
+                   const std::vector<std::int64_t>& labels);
+
+    /// Gradient w.r.t. the logits of the most recent forward call.
+    Tensor backward() const;
+
+    /// Number of correct argmax predictions in the most recent forward.
+    std::int64_t last_correct() const noexcept { return last_correct_; }
+
+private:
+    Tensor cached_probabilities_;
+    std::vector<std::int64_t> cached_labels_;
+    std::int64_t last_correct_ = 0;
+};
+
+}  // namespace mime::nn

@@ -1,0 +1,48 @@
+#include "nn/lr_schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+LrSchedule constant_lr() {
+    return [](std::int64_t, float base) { return base; };
+}
+
+LrSchedule step_decay(std::int64_t step_epochs, float gamma) {
+    MIME_REQUIRE(step_epochs > 0, "step_epochs must be positive");
+    MIME_REQUIRE(gamma > 0.0f && gamma <= 1.0f, "gamma must be in (0, 1]");
+    return [step_epochs, gamma](std::int64_t epoch, float base) {
+        const auto steps = epoch / step_epochs;
+        return base * std::pow(gamma, static_cast<float>(steps));
+    };
+}
+
+LrSchedule cosine_annealing(std::int64_t total_epochs, float min_lr) {
+    MIME_REQUIRE(total_epochs > 0, "total_epochs must be positive");
+    MIME_REQUIRE(min_lr >= 0.0f, "min_lr must be non-negative");
+    return [total_epochs, min_lr](std::int64_t epoch, float base) {
+        const double progress =
+            std::min(1.0, static_cast<double>(epoch) /
+                              static_cast<double>(total_epochs));
+        const double cosine =
+            0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+        return static_cast<float>(min_lr + (base - min_lr) * cosine);
+    };
+}
+
+LrSchedule with_warmup(std::int64_t warmup_epochs, LrSchedule inner) {
+    MIME_REQUIRE(warmup_epochs >= 0, "warmup must be non-negative");
+    MIME_REQUIRE(inner != nullptr, "inner schedule required");
+    return [warmup_epochs, inner](std::int64_t epoch, float base) {
+        if (epoch < warmup_epochs) {
+            return base * static_cast<float>(epoch + 1) /
+                   static_cast<float>(warmup_epochs);
+        }
+        return inner(epoch - warmup_epochs, base);
+    };
+}
+
+}  // namespace mime::nn

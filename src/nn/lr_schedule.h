@@ -1,0 +1,28 @@
+// Learning-rate schedules.
+//
+// The paper trains thresholds with a flat Adam lr of 1e-3; schedules are
+// provided for the longer backbone/fine-tuning runs where step decay or
+// cosine annealing measurably improves the mini-scale baselines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mime::nn {
+
+/// Maps (epoch index from 0, base lr) -> lr for that epoch.
+using LrSchedule = std::function<float(std::int64_t, float)>;
+
+/// Always the base learning rate.
+LrSchedule constant_lr();
+
+/// Multiplies the lr by `gamma` every `step_epochs` epochs.
+LrSchedule step_decay(std::int64_t step_epochs, float gamma);
+
+/// Cosine annealing from base lr to `min_lr` over `total_epochs`.
+LrSchedule cosine_annealing(std::int64_t total_epochs, float min_lr = 0.0f);
+
+/// Linear warmup over `warmup_epochs` then the inner schedule.
+LrSchedule with_warmup(std::int64_t warmup_epochs, LrSchedule inner);
+
+}  // namespace mime::nn

@@ -1,0 +1,162 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t classes)
+    : classes_(classes),
+      counts_(static_cast<std::size_t>(classes * classes), 0) {
+    MIME_REQUIRE(classes > 0, "confusion matrix needs classes");
+}
+
+void ConfusionMatrix::add(std::int64_t true_label,
+                          std::int64_t predicted_label) {
+    MIME_REQUIRE(true_label >= 0 && true_label < classes_,
+                 "true label out of range");
+    MIME_REQUIRE(predicted_label >= 0 && predicted_label < classes_,
+                 "predicted label out of range");
+    ++counts_[static_cast<std::size_t>(true_label * classes_ +
+                                       predicted_label)];
+    ++total_;
+}
+
+void ConfusionMatrix::add_batch(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+    MIME_REQUIRE(logits.shape().rank() == 2 &&
+                     logits.shape().dim(1) >= classes_,
+                 "logits shape incompatible with confusion matrix");
+    MIME_REQUIRE(static_cast<std::int64_t>(labels.size()) ==
+                     logits.shape().dim(0),
+                 "label count mismatch");
+    const std::int64_t cols = logits.shape().dim(1);
+    for (std::int64_t n = 0; n < logits.shape().dim(0); ++n) {
+        const float* row = logits.data() + n * cols;
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < classes_; ++c) {
+            if (row[c] > row[best]) {
+                best = c;
+            }
+        }
+        add(labels[static_cast<std::size_t>(n)], best);
+    }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t true_label,
+                                    std::int64_t predicted_label) const {
+    MIME_REQUIRE(true_label >= 0 && true_label < classes_ &&
+                     predicted_label >= 0 && predicted_label < classes_,
+                 "label out of range");
+    return counts_[static_cast<std::size_t>(true_label * classes_ +
+                                            predicted_label)];
+}
+
+double ConfusionMatrix::accuracy() const {
+    MIME_REQUIRE(total_ > 0, "empty confusion matrix");
+    std::int64_t diagonal = 0;
+    for (std::int64_t c = 0; c < classes_; ++c) {
+        diagonal += count(c, c);
+    }
+    return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+    std::vector<double> result(static_cast<std::size_t>(classes_), 0.0);
+    for (std::int64_t c = 0; c < classes_; ++c) {
+        std::int64_t row_sum = 0;
+        for (std::int64_t p = 0; p < classes_; ++p) {
+            row_sum += count(c, p);
+        }
+        if (row_sum > 0) {
+            result[static_cast<std::size_t>(c)] =
+                static_cast<double>(count(c, c)) /
+                static_cast<double>(row_sum);
+        }
+    }
+    return result;
+}
+
+std::vector<double> ConfusionMatrix::precision() const {
+    std::vector<double> result(static_cast<std::size_t>(classes_), 0.0);
+    for (std::int64_t p = 0; p < classes_; ++p) {
+        std::int64_t col_sum = 0;
+        for (std::int64_t c = 0; c < classes_; ++c) {
+            col_sum += count(c, p);
+        }
+        if (col_sum > 0) {
+            result[static_cast<std::size_t>(p)] =
+                static_cast<double>(count(p, p)) /
+                static_cast<double>(col_sum);
+        }
+    }
+    return result;
+}
+
+double ConfusionMatrix::macro_f1() const {
+    const auto r = recall();
+    const auto p = precision();
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < classes_; ++c) {
+        const double denom = r[static_cast<std::size_t>(c)] +
+                             p[static_cast<std::size_t>(c)];
+        if (denom > 0.0) {
+            acc += 2.0 * r[static_cast<std::size_t>(c)] *
+                   p[static_cast<std::size_t>(c)] / denom;
+        }
+    }
+    return acc / static_cast<double>(classes_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+    std::string out = "true\\pred";
+    for (std::int64_t p = 0; p < classes_; ++p) {
+        out += "\t" + std::to_string(p);
+    }
+    out += "\n";
+    for (std::int64_t c = 0; c < classes_; ++c) {
+        out += std::to_string(c);
+        for (std::int64_t p = 0; p < classes_; ++p) {
+            out += "\t" + std::to_string(count(c, p));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+double top_k_accuracy(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels,
+                      std::int64_t k) {
+    MIME_REQUIRE(logits.shape().rank() == 2, "logits must be [N, classes]");
+    MIME_REQUIRE(k > 0 && k <= logits.shape().dim(1),
+                 "k out of range for logit width");
+    const std::int64_t batch = logits.shape().dim(0);
+    MIME_REQUIRE(static_cast<std::int64_t>(labels.size()) == batch,
+                 "label count mismatch");
+    const std::int64_t cols = logits.shape().dim(1);
+
+    std::int64_t hits = 0;
+    std::vector<std::int64_t> order(static_cast<std::size_t>(cols));
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* row = logits.data() + n * cols;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            order[static_cast<std::size_t>(c)] = c;
+        }
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [row](std::int64_t a, std::int64_t b) {
+                              return row[a] > row[b];
+                          });
+        for (std::int64_t i = 0; i < k; ++i) {
+            if (order[static_cast<std::size_t>(i)] ==
+                labels[static_cast<std::size_t>(n)]) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+}  // namespace mime::nn

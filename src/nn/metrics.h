@@ -1,0 +1,53 @@
+// Classification metrics beyond plain accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mime::nn {
+
+/// Confusion matrix over `classes` labels; rows = true class, columns =
+/// predicted class.
+class ConfusionMatrix {
+public:
+    explicit ConfusionMatrix(std::int64_t classes);
+
+    /// Records one (true, predicted) pair.
+    void add(std::int64_t true_label, std::int64_t predicted_label);
+
+    /// Records a batch of logits [N, classes] against labels.
+    void add_batch(const Tensor& logits,
+                   const std::vector<std::int64_t>& labels);
+
+    std::int64_t classes() const noexcept { return classes_; }
+    std::int64_t total() const noexcept { return total_; }
+    std::int64_t count(std::int64_t true_label,
+                       std::int64_t predicted_label) const;
+
+    /// Overall accuracy.
+    double accuracy() const;
+    /// Per-class recall (diagonal / row sum; 0 for empty rows).
+    std::vector<double> recall() const;
+    /// Per-class precision (diagonal / column sum; 0 for empty columns).
+    std::vector<double> precision() const;
+    /// Unweighted mean of per-class F1 scores.
+    double macro_f1() const;
+
+    /// Multi-line text rendering.
+    std::string to_string() const;
+
+private:
+    std::int64_t classes_;
+    std::int64_t total_ = 0;
+    std::vector<std::int64_t> counts_;  ///< row-major [classes, classes]
+};
+
+/// Fraction of samples whose true label is within the top-k logits.
+double top_k_accuracy(const Tensor& logits,
+                      const std::vector<std::int64_t>& labels,
+                      std::int64_t k);
+
+}  // namespace mime::nn

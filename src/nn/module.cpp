@@ -1,0 +1,93 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+Module* Sequential::append(std::unique_ptr<Module> layer) {
+    MIME_REQUIRE(layer != nullptr, "cannot append a null layer");
+    layers_.push_back(std::move(layer));
+    return layers_.back().get();
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+    Tensor x = input;
+    for (auto& layer : layers_) {
+        x = layer->forward(x);
+    }
+    return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+    std::vector<Parameter*> params;
+    for (auto& layer : layers_) {
+        for (Parameter* p : layer->parameters()) {
+            params.push_back(p);
+        }
+    }
+    return params;
+}
+
+std::vector<Parameter*> Sequential::buffers() {
+    std::vector<Parameter*> result;
+    for (auto& layer : layers_) {
+        for (Parameter* b : layer->buffers()) {
+            result.push_back(b);
+        }
+    }
+    return result;
+}
+
+void Sequential::set_training(bool training) {
+    Module::set_training(training);
+    for (auto& layer : layers_) {
+        layer->set_training(training);
+    }
+}
+
+void Sequential::set_pool(ThreadPool* pool) {
+    Module::set_pool(pool);
+    for (auto& layer : layers_) {
+        layer->set_pool(pool);
+    }
+}
+
+Module& Sequential::layer(std::size_t index) {
+    MIME_REQUIRE(index < layers_.size(),
+                 "layer index " + std::to_string(index) +
+                     " out of range for Sequential of size " +
+                     std::to_string(layers_.size()));
+    return *layers_[index];
+}
+
+const Module& Sequential::layer(std::size_t index) const {
+    return const_cast<Sequential*>(this)->layer(index);
+}
+
+std::int64_t parameter_count(Module& module) {
+    std::int64_t n = 0;
+    for (const Parameter* p : module.parameters()) {
+        n += p->numel();
+    }
+    return n;
+}
+
+std::int64_t trainable_parameter_count(Module& module) {
+    std::int64_t n = 0;
+    for (const Parameter* p : module.parameters()) {
+        if (p->trainable) {
+            n += p->numel();
+        }
+    }
+    return n;
+}
+
+}  // namespace mime::nn

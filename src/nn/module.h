@@ -1,0 +1,101 @@
+// Module: the building block of the network graph.
+//
+// Modules implement an explicit forward / backward pair (define-by-run
+// with manual adjoints, no tape). forward() caches whatever the matching
+// backward() needs; backward() consumes the cached state, accumulates
+// parameter gradients and returns the gradient w.r.t. its input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace mime::nn {
+
+/// Abstract network layer.
+class Module {
+public:
+    virtual ~Module() = default;
+
+    /// Computes the layer output for `input` (leading axis = batch) and
+    /// caches state for backward().
+    virtual Tensor forward(const Tensor& input) = 0;
+
+    /// Given dL/d(output), accumulates parameter gradients and returns
+    /// dL/d(input). Must be called after a matching forward().
+    virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Layer kind, e.g. "Conv2d".
+    virtual std::string kind() const = 0;
+
+    /// Pointers to this module's own parameters (empty by default).
+    virtual std::vector<Parameter*> parameters() { return {}; }
+
+    /// Non-trainable state that must persist with the model (e.g.
+    /// BatchNorm running statistics). Serialized alongside parameters
+    /// and included in backbone snapshots, but never touched by
+    /// optimizers.
+    virtual std::vector<Parameter*> buffers() { return {}; }
+
+    /// Training vs. inference mode (affects Dropout / BatchNorm).
+    virtual void set_training(bool training) { training_ = training; }
+    bool training() const noexcept { return training_; }
+
+    /// Optional worker pool for compute-heavy layers; propagated by
+    /// Sequential. Null means single-threaded.
+    virtual void set_pool(ThreadPool* pool) { pool_ = pool; }
+    ThreadPool* pool() const noexcept { return pool_; }
+
+protected:
+    ThreadPool* pool_ = nullptr;
+
+private:
+    bool training_ = true;
+};
+
+/// Ordered container of sub-modules; forward chains them, backward
+/// reverses the chain.
+class Sequential : public Module {
+public:
+    Sequential() = default;
+
+    /// Appends a layer and returns a non-owning pointer to it for later
+    /// inspection (e.g. to read masks or sparsity).
+    template <typename M, typename... Args>
+    M* emplace(Args&&... args) {
+        auto layer = std::make_unique<M>(std::forward<Args>(args)...);
+        M* raw = layer.get();
+        layers_.push_back(std::move(layer));
+        return raw;
+    }
+
+    /// Appends an already-constructed layer.
+    Module* append(std::unique_ptr<Module> layer);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "Sequential"; }
+    std::vector<Parameter*> parameters() override;
+    std::vector<Parameter*> buffers() override;
+    void set_training(bool training) override;
+    void set_pool(ThreadPool* pool) override;
+
+    std::size_t size() const noexcept { return layers_.size(); }
+    Module& layer(std::size_t index);
+    const Module& layer(std::size_t index) const;
+
+private:
+    std::vector<std::unique_ptr<Module>> layers_;
+};
+
+/// Total scalar parameter count of a module tree.
+std::int64_t parameter_count(Module& module);
+
+/// Total scalar count of trainable parameters only.
+std::int64_t trainable_parameter_count(Module& module);
+
+}  // namespace mime::nn

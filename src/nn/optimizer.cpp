@@ -1,0 +1,104 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> parameters)
+    : parameters_(std::move(parameters)) {
+    for (const Parameter* p : parameters_) {
+        MIME_REQUIRE(p != nullptr, "optimizer received a null parameter");
+    }
+}
+
+void Optimizer::zero_grad() {
+    for (Parameter* p : parameters_) {
+        p->zero_grad();
+    }
+}
+
+Sgd::Sgd(std::vector<Parameter*> parameters, float learning_rate,
+         float momentum, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+    MIME_REQUIRE(learning_rate > 0.0f, "learning rate must be positive");
+    MIME_REQUIRE(momentum >= 0.0f && momentum < 1.0f,
+                 "momentum must be in [0, 1)");
+}
+
+void Sgd::step() {
+    for (Parameter* p : parameters_) {
+        if (!p->trainable) {
+            continue;
+        }
+        Tensor& value = p->value;
+        const Tensor& grad = p->grad;
+        if (momentum_ > 0.0f) {
+            auto [it, inserted] =
+                velocity_.try_emplace(p, Tensor(value.shape()));
+            Tensor& v = it->second;
+            for (std::int64_t i = 0; i < value.numel(); ++i) {
+                const float g =
+                    grad[i] + weight_decay_ * value[i];
+                v[i] = momentum_ * v[i] + g;
+                value[i] -= learning_rate_ * v[i];
+            }
+        } else {
+            for (std::int64_t i = 0; i < value.numel(); ++i) {
+                const float g = grad[i] + weight_decay_ * value[i];
+                value[i] -= learning_rate_ * g;
+            }
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter*> parameters, float learning_rate,
+           float beta1, float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+    MIME_REQUIRE(learning_rate > 0.0f, "learning rate must be positive");
+    MIME_REQUIRE(beta1 >= 0.0f && beta1 < 1.0f, "beta1 must be in [0, 1)");
+    MIME_REQUIRE(beta2 >= 0.0f && beta2 < 1.0f, "beta2 must be in [0, 1)");
+    MIME_REQUIRE(epsilon > 0.0f, "epsilon must be positive");
+}
+
+void Adam::step() {
+    ++step_count_;
+    const double bias1 =
+        1.0 - std::pow(static_cast<double>(beta1_), step_count_);
+    const double bias2 =
+        1.0 - std::pow(static_cast<double>(beta2_), step_count_);
+
+    for (Parameter* p : parameters_) {
+        if (!p->trainable) {
+            continue;
+        }
+        Tensor& value = p->value;
+        const Tensor& grad = p->grad;
+        auto [mit, m_ins] = first_moment_.try_emplace(p, Tensor(value.shape()));
+        auto [vit, v_ins] =
+            second_moment_.try_emplace(p, Tensor(value.shape()));
+        Tensor& m = mit->second;
+        Tensor& v = vit->second;
+
+        for (std::int64_t i = 0; i < value.numel(); ++i) {
+            const float g = grad[i] + weight_decay_ * value[i];
+            m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+            v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+            const double m_hat = m[i] / bias1;
+            const double v_hat = v[i] / bias2;
+            value[i] -= static_cast<float>(
+                learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_));
+        }
+    }
+}
+
+}  // namespace mime::nn

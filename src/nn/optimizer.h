@@ -1,0 +1,77 @@
+// First-order optimizers operating on Parameter lists.
+//
+// Only parameters with `trainable == true` are updated; this is the
+// mechanism by which MIME freezes W_parent while training thresholds.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace mime::nn {
+
+/// Optimizer interface: bound to a fixed parameter list at construction.
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<Parameter*> parameters);
+    virtual ~Optimizer() = default;
+
+    /// Applies one update using the accumulated gradients.
+    virtual void step() = 0;
+
+    /// Clears every bound parameter's gradient accumulator.
+    void zero_grad();
+
+    const std::vector<Parameter*>& parameters() const noexcept {
+        return parameters_;
+    }
+
+protected:
+    std::vector<Parameter*> parameters_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+public:
+    Sgd(std::vector<Parameter*> parameters, float learning_rate,
+        float momentum = 0.0f, float weight_decay = 0.0f);
+
+    void step() override;
+
+    float learning_rate() const noexcept { return learning_rate_; }
+    void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+private:
+    float learning_rate_;
+    float momentum_;
+    float weight_decay_;
+    std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; the paper trains thresholds
+/// with Adam at lr = 1e-3.
+class Adam : public Optimizer {
+public:
+    Adam(std::vector<Parameter*> parameters, float learning_rate = 1e-3f,
+         float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+         float weight_decay = 0.0f);
+
+    void step() override;
+
+    float learning_rate() const noexcept { return learning_rate_; }
+    void set_learning_rate(float lr) { learning_rate_ = lr; }
+    std::int64_t step_count() const noexcept { return step_count_; }
+
+private:
+    float learning_rate_;
+    float beta1_;
+    float beta2_;
+    float epsilon_;
+    float weight_decay_;
+    std::int64_t step_count_ = 0;
+    std::unordered_map<Parameter*, Tensor> first_moment_;
+    std::unordered_map<Parameter*, Tensor> second_moment_;
+};
+
+}  // namespace mime::nn

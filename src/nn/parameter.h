@@ -1,0 +1,34 @@
+// Trainable parameter: value + gradient accumulator + metadata.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mime::nn {
+
+/// One named, trainable tensor owned by a Module. `grad` always has the
+/// same shape as `value` and accumulates across backward calls until
+/// the optimizer's zero_grad().
+struct Parameter {
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    /// Frozen parameters keep accumulating gradients (cheap) but are
+    /// skipped by optimizers; MIME freezes the whole backbone this way.
+    bool trainable = true;
+
+    Parameter() = default;
+    Parameter(std::string parameter_name, Tensor initial_value)
+        : name(std::move(parameter_name)),
+          value(std::move(initial_value)),
+          grad(value.shape()) {}
+
+    /// Number of scalar elements.
+    std::int64_t numel() const noexcept { return value.numel(); }
+
+    /// Resets the gradient accumulator to zero.
+    void zero_grad() { grad.fill(0.0f); }
+};
+
+}  // namespace mime::nn

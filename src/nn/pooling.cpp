@@ -1,0 +1,155 @@
+#include "nn/pooling.h"
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+namespace {
+struct PoolGeometry {
+    std::int64_t batch, channels, in_h, in_w, out_h, out_w;
+};
+
+PoolGeometry pool_geometry(const Tensor& input, std::int64_t kernel,
+                           std::int64_t stride, const char* who) {
+    MIME_REQUIRE(input.shape().rank() == 4,
+                 std::string(who) + " expects [N, C, H, W], got " +
+                     input.shape().to_string());
+    PoolGeometry g;
+    g.batch = input.shape().dim(0);
+    g.channels = input.shape().dim(1);
+    g.in_h = input.shape().dim(2);
+    g.in_w = input.shape().dim(3);
+    MIME_REQUIRE(kernel <= g.in_h && kernel <= g.in_w,
+                 std::string(who) + ": window larger than input");
+    g.out_h = (g.in_h - kernel) / stride + 1;
+    g.out_w = (g.in_w - kernel) / stride + 1;
+    MIME_REQUIRE(g.out_h > 0 && g.out_w > 0,
+                 std::string(who) + ": window larger than input");
+    return g;
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+    MIME_REQUIRE(kernel > 0 && stride > 0,
+                 "MaxPool2d kernel/stride must be positive");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+    const PoolGeometry g = pool_geometry(input, kernel_, stride_, "MaxPool2d");
+    cached_input_shape_ = input.shape();
+    Tensor output({g.batch, g.channels, g.out_h, g.out_w});
+    cached_argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+            const float* plane =
+                input.data() + (n * g.channels + c) * g.in_h * g.in_w;
+            const std::int64_t plane_base =
+                (n * g.channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+                for (std::int64_t ox = 0; ox < g.out_w; ++ox, ++out_idx) {
+                    const std::int64_t y0 = oy * stride_;
+                    const std::int64_t x0 = ox * stride_;
+                    float best = plane[y0 * g.in_w + x0];
+                    std::int64_t best_idx = y0 * g.in_w + x0;
+                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                            const std::int64_t idx =
+                                (y0 + ky) * g.in_w + (x0 + kx);
+                            if (plane[idx] > best) {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    output[out_idx] = best;
+                    cached_argmax_[static_cast<std::size_t>(out_idx)] =
+                        plane_base + best_idx;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    MIME_REQUIRE(
+        static_cast<std::size_t>(grad_output.numel()) == cached_argmax_.size(),
+        "MaxPool2d::backward grad size mismatch");
+    Tensor grad_input(cached_input_shape_);
+    for (std::int64_t i = 0; i < grad_output.numel(); ++i) {
+        grad_input[cached_argmax_[static_cast<std::size_t>(i)]] +=
+            grad_output[i];
+    }
+    return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+    MIME_REQUIRE(kernel > 0 && stride > 0,
+                 "AvgPool2d kernel/stride must be positive");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+    const PoolGeometry g = pool_geometry(input, kernel_, stride_, "AvgPool2d");
+    cached_input_shape_ = input.shape();
+    Tensor output({g.batch, g.channels, g.out_h, g.out_w});
+    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+            const float* plane =
+                input.data() + (n * g.channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+                for (std::int64_t ox = 0; ox < g.out_w; ++ox, ++out_idx) {
+                    double acc = 0.0;
+                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                            acc += plane[(oy * stride_ + ky) * g.in_w +
+                                         (ox * stride_ + kx)];
+                        }
+                    }
+                    output[out_idx] = static_cast<float>(acc) * inv;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+    const std::int64_t batch = cached_input_shape_.dim(0);
+    const std::int64_t channels = cached_input_shape_.dim(1);
+    const std::int64_t in_h = cached_input_shape_.dim(2);
+    const std::int64_t in_w = cached_input_shape_.dim(3);
+    const std::int64_t out_h = (in_h - kernel_) / stride_ + 1;
+    const std::int64_t out_w = (in_w - kernel_) / stride_ + 1;
+    MIME_REQUIRE(grad_output.shape() == Shape({batch, channels, out_h, out_w}),
+                 "AvgPool2d::backward grad shape mismatch");
+
+    Tensor grad_input(cached_input_shape_);
+    const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            float* plane = grad_input.data() + (n * channels + c) * in_h * in_w;
+            for (std::int64_t oy = 0; oy < out_h; ++oy) {
+                for (std::int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
+                    const float share = grad_output[out_idx] * inv;
+                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                            plane[(oy * stride_ + ky) * in_w +
+                                  (ox * stride_ + kx)] += share;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+}  // namespace mime::nn

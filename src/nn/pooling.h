@@ -1,0 +1,45 @@
+// Spatial pooling layers (NCHW).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// Max pooling with a square window. Stores the argmax of each window for
+/// the backward pass.
+class MaxPool2d : public Module {
+public:
+    MaxPool2d(std::int64_t kernel, std::int64_t stride);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "MaxPool2d"; }
+
+    std::int64_t kernel() const noexcept { return kernel_; }
+    std::int64_t stride() const noexcept { return stride_; }
+
+private:
+    std::int64_t kernel_;
+    std::int64_t stride_;
+    Shape cached_input_shape_;
+    std::vector<std::int64_t> cached_argmax_;  ///< flat input index per output
+};
+
+/// Average pooling with a square window (no padding).
+class AvgPool2d : public Module {
+public:
+    AvgPool2d(std::int64_t kernel, std::int64_t stride);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string kind() const override { return "AvgPool2d"; }
+
+private:
+    std::int64_t kernel_;
+    std::int64_t stride_;
+    Shape cached_input_shape_;
+};
+
+}  // namespace mime::nn

@@ -1,0 +1,67 @@
+#include "nn/quantize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+QuantizationStats fake_quantize(Tensor& t, int bits) {
+    MIME_REQUIRE(bits >= 2 && bits <= 24, "bits must be in [2, 24]");
+    QuantizationStats stats;
+
+    float max_abs = 0.0f;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        max_abs = std::max(max_abs, std::abs(t[i]));
+    }
+    if (max_abs == 0.0f) {
+        return stats;  // nothing to quantize
+    }
+
+    const double levels = static_cast<double>((1 << (bits - 1)) - 1);
+    const double scale = max_abs / levels;
+    stats.scale = scale;
+
+    double abs_error_sum = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const double original = t[i];
+        double q = std::nearbyint(original / scale);
+        if (q > levels) {
+            q = levels;
+            ++stats.saturated;
+        } else if (q < -levels) {
+            q = -levels;
+            ++stats.saturated;
+        }
+        const double reconstructed = q * scale;
+        const double err = std::abs(original - reconstructed);
+        stats.max_abs_error = std::max(stats.max_abs_error, err);
+        abs_error_sum += err;
+        t[i] = static_cast<float>(reconstructed);
+    }
+    stats.mean_abs_error =
+        abs_error_sum / static_cast<double>(t.numel());
+    return stats;
+}
+
+double fake_quantize_parameters(Module& module, int bits) {
+    double worst = 0.0;
+    for (Parameter* p : module.parameters()) {
+        const QuantizationStats stats = fake_quantize(p->value, bits);
+        worst = std::max(worst, stats.max_abs_error);
+    }
+    return worst;
+}
+
+double quantization_relative_error(const Tensor& t, int bits) {
+    Tensor copy = t;
+    fake_quantize(copy, bits);
+    const float norm = l2_norm(t);
+    if (norm == 0.0f) {
+        return 0.0;
+    }
+    return static_cast<double>(l2_norm(sub(t, copy))) /
+           static_cast<double>(norm);
+}
+
+}  // namespace mime::nn

@@ -1,0 +1,39 @@
+// Fixed-point (fake) quantization.
+//
+// The paper's accelerator stores W, X, A and T at 16-bit precision
+// (Table IV); training here runs in float32. These utilities quantize
+// tensors to b-bit signed fixed point (symmetric, per-tensor scale) and
+// back, so tests and benches can verify that 16-bit deployment precision
+// does not change model behavior — validating the Table IV assumption
+// for our trained models.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mime::nn {
+
+/// Result of quantizing one tensor.
+struct QuantizationStats {
+    double scale = 0.0;          ///< LSB step size
+    double max_abs_error = 0.0;  ///< max |x - q(x)|
+    double mean_abs_error = 0.0;
+    std::int64_t saturated = 0;  ///< values clipped at the integer range
+};
+
+/// Quantizes `t` in place to `bits`-bit signed symmetric fixed point
+/// (scale = max|x| / (2^(bits-1) - 1)) and dequantizes back. A zero
+/// tensor is left unchanged (scale 0).
+QuantizationStats fake_quantize(Tensor& t, int bits);
+
+/// Applies fake_quantize to every parameter of `module`; returns the
+/// worst per-parameter max_abs_error.
+double fake_quantize_parameters(Module& module, int bits);
+
+/// Relative L2 error between the original and quantized copies of `t`
+/// at the given precision (non-destructive helper for sweeps).
+double quantization_relative_error(const Tensor& t, int bits);
+
+}  // namespace mime::nn

@@ -1,0 +1,102 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace mime::nn {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'I', 'M', 'E', 'P', 'A', 'R', '2'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    std::uint64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    MIME_REQUIRE(in.good(), "unexpected end of parameter stream");
+    return v;
+}
+}  // namespace
+
+void save_parameters(Module& module, std::ostream& out) {
+    auto params = module.parameters();
+    // Buffers (e.g. BatchNorm running statistics) persist with the model.
+    for (Parameter* b : module.buffers()) {
+        params.push_back(b);
+    }
+    out.write(kMagic, sizeof(kMagic));
+    write_u64(out, params.size());
+    for (const Parameter* p : params) {
+        write_u64(out, p->name.size());
+        out.write(p->name.data(),
+                  static_cast<std::streamsize>(p->name.size()));
+        const auto& dims = p->value.shape().dims();
+        write_u64(out, dims.size());
+        for (const auto d : dims) {
+            write_u64(out, static_cast<std::uint64_t>(d));
+        }
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.numel() *
+                                               sizeof(float)));
+    }
+    MIME_ENSURE(out.good(), "failed to write parameter stream");
+}
+
+void load_parameters(Module& module, std::istream& in) {
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    MIME_REQUIRE(in.good() && std::equal(magic, magic + 8, kMagic),
+                 "bad parameter stream magic");
+    auto params = module.parameters();
+    for (Parameter* b : module.buffers()) {
+        params.push_back(b);
+    }
+    const std::uint64_t count = read_u64(in);
+    MIME_REQUIRE(count == params.size(),
+                 "parameter count mismatch: stream has " +
+                     std::to_string(count) + ", module has " +
+                     std::to_string(params.size()));
+    for (Parameter* p : params) {
+        const std::uint64_t name_len = read_u64(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), static_cast<std::streamsize>(name_len));
+        MIME_REQUIRE(in.good(), "unexpected end of parameter stream");
+        MIME_REQUIRE(name == p->name,
+                     "parameter name mismatch: stream has '" + name +
+                         "', module expects '" + p->name + "'");
+        const std::uint64_t rank = read_u64(in);
+        std::vector<std::int64_t> dims(rank);
+        for (auto& d : dims) {
+            d = static_cast<std::int64_t>(read_u64(in));
+        }
+        const Shape shape = dims.empty() ? Shape{} : Shape(dims);
+        MIME_REQUIRE(shape == p->value.shape(),
+                     "parameter shape mismatch for '" + name + "': stream " +
+                         shape.to_string() + ", module " +
+                         p->value.shape().to_string());
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.numel() *
+                                             sizeof(float)));
+        MIME_REQUIRE(in.good(), "unexpected end of parameter data");
+    }
+}
+
+void save_parameters_file(Module& module, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    MIME_REQUIRE(out.is_open(), "cannot open '" + path + "' for writing");
+    save_parameters(module, out);
+}
+
+void load_parameters_file(Module& module, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    MIME_REQUIRE(in.is_open(), "cannot open '" + path + "' for reading");
+    load_parameters(module, in);
+}
+
+}  // namespace mime::nn

@@ -1,0 +1,27 @@
+// Binary (de)serialization of module parameters.
+//
+// Format: magic "MIMEPAR2", u64 record count, then per record
+// (parameters first, then buffers such as BatchNorm running stats):
+// u64 name length, name bytes, u64 rank, u64 extents..., f32 data.
+// Parameters are matched positionally with name verification so a loaded
+// file must come from an identically-structured module.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.h"
+
+namespace mime::nn {
+
+/// Writes all parameters of `module` to `out`.
+void save_parameters(Module& module, std::ostream& out);
+
+/// Reads parameters into `module`; throws if structure or shapes differ.
+void load_parameters(Module& module, std::istream& in);
+
+/// Convenience file wrappers.
+void save_parameters_file(Module& module, const std::string& path);
+void load_parameters_file(Module& module, const std::string& path);
+
+}  // namespace mime::nn

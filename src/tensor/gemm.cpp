@@ -1,0 +1,153 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+
+// Cache-blocking parameters chosen for float32 on typical 32KiB L1 /
+// 1MiB L2 caches; correctness does not depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+inline float load(const float* p, std::int64_t ld, std::int64_t row,
+                  std::int64_t col, bool transposed) {
+    return transposed ? p[col * ld + row] : p[row * ld + col];
+}
+
+// Computes one row-band [m0, m1) of C without any threading.
+void gemm_band(bool trans_a, bool trans_b, std::int64_t m0, std::int64_t m1,
+               std::int64_t n, std::int64_t k, float alpha, const float* a,
+               std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+               float* c, std::int64_t ldc) {
+    // Scale C by beta once up front.
+    for (std::int64_t i = m0; i < m1; ++i) {
+        float* crow = c + i * ldc;
+        if (beta == 0.0f) {
+            std::fill(crow, crow + n, 0.0f);
+        } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j) {
+                crow[j] *= beta;
+            }
+        }
+    }
+
+    // Pack a K-block of op(A) rows so the inner loop streams contiguously
+    // regardless of the transpose flag.
+    std::vector<float> a_pack;
+    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+        const std::int64_t kend = std::min(kk + kBlockK, k);
+        for (std::int64_t ii = m0; ii < m1; ii += kBlockM) {
+            const std::int64_t iend = std::min(ii + kBlockM, m1);
+            const std::int64_t pack_rows = iend - ii;
+            const std::int64_t pack_cols = kend - kk;
+            a_pack.assign(
+                static_cast<std::size_t>(pack_rows * pack_cols), 0.0f);
+            for (std::int64_t i = 0; i < pack_rows; ++i) {
+                for (std::int64_t p = 0; p < pack_cols; ++p) {
+                    a_pack[static_cast<std::size_t>(i * pack_cols + p)] =
+                        load(a, lda, ii + i, kk + p, trans_a);
+                }
+            }
+            for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
+                const std::int64_t jend = std::min(jj + kBlockN, n);
+                for (std::int64_t i = 0; i < pack_rows; ++i) {
+                    float* crow = c + (ii + i) * ldc;
+                    const float* arow =
+                        a_pack.data() + i * pack_cols;
+                    for (std::int64_t p = 0; p < pack_cols; ++p) {
+                        const float av = alpha * arow[p];
+                        if (av == 0.0f) {
+                            continue;
+                        }
+                        if (!trans_b) {
+                            const float* brow = b + (kk + p) * ldb;
+                            for (std::int64_t j = jj; j < jend; ++j) {
+                                crow[j] += av * brow[j];
+                            }
+                        } else {
+                            for (std::int64_t j = jj; j < jend; ++j) {
+                                crow[j] += av * b[j * ldb + (kk + p)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc, ThreadPool* pool) {
+    MIME_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm dimensions must be >= 0");
+    MIME_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+                 "gemm operands must be non-null");
+    if (m == 0 || n == 0) {
+        return;
+    }
+
+    if (pool == nullptr || pool->size() <= 1 || m < 2 * kBlockM) {
+        gemm_band(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                  ldc);
+        return;
+    }
+
+    const std::int64_t bands =
+        std::min<std::int64_t>(static_cast<std::int64_t>(pool->size()),
+                               (m + kBlockM - 1) / kBlockM);
+    const std::int64_t band_rows = (m + bands - 1) / bands;
+    for (std::int64_t b0 = 0; b0 < m; b0 += band_rows) {
+        const std::int64_t b1 = std::min(b0 + band_rows, m);
+        pool->submit([=] {
+            gemm_band(trans_a, trans_b, b0, b1, n, k, alpha, a, lda, b, ldb,
+                      beta, c, ldc);
+        });
+    }
+    pool->wait_idle();
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, ThreadPool* pool) {
+    MIME_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2,
+                 "matmul requires rank-2 operands, got " +
+                     a.shape().to_string() + " and " + b.shape().to_string());
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    MIME_REQUIRE(b.shape().dim(0) == k,
+                 "matmul inner dimensions differ: " + a.shape().to_string() +
+                     " vs " + b.shape().to_string());
+    const std::int64_t n = b.shape().dim(1);
+    Tensor c({m, n});
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+         n, pool);
+    return c;
+}
+
+void gemm_reference(bool trans_a, bool trans_b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* b,
+                    std::int64_t ldb, float beta, float* c,
+                    std::int64_t ldc) {
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+                const float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+                acc += static_cast<double>(av) * static_cast<double>(bv);
+            }
+            c[i * ldc + j] = static_cast<float>(
+                alpha * acc + static_cast<double>(beta) * c[i * ldc + j]);
+        }
+    }
+}
+
+}  // namespace mime

@@ -1,0 +1,34 @@
+// General matrix multiplication, the compute kernel behind Linear and
+// (via im2col) Conv2d layers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace mime {
+
+/// C[M,N] = alpha * op(A)[M,K] * op(B)[K,N] + beta * C[M,N]
+///
+/// Row-major storage with leading dimensions lda/ldb/ldc (the stride
+/// between consecutive rows of the *stored* matrix, i.e. before any
+/// transpose). `pool` may be null for single-threaded execution; when
+/// provided, work is split across rows of C.
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc, ThreadPool* pool = nullptr);
+
+/// Tensor-level 2-D matmul: returns A[M,K] * B[K,N]. Both operands must be
+/// rank-2.
+Tensor matmul(const Tensor& a, const Tensor& b, ThreadPool* pool = nullptr);
+
+/// Reference O(M*N*K) triple loop used by tests to validate the blocked
+/// kernel.
+void gemm_reference(bool trans_a, bool trans_b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* b,
+                    std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+}  // namespace mime

@@ -1,0 +1,80 @@
+#include "tensor/im2col.h"
+
+#include "common/check.h"
+
+namespace mime {
+
+void ConvGeometry::validate() const {
+    MIME_REQUIRE(in_channels > 0 && in_height > 0 && in_width > 0,
+                 "conv input extents must be positive");
+    MIME_REQUIRE(kernel > 0, "conv kernel must be positive");
+    MIME_REQUIRE(stride > 0, "conv stride must be positive");
+    MIME_REQUIRE(padding >= 0, "conv padding must be non-negative");
+    MIME_REQUIRE(out_height() > 0 && out_width() > 0,
+                 "conv output extent is non-positive; kernel/stride/padding "
+                 "incompatible with input size");
+}
+
+void im2col(const ConvGeometry& g, const float* input, float* columns) {
+    g.validate();
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t cols = ho * wo;
+
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        const float* channel = input + c * g.in_height * g.in_width;
+        for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                float* out_row = columns + row * cols;
+                for (std::int64_t oy = 0; oy < ho; ++oy) {
+                    const std::int64_t iy = oy * g.stride + ky - g.padding;
+                    if (iy < 0 || iy >= g.in_height) {
+                        for (std::int64_t ox = 0; ox < wo; ++ox) {
+                            out_row[oy * wo + ox] = 0.0f;
+                        }
+                        continue;
+                    }
+                    const float* in_row = channel + iy * g.in_width;
+                    for (std::int64_t ox = 0; ox < wo; ++ox) {
+                        const std::int64_t ix = ox * g.stride + kx - g.padding;
+                        out_row[oy * wo + ox] =
+                            (ix >= 0 && ix < g.in_width) ? in_row[ix] : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const ConvGeometry& g, const float* columns, float* input_grad) {
+    g.validate();
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t cols = ho * wo;
+
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        float* channel = input_grad + c * g.in_height * g.in_width;
+        for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                const float* in_row_vals = columns + row * cols;
+                for (std::int64_t oy = 0; oy < ho; ++oy) {
+                    const std::int64_t iy = oy * g.stride + ky - g.padding;
+                    if (iy < 0 || iy >= g.in_height) {
+                        continue;
+                    }
+                    float* grad_row = channel + iy * g.in_width;
+                    for (std::int64_t ox = 0; ox < wo; ++ox) {
+                        const std::int64_t ix = ox * g.stride + kx - g.padding;
+                        if (ix >= 0 && ix < g.in_width) {
+                            grad_row[ix] += in_row_vals[oy * wo + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace mime

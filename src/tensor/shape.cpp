@@ -1,0 +1,55 @@
+#include "tensor/shape.h"
+
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+void validate(const std::vector<std::int64_t>& dims) {
+    for (const auto d : dims) {
+        MIME_REQUIRE(d > 0, "shape extents must be positive, got " +
+                                std::to_string(d));
+    }
+}
+}  // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+    validate(dims_);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate(dims_);
+}
+
+std::int64_t Shape::dim(std::int64_t axis) const {
+    const std::int64_t r = rank();
+    if (axis < 0) {
+        axis += r;
+    }
+    MIME_REQUIRE(axis >= 0 && axis < r,
+                 "axis " + std::to_string(axis) + " out of range for rank " +
+                     std::to_string(r));
+    return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::numel() const noexcept {
+    std::int64_t n = 1;
+    for (const auto d : dims_) {
+        n *= d;
+    }
+    return n;
+}
+
+std::string Shape::to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0) {
+            s += ", ";
+        }
+        s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+}
+
+}  // namespace mime

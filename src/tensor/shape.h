@@ -1,0 +1,49 @@
+// Tensor shape: an ordered list of dimension extents.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace mime {
+
+/// Immutable-by-convention list of dimension extents. All extents must be
+/// strictly positive; rank-0 (scalar) shapes are represented by an empty
+/// extent list and have numel() == 1.
+class Shape {
+public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims);
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /// Number of dimensions.
+    std::int64_t rank() const noexcept {
+        return static_cast<std::int64_t>(dims_.size());
+    }
+
+    /// Extent of dimension `axis`; negative axes count from the back
+    /// (-1 is the last dimension).
+    std::int64_t dim(std::int64_t axis) const;
+
+    /// Product of all extents (1 for a scalar shape).
+    std::int64_t numel() const noexcept;
+
+    /// Underlying extents.
+    const std::vector<std::int64_t>& dims() const noexcept { return dims_; }
+
+    bool operator==(const Shape& other) const noexcept {
+        return dims_ == other.dims_;
+    }
+    bool operator!=(const Shape& other) const noexcept {
+        return !(*this == other);
+    }
+
+    /// Renders e.g. "[3, 32, 32]".
+    std::string to_string() const;
+
+private:
+    std::vector<std::int64_t> dims_;
+};
+
+}  // namespace mime

@@ -1,0 +1,243 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime {
+
+Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), fill_value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+    MIME_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "value count " + std::to_string(data_.size()) +
+                     " does not match shape " + shape_.to_string());
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+        v = static_cast<float>(rng.normal(mean, stddev));
+    }
+    return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+    Tensor t(std::move(shape));
+    for (auto& v : t.data_) {
+        v = static_cast<float>(rng.uniform(lo, hi));
+    }
+    return t;
+}
+
+float& Tensor::at(std::int64_t flat_index) {
+    MIME_REQUIRE(flat_index >= 0 && flat_index < numel(),
+                 "flat index " + std::to_string(flat_index) +
+                     " out of range for " + shape_.to_string());
+    return data_[static_cast<std::size_t>(flat_index)];
+}
+
+float Tensor::at(std::int64_t flat_index) const {
+    return const_cast<Tensor*>(this)->at(flat_index);
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> indices) {
+    MIME_REQUIRE(static_cast<std::int64_t>(indices.size()) == shape_.rank(),
+                 "index count " + std::to_string(indices.size()) +
+                     " does not match rank " + std::to_string(shape_.rank()));
+    std::int64_t flat = 0;
+    std::int64_t axis = 0;
+    for (const auto idx : indices) {
+        const std::int64_t extent = shape_.dim(axis);
+        MIME_REQUIRE(idx >= 0 && idx < extent,
+                     "index " + std::to_string(idx) + " out of range for axis " +
+                         std::to_string(axis) + " with extent " +
+                         std::to_string(extent));
+        flat = flat * extent + idx;
+        ++axis;
+    }
+    return data_[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> indices) const {
+    return const_cast<Tensor*>(this)->at(indices);
+}
+
+Tensor Tensor::clone() const { return *this; }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    MIME_REQUIRE(new_shape.numel() == shape_.numel(),
+                 "cannot reshape " + shape_.to_string() + " to " +
+                     new_shape.to_string());
+    return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+    for (auto& v : data_) {
+        v = value;
+    }
+}
+
+void Tensor::axpy(float alpha, const Tensor& x) {
+    MIME_REQUIRE(x.shape() == shape_, "axpy shape mismatch: " +
+                                          shape_.to_string() + " vs " +
+                                          x.shape().to_string());
+    const float* xs = x.data();
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += alpha * xs[i];
+    }
+}
+
+void Tensor::scale(float s) {
+    for (auto& v : data_) {
+        v *= s;
+    }
+}
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+    MIME_REQUIRE(a.shape() == b.shape(),
+                 std::string(op) + " shape mismatch: " + a.shape().to_string() +
+                     " vs " + b.shape().to_string());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "add");
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        c[i] = a[i] + b[i];
+    }
+    return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "sub");
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        c[i] = a[i] - b[i];
+    }
+    return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "mul");
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        c[i] = a[i] * b[i];
+    }
+    return c;
+}
+
+Tensor mul(const Tensor& a, float s) {
+    Tensor c = a;
+    c.scale(s);
+    return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "add_inplace");
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        a[i] += b[i];
+    }
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "sub_inplace");
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        a[i] -= b[i];
+    }
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+    require_same_shape(a, b, "mul_inplace");
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        a[i] *= b[i];
+    }
+}
+
+float sum(const Tensor& t) {
+    // Kahan summation: training statistics accumulate over millions of
+    // elements and naive summation loses precision in float32.
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        acc += static_cast<double>(t[i]);
+    }
+    return static_cast<float>(acc);
+}
+
+float mean(const Tensor& t) {
+    return sum(t) / static_cast<float>(t.numel());
+}
+
+float min_value(const Tensor& t) {
+    float m = t[0];
+    for (std::int64_t i = 1; i < t.numel(); ++i) {
+        m = std::min(m, t[i]);
+    }
+    return m;
+}
+
+float max_value(const Tensor& t) {
+    float m = t[0];
+    for (std::int64_t i = 1; i < t.numel(); ++i) {
+        m = std::max(m, t[i]);
+    }
+    return m;
+}
+
+std::int64_t argmax(const Tensor& t) {
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < t.numel(); ++i) {
+        if (t[i] > t[best]) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+double zero_fraction(const Tensor& t) {
+    std::int64_t zeros = 0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        if (t[i] == 0.0f) {
+            ++zeros;
+        }
+    }
+    return static_cast<double>(zeros) / static_cast<double>(t.numel());
+}
+
+float abs_sum(const Tensor& t) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        acc += std::abs(static_cast<double>(t[i]));
+    }
+    return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& t) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const double v = t[i];
+        acc += v * v;
+    }
+    return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace mime

@@ -1,0 +1,125 @@
+// Dense float32 tensor with value semantics and contiguous row-major
+// storage. This is the numeric substrate for the neural-network library;
+// it deliberately avoids views/striding so that every invariant
+// ("data().size() == shape().numel()") is trivial to state and test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace mime {
+
+/// Contiguous row-major float tensor.
+class Tensor {
+public:
+    /// Empty (rank-0, one element, value 0).
+    Tensor();
+
+    /// Zero-initialized tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Tensor of the given shape filled with `fill_value`.
+    Tensor(Shape shape, float fill_value);
+
+    /// Adopts `values` as the storage; size must equal shape.numel().
+    Tensor(Shape shape, std::vector<float> values);
+
+    // -- factories ---------------------------------------------------------
+
+    static Tensor zeros(Shape shape);
+    static Tensor ones(Shape shape);
+    static Tensor full(Shape shape, float value);
+    /// i.i.d. normal entries.
+    static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                        float stddev = 1.0f);
+    /// i.i.d. uniform entries in [lo, hi).
+    static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+    // -- observers ---------------------------------------------------------
+
+    const Shape& shape() const noexcept { return shape_; }
+    std::int64_t numel() const noexcept {
+        return static_cast<std::int64_t>(data_.size());
+    }
+    float* data() noexcept { return data_.data(); }
+    const float* data() const noexcept { return data_.data(); }
+    const std::vector<float>& values() const noexcept { return data_; }
+
+    /// Bounds-checked flat element access.
+    float& at(std::int64_t flat_index);
+    float at(std::int64_t flat_index) const;
+
+    /// Bounds-checked multi-dimensional access (index count must equal
+    /// rank).
+    float& at(std::initializer_list<std::int64_t> indices);
+    float at(std::initializer_list<std::int64_t> indices) const;
+
+    /// Unchecked flat access (hot paths).
+    float& operator[](std::int64_t flat_index) noexcept {
+        return data_[static_cast<std::size_t>(flat_index)];
+    }
+    float operator[](std::int64_t flat_index) const noexcept {
+        return data_[static_cast<std::size_t>(flat_index)];
+    }
+
+    // -- transforms --------------------------------------------------------
+
+    /// Deep copy (copies are always explicit on hot paths; the implicit
+    /// copy constructor also exists for value semantics).
+    Tensor clone() const;
+
+    /// Returns a tensor with the same data and a new shape; numel must
+    /// match. Storage is copied (no aliasing views by design).
+    Tensor reshaped(Shape new_shape) const;
+
+    /// Sets every element to `value`.
+    void fill(float value);
+
+    /// Applies `alpha * x + this` elementwise in place; shapes must match.
+    void axpy(float alpha, const Tensor& x);
+
+    /// Multiplies every element by `scale` in place.
+    void scale(float scale);
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+// -- elementwise free functions (same-shape operands, no broadcasting) ----
+
+/// c = a + b
+Tensor add(const Tensor& a, const Tensor& b);
+/// c = a - b
+Tensor sub(const Tensor& a, const Tensor& b);
+/// c = a ⊙ b (Hadamard)
+Tensor mul(const Tensor& a, const Tensor& b);
+/// c = a * s
+Tensor mul(const Tensor& a, float s);
+
+/// a += b in place.
+void add_inplace(Tensor& a, const Tensor& b);
+/// a -= b in place.
+void sub_inplace(Tensor& a, const Tensor& b);
+/// a ⊙= b in place.
+void mul_inplace(Tensor& a, const Tensor& b);
+
+// -- reductions ------------------------------------------------------------
+
+float sum(const Tensor& t);
+float mean(const Tensor& t);
+float min_value(const Tensor& t);
+float max_value(const Tensor& t);
+/// Flat index of the maximum element (first on ties).
+std::int64_t argmax(const Tensor& t);
+/// Fraction of elements equal to zero.
+double zero_fraction(const Tensor& t);
+/// Sum of |x| over all elements.
+float abs_sum(const Tensor& t);
+/// Frobenius / L2 norm.
+float l2_norm(const Tensor& t);
+
+}  // namespace mime

@@ -1,0 +1,137 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+void require_rank2(const Tensor& t, const char* op) {
+    MIME_REQUIRE(t.shape().rank() == 2,
+                 std::string(op) + " requires a rank-2 tensor, got " +
+                     t.shape().to_string());
+}
+
+Shape drop_leading_axis(const Shape& s) {
+    MIME_REQUIRE(s.rank() >= 1, "batched tensor must have a leading axis");
+    std::vector<std::int64_t> dims(s.dims().begin() + 1, s.dims().end());
+    if (dims.empty()) {
+        return Shape{};
+    }
+    return Shape(std::move(dims));
+}
+}  // namespace
+
+Tensor softmax_rows(const Tensor& logits) {
+    require_rank2(logits, "softmax_rows");
+    const std::int64_t rows = logits.shape().dim(0);
+    const std::int64_t cols = logits.shape().dim(1);
+    Tensor out(logits.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = logits.data() + r * cols;
+        float* o = out.data() + r * cols;
+        float row_max = in[0];
+        for (std::int64_t c = 1; c < cols; ++c) {
+            row_max = std::max(row_max, in[c]);
+        }
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] = std::exp(in[c] - row_max);
+            denom += o[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] *= inv;
+        }
+    }
+    return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+    require_rank2(logits, "log_softmax_rows");
+    const std::int64_t rows = logits.shape().dim(0);
+    const std::int64_t cols = logits.shape().dim(1);
+    Tensor out(logits.shape());
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = logits.data() + r * cols;
+        float* o = out.data() + r * cols;
+        float row_max = in[0];
+        for (std::int64_t c = 1; c < cols; ++c) {
+            row_max = std::max(row_max, in[c]);
+        }
+        double denom = 0.0;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            denom += std::exp(static_cast<double>(in[c] - row_max));
+        }
+        const float log_denom = static_cast<float>(std::log(denom)) + row_max;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            o[c] = in[c] - log_denom;
+        }
+    }
+    return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& t) {
+    require_rank2(t, "argmax_rows");
+    const std::int64_t rows = t.shape().dim(0);
+    const std::int64_t cols = t.shape().dim(1);
+    std::vector<std::int64_t> result(static_cast<std::size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* in = t.data() + r * cols;
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < cols; ++c) {
+            if (in[c] > in[best]) {
+                best = c;
+            }
+        }
+        result[static_cast<std::size_t>(r)] = best;
+    }
+    return result;
+}
+
+Tensor batch_slice(const Tensor& batch, std::int64_t n) {
+    const std::int64_t batch_size = batch.shape().dim(0);
+    MIME_REQUIRE(n >= 0 && n < batch_size,
+                 "batch index " + std::to_string(n) + " out of range for " +
+                     batch.shape().to_string());
+    const Shape sample_shape = drop_leading_axis(batch.shape());
+    const std::int64_t stride = sample_shape.numel();
+    std::vector<float> values(
+        batch.data() + n * stride, batch.data() + (n + 1) * stride);
+    return Tensor(sample_shape, std::move(values));
+}
+
+void batch_assign(Tensor& batch, std::int64_t n, const Tensor& sample) {
+    const std::int64_t batch_size = batch.shape().dim(0);
+    MIME_REQUIRE(n >= 0 && n < batch_size,
+                 "batch index " + std::to_string(n) + " out of range for " +
+                     batch.shape().to_string());
+    const Shape sample_shape = drop_leading_axis(batch.shape());
+    MIME_REQUIRE(sample.shape() == sample_shape,
+                 "sample shape " + sample.shape().to_string() +
+                     " does not match batch slot " + sample_shape.to_string());
+    const std::int64_t stride = sample_shape.numel();
+    float* dst = batch.data() + n * stride;
+    const float* src = sample.data();
+    for (std::int64_t i = 0; i < stride; ++i) {
+        dst[i] = src[i];
+    }
+}
+
+Tensor stack(const std::vector<Tensor>& samples) {
+    MIME_REQUIRE(!samples.empty(), "stack requires at least one sample");
+    const Shape& s0 = samples.front().shape();
+    std::vector<std::int64_t> dims;
+    dims.push_back(static_cast<std::int64_t>(samples.size()));
+    dims.insert(dims.end(), s0.dims().begin(), s0.dims().end());
+    Tensor out{Shape(std::move(dims))};
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        MIME_REQUIRE(samples[i].shape() == s0,
+                     "stack requires uniform sample shapes");
+        batch_assign(out, static_cast<std::int64_t>(i), samples[i]);
+    }
+    return out;
+}
+
+}  // namespace mime

@@ -1,0 +1,32 @@
+// Higher-level tensor operations shared across nn / core modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mime {
+
+/// Row-wise softmax over a rank-2 tensor [rows, cols]; numerically stable
+/// (max-shifted).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax over a rank-2 tensor [rows, cols].
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Per-row argmax of a rank-2 tensor [rows, cols].
+std::vector<std::int64_t> argmax_rows(const Tensor& t);
+
+/// One sample slice of a batched tensor [N, ...] → copy of sample `n`
+/// with the leading axis dropped.
+Tensor batch_slice(const Tensor& batch, std::int64_t n);
+
+/// Writes `sample` (shape = batch shape minus leading axis) into slot `n`
+/// of `batch`.
+void batch_assign(Tensor& batch, std::int64_t n, const Tensor& sample);
+
+/// Concatenates equally-shaped samples along a new leading axis.
+Tensor stack(const std::vector<Tensor>& samples);
+
+}  // namespace mime

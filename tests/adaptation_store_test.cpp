@@ -1,0 +1,163 @@
+// Tests for adaptation serialization and the deployment store.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/adaptation_store.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config(std::uint64_t seed = 3) {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = seed;
+    return config;
+}
+
+TaskAdaptation make_adaptation(MimeNetwork& net, const std::string& name,
+                               float threshold_value) {
+    net.reset_thresholds(threshold_value);
+    return capture_adaptation(net, name, 10);
+}
+
+std::string temp_dir(const std::string& leaf) {
+    const std::string dir = ::testing::TempDir() + "/" + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(AdaptationStream, RoundTrip) {
+    MimeNetwork net(tiny_config());
+    const TaskAdaptation original = make_adaptation(net, "roundtrip", 0.37f);
+
+    std::stringstream buffer;
+    save_adaptation(original, buffer);
+    const TaskAdaptation loaded = load_adaptation(buffer);
+
+    EXPECT_EQ(loaded.name, "roundtrip");
+    EXPECT_EQ(loaded.num_classes, 10);
+    ASSERT_EQ(loaded.thresholds.thresholds.size(),
+              original.thresholds.thresholds.size());
+    for (std::size_t i = 0; i < loaded.thresholds.thresholds.size(); ++i) {
+        const Tensor& a = original.thresholds.thresholds[i];
+        const Tensor& b = loaded.thresholds.thresholds[i];
+        ASSERT_EQ(a.shape(), b.shape());
+        for (std::int64_t j = 0; j < a.numel(); ++j) {
+            ASSERT_EQ(a[j], b[j]);
+        }
+    }
+    EXPECT_EQ(loaded.head_weight.shape(), original.head_weight.shape());
+    EXPECT_EQ(loaded.head_bias.shape(), original.head_bias.shape());
+}
+
+TEST(AdaptationStream, RejectsGarbage) {
+    std::stringstream buffer("garbage bytes that are not an adaptation");
+    EXPECT_THROW(load_adaptation(buffer), mime::check_error);
+}
+
+TEST(AdaptationStream, RejectsTruncation) {
+    MimeNetwork net(tiny_config());
+    const TaskAdaptation original = make_adaptation(net, "trunc", 0.1f);
+    std::stringstream buffer;
+    save_adaptation(original, buffer);
+    const std::string bytes = buffer.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() * 2 / 3));
+    EXPECT_THROW(load_adaptation(cut), mime::check_error);
+}
+
+TEST(AdaptationStore, BackboneRoundTrip) {
+    MimeNetwork net_a(tiny_config(5));
+    MimeNetwork net_b(tiny_config(6));
+    AdaptationStore store(temp_dir("store_backbone"));
+    EXPECT_FALSE(store.has_backbone());
+    store.save_backbone(net_a);
+    EXPECT_TRUE(store.has_backbone());
+    EXPECT_GT(store.backbone_bytes(), 0);
+
+    store.load_backbone(net_b);
+    const auto pa = net_a.backbone_parameters();
+    const auto pb = net_b.backbone_parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value[0], pb[i]->value[0]);
+    }
+}
+
+TEST(AdaptationStore, TaskManifestLifecycle) {
+    MimeNetwork net(tiny_config());
+    AdaptationStore store(temp_dir("store_tasks"));
+    EXPECT_TRUE(store.task_names().empty());
+    EXPECT_FALSE(store.has_task("alpha"));
+
+    store.save_task(make_adaptation(net, "beta", 0.2f));
+    store.save_task(make_adaptation(net, "alpha", 0.1f));
+    store.save_task(make_adaptation(net, "alpha", 0.15f));  // overwrite
+
+    const auto names = store.task_names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");  // sorted, deduplicated
+    EXPECT_EQ(names[1], "beta");
+    EXPECT_TRUE(store.has_task("alpha"));
+    EXPECT_GT(store.adaptation_bytes(), 0);
+
+    const TaskAdaptation alpha = store.load_task("alpha");
+    EXPECT_FLOAT_EQ(alpha.thresholds.thresholds[0][0], 0.15f);
+}
+
+TEST(AdaptationStore, LoadAllIntoEngine) {
+    MimeNetwork net(tiny_config());
+    AdaptationStore store(temp_dir("store_engine"));
+    store.save_task(make_adaptation(net, "a", 0.1f));
+    store.save_task(make_adaptation(net, "b", 0.2f));
+
+    MultiTaskEngine engine(net);
+    EXPECT_EQ(store.load_all_into(engine), 2);
+    EXPECT_EQ(engine.task_count(MultiTaskEngine::Scheme::mime), 2);
+}
+
+TEST(AdaptationStore, RejectsPathTricks) {
+    MimeNetwork net(tiny_config());
+    AdaptationStore store(temp_dir("store_paths"));
+    TaskAdaptation bad = make_adaptation(net, "../escape", 0.1f);
+    EXPECT_THROW(store.save_task(bad), mime::check_error);
+    bad.name = "a/b";
+    EXPECT_THROW(store.save_task(bad), mime::check_error);
+    bad.name = "";
+    EXPECT_THROW(store.save_task(bad), mime::check_error);
+}
+
+TEST(AdaptationStore, MissingTaskThrows) {
+    AdaptationStore store(temp_dir("store_missing"));
+    EXPECT_THROW(store.load_task("nope"), mime::check_error);
+}
+
+TEST(AdaptationStore, CorruptFileFailsLoudly) {
+    MimeNetwork net(tiny_config());
+    const std::string dir = temp_dir("store_corrupt");
+    AdaptationStore store(dir);
+    store.save_task(make_adaptation(net, "victim", 0.1f));
+    {
+        std::ofstream f(dir + "/task_victim.mta",
+                        std::ios::binary | std::ios::trunc);
+        f << "corrupted";
+    }
+    EXPECT_THROW(store.load_task("victim"), mime::check_error);
+}
+
+TEST(AdaptationStore, AdaptationsMuchSmallerThanBackbone) {
+    // The physical artifact mirrors the storage model: an adaptation file
+    // is a small fraction of the backbone file.
+    MimeNetwork net(tiny_config());
+    AdaptationStore store(temp_dir("store_sizes"));
+    store.save_backbone(net);
+    store.save_task(make_adaptation(net, "t", 0.1f));
+    EXPECT_LT(store.adaptation_bytes(), store.backbone_bytes());
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,160 @@
+// Tests for the VGG16 architecture description.
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+
+namespace mime::arch {
+namespace {
+
+TEST(LayerSpec, CountsForKnownConv) {
+    LayerSpec spec;
+    spec.name = "conv5";
+    spec.in_channels = 128;
+    spec.out_channels = 256;
+    spec.kernel = 3;
+    spec.padding = 1;
+    spec.in_height = 16;
+    spec.in_width = 16;
+    spec.validate();
+    EXPECT_EQ(spec.out_height(), 16);
+    EXPECT_EQ(spec.weight_count(), 256 * 128 * 9);
+    EXPECT_EQ(spec.neuron_count(), 256 * 16 * 16);
+    EXPECT_EQ(spec.mac_count(), spec.neuron_count() * 128 * 9);
+    EXPECT_EQ(spec.macs_per_neuron(), 128 * 9);
+}
+
+TEST(LayerSpec, FcConstraints) {
+    LayerSpec fc;
+    fc.name = "conv14";
+    fc.kind = LayerKind::fc;
+    fc.in_channels = 512;
+    fc.out_channels = 512;
+    fc.validate();
+    EXPECT_EQ(fc.neuron_count(), 512);
+    EXPECT_EQ(fc.weight_count(), 512 * 512);
+
+    fc.kernel = 3;
+    EXPECT_THROW(fc.validate(), mime::check_error);
+}
+
+TEST(Vgg16, FifteenThresholdLayers) {
+    const auto layers = vgg16_spec();
+    ASSERT_EQ(layers.size(), 15u);
+    EXPECT_EQ(layers[0].name, "conv1");
+    EXPECT_EQ(layers[12].name, "conv13");
+    EXPECT_EQ(layers[13].name, "conv14");
+    EXPECT_EQ(layers[14].name, "conv15");
+    EXPECT_EQ(layers[13].kind, LayerKind::fc);
+    EXPECT_EQ(layers[14].kind, LayerKind::fc);
+}
+
+TEST(Vgg16, ClassicChannelProgression) {
+    const auto layers = vgg16_spec();
+    EXPECT_EQ(layers[0].in_channels, 3);
+    EXPECT_EQ(layers[0].out_channels, 64);
+    EXPECT_EQ(layers[2].out_channels, 128);
+    EXPECT_EQ(layers[4].out_channels, 256);
+    EXPECT_EQ(layers[7].out_channels, 512);
+    EXPECT_EQ(layers[12].out_channels, 512);
+}
+
+TEST(Vgg16, PoolPositions) {
+    const auto layers = vgg16_spec();
+    // Pools follow conv2, conv4, conv7, conv10, conv13 (2-2-3-3-3).
+    const bool expected[13] = {false, true, false, true, false, false, true,
+                               false, false, true, false, false, true};
+    for (int i = 0; i < 13; ++i) {
+        EXPECT_EQ(layers[static_cast<std::size_t>(i)].pool_after, expected[i])
+            << "conv" << (i + 1);
+    }
+}
+
+TEST(Vgg16, SpatialShrinksWithPools) {
+    VggConfig config;
+    config.input_size = 64;
+    const auto layers = vgg16_spec(config);
+    EXPECT_EQ(layers[0].in_height, 64);
+    EXPECT_EQ(layers[2].in_height, 32);   // after pool 1
+    EXPECT_EQ(layers[4].in_height, 16);   // after pool 2
+    EXPECT_EQ(layers[7].in_height, 8);    // after pool 3
+    EXPECT_EQ(layers[10].in_height, 4);   // after pool 4
+    // FC input = 512 * (64/32)^2.
+    EXPECT_EQ(layers[13].in_channels, 512 * 2 * 2);
+}
+
+TEST(Vgg16, FullSizeParameterCount) {
+    // The 13 conv layers of VGG16 hold ~14.71M weights.
+    const auto layers = vgg16_spec();
+    std::int64_t conv_weights = 0;
+    for (const auto& l : layers) {
+        if (l.kind == LayerKind::conv) {
+            conv_weights += l.weight_count();
+        }
+    }
+    EXPECT_EQ(conv_weights, 14710464);
+}
+
+TEST(Vgg16, ThresholdCrossoverAtEvaluationGeometry) {
+    // At the hardware-evaluation geometry (input 64), thresholds
+    // outnumber weights in conv2 while weights dominate from conv5 on —
+    // the crossover driving the paper's Fig 8 discussion.
+    VggConfig config;
+    config.input_size = 64;
+    const auto layers = vgg16_spec(config);
+    EXPECT_GT(layers[1].neuron_count(), layers[1].weight_count());   // conv2
+    EXPECT_GT(layers[4].weight_count(), layers[4].neuron_count());   // conv5
+    EXPECT_GT(layers[7].weight_count(), layers[7].neuron_count());   // conv8
+    EXPECT_GT(layers[12].weight_count(), layers[12].neuron_count()); // conv13
+}
+
+TEST(Vgg16, WidthScaleShrinksChannels) {
+    VggConfig config;
+    config.width_scale = 0.125;
+    const auto layers = vgg16_spec(config);
+    EXPECT_EQ(layers[0].out_channels, 8);    // 64/8
+    EXPECT_EQ(layers[4].out_channels, 32);   // 256/8
+    EXPECT_EQ(layers[12].out_channels, 64);  // 512/8
+}
+
+TEST(Vgg16, ScaleChannelsFloorsAtFour) {
+    EXPECT_EQ(scale_channels(64, 0.01), 4);
+    EXPECT_EQ(scale_channels(64, 1.0), 64);
+    EXPECT_EQ(scale_channels(100, 0.5), 50);
+    EXPECT_THROW(scale_channels(64, 0.0), mime::check_error);
+    EXPECT_THROW(scale_channels(64, 1.5), mime::check_error);
+}
+
+TEST(Vgg16, ClassifierMatchesLastFc) {
+    VggConfig config;
+    config.num_classes = 100;
+    const auto cls = vgg16_classifier(config);
+    const auto layers = vgg16_spec(config);
+    EXPECT_EQ(cls.in_channels, layers.back().out_channels);
+    EXPECT_EQ(cls.out_channels, 100);
+}
+
+TEST(Vgg16, RejectsBadInputSize) {
+    VggConfig config;
+    config.input_size = 48;  // not divisible by 32
+    EXPECT_THROW(vgg16_spec(config), mime::check_error);
+    config.input_size = 16;  // too small
+    EXPECT_THROW(vgg16_spec(config), mime::check_error);
+}
+
+TEST(Totals, SumAcrossLayers) {
+    const auto layers = vgg16_spec();
+    EXPECT_EQ(total_weights(layers),
+              [&] {
+                  std::int64_t n = 0;
+                  for (const auto& l : layers) {
+                      n += l.weight_count();
+                  }
+                  return n;
+              }());
+    EXPECT_GT(total_neurons(layers), 0);
+    EXPECT_GT(total_macs(layers), total_weights(layers));
+}
+
+}  // namespace
+}  // namespace mime::arch

@@ -1,0 +1,156 @@
+// Tests for data augmentation and dataset serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "data/augment.h"
+#include "data/io.h"
+#include "data/task_suite.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::data {
+namespace {
+
+Dataset small_dataset() {
+    TaskSuiteOptions options;
+    options.train_size = 16;
+    options.test_size = 16;
+    options.cifar100_classes = 10;
+    const auto suite = make_task_suite(options);
+    return suite.family->train_split(suite.cifar10_like);
+}
+
+TEST(Augment, FlipIsInvolution) {
+    Rng rng(1);
+    Tensor image = Tensor::randn({3, 8, 8}, rng);
+    const Tensor original = image;
+    flip_horizontal(image);
+    bool changed = false;
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+        changed = changed || image[i] != original[i];
+    }
+    EXPECT_TRUE(changed);
+    flip_horizontal(image);
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+        ASSERT_EQ(image[i], original[i]);
+    }
+}
+
+TEST(Augment, FlipMirrorsColumns) {
+    Tensor image({1, 1, 4});
+    image[0] = 1;
+    image[1] = 2;
+    image[2] = 3;
+    image[3] = 4;
+    flip_horizontal(image);
+    EXPECT_EQ(image[0], 4);
+    EXPECT_EQ(image[3], 1);
+}
+
+TEST(Augment, ShiftMovesContentAndZeroFills) {
+    Tensor image({1, 3, 3});
+    image.at({0, 1, 1}) = 5.0f;
+    shift_image(image, 1, 1);
+    EXPECT_EQ(image.at({0, 2, 2}), 5.0f);
+    EXPECT_EQ(image.at({0, 1, 1}), 0.0f);
+    EXPECT_EQ(image.at({0, 0, 0}), 0.0f);
+}
+
+TEST(Augment, ZeroShiftIsNoop) {
+    Rng rng(2);
+    Tensor image = Tensor::randn({2, 4, 4}, rng);
+    const Tensor original = image;
+    shift_image(image, 0, 0);
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+        ASSERT_EQ(image[i], original[i]);
+    }
+}
+
+TEST(Augment, BatchAugmentPreservesShapeAndLabels) {
+    Dataset ds = small_dataset();
+    Batch batch = ds.head(8);
+    const auto labels = batch.labels;
+    const Shape shape = batch.images.shape();
+
+    Rng rng(3);
+    AugmentOptions options;
+    augment_batch(batch, options, rng);
+    EXPECT_EQ(batch.images.shape(), shape);
+    EXPECT_EQ(batch.labels, labels);
+}
+
+TEST(Augment, DisabledIsIdentity) {
+    Dataset ds = small_dataset();
+    Batch batch = ds.head(4);
+    const Tensor original = batch.images;
+    Rng rng(3);
+    AugmentOptions options;
+    options.enabled = false;
+    augment_batch(batch, options, rng);
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+        ASSERT_EQ(batch.images[i], original[i]);
+    }
+}
+
+TEST(Augment, ChangesImagesWhenEnabled) {
+    Dataset ds = small_dataset();
+    Batch batch = ds.head(8);
+    const Tensor original = batch.images;
+    Rng rng(3);
+    AugmentOptions options;
+    options.noise_stddev = 0.05;
+    augment_batch(batch, options, rng);
+    EXPECT_GT(l2_norm(sub(batch.images, original)), 0.0f);
+}
+
+TEST(Augment, ValidatesOptions) {
+    AugmentOptions bad;
+    bad.flip_probability = 1.5;
+    EXPECT_THROW(bad.validate(), mime::check_error);
+    bad = AugmentOptions{};
+    bad.max_shift = -1;
+    EXPECT_THROW(bad.validate(), mime::check_error);
+}
+
+TEST(DatasetIo, RoundTripBitExact) {
+    const Dataset original = small_dataset();
+    std::stringstream buffer;
+    save_dataset(original, buffer);
+    const Dataset loaded = load_dataset(buffer);
+
+    EXPECT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.images().shape(), original.images().shape());
+    EXPECT_EQ(loaded.labels(), original.labels());
+    for (std::int64_t i = 0; i < original.images().numel(); ++i) {
+        ASSERT_EQ(loaded.images()[i], original.images()[i]);
+    }
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+    const Dataset original = small_dataset();
+    const std::string path = ::testing::TempDir() + "/mime_dataset.bin";
+    save_dataset_file(original, path);
+    const Dataset loaded = load_dataset_file(path);
+    EXPECT_EQ(loaded.labels(), original.labels());
+}
+
+TEST(DatasetIo, RejectsGarbageAndTruncation) {
+    std::stringstream garbage("not a dataset");
+    EXPECT_THROW(load_dataset(garbage), mime::check_error);
+
+    const Dataset original = small_dataset();
+    std::stringstream buffer;
+    save_dataset(original, buffer);
+    const std::string bytes = buffer.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(load_dataset(cut), mime::check_error);
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+    EXPECT_THROW(load_dataset_file("/nonexistent/dataset.bin"),
+                 mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::data

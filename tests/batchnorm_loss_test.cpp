@@ -1,0 +1,161 @@
+// Tests for BatchNorm2d and SoftmaxCrossEntropy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/batchnorm.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+
+namespace mime::nn {
+namespace {
+
+TEST(BatchNorm, NormalizesPerChannelInTraining) {
+    BatchNorm2d bn(2);
+    bn.set_training(true);
+    Rng rng(5);
+    Tensor x = Tensor::randn({4, 2, 8, 8}, rng, 3.0f, 2.0f);
+    const Tensor y = bn.forward(x);
+
+    // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+    for (std::int64_t c = 0; c < 2; ++c) {
+        double mean_acc = 0.0;
+        double var_acc = 0.0;
+        std::int64_t count = 0;
+        for (std::int64_t n = 0; n < 4; ++n) {
+            for (std::int64_t s = 0; s < 64; ++s) {
+                const float v = y.at({n, c, s / 8, s % 8});
+                mean_acc += v;
+                ++count;
+            }
+        }
+        const double m = mean_acc / count;
+        for (std::int64_t n = 0; n < 4; ++n) {
+            for (std::int64_t s = 0; s < 64; ++s) {
+                const double d = y.at({n, c, s / 8, s % 8}) - m;
+                var_acc += d * d;
+            }
+        }
+        EXPECT_NEAR(m, 0.0, 1e-4);
+        EXPECT_NEAR(var_acc / count, 1.0, 1e-3);
+    }
+}
+
+TEST(BatchNorm, AffineParametersApplied) {
+    BatchNorm2d bn(1);
+    bn.set_training(true);
+    bn.gamma().value[0] = 2.0f;
+    bn.beta().value[0] = 5.0f;
+    Rng rng(2);
+    const Tensor x = Tensor::randn({8, 1, 4, 4}, rng);
+    const Tensor y = bn.forward(x);
+    EXPECT_NEAR(mean(y), 5.0f, 1e-3f);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+    BatchNorm2d bn(1, /*momentum=*/1.0f);
+    bn.set_training(true);
+    Rng rng(3);
+    const Tensor x = Tensor::randn({16, 1, 4, 4}, rng, 10.0f, 1.0f);
+    bn.forward(x);  // momentum 1 → running stats = batch stats
+
+    bn.set_training(false);
+    const Tensor probe({1, 1, 1, 1},
+                       std::vector<float>{bn.running_mean()[0]});
+    // Input equal to the running mean normalizes to ~beta.
+    Tensor padded({1, 1, 4, 4}, bn.running_mean()[0]);
+    const Tensor y = bn.forward(padded);
+    EXPECT_NEAR(y[0], bn.beta().value[0], 1e-4f);
+}
+
+TEST(BatchNorm, TrainingGradCheck) {
+    BatchNorm2d bn(3);
+    bn.set_training(true);
+    Rng rng(9);
+    const Tensor x = Tensor::randn({4, 3, 4, 4}, rng);
+    GradCheckOptions options;
+    options.tolerance = 8e-2;  // batch-statistics adjoint is noisier in f32
+    const auto input_result = check_input_gradient(bn, x, rng, options);
+    EXPECT_TRUE(input_result.passed) << input_result.detail;
+    const auto param_result = check_parameter_gradients(bn, x, rng, options);
+    EXPECT_TRUE(param_result.passed) << param_result.detail;
+}
+
+TEST(BatchNorm, RejectsWrongChannels) {
+    BatchNorm2d bn(3);
+    const Tensor x({1, 2, 4, 4});
+    EXPECT_THROW(bn.forward(x), mime::check_error);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({2, 4});  // all zeros → uniform
+    const double value = loss.forward(logits, {0, 3});
+    EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits({1, 3});
+    logits[1] = 50.0f;
+    const double value = loss.forward(logits, {1});
+    EXPECT_LT(value, 1e-6);
+    EXPECT_EQ(loss.last_correct(), 1);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({1, 3}, std::vector<float>{1, 2, 3});
+    loss.forward(logits, {2});
+    const Tensor g = loss.backward();
+    // Gradient sums to zero per row and is negative only at the label.
+    double row_sum = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) {
+        row_sum += g[c];
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+    EXPECT_LT(g[2], 0.0f);
+    EXPECT_GT(g[0], 0.0f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+    SoftmaxCrossEntropy loss;
+    Rng rng(6);
+    Tensor logits = Tensor::randn({3, 5}, rng);
+    const std::vector<std::int64_t> labels{0, 2, 4};
+    loss.forward(logits, labels);
+    const Tensor g = loss.backward();
+
+    const double eps = 1e-3;
+    for (std::int64_t i = 0; i < logits.numel(); i += 3) {
+        const float saved = logits[i];
+        logits[i] = saved + static_cast<float>(eps);
+        const double plus = loss.forward(logits, labels);
+        logits[i] = saved - static_cast<float>(eps);
+        const double minus = loss.forward(logits, labels);
+        logits[i] = saved;
+        EXPECT_NEAR(g[i], (plus - minus) / (2 * eps), 2e-4) << "logit " << i;
+    }
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+    SoftmaxCrossEntropy loss;
+    Tensor logits({3, 2});
+    logits.at({0, 1}) = 5.0f;  // predicts 1
+    logits.at({1, 0}) = 5.0f;  // predicts 0
+    logits.at({2, 1}) = 5.0f;  // predicts 1
+    loss.forward(logits, {1, 0, 0});
+    EXPECT_EQ(loss.last_correct(), 2);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+    SoftmaxCrossEntropy loss;
+    const Tensor logits({1, 3});
+    EXPECT_THROW(loss.forward(logits, {3}), mime::check_error);
+    EXPECT_THROW(loss.forward(logits, {-1}), mime::check_error);
+    EXPECT_THROW(loss.forward(logits, {0, 1}), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::nn

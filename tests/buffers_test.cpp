@@ -1,0 +1,184 @@
+// Tests for persistent module buffers (BatchNorm running statistics):
+// serialization, backbone snapshots, and frozen-backbone semantics.
+// These pin the regression where a saved-and-reloaded parent model lost
+// its BatchNorm statistics and collapsed to chance accuracy.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "core/trainer.h"
+#include "data/task_suite.h"
+#include "nn/batchnorm.h"
+#include "nn/serialize.h"
+
+namespace mime {
+namespace {
+
+core::MimeNetworkConfig bn_config(std::uint64_t seed = 17) {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.batchnorm = true;
+    config.seed = seed;
+    return config;
+}
+
+data::Dataset small_data() {
+    data::TaskSuiteOptions options;
+    options.train_size = 64;
+    options.test_size = 64;
+    options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(options);
+    return suite.family->test_split(suite.cifar10_like);
+}
+
+TEST(Buffers, BatchNormExposesRunningStats) {
+    nn::BatchNorm2d bn(4);
+    const auto buffers = bn.buffers();
+    ASSERT_EQ(buffers.size(), 2u);
+    EXPECT_EQ(buffers[0]->name, "running_mean");
+    EXPECT_EQ(buffers[1]->name, "running_var");
+    EXPECT_FALSE(buffers[0]->trainable);
+    EXPECT_FALSE(buffers[1]->trainable);
+}
+
+TEST(Buffers, SequentialAggregatesBuffers) {
+    nn::Sequential seq;
+    seq.emplace<nn::BatchNorm2d>(4);
+    seq.emplace<nn::BatchNorm2d>(8);
+    EXPECT_EQ(seq.buffers().size(), 4u);
+    EXPECT_EQ(seq.parameters().size(), 4u);  // gamma/beta only
+}
+
+TEST(Buffers, SerializationCarriesRunningStats) {
+    core::MimeNetwork trained(bn_config(1));
+    core::MimeNetwork fresh(bn_config(2));
+
+    // Drive the running stats away from their defaults.
+    Rng rng(3);
+    trained.set_training(true);
+    trained.forward(Tensor::randn({8, 3, 32, 32}, rng, 5.0f, 2.0f));
+
+    std::stringstream buffer;
+    nn::save_parameters(trained.network(), buffer);
+    nn::load_parameters(fresh.network(), buffer);
+
+    const auto src = trained.network().buffers();
+    const auto dst = fresh.network().buffers();
+    ASSERT_EQ(src.size(), dst.size());
+    ASSERT_FALSE(src.empty());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        for (std::int64_t j = 0; j < src[i]->value.numel(); ++j) {
+            ASSERT_EQ(src[i]->value[j], dst[i]->value[j]) << src[i]->name;
+        }
+    }
+}
+
+TEST(Buffers, ReloadedModelPredictsIdentically) {
+    // The regression test proper: eval-mode predictions must survive a
+    // save/load round trip bit-for-bit (BN inference mode uses the
+    // running stats that previously went missing).
+    core::MimeNetwork a(bn_config(1));
+    Rng rng(4);
+    a.set_training(true);
+    a.forward(Tensor::randn({8, 3, 32, 32}, rng, 1.0f, 3.0f));
+
+    core::MimeNetwork b(bn_config(2));
+    std::stringstream buffer;
+    nn::save_parameters(a.network(), buffer);
+    nn::load_parameters(b.network(), buffer);
+
+    a.set_training(false);
+    b.set_training(false);
+    const Tensor probe = Tensor::randn({4, 3, 32, 32}, rng);
+    const Tensor logits_a = a.forward(probe);
+    const Tensor logits_b = b.forward(probe);
+    for (std::int64_t i = 0; i < logits_a.numel(); ++i) {
+        ASSERT_EQ(logits_a[i], logits_b[i]);
+    }
+}
+
+TEST(Buffers, BackboneSnapshotIncludesRunningStats) {
+    core::MimeNetwork net(bn_config());
+    Rng rng(5);
+    net.set_training(true);
+    net.forward(Tensor::randn({8, 3, 32, 32}, rng, 2.0f, 1.0f));
+    const auto snapshot = net.snapshot_backbone();
+
+    // Disturb the stats, restore, verify.
+    net.forward(Tensor::randn({8, 3, 32, 32}, rng, -3.0f, 5.0f));
+    const float disturbed = net.network().buffers()[0]->value[0];
+    net.load_backbone(snapshot);
+    const float restored = net.network().buffers()[0]->value[0];
+    EXPECT_NE(disturbed, restored);
+
+    // Eval predictions match the snapshot state exactly.
+    net.set_training(false);
+    const Tensor probe = Tensor::randn({2, 3, 32, 32}, rng);
+    const Tensor before = net.forward(probe);
+    net.load_backbone(snapshot);
+    const Tensor after = net.forward(probe);
+    for (std::int64_t i = 0; i < before.numel(); ++i) {
+        ASSERT_EQ(before[i], after[i]);
+    }
+}
+
+TEST(Buffers, FrozenBackboneFreezesBatchNormStats) {
+    core::MimeNetwork net(bn_config());
+    Rng rng(6);
+    net.set_training(true);
+    net.forward(Tensor::randn({8, 3, 32, 32}, rng));
+    net.freeze_backbone(true);
+
+    const float mean_before = net.network().buffers()[0]->value[0];
+    // Training-mode forwards (as in threshold training) must not move
+    // the frozen running statistics.
+    net.set_training(true);
+    net.set_mode(core::ActivationMode::threshold);
+    net.forward(Tensor::randn({8, 3, 32, 32}, rng, 10.0f, 4.0f));
+    const float mean_after = net.network().buffers()[0]->value[0];
+    EXPECT_EQ(mean_before, mean_after);
+
+    // Unfreezing restores normal training-mode statistics updates.
+    net.freeze_backbone(false);
+    net.set_training(true);
+    net.forward(Tensor::randn({8, 3, 32, 32}, rng, 10.0f, 4.0f));
+    EXPECT_NE(net.network().buffers()[0]->value[0], mean_after);
+}
+
+TEST(Buffers, ThresholdTrainingLeavesStatsUntouched) {
+    core::MimeNetwork net(bn_config());
+    const auto data = small_data();
+    core::TrainOptions options;
+    options.epochs = 1;
+    options.batch_size = 32;
+
+    const auto before = net.snapshot_backbone();
+    core::train_thresholds(net, data, options);
+    const auto after = net.snapshot_backbone();
+    // Everything except the (intentionally trainable) classifier head is
+    // bit-identical — including the BN buffers at the end.
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        const bool is_head = before[i].shape() == Shape({10, 32}) ||
+                             before[i].shape() == Shape({10});
+        if (is_head) {
+            continue;
+        }
+        for (std::int64_t j = 0; j < before[i].numel(); ++j) {
+            ASSERT_EQ(before[i][j], after[i][j]) << "snapshot entry " << i;
+        }
+    }
+}
+
+TEST(Buffers, NonBatchNormNetworksHaveNone) {
+    core::MimeNetworkConfig config = bn_config();
+    config.batchnorm = false;
+    core::MimeNetwork net(config);
+    EXPECT_TRUE(net.network().buffers().empty());
+}
+
+}  // namespace
+}  // namespace mime

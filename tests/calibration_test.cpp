@@ -1,0 +1,123 @@
+// Tests for percentile-based threshold calibration (the training-free
+// extension to the paper's learned thresholds).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/calibration.h"
+#include "core/sparsity.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 31;
+    return config;
+}
+
+struct Fixture {
+    data::TaskSuite suite;
+    data::Dataset test;
+    data::Batch calibration;
+
+    Fixture() {
+        data::TaskSuiteOptions options;
+        options.train_size = 96;
+        options.test_size = 96;
+        options.cifar100_classes = 10;
+        suite = data::make_task_suite(options);
+        test = suite.family->test_split(suite.cifar10_like);
+        calibration = suite.family->train_split(suite.cifar10_like).head(64);
+    }
+};
+
+TEST(Calibration, HitsTargetSparsityOnCalibrationBatch) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    CalibrationOptions options;
+    options.target_sparsity = 0.6;
+    options.floor = -1e9f;  // no clamping: percentile should be exact
+    const auto achieved = calibrate_thresholds(net, f.calibration, options);
+    ASSERT_EQ(achieved.size(), 15u);
+    for (const double s : achieved) {
+        EXPECT_NEAR(s, 0.6, 0.05);
+    }
+}
+
+TEST(Calibration, GeneralizesToHeldOutData) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    CalibrationOptions options;
+    options.target_sparsity = 0.55;
+    calibrate_thresholds(net, f.calibration, options);
+
+    net.set_mode(ActivationMode::threshold);
+    const auto report = measure_sparsity(net, f.test, 32);
+    // Held-out sparsity tracks the target loosely (per-neuron percentile
+    // over 64 samples is a noisy estimator).
+    EXPECT_NEAR(report.overall(), 0.55, 0.12);
+}
+
+TEST(Calibration, PerLayerGranularityAlsoHitsTarget) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    CalibrationOptions options;
+    options.target_sparsity = 0.5;
+    options.granularity = CalibrationGranularity::per_layer;
+    options.floor = -1e9f;
+    const auto achieved = calibrate_thresholds(net, f.calibration, options);
+    for (const double s : achieved) {
+        EXPECT_NEAR(s, 0.5, 0.03);
+    }
+}
+
+TEST(Calibration, HigherTargetGivesHigherSparsity) {
+    Fixture f;
+    MimeNetwork low_net(tiny_config());
+    MimeNetwork high_net(tiny_config());
+    CalibrationOptions low;
+    low.target_sparsity = 0.3;
+    CalibrationOptions high;
+    high.target_sparsity = 0.8;
+    calibrate_thresholds(low_net, f.calibration, low);
+    calibrate_thresholds(high_net, f.calibration, high);
+
+    low_net.set_mode(ActivationMode::threshold);
+    high_net.set_mode(ActivationMode::threshold);
+    const auto low_report = measure_sparsity(low_net, f.test, 32);
+    const auto high_report = measure_sparsity(high_net, f.test, 32);
+    EXPECT_GT(high_report.overall(), low_report.overall() + 0.2);
+}
+
+TEST(Calibration, FloorClampRaisesSparsityAboveTarget) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    CalibrationOptions options;
+    options.target_sparsity = 0.1;  // percentile mostly below zero
+    options.floor = 0.0f;           // ... but clamped to >= 0
+    const auto achieved = calibrate_thresholds(net, f.calibration, options);
+    // With t >= 0, at least all negative activations are masked (~half).
+    for (const double s : achieved) {
+        EXPECT_GT(s, 0.25);
+    }
+}
+
+TEST(Calibration, ValidatesOptions) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    CalibrationOptions bad;
+    bad.target_sparsity = 1.0;
+    EXPECT_THROW(calibrate_thresholds(net, f.calibration, bad),
+                 mime::check_error);
+    CalibrationOptions per_neuron;
+    const data::Batch tiny = f.test.head(2);
+    EXPECT_THROW(calibrate_thresholds(net, tiny, per_neuron),
+                 mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::core

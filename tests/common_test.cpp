@@ -1,0 +1,213 @@
+// Tests for the common substrate: checks, RNG, thread pool, tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace mime {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+    try {
+        MIME_REQUIRE(1 == 2, "math broke");
+        FAIL() << "expected check_error";
+    } catch (const check_error& e) {
+        EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(Check, PassesSilently) {
+    EXPECT_NO_THROW(MIME_REQUIRE(2 + 2 == 4, "fine"));
+    EXPECT_NO_THROW(MIME_ENSURE(true, "fine"));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniform_index(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform_index(0), check_error);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+    Rng rng(123);
+    const int n = 20000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+    Rng rng(5);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.normal(10.0, 2.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(99);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+    Rng rng(3);
+    const auto p = rng.permutation(100);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ForkIsIndependent) {
+    Rng parent(17);
+    Rng child = parent.fork();
+    // The fork advances the parent; both continue deterministically.
+    Rng parent2(17);
+    Rng child2 = parent2.fork();
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(child.next_u64(), child2.next_u64());
+        EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+    }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&count] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+    ThreadPool pool(4);
+    std::vector<int> hit(10000, 0);
+    parallel_for(
+        pool, hit.size(),
+        [&hit](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                hit[i] += 1;
+            }
+        },
+        16);
+    for (const int h : hit) {
+        EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+    ThreadPool pool(2);
+    bool ran = false;
+    parallel_for(pool, 0, [&ran](std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeRunsInline) {
+    ThreadPool pool(4);
+    std::vector<int> hit(10, 0);
+    parallel_for(
+        pool, hit.size(),
+        [&hit](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                hit[i] += 1;
+            }
+        },
+        1024);
+    for (const int h : hit) {
+        EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(Table, RendersAlignedRows) {
+    Table t({"layer", "value"});
+    t.add_row({"conv1", "1.0"});
+    t.add_row({"conv10", "2.5"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| layer "), std::string::npos);
+    EXPECT_NE(s.find("conv10"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), check_error);
+}
+
+TEST(Table, NumberFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::ratio(3.4812), "3.48x");
+    EXPECT_EQ(Table::bytes(1536.0), "1.50 KiB");
+    EXPECT_EQ(Table::bytes(3.0 * 1024 * 1024), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,198 @@
+// Tests for Conv2d and Linear: reference forward, gradient checks,
+// threading equivalence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "nn/conv2d.h"
+#include "nn/gradcheck.h"
+#include "nn/linear.h"
+
+namespace mime::nn {
+namespace {
+
+/// Direct O(N^7) convolution used as ground truth.
+Tensor conv_reference(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, std::int64_t stride,
+                      std::int64_t padding) {
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t cin = input.shape().dim(1);
+    const std::int64_t h = input.shape().dim(2);
+    const std::int64_t w = input.shape().dim(3);
+    const std::int64_t cout = weight.shape().dim(0);
+    const std::int64_t k = weight.shape().dim(2);
+    const std::int64_t ho = (h + 2 * padding - k) / stride + 1;
+    const std::int64_t wo = (w + 2 * padding - k) / stride + 1;
+
+    Tensor out({batch, cout, ho, wo});
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t co = 0; co < cout; ++co) {
+            for (std::int64_t oy = 0; oy < ho; ++oy) {
+                for (std::int64_t ox = 0; ox < wo; ++ox) {
+                    double acc = bias != nullptr ? (*bias)[co] : 0.0;
+                    for (std::int64_t ci = 0; ci < cin; ++ci) {
+                        for (std::int64_t ky = 0; ky < k; ++ky) {
+                            for (std::int64_t kx = 0; kx < k; ++kx) {
+                                const std::int64_t iy =
+                                    oy * stride + ky - padding;
+                                const std::int64_t ix =
+                                    ox * stride + kx - padding;
+                                if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
+                                    continue;
+                                }
+                                acc += static_cast<double>(input.at(
+                                           {n, ci, iy, ix})) *
+                                       weight.at({co, ci, ky, kx});
+                            }
+                        }
+                    }
+                    out.at({n, co, oy, ox}) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TEST(Conv2d, MatchesReferenceForward) {
+    Rng rng(4);
+    Conv2d conv(3, 5, 3, 1, 1, rng, /*bias=*/true);
+    conv.bias().value = Tensor::randn({5}, rng);
+    const Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+    const Tensor y = conv.forward(x);
+    const Tensor ref =
+        conv_reference(x, conv.weight().value, &conv.bias().value, 1, 1);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_NEAR(y[i], ref[i], 2e-4f);
+    }
+}
+
+TEST(Conv2d, MatchesReferenceStrided) {
+    Rng rng(8);
+    Conv2d conv(2, 4, 3, 2, 0, rng, /*bias=*/false);
+    const Tensor x = Tensor::randn({3, 2, 9, 9}, rng);
+    const Tensor y = conv.forward(x);
+    const Tensor ref = conv_reference(x, conv.weight().value, nullptr, 2, 0);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_NEAR(y[i], ref[i], 2e-4f);
+    }
+}
+
+TEST(Conv2d, ThreadedForwardMatchesSerial) {
+    Rng rng(15);
+    Conv2d conv(4, 8, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({6, 4, 8, 8}, rng);
+    const Tensor serial = conv.forward(x);
+    ThreadPool pool(4);
+    conv.set_pool(&pool);
+    const Tensor threaded = conv.forward(x);
+    for (std::int64_t i = 0; i < serial.numel(); ++i) {
+        EXPECT_NEAR(serial[i], threaded[i], 1e-5f);
+    }
+}
+
+TEST(Conv2d, InputGradCheck) {
+    Rng rng(23);
+    Conv2d conv(2, 3, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+    const auto result = check_input_gradient(conv, x, rng);
+    EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(Conv2d, ParameterGradCheck) {
+    Rng rng(31);
+    Conv2d conv(2, 3, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+    const auto result = check_parameter_gradients(conv, x, rng);
+    EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(Conv2d, GradientAccumulatesAcrossBackwards) {
+    Rng rng(2);
+    Conv2d conv(1, 1, 1, 1, 0, rng, /*bias=*/false);
+    const Tensor x = Tensor::ones({1, 1, 2, 2});
+    conv.weight().zero_grad();
+    conv.forward(x);
+    conv.backward(Tensor::ones({1, 1, 2, 2}));
+    const float g1 = conv.weight().grad[0];
+    conv.forward(x);
+    conv.backward(Tensor::ones({1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(conv.weight().grad[0], 2.0f * g1);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+    Rng rng(1);
+    Conv2d conv(3, 4, 3, 1, 1, rng);
+    const Tensor x({1, 2, 8, 8});
+    EXPECT_THROW(conv.forward(x), mime::check_error);
+}
+
+TEST(Conv2d, ParametersExposed) {
+    Rng rng(1);
+    Conv2d with_bias(2, 3, 3, 1, 1, rng, true);
+    EXPECT_EQ(with_bias.parameters().size(), 2u);
+    Conv2d without(2, 3, 3, 1, 1, rng, false);
+    EXPECT_EQ(without.parameters().size(), 1u);
+    EXPECT_FALSE(without.has_bias());
+}
+
+TEST(Linear, ForwardMatchesManual) {
+    Rng rng(3);
+    Linear fc(3, 2, rng);
+    fc.weight().value = Tensor({2, 3}, std::vector<float>{1, 0, -1, 2, 1, 0});
+    fc.bias().value = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+    const Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+    const Tensor y = fc.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 1 * 1 + 0 * 2 + (-1) * 3 + 0.5f);
+    EXPECT_FLOAT_EQ(y[1], 2 * 1 + 1 * 2 + 0 * 3 - 0.5f);
+}
+
+TEST(Linear, InputGradCheck) {
+    Rng rng(41);
+    Linear fc(6, 4, rng);
+    const Tensor x = Tensor::randn({3, 6}, rng);
+    const auto result = check_input_gradient(fc, x, rng);
+    EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(Linear, ParameterGradCheck) {
+    Rng rng(43);
+    Linear fc(6, 4, rng);
+    const Tensor x = Tensor::randn({3, 6}, rng);
+    const auto result = check_parameter_gradients(fc, x, rng);
+    EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(Linear, RejectsWrongFeatureCount) {
+    Rng rng(1);
+    Linear fc(4, 2, rng);
+    const Tensor x({1, 5});
+    EXPECT_THROW(fc.forward(x), mime::check_error);
+}
+
+// Parameterized gradient sweep across layer geometries.
+class ConvGradSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvGradSweep, ParameterGradients) {
+    const auto [cin, cout, kernel, stride] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(cin * 100 + cout * 10 + kernel));
+    Conv2d conv(cin, cout, kernel, stride, kernel / 2, rng);
+    const Tensor x = Tensor::randn({2, cin, 6, 6}, rng);
+    const auto result = check_parameter_gradients(conv, x, rng);
+    EXPECT_TRUE(result.passed) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvGradSweep,
+                         ::testing::Values(std::tuple{1, 1, 1, 1},
+                                           std::tuple{2, 4, 3, 1},
+                                           std::tuple{3, 2, 3, 2},
+                                           std::tuple{4, 4, 5, 1},
+                                           std::tuple{2, 2, 2, 2}));
+
+}  // namespace
+}  // namespace mime::nn

@@ -1,0 +1,199 @@
+// Tests for the synthetic task family and dataloaders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "data/task_suite.h"
+
+namespace mime::data {
+namespace {
+
+TEST(SyntheticFamily, ParentRegisteredAtConstruction) {
+    SyntheticTaskFamily family(1, /*parent_classes=*/20);
+    EXPECT_EQ(family.task_count(), 1);
+    EXPECT_EQ(family.parent().num_classes, 20);
+    EXPECT_EQ(family.parent().name, "parent");
+}
+
+TEST(SyntheticFamily, GeneratesRequestedShapes) {
+    SyntheticTaskFamily family(1);
+    TaskSpec spec;
+    spec.name = "child";
+    spec.num_classes = 5;
+    spec.train_size = 40;
+    spec.test_size = 12;
+    const auto idx = family.add_task(spec);
+
+    const Dataset train = family.train_split(idx);
+    const Dataset test = family.test_split(idx);
+    EXPECT_EQ(train.size(), 40);
+    EXPECT_EQ(test.size(), 12);
+    EXPECT_EQ(train.images().shape(), Shape({40, 3, 32, 32}));
+}
+
+TEST(SyntheticFamily, LabelsCoverAllClasses) {
+    SyntheticTaskFamily family(2);
+    TaskSpec spec;
+    spec.name = "child";
+    spec.num_classes = 4;
+    spec.train_size = 200;
+    const auto idx = family.add_task(spec);
+    const Dataset train = family.train_split(idx);
+    std::set<std::int64_t> seen(train.labels().begin(), train.labels().end());
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_GE(*seen.begin(), 0);
+    EXPECT_LT(*seen.rbegin(), 4);
+}
+
+TEST(SyntheticFamily, DeterministicAcrossInstances) {
+    SyntheticTaskFamily a(7);
+    SyntheticTaskFamily b(7);
+    TaskSpec spec;
+    spec.name = "child";
+    spec.train_size = 10;
+    a.add_task(spec);
+    b.add_task(spec);
+    const Dataset da = a.train_split(1);
+    const Dataset db = b.train_split(1);
+    for (std::int64_t i = 0; i < da.images().numel(); ++i) {
+        ASSERT_EQ(da.images()[i], db.images()[i]);
+    }
+    EXPECT_EQ(da.labels(), db.labels());
+}
+
+TEST(SyntheticFamily, TrainAndTestSplitsDiffer) {
+    SyntheticTaskFamily family(7);
+    TaskSpec spec;
+    spec.name = "child";
+    spec.train_size = 20;
+    spec.test_size = 20;
+    const auto idx = family.add_task(spec);
+    const Dataset train = family.train_split(idx);
+    const Dataset test = family.test_split(idx);
+    bool differs = false;
+    for (std::int64_t i = 0; i < train.images().numel() && !differs; ++i) {
+        differs = train.images()[i] != test.images()[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticFamily, SeedsProduceDifferentData) {
+    SyntheticTaskFamily a(1);
+    SyntheticTaskFamily b(2);
+    const Dataset da = a.train_split(0);
+    const Dataset db = b.train_split(0);
+    bool differs = false;
+    for (std::int64_t i = 0; i < 100 && !differs; ++i) {
+        differs = da.images()[i] != db.images()[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticFamily, GrayscaleStyleProperties) {
+    SyntheticTaskFamily family(3);
+    TaskSpec spec;
+    spec.name = "fmnist-like";
+    spec.style = ImageStyle::grayscale;
+    spec.train_size = 4;
+    const auto idx = family.add_task(spec);
+    const Dataset ds = family.train_split(idx);
+    const Tensor& img = ds.images();
+
+    constexpr std::int64_t plane = 32 * 32;
+    for (std::int64_t n = 0; n < 4; ++n) {
+        const float* base = img.data() + n * 3 * plane;
+        // All channels identical (grayscale replicated).
+        for (std::int64_t i = 0; i < plane; ++i) {
+            EXPECT_EQ(base[i], base[plane + i]);
+            EXPECT_EQ(base[i], base[2 * plane + i]);
+        }
+        // 2-pixel border zeroed (28x28 content in a 32x32 canvas).
+        EXPECT_EQ(base[0], 0.0f);
+        EXPECT_EQ(base[31], 0.0f);
+        EXPECT_EQ(base[plane - 1], 0.0f);
+    }
+}
+
+TEST(SyntheticFamily, PixelRangeBounded) {
+    SyntheticTaskFamily family(4);
+    const Dataset ds = family.train_split(0);
+    // tanh output plus small noise: comfortably inside [-2, 2].
+    EXPECT_GE(min_value(ds.images()), -2.0f);
+    EXPECT_LE(max_value(ds.images()), 2.0f);
+}
+
+TEST(SyntheticFamily, RejectsBadSpecs) {
+    SyntheticTaskFamily family(1);
+    TaskSpec bad;
+    bad.num_classes = 1;
+    EXPECT_THROW(family.add_task(bad), mime::check_error);
+    bad = TaskSpec{};
+    bad.parent_affinity = 2.0;
+    EXPECT_THROW(family.add_task(bad), mime::check_error);
+    EXPECT_THROW(family.task(9), mime::check_error);
+}
+
+TEST(Dataset, GatherAndHead) {
+    SyntheticTaskFamily family(5);
+    const Dataset ds = family.train_split(0);
+    const Batch head = ds.head(3);
+    EXPECT_EQ(head.size(), 3);
+    const Batch picked = ds.gather({2, 0});
+    EXPECT_EQ(picked.size(), 2);
+    EXPECT_EQ(picked.labels[0], ds.labels()[2]);
+    EXPECT_EQ(picked.labels[1], ds.labels()[0]);
+    EXPECT_THROW(ds.head(ds.size() + 1), mime::check_error);
+}
+
+TEST(DataLoader, EpochCoversDatasetOnce) {
+    SyntheticTaskFamily family(6);
+    TaskSpec spec;
+    spec.name = "child";
+    spec.train_size = 25;
+    const auto idx = family.add_task(spec);
+    const Dataset ds = family.train_split(idx);
+
+    DataLoader loader(ds, 10, Rng(1));
+    const auto batches = loader.epoch();
+    ASSERT_EQ(batches.size(), 3u);  // 10 + 10 + 5
+    EXPECT_EQ(batches[0].size(), 10);
+    EXPECT_EQ(batches[2].size(), 5);
+    EXPECT_EQ(loader.batches_per_epoch(), 3);
+
+    std::int64_t total = 0;
+    for (const auto& b : batches) {
+        total += b.size();
+    }
+    EXPECT_EQ(total, 25);
+}
+
+TEST(DataLoader, ShufflesBetweenEpochs) {
+    SyntheticTaskFamily family(6);
+    const Dataset ds = family.train_split(0);
+    DataLoader loader(ds, static_cast<std::int64_t>(ds.size()), Rng(3));
+    const auto e1 = loader.epoch();
+    const auto e2 = loader.epoch();
+    bool differs = false;
+    for (std::size_t i = 0; i < e1[0].labels.size() && !differs; ++i) {
+        differs = e1[0].labels[i] != e2[0].labels[i];
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(TaskSuite, CanonicalTasksRegistered) {
+    TaskSuiteOptions options;
+    options.train_size = 8;
+    options.test_size = 8;
+    options.cifar100_classes = 20;
+    const TaskSuite suite = make_task_suite(options);
+    EXPECT_EQ(suite.family->task_count(), 4);
+    EXPECT_EQ(suite.family->task(suite.cifar10_like).num_classes, 10);
+    EXPECT_EQ(suite.family->task(suite.cifar100_like).num_classes, 20);
+    EXPECT_EQ(suite.family->task(suite.fmnist_like).style,
+              ImageStyle::grayscale);
+    EXPECT_EQ(suite.children().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mime::data

@@ -1,0 +1,126 @@
+// Tests for the knowledge-distillation baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/distillation.h"
+#include "core/trainer.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig net_config(double width, std::uint64_t seed) {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = width;
+    config.vgg.num_classes = 10;
+    config.batchnorm = true;
+    config.seed = seed;
+    return config;
+}
+
+TEST(DistillLoss, ZeroWhenIdentical) {
+    Rng rng(1);
+    const Tensor logits = Tensor::randn({4, 10}, rng);
+    EXPECT_NEAR(distillation_loss(logits, logits, 3.0f), 0.0, 1e-6);
+}
+
+TEST(DistillLoss, PositiveWhenDifferent) {
+    Rng rng(2);
+    const Tensor a = Tensor::randn({4, 10}, rng);
+    const Tensor b = Tensor::randn({4, 10}, rng);
+    EXPECT_GT(distillation_loss(a, b, 3.0f), 0.0);
+}
+
+TEST(DistillLoss, TemperatureSoftensDivergence) {
+    Rng rng(3);
+    const Tensor a = Tensor::randn({8, 10}, rng, 0.0f, 4.0f);
+    const Tensor b = Tensor::randn({8, 10}, rng, 0.0f, 4.0f);
+    // Higher temperature flattens both distributions → smaller KL.
+    EXPECT_LT(distillation_loss(a, b, 8.0f), distillation_loss(a, b, 1.0f));
+}
+
+TEST(DistillLoss, RejectsBadArguments) {
+    const Tensor a({2, 4});
+    const Tensor b({2, 5});
+    EXPECT_THROW(distillation_loss(a, b, 3.0f), mime::check_error);
+    const Tensor c({2, 4});
+    EXPECT_THROW(distillation_loss(a, c, 0.0f), mime::check_error);
+}
+
+TEST(Distillation, OptionsValidated) {
+    DistillationOptions bad;
+    bad.temperature = -1.0f;
+    EXPECT_THROW(bad.validate(), mime::check_error);
+    bad = DistillationOptions{};
+    bad.alpha = 1.5f;
+    EXPECT_THROW(bad.validate(), mime::check_error);
+}
+
+TEST(Distillation, StudentLearnsFromTeacher) {
+    data::TaskSuiteOptions suite_options;
+    suite_options.train_size = 384;
+    suite_options.test_size = 128;
+    suite_options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(suite_options);
+    const auto train = suite.family->train_split(suite.cifar10_like);
+    const auto test = suite.family->test_split(suite.cifar10_like);
+
+    // Teacher: train normally for a short budget.
+    MimeNetwork teacher(net_config(0.125, 41));
+    TrainOptions teacher_options;
+    teacher_options.epochs = 4;
+    teacher_options.batch_size = 32;
+    teacher_options.learning_rate = 3e-3f;
+    teacher_options.pool = &mime::global_pool();
+    train_backbone(teacher, train, teacher_options);
+    const double teacher_acc =
+        evaluate(teacher, test, 64, teacher_options.pool).accuracy;
+
+    // Student: half the teacher's width, distilled.
+    MimeNetwork student(net_config(0.0625, 42));
+    DistillationOptions options;
+    options.train = teacher_options;
+    options.train.epochs = 5;
+    const auto history = train_distilled(student, teacher, train, options);
+    EXPECT_LT(history.final_epoch().train_loss,
+              history.epochs.front().train_loss);
+
+    const double student_acc =
+        evaluate(student, test, 64, teacher_options.pool).accuracy;
+    // Student learns well above chance (10 classes) from the teacher.
+    EXPECT_GT(student_acc, 0.22);
+    EXPECT_GT(teacher_acc, 0.25);
+}
+
+TEST(Distillation, TeacherUnchanged) {
+    data::TaskSuiteOptions suite_options;
+    suite_options.train_size = 64;
+    suite_options.test_size = 32;
+    suite_options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(suite_options);
+    const auto train = suite.family->train_split(suite.cifar10_like);
+
+    MimeNetwork teacher(net_config(0.0625, 43));
+    MimeNetwork student(net_config(0.0625, 44));
+    const auto before = teacher.snapshot_backbone();
+
+    DistillationOptions options;
+    options.train.epochs = 1;
+    options.train.batch_size = 32;
+    train_distilled(student, teacher, train, options);
+
+    const auto after = teacher.snapshot_backbone();
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        for (std::int64_t j = 0; j < before[i].numel(); ++j) {
+            ASSERT_EQ(before[i][j], after[i][j]) << "teacher tensor " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,134 @@
+// Tests for the blocked GEMM kernel against the reference triple loop.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/gemm.h"
+
+namespace mime {
+namespace {
+
+std::vector<float> random_matrix(std::int64_t rows, std::int64_t cols,
+                                 Rng& rng) {
+    std::vector<float> m(static_cast<std::size_t>(rows * cols));
+    for (auto& v : m) {
+        v = static_cast<float>(rng.normal());
+    }
+    return m;
+}
+
+void expect_close(const std::vector<float>& a, const std::vector<float>& b,
+                  float tol = 2e-3f) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+    }
+}
+
+// (m, n, k, trans_a, trans_b)
+using GemmCase = std::tuple<int, int, int, bool, bool>;
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+    const auto [m, n, k, ta, tb] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 73 + n * 31 + k + (ta ? 7 : 0) +
+                                       (tb ? 13 : 0)));
+    // Stored dimensions depend on the transpose flags.
+    const std::int64_t lda = ta ? m : k;
+    const std::int64_t ldb = tb ? k : n;
+    const auto a = random_matrix(ta ? k : m, lda, rng);
+    const auto b = random_matrix(tb ? n : k, ldb, rng);
+
+    std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.5f);
+    std::vector<float> c_fast = c_ref;
+
+    gemm_reference(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f,
+                   c_ref.data(), n);
+    gemm(ta, tb, m, n, k, 1.3f, a.data(), lda, b.data(), ldb, 0.7f,
+         c_fast.data(), n);
+    expect_close(c_ref, c_fast);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(GemmCase{1, 1, 1, false, false},
+                      GemmCase{3, 5, 7, false, false},
+                      GemmCase{3, 5, 7, true, false},
+                      GemmCase{3, 5, 7, false, true},
+                      GemmCase{3, 5, 7, true, true},
+                      GemmCase{64, 64, 64, false, false},
+                      GemmCase{65, 33, 17, false, false},
+                      GemmCase{65, 33, 17, true, true},
+                      GemmCase{128, 1, 256, false, false},
+                      GemmCase{1, 128, 256, false, true},
+                      GemmCase{200, 150, 300, false, false},
+                      GemmCase{200, 150, 300, true, false}));
+
+TEST(Gemm, ThreadedMatchesSingle) {
+    Rng rng(9);
+    const int m = 300;
+    const int n = 120;
+    const int k = 80;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> c1(static_cast<std::size_t>(m) * n, 0.0f);
+    std::vector<float> c2 = c1;
+
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c1.data(), n);
+    ThreadPool pool(4);
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c2.data(), n, &pool);
+    expect_close(c1, c2, 1e-4f);
+}
+
+TEST(Gemm, BetaAccumulates) {
+    const std::vector<float> a{1, 2, 3, 4};  // 2x2
+    const std::vector<float> b{1, 0, 0, 1};  // identity
+    std::vector<float> c{10, 10, 10, 10};
+    gemm(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 1.0f, c.data(),
+         2);
+    EXPECT_FLOAT_EQ(c[0], 11.0f);
+    EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Gemm, ZeroSizeIsNoop) {
+    std::vector<float> c{1.0f};
+    const std::vector<float> a{1.0f};
+    const std::vector<float> b{1.0f};
+    gemm(false, false, 0, 1, 1, 1.0f, a.data(), 1, b.data(), 1, 0.0f, c.data(),
+         1);
+    EXPECT_FLOAT_EQ(c[0], 1.0f);
+}
+
+TEST(Gemm, RejectsNullOperands) {
+    std::vector<float> c{0.0f};
+    EXPECT_THROW(gemm(false, false, 1, 1, 1, 1.0f, nullptr, 1, nullptr, 1,
+                      0.0f, c.data(), 1),
+                 check_error);
+}
+
+TEST(Matmul, TensorInterface) {
+    const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    const Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_EQ(c.shape(), Shape({2, 2}));
+    EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Matmul, RejectsBadShapes) {
+    const Tensor a({2, 3});
+    const Tensor b({2, 3});
+    EXPECT_THROW(matmul(a, b), check_error);
+    const Tensor v({3});
+    EXPECT_THROW(matmul(a, v), check_error);
+}
+
+}  // namespace
+}  // namespace mime

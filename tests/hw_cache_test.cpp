@@ -1,0 +1,112 @@
+// Tests for the LRU cache model and the analytic residency helper.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hw/cache_model.h"
+
+namespace mime::hw {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+    LruCache cache(100);
+    EXPECT_FALSE(cache.touch(1, 40));
+    EXPECT_TRUE(cache.touch(1, 40));
+    EXPECT_EQ(cache.hit_count(), 1);
+    EXPECT_EQ(cache.miss_count(), 1);
+    EXPECT_EQ(cache.used_bytes(), 40);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+    LruCache cache(100);
+    cache.touch(1, 40);
+    cache.touch(2, 40);
+    cache.touch(1, 40);  // 1 becomes MRU
+    cache.touch(3, 40);  // evicts 2
+    EXPECT_TRUE(cache.touch(1, 40));
+    EXPECT_FALSE(cache.touch(2, 40));  // was evicted
+}
+
+TEST(LruCache, OversizeBlockNeverResident) {
+    LruCache cache(100);
+    EXPECT_FALSE(cache.touch(1, 200));
+    EXPECT_FALSE(cache.touch(1, 200));
+    EXPECT_EQ(cache.used_bytes(), 0);
+}
+
+TEST(LruCache, CapacityNeverExceeded) {
+    LruCache cache(100);
+    for (std::uint64_t k = 0; k < 50; ++k) {
+        cache.touch(k, 30);
+        EXPECT_LE(cache.used_bytes(), 100);
+    }
+}
+
+TEST(LruCache, ClearResets) {
+    LruCache cache(100);
+    cache.touch(1, 50);
+    cache.clear();
+    EXPECT_EQ(cache.used_bytes(), 0);
+    EXPECT_FALSE(cache.touch(1, 50));
+}
+
+TEST(LruCache, MultipleVersionsFitSmallLayer) {
+    // The pipelined-mode scenario: three task versions of a small layer's
+    // weights all stay resident, so steady-state reloads vanish.
+    LruCache cache(10 * 1024);
+    const std::int64_t version_bytes = 3 * 1024;
+    int misses = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint64_t v = 0; v < 3; ++v) {
+            if (!cache.touch(v, version_bytes)) {
+                ++misses;
+            }
+        }
+    }
+    EXPECT_EQ(misses, 3);  // compulsory only
+}
+
+TEST(LruCache, VersionsThrashWhenTooLarge) {
+    // Three versions that cannot coexist: every access in an interleaved
+    // stream misses after the first round.
+    LruCache cache(4 * 1024);
+    const std::int64_t version_bytes = 3 * 1024;
+    int misses = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (std::uint64_t v = 0; v < 3; ++v) {
+            if (!cache.touch(v, version_bytes)) {
+                ++misses;
+            }
+        }
+    }
+    EXPECT_EQ(misses, 15);  // every touch misses
+}
+
+TEST(LruCache, RejectsBadSizes) {
+    LruCache cache(10);
+    EXPECT_THROW(cache.touch(1, 0), mime::check_error);
+    EXPECT_THROW(LruCache(-1), mime::check_error);
+}
+
+TEST(ResidentFraction, FullWhenFits) {
+    EXPECT_DOUBLE_EQ(resident_fraction(100, 200), 1.0);
+    EXPECT_DOUBLE_EQ(resident_fraction(200, 200), 1.0);
+    EXPECT_DOUBLE_EQ(resident_fraction(0, 100), 1.0);
+}
+
+TEST(ResidentFraction, ProportionalWhenSpilling) {
+    EXPECT_DOUBLE_EQ(resident_fraction(400, 100), 0.25);
+    EXPECT_DOUBLE_EQ(resident_fraction(1000, 0), 0.0);
+}
+
+TEST(ResidentFraction, MonotoneInCapacity) {
+    double prev = 0.0;
+    for (std::int64_t capacity = 0; capacity <= 500; capacity += 50) {
+        const double f = resident_fraction(400, capacity);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace mime::hw

@@ -1,0 +1,160 @@
+// Tests for the energy model, the config defaults (Table IV), and the
+// sparsity profiles (Tables II/III as data).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hw/energy_model.h"
+#include "hw/sparsity_profile.h"
+#include "hw/systolic_config.h"
+
+namespace mime::hw {
+namespace {
+
+TEST(SystolicConfig, TableIvDefaults) {
+    const SystolicConfig config;
+    config.validate();
+    EXPECT_EQ(config.pe_array_size, 1024);
+    EXPECT_EQ(config.total_cache_bytes, 156 * 1024);
+    EXPECT_EQ(config.spad_bytes, 512);
+    EXPECT_EQ(config.precision_bits, 16);
+    EXPECT_EQ(config.word_bytes(), 2);
+    EXPECT_DOUBLE_EQ(config.e_dram, 200.0);
+    EXPECT_DOUBLE_EQ(config.e_cache, 6.0);
+    EXPECT_DOUBLE_EQ(config.e_reg, 2.0);
+    EXPECT_DOUBLE_EQ(config.e_mac, 1.0);
+}
+
+TEST(SystolicConfig, CachePartitionsSumWithinBudget) {
+    const SystolicConfig config;
+    EXPECT_LE(config.weight_cache_bytes() + config.activation_cache_bytes() +
+                  config.threshold_cache_bytes(),
+              config.total_cache_bytes);
+    EXPECT_GT(config.weight_cache_bytes(), 0);
+    EXPECT_GT(config.activation_cache_bytes(), 0);
+    EXPECT_GT(config.threshold_cache_bytes(), 0);
+}
+
+TEST(SystolicConfig, ValidationCatchesBadValues) {
+    SystolicConfig config;
+    config.pe_array_size = 0;
+    EXPECT_THROW(config.validate(), mime::check_error);
+    config = SystolicConfig{};
+    config.weight_cache_fraction = 0.9;
+    config.activation_cache_fraction = 0.9;
+    EXPECT_THROW(config.validate(), mime::check_error);
+    config = SystolicConfig{};
+    config.precision_bits = 12;
+    EXPECT_THROW(config.validate(), mime::check_error);
+}
+
+TEST(EnergyModel, AppliesTableIvWeights) {
+    AccessCounts counts;
+    counts.dram_weight_words = 10;
+    counts.cache_weight_words = 100;
+    counts.reg_words = 1000;
+    counts.macs = 10000;
+    const SystolicConfig config;
+    const EnergyBreakdown e = energy_from_counts(counts, config);
+    EXPECT_DOUBLE_EQ(e.e_dram, 200.0 * 10);
+    EXPECT_DOUBLE_EQ(e.e_cache, 6.0 * 100);
+    EXPECT_DOUBLE_EQ(e.e_reg, 2.0 * 1000);
+    EXPECT_DOUBLE_EQ(e.e_mac, 10000.0);
+    EXPECT_DOUBLE_EQ(e.total(), 2000 + 600 + 2000 + 10000);
+}
+
+TEST(EnergyModel, CountsAccumulate) {
+    AccessCounts a;
+    a.dram_weight_words = 1;
+    a.macs = 2;
+    AccessCounts b;
+    b.dram_threshold_words = 3;
+    b.macs = 5;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.dram_total(), 4.0);
+    EXPECT_DOUBLE_EQ(a.macs, 7.0);
+}
+
+TEST(EnergyModel, BreakdownAccumulates) {
+    EnergyBreakdown a;
+    a.e_dram = 1;
+    EnergyBreakdown b;
+    b.e_mac = 2;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 3.0);
+}
+
+TEST(EnergyModel, CmpChargedWhenConfigured) {
+    AccessCounts counts;
+    counts.cmps = 100;
+    SystolicConfig config;
+    EXPECT_DOUBLE_EQ(energy_from_counts(counts, config).e_mac, 0.0);
+    config.e_cmp = 0.5;
+    EXPECT_DOUBLE_EQ(energy_from_counts(counts, config).e_mac, 50.0);
+}
+
+TEST(SparsityProfile, PaperTablesMatchPublishedValues) {
+    const auto mime_c10 = SparsityProfile::paper_mime(PaperTask::cifar10);
+    // conv2 is layer index 1; Table II reports 0.6493 for CIFAR10.
+    EXPECT_DOUBLE_EQ(mime_c10.output_sparsity(1), 0.6493);
+    // conv15 is layer index 14: 0.657.
+    EXPECT_DOUBLE_EQ(mime_c10.output_sparsity(14), 0.657);
+
+    const auto relu_fm = SparsityProfile::paper_baseline(PaperTask::fmnist);
+    // conv10 is layer index 9; Table III reports 0.5503 for F-MNIST.
+    EXPECT_DOUBLE_EQ(relu_fm.output_sparsity(9), 0.5503);
+}
+
+TEST(SparsityProfile, MimeSparserThanBaselineEverywhere) {
+    // The paper's central observation: threshold masking prunes more than
+    // ReLU at every reported layer, for every task.
+    for (const PaperTask task :
+         {PaperTask::cifar10, PaperTask::cifar100, PaperTask::fmnist}) {
+        const auto mime = SparsityProfile::paper_mime(task);
+        const auto relu = SparsityProfile::paper_baseline(task);
+        for (std::int64_t l = 0; l < mime.layer_count(); ++l) {
+            EXPECT_GT(mime.output_sparsity(l), relu.output_sparsity(l))
+                << "task " << static_cast<int>(task) << " layer " << l;
+        }
+    }
+}
+
+TEST(SparsityProfile, InputSparsityShiftsByOneLayer) {
+    const auto p = SparsityProfile::paper_mime(PaperTask::cifar10);
+    EXPECT_DOUBLE_EQ(p.input_sparsity(0), 0.0);  // raw images are dense
+    for (std::int64_t l = 1; l < p.layer_count(); ++l) {
+        EXPECT_DOUBLE_EQ(p.input_sparsity(l), p.output_sparsity(l - 1));
+    }
+}
+
+TEST(SparsityProfile, UnreportedLayersFilledFromNeighbours) {
+    const auto p = SparsityProfile::paper_mime(PaperTask::cifar10);
+    // conv1 (index 0) takes conv2's value; conv6 (index 5) is midway
+    // between conv5 (idx 4) and conv7 (idx 6) — ties resolve to conv5.
+    EXPECT_DOUBLE_EQ(p.output_sparsity(0), p.output_sparsity(1));
+    EXPECT_DOUBLE_EQ(p.output_sparsity(5), p.output_sparsity(4));
+    // conv11 (index 10) neighbours conv10 (9) and conv12 (11) equally;
+    // earlier wins.
+    EXPECT_DOUBLE_EQ(p.output_sparsity(10), p.output_sparsity(9));
+}
+
+TEST(SparsityProfile, UniformAndAverage) {
+    const auto p = SparsityProfile::uniform("u", 0.5, 10);
+    EXPECT_EQ(p.layer_count(), 10);
+    EXPECT_DOUBLE_EQ(p.average(), 0.5);
+    EXPECT_THROW(SparsityProfile::uniform("bad", 1.5), mime::check_error);
+    EXPECT_THROW(SparsityProfile("bad", {}), mime::check_error);
+}
+
+TEST(SparsityProfile, PaperAveragesInExpectedBands) {
+    // Table II averages ~0.6-0.66; Table III averages ~0.5-0.55.
+    for (const PaperTask task :
+         {PaperTask::cifar10, PaperTask::cifar100, PaperTask::fmnist}) {
+        EXPECT_GT(SparsityProfile::paper_mime(task).average(), 0.58);
+        EXPECT_LT(SparsityProfile::paper_mime(task).average(), 0.67);
+        EXPECT_GT(SparsityProfile::paper_baseline(task).average(), 0.45);
+        EXPECT_LT(SparsityProfile::paper_baseline(task).average(), 0.56);
+    }
+}
+
+}  // namespace
+}  // namespace mime::hw

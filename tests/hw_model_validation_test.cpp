@@ -1,0 +1,127 @@
+// Cross-validation between the exact LRU cache model and the analytic
+// version-load formula the simulator uses for weight/threshold streams.
+// For every VGG16 layer and several queue shapes, the analytic reload
+// count must match an explicit LRU trace of per-version accesses.
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/cache_model.h"
+#include "hw/schedule.h"
+#include "hw/simulator.h"
+
+namespace mime::hw {
+namespace {
+
+std::vector<arch::LayerSpec> layers() {
+    arch::VggConfig config;
+    config.input_size = 64;
+    return arch::vgg16_spec(config);
+}
+
+/// Replays the queue against an LRU cache holding per-task weight
+/// versions of `bytes_per_version` and counts DRAM loads.
+std::int64_t lru_trace_loads(const std::vector<std::int64_t>& queue,
+                             std::int64_t bytes_per_version,
+                             std::int64_t cache_bytes) {
+    LruCache cache(cache_bytes);
+    std::int64_t loads = 0;
+    for (const std::int64_t task : queue) {
+        if (!cache.touch(static_cast<std::uint64_t>(task),
+                         bytes_per_version)) {
+            ++loads;
+        }
+    }
+    return loads;
+}
+
+class QueueShapeValidation
+    : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(QueueShapeValidation, AnalyticMatchesLruTrace) {
+    const std::int64_t run_length = GetParam();
+    const auto queue = make_run_queue(3, run_length, 24);
+    const auto stats = analyze_queue(queue);
+    const SystolicConfig config;
+
+    SimulationOptions options;
+    options.scheme = Scheme::baseline_sparse;
+    options.batch = queue;
+    options.profiles = {SparsityProfile::paper_baseline(PaperTask::cifar10),
+                        SparsityProfile::paper_baseline(PaperTask::cifar100),
+                        SparsityProfile::paper_baseline(PaperTask::fmnist)};
+    options.preserve_arrival_order = true;
+    const InferenceSimulator sim{config};
+    const auto result = sim.run(layers(), options);
+
+    for (std::size_t li = 0; li < layers().size(); ++li) {
+        const auto& layer = layers()[li];
+        const std::int64_t version_bytes =
+            layer.weight_count() * config.word_bytes();
+        const std::int64_t lru_loads = lru_trace_loads(
+            queue, version_bytes, config.weight_cache_bytes());
+
+        const double analytic_loads =
+            result.layers[li].counts.dram_weight_words /
+            static_cast<double>(layer.weight_count());
+
+        if (version_bytes * stats.distinct_tasks <=
+            config.weight_cache_bytes()) {
+            // All versions coexist: both models report compulsory loads.
+            EXPECT_DOUBLE_EQ(analytic_loads,
+                             static_cast<double>(stats.distinct_tasks))
+                << layer.name;
+            EXPECT_EQ(lru_loads, stats.distinct_tasks) << layer.name;
+        } else if (version_bytes <= config.weight_cache_bytes()) {
+            // Versions thrash: the analytic model charges one load per
+            // same-task run; an LRU of >= 1 version does the same for
+            // this round-robin-style trace.
+            EXPECT_DOUBLE_EQ(
+                analytic_loads,
+                static_cast<double>(stats.task_switches + 1))
+                << layer.name;
+            EXPECT_EQ(lru_loads, stats.task_switches + 1) << layer.name;
+        } else {
+            // A single version exceeds the cache: every run re-streams.
+            EXPECT_DOUBLE_EQ(
+                analytic_loads,
+                static_cast<double>(stats.task_switches + 1))
+                << layer.name;
+            EXPECT_EQ(lru_loads, static_cast<std::int64_t>(queue.size()))
+                << layer.name << ": oversized versions are never resident";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RunLengths, QueueShapeValidation,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ModelValidation, AnalyticNeverUndercountsCompulsory) {
+    // Property: whatever the queue, analytic weight loads are at least
+    // the number of distinct versions and at most the queue length.
+    const SystolicConfig config;
+    const InferenceSimulator sim{config};
+    for (const std::int64_t run : {1, 3, 5}) {
+        const auto queue = make_run_queue(3, run, 15);
+        SimulationOptions options;
+        options.scheme = Scheme::baseline_dense;
+        options.batch = queue;
+        options.profiles = {
+            SparsityProfile::paper_baseline(PaperTask::cifar10),
+            SparsityProfile::paper_baseline(PaperTask::cifar100),
+            SparsityProfile::paper_baseline(PaperTask::fmnist)};
+        options.preserve_arrival_order = true;
+        const auto result = sim.run(layers(), options);
+        for (std::size_t li = 0; li < layers().size(); ++li) {
+            const double loads =
+                result.layers[li].counts.dram_weight_words /
+                static_cast<double>(layers()[li].weight_count());
+            EXPECT_GE(loads, 3.0) << layers()[li].name;
+            EXPECT_LE(loads, static_cast<double>(queue.size()))
+                << layers()[li].name;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace mime::hw

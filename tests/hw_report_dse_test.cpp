@@ -1,0 +1,144 @@
+// Tests for simulation reporting (tables/CSV) and design-space
+// exploration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/dse.h"
+#include "hw/report.h"
+
+namespace mime::hw {
+namespace {
+
+std::vector<arch::LayerSpec> layers() {
+    arch::VggConfig config;
+    config.input_size = 64;
+    return arch::vgg16_spec(config);
+}
+
+TEST(Report, EnergyTableContainsAllLayersAndRuns) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto mime = sim.run(layers(), pipelined_options(Scheme::mime));
+    const auto case1 =
+        sim.run(layers(), pipelined_options(Scheme::baseline_dense));
+
+    const std::string table = render_energy_table(
+        {{"Case-1", &case1}, {"MIME", &mime}});
+    EXPECT_NE(table.find("conv1 "), std::string::npos);
+    EXPECT_NE(table.find("conv15"), std::string::npos);
+    EXPECT_NE(table.find("Case-1"), std::string::npos);
+    EXPECT_NE(table.find("MIME"), std::string::npos);
+    EXPECT_NE(table.find("E_DRAM"), std::string::npos);
+}
+
+TEST(Report, ThroughputTableHasSpeedups) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto case1 =
+        sim.run(layers(), pipelined_options(Scheme::baseline_dense));
+    const auto mime = sim.run(layers(), pipelined_options(Scheme::mime));
+    const std::string table = render_throughput_table(
+        {{"Case-1", &case1}, {"MIME", &mime}});
+    EXPECT_NE(table.find("MIME speedup"), std::string::npos);
+    EXPECT_NE(table.find("x"), std::string::npos);
+}
+
+TEST(Report, CsvWellFormed) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto mime = sim.run(layers(), pipelined_options(Scheme::mime));
+    std::stringstream out;
+    write_csv({{"mime", &mime}}, out);
+    const std::string csv = out.str();
+
+    // Header + one line per layer.
+    std::int64_t lines = 0;
+    for (const char c : csv) {
+        if (c == '\n') {
+            ++lines;
+        }
+    }
+    EXPECT_EQ(lines, 1 + 15);
+    EXPECT_EQ(csv.rfind("run,layer,e_dram", 0), 0u);
+    EXPECT_NE(csv.find("mime,conv8,"), std::string::npos);
+}
+
+TEST(Report, RejectsBadInput) {
+    EXPECT_THROW(render_energy_table({}), mime::check_error);
+    EXPECT_THROW(render_energy_table({{"x", nullptr}}), mime::check_error);
+}
+
+TEST(Dse, ExploresFullGrid) {
+    DesignSweep sweep;
+    sweep.pe_array_sizes = {256, 1024};
+    sweep.cache_bytes = {128 * 1024, 156 * 1024};
+    const auto results =
+        explore(sweep, layers(), pipelined_options(Scheme::mime));
+    EXPECT_EQ(results.size(), 4u);
+    for (const auto& r : results) {
+        EXPECT_GT(r.total_energy, 0.0);
+        EXPECT_GT(r.total_cycles, 0.0);
+        EXPECT_FALSE(r.label.empty());
+    }
+}
+
+TEST(Dse, MorePesNeverSlower) {
+    DesignSweep sweep;
+    sweep.pe_array_sizes = {256, 512, 1024, 2048};
+    sweep.cache_bytes = {156 * 1024};
+    const auto results =
+        explore(sweep, layers(), pipelined_options(Scheme::mime));
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_LE(results[i].total_cycles, results[i - 1].total_cycles + 1e-6)
+            << results[i].label;
+    }
+}
+
+TEST(Dse, ParetoFrontierIsNonDominated) {
+    DesignSweep sweep;  // default grid, 16 points
+    const auto results =
+        explore(sweep, layers(), pipelined_options(Scheme::mime));
+    const auto frontier = pareto_frontier(results);
+    ASSERT_FALSE(frontier.empty());
+    EXPECT_LE(frontier.size(), results.size());
+
+    for (const auto& f : frontier) {
+        for (const auto& other : results) {
+            const bool dominates =
+                other.total_energy <= f.total_energy &&
+                other.total_cycles <= f.total_cycles &&
+                (other.total_energy < f.total_energy ||
+                 other.total_cycles < f.total_cycles);
+            EXPECT_FALSE(dominates)
+                << other.label << " dominates frontier point " << f.label;
+        }
+    }
+    // Sorted by energy.
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].total_energy, frontier[i - 1].total_energy);
+    }
+}
+
+TEST(Dse, BestEnergyDelayIsMinimal) {
+    DesignSweep sweep;
+    sweep.pe_array_sizes = {256, 1024};
+    sweep.cache_bytes = {156 * 1024};
+    const auto results =
+        explore(sweep, layers(), pipelined_options(Scheme::mime));
+    const auto& best = best_energy_delay(results);
+    for (const auto& r : results) {
+        EXPECT_GE(r.energy_delay(), best.energy_delay() - 1e-6);
+    }
+}
+
+TEST(Dse, RejectsEmptyAxes) {
+    DesignSweep sweep;
+    sweep.pe_array_sizes = {};
+    EXPECT_THROW(explore(sweep, layers(), pipelined_options(Scheme::mime)),
+                 mime::check_error);
+    EXPECT_THROW(pareto_frontier({}), mime::check_error);
+    EXPECT_THROW(best_energy_delay({}), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::hw

@@ -1,0 +1,149 @@
+// Tests for queue construction/analysis and the arrival-order weight
+// reload model (interleaving-granularity mechanics).
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/schedule.h"
+
+namespace mime::hw {
+namespace {
+
+std::vector<arch::LayerSpec> layers() {
+    arch::VggConfig config;
+    config.input_size = 64;
+    return arch::vgg16_spec(config);
+}
+
+std::vector<SparsityProfile> three_profiles() {
+    return {SparsityProfile::paper_baseline(PaperTask::cifar10),
+            SparsityProfile::paper_baseline(PaperTask::cifar100),
+            SparsityProfile::paper_baseline(PaperTask::fmnist)};
+}
+
+TEST(Queue, RunQueueShapes) {
+    const auto rr = make_run_queue(3, 1, 6);
+    EXPECT_EQ(rr, (std::vector<std::int64_t>{0, 1, 2, 0, 1, 2}));
+    const auto runs = make_run_queue(2, 3, 6);
+    EXPECT_EQ(runs, (std::vector<std::int64_t>{0, 0, 0, 1, 1, 1}));
+    const auto truncated = make_run_queue(2, 4, 6);
+    EXPECT_EQ(truncated, (std::vector<std::int64_t>{0, 0, 0, 0, 1, 1}));
+}
+
+TEST(Queue, AnalyzeCountsSwitchesAndRuns) {
+    const auto stats = analyze_queue({0, 1, 2, 0, 1, 2});
+    EXPECT_EQ(stats.length, 6);
+    EXPECT_EQ(stats.distinct_tasks, 3);
+    EXPECT_EQ(stats.task_switches, 5);
+    EXPECT_DOUBLE_EQ(stats.mean_run_length, 1.0);
+
+    const auto grouped = analyze_queue({0, 0, 0, 1, 1, 1});
+    EXPECT_EQ(grouped.task_switches, 1);
+    EXPECT_DOUBLE_EQ(grouped.mean_run_length, 3.0);
+}
+
+TEST(Queue, TaskMajorOrderMinimizesSwitches) {
+    const auto queue = make_run_queue(3, 1, 9);
+    const auto sorted = task_major_order(queue);
+    const auto stats = analyze_queue(sorted);
+    EXPECT_EQ(stats.task_switches, 2);  // tasks - 1
+    EXPECT_EQ(stats.distinct_tasks, 3);
+}
+
+TEST(Queue, RejectsBadParameters) {
+    EXPECT_THROW(make_run_queue(0, 1, 5), mime::check_error);
+    EXPECT_THROW(make_run_queue(2, 0, 5), mime::check_error);
+    EXPECT_THROW(analyze_queue({}), mime::check_error);
+}
+
+TEST(ArrivalOrder, ReorderingDefaultMatchesVersionCount) {
+    // preserve_arrival_order = false (default): fine interleaving costs
+    // the same as task-major — V_w weight loads per layer.
+    const InferenceSimulator sim{SystolicConfig{}};
+    SimulationOptions fine;
+    fine.scheme = Scheme::baseline_sparse;
+    fine.batch = make_run_queue(3, 1, 9);
+    fine.profiles = three_profiles();
+    SimulationOptions grouped = fine;
+    grouped.batch = make_run_queue(3, 3, 9);
+
+    const auto fine_run = sim.run(layers(), fine);
+    const auto grouped_run = sim.run(layers(), grouped);
+    EXPECT_DOUBLE_EQ(fine_run.total_counts.dram_weight_words,
+                     grouped_run.total_counts.dram_weight_words);
+}
+
+TEST(ArrivalOrder, PreservedOrderPaysPerSwitch) {
+    // preserve_arrival_order = true: round-robin reloads weights at every
+    // switch for layers whose versions cannot coexist in cache.
+    const InferenceSimulator sim{SystolicConfig{}};
+    SimulationOptions fine;
+    fine.scheme = Scheme::baseline_sparse;
+    fine.batch = make_run_queue(3, 1, 9);   // 8 switches, 9 runs
+    fine.profiles = three_profiles();
+    fine.preserve_arrival_order = true;
+    SimulationOptions grouped = fine;
+    grouped.batch = make_run_queue(3, 3, 9);  // 2 switches, 3 runs
+
+    const auto fine_run = sim.run(layers(), fine);
+    const auto grouped_run = sim.run(layers(), grouped);
+    EXPECT_GT(fine_run.total_counts.dram_weight_words,
+              grouped_run.total_counts.dram_weight_words);
+}
+
+TEST(ArrivalOrder, MimeInsensitiveToInterleaving) {
+    // MIME's single weight version never reloads, regardless of order.
+    const InferenceSimulator sim{SystolicConfig{}};
+    SimulationOptions fine;
+    fine.scheme = Scheme::mime;
+    fine.batch = make_run_queue(3, 1, 9);
+    fine.profiles = {SparsityProfile::paper_mime(PaperTask::cifar10),
+                     SparsityProfile::paper_mime(PaperTask::cifar100),
+                     SparsityProfile::paper_mime(PaperTask::fmnist)};
+    fine.preserve_arrival_order = true;
+    SimulationOptions grouped = fine;
+    grouped.batch = make_run_queue(3, 3, 9);
+
+    const auto fine_run = sim.run(layers(), fine);
+    const auto grouped_run = sim.run(layers(), grouped);
+    EXPECT_DOUBLE_EQ(fine_run.total_counts.dram_weight_words,
+                     grouped_run.total_counts.dram_weight_words);
+}
+
+TEST(ArrivalOrder, SmallLayersTolerateInterleaving) {
+    // conv1's three weight versions fit the cache together, so even
+    // arrival-order processing loads each version once.
+    const InferenceSimulator sim{SystolicConfig{}};
+    SimulationOptions options;
+    options.scheme = Scheme::baseline_sparse;
+    options.batch = make_run_queue(3, 1, 9);
+    options.profiles = three_profiles();
+    options.preserve_arrival_order = true;
+    const auto run = sim.run(layers(), options);
+
+    const auto& conv1 = run.layer("conv1");
+    const double conv1_weights =
+        static_cast<double>(layers()[0].weight_count());
+    EXPECT_DOUBLE_EQ(conv1.counts.dram_weight_words, 3.0 * conv1_weights);
+    // conv8 (1.18M words/version) thrashes: one load per run (9 runs).
+    const auto& conv8 = run.layer("conv8");
+    const double conv8_weights =
+        static_cast<double>(layers()[7].weight_count());
+    EXPECT_DOUBLE_EQ(conv8.counts.dram_weight_words, 9.0 * conv8_weights);
+}
+
+TEST(ArrivalOrder, QueueEnergyHelperOrdersSchemes) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto queue = make_run_queue(3, 1, 6);
+    const double conventional = queue_energy(
+        sim, layers(), Scheme::baseline_sparse, queue, three_profiles());
+    const double mime = queue_energy(
+        sim, layers(), Scheme::mime, queue,
+        {SparsityProfile::paper_mime(PaperTask::cifar10),
+         SparsityProfile::paper_mime(PaperTask::cifar100),
+         SparsityProfile::paper_mime(PaperTask::fmnist)});
+    EXPECT_GT(conventional, mime);
+}
+
+}  // namespace
+}  // namespace mime::hw

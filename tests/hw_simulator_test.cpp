@@ -1,0 +1,344 @@
+// Tests for the systolic-array inference simulator: the mechanisms behind
+// the paper's Figs 5-9 must hold as properties, not just as printed rows.
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/simulator.h"
+
+namespace mime::hw {
+namespace {
+
+std::vector<arch::LayerSpec> eval_layers() {
+    arch::VggConfig config;
+    config.input_size = 64;  // hardware-evaluation geometry (DESIGN.md)
+    return vgg16_spec(config);
+}
+
+TEST(Simulator, SchemeNames) {
+    EXPECT_EQ(scheme_name(Scheme::baseline_dense), "Case-1");
+    EXPECT_EQ(scheme_name(Scheme::baseline_sparse), "Case-2");
+    EXPECT_EQ(scheme_name(Scheme::mime), "MIME");
+    EXPECT_EQ(scheme_name(Scheme::pruned), "Pruned");
+}
+
+TEST(Simulator, OptionsValidation) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    SimulationOptions options;
+    options.profiles = {SparsityProfile::uniform("u", 0.5)};
+    options.batch = {0, 5};  // unknown task
+    EXPECT_THROW(sim.run(layers, options), mime::check_error);
+    options.batch = {0};
+    options.weight_sparsity = 0.5;  // only valid for pruned
+    EXPECT_THROW(sim.run(layers, options), mime::check_error);
+    options.weight_sparsity = 0.0;
+    EXPECT_NO_THROW(sim.run(layers, options));
+}
+
+TEST(Simulator, MimeSharesWeightsInPipelinedMode) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto mime =
+        sim.run(layers, pipelined_options(Scheme::mime));
+    const auto conventional =
+        sim.run(layers, pipelined_options(Scheme::baseline_sparse));
+
+    // MIME loads one weight version; the conventional scheme loads three
+    // (per-task fine-tuned weights) for every layer too large to keep all
+    // versions resident.
+    EXPECT_LT(mime.total_counts.dram_weight_words,
+              conventional.total_counts.dram_weight_words);
+    // Across the whole network the conventional scheme approaches 3x.
+    const double ratio = conventional.total_counts.dram_weight_words /
+                         mime.total_counts.dram_weight_words;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LE(ratio, 3.0 + 1e-9);
+}
+
+TEST(Simulator, MimePipelinedFetchesThresholdsPerTask) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto pipelined = sim.run(layers, pipelined_options(Scheme::mime));
+    const auto singular =
+        sim.run(layers, singular_options(Scheme::mime, PaperTask::cifar10));
+
+    std::int64_t neurons = 0;
+    for (const auto& l : layers) {
+        neurons += l.neuron_count();
+    }
+    // Pipelined: 3 distinct tasks → 3 threshold sets; singular: 1.
+    EXPECT_DOUBLE_EQ(pipelined.total_counts.dram_threshold_words,
+                     3.0 * static_cast<double>(neurons));
+    EXPECT_DOUBLE_EQ(singular.total_counts.dram_threshold_words,
+                     static_cast<double>(neurons));
+}
+
+TEST(Simulator, ConventionalSchemesFetchNoThresholds) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    for (const Scheme scheme : {Scheme::baseline_dense, Scheme::baseline_sparse,
+                                Scheme::pruned}) {
+        const auto result = sim.run(layers, pipelined_options(scheme));
+        EXPECT_DOUBLE_EQ(result.total_counts.dram_threshold_words, 0.0)
+            << scheme_name(scheme);
+    }
+}
+
+TEST(Simulator, SingularWeightTrafficEqualAcrossSchemes) {
+    // In Singular task mode every scheme keeps one weight version; MIME's
+    // DRAM differs only by the threshold stream (its E_DRAM is slightly
+    // higher than Case-2, as the paper reports for Fig 5).
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto case2 = sim.run(
+        layers, singular_options(Scheme::baseline_sparse, PaperTask::cifar10));
+    const auto mime =
+        sim.run(layers, singular_options(Scheme::mime, PaperTask::cifar10));
+    EXPECT_DOUBLE_EQ(case2.total_counts.dram_weight_words,
+                     mime.total_counts.dram_weight_words);
+    EXPECT_GT(mime.total_energy.e_dram, 0.9 * case2.total_energy.e_dram);
+}
+
+TEST(Simulator, ZeroSkippingReducesMacs) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto dense = sim.run(
+        layers, singular_options(Scheme::baseline_dense, PaperTask::cifar10));
+    const auto sparse = sim.run(
+        layers, singular_options(Scheme::baseline_sparse, PaperTask::cifar10));
+    const auto mime =
+        sim.run(layers, singular_options(Scheme::mime, PaperTask::cifar10));
+
+    EXPECT_GT(dense.total_counts.macs, sparse.total_counts.macs);
+    EXPECT_GT(sparse.total_counts.macs, mime.total_counts.macs);
+
+    // Dense MAC count equals the analytic total (3 images).
+    std::int64_t macs = 0;
+    for (const auto& l : layers) {
+        macs += l.mac_count();
+    }
+    EXPECT_DOUBLE_EQ(dense.total_counts.macs, 3.0 * static_cast<double>(macs));
+}
+
+TEST(Simulator, MacsMatchSparsityExactly) {
+    // One layer, one image: effective MACs = dense * (1 - s_in).
+    const InferenceSimulator sim{SystolicConfig{}};
+    arch::VggConfig config;
+    config.input_size = 64;
+    const auto layers = vgg16_spec(config);
+
+    SimulationOptions options;
+    options.scheme = Scheme::baseline_sparse;
+    options.batch = {0};
+    options.profiles = {SparsityProfile::uniform("u", 0.5)};
+    const auto result = sim.run(layers, options);
+
+    // Layer 0 input is dense; every later layer's input sparsity is 0.5.
+    EXPECT_DOUBLE_EQ(result.layers[0].counts.macs,
+                     static_cast<double>(layers[0].mac_count()));
+    EXPECT_DOUBLE_EQ(result.layers[3].counts.macs,
+                     0.5 * static_cast<double>(layers[3].mac_count()));
+}
+
+TEST(Simulator, PrunedSkipsWeightComputeButNotDram) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto pruned = sim.run(layers, pipelined_options(Scheme::pruned));
+    const auto case2 =
+        sim.run(layers, pipelined_options(Scheme::baseline_sparse));
+
+    // 90% weight sparsity cuts compute ~10x ...
+    EXPECT_LT(pruned.total_counts.macs, 0.15 * case2.total_counts.macs);
+    // ... but DRAM weight layouts stay dense (paper's accounting).
+    EXPECT_DOUBLE_EQ(pruned.total_counts.dram_weight_words,
+                     case2.total_counts.dram_weight_words);
+}
+
+TEST(Simulator, Figure6EnergyOrdering) {
+    // Pipelined task mode: MIME < Case-2 < Case-1 in total energy, with
+    // the paper's headline band (~2.4-3.1x vs Case-1) over the even conv
+    // layers it reports.
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    const auto case1 =
+        sim.run(layers, pipelined_options(Scheme::baseline_dense));
+    const auto case2 =
+        sim.run(layers, pipelined_options(Scheme::baseline_sparse));
+    const auto mime = sim.run(layers, pipelined_options(Scheme::mime));
+
+    EXPECT_LT(mime.total_energy.total(), case2.total_energy.total());
+    EXPECT_LT(case2.total_energy.total(), case1.total_energy.total());
+
+    const double savings =
+        case1.total_energy.total() / mime.total_energy.total();
+    EXPECT_GT(savings, 1.8);
+    EXPECT_LT(savings, 4.0);
+}
+
+TEST(Simulator, Figure5SingularMimeVsCase2Band) {
+    // Singular mode: MIME saves ~1.07-1.30x vs Case-2 per the paper; we
+    // assert the network-total ratio falls in a compatible band.
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    const auto case2 = sim.run(
+        layers, singular_options(Scheme::baseline_sparse, PaperTask::cifar10));
+    const auto mime =
+        sim.run(layers, singular_options(Scheme::mime, PaperTask::cifar10));
+    const double ratio = case2.total_energy.total() / mime.total_energy.total();
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(Simulator, Figure7ThroughputBand) {
+    // Pipelined throughput improvement vs Case-1 tracks 1/(1 - sparsity):
+    // ~2.8-3.0x at the paper's ~0.65 sparsity.
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    const auto case1 =
+        sim.run(layers, pipelined_options(Scheme::baseline_dense));
+    const auto mime = sim.run(layers, pipelined_options(Scheme::mime));
+
+    const double speedup = case1.total_cycles / mime.total_cycles;
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LT(speedup, 3.5);
+}
+
+TEST(Simulator, Figure8CrossoverEarlyVsLateLayers) {
+    // MIME vs pruned comparators in Pipelined mode: pruned wins at conv2
+    // (thresholds outnumber weights), MIME wins in the deepest layers
+    // (weight re-fetch for 3 tasks dominates).
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    const auto mime = sim.run(layers, pipelined_options(Scheme::mime));
+    const auto pruned = sim.run(layers, pipelined_options(Scheme::pruned));
+
+    const double conv2_mime = mime.layer("conv2").energy.total();
+    const double conv2_pruned = pruned.layer("conv2").energy.total();
+    EXPECT_GT(conv2_mime, conv2_pruned);
+
+    const double conv13_mime = mime.layer("conv13").energy.total();
+    const double conv13_pruned = pruned.layer("conv13").energy.total();
+    EXPECT_LT(conv13_mime, conv13_pruned);
+}
+
+TEST(Simulator, Figure9SmallerPeArrayCostsEnergy) {
+    // Case-B: PE array 1024 → 256 raises middle-layer energy (the paper
+    // reports ~1.26-1.41x for conv5-conv10). The design-space ablation
+    // compares fixed natural mappings (see DESIGN.md) — with the tile
+    // optimizer on, a remapped design would hide the hardware penalty.
+    SystolicConfig small_pe;
+    small_pe.pe_array_size = 256;
+    const InferenceSimulator sim_a{SystolicConfig{}};
+    const InferenceSimulator sim_b{small_pe};
+    const auto layers = eval_layers();
+
+    auto options = pipelined_options(Scheme::mime);
+    options.optimize_tiling = false;
+    const auto a = sim_a.run(layers, options);
+    const auto b = sim_b.run(layers, options);
+
+    double worst = 0.0;
+    for (const char* name : {"conv5", "conv6", "conv7", "conv8", "conv9",
+                             "conv10"}) {
+        const double ratio =
+            b.layer(name).energy.total() / a.layer(name).energy.total();
+        EXPECT_GE(ratio, 1.0) << name;
+        worst = std::max(worst, ratio);
+    }
+    EXPECT_GT(worst, 1.05);  // a visible penalty, as in Fig 9
+    // Throughput suffers too (4x fewer PEs).
+    EXPECT_GT(b.total_cycles, 2.0 * a.total_cycles);
+}
+
+TEST(Simulator, Figure9SmallerCacheMilderThanSmallerPe) {
+    // Case-C: shrinking the cache 156KB → 128KB costs less energy than
+    // shrinking the PE array 4x (the paper's summary recommendation).
+    SystolicConfig small_cache;
+    small_cache.total_cache_bytes = 128 * 1024;
+    SystolicConfig small_pe;
+    small_pe.pe_array_size = 256;
+
+    const auto layers = eval_layers();
+    auto options = pipelined_options(Scheme::mime);
+    options.optimize_tiling = false;  // fixed natural mapping (ablation)
+    const auto base =
+        InferenceSimulator{SystolicConfig{}}.run(layers, options);
+    const auto cache_run =
+        InferenceSimulator{small_cache}.run(layers, options);
+    const auto pe_run = InferenceSimulator{small_pe}.run(layers, options);
+
+    const double cache_penalty =
+        cache_run.total_energy.total() / base.total_energy.total();
+    const double pe_penalty =
+        pe_run.total_energy.total() / base.total_energy.total();
+    EXPECT_GE(cache_penalty, 1.0 - 1e-9);
+    EXPECT_GT(pe_penalty, cache_penalty);
+}
+
+TEST(Simulator, TilingOptimizerNeverWorseThanDefault) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    auto options = pipelined_options(Scheme::mime);
+    options.optimize_tiling = true;
+    const auto optimized = sim.run(layers, options);
+    options.optimize_tiling = false;
+    const auto fixed = sim.run(layers, options);
+    EXPECT_LE(optimized.total_energy.total(),
+              fixed.total_energy.total() + 1e-6);
+}
+
+TEST(Simulator, LayerLookupByName) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    const auto result = sim.run(layers, pipelined_options(Scheme::mime));
+    EXPECT_EQ(result.layer("conv8").name, "conv8");
+    EXPECT_THROW(result.layer("conv99"), mime::check_error);
+    EXPECT_EQ(result.layers.size(), 15u);
+}
+
+TEST(Simulator, EnergyComponentsAllPositive) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+    const auto result = sim.run(layers, pipelined_options(Scheme::mime));
+    for (const auto& l : result.layers) {
+        EXPECT_GT(l.energy.e_dram, 0.0) << l.name;
+        EXPECT_GT(l.energy.e_cache, 0.0) << l.name;
+        EXPECT_GT(l.energy.e_reg, 0.0) << l.name;
+        EXPECT_GT(l.energy.e_mac, 0.0) << l.name;
+        EXPECT_GT(l.cycles, 0.0) << l.name;
+    }
+}
+
+// Sweep: total energy decreases monotonically as activation sparsity
+// rises (the core dynamic-pruning payoff).
+class SparsitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SparsitySweep, EnergyDecreasesWithSparsity) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto layers = eval_layers();
+
+    SimulationOptions lo;
+    lo.scheme = Scheme::mime;
+    lo.batch = {0, 0, 0};
+    lo.profiles = {SparsityProfile::uniform("lo", GetParam())};
+    SimulationOptions hi = lo;
+    hi.profiles = {SparsityProfile::uniform("hi", GetParam() + 0.2)};
+
+    const auto lo_result = sim.run(layers, lo);
+    const auto hi_result = sim.run(layers, hi);
+    EXPECT_LT(hi_result.total_energy.total(), lo_result.total_energy.total());
+    EXPECT_LT(hi_result.total_cycles, lo_result.total_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SparsitySweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6));
+
+}  // namespace
+}  // namespace mime::hw

@@ -1,0 +1,116 @@
+// Tests for the OS-dataflow tiler.
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/tiler.h"
+
+namespace mime::hw {
+namespace {
+
+arch::LayerSpec conv_layer(std::int64_t cin, std::int64_t cout,
+                           std::int64_t hw) {
+    arch::LayerSpec spec;
+    spec.name = "conv";
+    spec.in_channels = cin;
+    spec.out_channels = cout;
+    spec.kernel = 3;
+    spec.padding = 1;
+    spec.in_height = hw;
+    spec.in_width = hw;
+    return spec;
+}
+
+TEST(Tiler, CandidatesCoverAllOutputs) {
+    const auto layer = conv_layer(64, 128, 16);
+    for (const Tiling& t : enumerate_tilings(layer, 1024)) {
+        EXPECT_LE(t.pe_used(), 1024);
+        EXPECT_GE(t.channel_blocks * t.channels_per_tile, 128);
+        EXPECT_GE(t.spatial_blocks * t.pixels_per_tile, 16 * 16);
+    }
+}
+
+TEST(Tiler, LargestCandidateUsesAllChannels) {
+    const auto layer = conv_layer(64, 128, 16);
+    const Tiling t = default_tiling(layer, 1024);
+    EXPECT_EQ(t.channels_per_tile, 128);
+    EXPECT_EQ(t.pixels_per_tile, 8);  // 1024 / 128
+    EXPECT_EQ(t.channel_blocks, 1);
+    EXPECT_EQ(t.spatial_blocks, 32);
+}
+
+TEST(Tiler, SmallPeArrayShrinksTiles) {
+    const auto layer = conv_layer(64, 512, 8);
+    const Tiling big = default_tiling(layer, 1024);
+    const Tiling small = default_tiling(layer, 256);
+    EXPECT_GT(big.pe_used(), small.pe_used());
+    EXPECT_GE(small.tile_count(), big.tile_count());
+}
+
+TEST(Tiler, FcLayerIsSingleSpatialPixel) {
+    arch::LayerSpec fc;
+    fc.name = "conv14";
+    fc.kind = arch::LayerKind::fc;
+    fc.in_channels = 512;
+    fc.out_channels = 512;
+    const Tiling t = default_tiling(fc, 1024);
+    EXPECT_EQ(t.pixels_per_tile, 1);
+    EXPECT_EQ(t.channels_per_tile, 512);
+    EXPECT_DOUBLE_EQ(t.halo_factor(fc), 1.0);
+}
+
+TEST(Tiler, HaloFactorBounds) {
+    const auto layer = conv_layer(3, 64, 32);
+    for (const Tiling& t : enumerate_tilings(layer, 1024)) {
+        const double h = t.halo_factor(layer);
+        EXPECT_GE(h, 1.0);
+        EXPECT_LE(h, 9.0);  // K^2 worst case for 3x3 stride 1
+    }
+}
+
+TEST(Tiler, HaloShrinksWithLargerSpatialTiles) {
+    const auto layer = conv_layer(3, 4, 32);  // few channels → big S_t
+    Tiling small_tile;
+    small_tile.channels_per_tile = 4;
+    small_tile.pixels_per_tile = 4;
+    Tiling large_tile;
+    large_tile.channels_per_tile = 4;
+    large_tile.pixels_per_tile = 256;
+    EXPECT_GT(small_tile.halo_factor(layer), large_tile.halo_factor(layer));
+}
+
+TEST(Tiler, FullMapTileHasNoHalo) {
+    const auto layer = conv_layer(3, 4, 8);
+    Tiling t;
+    t.channels_per_tile = 4;
+    t.pixels_per_tile = 64;  // whole 8x8 map
+    EXPECT_DOUBLE_EQ(t.halo_factor(layer), 1.0);
+}
+
+TEST(Tiler, RejectsBadInput) {
+    const auto layer = conv_layer(3, 4, 8);
+    EXPECT_THROW(enumerate_tilings(layer, 0), mime::check_error);
+}
+
+// The full VGG16 sweeps: every layer must tile onto both array sizes.
+class TilerVggSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TilerVggSweep, AllVggLayersTile) {
+    arch::VggConfig config;
+    config.input_size = 64;
+    for (const auto& layer : arch::vgg16_spec(config)) {
+        const auto tilings = enumerate_tilings(layer, GetParam());
+        EXPECT_FALSE(tilings.empty()) << layer.name;
+        for (const Tiling& t : tilings) {
+            EXPECT_LE(t.pe_used(), GetParam()) << layer.name;
+            EXPECT_GE(t.tile_count() * t.pe_used(), layer.neuron_count())
+                << layer.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArraySizes, TilerVggSweep,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace mime::hw

@@ -1,0 +1,181 @@
+// Tests for im2col / col2im lowering.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/im2col.h"
+
+namespace mime {
+namespace {
+
+ConvGeometry make_geometry(std::int64_t c, std::int64_t h, std::int64_t w,
+                           std::int64_t k, std::int64_t stride,
+                           std::int64_t pad) {
+    ConvGeometry g;
+    g.in_channels = c;
+    g.in_height = h;
+    g.in_width = w;
+    g.kernel = k;
+    g.stride = stride;
+    g.padding = pad;
+    return g;
+}
+
+TEST(ConvGeometry, OutputExtents) {
+    const auto g = make_geometry(3, 32, 32, 3, 1, 1);
+    EXPECT_EQ(g.out_height(), 32);
+    EXPECT_EQ(g.out_width(), 32);
+    EXPECT_EQ(g.col_rows(), 27);
+    EXPECT_EQ(g.col_cols(), 1024);
+}
+
+TEST(ConvGeometry, StridedExtents) {
+    const auto g = make_geometry(1, 8, 8, 2, 2, 0);
+    EXPECT_EQ(g.out_height(), 4);
+    EXPECT_EQ(g.out_width(), 4);
+}
+
+TEST(ConvGeometry, RejectsDegenerate) {
+    auto g = make_geometry(1, 2, 2, 5, 1, 0);
+    EXPECT_THROW(g.validate(), check_error);
+    g = make_geometry(0, 2, 2, 1, 1, 0);
+    EXPECT_THROW(g.validate(), check_error);
+}
+
+TEST(Im2col, IdentityKernel) {
+    // 1x1 kernel, stride 1: columns equal the input exactly.
+    const auto g = make_geometry(2, 3, 3, 1, 1, 0);
+    std::vector<float> input(18);
+    std::iota(input.begin(), input.end(), 0.0f);
+    std::vector<float> cols(
+        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    im2col(g, input.data(), cols.data());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        EXPECT_EQ(cols[i], input[i]);
+    }
+}
+
+TEST(Im2col, KnownWindow) {
+    // 1 channel 3x3 input, 2x2 kernel, stride 1, no padding → 2x2 output.
+    const auto g = make_geometry(1, 3, 3, 2, 1, 0);
+    const std::vector<float> input{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<float> cols(static_cast<std::size_t>(4 * 4));
+    im2col(g, input.data(), cols.data());
+    // Row 0 is kernel tap (0,0): top-left of each window.
+    EXPECT_EQ(cols[0], 1);
+    EXPECT_EQ(cols[1], 2);
+    EXPECT_EQ(cols[2], 4);
+    EXPECT_EQ(cols[3], 5);
+    // Row 3 is tap (1,1): bottom-right of each window.
+    EXPECT_EQ(cols[12], 5);
+    EXPECT_EQ(cols[15], 9);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+    const auto g = make_geometry(1, 2, 2, 3, 1, 1);
+    const std::vector<float> input{1, 2, 3, 4};
+    std::vector<float> cols(static_cast<std::size_t>(9 * 4));
+    im2col(g, input.data(), cols.data());
+    // Tap (0,0) for output (0,0) reads input (-1,-1) → zero.
+    EXPECT_EQ(cols[0], 0.0f);
+    // Tap (1,1) for output (0,0) reads input (0,0) = 1.
+    EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Col2im, AdjointOfIm2col) {
+    // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+    // adjoint property used by the convolution backward pass.
+    const auto g = make_geometry(3, 7, 6, 3, 2, 1);
+    Rng rng(21);
+    const std::int64_t in_size = 3 * 7 * 6;
+    const std::int64_t col_size = g.col_rows() * g.col_cols();
+
+    std::vector<float> x(static_cast<std::size_t>(in_size));
+    std::vector<float> y(static_cast<std::size_t>(col_size));
+    for (auto& v : x) {
+        v = static_cast<float>(rng.normal());
+    }
+    for (auto& v : y) {
+        v = static_cast<float>(rng.normal());
+    }
+
+    std::vector<float> cols(static_cast<std::size_t>(col_size));
+    im2col(g, x.data(), cols.data());
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < col_size; ++i) {
+        lhs += static_cast<double>(cols[static_cast<std::size_t>(i)]) *
+               y[static_cast<std::size_t>(i)];
+    }
+
+    std::vector<float> back(static_cast<std::size_t>(in_size), 0.0f);
+    col2im(g, y.data(), back.data());
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < in_size; ++i) {
+        rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+               back[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+    // 3x3 kernel stride 1: center input pixel of a 3x3 map is covered by
+    // all windows that include it; ones in columns accumulate the
+    // coverage count.
+    const auto g = make_geometry(1, 3, 3, 3, 1, 1);
+    std::vector<float> cols(static_cast<std::size_t>(9 * 9), 1.0f);
+    std::vector<float> grad(9, 0.0f);
+    col2im(g, cols.data(), grad.data());
+    // Center pixel (1,1) is read by all 9 windows.
+    EXPECT_FLOAT_EQ(grad[4], 9.0f);
+    // Corner pixel (0,0) is read by the 4 windows whose tap grid covers it.
+    EXPECT_FLOAT_EQ(grad[0], 4.0f);
+}
+
+class Im2colRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colRoundTrip, AdjointHoldsAcrossGeometries) {
+    const auto [channels, size, kernel, stride] = GetParam();
+    const auto g =
+        make_geometry(channels, size, size, kernel, stride, kernel / 2);
+    Rng rng(5);
+    const std::int64_t in_size = channels * size * size;
+    const std::int64_t col_size = g.col_rows() * g.col_cols();
+
+    std::vector<float> x(static_cast<std::size_t>(in_size));
+    std::vector<float> y(static_cast<std::size_t>(col_size));
+    for (auto& v : x) {
+        v = static_cast<float>(rng.normal());
+    }
+    for (auto& v : y) {
+        v = static_cast<float>(rng.normal());
+    }
+    std::vector<float> cols(static_cast<std::size_t>(col_size));
+    im2col(g, x.data(), cols.data());
+    std::vector<float> back(static_cast<std::size_t>(in_size), 0.0f);
+    col2im(g, y.data(), back.data());
+
+    double lhs = 0.0;
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < col_size; ++i) {
+        lhs += static_cast<double>(cols[static_cast<std::size_t>(i)]) *
+               y[static_cast<std::size_t>(i)];
+    }
+    for (std::int64_t i = 0; i < in_size; ++i) {
+        rhs += static_cast<double>(x[static_cast<std::size_t>(i)]) *
+               back[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(lhs, rhs, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colRoundTrip,
+    ::testing::Values(std::tuple{1, 5, 3, 1}, std::tuple{2, 8, 3, 2},
+                      std::tuple{4, 6, 1, 1}, std::tuple{3, 9, 5, 2},
+                      std::tuple{2, 4, 2, 2}));
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,194 @@
+// End-to-end integration: the full MIME pipeline at miniature scale.
+// Parent training → frozen backbone → per-child threshold training →
+// multi-task pipelined inference → storage accounting → hardware
+// simulation fed with *measured* sparsity.
+//
+// Everything that depends on training lives in one TEST so the (minutes
+// of) training happens once per ctest process.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/multitask.h"
+#include "core/sparsity.h"
+#include "core/storage.h"
+#include "core/trainer.h"
+#include "data/task_suite.h"
+#include "hw/simulator.h"
+
+namespace mime {
+namespace {
+
+core::MimeNetworkConfig mini_config() {
+    core::MimeNetworkConfig c;
+    c.vgg.input_size = 32;
+    c.vgg.width_scale = 0.125;
+    c.vgg.num_classes = 20;  // max over parent (20) and children (10)
+    c.batchnorm = true;      // CPU-scale training stability
+    c.seed = 19;
+    return c;
+}
+
+TEST(Integration, EndToEndMimePipeline) {
+    data::TaskSuiteOptions suite_options;
+    suite_options.seed = 19;
+    suite_options.train_size = 768;
+    suite_options.test_size = 192;
+    suite_options.cifar100_classes = 10;
+    const data::TaskSuite suite = data::make_task_suite(suite_options);
+
+    core::MimeNetwork network(mini_config());
+
+    core::TrainOptions options;
+    options.epochs = 6;
+    options.batch_size = 32;
+    options.learning_rate = 3e-3f;
+    options.pool = &global_pool();
+
+    // ---- 1. Parent task: train backbone in ReLU mode --------------------
+    const auto parent_train = suite.family->train_split(suite.parent);
+    const auto parent_test = suite.family->test_split(suite.parent);
+    const auto parent_history =
+        core::train_backbone(network, parent_train, options);
+    EXPECT_LT(parent_history.final_epoch().train_loss,
+              parent_history.epochs.front().train_loss);
+    const double parent_accuracy =
+        core::evaluate(network, parent_test, 64, options.pool).accuracy;
+    // 20 classes → 5% chance; the parent must learn decisively.
+    EXPECT_GT(parent_accuracy, 0.4);
+
+    // ---- 2. Child A: thresholds only, frozen backbone --------------------
+    const auto a_train = suite.family->train_split(suite.cifar10_like);
+    const auto a_test = suite.family->test_split(suite.cifar10_like);
+    const auto backbone_before = network.snapshot_backbone();
+
+    network.reset_thresholds(0.05f);
+    core::train_thresholds(network, a_train, options);
+    const double child_a_accuracy =
+        core::evaluate(network, a_test, 64, options.pool).accuracy;
+    // 10 classes → 10% chance; thresholds + head on frozen features must
+    // adapt decisively (the paper's core algorithmic claim).
+    EXPECT_GT(child_a_accuracy, 0.35);
+
+    // The backbone (minus the classifier head, which adapts per task by
+    // design) stayed bit-identical. The snapshot layout is
+    // [parameters..., classifier weight, classifier bias, buffers...].
+    const auto backbone_after = network.snapshot_backbone();
+    ASSERT_EQ(backbone_before.size(), backbone_after.size());
+    const std::size_t head_start = network.backbone_parameters().size() - 2;
+    for (std::size_t i = 0; i < backbone_before.size(); ++i) {
+        if (i == head_start || i == head_start + 1) {
+            continue;  // per-task classifier head
+        }
+        for (std::int64_t j = 0; j < backbone_before[i].numel(); ++j) {
+            ASSERT_EQ(backbone_before[i][j], backbone_after[i][j])
+                << "frozen backbone parameter " << i << " changed";
+        }
+    }
+
+    // Trained thresholds induce dynamic neuronal sparsity (Table II's
+    // qualitative content).
+    const auto a_sparsity =
+        core::measure_sparsity(network, a_test, 64, options.pool);
+    EXPECT_GT(a_sparsity.overall(), 0.3);
+    for (std::size_t i = 0; i < a_sparsity.average_sparsity.size(); ++i) {
+        EXPECT_GT(a_sparsity.average_sparsity[i], 0.03)
+            << a_sparsity.layer_names[i];
+    }
+    const core::TaskAdaptation child_a =
+        core::capture_adaptation(network, "child-a", 10);
+
+    // ---- 3. Child B (grayscale style): fresh thresholds ------------------
+    const auto b_train = suite.family->train_split(suite.fmnist_like);
+    const auto b_test = suite.family->test_split(suite.fmnist_like);
+    network.reset_thresholds(0.05f);
+    core::train_thresholds(network, b_train, options);
+    const double child_b_accuracy =
+        core::evaluate(network, b_test, 64, options.pool).accuracy;
+    EXPECT_GT(child_b_accuracy, 0.35);
+    const core::TaskAdaptation child_b =
+        core::capture_adaptation(network, "child-b", 10);
+
+    // The two children learned different threshold sets.
+    double distance = 0.0;
+    for (std::size_t i = 0; i < child_a.thresholds.thresholds.size(); ++i) {
+        distance += static_cast<double>(l2_norm(sub(
+            child_a.thresholds.thresholds[i], child_b.thresholds.thresholds[i])));
+    }
+    EXPECT_GT(distance, 1e-3);
+
+    // ---- 4. Pipelined multi-task inference --------------------------------
+    core::MultiTaskEngine engine(network);
+    engine.register_mime_task(child_a);
+    engine.register_mime_task(child_b);
+    const auto items = core::interleave_tasks({&a_test, &b_test}, 48);
+    const double pipelined_accuracy =
+        engine.accuracy(core::MultiTaskEngine::Scheme::mime, items);
+    EXPECT_GT(pipelined_accuracy, 0.3);
+    // Every switch was a (tiny) threshold swap, never a backbone reload.
+    EXPECT_EQ(engine.backbone_switches(), 0);
+    EXPECT_EQ(engine.threshold_switches(), 96);
+
+    // Pipelined predictions equal task-by-task predictions: parameter
+    // swapping is transparent.
+    std::vector<core::PipelinedItem> only_a;
+    for (const auto& item : items) {
+        if (item.task == 0) {
+            only_a.push_back(item);
+        }
+    }
+    const auto mixed = engine.predict(core::MultiTaskEngine::Scheme::mime,
+                                      items);
+    const auto alone = engine.predict(core::MultiTaskEngine::Scheme::mime,
+                                      only_a);
+    std::size_t ia = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].task == 0) {
+            ASSERT_EQ(mixed[i], alone[ia++]) << "item " << i;
+        }
+    }
+
+    // ---- 5. Storage accounting for the trained system ---------------------
+    core::StorageModel storage(network.layer_specs(),
+                               network.classifier_spec());
+    EXPECT_LT(storage.mime_total_bytes(2), storage.conventional_total_bytes(2));
+    EXPECT_EQ(child_a.thresholds.parameter_count(),
+              arch::total_neurons(network.layer_specs()));
+
+    // ---- 6. Hardware simulation driven by *measured* sparsity -------------
+    arch::VggConfig hw_vgg;
+    hw_vgg.input_size = 64;
+    const auto hw_layers = arch::vgg16_spec(hw_vgg);
+
+    hw::SimulationOptions mime_options;
+    mime_options.scheme = hw::Scheme::mime;
+    mime_options.batch = {0, 0, 0};
+    mime_options.profiles = {
+        hw::SparsityProfile("measured", a_sparsity.average_sparsity)};
+    hw::SimulationOptions dense_options = mime_options;
+    dense_options.scheme = hw::Scheme::baseline_dense;
+
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    const auto mime_result = sim.run(hw_layers, mime_options);
+    const auto dense_result = sim.run(hw_layers, dense_options);
+    EXPECT_LT(mime_result.total_energy.total(),
+              dense_result.total_energy.total());
+}
+
+TEST(Integration, UntrainedNetworkSitsAtChance) {
+    data::TaskSuiteOptions suite_options;
+    suite_options.seed = 19;
+    suite_options.train_size = 8;
+    suite_options.test_size = 128;
+    suite_options.cifar100_classes = 10;
+    const data::TaskSuite suite = data::make_task_suite(suite_options);
+
+    core::MimeNetwork network(mini_config());
+    const auto test = suite.family->test_split(suite.cifar10_like);
+    const auto result = core::evaluate(network, test, 64, &global_pool());
+    EXPECT_GT(result.accuracy, 0.0);
+    EXPECT_LT(result.accuracy, 0.35);
+}
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,134 @@
+// Tests for classification metrics and learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/lr_schedule.h"
+#include "nn/metrics.h"
+
+namespace mime::nn {
+namespace {
+
+TEST(Confusion, PerfectPredictions) {
+    ConfusionMatrix m(3);
+    m.add(0, 0);
+    m.add(1, 1);
+    m.add(2, 2);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(m.macro_f1(), 1.0);
+    for (const double r : m.recall()) {
+        EXPECT_DOUBLE_EQ(r, 1.0);
+    }
+}
+
+TEST(Confusion, KnownMistakePattern) {
+    ConfusionMatrix m(2);
+    // Class 0: 3 right, 1 wrong. Class 1: 2 right, 2 wrong.
+    for (int i = 0; i < 3; ++i) m.add(0, 0);
+    m.add(0, 1);
+    for (int i = 0; i < 2; ++i) m.add(1, 1);
+    for (int i = 0; i < 2; ++i) m.add(1, 0);
+
+    EXPECT_EQ(m.total(), 8);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 5.0 / 8.0);
+    EXPECT_DOUBLE_EQ(m.recall()[0], 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(m.recall()[1], 2.0 / 4.0);
+    EXPECT_DOUBLE_EQ(m.precision()[0], 3.0 / 5.0);
+    EXPECT_DOUBLE_EQ(m.precision()[1], 2.0 / 3.0);
+    EXPECT_EQ(m.count(1, 0), 2);
+}
+
+TEST(Confusion, AddBatchUsesArgmaxWithinClasses) {
+    ConfusionMatrix m(3);
+    // Logits wider than the matrix (shared multi-task head): argmax is
+    // restricted to the matrix's class range.
+    Tensor logits({2, 5});
+    logits.at({0, 1}) = 5.0f;   // predicts 1
+    logits.at({0, 4}) = 99.0f;  // out-of-task logit must be ignored
+    logits.at({1, 0}) = 3.0f;   // predicts 0
+    m.add_batch(logits, {1, 2});
+    EXPECT_EQ(m.count(1, 1), 1);
+    EXPECT_EQ(m.count(2, 0), 1);
+}
+
+TEST(Confusion, RejectsBadLabels) {
+    ConfusionMatrix m(2);
+    EXPECT_THROW(m.add(2, 0), mime::check_error);
+    EXPECT_THROW(m.add(0, -1), mime::check_error);
+    EXPECT_THROW(m.accuracy(), mime::check_error);  // empty
+    EXPECT_THROW(ConfusionMatrix(0), mime::check_error);
+}
+
+TEST(Confusion, ToStringContainsCounts) {
+    ConfusionMatrix m(2);
+    m.add(0, 1);
+    const std::string s = m.to_string();
+    EXPECT_NE(s.find("true\\pred"), std::string::npos);
+    EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(TopK, KnownRanking) {
+    Tensor logits({2, 4});
+    // Sample 0 ranking: 3 > 2 > 1 > 0; sample 1 ranking: 0 > 1 > 2 > 3.
+    for (std::int64_t c = 0; c < 4; ++c) {
+        logits.at({0, c}) = static_cast<float>(c);
+        logits.at({1, c}) = static_cast<float>(-c);
+    }
+    EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {3, 0}, 1), 1.0);
+    EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {2, 3}, 1), 0.0);
+    EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {2, 3}, 2), 0.5);
+    EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {0, 3}, 4), 1.0);
+}
+
+TEST(TopK, ValidatesArguments) {
+    Tensor logits({1, 3});
+    EXPECT_THROW(top_k_accuracy(logits, {0}, 0), mime::check_error);
+    EXPECT_THROW(top_k_accuracy(logits, {0}, 4), mime::check_error);
+    EXPECT_THROW(top_k_accuracy(logits, {0, 1}, 1), mime::check_error);
+}
+
+TEST(LrSchedule, ConstantHoldsBase) {
+    const auto schedule = constant_lr();
+    EXPECT_FLOAT_EQ(schedule(0, 0.1f), 0.1f);
+    EXPECT_FLOAT_EQ(schedule(100, 0.1f), 0.1f);
+}
+
+TEST(LrSchedule, StepDecayHalves) {
+    const auto schedule = step_decay(2, 0.5f);
+    EXPECT_FLOAT_EQ(schedule(0, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(schedule(1, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(schedule(2, 1.0f), 0.5f);
+    EXPECT_FLOAT_EQ(schedule(4, 1.0f), 0.25f);
+}
+
+TEST(LrSchedule, CosineEndsAtMin) {
+    const auto schedule = cosine_annealing(10, 0.01f);
+    EXPECT_FLOAT_EQ(schedule(0, 1.0f), 1.0f);
+    EXPECT_NEAR(schedule(10, 1.0f), 0.01f, 1e-6f);
+    EXPECT_NEAR(schedule(5, 1.0f), (1.0f + 0.01f) / 2.0f, 1e-3f);
+    // Monotone decreasing.
+    float prev = 2.0f;
+    for (int e = 0; e <= 10; ++e) {
+        const float lr = schedule(e, 1.0f);
+        EXPECT_LT(lr, prev);
+        prev = lr;
+    }
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+    const auto schedule = with_warmup(4, constant_lr());
+    EXPECT_FLOAT_EQ(schedule(0, 1.0f), 0.25f);
+    EXPECT_FLOAT_EQ(schedule(1, 1.0f), 0.5f);
+    EXPECT_FLOAT_EQ(schedule(3, 1.0f), 1.0f);
+    EXPECT_FLOAT_EQ(schedule(4, 1.0f), 1.0f);
+}
+
+TEST(LrSchedule, ValidatesArguments) {
+    EXPECT_THROW(step_decay(0, 0.5f), mime::check_error);
+    EXPECT_THROW(step_decay(2, 1.5f), mime::check_error);
+    EXPECT_THROW(cosine_annealing(0), mime::check_error);
+    EXPECT_THROW(with_warmup(-1, constant_lr()), mime::check_error);
+    EXPECT_THROW(with_warmup(1, nullptr), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::nn

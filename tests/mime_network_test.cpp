@@ -1,0 +1,198 @@
+// Tests for MimeNetwork: construction, mode switching, threshold sets,
+// backbone snapshots and freezing.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/mime_network.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;  // channels 4..32
+    config.vgg.num_classes = 10;
+    config.seed = 3;
+    return config;
+}
+
+TEST(MimeNetwork, HasFifteenSites) {
+    MimeNetwork net(tiny_config());
+    EXPECT_EQ(net.site_count(), 15);
+    EXPECT_EQ(net.site_name(0), "conv1");
+    EXPECT_EQ(net.site_name(13), "conv14");
+    EXPECT_EQ(net.site_name(14), "conv15");
+}
+
+TEST(MimeNetwork, ForwardProducesLogits) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    Rng rng(1);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    const Tensor logits = net.forward(x);
+    EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(MimeNetwork, ModeSwitchesAllSites) {
+    MimeNetwork net(tiny_config());
+    net.set_mode(ActivationMode::threshold);
+    for (std::int64_t i = 0; i < net.site_count(); ++i) {
+        EXPECT_EQ(net.site(i).mode(), ActivationMode::threshold);
+    }
+    net.set_mode(ActivationMode::relu);
+    for (std::int64_t i = 0; i < net.site_count(); ++i) {
+        EXPECT_EQ(net.site(i).mode(), ActivationMode::relu);
+    }
+}
+
+TEST(MimeNetwork, ThresholdAndReluOutputsDiffer) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    Rng rng(2);
+    const Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+
+    net.set_mode(ActivationMode::relu);
+    const Tensor relu_logits = net.forward(x);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.5f);
+    const Tensor mask_logits = net.forward(x);
+
+    bool differs = false;
+    for (std::int64_t i = 0; i < relu_logits.numel(); ++i) {
+        if (relu_logits[i] != mask_logits[i]) {
+            differs = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(MimeNetwork, ThresholdModeSparserThanRelu) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    Rng rng(4);
+    const Tensor x = Tensor::randn({4, 3, 32, 32}, rng);
+
+    net.set_mode(ActivationMode::relu);
+    net.forward(x);
+    const auto relu_sparsity = net.last_site_sparsities();
+
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.2f);  // positive thresholds prune more than ReLU
+    net.forward(x);
+    const auto mask_sparsity = net.last_site_sparsities();
+
+    // With t >= 0, {y >= t} ⊆ {y > 0} up to boundary ties, so the mask
+    // can only be sparser (checked per layer).
+    for (std::size_t i = 0; i < relu_sparsity.size(); ++i) {
+        EXPECT_GE(mask_sparsity[i] + 1e-9, relu_sparsity[i]) << "site " << i;
+    }
+}
+
+TEST(MimeNetwork, SnapshotAndLoadThresholds) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.3f);
+    const ThresholdSet set_a = net.snapshot_thresholds("task-a");
+    EXPECT_EQ(set_a.task_name, "task-a");
+    EXPECT_EQ(set_a.thresholds.size(), 15u);
+
+    net.reset_thresholds(0.9f);
+    const ThresholdSet set_b = net.snapshot_thresholds("task-b");
+
+    net.load_thresholds(set_a);
+    EXPECT_FLOAT_EQ(net.site(0).mask().thresholds().value[0], 0.3f);
+    net.load_thresholds(set_b);
+    EXPECT_FLOAT_EQ(net.site(0).mask().thresholds().value[0], 0.9f);
+}
+
+TEST(MimeNetwork, ThresholdSetParameterCountMatchesNeurons) {
+    MimeNetwork net(tiny_config());
+    const ThresholdSet set = net.snapshot_thresholds("t");
+    std::int64_t neurons = 0;
+    for (const auto& spec : net.layer_specs()) {
+        neurons += spec.neuron_count();
+    }
+    EXPECT_EQ(set.parameter_count(), neurons);
+}
+
+TEST(MimeNetwork, LoadRejectsWrongSiteCount) {
+    MimeNetwork net(tiny_config());
+    ThresholdSet bad;
+    bad.thresholds.resize(3, Tensor({4}));
+    EXPECT_THROW(net.load_thresholds(bad), mime::check_error);
+}
+
+TEST(MimeNetwork, FreezeBackboneTogglesTrainable) {
+    MimeNetwork net(tiny_config());
+    net.freeze_backbone(true);
+    for (const auto* p : net.backbone_parameters()) {
+        EXPECT_FALSE(p->trainable);
+    }
+    // Thresholds stay trainable.
+    for (auto* p : net.threshold_parameters()) {
+        EXPECT_TRUE(p->trainable);
+    }
+    net.freeze_backbone(false);
+    for (const auto* p : net.backbone_parameters()) {
+        EXPECT_TRUE(p->trainable);
+    }
+}
+
+TEST(MimeNetwork, BackboneSnapshotRoundTrip) {
+    MimeNetwork net(tiny_config());
+    const auto snapshot = net.snapshot_backbone();
+    const float original = net.backbone_parameters()[0]->value[0];
+
+    net.backbone_parameters()[0]->value[0] = original + 5.0f;
+    net.load_backbone(snapshot);
+    EXPECT_FLOAT_EQ(net.backbone_parameters()[0]->value[0], original);
+}
+
+TEST(MimeNetwork, ParameterGroupsArePartition) {
+    MimeNetwork net(tiny_config());
+    const auto backbone = net.backbone_parameters();
+    const auto thresholds = net.threshold_parameters();
+    const auto all = net.all_parameters();
+    EXPECT_EQ(all.size(), backbone.size() + thresholds.size());
+    EXPECT_EQ(thresholds.size(), 15u);
+    // Threshold parameter names carry their site names.
+    EXPECT_EQ(thresholds[0]->name, "conv1.thresholds");
+    EXPECT_EQ(thresholds[14]->name, "conv15.thresholds");
+}
+
+TEST(MimeNetwork, RegularizationAggregatesAcrossSites) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.0f);
+    std::int64_t neurons = 0;
+    for (const auto& spec : net.layer_specs()) {
+        neurons += spec.neuron_count();
+    }
+    // exp(0) = 1 per neuron.
+    EXPECT_NEAR(net.threshold_regularization_loss(),
+                static_cast<double>(neurons), 1e-3);
+}
+
+TEST(MimeNetwork, ClampAppliesEverywhere) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(-1.0f);
+    net.clamp_thresholds(0.0f);
+    for (auto* p : net.threshold_parameters()) {
+        EXPECT_GE(min_value(p->value), 0.0f);
+    }
+}
+
+TEST(MimeNetwork, BatchNormVariantBuilds) {
+    MimeNetworkConfig config = tiny_config();
+    config.batchnorm = true;
+    MimeNetwork net(config);
+    Rng rng(1);
+    net.set_training(true);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    EXPECT_EQ(net.forward(x).shape(), Shape({2, 10}));
+    // BN adds gamma/beta per conv layer: 13 * 2 extra parameters.
+    EXPECT_EQ(net.backbone_parameters().size(), 15u * 2 + 13u * 2 + 2u);
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,208 @@
+// Tests for the multi-task inference engine (Pipelined task mode
+// semantics at the functional level).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/multitask.h"
+#include "data/task_suite.h"
+#include "tensor/tensor_ops.h"
+
+using mime::batch_slice;
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 9;
+    return config;
+}
+
+struct Fixture {
+    data::TaskSuite suite;
+    data::Dataset task_a;
+    data::Dataset task_b;
+
+    Fixture() {
+        data::TaskSuiteOptions options;
+        options.train_size = 16;
+        options.test_size = 16;
+        options.cifar100_classes = 10;
+        suite = data::make_task_suite(options);
+        task_a = suite.family->test_split(suite.cifar10_like);
+        task_b = suite.family->test_split(suite.fmnist_like);
+    }
+};
+
+TEST(Interleave, RoundRobinOrder) {
+    Fixture f;
+    const auto items = interleave_tasks({&f.task_a, &f.task_b}, 3);
+    ASSERT_EQ(items.size(), 6u);
+    EXPECT_EQ(items[0].task, 0);
+    EXPECT_EQ(items[1].task, 1);
+    EXPECT_EQ(items[2].task, 0);
+    EXPECT_EQ(items[5].task, 1);
+    EXPECT_EQ(items[0].label, f.task_a.labels()[0]);
+    EXPECT_EQ(items[3].label, f.task_b.labels()[1]);
+}
+
+TEST(Interleave, RejectsOversizedRequest) {
+    Fixture f;
+    EXPECT_THROW(interleave_tasks({&f.task_a}, 1000), mime::check_error);
+    EXPECT_THROW(interleave_tasks({}, 1), mime::check_error);
+}
+
+TEST(Engine, MimeTaskSwitchingCounts) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+
+    net.reset_thresholds(0.1f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+    net.reset_thresholds(0.6f);
+    engine.register_mime_task(capture_adaptation(net, "b", 10));
+    EXPECT_EQ(engine.task_count(MultiTaskEngine::Scheme::mime), 2);
+
+    const auto items = interleave_tasks({&f.task_a, &f.task_b}, 3);
+    engine.predict(MultiTaskEngine::Scheme::mime, items);
+    // 6 interleaved items alternating tasks → 6 threshold swaps, zero
+    // backbone swaps.
+    EXPECT_EQ(engine.threshold_switches(), 6);
+    EXPECT_EQ(engine.backbone_switches(), 0);
+}
+
+TEST(Engine, SingularModeSwitchesOnce) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.1f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+
+    std::vector<PipelinedItem> items;
+    for (std::int64_t i = 0; i < 4; ++i) {
+        PipelinedItem item;
+        item.image = batch_slice(f.task_a.images(), i);
+        item.task = 0;
+        items.push_back(std::move(item));
+    }
+    engine.predict(MultiTaskEngine::Scheme::mime, items);
+    EXPECT_EQ(engine.threshold_switches(), 1);
+}
+
+TEST(Engine, ConventionalSwitchesFullBackbone) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    engine.register_conventional_task("a", net.snapshot_backbone(), 10);
+    net.backbone_parameters()[0]->value[0] += 1.0f;  // distinct model
+    engine.register_conventional_task("b", net.snapshot_backbone(), 10);
+
+    const auto items = interleave_tasks({&f.task_a, &f.task_b}, 2);
+    engine.predict(MultiTaskEngine::Scheme::conventional, items);
+    EXPECT_EQ(engine.backbone_switches(), 4);
+    EXPECT_EQ(engine.threshold_switches(), 0);
+}
+
+TEST(Engine, PipelinedPredictionsMatchSingular) {
+    // Parameter swapping must be transparent: predictions in interleaved
+    // order equal predictions computed task-by-task.
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.05f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+    net.reset_thresholds(0.4f);
+    engine.register_mime_task(capture_adaptation(net, "b", 10));
+
+    const auto interleaved = interleave_tasks({&f.task_a, &f.task_b}, 4);
+    const auto mixed =
+        engine.predict(MultiTaskEngine::Scheme::mime, interleaved);
+
+    // Singular runs.
+    std::vector<PipelinedItem> only_a;
+    std::vector<PipelinedItem> only_b;
+    for (const auto& item : interleaved) {
+        (item.task == 0 ? only_a : only_b).push_back(item);
+    }
+    const auto pa = engine.predict(MultiTaskEngine::Scheme::mime, only_a);
+    const auto pb = engine.predict(MultiTaskEngine::Scheme::mime, only_b);
+
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    for (std::size_t i = 0; i < interleaved.size(); ++i) {
+        if (interleaved[i].task == 0) {
+            EXPECT_EQ(mixed[i], pa[ia++]) << "item " << i;
+        } else {
+            EXPECT_EQ(mixed[i], pb[ib++]) << "item " << i;
+        }
+    }
+}
+
+TEST(Engine, PredictionRestrictedToTaskClasses) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.1f);
+    // Task with only 3 classes: predictions must stay in [0, 3).
+    engine.register_mime_task(capture_adaptation(net, "small", 3));
+    std::vector<PipelinedItem> items;
+    for (std::int64_t i = 0; i < 8; ++i) {
+        PipelinedItem item;
+        item.image = batch_slice(f.task_a.images(), i);
+        item.task = 0;
+        items.push_back(std::move(item));
+    }
+    for (const auto p : engine.predict(MultiTaskEngine::Scheme::mime, items)) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, 3);
+    }
+}
+
+TEST(Engine, AccuracyNeedsLabels) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.1f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+    PipelinedItem unlabeled;
+    unlabeled.image = batch_slice(f.task_a.images(), 0);
+    unlabeled.task = 0;
+    unlabeled.label = -1;
+    EXPECT_THROW(engine.accuracy(MultiTaskEngine::Scheme::mime, {unlabeled}),
+                 mime::check_error);
+}
+
+TEST(Engine, UnknownTaskRejected) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.1f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+    PipelinedItem item;
+    item.image = batch_slice(f.task_a.images(), 0);
+    item.task = 5;
+    EXPECT_THROW(engine.predict(MultiTaskEngine::Scheme::mime, {item}),
+                 mime::check_error);
+}
+
+TEST(Engine, ResetCountersForcesReload) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    MultiTaskEngine engine(net);
+    net.reset_thresholds(0.1f);
+    engine.register_mime_task(capture_adaptation(net, "a", 10));
+    PipelinedItem item;
+    item.image = batch_slice(f.task_a.images(), 0);
+    item.task = 0;
+    engine.predict(MultiTaskEngine::Scheme::mime, {item});
+    engine.reset_switch_counters();
+    EXPECT_EQ(engine.threshold_switches(), 0);
+    engine.predict(MultiTaskEngine::Scheme::mime, {item});
+    EXPECT_EQ(engine.threshold_switches(), 1);
+}
+
+}  // namespace
+}  // namespace mime::core

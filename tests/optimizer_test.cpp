@@ -1,0 +1,109 @@
+// Tests for SGD / Adam and the trainable-flag freezing mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+
+namespace mime::nn {
+namespace {
+
+/// Minimizes f(x) = 0.5 * ||x - target||^2 with the given optimizer.
+template <typename Opt, typename... Args>
+float optimize_quadratic(int steps, Args&&... args) {
+    Parameter p("x", Tensor({4}, std::vector<float>{5, -3, 2, 8}));
+    const Tensor target({4}, std::vector<float>{1, 1, 1, 1});
+    Opt opt({&p}, std::forward<Args>(args)...);
+    for (int i = 0; i < steps; ++i) {
+        opt.zero_grad();
+        for (std::int64_t j = 0; j < 4; ++j) {
+            p.grad[j] = p.value[j] - target[j];
+        }
+        opt.step();
+    }
+    float err = 0.0f;
+    for (std::int64_t j = 0; j < 4; ++j) {
+        err += std::abs(p.value[j] - target[j]);
+    }
+    return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    EXPECT_LT(optimize_quadratic<Sgd>(200, 0.1f), 1e-3f);
+}
+
+TEST(Sgd, MomentumConverges) {
+    EXPECT_LT(optimize_quadratic<Sgd>(200, 0.05f, 0.9f), 1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+    EXPECT_LT(optimize_quadratic<Adam>(500, 0.05f), 1e-2f);
+}
+
+TEST(Adam, StepCountAdvances) {
+    Parameter p("x", Tensor({1}));
+    Adam adam({&p});
+    EXPECT_EQ(adam.step_count(), 0);
+    adam.step();
+    adam.step();
+    EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(Optimizer, FrozenParameterUntouched) {
+    Parameter frozen("w", Tensor({2}, std::vector<float>{1, 2}));
+    frozen.trainable = false;
+    Parameter live("t", Tensor({2}, std::vector<float>{1, 2}));
+    Adam adam({&frozen, &live}, 0.5f);
+    frozen.grad.fill(1.0f);
+    live.grad.fill(1.0f);
+    adam.step();
+    EXPECT_FLOAT_EQ(frozen.value[0], 1.0f);
+    EXPECT_FLOAT_EQ(frozen.value[1], 2.0f);
+    EXPECT_NE(live.value[0], 1.0f);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+    Parameter a("a", Tensor({2}));
+    Parameter b("b", Tensor({3}));
+    a.grad.fill(4.0f);
+    b.grad.fill(-1.0f);
+    Sgd sgd({&a, &b}, 0.1f);
+    sgd.zero_grad();
+    EXPECT_EQ(sum(a.grad), 0.0f);
+    EXPECT_EQ(sum(b.grad), 0.0f);
+}
+
+TEST(Optimizer, RejectsNullParameter) {
+    EXPECT_THROW(Sgd({nullptr}, 0.1f), mime::check_error);
+}
+
+TEST(Optimizer, RejectsBadHyperparameters) {
+    Parameter p("x", Tensor({1}));
+    EXPECT_THROW(Sgd({&p}, -1.0f), mime::check_error);
+    EXPECT_THROW(Sgd({&p}, 0.1f, 1.5f), mime::check_error);
+    EXPECT_THROW(Adam({&p}, 0.1f, 1.0f), mime::check_error);
+    EXPECT_THROW(Adam({&p}, 0.1f, 0.9f, 1.0f), mime::check_error);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+    Parameter p("x", Tensor({1}, std::vector<float>{10.0f}));
+    Sgd sgd({&p}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+    // Zero loss gradient: only decay acts.
+    sgd.zero_grad();
+    sgd.step();
+    EXPECT_LT(p.value[0], 10.0f);
+}
+
+TEST(Adam, BiasCorrectionMakesFirstStepLearningRateSized) {
+    Parameter p("x", Tensor({1}, std::vector<float>{0.0f}));
+    Adam adam({&p}, 0.1f);
+    p.grad[0] = 1.0f;
+    adam.step();
+    // With bias correction the first step is ~lr regardless of gradient
+    // scale.
+    EXPECT_NEAR(p.value[0], -0.1f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace mime::nn

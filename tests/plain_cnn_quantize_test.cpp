@@ -1,0 +1,181 @@
+// Tests for the plain-CNN architecture builder, MimeNetwork on custom
+// architectures, and fixed-point quantization.
+#include <gtest/gtest.h>
+
+#include "arch/plain_cnn.h"
+#include "common/check.h"
+#include "core/mime_network.h"
+#include "core/storage.h"
+#include "hw/simulator.h"
+#include "nn/quantize.h"
+
+namespace mime {
+namespace {
+
+arch::PlainCnnConfig small_cnn() {
+    arch::PlainCnnConfig config;
+    config.input_size = 32;
+    config.blocks = {{8, 2}, {16, 2}};
+    config.fc_widths = {32};
+    config.num_classes = 10;
+    return config;
+}
+
+TEST(PlainCnn, SpecShapes) {
+    const auto layers = arch::plain_cnn_spec(small_cnn());
+    ASSERT_EQ(layers.size(), 5u);  // 2 + 2 convs + 1 fc
+    EXPECT_EQ(layers[0].name, "conv1");
+    EXPECT_EQ(layers[0].in_channels, 3);
+    EXPECT_EQ(layers[1].pool_after, true);
+    EXPECT_EQ(layers[2].in_height, 16);  // after pool
+    EXPECT_EQ(layers[4].name, "fc5");
+    EXPECT_EQ(layers[4].kind, arch::LayerKind::fc);
+    // fc input = 16 channels * 8 * 8 after two pools.
+    EXPECT_EQ(layers[4].in_channels, 16 * 8 * 8);
+}
+
+TEST(PlainCnn, ClassifierMatchesLastFc) {
+    const auto cls = arch::plain_cnn_classifier(small_cnn());
+    EXPECT_EQ(cls.in_channels, 32);
+    EXPECT_EQ(cls.out_channels, 10);
+}
+
+TEST(PlainCnn, NoFcVariantClassifierDims) {
+    arch::PlainCnnConfig config = small_cnn();
+    config.fc_widths = {};
+    const auto layers = arch::plain_cnn_spec(config);
+    EXPECT_EQ(layers.back().kind, arch::LayerKind::conv);
+    const auto cls = arch::plain_cnn_classifier(config);
+    // Last conv at 16x16 pools to 8x8: 16 * 64 inputs.
+    EXPECT_EQ(cls.in_channels, 16 * 8 * 8);
+}
+
+TEST(PlainCnn, RejectsBadConfig) {
+    arch::PlainCnnConfig config = small_cnn();
+    config.input_size = 6;  // not divisible by 4
+    EXPECT_THROW(arch::plain_cnn_spec(config), check_error);
+    config = small_cnn();
+    config.blocks.clear();
+    EXPECT_THROW(arch::plain_cnn_spec(config), check_error);
+}
+
+TEST(MimeNetworkCustom, BuildsAndRunsPlainCnn) {
+    core::MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(small_cnn());
+    config.custom_classifier = arch::plain_cnn_classifier(small_cnn());
+    config.seed = 4;
+    core::MimeNetwork net(config);
+
+    EXPECT_EQ(net.site_count(), 5);
+    EXPECT_EQ(net.site_name(4), "fc5");
+
+    Rng rng(1);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    net.set_training(false);
+    const Tensor logits = net.forward(x);
+    EXPECT_EQ(logits.shape(), Shape({2, 10}));
+
+    // Threshold machinery works on the custom architecture too.
+    net.set_mode(core::ActivationMode::threshold);
+    net.reset_thresholds(0.2f);
+    const Tensor masked_logits = net.forward(x);
+    EXPECT_EQ(masked_logits.shape(), Shape({2, 10}));
+}
+
+TEST(MimeNetworkCustom, NoHiddenFcArchitecture) {
+    arch::PlainCnnConfig cnn = small_cnn();
+    cnn.fc_widths = {};
+    core::MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(cnn);
+    config.custom_classifier = arch::plain_cnn_classifier(cnn);
+    config.seed = 4;
+    core::MimeNetwork net(config);
+    Rng rng(2);
+    const Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+    net.set_training(false);
+    EXPECT_EQ(net.forward(x).shape(), Shape({1, 10}));
+}
+
+TEST(MimeNetworkCustom, WorksWithStorageAndSimulator) {
+    // The whole pipeline is architecture-generic: storage model and
+    // hardware simulator consume the same specs.
+    const auto layers = arch::plain_cnn_spec(small_cnn());
+    const auto cls = arch::plain_cnn_classifier(small_cnn());
+    core::StorageModel storage(layers, cls);
+    EXPECT_GT(storage.savings(3), 1.0);
+
+    const hw::InferenceSimulator sim{hw::SystolicConfig{}};
+    hw::SimulationOptions options;
+    options.scheme = hw::Scheme::mime;
+    options.batch = {0, 0, 0};
+    options.profiles = {
+        hw::SparsityProfile::uniform("u", 0.5,
+                                     static_cast<std::int64_t>(layers.size()))};
+    const auto result = sim.run(layers, options);
+    EXPECT_EQ(result.layers.size(), layers.size());
+    EXPECT_GT(result.total_energy.total(), 0.0);
+}
+
+TEST(Quantize, SixteenBitIsNearlyLossless) {
+    Rng rng(3);
+    Tensor t = Tensor::randn({1000}, rng);
+    const double rel16 = nn::quantization_relative_error(t, 16);
+    EXPECT_LT(rel16, 1e-4);
+    const double rel8 = nn::quantization_relative_error(t, 8);
+    EXPECT_GT(rel8, rel16);  // fewer bits, more error
+    EXPECT_LT(rel8, 0.05);
+}
+
+TEST(Quantize, StatsAreConsistent) {
+    Rng rng(5);
+    Tensor t = Tensor::randn({512}, rng);
+    const Tensor original = t;
+    const auto stats = nn::fake_quantize(t, 8);
+    EXPECT_GT(stats.scale, 0.0);
+    EXPECT_GE(stats.max_abs_error, stats.mean_abs_error);
+    // Round-to-nearest error is bounded by half an LSB (plus clipping).
+    EXPECT_LE(stats.max_abs_error, stats.scale * 0.5 + 1e-7);
+    // Idempotent: quantizing again is exact (same grid).
+    Tensor again = t;
+    const auto stats2 = nn::fake_quantize(again, 8);
+    EXPECT_LT(stats2.mean_abs_error, 1e-7);
+}
+
+TEST(Quantize, ZeroTensorUnchanged) {
+    Tensor t({16});
+    const auto stats = nn::fake_quantize(t, 8);
+    EXPECT_EQ(stats.scale, 0.0);
+    EXPECT_EQ(sum(t), 0.0f);
+}
+
+TEST(Quantize, RejectsSillyBitWidths) {
+    Tensor t({4});
+    EXPECT_THROW(nn::fake_quantize(t, 1), check_error);
+    EXPECT_THROW(nn::fake_quantize(t, 32), check_error);
+}
+
+TEST(Quantize, ModuleParametersQuantized) {
+    core::MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(small_cnn());
+    config.custom_classifier = arch::plain_cnn_classifier(small_cnn());
+    config.seed = 4;
+    core::MimeNetwork net(config);
+
+    Rng rng(6);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    net.set_training(false);
+    const Tensor before = net.forward(x);
+
+    const double worst = nn::fake_quantize_parameters(net.network(), 16);
+    EXPECT_GT(worst, 0.0);
+    const Tensor after = net.forward(x);
+
+    // 16-bit deployment precision barely moves the logits (Table IV
+    // assumption holds for our models).
+    for (std::int64_t i = 0; i < before.numel(); ++i) {
+        EXPECT_NEAR(before[i], after[i], 2e-2f);
+    }
+}
+
+}  // namespace
+}  // namespace mime

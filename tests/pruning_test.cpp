@@ -1,0 +1,133 @@
+// Tests for the pruning baselines (Fig 8 comparators).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/mime_network.h"
+#include "core/pruning.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 5;
+    return config;
+}
+
+data::Batch probe_batch() {
+    data::TaskSuiteOptions options;
+    options.train_size = 16;
+    options.test_size = 8;
+    options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(options);
+    return suite.family->train_split(suite.cifar10_like).head(8);
+}
+
+TEST(Pruning, MagnitudeAchievesTargetPerLayer) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = magnitude_prune(net, 0.9);
+    EXPECT_EQ(masks.size(), 15u);  // 13 conv + 2 fc weight tensors
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_NEAR(masks.sparsity(i), 0.9, 0.02) << "layer " << i;
+    }
+    EXPECT_NEAR(masks.overall_sparsity(), 0.9, 0.02);
+}
+
+TEST(Pruning, SnipAchievesTargetPerLayer) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = prune_at_init(net, probe_batch(), 0.9);
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        EXPECT_NEAR(masks.sparsity(i), 0.9, 0.02) << "layer " << i;
+    }
+}
+
+TEST(Pruning, ApplyZeroesMaskedWeights) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = magnitude_prune(net, 0.5);
+    const auto measured = measured_weight_sparsity(net);
+    ASSERT_EQ(measured.size(), masks.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        EXPECT_GE(measured[i], 0.45) << "layer " << i;
+    }
+}
+
+TEST(Pruning, ApplyIsIdempotent) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = magnitude_prune(net, 0.8);
+    const auto before = measured_weight_sparsity(net);
+    masks.apply();
+    masks.apply();
+    const auto after = measured_weight_sparsity(net);
+    EXPECT_EQ(before, after);
+}
+
+TEST(Pruning, MagnitudeKeepsLargestWeights) {
+    MimeNetwork net(tiny_config());
+    // Plant an unmistakably large weight; it must survive 90% pruning.
+    nn::Parameter* w = net.backbone_parameters()[0];
+    w->value[0] = 100.0f;
+    magnitude_prune(net, 0.9);
+    EXPECT_FLOAT_EQ(w->value[0], 100.0f);
+}
+
+TEST(Pruning, BiasesAndClassifierNeverPruned) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = magnitude_prune(net, 0.9);
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+        const auto& name = masks.entry(i).parameter->name;
+        EXPECT_EQ(name.find(".bias"), std::string::npos);
+        EXPECT_EQ(name.find("classifier"), std::string::npos);
+    }
+    // Classifier weights stay dense.
+    const auto params = net.backbone_parameters();
+    const nn::Parameter* cls = params[params.size() - 2];
+    EXPECT_LT(zero_fraction(cls->value), 0.01);
+}
+
+TEST(Pruning, ZeroSparsityKeepsEverything) {
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks = magnitude_prune(net, 0.0);
+    EXPECT_DOUBLE_EQ(masks.overall_sparsity(), 0.0);
+}
+
+TEST(Pruning, RejectsFullSparsity) {
+    MimeNetwork net(tiny_config());
+    EXPECT_THROW(magnitude_prune(net, 1.0), mime::check_error);
+    EXPECT_THROW(magnitude_prune(net, -0.1), mime::check_error);
+}
+
+TEST(Pruning, MaskSetValidatesShapes) {
+    MimeNetwork net(tiny_config());
+    WeightMaskSet set;
+    nn::Parameter* w = net.backbone_parameters()[0];
+    EXPECT_THROW(set.add(w, Tensor({3})), mime::check_error);
+    EXPECT_THROW(set.add(nullptr, Tensor({3})), mime::check_error);
+    EXPECT_THROW(set.entry(0), mime::check_error);
+}
+
+TEST(Pruning, SnipAndMagnitudeDiffer) {
+    MimeNetwork net_a(tiny_config());
+    MimeNetwork net_b(tiny_config());  // identical init (same seed)
+    const WeightMaskSet snip = prune_at_init(net_a, probe_batch(), 0.5);
+    const WeightMaskSet mag = magnitude_prune(net_b, 0.5);
+    // Saliency |g*w| ranks differently from |w| somewhere.
+    bool differs = false;
+    for (std::size_t l = 0; l < snip.size() && !differs; ++l) {
+        const Tensor& ms = snip.entry(l).mask;
+        const Tensor& mm = mag.entry(l).mask;
+        for (std::int64_t i = 0; i < ms.numel(); ++i) {
+            if (ms[i] != mm[i]) {
+                differs = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,101 @@
+// Tests for parameter serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/serialize.h"
+
+namespace mime::nn {
+namespace {
+
+Sequential make_net(std::uint64_t seed) {
+    Sequential net;
+    Rng rng(seed);
+    net.emplace<Conv2d>(2, 3, 3, 1, 1, rng);
+    net.emplace<Linear>(12, 4, rng);
+    return net;
+}
+
+TEST(Serialize, RoundTripRestoresValues) {
+    Sequential a = make_net(1);
+    Sequential b = make_net(2);
+
+    std::stringstream buffer;
+    save_parameters(a, buffer);
+    load_parameters(b, buffer);
+
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value.shape(), pb[i]->value.shape());
+        for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j) {
+            EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+        }
+    }
+}
+
+TEST(Serialize, RejectsBadMagic) {
+    Sequential net = make_net(1);
+    std::stringstream buffer("not a parameter stream at all");
+    EXPECT_THROW(load_parameters(net, buffer), mime::check_error);
+}
+
+TEST(Serialize, RejectsStructureMismatch) {
+    Sequential a = make_net(1);
+    std::stringstream buffer;
+    save_parameters(a, buffer);
+
+    Sequential extra;
+    Rng rng(3);
+    extra.emplace<Conv2d>(2, 3, 3, 1, 1, rng);
+    EXPECT_THROW(load_parameters(extra, buffer), mime::check_error);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+    Sequential a = make_net(1);
+    std::stringstream buffer;
+    save_parameters(a, buffer);
+
+    Sequential b;
+    Rng rng(3);
+    b.emplace<Conv2d>(2, 3, 3, 1, 1, rng);
+    b.emplace<Linear>(12, 5, rng);  // 5 outputs instead of 4
+    EXPECT_THROW(load_parameters(b, buffer), mime::check_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+    Sequential a = make_net(1);
+    std::stringstream buffer;
+    save_parameters(a, buffer);
+    const std::string full = buffer.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    Sequential b = make_net(2);
+    EXPECT_THROW(load_parameters(b, truncated), mime::check_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    Sequential a = make_net(7);
+    Sequential b = make_net(8);
+    const std::string path = ::testing::TempDir() + "/mime_params.bin";
+    save_parameters_file(a, path);
+    load_parameters_file(b, path);
+    const auto pa = a.parameters();
+    const auto pb = b.parameters();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i]->value[0], pb[i]->value[0]);
+    }
+}
+
+TEST(Serialize, MissingFileThrows) {
+    Sequential a = make_net(1);
+    EXPECT_THROW(load_parameters_file(a, "/nonexistent/path/params.bin"),
+                 mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::nn

@@ -1,0 +1,167 @@
+// Tests for Shape and the Tensor value type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace mime {
+namespace {
+
+TEST(Shape, BasicProperties) {
+    const Shape s{3, 32, 32};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.numel(), 3 * 32 * 32);
+    EXPECT_EQ(s.dim(0), 3);
+    EXPECT_EQ(s.dim(-1), 32);
+    EXPECT_EQ(s.to_string(), "[3, 32, 32]");
+}
+
+TEST(Shape, ScalarShape) {
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, RejectsNonPositiveExtent) {
+    EXPECT_THROW(Shape({3, 0}), check_error);
+    EXPECT_THROW(Shape({-1}), check_error);
+}
+
+TEST(Shape, EqualityAndAxisRange) {
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    const Shape s{2, 3};
+    EXPECT_THROW(s.dim(2), check_error);
+    EXPECT_THROW(s.dim(-3), check_error);
+}
+
+TEST(Tensor, ZeroInitialized) {
+    const Tensor t{{2, 3}};
+    EXPECT_EQ(t.numel(), 6);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_EQ(t[i], 0.0f);
+    }
+}
+
+TEST(Tensor, FactoryFill) {
+    const Tensor ones = Tensor::ones({4});
+    EXPECT_EQ(sum(ones), 4.0f);
+    const Tensor sevens = Tensor::full({2, 2}, 7.0f);
+    EXPECT_EQ(sum(sevens), 28.0f);
+}
+
+TEST(Tensor, FromValuesValidatesSize) {
+    EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+    EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), check_error);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+    Tensor t({2, 3});
+    t.at({1, 2}) = 5.0f;
+    EXPECT_EQ(t.at({1, 2}), 5.0f);
+    EXPECT_EQ(t[1 * 3 + 2], 5.0f);
+    EXPECT_THROW(t.at({2, 0}), check_error);
+    EXPECT_THROW(t.at({0}), check_error);
+}
+
+TEST(Tensor, FlatAccessBounds) {
+    Tensor t({4});
+    EXPECT_THROW(t.at(4), check_error);
+    EXPECT_THROW(t.at(-1), check_error);
+    EXPECT_NO_THROW(t.at(3));
+}
+
+TEST(Tensor, CloneIsDeep) {
+    Tensor a = Tensor::ones({3});
+    Tensor b = a.clone();
+    b[0] = 9.0f;
+    EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    const Tensor b = a.reshaped({3, 2});
+    EXPECT_EQ(b.shape(), Shape({3, 2}));
+    for (std::int64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(b[i], a[i]);
+    }
+    EXPECT_THROW(a.reshaped({4, 2}), check_error);
+}
+
+TEST(Tensor, RandnStatistics) {
+    Rng rng(42);
+    const Tensor t = Tensor::randn({10000}, rng, 2.0f, 0.5f);
+    EXPECT_NEAR(mean(t), 2.0f, 0.05f);
+}
+
+TEST(Tensor, RandUniformRange) {
+    Rng rng(42);
+    const Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+    EXPECT_GE(min_value(t), -1.0f);
+    EXPECT_LT(max_value(t), 1.0f);
+}
+
+TEST(Tensor, ElementwiseOps) {
+    const Tensor a({3}, std::vector<float>{1, 2, 3});
+    const Tensor b({3}, std::vector<float>{4, 5, 6});
+    const Tensor s = add(a, b);
+    const Tensor d = sub(b, a);
+    const Tensor p = mul(a, b);
+    EXPECT_EQ(s[2], 9.0f);
+    EXPECT_EQ(d[0], 3.0f);
+    EXPECT_EQ(p[1], 10.0f);
+    const Tensor scaled = mul(a, 2.0f);
+    EXPECT_EQ(scaled[2], 6.0f);
+}
+
+TEST(Tensor, ElementwiseShapeMismatchThrows) {
+    const Tensor a({3});
+    const Tensor b({4});
+    EXPECT_THROW(add(a, b), check_error);
+    EXPECT_THROW(sub(a, b), check_error);
+    EXPECT_THROW(mul(a, b), check_error);
+}
+
+TEST(Tensor, InplaceOps) {
+    Tensor a({2}, std::vector<float>{1, 2});
+    const Tensor b({2}, std::vector<float>{3, 4});
+    add_inplace(a, b);
+    EXPECT_EQ(a[0], 4.0f);
+    sub_inplace(a, b);
+    EXPECT_EQ(a[0], 1.0f);
+    mul_inplace(a, b);
+    EXPECT_EQ(a[1], 8.0f);
+}
+
+TEST(Tensor, AxpyAndScale) {
+    Tensor a({3}, std::vector<float>{1, 1, 1});
+    const Tensor x({3}, std::vector<float>{1, 2, 3});
+    a.axpy(2.0f, x);
+    EXPECT_EQ(a[2], 7.0f);
+    a.scale(0.5f);
+    EXPECT_EQ(a[2], 3.5f);
+    Tensor wrong({2});
+    EXPECT_THROW(a.axpy(1.0f, wrong), check_error);
+}
+
+TEST(Tensor, Reductions) {
+    const Tensor t({4}, std::vector<float>{-1, 0, 3, 2});
+    EXPECT_EQ(sum(t), 4.0f);
+    EXPECT_EQ(mean(t), 1.0f);
+    EXPECT_EQ(min_value(t), -1.0f);
+    EXPECT_EQ(max_value(t), 3.0f);
+    EXPECT_EQ(argmax(t), 2);
+    EXPECT_DOUBLE_EQ(zero_fraction(t), 0.25);
+    EXPECT_EQ(abs_sum(t), 6.0f);
+    EXPECT_FLOAT_EQ(l2_norm(t), std::sqrt(14.0f));
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+    const Tensor t({4}, std::vector<float>{5, 1, 5, 2});
+    EXPECT_EQ(argmax(t), 0);
+}
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,196 @@
+// Parameterized property tests over the simulator: invariants that must
+// hold for every (scheme, task count, batch size) combination, not just
+// the paper's three-task configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "hw/simulator.h"
+
+namespace mime::hw {
+namespace {
+
+std::vector<arch::LayerSpec> layers() {
+    arch::VggConfig config;
+    config.input_size = 64;
+    return arch::vgg16_spec(config);
+}
+
+std::vector<SparsityProfile> profiles(std::int64_t tasks) {
+    std::vector<SparsityProfile> result;
+    for (std::int64_t t = 0; t < tasks; ++t) {
+        result.push_back(SparsityProfile::uniform(
+            "t" + std::to_string(t),
+            0.4 + 0.05 * static_cast<double>(t)));
+    }
+    return result;
+}
+
+using Config = std::tuple<Scheme, int /*tasks*/, int /*images per task*/>;
+
+class SchemeSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SchemeSweep, WeightVersionAccounting) {
+    const auto [scheme, tasks, per_task] = GetParam();
+    SimulationOptions options;
+    options.scheme = scheme;
+    options.profiles = profiles(tasks);
+    for (int r = 0; r < per_task; ++r) {
+        for (int t = 0; t < tasks; ++t) {
+            options.batch.push_back(t);
+        }
+    }
+    options.batch.erase(options.batch.begin());  // start irregular
+    options.batch.insert(options.batch.begin(), 0);
+    if (scheme == Scheme::pruned) {
+        options.weight_sparsity = 0.9;
+    }
+
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto result = sim.run(layers(), options);
+
+    std::int64_t weights = 0;
+    std::int64_t neurons = 0;
+    for (const auto& l : layers()) {
+        weights += l.weight_count();
+        neurons += l.neuron_count();
+    }
+    const double expected_versions =
+        scheme == Scheme::mime ? 1.0 : static_cast<double>(tasks);
+    EXPECT_DOUBLE_EQ(result.total_counts.dram_weight_words,
+                     expected_versions * static_cast<double>(weights));
+    const double expected_threshold_sets =
+        scheme == Scheme::mime ? static_cast<double>(tasks) : 0.0;
+    EXPECT_DOUBLE_EQ(result.total_counts.dram_threshold_words,
+                     expected_threshold_sets * static_cast<double>(neurons));
+}
+
+TEST_P(SchemeSweep, EnergyComponentsNonNegativeAndConsistent) {
+    const auto [scheme, tasks, per_task] = GetParam();
+    SimulationOptions options;
+    options.scheme = scheme;
+    options.profiles = profiles(tasks);
+    for (int r = 0; r < per_task; ++r) {
+        for (int t = 0; t < tasks; ++t) {
+            options.batch.push_back(t);
+        }
+    }
+    if (scheme == Scheme::pruned) {
+        options.weight_sparsity = 0.9;
+    }
+    const SystolicConfig config;
+    const InferenceSimulator sim{config};
+    const auto result = sim.run(layers(), options);
+
+    EnergyBreakdown recomputed;
+    for (const auto& l : result.layers) {
+        EXPECT_GE(l.energy.e_dram, 0.0);
+        EXPECT_GE(l.energy.e_cache, 0.0);
+        EXPECT_GE(l.energy.e_reg, 0.0);
+        EXPECT_GE(l.energy.e_mac, 0.0);
+        // Per-layer energies equal Table IV weights applied to counts.
+        const auto direct = energy_from_counts(l.counts, config);
+        EXPECT_DOUBLE_EQ(direct.total(), l.energy.total()) << l.name;
+        recomputed += l.energy;
+    }
+    EXPECT_NEAR(recomputed.total(), result.total_energy.total(),
+                1e-6 * result.total_energy.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeSweep,
+    ::testing::Combine(::testing::Values(Scheme::baseline_dense,
+                                         Scheme::baseline_sparse, Scheme::mime,
+                                         Scheme::pruned),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 3)));
+
+TEST(SimulatorProperty, ComputeScalesLinearlyWithBatch) {
+    SimulationOptions one;
+    one.scheme = Scheme::mime;
+    one.batch = {0};
+    one.profiles = profiles(1);
+    SimulationOptions three = one;
+    three.batch = {0, 0, 0};
+
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto r1 = sim.run(layers(), one);
+    const auto r3 = sim.run(layers(), three);
+    EXPECT_DOUBLE_EQ(r3.total_counts.macs, 3.0 * r1.total_counts.macs);
+    EXPECT_DOUBLE_EQ(r3.total_counts.reg_words,
+                     3.0 * r1.total_counts.reg_words);
+    // Weights and thresholds are batch-invariant for a single task.
+    EXPECT_DOUBLE_EQ(r3.total_counts.dram_weight_words,
+                     r1.total_counts.dram_weight_words);
+    EXPECT_DOUBLE_EQ(r3.total_counts.dram_threshold_words,
+                     r1.total_counts.dram_threshold_words);
+}
+
+TEST(SimulatorProperty, SingleTaskPipelinedEqualsSingular) {
+    // A "pipelined" batch whose items all share one task is exactly the
+    // singular mode.
+    SimulationOptions a;
+    a.scheme = Scheme::baseline_sparse;
+    a.batch = {0, 0, 0};
+    a.profiles = profiles(1);
+    SimulationOptions b = a;
+    b.preserve_arrival_order = true;  // order irrelevant with one task
+
+    const InferenceSimulator sim{SystolicConfig{}};
+    EXPECT_DOUBLE_EQ(sim.run(layers(), a).total_energy.total(),
+                     sim.run(layers(), b).total_energy.total());
+}
+
+TEST(SimulatorProperty, MoreTasksNeverCheaperConventional) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    double prev = 0.0;
+    for (int tasks = 1; tasks <= 4; ++tasks) {
+        SimulationOptions options;
+        options.scheme = Scheme::baseline_sparse;
+        options.profiles = profiles(tasks);
+        for (int t = 0; t < tasks; ++t) {
+            options.batch.push_back(t);
+        }
+        // Pad to a fixed batch size so compute is comparable.
+        while (options.batch.size() < 4) {
+            options.batch.push_back(0);
+        }
+        const double energy = sim.run(layers(), options).total_energy.total();
+        EXPECT_GE(energy, prev) << tasks << " tasks";
+        prev = energy;
+    }
+}
+
+TEST(SimulatorProperty, MimeThresholdCostGrowsLinearly) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    std::vector<double> threshold_words;
+    for (int tasks = 1; tasks <= 3; ++tasks) {
+        SimulationOptions options;
+        options.scheme = Scheme::mime;
+        options.profiles = profiles(tasks);
+        for (int t = 0; t < tasks; ++t) {
+            options.batch.push_back(t);
+        }
+        threshold_words.push_back(
+            sim.run(layers(), options).total_counts.dram_threshold_words);
+    }
+    EXPECT_DOUBLE_EQ(threshold_words[1], 2.0 * threshold_words[0]);
+    EXPECT_DOUBLE_EQ(threshold_words[2], 3.0 * threshold_words[0]);
+}
+
+TEST(SimulatorProperty, CyclesPositiveAndMemoryBoundSane) {
+    const InferenceSimulator sim{SystolicConfig{}};
+    const auto result =
+        sim.run(layers(), pipelined_options(Scheme::baseline_dense));
+    for (const auto& l : result.layers) {
+        EXPECT_GT(l.cycles, 0.0) << l.name;
+        EXPECT_GE(l.cycles, l.compute_cycles) << l.name;
+        EXPECT_GE(l.cycles, l.memory_cycles) << l.name;
+        EXPECT_LE(l.cycles, l.compute_cycles + l.memory_cycles) << l.name;
+    }
+}
+
+}  // namespace
+}  // namespace mime::hw

@@ -1,0 +1,98 @@
+// Tests for layerwise sparsity measurement (Tables II/III machinery).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/sparsity.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 11;
+    return config;
+}
+
+data::Dataset small_dataset() {
+    data::TaskSuiteOptions options;
+    options.train_size = 32;
+    options.test_size = 32;
+    options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(options);
+    return suite.family->test_split(suite.cifar10_like);
+}
+
+TEST(Sparsity, ReportCoversAllSites) {
+    MimeNetwork net(tiny_config());
+    const auto report = measure_sparsity(net, small_dataset(), 16);
+    ASSERT_EQ(report.layer_names.size(), 15u);
+    ASSERT_EQ(report.average_sparsity.size(), 15u);
+    EXPECT_EQ(report.layer_names[0], "conv1");
+    EXPECT_EQ(report.layer_names[14], "conv15");
+}
+
+TEST(Sparsity, ValuesAreFractions) {
+    MimeNetwork net(tiny_config());
+    const auto report = measure_sparsity(net, small_dataset(), 16);
+    for (const double s : report.average_sparsity) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+    }
+}
+
+TEST(Sparsity, ReluModeRoughlyHalfAtInit) {
+    // He-initialized pre-activations are roughly symmetric around zero,
+    // so ReLU masks about half the neurons.
+    MimeNetwork net(tiny_config());
+    net.set_mode(ActivationMode::relu);
+    const auto report = measure_sparsity(net, small_dataset(), 16);
+    EXPECT_GT(report.overall(), 0.25);
+    EXPECT_LT(report.overall(), 0.8);
+}
+
+TEST(Sparsity, ThresholdModeSparserThanRelu) {
+    MimeNetwork net(tiny_config());
+    const auto dataset = small_dataset();
+
+    net.set_mode(ActivationMode::relu);
+    const auto relu = measure_sparsity(net, dataset, 16);
+
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.1f);
+    const auto mime = measure_sparsity(net, dataset, 16);
+
+    for (std::size_t i = 0; i < relu.average_sparsity.size(); ++i) {
+        EXPECT_GE(mime.average_sparsity[i] + 1e-9, relu.average_sparsity[i])
+            << relu.layer_names[i];
+    }
+    EXPECT_GT(mime.overall(), relu.overall());
+}
+
+TEST(Sparsity, BatchSizeInvariant) {
+    MimeNetwork net(tiny_config());
+    const auto dataset = small_dataset();
+    const auto a = measure_sparsity(net, dataset, 8);
+    const auto b = measure_sparsity(net, dataset, 32);
+    for (std::size_t i = 0; i < a.average_sparsity.size(); ++i) {
+        EXPECT_NEAR(a.average_sparsity[i], b.average_sparsity[i], 1e-9);
+    }
+}
+
+TEST(Sparsity, LayerLookup) {
+    MimeNetwork net(tiny_config());
+    const auto report = measure_sparsity(net, small_dataset(), 16);
+    EXPECT_DOUBLE_EQ(report.layer("conv2"), report.average_sparsity[1]);
+    EXPECT_THROW(report.layer("conv99"), mime::check_error);
+}
+
+TEST(Sparsity, EmptyReportRejected) {
+    SparsityReport empty;
+    EXPECT_THROW(empty.overall(), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::core

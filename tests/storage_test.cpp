@@ -1,0 +1,140 @@
+// Tests for the DRAM storage model (paper Figs 1 and 4).
+#include <gtest/gtest.h>
+
+#include "arch/vgg.h"
+#include "common/check.h"
+#include "core/storage.h"
+
+namespace mime::core {
+namespace {
+
+StorageModel eval_model(StorageModelConfig config = {}) {
+    arch::VggConfig vgg;
+    vgg.input_size = 64;  // hardware-evaluation geometry
+    vgg.num_classes = 100;
+    return StorageModel(arch::vgg16_spec(vgg), arch::vgg16_classifier(vgg),
+                        config);
+}
+
+TEST(Storage, WeightBytesMatchSpec) {
+    arch::VggConfig vgg;
+    vgg.input_size = 64;
+    vgg.num_classes = 100;
+    const auto layers = arch::vgg16_spec(vgg);
+    const auto cls = arch::vgg16_classifier(vgg);
+    const StorageModel model(layers, cls);
+
+    const std::int64_t expected =
+        (arch::total_weights(layers) + cls.weight_count()) * 2;
+    EXPECT_EQ(model.weight_bytes(), expected);
+    EXPECT_EQ(model.threshold_bytes(), arch::total_neurons(layers) * 2);
+}
+
+TEST(Storage, ThresholdsMuchSmallerThanWeights) {
+    const auto model = eval_model();
+    EXPECT_LT(model.threshold_bytes(), model.weight_bytes() / 10);
+}
+
+TEST(Storage, ZeroChildrenDegenerate) {
+    const auto model = eval_model();
+    // With no children both schemes store exactly one parent model.
+    EXPECT_EQ(model.conventional_total_bytes(0), model.weight_bytes());
+    EXPECT_EQ(model.mime_total_bytes(0), model.weight_bytes());
+    EXPECT_DOUBLE_EQ(model.savings(0), 1.0);
+}
+
+TEST(Storage, PaperHeadlineSavingsAtThreeChildren) {
+    // Paper: ~3.48x savings for ImageNet parent + 3 children. Our
+    // geometry lands in the same band (see EXPERIMENTS.md).
+    const auto model = eval_model();
+    const double savings = model.savings(3);
+    EXPECT_GT(savings, 3.0);
+    EXPECT_LT(savings, 4.0);
+}
+
+TEST(Storage, SavingsExceedChildCountInPaperRange) {
+    // Fig 4's "> n x" annotation over the paper's 1-3 child range.
+    const auto model = eval_model();
+    for (std::int64_t n = 1; n <= 3; ++n) {
+        EXPECT_GT(model.savings(n), static_cast<double>(n)) << n;
+    }
+}
+
+TEST(Storage, SavingsGrowWithChildren) {
+    const auto model = eval_model();
+    double prev = 1.0;
+    for (std::int64_t n = 1; n <= 8; ++n) {
+        const double s = model.savings(n);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+    // Saturation bound: savings can never exceed W/T per child.
+    EXPECT_LT(prev,
+              static_cast<double>(model.weight_bytes()) /
+                  static_cast<double>(model.threshold_bytes()));
+}
+
+TEST(Storage, MimeGrowsLinearlyInThresholds) {
+    const auto model = eval_model();
+    const std::int64_t d1 =
+        model.mime_total_bytes(2) - model.mime_total_bytes(1);
+    const std::int64_t d2 =
+        model.mime_total_bytes(5) - model.mime_total_bytes(4);
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d1, model.threshold_bytes());
+}
+
+TEST(Storage, ConventionalGrowsLinearlyInWeights) {
+    const auto model = eval_model();
+    const std::int64_t d =
+        model.conventional_total_bytes(4) - model.conventional_total_bytes(3);
+    EXPECT_EQ(d, model.weight_bytes());
+}
+
+TEST(Storage, ParentExclusionLowersConventional) {
+    StorageModelConfig no_parent;
+    no_parent.count_parent_model = false;
+    const auto with_parent = eval_model();
+    const auto without_parent = eval_model(no_parent);
+    EXPECT_EQ(with_parent.conventional_total_bytes(3) -
+                  without_parent.conventional_total_bytes(3),
+              with_parent.weight_bytes());
+    // Children-only accounting still saves >2x at n = 3.
+    EXPECT_GT(without_parent.savings(3), 2.0);
+}
+
+TEST(Storage, ChildHeadsOptionallyCounted) {
+    StorageModelConfig with_heads;
+    with_heads.count_child_heads = true;
+    const auto base = eval_model();
+    const auto heads = eval_model(with_heads);
+    EXPECT_EQ(heads.mime_total_bytes(3) - base.mime_total_bytes(3),
+              3 * heads.head_bytes());
+    // Heads are tiny: the savings band is preserved.
+    EXPECT_GT(heads.savings(3), 2.9);
+}
+
+TEST(Storage, PrecisionScalesBytes) {
+    StorageModelConfig p8;
+    p8.precision_bits = 8;
+    const auto model16 = eval_model();
+    const auto model8 = eval_model(p8);
+    EXPECT_EQ(model16.weight_bytes(), 2 * model8.weight_bytes());
+    // The savings ratio is precision-invariant.
+    EXPECT_DOUBLE_EQ(model16.savings(3), model8.savings(3));
+}
+
+TEST(Storage, RejectsBadConfig) {
+    arch::VggConfig vgg;
+    vgg.input_size = 64;
+    StorageModelConfig bad;
+    bad.precision_bits = 12;
+    EXPECT_THROW(StorageModel(arch::vgg16_spec(vgg),
+                              arch::vgg16_classifier(vgg), bad),
+                 mime::check_error);
+    const auto model = eval_model();
+    EXPECT_THROW(model.savings(-1), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,94 @@
+// Tests for softmax / batching helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+    const Tensor logits({2, 3}, std::vector<float>{1, 2, 3, -1, 0, 1});
+    const Tensor p = softmax_rows(logits);
+    for (std::int64_t r = 0; r < 2; ++r) {
+        double row_sum = 0.0;
+        for (std::int64_t c = 0; c < 3; ++c) {
+            row_sum += p.at({r, c});
+            EXPECT_GT(p.at({r, c}), 0.0f);
+        }
+        EXPECT_NEAR(row_sum, 1.0, 1e-6);
+    }
+}
+
+TEST(Softmax, NumericallyStableWithLargeLogits) {
+    const Tensor logits({1, 2}, std::vector<float>{1000.0f, 1001.0f});
+    const Tensor p = softmax_rows(logits);
+    EXPECT_FALSE(std::isnan(p[0]));
+    EXPECT_NEAR(p[1] / p[0], std::exp(1.0f), 1e-3);
+}
+
+TEST(Softmax, OrderPreserved) {
+    const Tensor logits({1, 3}, std::vector<float>{3, 1, 2});
+    const Tensor p = softmax_rows(logits);
+    EXPECT_GT(p[0], p[2]);
+    EXPECT_GT(p[2], p[1]);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+    const Tensor logits({2, 4},
+                        std::vector<float>{0.5f, -1, 2, 0, 3, 3, 3, 3});
+    const Tensor lp = log_softmax_rows(logits);
+    const Tensor p = softmax_rows(logits);
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        EXPECT_NEAR(lp[i], std::log(p[i]), 1e-5);
+    }
+}
+
+TEST(ArgmaxRows, PicksMaxPerRow) {
+    const Tensor t({2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+    const auto idx = argmax_rows(t);
+    EXPECT_EQ(idx[0], 1);
+    EXPECT_EQ(idx[1], 0);
+}
+
+TEST(BatchSlice, ExtractsSample) {
+    Tensor batch({2, 2, 2});
+    for (std::int64_t i = 0; i < 8; ++i) {
+        batch[i] = static_cast<float>(i);
+    }
+    const Tensor s1 = batch_slice(batch, 1);
+    EXPECT_EQ(s1.shape(), Shape({2, 2}));
+    EXPECT_EQ(s1[0], 4.0f);
+    EXPECT_EQ(s1[3], 7.0f);
+    EXPECT_THROW(batch_slice(batch, 2), check_error);
+}
+
+TEST(BatchAssign, WritesSample) {
+    Tensor batch({2, 3});
+    const Tensor sample({3}, std::vector<float>{7, 8, 9});
+    batch_assign(batch, 1, sample);
+    EXPECT_EQ(batch.at({1, 2}), 9.0f);
+    EXPECT_EQ(batch.at({0, 0}), 0.0f);
+    const Tensor wrong({2});
+    EXPECT_THROW(batch_assign(batch, 0, wrong), check_error);
+}
+
+TEST(Stack, BuildsBatch) {
+    const Tensor a({2}, std::vector<float>{1, 2});
+    const Tensor b({2}, std::vector<float>{3, 4});
+    const Tensor s = stack({a, b});
+    EXPECT_EQ(s.shape(), Shape({2, 2}));
+    EXPECT_EQ(s.at({1, 0}), 3.0f);
+}
+
+TEST(Stack, RejectsMixedShapes) {
+    const Tensor a({2});
+    const Tensor b({3});
+    EXPECT_THROW(stack({a, b}), check_error);
+    EXPECT_THROW(stack({}), check_error);
+}
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,154 @@
+// Parameterized algebraic property tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime {
+namespace {
+
+class TensorAlgebra
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+protected:
+    Tensor random(Shape shape) {
+        Rng rng(std::get<1>(GetParam()));
+        return Tensor::randn(std::move(shape), rng);
+    }
+    std::int64_t n() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(TensorAlgebra, AdditionCommutes) {
+    Rng rng(std::get<1>(GetParam()));
+    const Tensor a = Tensor::randn({n()}, rng);
+    const Tensor b = Tensor::randn({n()}, rng);
+    const Tensor ab = add(a, b);
+    const Tensor ba = add(b, a);
+    for (std::int64_t i = 0; i < ab.numel(); ++i) {
+        EXPECT_EQ(ab[i], ba[i]);
+    }
+}
+
+TEST_P(TensorAlgebra, SubThenAddRoundTrips) {
+    Rng rng(std::get<1>(GetParam()));
+    const Tensor a = Tensor::randn({n()}, rng);
+    const Tensor b = Tensor::randn({n()}, rng);
+    const Tensor restored = add(sub(a, b), b);
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(restored[i], a[i], 1e-5f);
+    }
+}
+
+TEST_P(TensorAlgebra, ScalarDistributesOverAddition) {
+    Rng rng(std::get<1>(GetParam()));
+    const Tensor a = Tensor::randn({n()}, rng);
+    const Tensor b = Tensor::randn({n()}, rng);
+    const Tensor lhs = mul(add(a, b), 2.5f);
+    const Tensor rhs = add(mul(a, 2.5f), mul(b, 2.5f));
+    for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+        EXPECT_NEAR(lhs[i], rhs[i], 1e-4f);
+    }
+}
+
+TEST_P(TensorAlgebra, NormTriangleInequality) {
+    Rng rng(std::get<1>(GetParam()));
+    const Tensor a = Tensor::randn({n()}, rng);
+    const Tensor b = Tensor::randn({n()}, rng);
+    EXPECT_LE(l2_norm(add(a, b)), l2_norm(a) + l2_norm(b) + 1e-4f);
+}
+
+TEST_P(TensorAlgebra, ZeroFractionComplementsAfterMasking) {
+    Rng rng(std::get<1>(GetParam()));
+    Tensor a = Tensor::randn({n()}, rng);
+    // Mask the negative half exactly.
+    std::int64_t zeros = 0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        if (a[i] < 0.0f) {
+            a[i] = 0.0f;
+            ++zeros;
+        }
+    }
+    EXPECT_DOUBLE_EQ(zero_fraction(a),
+                     static_cast<double>(zeros) /
+                         static_cast<double>(a.numel()));
+}
+
+TEST_P(TensorAlgebra, SumIsLinear) {
+    Rng rng(std::get<1>(GetParam()));
+    const Tensor a = Tensor::randn({n()}, rng);
+    const Tensor b = Tensor::randn({n()}, rng);
+    EXPECT_NEAR(sum(add(a, b)), sum(a) + sum(b), 1e-3f);
+    EXPECT_NEAR(sum(mul(a, 3.0f)), 3.0f * sum(a), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSeeds, TensorAlgebra,
+                         ::testing::Combine(::testing::Values(1, 7, 64, 513),
+                                            ::testing::Values(1u, 42u, 99u)));
+
+class MatmulAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulAlgebra, AssociativityHolds) {
+    Rng rng(GetParam());
+    const Tensor a = Tensor::randn({5, 7}, rng);
+    const Tensor b = Tensor::randn({7, 3}, rng);
+    const Tensor c = Tensor::randn({3, 4}, rng);
+    const Tensor left = matmul(matmul(a, b), c);
+    const Tensor right = matmul(a, matmul(b, c));
+    for (std::int64_t i = 0; i < left.numel(); ++i) {
+        EXPECT_NEAR(left[i], right[i], 1e-3f);
+    }
+}
+
+TEST_P(MatmulAlgebra, IdentityIsNeutral) {
+    Rng rng(GetParam());
+    const Tensor a = Tensor::randn({6, 6}, rng);
+    Tensor eye({6, 6});
+    for (std::int64_t i = 0; i < 6; ++i) {
+        eye.at({i, i}) = 1.0f;
+    }
+    const Tensor left = matmul(eye, a);
+    const Tensor right = matmul(a, eye);
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(left[i], a[i], 1e-5f);
+        EXPECT_NEAR(right[i], a[i], 1e-5f);
+    }
+}
+
+TEST_P(MatmulAlgebra, DistributesOverAddition) {
+    Rng rng(GetParam());
+    const Tensor a = Tensor::randn({4, 5}, rng);
+    const Tensor b = Tensor::randn({5, 3}, rng);
+    const Tensor c = Tensor::randn({5, 3}, rng);
+    const Tensor lhs = matmul(a, add(b, c));
+    const Tensor rhs = add(matmul(a, b), matmul(a, c));
+    for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+        EXPECT_NEAR(lhs[i], rhs[i], 1e-3f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatmulAlgebra,
+                         ::testing::Values(3u, 17u, 1234u));
+
+TEST(SoftmaxProperty, InvariantToRowShift) {
+    Rng rng(8);
+    const Tensor logits = Tensor::randn({3, 6}, rng);
+    Tensor shifted = logits;
+    for (std::int64_t r = 0; r < 3; ++r) {
+        for (std::int64_t c = 0; c < 6; ++c) {
+            shifted.at({r, c}) += 37.5f;  // per-row constant shift
+        }
+    }
+    const Tensor p1 = softmax_rows(logits);
+    const Tensor p2 = softmax_rows(shifted);
+    for (std::int64_t i = 0; i < p1.numel(); ++i) {
+        EXPECT_NEAR(p1[i], p2[i], 1e-5f);
+    }
+}
+
+}  // namespace
+}  // namespace mime

@@ -1,0 +1,129 @@
+// Tests for threshold statistics and mask-overlap analysis.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/threshold_analysis.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config() {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 7;
+    return config;
+}
+
+data::Batch probe() {
+    data::TaskSuiteOptions options;
+    options.train_size = 16;
+    options.test_size = 16;
+    options.cifar100_classes = 10;
+    const auto suite = data::make_task_suite(options);
+    return suite.family->test_split(suite.cifar10_like).head(8);
+}
+
+TEST(ThresholdStats, ConstantSetStatistics) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.25f);
+    const auto stats = threshold_statistics(
+        net.snapshot_thresholds("t"), net.layer_specs());
+    ASSERT_EQ(stats.size(), 15u);
+    for (const auto& s : stats) {
+        EXPECT_DOUBLE_EQ(s.mean, 0.25);
+        EXPECT_NEAR(s.stddev, 0.0, 1e-9);
+        EXPECT_DOUBLE_EQ(s.min, 0.25);
+        EXPECT_DOUBLE_EQ(s.max, 0.25);
+        EXPECT_DOUBLE_EQ(s.at_floor_fraction, 0.0);
+        EXPECT_GT(s.count, 0);
+    }
+    EXPECT_EQ(stats[0].layer, "conv1");
+    EXPECT_EQ(stats[14].layer, "conv15");
+}
+
+TEST(ThresholdStats, FloorFractionCountsClampedNeurons) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.5f);
+    // Push half of conv1's thresholds to zero.
+    Tensor& t = net.site(0).mask().thresholds().value;
+    for (std::int64_t i = 0; i < t.numel() / 2; ++i) {
+        t[i] = 0.0f;
+    }
+    const auto stats = threshold_statistics(
+        net.snapshot_thresholds("t"), net.layer_specs(), /*floor=*/1e-4f);
+    EXPECT_NEAR(stats[0].at_floor_fraction, 0.5, 0.01);
+    EXPECT_DOUBLE_EQ(stats[1].at_floor_fraction, 0.0);
+}
+
+TEST(ThresholdStats, SizeMismatchRejected) {
+    MimeNetwork net(tiny_config());
+    ThresholdSet set = net.snapshot_thresholds("t");
+    set.thresholds.pop_back();
+    EXPECT_THROW(threshold_statistics(set, net.layer_specs()),
+                 mime::check_error);
+}
+
+TEST(MaskOverlapTest, IdenticalTasksFullyOverlap) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.1f);
+    const ThresholdSet set = net.snapshot_thresholds("same");
+    const auto overlaps = mask_overlap(net, set, set, probe());
+    ASSERT_EQ(overlaps.size(), 15u);
+    for (const auto& o : overlaps) {
+        EXPECT_DOUBLE_EQ(o.jaccard, 1.0) << o.layer;
+        EXPECT_DOUBLE_EQ(o.active_fraction_a, o.active_fraction_b);
+    }
+    EXPECT_DOUBLE_EQ(mean_overlap(overlaps), 1.0);
+}
+
+TEST(MaskOverlapTest, DifferentThresholdsPartialOverlap) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.05f);
+    const ThresholdSet low = net.snapshot_thresholds("low");
+    net.reset_thresholds(0.8f);
+    const ThresholdSet high = net.snapshot_thresholds("high");
+
+    const auto overlaps = mask_overlap(net, low, high, probe());
+    // High thresholds activate a subset of what low thresholds activate,
+    // so overlap is strictly below 1 but above 0 at layer 0 (same input).
+    EXPECT_LT(overlaps[0].jaccard, 1.0);
+    EXPECT_GT(overlaps[0].jaccard, 0.0);
+    EXPECT_GT(overlaps[0].active_fraction_a, overlaps[0].active_fraction_b);
+}
+
+TEST(MaskOverlapTest, RestoresNetworkState) {
+    MimeNetwork net(tiny_config());
+    net.reset_thresholds(0.42f);
+    const ThresholdSet original = net.snapshot_thresholds("original");
+    net.set_mode(ActivationMode::relu);
+
+    net.reset_thresholds(0.1f);
+    const ThresholdSet a = net.snapshot_thresholds("a");
+    net.reset_thresholds(0.2f);
+    const ThresholdSet b = net.snapshot_thresholds("b");
+    net.load_thresholds(original);
+    net.set_mode(ActivationMode::relu);
+
+    mask_overlap(net, a, b, probe());
+
+    EXPECT_EQ(net.mode(), ActivationMode::relu);
+    EXPECT_FLOAT_EQ(net.site(0).mask().thresholds().value[0], 0.42f);
+}
+
+TEST(MaskOverlapTest, EmptyProbeRejected) {
+    MimeNetwork net(tiny_config());
+    const ThresholdSet set = net.snapshot_thresholds("t");
+    data::Batch empty;
+    empty.images = Tensor({1, 3, 32, 32});
+    empty.labels = {0};
+    // size-1 batch is fine; a zero-size batch cannot be constructed via
+    // Dataset::gather, so exercise the guard directly.
+    EXPECT_NO_THROW(mask_overlap(net, set, set, empty));
+    EXPECT_THROW(mean_overlap({}), mime::check_error);
+}
+
+}  // namespace
+}  // namespace mime::core

@@ -1,0 +1,162 @@
+// Tests for the training loops: backbone training, threshold training
+// with frozen weights (the MIME algorithm), and masked (pruned) training.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/pruning.h"
+#include "core/trainer.h"
+#include "data/task_suite.h"
+
+namespace mime::core {
+namespace {
+
+MimeNetworkConfig tiny_config(std::uint64_t seed = 21) {
+    MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.batchnorm = true;  // stabilizes the tiny-scale training tests
+    config.seed = seed;
+    return config;
+}
+
+struct Fixture {
+    data::TaskSuite suite;
+    data::Dataset train;
+    data::Dataset test;
+
+    Fixture() {
+        data::TaskSuiteOptions options;
+        options.train_size = 256;
+        options.test_size = 128;
+        options.cifar100_classes = 10;
+        suite = data::make_task_suite(options);
+        train = suite.family->train_split(suite.cifar10_like);
+        test = suite.family->test_split(suite.cifar10_like);
+    }
+};
+
+TrainOptions fast_options(std::int64_t epochs) {
+    TrainOptions options;
+    options.epochs = epochs;
+    options.batch_size = 32;
+    options.learning_rate = 3e-3f;
+    options.pool = &mime::global_pool();
+    return options;
+}
+
+TEST(Trainer, BackboneTrainingReducesLoss) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    const auto history = train_backbone(net, f.train, fast_options(3));
+    ASSERT_EQ(history.epochs.size(), 3u);
+    EXPECT_LT(history.final_epoch().train_loss,
+              history.epochs.front().train_loss);
+    EXPECT_GT(history.final_epoch().train_accuracy, 0.2);  // ≫ 10% chance
+}
+
+TEST(Trainer, EvaluateMatchesChanceForRandomNet) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    const EvalResult result = evaluate(net, f.test, 64);
+    EXPECT_GT(result.accuracy, 0.0);
+    EXPECT_LT(result.accuracy, 0.35);  // untrained ≈ chance on 10 classes
+}
+
+TEST(Trainer, ThresholdTrainingKeepsBackboneFrozen) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    train_backbone(net, f.train, fast_options(1));
+
+    const auto before = net.snapshot_backbone();
+    TrainOptions options = fast_options(1);
+    options.train_classifier_with_thresholds = false;
+    train_thresholds(net, f.train, options);
+    const auto after = net.snapshot_backbone();
+
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        for (std::int64_t j = 0; j < before[i].numel(); ++j) {
+            ASSERT_EQ(before[i][j], after[i][j])
+                << "backbone parameter " << i << " changed";
+        }
+    }
+}
+
+TEST(Trainer, ThresholdTrainingMovesThresholds) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    train_backbone(net, f.train, fast_options(1));
+
+    net.reset_thresholds(0.05f);
+    const auto before = net.snapshot_thresholds("before");
+    train_thresholds(net, f.train, fast_options(1));
+    const auto after = net.snapshot_thresholds("after");
+
+    double moved = 0.0;
+    for (std::size_t i = 0; i < before.thresholds.size(); ++i) {
+        moved += static_cast<double>(
+            l2_norm(sub(after.thresholds[i], before.thresholds[i])));
+    }
+    EXPECT_GT(moved, 0.0);
+}
+
+TEST(Trainer, ThresholdFloorEnforced) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    TrainOptions options = fast_options(1);
+    options.threshold_floor = 0.0f;
+    train_thresholds(net, f.train, options);
+    for (auto* p : net.threshold_parameters()) {
+        EXPECT_GE(min_value(p->value), 0.0f) << p->name;
+    }
+}
+
+TEST(Trainer, ClassifierTrainsWithThresholdsByDefault) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    const auto backbone = net.backbone_parameters();
+    const Tensor cls_before = backbone[backbone.size() - 2]->value;
+    train_thresholds(net, f.train, fast_options(1));
+    const Tensor cls_after = backbone[backbone.size() - 2]->value;
+    EXPECT_GT(l2_norm(sub(cls_after, cls_before)), 0.0f);
+}
+
+TEST(Trainer, MaskedTrainingPreservesWeightSparsity) {
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    const WeightMaskSet masks =
+        prune_at_init(net, f.train.head(32), 0.9, &mime::global_pool());
+
+    TrainOptions options = fast_options(2);
+    options.weight_masks = &masks;
+    train_backbone(net, f.train, options);
+
+    for (const double s : measured_weight_sparsity(net)) {
+        EXPECT_GE(s, 0.88);
+    }
+}
+
+TEST(Trainer, HistoryRequiresEpochs) {
+    TrainHistory empty;
+    EXPECT_THROW(empty.final_epoch(), mime::check_error);
+    Fixture f;
+    MimeNetwork net(tiny_config());
+    TrainOptions bad = fast_options(0);
+    EXPECT_THROW(train_backbone(net, f.train, bad), mime::check_error);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+    Fixture f;
+    MimeNetwork net_a(tiny_config(33));
+    MimeNetwork net_b(tiny_config(33));
+    TrainOptions options = fast_options(1);
+    options.pool = nullptr;  // single-threaded for bitwise determinism
+    const auto ha = train_backbone(net_a, f.train, options);
+    const auto hb = train_backbone(net_b, f.train, options);
+    EXPECT_DOUBLE_EQ(ha.final_epoch().train_loss,
+                     hb.final_epoch().train_loss);
+}
+
+}  // namespace
+}  // namespace mime::core
