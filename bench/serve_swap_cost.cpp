@@ -1,0 +1,95 @@
+// Self-checking micro-benchmark: installing a task's threshold set must
+// cost O(threshold bytes), not O(weight bytes).
+//
+// Times MimeNetwork::load_thresholds (the MIME task switch) against
+// load_backbone (the conventional task switch) on the same network and
+// asserts the measured time ratio stays within an order of magnitude of
+// the byte ratio. A regression that reallocates or touches the backbone
+// on the threshold path trips the check and exits nonzero.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "core/mime_network.h"
+
+using namespace mime;
+
+namespace {
+
+double time_per_call_us(std::int64_t iterations,
+                        const std::function<void()>& body) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < iterations; ++i) {
+        body();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::micro>(elapsed).count() /
+           static_cast<double>(iterations);
+}
+
+}  // namespace
+
+int main() {
+    bench::print_banner(
+        "Threshold-set swap cost vs backbone swap cost",
+        "task switch streams T_child bytes only — never W_parent");
+
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.25;  // big enough for a stable ratio
+    config.vgg.num_classes = 10;
+    config.seed = 7;
+    core::MimeNetwork network(config);
+
+    const core::ThresholdSet thresholds =
+        network.snapshot_thresholds("bench");
+    const std::vector<Tensor> backbone = network.snapshot_backbone();
+
+    std::int64_t threshold_bytes =
+        thresholds.parameter_count() *
+        static_cast<std::int64_t>(sizeof(float));
+    std::int64_t backbone_bytes = 0;
+    for (const Tensor& tensor : backbone) {
+        backbone_bytes +=
+            tensor.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+
+    const std::int64_t iterations = 2000;
+    const double threshold_us = time_per_call_us(
+        iterations, [&] { network.load_thresholds(thresholds); });
+    const double backbone_us = time_per_call_us(
+        iterations / 10, [&] { network.load_backbone(backbone); });
+
+    Table table({"switch", "bytes", "time/call (us)", "MB/s"});
+    table.add_row({"thresholds (MIME)", Table::bytes(threshold_bytes),
+                   Table::num(threshold_us, 2),
+                   Table::num(threshold_bytes / threshold_us, 1)});
+    table.add_row({"backbone (conventional)", Table::bytes(backbone_bytes),
+                   Table::num(backbone_us, 2),
+                   Table::num(backbone_bytes / backbone_us, 1)});
+    table.print();
+
+    const double byte_ratio = static_cast<double>(backbone_bytes) /
+                              static_cast<double>(threshold_bytes);
+    const double time_ratio = backbone_us / threshold_us;
+    bench::print_claim("backbone/threshold byte ratio",
+                       "threshold set << backbone",
+                       Table::ratio(byte_ratio));
+    bench::print_claim("backbone/threshold time ratio",
+                       "tracks byte ratio", Table::ratio(time_ratio));
+
+    // The assertion: if the threshold path regressed to O(weight bytes)
+    // the time ratio would collapse to ~1x, while O(threshold bytes)
+    // keeps it near the byte ratio (~14x at this width_scale). Requiring
+    // a third of the byte ratio catches the regression with a wide
+    // margin for timer noise on shared CI runners.
+    MIME_REQUIRE(time_ratio > byte_ratio / 3.0,
+                 "threshold swap is no longer O(threshold bytes): "
+                 "backbone/threshold time ratio " +
+                     std::to_string(time_ratio) + " vs byte ratio " +
+                     std::to_string(byte_ratio));
+    std::printf("\nOK: threshold swap cost scales with threshold bytes\n");
+    return 0;
+}

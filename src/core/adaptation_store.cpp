@@ -197,6 +197,13 @@ std::int64_t AdaptationStore::load_all_into(MultiTaskEngine& engine) const {
     return count;
 }
 
+std::function<TaskAdaptation(const std::string&)> AdaptationStore::task_loader()
+    const {
+    return [directory = directory_](const std::string& task_name) {
+        return AdaptationStore(directory).load_task(task_name);
+    };
+}
+
 std::int64_t AdaptationStore::backbone_bytes() const {
     if (!has_backbone()) {
         return 0;

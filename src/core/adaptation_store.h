@@ -13,6 +13,7 @@
 // mismatched artifacts fail loudly.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -58,6 +59,12 @@ public:
 
     /// Registers every stored task with an engine; returns the count.
     std::int64_t load_all_into(MultiTaskEngine& engine) const;
+
+    /// A by-name lookup closure for serving-time caches (e.g.
+    /// serve::ThresholdCache): hydrates one adaptation from disk per
+    /// call. The closure holds a copy of the directory path, so it stays
+    /// valid after the store goes away.
+    std::function<TaskAdaptation(const std::string&)> task_loader() const;
 
     /// Bytes on disk for the backbone / all adaptations — the physical
     /// counterpart of core::StorageModel's accounting.

@@ -198,7 +198,9 @@ void MimeNetwork::load_thresholds(const ThresholdSet& set) {
         MIME_REQUIRE(set.thresholds[i].shape() == p.value.shape(),
                      "threshold shape mismatch at site " +
                          sites_[i]->site_name());
-        p.value = set.thresholds[i];
+        // Allocation-free install: a task switch on the serving hot path
+        // costs exactly one pass over T_child bytes, never a reallocation.
+        p.value.copy_from(set.thresholds[i]);
     }
 }
 

@@ -74,12 +74,15 @@ void MultiTaskEngine::activate_mime_task(std::int64_t task) {
         return;  // weights and thresholds already resident
     }
     const TaskAdaptation& a = mime_tasks_[static_cast<std::size_t>(task)];
+    // Invalidate before mutating so a throw mid-install can't leave a
+    // stale active index pointing at mixed thresholds.
+    active_mime_task_ = -1;
+    active_conventional_task_ = -1;
     network_->load_thresholds(a.thresholds);
     auto backbone = network_->backbone_parameters();
-    backbone[backbone.size() - 2]->value = a.head_weight;
-    backbone[backbone.size() - 1]->value = a.head_bias;
+    backbone[backbone.size() - 2]->value.copy_from(a.head_weight);
+    backbone[backbone.size() - 1]->value.copy_from(a.head_bias);
     active_mime_task_ = task;
-    active_conventional_task_ = -1;
     ++threshold_switches_;
 }
 

@@ -1,0 +1,80 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mime::serve {
+
+const char* to_string(BatchingPolicy policy) {
+    switch (policy) {
+        case BatchingPolicy::fifo:
+            return "fifo";
+        case BatchingPolicy::task_grouped:
+            return "task_grouped";
+    }
+    return "unknown";
+}
+
+TaskBatcher::TaskBatcher(BatcherConfig config) : config_(config) {
+    MIME_REQUIRE(config.max_batch_size > 0,
+                 "max_batch_size must be positive");
+    MIME_REQUIRE(config.max_wait.count() >= 0,
+                 "max_wait must be non-negative");
+}
+
+void TaskBatcher::add(InferenceRequest request) {
+    pending_.push_back(std::move(request));
+}
+
+std::optional<Clock::time_point> TaskBatcher::next_deadline() const {
+    if (pending_.empty()) {
+        return std::nullopt;
+    }
+    return pending_.front().enqueue_time + config_.max_wait;
+}
+
+std::optional<std::vector<InferenceRequest>> TaskBatcher::next_batch(
+    Clock::time_point now, bool flush) {
+    if (pending_.empty()) {
+        return std::nullopt;
+    }
+
+    // The oldest pending request picks the batch's task; this bounds
+    // per-request delay under both policies.
+    const std::string& task = pending_.front().task;
+    const auto max_batch = static_cast<std::size_t>(config_.max_batch_size);
+
+    std::vector<std::size_t> member_indices;
+    member_indices.reserve(max_batch);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].task == task) {
+            member_indices.push_back(i);
+            if (member_indices.size() == max_batch) {
+                break;
+            }
+        } else if (config_.policy == BatchingPolicy::fifo) {
+            break;  // fifo never reaches past a task change
+        }
+    }
+
+    const bool full = member_indices.size() == max_batch;
+    const bool expired = now >= pending_.front().enqueue_time + config_.max_wait;
+    if (!full && !expired && !flush) {
+        return std::nullopt;
+    }
+
+    std::vector<InferenceRequest> batch;
+    batch.reserve(member_indices.size());
+    // Erase back-to-front so earlier indices stay valid.
+    for (auto it = member_indices.rbegin(); it != member_indices.rend();
+         ++it) {
+        batch.push_back(std::move(pending_[*it]));
+        pending_.erase(pending_.begin() +
+                       static_cast<std::ptrdiff_t>(*it));
+    }
+    std::reverse(batch.begin(), batch.end());
+    return batch;
+}
+
+}  // namespace mime::serve

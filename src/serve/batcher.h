@@ -1,0 +1,76 @@
+// Task-aware batch formation.
+//
+// MIME's task switch is cheap (swap thresholds, never weights) but still
+// costs a pass over every site's threshold tensors, so the server wants
+// to run consecutive same-task requests as one forward batch. The
+// batcher holds pending requests and decides, given "now", whether a
+// batch is ready: either a full batch of one task exists, or the oldest
+// pending request has waited max_wait and must go out (tail latency
+// bound). Single-threaded by design — the dispatch loop owns it — which
+// keeps the policy logic deterministic and directly unit-testable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace mime::serve {
+
+/// How pending requests are grouped into batches.
+enum class BatchingPolicy {
+    /// Strict arrival order: a batch is the longest same-task *prefix*
+    /// of the pending queue. Never reorders requests; a task change in
+    /// the stream always cuts the batch (models a naive server).
+    fifo,
+    /// Task-grouped: the oldest request picks the task, then *all*
+    /// pending requests of that task join (up to max_batch_size),
+    /// regardless of position. Amortizes threshold swaps under
+    /// interleaved traffic at the cost of bounded reordering.
+    task_grouped
+};
+
+const char* to_string(BatchingPolicy policy);
+
+struct BatcherConfig {
+    BatchingPolicy policy = BatchingPolicy::task_grouped;
+    /// Largest forward batch the server will form.
+    std::int64_t max_batch_size = 8;
+    /// Longest a request may sit pending before its batch is dispatched
+    /// even if not full.
+    std::chrono::microseconds max_wait{2000};
+};
+
+class TaskBatcher {
+public:
+    explicit TaskBatcher(BatcherConfig config);
+
+    const BatcherConfig& config() const noexcept { return config_; }
+
+    /// Takes ownership of a request.
+    void add(InferenceRequest request);
+
+    bool empty() const noexcept { return pending_.empty(); }
+    std::size_t pending_count() const noexcept { return pending_.size(); }
+
+    /// When non-empty: the instant the oldest pending request expires
+    /// (enqueue_time + max_wait). The dispatch loop sleeps until then.
+    std::optional<Clock::time_point> next_deadline() const;
+
+    /// Forms the next batch if one is ready at `now`: the candidate
+    /// group is full, the oldest pending request has expired, or
+    /// `flush` forces whatever exists out. Requests in the returned
+    /// batch all share one task. Returns nullopt when nothing is ready.
+    std::optional<std::vector<InferenceRequest>> next_batch(
+        Clock::time_point now, bool flush = false);
+
+private:
+    BatcherConfig config_;
+    std::deque<InferenceRequest> pending_;
+};
+
+}  // namespace mime::serve

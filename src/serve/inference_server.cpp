@@ -1,0 +1,303 @@
+#include "serve/inference_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::serve {
+
+namespace {
+
+double to_us(Clock::duration d) {
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+std::string ServerStats::to_table_string() const {
+    Table aggregate({"metric", "value"});
+    aggregate.add_row({"requests", std::to_string(requests_completed)});
+    aggregate.add_row({"batches", std::to_string(batches_run)});
+    aggregate.add_row({"mean batch", Table::num(mean_batch_size, 2)});
+    aggregate.add_row({"threshold swaps", std::to_string(threshold_swaps)});
+    aggregate.add_row({"cache hit/miss/evict",
+                       std::to_string(cache_hits) + "/" +
+                           std::to_string(cache_misses) + "/" +
+                           std::to_string(cache_evictions)});
+    aggregate.add_row({"throughput (req/s)", Table::num(throughput_rps, 1)});
+    aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
+    aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
+    aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+
+    Table tasks({"task", "requests", "batches", "mean sparsity"});
+    for (const auto& [name, ts] : per_task) {
+        tasks.add_row({name, std::to_string(ts.requests),
+                       std::to_string(ts.batches),
+                       Table::num(ts.mean_sparsity, 4)});
+    }
+    return aggregate.to_string() + "\n" + tasks.to_string();
+}
+
+InferenceServer::InferenceServer(core::MimeNetwork& network,
+                                 ThresholdCache::Loader loader,
+                                 ServerConfig config)
+    : network_(&network),
+      config_(config),
+      pool_(config.worker_threads),
+      queue_(config.queue_capacity),
+      batcher_(config.batcher),
+      cache_(config.cache_capacity, std::move(loader)) {
+    MIME_REQUIRE(!network.layer_specs().empty(),
+                 "network has no layers to serve");
+    const arch::LayerSpec& first = network.layer_specs().front();
+    input_shape_ = Shape({first.in_channels, first.in_height, first.in_width});
+    network_->set_training(false);
+    network_->set_mode(core::ActivationMode::threshold);
+    network_->set_pool(&pool_);
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::future<InferenceResult> InferenceServer::submit_async(
+    const std::string& task, Tensor image) {
+    MIME_REQUIRE(!task.empty(), "request needs a task name");
+    // Validate the full shape here so one mis-shaped request is rejected
+    // at the door instead of failing every request co-batched with it.
+    MIME_REQUIRE(image.shape() == input_shape_,
+                 "request image must be " + input_shape_.to_string() +
+                     ", got " + image.shape().to_string());
+
+    InferenceRequest request;
+    request.task = task;
+    request.image = std::move(image);
+    request.enqueue_time = Clock::now();
+
+    std::future<InferenceResult> future = request.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MIME_REQUIRE(!stopped_, "submit on a stopped server");
+        request.id = next_request_id_++;
+        if (submitted_ == 0) {
+            first_enqueue_ = request.enqueue_time;
+        }
+        ++submitted_;
+    }
+    const bool accepted = queue_.push(std::move(request));
+    if (!accepted) {
+        // Raced with stop(): un-count the request so drain() still
+        // terminates, then surface the rejection.
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            --submitted_;
+        }
+        drained_.notify_all();
+        MIME_REQUIRE(accepted, "submit on a stopped server");
+    }
+    return future;
+}
+
+InferenceResult InferenceServer::submit(const std::string& task,
+                                        Tensor image) {
+    return submit_async(task, std::move(image)).get();
+}
+
+void InferenceServer::drain() {
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    drained_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void InferenceServer::stop() {
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (stopped_) {
+            return;
+        }
+        stopped_ = true;
+    }
+    queue_.close();
+    if (dispatcher_.joinable()) {
+        dispatcher_.join();
+    }
+    network_->set_pool(nullptr);
+}
+
+void InferenceServer::dispatch_loop() {
+    constexpr auto kIdleTick = std::chrono::milliseconds(50);
+    for (;;) {
+        const auto deadline =
+            batcher_.next_deadline().value_or(Clock::now() + kIdleTick);
+        std::vector<InferenceRequest> arrived = queue_.drain_until(deadline);
+        for (InferenceRequest& request : arrived) {
+            batcher_.add(std::move(request));
+        }
+        // Once the queue is closed no more requests can arrive; flush
+        // partial batches instead of waiting out max_wait.
+        const bool closing = queue_.closed();
+        while (auto batch = batcher_.next_batch(Clock::now(), closing)) {
+            run_batch(std::move(*batch));
+        }
+        if (closing && batcher_.empty() && queue_.size() == 0) {
+            return;
+        }
+    }
+}
+
+void InferenceServer::install_task(const std::string& task) {
+    if (task == active_task_) {
+        cache_.get(task);  // keep recency honest even without a swap
+        return;
+    }
+    const core::TaskAdaptation& adaptation = cache_.get(task);
+    // Invalidate before mutating: if a corrupt adaptation throws partway
+    // through the install, no task may be considered resident, or the
+    // previously active task would silently run on mixed thresholds.
+    active_task_.clear();
+    active_classes_ = 0;
+    network_->load_thresholds(adaptation.thresholds);
+    auto backbone = network_->backbone_parameters();
+    MIME_REQUIRE(backbone.size() >= 2,
+                 "backbone must end with classifier weight+bias");
+    backbone[backbone.size() - 2]->value.copy_from(adaptation.head_weight);
+    backbone[backbone.size() - 1]->value.copy_from(adaptation.head_bias);
+    active_task_ = task;
+    active_classes_ = adaptation.num_classes;
+    ++threshold_swaps_;
+}
+
+void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
+    const Clock::time_point started = Clock::now();
+    const std::string task = batch.front().task;
+    try {
+        install_task(task);
+
+        std::vector<Tensor> images;
+        images.reserve(batch.size());
+        for (InferenceRequest& request : batch) {
+            images.push_back(std::move(request.image));
+        }
+        const Tensor logits = network_->forward(stack(images));
+
+        const std::int64_t head_width = logits.shape().dim(1);
+        const std::int64_t classes = active_classes_;
+        MIME_REQUIRE(classes >= 1 && classes <= head_width,
+                     "task " + task + " claims " + std::to_string(classes) +
+                         " classes but the head is " +
+                         std::to_string(head_width) +
+                         " wide (corrupt adaptation?)");
+        double sparsity_sum = 0.0;
+        const std::vector<double> site_sparsities =
+            network_->last_site_sparsities();
+        for (const double s : site_sparsities) {
+            sparsity_sum += s;
+        }
+        const double batch_sparsity =
+            site_sparsities.empty()
+                ? 0.0
+                : sparsity_sum / static_cast<double>(site_sparsities.size());
+
+        const Clock::time_point finished = Clock::now();
+        std::vector<double> latencies;
+        latencies.reserve(batch.size());
+        std::vector<InferenceResult> results;
+        results.reserve(batch.size());
+        for (std::size_t n = 0; n < batch.size(); ++n) {
+            InferenceRequest& request = batch[n];
+            InferenceResult result;
+            result.request_id = request.id;
+            result.task = task;
+            result.batch_size = static_cast<std::int64_t>(batch.size());
+            // Task-restricted logits row (the shared head is sized for
+            // the largest task).
+            const float* row =
+                logits.data() + static_cast<std::int64_t>(n) * head_width;
+            std::vector<float> row_values(
+                row, row + static_cast<std::size_t>(classes));
+            result.logits = Tensor({classes}, std::move(row_values));
+            std::int64_t best = 0;
+            for (std::int64_t c = 1; c < classes; ++c) {
+                if (result.logits[c] > result.logits[best]) {
+                    best = c;
+                }
+            }
+            result.predicted_class = best;
+            result.latency_us = to_us(finished - request.enqueue_time);
+            latencies.push_back(result.latency_us);
+            results.push_back(std::move(result));
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            completed_ += static_cast<std::int64_t>(batch.size());
+            ++batches_run_;
+            swaps_snapshot_ = threshold_swaps_;
+            cache_hits_snapshot_ = cache_.hits();
+            cache_misses_snapshot_ = cache_.misses();
+            cache_evictions_snapshot_ = cache_.evictions();
+            for (const double latency : latencies) {
+                latency_.add(latency);
+            }
+            TaskServeStats& ts = per_task_[task];
+            ts.requests += static_cast<std::int64_t>(batch.size());
+            ts.mean_sparsity =
+                (ts.mean_sparsity * static_cast<double>(ts.batches) +
+                 batch_sparsity) /
+                static_cast<double>(ts.batches + 1);
+            ++ts.batches;
+            last_completion_ = finished;
+        }
+        // Resolve promises only after the stats are consistent, so a
+        // client observing its future also observes its request in
+        // stats().
+        for (std::size_t n = 0; n < batch.size(); ++n) {
+            batch[n].promise.set_value(std::move(results[n]));
+        }
+    } catch (...) {
+        std::exception_ptr error = std::current_exception();
+        for (InferenceRequest& request : batch) {
+            request.promise.set_exception(error);
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        completed_ += static_cast<std::int64_t>(batch.size());
+        ++batches_run_;
+        last_completion_ = started;
+    }
+    drained_.notify_all();
+}
+
+ServerStats InferenceServer::stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ServerStats stats;
+    stats.requests_completed = completed_;
+    stats.batches_run = batches_run_;
+    stats.threshold_swaps = swaps_snapshot_;
+    stats.cache_hits = cache_hits_snapshot_;
+    stats.cache_misses = cache_misses_snapshot_;
+    stats.cache_evictions = cache_evictions_snapshot_;
+    stats.mean_batch_size =
+        batches_run_ > 0 ? static_cast<double>(completed_) /
+                               static_cast<double>(batches_run_)
+                         : 0.0;
+    stats.mean_latency_us = latency_.mean();
+    if (latency_.count() > 0) {
+        const LatencyRecorder::Summary quantiles = latency_.summary();
+        stats.p50_latency_us = quantiles.p50;
+        stats.p95_latency_us = quantiles.p95;
+        stats.p99_latency_us = quantiles.p99;
+        stats.max_latency_us = latency_.max();
+    }
+    if (completed_ > 0) {
+        const double elapsed_s =
+            to_us(last_completion_ - first_enqueue_) / 1e6;
+        stats.throughput_rps =
+            elapsed_s > 0.0 ? static_cast<double>(completed_) / elapsed_s
+                            : 0.0;
+    }
+    stats.per_task = per_task_;
+    return stats;
+}
+
+}  // namespace mime::serve

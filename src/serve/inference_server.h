@@ -1,0 +1,150 @@
+// Multi-task inference server over one MimeNetwork.
+//
+// Owns the network for its lifetime and serves per-task requests from
+// many client threads: requests flow through a bounded RequestQueue into
+// a TaskBatcher, a dedicated dispatch thread forms same-task batches,
+// installs the task's threshold set + head from the ThresholdCache (a
+// swap touches only T_child bytes — never W_parent), and runs one
+// forward per batch. Kernel-level parallelism inside the forward is
+// driven by a common/thread_pool the server owns.
+//
+// submit_async() returns a future; submit() blocks for the result.
+// Per-request latency plus aggregate throughput, swap, cache and
+// per-task sparsity statistics are collected continuously and printable
+// as a common/table.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/mime_network.h"
+#include "serve/batcher.h"
+#include "serve/latency_stats.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/threshold_cache.h"
+#include "tensor/shape.h"
+
+namespace mime {
+class Table;
+}
+
+namespace mime::serve {
+
+struct ServerConfig {
+    BatcherConfig batcher{};
+    /// Resident adaptations (LRU); serving more tasks than this evicts.
+    std::size_t cache_capacity = 8;
+    /// Kernel worker threads for the forward pass; 0 = hardware.
+    std::size_t worker_threads = 0;
+    /// Bounded request queue depth (backpressure under overload).
+    std::size_t queue_capacity = 4096;
+};
+
+/// Per-task aggregate serving statistics.
+struct TaskServeStats {
+    std::int64_t requests = 0;
+    std::int64_t batches = 0;
+    double mean_sparsity = 0.0;  ///< mean over sites, averaged per batch
+};
+
+/// Aggregate serving statistics (a consistent snapshot).
+struct ServerStats {
+    std::int64_t requests_completed = 0;
+    std::int64_t batches_run = 0;
+    std::int64_t threshold_swaps = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::int64_t cache_evictions = 0;
+    double mean_batch_size = 0.0;
+    double mean_latency_us = 0.0;
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double max_latency_us = 0.0;
+    /// Completed requests per wall-clock second between the first
+    /// enqueue and the last completion.
+    double throughput_rps = 0.0;
+    std::map<std::string, TaskServeStats> per_task;
+
+    /// Renders the aggregate + per-task rows via common/table.
+    std::string to_table_string() const;
+};
+
+class InferenceServer {
+public:
+    /// The network must outlive the server. The loader hydrates cache
+    /// misses (see core::AdaptationStore::task_loader()). The server
+    /// puts the network into eval + threshold mode and attaches its own
+    /// thread pool.
+    InferenceServer(core::MimeNetwork& network, ThresholdCache::Loader loader,
+                    ServerConfig config = {});
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer&) = delete;
+    InferenceServer& operator=(const InferenceServer&) = delete;
+
+    const ServerConfig& config() const noexcept { return config_; }
+
+    /// Enqueues one request; the future resolves when its batch has run.
+    /// Throws once the server is stopped.
+    std::future<InferenceResult> submit_async(const std::string& task,
+                                              Tensor image);
+
+    /// Convenience: submit and wait.
+    InferenceResult submit(const std::string& task, Tensor image);
+
+    /// Blocks until every request submitted so far has completed.
+    void drain();
+
+    /// Drains, then stops the dispatch thread. Idempotent; the
+    /// destructor calls it.
+    void stop();
+
+    ServerStats stats() const;
+
+private:
+    void dispatch_loop();
+    void run_batch(std::vector<InferenceRequest> batch);
+    void install_task(const std::string& task);
+
+    core::MimeNetwork* network_;
+    ServerConfig config_;
+    Shape input_shape_;  ///< per-sample [C, H, W] the network accepts
+    ThreadPool pool_;
+    RequestQueue queue_;
+    TaskBatcher batcher_;      ///< dispatch-thread only
+    ThresholdCache cache_;     ///< dispatch-thread only
+    std::thread dispatcher_;
+
+    std::string active_task_;          ///< dispatch-thread only
+    std::int64_t active_classes_ = 0;  ///< dispatch-thread only
+    std::int64_t threshold_swaps_ = 0; ///< dispatch-thread only
+
+    mutable std::mutex stats_mutex_;
+    std::int64_t next_request_id_ = 0;  ///< guarded by stats_mutex_
+    std::int64_t submitted_ = 0;        ///< guarded by stats_mutex_
+    std::int64_t completed_ = 0;        ///< guarded by stats_mutex_
+    std::int64_t batches_run_ = 0;      ///< guarded by stats_mutex_
+    // Snapshots of the dispatch-thread-only counters above, refreshed
+    // after every batch so stats() never races the dispatch thread.
+    std::int64_t swaps_snapshot_ = 0;        ///< guarded by stats_mutex_
+    std::int64_t cache_hits_snapshot_ = 0;   ///< guarded by stats_mutex_
+    std::int64_t cache_misses_snapshot_ = 0; ///< guarded by stats_mutex_
+    std::int64_t cache_evictions_snapshot_ = 0;  ///< guarded by stats_mutex_
+    LatencyRecorder latency_;           ///< guarded by stats_mutex_
+    std::map<std::string, TaskServeStats> per_task_;  ///< stats_mutex_
+    Clock::time_point first_enqueue_{};               ///< stats_mutex_
+    Clock::time_point last_completion_{};             ///< stats_mutex_
+    std::condition_variable drained_;
+    bool stopped_ = false;  ///< guarded by stats_mutex_
+};
+
+}  // namespace mime::serve

@@ -1,0 +1,77 @@
+#include "serve/latency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mime::serve {
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double p) {
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank =
+        static_cast<std::size_t>(std::ceil(p / 100.0 * n));  // 1-based
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+}  // namespace
+
+void LatencyRecorder::add(double latency_us) {
+    ++count_;
+    sum_ += latency_us;
+    max_ = std::max(max_, latency_us);
+    if (samples_.size() < kMaxSamples) {
+        samples_.push_back(latency_us);
+        return;
+    }
+    // Reservoir sampling: keep each of the count_ samples with equal
+    // probability kMaxSamples / count_.
+    const std::uint64_t slot =
+        reservoir_rng_.uniform_index(static_cast<std::uint64_t>(count_));
+    if (slot < kMaxSamples) {
+        samples_[static_cast<std::size_t>(slot)] = latency_us;
+    }
+}
+
+double LatencyRecorder::mean() const {
+    if (count_ == 0) {
+        return 0.0;
+    }
+    return sum_ / static_cast<double>(count_);
+}
+
+double LatencyRecorder::max() const { return max_; }
+
+double LatencyRecorder::percentile(double p) const {
+    MIME_REQUIRE(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    return nearest_rank(sorted, p);
+}
+
+LatencyRecorder::Summary LatencyRecorder::summary() const {
+    Summary result;
+    if (samples_.empty()) {
+        return result;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    result.p50 = nearest_rank(sorted, 50.0);
+    result.p95 = nearest_rank(sorted, 95.0);
+    result.p99 = nearest_rank(sorted, 99.0);
+    return result;
+}
+
+void LatencyRecorder::clear() {
+    samples_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0.0;
+}
+
+}  // namespace mime::serve

@@ -1,0 +1,51 @@
+// Latency / throughput accounting for the serving runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mime::serve {
+
+/// Accumulates per-request latencies (microseconds) and answers
+/// percentile queries. Count, mean and max are exact over everything
+/// ever added; percentiles are computed over a bounded reservoir
+/// (uniform sample of the stream), so memory stays fixed on a
+/// long-running server. Percentiles use the nearest-rank method.
+class LatencyRecorder {
+public:
+    /// One sorted pass worth of quantiles (cheaper than three
+    /// percentile() calls, which each sort a copy).
+    struct Summary {
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+
+    void add(double latency_us);
+
+    /// Total samples ever added (not just those retained).
+    std::int64_t count() const noexcept { return count_; }
+    double mean() const;
+    double max() const;
+    /// Nearest-rank percentile over the retained reservoir; `p` in
+    /// (0, 100].
+    double percentile(double p) const;
+    Summary summary() const;
+
+    void clear();
+
+private:
+    /// Reservoir bound: exact percentiles below this, a uniform sample
+    /// of the stream beyond it (~512 KiB ceiling).
+    static constexpr std::size_t kMaxSamples = 1 << 16;
+
+    std::vector<double> samples_;
+    std::int64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    Rng reservoir_rng_{0x1a7e'9c5du};
+};
+
+}  // namespace mime::serve

@@ -1,0 +1,122 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mime::serve {
+
+namespace {
+
+/// Exponential variate with the given mean.
+double exponential(Rng& rng, double mean) {
+    // uniform() is in [0, 1); flip to (0, 1] so log() stays finite.
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+/// Samples a task index from Zipf(s) over [0, task_count) by inverting
+/// the CDF (task_count is small, so the linear scan is fine).
+std::int64_t zipf_sample(Rng& rng, std::int64_t task_count, double s) {
+    double norm = 0.0;
+    for (std::int64_t k = 1; k <= task_count; ++k) {
+        norm += 1.0 / std::pow(static_cast<double>(k), s);
+    }
+    const double u = rng.uniform() * norm;
+    double cumulative = 0.0;
+    for (std::int64_t k = 1; k <= task_count; ++k) {
+        cumulative += 1.0 / std::pow(static_cast<double>(k), s);
+        if (u <= cumulative) {
+            return k - 1;
+        }
+    }
+    return task_count - 1;
+}
+
+}  // namespace
+
+const char* to_string(ArrivalPattern pattern) {
+    switch (pattern) {
+        case ArrivalPattern::uniform:
+            return "uniform";
+        case ArrivalPattern::skewed:
+            return "skewed";
+        case ArrivalPattern::bursty:
+            return "bursty";
+    }
+    return "unknown";
+}
+
+std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec) {
+    MIME_REQUIRE(spec.task_count > 0, "need at least one task");
+    MIME_REQUIRE(spec.request_count > 0, "need at least one request");
+    MIME_REQUIRE(spec.mean_interarrival_us > 0.0,
+                 "mean_interarrival_us must be positive");
+
+    Rng rng(spec.seed);
+    std::vector<ArrivalEvent> events;
+    events.reserve(static_cast<std::size_t>(spec.request_count));
+    double clock_us = 0.0;
+
+    if (spec.pattern == ArrivalPattern::bursty) {
+        MIME_REQUIRE(spec.mean_burst_length >= 1.0,
+                     "mean_burst_length must be >= 1");
+        MIME_REQUIRE(spec.burst_gap_fraction >= 0.0 &&
+                         spec.burst_gap_fraction < 1.0,
+                     "burst_gap_fraction must be in [0, 1) so the idle "
+                     "gap stays positive");
+        // A burst of mean length L followed by an idle gap; the gap mean
+        // is scaled so the overall arrival rate still matches
+        // mean_interarrival_us.
+        const double intra_gap =
+            spec.mean_interarrival_us * spec.burst_gap_fraction;
+        const double idle_mean =
+            spec.mean_burst_length *
+            (spec.mean_interarrival_us - intra_gap);
+        while (events.size() <
+               static_cast<std::size_t>(spec.request_count)) {
+            const std::int64_t task =
+                static_cast<std::int64_t>(rng.uniform_index(
+                    static_cast<std::uint64_t>(spec.task_count)));
+            const auto burst_length = static_cast<std::int64_t>(
+                std::max(1.0, std::round(exponential(
+                                  rng, spec.mean_burst_length))));
+            for (std::int64_t i = 0;
+                 i < burst_length &&
+                 events.size() <
+                     static_cast<std::size_t>(spec.request_count);
+                 ++i) {
+                events.push_back(ArrivalEvent{clock_us, task});
+                clock_us += exponential(rng, intra_gap);
+            }
+            clock_us += exponential(rng, idle_mean);
+        }
+        return events;
+    }
+
+    for (std::int64_t i = 0; i < spec.request_count; ++i) {
+        const std::int64_t task =
+            spec.pattern == ArrivalPattern::skewed
+                ? zipf_sample(rng, spec.task_count, spec.zipf_s)
+                : static_cast<std::int64_t>(rng.uniform_index(
+                      static_cast<std::uint64_t>(spec.task_count)));
+        events.push_back(ArrivalEvent{clock_us, task});
+        clock_us += exponential(rng, spec.mean_interarrival_us);
+    }
+    return events;
+}
+
+std::vector<std::int64_t> task_histogram(
+    const std::vector<ArrivalEvent>& events, std::int64_t task_count) {
+    std::vector<std::int64_t> histogram(
+        static_cast<std::size_t>(task_count), 0);
+    for (const ArrivalEvent& event : events) {
+        MIME_REQUIRE(event.task >= 0 && event.task < task_count,
+                     "event task out of range");
+        ++histogram[static_cast<std::size_t>(event.task)];
+    }
+    return histogram;
+}
+
+}  // namespace mime::serve

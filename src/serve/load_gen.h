@@ -1,0 +1,54 @@
+// Synthetic mixed-task arrival streams for serving benchmarks.
+//
+// Generates a timestamped sequence of (arrival offset, task) events
+// under three traffic shapes:
+//   * uniform — Poisson arrivals, tasks drawn uniformly,
+//   * skewed  — Poisson arrivals, tasks drawn Zipf(s) (a few hot tasks
+//               dominate, the realistic multi-tenant case),
+//   * bursty  — arrivals come in task-coherent bursts: one task sends a
+//               run of closely spaced requests, then the stream idles
+//               (models per-client sessions; the best case for
+//               task-grouped batching).
+// Deterministic in the seed so bench runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mime::serve {
+
+enum class ArrivalPattern { uniform, skewed, bursty };
+
+const char* to_string(ArrivalPattern pattern);
+
+struct LoadSpec {
+    ArrivalPattern pattern = ArrivalPattern::uniform;
+    std::int64_t task_count = 3;
+    std::int64_t request_count = 200;
+    /// Mean gap between arrivals (exponential for uniform/skewed; for
+    /// bursty this is the mean over bursts + idle gaps combined).
+    double mean_interarrival_us = 500.0;
+    /// Zipf exponent for `skewed` (task 0 hottest).
+    double zipf_s = 1.1;
+    /// Mean requests per burst for `bursty`.
+    double mean_burst_length = 8.0;
+    /// Intra-burst gap as a fraction of mean_interarrival_us.
+    double burst_gap_fraction = 0.05;
+    std::uint64_t seed = 1;
+};
+
+/// One scheduled request: submit at `offset_us` after stream start.
+struct ArrivalEvent {
+    double offset_us = 0.0;
+    std::int64_t task = 0;  ///< index into the caller's task-name list
+};
+
+/// Generates `spec.request_count` events with non-decreasing offsets.
+std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec);
+
+/// Per-task request counts of a stream (diagnostics / tests).
+std::vector<std::int64_t> task_histogram(const std::vector<ArrivalEvent>& events,
+                                         std::int64_t task_count);
+
+}  // namespace mime::serve

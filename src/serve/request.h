@@ -1,0 +1,39 @@
+// Request / result types for the multi-task inference serving runtime.
+//
+// A request carries one image tagged with the child task it belongs to;
+// the result carries the task-restricted logits and the latency measured
+// from enqueue to completion. Futures connect the two across threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace mime::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Outcome of serving one request.
+struct InferenceResult {
+    std::int64_t request_id = -1;
+    std::string task;
+    Tensor logits;                    ///< [num_classes] row for this task
+    std::int64_t predicted_class = -1;
+    double latency_us = 0.0;          ///< enqueue -> completion
+    std::int64_t batch_size = 0;      ///< size of the batch it rode in
+};
+
+/// One in-flight request. Move-only (owns the promise side of the
+/// caller's future).
+struct InferenceRequest {
+    std::int64_t id = -1;
+    std::string task;
+    Tensor image;                     ///< [C, H, W]
+    Clock::time_point enqueue_time{};
+    std::promise<InferenceResult> promise;
+};
+
+}  // namespace mime::serve

@@ -1,0 +1,67 @@
+#include "serve/request_queue.h"
+
+#include "common/check.h"
+
+namespace mime::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    MIME_REQUIRE(capacity > 0, "queue capacity must be positive");
+}
+
+bool RequestQueue::push(InferenceRequest request) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+        return false;
+    }
+    items_.push_back(std::move(request));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+std::vector<InferenceRequest> RequestQueue::drain_until(
+    Clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return closed_ || !items_.empty(); });
+    return drain_locked();
+}
+
+std::vector<InferenceRequest> RequestQueue::drain_now() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return drain_locked();
+}
+
+std::vector<InferenceRequest> RequestQueue::drain_locked() {
+    std::vector<InferenceRequest> out;
+    out.reserve(items_.size());
+    while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+    }
+    not_full_.notify_all();
+    return out;
+}
+
+void RequestQueue::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+}  // namespace mime::serve

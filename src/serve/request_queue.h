@@ -1,0 +1,59 @@
+// Thread-safe bounded MPSC queue feeding the server's dispatch loop.
+//
+// Producers (client threads calling InferenceServer::submit) push
+// requests and block when the queue is at capacity (backpressure instead
+// of unbounded memory growth under overload). The single consumer (the
+// dispatch loop) drains everything available at once, optionally waiting
+// up to a deadline for the first arrival.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace mime::serve {
+
+class RequestQueue {
+public:
+    /// `capacity` bounds the number of queued (not yet drained) requests.
+    explicit RequestQueue(std::size_t capacity);
+
+    RequestQueue(const RequestQueue&) = delete;
+    RequestQueue& operator=(const RequestQueue&) = delete;
+
+    /// Blocks while the queue is full; returns false (dropping the
+    /// request) once the queue is closed.
+    bool push(InferenceRequest request);
+
+    /// Moves out every queued request, waiting until `deadline` for at
+    /// least one to arrive. Returns immediately with whatever is queued
+    /// (possibly nothing) once closed or non-empty.
+    std::vector<InferenceRequest> drain_until(Clock::time_point deadline);
+
+    /// Moves out every queued request without waiting.
+    std::vector<InferenceRequest> drain_now();
+
+    /// Wakes every waiter; subsequent pushes are rejected. Queued
+    /// requests remain drainable.
+    void close();
+
+    bool closed() const;
+    std::size_t size() const;
+    std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    std::vector<InferenceRequest> drain_locked();
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<InferenceRequest> items_;
+    bool closed_ = false;
+};
+
+}  // namespace mime::serve

@@ -1,0 +1,62 @@
+#include "serve/threshold_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mime::serve {
+
+ThresholdCache::ThresholdCache(std::size_t capacity, Loader loader)
+    : capacity_(capacity), loader_(std::move(loader)) {
+    MIME_REQUIRE(capacity_ > 0, "cache capacity must be positive");
+    MIME_REQUIRE(static_cast<bool>(loader_), "cache needs a loader");
+}
+
+const core::TaskAdaptation& ThresholdCache::get(const std::string& task) {
+    auto found = index_.find(task);
+    if (found != index_.end()) {
+        ++hits_;
+        entries_.splice(entries_.begin(), entries_, found->second);
+        return entries_.front().adaptation;
+    }
+
+    ++misses_;
+    // Hydrate before evicting so a throwing loader leaves the cache
+    // untouched.
+    core::TaskAdaptation adaptation = loader_(task);
+    if (entries_.size() == capacity_) {
+        index_.erase(entries_.back().task);
+        entries_.pop_back();
+        ++evictions_;
+    }
+    entries_.push_front(Entry{task, std::move(adaptation)});
+    index_[task] = entries_.begin();
+    return entries_.front().adaptation;
+}
+
+bool ThresholdCache::contains(const std::string& task) const {
+    return index_.count(task) > 0;
+}
+
+std::vector<std::string> ThresholdCache::resident_tasks() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+        names.push_back(entry.task);
+    }
+    return names;
+}
+
+std::int64_t ThresholdCache::resident_bytes() const {
+    std::int64_t total = 0;
+    for (const Entry& entry : entries_) {
+        const core::TaskAdaptation& a = entry.adaptation;
+        total += a.thresholds.parameter_count() *
+                 static_cast<std::int64_t>(sizeof(float));
+        total += (a.head_weight.numel() + a.head_bias.numel()) *
+                 static_cast<std::int64_t>(sizeof(float));
+    }
+    return total;
+}
+
+}  // namespace mime::serve

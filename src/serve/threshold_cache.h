@@ -1,0 +1,69 @@
+// LRU cache of per-task adaptations (threshold set + task head).
+//
+// Mirrors the paper's DRAM story at serving time: the parent backbone is
+// resident once, and each of N tasks costs only its tiny T_child. The
+// cache bounds how many adaptations stay hydrated in memory and pulls
+// misses through a loader — typically core::AdaptationStore::task_loader()
+// reading the on-disk deployment artifact. Hit / miss / eviction counters
+// feed the server's stats table.
+//
+// Not thread-safe; owned and driven by the server's dispatch loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/multitask.h"
+
+namespace mime::serve {
+
+class ThresholdCache {
+public:
+    using Loader = std::function<core::TaskAdaptation(const std::string&)>;
+
+    /// `capacity` bounds resident adaptations; `loader` hydrates misses.
+    ThresholdCache(std::size_t capacity, Loader loader);
+
+    /// Returns the adaptation for `task`, hydrating (and possibly
+    /// evicting the least-recently-used entry) on a miss. The reference
+    /// stays valid until the next get() call.
+    const core::TaskAdaptation& get(const std::string& task);
+
+    /// True when the task is resident (does not touch recency or
+    /// counters).
+    bool contains(const std::string& task) const;
+
+    std::size_t size() const noexcept { return index_.size(); }
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    std::int64_t hits() const noexcept { return hits_; }
+    std::int64_t misses() const noexcept { return misses_; }
+    std::int64_t evictions() const noexcept { return evictions_; }
+
+    /// Resident task names, most- to least-recently used.
+    std::vector<std::string> resident_tasks() const;
+
+    /// Total bytes of resident threshold tensors + task heads — the
+    /// serving-time counterpart of AdaptationStore::adaptation_bytes().
+    std::int64_t resident_bytes() const;
+
+private:
+    struct Entry {
+        std::string task;
+        core::TaskAdaptation adaptation;
+    };
+
+    std::size_t capacity_;
+    Loader loader_;
+    std::list<Entry> entries_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+    std::int64_t evictions_ = 0;
+};
+
+}  // namespace mime::serve

@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -93,6 +94,13 @@ void Tensor::fill(float value) {
     for (auto& v : data_) {
         v = value;
     }
+}
+
+void Tensor::copy_from(const Tensor& source) {
+    MIME_REQUIRE(shape_ == source.shape_,
+                 "copy_from shape mismatch: " + shape_.to_string() + " vs " +
+                     source.shape_.to_string());
+    std::copy(source.data_.begin(), source.data_.end(), data_.begin());
 }
 
 void Tensor::axpy(float alpha, const Tensor& x) {

@@ -78,6 +78,12 @@ public:
     /// Sets every element to `value`.
     void fill(float value);
 
+    /// Copies `source`'s elements into this tensor's existing storage;
+    /// shapes must match. Never reallocates, which keeps hot-path swaps
+    /// (e.g. installing a task's threshold set) O(bytes copied) with no
+    /// allocator traffic.
+    void copy_from(const Tensor& source);
+
     /// Applies `alpha * x + this` elementwise in place; shapes must match.
     void axpy(float alpha, const Tensor& x);
 

@@ -52,10 +52,11 @@ TEST_P(QueueShapeValidation, AnalyticMatchesLruTrace) {
                         SparsityProfile::paper_baseline(PaperTask::fmnist)};
     options.preserve_arrival_order = true;
     const InferenceSimulator sim{config};
-    const auto result = sim.run(layers(), options);
+    const auto specs = layers();
+    const auto result = sim.run(specs, options);
 
-    for (std::size_t li = 0; li < layers().size(); ++li) {
-        const auto& layer = layers()[li];
+    for (std::size_t li = 0; li < specs.size(); ++li) {
+        const auto& layer = specs[li];
         const std::int64_t version_bytes =
             layer.weight_count() * config.word_bytes();
         const std::int64_t lru_loads = lru_trace_loads(

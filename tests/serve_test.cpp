@@ -1,0 +1,560 @@
+// Tests for the serving runtime: task batching, the LRU threshold cache,
+// the load generator, and the InferenceServer end to end (served outputs
+// must bit-match direct per-task forward passes; concurrent submits must
+// be safe).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <thread>
+
+#include "common/check.h"
+#include "core/adaptation_store.h"
+#include "serve/batcher.h"
+#include "serve/inference_server.h"
+#include "serve/latency_stats.h"
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "serve/threshold_cache.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::serve {
+namespace {
+
+core::MimeNetworkConfig tiny_config(std::uint64_t seed = 3) {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = seed;
+    return config;
+}
+
+InferenceRequest make_request(std::int64_t id, const std::string& task,
+                              Clock::time_point enqueue_time = Clock::now()) {
+    InferenceRequest request;
+    request.id = id;
+    request.task = task;
+    request.image = Tensor({3, 32, 32});
+    request.enqueue_time = enqueue_time;
+    return request;
+}
+
+std::vector<std::string> batch_tasks(
+    const std::vector<InferenceRequest>& batch) {
+    std::vector<std::string> tasks;
+    tasks.reserve(batch.size());
+    for (const InferenceRequest& request : batch) {
+        tasks.push_back(request.task);
+    }
+    return tasks;
+}
+
+// ---------------------------------------------------------------------------
+// TaskBatcher
+// ---------------------------------------------------------------------------
+
+TEST(TaskBatcher, GroupsByTaskAcrossInterleavedArrivals) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(0);  // always ready
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    batcher.add(make_request(0, "a", t0));
+    batcher.add(make_request(1, "b", t0));
+    batcher.add(make_request(2, "a", t0));
+    batcher.add(make_request(3, "b", t0));
+    batcher.add(make_request(4, "a", t0));
+
+    auto first = batcher.next_batch(Clock::now());
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(batch_tasks(*first), (std::vector<std::string>{"a", "a", "a"}));
+
+    auto second = batcher.next_batch(Clock::now());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(batch_tasks(*second), (std::vector<std::string>{"b", "b"}));
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(TaskBatcher, RespectsMaxBatchSize) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 2;
+    config.max_wait = std::chrono::microseconds(0);
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < 5; ++i) {
+        batcher.add(make_request(i, "a", t0));
+    }
+    std::vector<std::size_t> sizes;
+    while (auto batch = batcher.next_batch(Clock::now())) {
+        sizes.push_back(batch->size());
+    }
+    EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST(TaskBatcher, FifoNeverReordersAcrossTaskChange) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::fifo;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(0);
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    batcher.add(make_request(0, "a", t0));
+    batcher.add(make_request(1, "b", t0));
+    batcher.add(make_request(2, "a", t0));
+
+    auto first = batcher.next_batch(Clock::now());
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(batch_tasks(*first), (std::vector<std::string>{"a"}));
+    auto second = batcher.next_batch(Clock::now());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(batch_tasks(*second), (std::vector<std::string>{"b"}));
+}
+
+TEST(TaskBatcher, WaitsForFullBatchUntilMaxWait) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(1000000);  // 1 s
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    batcher.add(make_request(0, "a", t0));
+    batcher.add(make_request(1, "a", t0));
+
+    // Not full and not expired: nothing is ready.
+    EXPECT_FALSE(batcher.next_batch(t0).has_value());
+    // Past the deadline the partial batch goes out.
+    auto late = batcher.next_batch(t0 + std::chrono::seconds(2));
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ(late->size(), 2u);
+    // Flush forces pending requests out regardless of age.
+    batcher.add(make_request(2, "a", t0));
+    auto flushed = batcher.next_batch(t0, /*flush=*/true);
+    ASSERT_TRUE(flushed.has_value());
+    EXPECT_EQ(flushed->size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueue, DrainReturnsEverythingInOrder) {
+    RequestQueue queue(16);
+    EXPECT_TRUE(queue.push(make_request(0, "a")));
+    EXPECT_TRUE(queue.push(make_request(1, "b")));
+    auto drained = queue.drain_now();
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].id, 0);
+    EXPECT_EQ(drained[1].id, 1);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueue, RejectsPushAfterClose) {
+    RequestQueue queue(4);
+    EXPECT_TRUE(queue.push(make_request(0, "a")));
+    queue.close();
+    EXPECT_FALSE(queue.push(make_request(1, "a")));
+    // Queued requests stay drainable after close.
+    EXPECT_EQ(queue.drain_now().size(), 1u);
+}
+
+TEST(RequestQueue, DrainUntilWakesOnArrival) {
+    RequestQueue queue(4);
+    std::thread producer([&queue] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        queue.push(make_request(7, "a"));
+    });
+    const auto drained =
+        queue.drain_until(Clock::now() + std::chrono::seconds(10));
+    producer.join();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].id, 7);
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdCache
+// ---------------------------------------------------------------------------
+
+core::TaskAdaptation synthetic_adaptation(const std::string& name) {
+    core::TaskAdaptation adaptation;
+    adaptation.name = name;
+    adaptation.thresholds.task_name = name;
+    adaptation.thresholds.thresholds = {Tensor({4}, 0.5f)};
+    adaptation.head_weight = Tensor({10, 4});
+    adaptation.head_bias = Tensor({10});
+    adaptation.num_classes = 10;
+    return adaptation;
+}
+
+TEST(ThresholdCache, CountsHitsAndMisses) {
+    std::int64_t loader_calls = 0;
+    ThresholdCache cache(2, [&loader_calls](const std::string& name) {
+        ++loader_calls;
+        return synthetic_adaptation(name);
+    });
+
+    EXPECT_EQ(cache.get("a").name, "a");
+    EXPECT_EQ(cache.get("a").name, "a");
+    EXPECT_EQ(cache.get("b").name, "b");
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_EQ(loader_calls, 2);
+    EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(ThresholdCache, EvictsLeastRecentlyUsed) {
+    ThresholdCache cache(2, [](const std::string& name) {
+        return synthetic_adaptation(name);
+    });
+
+    cache.get("a");
+    cache.get("b");
+    cache.get("a");  // "b" is now LRU
+    cache.get("c");  // evicts "b"
+
+    EXPECT_EQ(cache.evictions(), 1);
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_FALSE(cache.contains("b"));
+    EXPECT_TRUE(cache.contains("c"));
+    EXPECT_EQ(cache.resident_tasks(),
+              (std::vector<std::string>{"c", "a"}));
+
+    // Touching the evicted task re-hydrates it (a miss).
+    cache.get("b");
+    EXPECT_EQ(cache.misses(), 4);
+    EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(ThresholdCache, ThrowingLoaderLeavesCacheUntouched) {
+    ThresholdCache cache(1, [](const std::string& name) {
+        if (name == "bad") {
+            throw check_error("bad", "here", 1, "no such task");
+        }
+        return synthetic_adaptation(name);
+    });
+    cache.get("a");
+    EXPECT_THROW(cache.get("bad"), check_error);
+    EXPECT_TRUE(cache.contains("a"));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ThresholdCache, ReportsResidentBytes) {
+    ThresholdCache cache(2, [](const std::string& name) {
+        return synthetic_adaptation(name);
+    });
+    cache.get("a");
+    // 4 thresholds + 10x4 head weights + 10 biases, 4 bytes each.
+    EXPECT_EQ(cache.resident_bytes(), (4 + 40 + 10) * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+TEST(LoadGen, GeneratesRequestedCountWithMonotoneOffsets) {
+    for (const ArrivalPattern pattern :
+         {ArrivalPattern::uniform, ArrivalPattern::skewed,
+          ArrivalPattern::bursty}) {
+        LoadSpec spec;
+        spec.pattern = pattern;
+        spec.task_count = 4;
+        spec.request_count = 300;
+        spec.seed = 9;
+        const auto events = generate_arrivals(spec);
+        ASSERT_EQ(events.size(), 300u) << to_string(pattern);
+        for (std::size_t i = 1; i < events.size(); ++i) {
+            EXPECT_GE(events[i].offset_us, events[i - 1].offset_us);
+        }
+        const auto histogram = task_histogram(events, spec.task_count);
+        std::int64_t total = 0;
+        for (const std::int64_t count : histogram) {
+            total += count;
+        }
+        EXPECT_EQ(total, 300);
+    }
+}
+
+TEST(LoadGen, SkewedTrafficFavorsTaskZero) {
+    LoadSpec spec;
+    spec.pattern = ArrivalPattern::skewed;
+    spec.task_count = 4;
+    spec.request_count = 1000;
+    spec.zipf_s = 1.5;
+    spec.seed = 5;
+    const auto histogram =
+        task_histogram(generate_arrivals(spec), spec.task_count);
+    EXPECT_GT(histogram[0], histogram[3] * 2);
+}
+
+TEST(LoadGen, BurstyTrafficFormsSameTaskRuns) {
+    LoadSpec spec;
+    spec.pattern = ArrivalPattern::bursty;
+    spec.task_count = 4;
+    spec.request_count = 400;
+    spec.mean_burst_length = 10.0;
+    spec.seed = 11;
+    const auto events = generate_arrivals(spec);
+    std::int64_t switches = 0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        if (events[i].task != events[i - 1].task) {
+            ++switches;
+        }
+    }
+    // Task-coherent bursts mean far fewer switches than uniform traffic
+    // (which would switch ~3/4 of the time).
+    EXPECT_LT(switches, 150);
+}
+
+// ---------------------------------------------------------------------------
+// Latency recorder
+// ---------------------------------------------------------------------------
+
+TEST(LatencyRecorder, PercentilesNearestRank) {
+    LatencyRecorder recorder;
+    for (int i = 100; i >= 1; --i) {
+        recorder.add(static_cast<double>(i));
+    }
+    EXPECT_EQ(recorder.count(), 100);
+    EXPECT_DOUBLE_EQ(recorder.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(95.0), 95.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(recorder.max(), 100.0);
+    EXPECT_DOUBLE_EQ(recorder.mean(), 50.5);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer end to end
+// ---------------------------------------------------------------------------
+
+struct ServeFixture {
+    core::MimeNetwork network{tiny_config()};
+    std::vector<core::TaskAdaptation> adaptations;
+
+    ServeFixture() {
+        network.set_training(false);
+        network.set_mode(core::ActivationMode::threshold);
+        // Three tasks with visibly different threshold sets.
+        const std::vector<std::pair<std::string, float>> tasks = {
+            {"alpha", 0.02f}, {"beta", 0.3f}, {"gamma", 1.0f}};
+        for (const auto& [name, value] : tasks) {
+            network.reset_thresholds(value);
+            adaptations.push_back(
+                core::capture_adaptation(network, name, 10));
+        }
+    }
+
+    ThresholdCache::Loader loader() {
+        return [this](const std::string& name) {
+            for (const core::TaskAdaptation& adaptation : adaptations) {
+                if (adaptation.name == name) {
+                    return adaptation;
+                }
+            }
+            throw check_error("name", __FILE__, __LINE__,
+                              "unknown task " + name);
+        };
+    }
+
+    /// Reference forward: install the task directly, run a batch of one.
+    Tensor direct_logits(const std::string& task, const Tensor& image) {
+        for (const core::TaskAdaptation& adaptation : adaptations) {
+            if (adaptation.name != task) {
+                continue;
+            }
+            network.load_thresholds(adaptation.thresholds);
+            auto backbone = network.backbone_parameters();
+            backbone[backbone.size() - 2]->value.copy_from(
+                adaptation.head_weight);
+            backbone[backbone.size() - 1]->value.copy_from(
+                adaptation.head_bias);
+            return network.forward(stack({image}));
+        }
+        throw check_error("task", __FILE__, __LINE__, "unknown task");
+    }
+};
+
+TEST(InferenceServer, ServedOutputsBitMatchDirectForward) {
+    ServeFixture fixture;
+    Rng rng(17);
+    const std::vector<std::string> tasks = {"alpha", "beta", "gamma"};
+
+    std::vector<std::string> request_tasks;
+    std::vector<Tensor> request_images;
+    std::vector<std::future<InferenceResult>> futures;
+    {
+        ServerConfig config;
+        config.batcher.policy = BatchingPolicy::task_grouped;
+        config.batcher.max_batch_size = 4;
+        config.batcher.max_wait = std::chrono::microseconds(2000);
+        config.cache_capacity = 3;
+        config.worker_threads = 1;
+        InferenceServer server(fixture.network, fixture.loader(), config);
+
+        for (std::int64_t i = 0; i < 18; ++i) {
+            const std::string task =
+                tasks[static_cast<std::size_t>(i) % tasks.size()];
+            Tensor image = Tensor::randn({3, 32, 32}, rng);
+            request_tasks.push_back(task);
+            request_images.push_back(image);
+            futures.push_back(server.submit_async(task, std::move(image)));
+        }
+        server.drain();
+
+        const ServerStats stats = server.stats();
+        EXPECT_EQ(stats.requests_completed, 18);
+        EXPECT_GT(stats.batches_run, 0);
+        EXPECT_GT(stats.threshold_swaps, 0);
+        EXPECT_EQ(stats.cache_misses, 3);  // one hydrate per task
+        server.stop();
+    }
+
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const InferenceResult result = futures[i].get();
+        EXPECT_EQ(result.task, request_tasks[i]);
+        const Tensor reference =
+            fixture.direct_logits(request_tasks[i], request_images[i]);
+        ASSERT_EQ(result.logits.numel(), 10);
+        for (std::int64_t c = 0; c < 10; ++c) {
+            // Bit-match: batched serving must not perturb numerics.
+            ASSERT_EQ(result.logits[c], reference[c])
+                << "request " << i << " class " << c;
+        }
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < 10; ++c) {
+            if (reference[c] > reference[best]) {
+                best = c;
+            }
+        }
+        EXPECT_EQ(result.predicted_class, best);
+    }
+}
+
+TEST(InferenceServer, ConcurrentSubmitsAreSafe) {
+    ServeFixture fixture;
+    ServerConfig config;
+    config.batcher.max_batch_size = 8;
+    config.batcher.max_wait = std::chrono::microseconds(500);
+    config.cache_capacity = 2;  // force evictions among 3 tasks
+    config.worker_threads = 1;
+    config.queue_capacity = 16;  // exercise backpressure
+    InferenceServer server(fixture.network, fixture.loader(), config);
+
+    const std::vector<std::string> tasks = {"alpha", "beta", "gamma"};
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 12;
+    std::vector<std::thread> clients;
+    std::vector<std::vector<InferenceResult>> results(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            Rng rng(static_cast<std::uint64_t>(100 + t));
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::string& task =
+                    tasks[static_cast<std::size_t>((t + i) % 3)];
+                results[static_cast<std::size_t>(t)].push_back(
+                    server.submit(task, Tensor::randn({3, 32, 32}, rng)));
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    server.stop();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests_completed, kThreads * kPerThread);
+    EXPECT_GE(stats.cache_misses, 3);
+    for (const auto& per_client : results) {
+        ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kPerThread));
+        for (const InferenceResult& result : per_client) {
+            EXPECT_EQ(result.logits.numel(), 10);
+            EXPECT_GE(result.predicted_class, 0);
+            EXPECT_LT(result.predicted_class, 10);
+            EXPECT_GT(result.latency_us, 0.0);
+        }
+    }
+}
+
+TEST(InferenceServer, RejectsWrongImageShapeAtSubmit) {
+    ServeFixture fixture;
+    InferenceServer server(fixture.network, fixture.loader());
+    // A mis-shaped request must fail at the door, not poison a batch.
+    EXPECT_THROW(server.submit("alpha", Tensor({1, 28, 28})), check_error);
+    EXPECT_THROW(server.submit("alpha", Tensor({3, 32})), check_error);
+    // Well-formed traffic is unaffected.
+    const InferenceResult result =
+        server.submit("alpha", Tensor({3, 32, 32}, 0.2f));
+    EXPECT_EQ(result.task, "alpha");
+    server.stop();
+}
+
+TEST(LoadGen, RejectsDegenerateBurstGapFraction) {
+    LoadSpec spec;
+    spec.pattern = ArrivalPattern::bursty;
+    spec.burst_gap_fraction = 1.5;  // would make the idle gap negative
+    EXPECT_THROW(generate_arrivals(spec), check_error);
+}
+
+TEST(InferenceServer, SubmitAfterStopThrows) {
+    ServeFixture fixture;
+    InferenceServer server(fixture.network, fixture.loader());
+    server.stop();
+    EXPECT_THROW(server.submit("alpha", Tensor({3, 32, 32})), check_error);
+}
+
+TEST(InferenceServer, HydratesFromAdaptationStoreOnDisk) {
+    ServeFixture fixture;
+    const std::string dir = ::testing::TempDir() + "/serve_store_test";
+    std::filesystem::remove_all(dir);
+    core::AdaptationStore store(dir);
+    for (const core::TaskAdaptation& adaptation : fixture.adaptations) {
+        store.save_task(adaptation);
+    }
+
+    InferenceServer server(fixture.network, store.task_loader());
+    const InferenceResult result =
+        server.submit("beta", Tensor({3, 32, 32}, 0.1f));
+    EXPECT_EQ(result.task, "beta");
+    EXPECT_EQ(server.stats().cache_misses, 1);
+    server.stop();
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold install micro-properties (the serving hot path)
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdInstall, IsAllocationFree) {
+    core::MimeNetwork network(tiny_config());
+    network.reset_thresholds(0.25f);
+    const core::ThresholdSet set = network.snapshot_thresholds("t");
+
+    // Installing a set must reuse each site's existing storage: the data
+    // pointers are stable across load_thresholds.
+    std::vector<const float*> before;
+    for (std::int64_t i = 0; i < network.site_count(); ++i) {
+        before.push_back(network.site(i).mask().thresholds().value.data());
+    }
+    network.reset_thresholds(0.75f);
+    network.load_thresholds(set);
+    for (std::int64_t i = 0; i < network.site_count(); ++i) {
+        EXPECT_EQ(network.site(i).mask().thresholds().value.data(),
+                  before[static_cast<std::size_t>(i)])
+            << "site " << i << " reallocated its threshold tensor";
+        EXPECT_EQ(network.site(i).mask().thresholds().value[0], 0.25f);
+    }
+}
+
+TEST(TensorCopyFrom, RejectsShapeMismatch) {
+    Tensor a({2, 3});
+    const Tensor b({3, 2});
+    EXPECT_THROW(a.copy_from(b), check_error);
+}
+
+}  // namespace
+}  // namespace mime::serve
