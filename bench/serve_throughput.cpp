@@ -8,10 +8,25 @@
 // every batch, while task_grouped amortizes both — the serving-time
 // payoff of MIME's cheap task switch.
 //
+// The second half sweeps the ServerPool: pool sizes {1, 2, 4} x
+// {round_robin, task_affinity} replaying the skewed stream closed-loop
+// from 4 client threads. Each replica models an attached accelerator
+// via ServerConfig::simulated_service_time (4x one measured forward, so
+// dispatch-level parallelism is visible even when one CPU core runs all
+// the functional forwards). The contrasts to watch: aggregate req/s
+// rising with pool size, and task_affinity holding a higher
+// threshold-cache hit rate than round_robin because each task's
+// thresholds hydrate on exactly one replica.
+//
 // Environment knobs:
 //   MIME_SERVE_REQUESTS      requests per stream (default 150)
 //   MIME_SERVE_TASKS         number of child tasks (default 4)
 //   MIME_SERVE_INTERARRIVAL  mean arrival gap in us (default 200)
+//   MIME_SERVE_POOL_REQUESTS requests per pool-sweep run (default 240)
+//   MIME_SERVE_SIM_US        per-batch simulated accelerator service
+//                            time in us (default: 4x measured forward)
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -24,6 +39,8 @@
 #include "core/multitask.h"
 #include "serve/inference_server.h"
 #include "serve/load_gen.h"
+#include "serve/server_pool.h"
+#include "tensor/tensor_ops.h"
 
 using namespace mime;
 
@@ -88,6 +105,76 @@ RunResult replay(core::MimeNetwork& network,
     RunResult result{server.stats()};
     server.stop();
     return result;
+}
+
+serve::ThresholdCache::Loader make_loader(
+    const std::vector<core::TaskAdaptation>& adaptations) {
+    return [&adaptations](const std::string& name) {
+        for (const core::TaskAdaptation& adaptation : adaptations) {
+            if (adaptation.name == name) {
+                return adaptation;
+            }
+        }
+        throw check_error("name", __FILE__, __LINE__,
+                          "unknown task " + name);
+    };
+}
+
+serve::PoolStats replay_pool(
+    core::MimeNetwork& network,
+    const std::vector<core::TaskAdaptation>& adaptations,
+    const std::vector<serve::ArrivalEvent>& events,
+    std::size_t pool_size, serve::RoutingPolicy routing,
+    std::chrono::microseconds simulated_service) {
+    serve::PoolConfig config;
+    config.replica_count = pool_size;
+    config.routing = routing;
+    config.admission = serve::AdmissionMode::block;
+    config.max_pending = pool_size * 16;
+    config.server.batcher.policy = serve::BatchingPolicy::task_grouped;
+    config.server.batcher.max_batch_size = 8;
+    config.server.batcher.max_wait = std::chrono::microseconds(2000);
+    // Deliberately smaller than the task count: capacity pressure is
+    // what separates affinity (each replica hosts few tasks) from
+    // round_robin (every replica churns through all of them).
+    config.server.cache_capacity = 3;
+    config.server.worker_threads = 1;
+    config.server.simulated_service_time = simulated_service;
+    serve::ServerPool pool(network, make_loader(adaptations), config);
+
+    Rng rng(29);
+    std::vector<Tensor> images;
+    images.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+        images.push_back(Tensor::randn({3, 32, 32}, rng));
+    }
+
+    // Closed-loop flood: 4 clients partition the stream by index and
+    // submit as fast as admission lets them, so throughput measures the
+    // pool's service rate rather than the arrival pacing.
+    constexpr std::size_t kClients = 4;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            std::vector<std::future<serve::InferenceResult>> futures;
+            for (std::size_t i = c; i < events.size(); i += kClients) {
+                futures.push_back(pool.submit_async(
+                    adaptations[static_cast<std::size_t>(events[i].task)]
+                        .name,
+                    images[i % images.size()]));
+            }
+            for (auto& future : futures) {
+                future.get();
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    pool.drain();
+    serve::PoolStats stats = pool.stats();
+    pool.stop();
+    return stats;
 }
 
 }  // namespace
@@ -167,5 +254,113 @@ int main() {
         "task-grouped vs fifo throughput (mean over traffic mixes)",
         ">= 1x (amortized swaps)",
         Table::ratio(grouped_rps_sum / fifo_rps_sum));
+
+    // -----------------------------------------------------------------------
+    // ServerPool sweep: pool size x routing policy on the skewed stream
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Server pool sweep — replicas x routing on the skewed stream",
+        "parallel replicas multiply throughput; task_affinity keeps each "
+        "task's thresholds hot on one replica");
+
+    // The pool sweep wants real sharding pressure: at least 8 tasks
+    // against per-replica caches of 3.
+    const std::int64_t pool_task_count = std::max<std::int64_t>(
+        8, task_count);
+    for (std::int64_t t = task_count; t < pool_task_count; ++t) {
+        network.reset_thresholds(0.05f + 0.15f * static_cast<float>(t));
+        adaptations.push_back(core::capture_adaptation(
+            network, "task" + std::to_string(t), 10));
+    }
+
+    serve::LoadSpec pool_spec;
+    pool_spec.pattern = serve::ArrivalPattern::skewed;
+    pool_spec.task_count = pool_task_count;
+    pool_spec.request_count = env_int("MIME_SERVE_POOL_REQUESTS", 240);
+    pool_spec.mean_interarrival_us = 1.0;  // offsets unused: closed loop
+    pool_spec.seed = 47;
+    const auto pool_events = serve::generate_arrivals(pool_spec);
+
+    // Calibrate the simulated accelerator: 4x one measured max-size
+    // forward, so service time (which replicas overlap) dominates the
+    // functional CPU forward (which one host core serializes).
+    std::chrono::microseconds simulated_service(
+        env_int("MIME_SERVE_SIM_US", 0));
+    {
+        Rng rng(7);
+        std::vector<Tensor> batch;
+        for (int i = 0; i < 8; ++i) {
+            batch.push_back(Tensor::randn({3, 32, 32}, rng));
+        }
+        network.forward(stack(batch));  // warm up
+        const auto started = serve::Clock::now();
+        network.forward(stack(batch));
+        const auto forward_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                serve::Clock::now() - started);
+        if (simulated_service.count() == 0) {
+            simulated_service = 4 * forward_us;
+        }
+        std::printf("forward(batch=8): %lld us; simulated service: %lld us\n",
+                    static_cast<long long>(forward_us.count()),
+                    static_cast<long long>(simulated_service.count()));
+    }
+
+    Table pool_table({"pool", "routing", "req/s", "speedup", "p50 us",
+                      "p95 us", "hit rate", "swaps/req"});
+    double base_rps[2] = {0.0, 0.0};
+    double pool4_rps[2] = {0.0, 0.0};
+    double pool4_hit_rate[2] = {0.0, 0.0};
+    for (const std::size_t pool_size : {1u, 2u, 4u}) {
+        for (const serve::RoutingPolicy routing :
+             {serve::RoutingPolicy::round_robin,
+              serve::RoutingPolicy::task_affinity}) {
+            const serve::PoolStats stats =
+                replay_pool(network, adaptations, pool_events, pool_size,
+                            routing, simulated_service);
+            const std::size_t p =
+                routing == serve::RoutingPolicy::round_robin ? 0 : 1;
+            if (pool_size == 1) {
+                base_rps[p] = stats.throughput_rps;
+            }
+            if (pool_size == 4) {
+                pool4_rps[p] = stats.throughput_rps;
+                pool4_hit_rate[p] = stats.cache_hit_rate;
+            }
+            const double swaps_per_request =
+                stats.requests_completed > 0
+                    ? static_cast<double>(stats.threshold_swaps) /
+                          static_cast<double>(stats.requests_completed)
+                    : 0.0;
+            pool_table.add_row(
+                {std::to_string(pool_size), serve::to_string(routing),
+                 Table::num(stats.throughput_rps, 1),
+                 Table::ratio(base_rps[p] > 0.0
+                                  ? stats.throughput_rps / base_rps[p]
+                                  : 0.0),
+                 Table::num(stats.p50_latency_us, 0),
+                 Table::num(stats.p95_latency_us, 0),
+                 Table::num(stats.cache_hit_rate, 3),
+                 Table::num(swaps_per_request, 3)});
+        }
+    }
+    pool_table.print();
+
+    bench::print_claim("pool 4 vs 1 throughput (skewed, task_affinity)",
+                       ">= 1.5x (parallel replicas)",
+                       Table::ratio(base_rps[1] > 0.0
+                                        ? pool4_rps[1] / base_rps[1]
+                                        : 0.0));
+    bench::print_claim("pool 4 vs 1 throughput (skewed, round_robin)",
+                       ">= 1.5x (parallel replicas)",
+                       Table::ratio(base_rps[0] > 0.0
+                                        ? pool4_rps[0] / base_rps[0]
+                                        : 0.0));
+    bench::print_claim(
+        "task_affinity vs round_robin cache hit rate (pool 4)",
+        "affinity higher (one home replica per task)",
+        Table::num(pool4_hit_rate[1], 3) + " vs " +
+            Table::num(pool4_hit_rate[0], 3));
     return 0;
 }

@@ -235,8 +235,79 @@ void MimeNetwork::load_backbone(const std::vector<Tensor>& snapshot) {
         MIME_REQUIRE(snapshot[i].shape() == targets[i]->value.shape(),
                      "backbone tensor shape mismatch at '" +
                          targets[i]->name + "'");
-        targets[i]->value = snapshot[i];
+        // In place, never by assignment: assignment would allocate a
+        // fresh storage block, silently detaching any shared-backbone
+        // replica (and paying a reallocation per conventional-task
+        // switch).
+        targets[i]->value.copy_from(snapshot[i]);
     }
+}
+
+std::unique_ptr<MimeNetwork> MimeNetwork::clone_with_shared_backbone() {
+    auto replica = std::make_unique<MimeNetwork>(config_);
+
+    auto mine = backbone_parameters();
+    auto theirs = replica->backbone_parameters();
+    MIME_ENSURE(mine.size() == theirs.size() && mine.size() >= 2,
+                "replica must mirror the prototype's parameter list");
+    // Everything up to the classifier aliases the prototype's storage;
+    // the classifier head stays per-replica because serving swaps it on
+    // every task install.
+    for (std::size_t i = 0; i + 2 < mine.size(); ++i) {
+        theirs[i]->value = mine[i]->value.alias();
+    }
+    for (std::size_t i = mine.size() - 2; i < mine.size(); ++i) {
+        theirs[i]->value.copy_from(mine[i]->value);
+    }
+
+    auto my_buffers = network_.buffers();
+    auto their_buffers = replica->network_.buffers();
+    MIME_ENSURE(my_buffers.size() == their_buffers.size(),
+                "replica must mirror the prototype's buffer list");
+    for (std::size_t i = 0; i < my_buffers.size(); ++i) {
+        their_buffers[i]->value = my_buffers[i]->value.alias();
+    }
+
+    // Thresholds are each replica's mutable T_child slot; start them at
+    // the prototype's current values.
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        replica->sites_[i]->mask().thresholds().value.copy_from(
+            sites_[i]->mask().thresholds().value);
+    }
+
+    replica->set_mode(mode_);
+    replica->set_training(false);
+    return replica;
+}
+
+bool MimeNetwork::shares_backbone_with(const MimeNetwork& other) const {
+    auto* self = const_cast<MimeNetwork*>(this);
+    auto* that = const_cast<MimeNetwork*>(&other);
+    auto mine = self->backbone_parameters();
+    auto theirs = that->backbone_parameters();
+    if (mine.size() != theirs.size() || mine.size() < 2) {
+        return false;
+    }
+    for (std::size_t i = 0; i + 2 < mine.size(); ++i) {
+        if (!mine[i]->value.aliases(theirs[i]->value)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::int64_t MimeNetwork::shared_backbone_bytes() const {
+    auto* self = const_cast<MimeNetwork*>(this);
+    auto params = self->backbone_parameters();
+    std::int64_t bytes = 0;
+    for (std::size_t i = 0; i + 2 < params.size(); ++i) {
+        bytes += params[i]->numel() *
+                 static_cast<std::int64_t>(sizeof(float));
+    }
+    for (nn::Parameter* buffer : self->network_.buffers()) {
+        bytes += buffer->numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+    return bytes;
 }
 
 ActivationSite& MimeNetwork::site(std::int64_t index) {

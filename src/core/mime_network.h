@@ -137,6 +137,26 @@ public:
     /// Restores backbone parameter values from a snapshot.
     void load_backbone(const std::vector<Tensor>& snapshot);
 
+    // -- replication (serving pools) -----------------------------------------
+
+    /// Creates a replica for parallel serving: conv/fc/batchnorm weights
+    /// and persistent buffers *alias* this network's storage (one
+    /// W_parent in memory no matter how many replicas), while the
+    /// classifier head and every threshold tensor are deep per-replica
+    /// copies — those are exactly the tensors a per-task install
+    /// mutates. The replica starts in this network's activation mode.
+    /// Safe to run forwards on replicas concurrently as long as nobody
+    /// trains or load_backbone()s any of them.
+    std::unique_ptr<MimeNetwork> clone_with_shared_backbone();
+
+    /// True when `other` aliases this network's shared (non-classifier)
+    /// backbone storage.
+    bool shares_backbone_with(const MimeNetwork& other) const;
+
+    /// Bytes of backbone parameters that a shared-backbone replica does
+    /// NOT duplicate (everything but the classifier head).
+    std::int64_t shared_backbone_bytes() const;
+
     // -- introspection --------------------------------------------------------
 
     std::int64_t site_count() const {

@@ -1,0 +1,77 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace mime::serve {
+
+const char* to_string(AdmissionMode mode) {
+    switch (mode) {
+        case AdmissionMode::block:
+            return "block";
+        case AdmissionMode::shed:
+            return "shed";
+    }
+    return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionMode mode,
+                                         std::size_t max_pending)
+    : mode_(mode), max_pending_(max_pending) {}
+
+bool AdmissionController::try_admit() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto cap = static_cast<std::int64_t>(max_pending_);
+    if (max_pending_ != 0 && pending_ >= cap) {
+        if (mode_ == AdmissionMode::shed) {
+            ++shed_;
+            return false;
+        }
+        slot_freed_.wait(lock,
+                         [&] { return closed_ || pending_ < cap; });
+    }
+    if (closed_) {
+        return false;
+    }
+    ++pending_;
+    ++admitted_;
+    peak_pending_ = std::max(peak_pending_, pending_);
+    return true;
+}
+
+void AdmissionController::release(std::size_t count) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_ -= static_cast<std::int64_t>(count);
+    }
+    slot_freed_.notify_all();
+}
+
+void AdmissionController::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    slot_freed_.notify_all();
+}
+
+std::int64_t AdmissionController::pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_;
+}
+
+std::int64_t AdmissionController::peak_pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_pending_;
+}
+
+std::int64_t AdmissionController::shed_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shed_;
+}
+
+std::int64_t AdmissionController::admitted_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+}  // namespace mime::serve

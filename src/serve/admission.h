@@ -1,0 +1,71 @@
+// Pool-wide admission control.
+//
+// The per-replica RequestQueue already bounds memory, but a pool also
+// needs one global in-flight cap so overload is handled by policy
+// instead of by whichever replica queue happens to fill first:
+//   * block — callers wait for a slot (closed-loop backpressure),
+//   * shed  — callers are refused immediately (fail fast; the caller
+//             sees overload_error and can retry elsewhere).
+// The controller is a counting semaphore with accounting: it tracks the
+// shed total and the high-water mark of concurrently admitted requests,
+// which tests use to prove the cap was never exceeded.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace mime::serve {
+
+/// Thrown by ServerPool::submit when admission control sheds a request.
+/// Derives from std::runtime_error (not check_error): overload is an
+/// environmental condition, not a caller bug.
+class overload_error : public std::runtime_error {
+public:
+    explicit overload_error(const std::string& message)
+        : std::runtime_error(message) {}
+};
+
+enum class AdmissionMode { block, shed };
+
+const char* to_string(AdmissionMode mode);
+
+class AdmissionController {
+public:
+    /// `max_pending` caps concurrently admitted requests; 0 = unlimited.
+    AdmissionController(AdmissionMode mode, std::size_t max_pending);
+
+    AdmissionMode mode() const noexcept { return mode_; }
+    std::size_t max_pending() const noexcept { return max_pending_; }
+
+    /// Takes one slot. Returns true when admitted; false when the
+    /// request must be shed (shed mode at capacity) or the controller
+    /// was closed. In block mode, waits until a slot frees or close().
+    bool try_admit();
+
+    /// Returns `count` slots and wakes blocked admitters.
+    void release(std::size_t count = 1);
+
+    /// Wakes and refuses all current and future admitters.
+    void close();
+
+    std::int64_t pending() const;
+    std::int64_t peak_pending() const;
+    std::int64_t shed_count() const;
+    std::int64_t admitted_count() const;
+
+private:
+    const AdmissionMode mode_;
+    const std::size_t max_pending_;
+    mutable std::mutex mutex_;
+    std::condition_variable slot_freed_;
+    std::int64_t pending_ = 0;
+    std::int64_t peak_pending_ = 0;
+    std::int64_t shed_ = 0;
+    std::int64_t admitted_ = 0;
+    bool closed_ = false;
+};
+
+}  // namespace mime::serve

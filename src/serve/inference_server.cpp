@@ -180,6 +180,9 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             images.push_back(std::move(request.image));
         }
         const Tensor logits = network_->forward(stack(images));
+        if (config_.simulated_service_time.count() > 0) {
+            std::this_thread::sleep_for(config_.simulated_service_time);
+        }
 
         const std::int64_t head_width = logits.shape().dim(1);
         const std::int64_t classes = active_classes_;
@@ -266,6 +269,14 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
         last_completion_ = started;
     }
     drained_.notify_all();
+    if (config_.on_requests_complete) {
+        config_.on_requests_complete(batch.size());
+    }
+}
+
+LatencyRecorder InferenceServer::latency_recorder() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return latency_;
 }
 
 ServerStats InferenceServer::stats() const {

@@ -14,8 +14,10 @@
 // as a common/table.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,6 +48,18 @@ struct ServerConfig {
     std::size_t worker_threads = 0;
     /// Bounded request queue depth (backpressure under overload).
     std::size_t queue_capacity = 4096;
+    /// Models an attached accelerator with a fixed per-batch service
+    /// time: each batch blocks this long after the (functional) CPU
+    /// forward. Lets pool benches expose dispatch-level parallelism on
+    /// hosts whose cores the tiny forward would otherwise saturate —
+    /// the hw-simulator-backed cost-model hook named in ROADMAP.md.
+    /// Zero (the default) disables it.
+    std::chrono::microseconds simulated_service_time{0};
+    /// Invoked after each batch fully completes (results or error
+    /// delivered), with the number of requests in it. Runs on the
+    /// dispatch thread; a ServerPool uses it for admission-slot release
+    /// and load tracking.
+    std::function<void(std::size_t)> on_requests_complete;
 };
 
 /// Per-task aggregate serving statistics.
@@ -109,6 +123,10 @@ public:
     void stop();
 
     ServerStats stats() const;
+
+    /// Snapshot of the latency reservoir; pool-wide percentiles merge
+    /// these across replicas (see LatencyRecorder::merge).
+    LatencyRecorder latency_recorder() const;
 
 private:
     void dispatch_loop();

@@ -35,6 +35,53 @@ void LatencyRecorder::add(double latency_us) {
     }
 }
 
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+    if (other.count_ == 0) {
+        return;
+    }
+    const std::int64_t self_count = count_;
+    const std::int64_t other_count = other.count_;
+    count_ += other_count;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+
+    if (samples_.size() + other.samples_.size() <= kMaxSamples) {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        return;
+    }
+    // Both reservoirs are uniform samples of their streams; a uniform
+    // sample of the union keeps from each side a share proportional to
+    // the stream length it stands for.
+    const double self_share =
+        static_cast<double>(self_count) /
+        static_cast<double>(self_count + other_count);
+    std::size_t keep_self = std::min(
+        samples_.size(),
+        static_cast<std::size_t>(
+            std::llround(self_share * static_cast<double>(kMaxSamples))));
+    std::size_t keep_other = std::min(other.samples_.size(),
+                                      kMaxSamples - keep_self);
+    // If one side cannot fill its share, let the other take the slack.
+    keep_self = std::min(samples_.size(), kMaxSamples - keep_other);
+
+    // Partial Fisher–Yates: the first `keep` slots become a uniform
+    // subsample without replacement.
+    auto subsample = [this](std::vector<double>& pool, std::size_t keep) {
+        for (std::size_t i = 0; i < keep; ++i) {
+            const std::size_t j =
+                i + static_cast<std::size_t>(reservoir_rng_.uniform_index(
+                        static_cast<std::uint64_t>(pool.size() - i)));
+            std::swap(pool[i], pool[j]);
+        }
+        pool.resize(keep);
+    };
+    subsample(samples_, keep_self);
+    std::vector<double> theirs = other.samples_;
+    subsample(theirs, keep_other);
+    samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+}
+
 double LatencyRecorder::mean() const {
     if (count_ == 0) {
         return 0.0;

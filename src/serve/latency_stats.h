@@ -25,6 +25,13 @@ public:
 
     void add(double latency_us);
 
+    /// Folds another recorder's stream into this one, as if every sample
+    /// had been add()ed here: counts/mean/max are exact, and the merged
+    /// reservoir draws from each side proportionally to the stream it
+    /// represents. This is how pool-wide percentiles are formed —
+    /// averaging per-replica percentiles would be statistically wrong.
+    void merge(const LatencyRecorder& other);
+
     /// Total samples ever added (not just those retained).
     std::int64_t count() const noexcept { return count_; }
     double mean() const;

@@ -1,0 +1,213 @@
+#include "serve/server_pool.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "serve/latency_stats.h"
+
+namespace mime::serve {
+
+namespace {
+
+double to_us(Clock::duration d) {
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+std::string PoolStats::to_table_string() const {
+    Table aggregate({"metric", "value"});
+    aggregate.add_row({"replicas", std::to_string(replicas.size())});
+    aggregate.add_row({"submitted", std::to_string(requests_submitted)});
+    aggregate.add_row({"completed", std::to_string(requests_completed)});
+    aggregate.add_row({"shed", std::to_string(requests_shed)});
+    aggregate.add_row({"peak pending", std::to_string(peak_pending)});
+    aggregate.add_row({"batches", std::to_string(batches_run)});
+    aggregate.add_row({"threshold swaps", std::to_string(threshold_swaps)});
+    aggregate.add_row({"cache hit/miss/evict",
+                       std::to_string(cache_hits) + "/" +
+                           std::to_string(cache_misses) + "/" +
+                           std::to_string(cache_evictions)});
+    aggregate.add_row({"cache hit rate", Table::num(cache_hit_rate, 3)});
+    aggregate.add_row({"throughput (req/s)", Table::num(throughput_rps, 1)});
+    aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
+    aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
+    aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+
+    Table per_replica({"replica", "routed", "completed", "batches", "swaps",
+                       "cache h/m/e"});
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+        const ReplicaStats& r = replicas[i];
+        per_replica.add_row(
+            {std::to_string(i), std::to_string(r.routed),
+             std::to_string(r.server.requests_completed),
+             std::to_string(r.server.batches_run),
+             std::to_string(r.server.threshold_swaps),
+             std::to_string(r.server.cache_hits) + "/" +
+                 std::to_string(r.server.cache_misses) + "/" +
+                 std::to_string(r.server.cache_evictions)});
+    }
+    return aggregate.to_string() + "\n" + per_replica.to_string();
+}
+
+ServerPool::ServerPool(core::MimeNetwork& prototype,
+                       ThresholdCache::Loader loader, PoolConfig config)
+    : config_(config),
+      prototype_(&prototype),
+      admission_(config.admission, config.max_pending),
+      router_(config.routing, config.replica_count) {
+    MIME_REQUIRE(config.replica_count >= 1,
+                 "pool needs at least one replica");
+    loads_.assign(config.replica_count, 0);
+    routed_.assign(config.replica_count, 0);
+
+    // Replica 0 serves on the prototype itself; the rest on
+    // shared-backbone clones.
+    clones_.reserve(config.replica_count - 1);
+    for (std::size_t i = 1; i < config.replica_count; ++i) {
+        clones_.push_back(prototype.clone_with_shared_backbone());
+    }
+    servers_.reserve(config.replica_count);
+    for (std::size_t i = 0; i < config.replica_count; ++i) {
+        ServerConfig server_config = config.server;
+        server_config.on_requests_complete = [this, i](std::size_t count) {
+            on_requests_complete(i, count);
+        };
+        core::MimeNetwork& network =
+            i == 0 ? prototype : *clones_[i - 1];
+        servers_.push_back(std::make_unique<InferenceServer>(
+            network, loader, server_config));
+    }
+}
+
+ServerPool::~ServerPool() { stop(); }
+
+std::future<InferenceResult> ServerPool::submit_async(
+    const std::string& task, Tensor image) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        MIME_REQUIRE(!stopped_, "submit on a stopped pool");
+    }
+    if (!admission_.try_admit()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            MIME_REQUIRE(!stopped_, "submit on a stopped pool");
+        }
+        throw overload_error(
+            "pool at max_pending=" + std::to_string(config_.max_pending) +
+            "; request for task '" + task + "' shed");
+    }
+    std::size_t replica = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        replica = router_.route(task, loads_);
+        ++loads_[replica];
+        ++routed_[replica];
+        if (submitted_ == 0) {
+            first_enqueue_ = Clock::now();
+        }
+        ++submitted_;
+    }
+    try {
+        return servers_[replica]->submit_async(task, std::move(image));
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --loads_[replica];
+            --routed_[replica];
+            --submitted_;
+        }
+        admission_.release();
+        drained_.notify_all();
+        throw;
+    }
+}
+
+InferenceResult ServerPool::submit(const std::string& task, Tensor image) {
+    return submit_async(task, std::move(image)).get();
+}
+
+void ServerPool::on_requests_complete(std::size_t replica,
+                                      std::size_t count) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        loads_[replica] -= static_cast<std::int64_t>(count);
+        completed_ += static_cast<std::int64_t>(count);
+        last_completion_ = Clock::now();
+    }
+    admission_.release(count);
+    drained_.notify_all();
+}
+
+void ServerPool::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void ServerPool::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) {
+            return;
+        }
+        stopped_ = true;
+    }
+    // Unblock admission waiters first so no submitter can deadlock
+    // against a stopping pool, then stop replicas (each drains its own
+    // queue).
+    admission_.close();
+    for (auto& server : servers_) {
+        server->stop();
+    }
+}
+
+PoolStats ServerPool::stats() const {
+    PoolStats stats;
+    stats.requests_shed = admission_.shed_count();
+    stats.peak_pending = admission_.peak_pending();
+
+    LatencyRecorder merged;
+    stats.replicas.reserve(servers_.size());
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        ReplicaStats replica;
+        replica.server = servers_[i]->stats();
+        merged.merge(servers_[i]->latency_recorder());
+        stats.batches_run += replica.server.batches_run;
+        stats.threshold_swaps += replica.server.threshold_swaps;
+        stats.cache_hits += replica.server.cache_hits;
+        stats.cache_misses += replica.server.cache_misses;
+        stats.cache_evictions += replica.server.cache_evictions;
+        stats.replicas.push_back(std::move(replica));
+    }
+    const std::int64_t lookups = stats.cache_hits + stats.cache_misses;
+    if (lookups > 0) {
+        stats.cache_hit_rate = static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(lookups);
+    }
+    stats.mean_latency_us = merged.mean();
+    if (merged.count() > 0) {
+        const LatencyRecorder::Summary quantiles = merged.summary();
+        stats.p50_latency_us = quantiles.p50;
+        stats.p95_latency_us = quantiles.p95;
+        stats.p99_latency_us = quantiles.p99;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.requests_submitted = submitted_;
+    stats.requests_completed = completed_;
+    for (std::size_t i = 0; i < routed_.size(); ++i) {
+        stats.replicas[i].routed = routed_[i];
+    }
+    if (completed_ > 0) {
+        const double elapsed_s =
+            to_us(last_completion_ - first_enqueue_) / 1e6;
+        stats.throughput_rps =
+            elapsed_s > 0.0 ? static_cast<double>(completed_) / elapsed_s
+                            : 0.0;
+    }
+    return stats;
+}
+
+}  // namespace mime::serve

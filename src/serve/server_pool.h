@@ -1,0 +1,139 @@
+// Sharded multi-network server pool: N replica InferenceServers behind
+// one submit() facade.
+//
+// PR 2's single server runs one dispatch thread, so forwards serialize
+// no matter how many clients submit. The pool is the scaling step named
+// in ROADMAP.md: each replica owns a MimeNetwork whose frozen backbone
+// *aliases* the prototype's storage (one W_parent in host memory, N
+// replicas — the paper's DRAM argument applied to replication) plus its
+// own ThresholdCache, so forwards proceed genuinely in parallel while a
+// task switch still touches only T_child bytes per replica.
+//
+// Request flow: admission control (pool-wide in-flight cap, block or
+// shed) -> routing policy (round_robin / task_affinity / least_loaded)
+// -> the chosen replica's queue/batcher/dispatcher. task_affinity hashes
+// each task onto one replica so its thresholds are hydrated exactly
+// once pool-wide; round_robin spreads a task over every replica and
+// pays capacity-miss thrashing in exchange for strict fairness.
+//
+// stats() aggregates across replicas: counters sum, and latency
+// percentiles are computed from the *merged* latency reservoirs
+// (LatencyRecorder::merge), never by averaging per-replica percentiles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mime_network.h"
+#include "serve/admission.h"
+#include "serve/inference_server.h"
+#include "serve/routing.h"
+
+namespace mime::serve {
+
+struct PoolConfig {
+    /// Replica servers (each with its own dispatch thread and cache).
+    std::size_t replica_count = 2;
+    RoutingPolicy routing = RoutingPolicy::task_affinity;
+    AdmissionMode admission = AdmissionMode::block;
+    /// Pool-wide cap on in-flight (admitted, not yet completed)
+    /// requests; 0 = unlimited.
+    std::size_t max_pending = 0;
+    /// Per-replica server configuration (batcher, cache, workers...).
+    ServerConfig server{};
+};
+
+/// One replica's contribution to the pool.
+struct ReplicaStats {
+    std::int64_t routed = 0;  ///< requests this replica was assigned
+    ServerStats server;
+};
+
+/// Aggregate pool statistics (a consistent snapshot).
+struct PoolStats {
+    std::int64_t requests_submitted = 0;
+    std::int64_t requests_completed = 0;
+    std::int64_t requests_shed = 0;
+    std::int64_t peak_pending = 0;
+    std::int64_t batches_run = 0;
+    std::int64_t threshold_swaps = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::int64_t cache_evictions = 0;
+    /// hits / (hits + misses); 0 when the pool served nothing.
+    double cache_hit_rate = 0.0;
+    double mean_latency_us = 0.0;
+    /// Merged-reservoir percentiles over every replica's stream.
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    /// Completed requests per wall-clock second between the pool's
+    /// first admit and last completion.
+    double throughput_rps = 0.0;
+    std::vector<ReplicaStats> replicas;
+
+    /// Renders the aggregate + per-replica rows via common/table.
+    std::string to_table_string() const;
+};
+
+class ServerPool {
+public:
+    /// Replica 0 serves on `prototype` itself; replicas 1..N-1 serve on
+    /// shared-backbone clones (see MimeNetwork::clone_with_shared_backbone),
+    /// so the prototype must outlive the pool and must not be trained or
+    /// mutated while the pool runs. The loader hydrates every replica's
+    /// cache misses and must tolerate concurrent calls from N dispatch
+    /// threads (AdaptationStore::task_loader() qualifies).
+    ServerPool(core::MimeNetwork& prototype, ThresholdCache::Loader loader,
+               PoolConfig config = {});
+    ~ServerPool();
+
+    ServerPool(const ServerPool&) = delete;
+    ServerPool& operator=(const ServerPool&) = delete;
+
+    const PoolConfig& config() const noexcept { return config_; }
+    std::size_t replica_count() const noexcept { return servers_.size(); }
+
+    /// Routes one request to a replica. Throws overload_error when
+    /// admission sheds it (shed mode at max_pending), check_error once
+    /// the pool is stopped.
+    std::future<InferenceResult> submit_async(const std::string& task,
+                                              Tensor image);
+
+    /// Convenience: submit and wait.
+    InferenceResult submit(const std::string& task, Tensor image);
+
+    /// Blocks until every admitted request has completed.
+    void drain();
+
+    /// Drains and stops every replica. Idempotent; the destructor calls
+    /// it.
+    void stop();
+
+    PoolStats stats() const;
+
+private:
+    void on_requests_complete(std::size_t replica, std::size_t count);
+
+    PoolConfig config_;
+    core::MimeNetwork* prototype_;
+    std::vector<std::unique_ptr<core::MimeNetwork>> clones_;
+    std::vector<std::unique_ptr<InferenceServer>> servers_;
+    AdmissionController admission_;
+
+    mutable std::mutex mutex_;
+    Router router_;                      ///< guarded by mutex_
+    std::vector<std::int64_t> loads_;    ///< in-flight per replica
+    std::vector<std::int64_t> routed_;   ///< total assigned per replica
+    std::int64_t submitted_ = 0;         ///< admitted and enqueued
+    std::int64_t completed_ = 0;
+    Clock::time_point first_enqueue_{};
+    Clock::time_point last_completion_{};
+    std::condition_variable drained_;
+    bool stopped_ = false;
+};
+
+}  // namespace mime::serve

@@ -7,21 +7,52 @@
 
 namespace mime {
 
-Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+Tensor::Tensor() : shape_() {
+    adopt(std::make_shared<std::vector<float>>(1, 0.0f));
+}
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+    adopt(std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(shape_.numel()), 0.0f));
+}
 
-Tensor::Tensor(Shape shape, float fill_value)
-    : shape_(std::move(shape)),
-      data_(static_cast<std::size_t>(shape_.numel()), fill_value) {}
+Tensor::Tensor(Shape shape, float fill_value) : shape_(std::move(shape)) {
+    adopt(std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(shape_.numel()), fill_value));
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-    MIME_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
-                 "value count " + std::to_string(data_.size()) +
+    : shape_(std::move(shape)) {
+    MIME_REQUIRE(static_cast<std::int64_t>(values.size()) == shape_.numel(),
+                 "value count " + std::to_string(values.size()) +
                      " does not match shape " + shape_.to_string());
+    adopt(std::make_shared<std::vector<float>>(std::move(values)));
+}
+
+Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
+    adopt(std::make_shared<std::vector<float>>(*other.data_));
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+    if (this != &other) {
+        shape_ = other.shape_;
+        adopt(std::make_shared<std::vector<float>>(*other.data_));
+    }
+    return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept : shape_(std::move(other.shape_)) {
+    adopt(std::move(other.data_));
+    other.ptr_ = nullptr;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+        shape_ = std::move(other.shape_);
+        adopt(std::move(other.data_));
+        other.ptr_ = nullptr;
+    }
+    return *this;
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -34,7 +65,7 @@ Tensor Tensor::full(Shape shape, float value) {
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
     Tensor t(std::move(shape));
-    for (auto& v : t.data_) {
+    for (auto& v : t.vec()) {
         v = static_cast<float>(rng.normal(mean, stddev));
     }
     return t;
@@ -42,7 +73,7 @@ Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
 
 Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
     Tensor t(std::move(shape));
-    for (auto& v : t.data_) {
+    for (auto& v : t.vec()) {
         v = static_cast<float>(rng.uniform(lo, hi));
     }
     return t;
@@ -52,7 +83,7 @@ float& Tensor::at(std::int64_t flat_index) {
     MIME_REQUIRE(flat_index >= 0 && flat_index < numel(),
                  "flat index " + std::to_string(flat_index) +
                      " out of range for " + shape_.to_string());
-    return data_[static_cast<std::size_t>(flat_index)];
+    return vec()[static_cast<std::size_t>(flat_index)];
 }
 
 float Tensor::at(std::int64_t flat_index) const {
@@ -74,7 +105,7 @@ float& Tensor::at(std::initializer_list<std::int64_t> indices) {
         flat = flat * extent + idx;
         ++axis;
     }
-    return data_[static_cast<std::size_t>(flat)];
+    return vec()[static_cast<std::size_t>(flat)];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> indices) const {
@@ -83,15 +114,22 @@ float Tensor::at(std::initializer_list<std::int64_t> indices) const {
 
 Tensor Tensor::clone() const { return *this; }
 
+Tensor Tensor::alias() {
+    Tensor view;
+    view.shape_ = shape_;
+    view.adopt(data_);
+    return view;
+}
+
 Tensor Tensor::reshaped(Shape new_shape) const {
     MIME_REQUIRE(new_shape.numel() == shape_.numel(),
                  "cannot reshape " + shape_.to_string() + " to " +
                      new_shape.to_string());
-    return Tensor(std::move(new_shape), data_);
+    return Tensor(std::move(new_shape), vec());
 }
 
 void Tensor::fill(float value) {
-    for (auto& v : data_) {
+    for (auto& v : vec()) {
         v = value;
     }
 }
@@ -100,7 +138,7 @@ void Tensor::copy_from(const Tensor& source) {
     MIME_REQUIRE(shape_ == source.shape_,
                  "copy_from shape mismatch: " + shape_.to_string() + " vs " +
                      source.shape_.to_string());
-    std::copy(source.data_.begin(), source.data_.end(), data_.begin());
+    std::copy(source.vec().begin(), source.vec().end(), vec().begin());
 }
 
 void Tensor::axpy(float alpha, const Tensor& x) {
@@ -108,13 +146,14 @@ void Tensor::axpy(float alpha, const Tensor& x) {
                                           shape_.to_string() + " vs " +
                                           x.shape().to_string());
     const float* xs = x.data();
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-        data_[i] += alpha * xs[i];
+    std::vector<float>& ys = vec();
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        ys[i] += alpha * xs[i];
     }
 }
 
 void Tensor::scale(float s) {
-    for (auto& v : data_) {
+    for (auto& v : vec()) {
         v *= s;
     }
 }

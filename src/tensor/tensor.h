@@ -2,9 +2,17 @@
 // storage. This is the numeric substrate for the neural-network library;
 // it deliberately avoids views/striding so that every invariant
 // ("data().size() == shape().numel()") is trivial to state and test.
+//
+// Storage is refcounted internally, but copies stay deep — two tensors
+// never share memory unless one was made with the explicit alias()
+// escape hatch. Aliasing exists for exactly one purpose: letting server
+// replicas read one frozen W_parent without duplicating it (the paper's
+// DRAM story applied to host RAM). An alias always covers the whole
+// tensor at the same shape; there are still no strided views.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -27,6 +35,15 @@ public:
     /// Adopts `values` as the storage; size must equal shape.numel().
     Tensor(Shape shape, std::vector<float> values);
 
+    /// Copies are deep: the new tensor owns fresh storage even when the
+    /// source is an alias. Moved-from tensors may only be destroyed or
+    /// assigned to.
+    Tensor(const Tensor& other);
+    Tensor& operator=(const Tensor& other);
+    Tensor(Tensor&& other) noexcept;
+    Tensor& operator=(Tensor&& other) noexcept;
+    ~Tensor() = default;
+
     // -- factories ---------------------------------------------------------
 
     static Tensor zeros(Shape shape);
@@ -42,11 +59,11 @@ public:
 
     const Shape& shape() const noexcept { return shape_; }
     std::int64_t numel() const noexcept {
-        return static_cast<std::int64_t>(data_.size());
+        return data_ ? static_cast<std::int64_t>(data_->size()) : 0;
     }
-    float* data() noexcept { return data_.data(); }
-    const float* data() const noexcept { return data_.data(); }
-    const std::vector<float>& values() const noexcept { return data_; }
+    float* data() noexcept { return ptr_; }
+    const float* data() const noexcept { return ptr_; }
+    const std::vector<float>& values() const noexcept { return *data_; }
 
     /// Bounds-checked flat element access.
     float& at(std::int64_t flat_index);
@@ -59,17 +76,28 @@ public:
 
     /// Unchecked flat access (hot paths).
     float& operator[](std::int64_t flat_index) noexcept {
-        return data_[static_cast<std::size_t>(flat_index)];
+        return ptr_[static_cast<std::size_t>(flat_index)];
     }
     float operator[](std::int64_t flat_index) const noexcept {
-        return data_[static_cast<std::size_t>(flat_index)];
+        return ptr_[static_cast<std::size_t>(flat_index)];
     }
 
     // -- transforms --------------------------------------------------------
 
-    /// Deep copy (copies are always explicit on hot paths; the implicit
-    /// copy constructor also exists for value semantics).
+    /// Deep copy (copies are always explicit on hot paths; the copy
+    /// constructor also exists for value semantics).
     Tensor clone() const;
+
+    /// Explicit shared view of this tensor's storage, same shape. Writes
+    /// through either tensor are visible to both; copies of either are
+    /// deep again. Used to let server replicas read one frozen backbone
+    /// concurrently — the caller owns the discipline that nobody writes.
+    Tensor alias();
+
+    /// True when both tensors share one storage block.
+    bool aliases(const Tensor& other) const noexcept {
+        return data_ != nullptr && data_ == other.data_;
+    }
 
     /// Returns a tensor with the same data and a new shape; numel must
     /// match. Storage is copied (no aliasing views by design).
@@ -91,8 +119,16 @@ public:
     void scale(float scale);
 
 private:
+    std::vector<float>& vec() noexcept { return *data_; }
+    const std::vector<float>& vec() const noexcept { return *data_; }
+    void adopt(std::shared_ptr<std::vector<float>> storage) noexcept {
+        data_ = std::move(storage);
+        ptr_ = data_ ? data_->data() : nullptr;
+    }
+
     Shape shape_;
-    std::vector<float> data_;
+    std::shared_ptr<std::vector<float>> data_;
+    float* ptr_ = nullptr;  ///< cached data_->data() (hot-path access)
 };
 
 // -- elementwise free functions (same-shape operands, no broadcasting) ----

@@ -194,5 +194,89 @@ TEST(MimeNetwork, BatchNormVariantBuilds) {
     EXPECT_EQ(net.backbone_parameters().size(), 15u * 2 + 13u * 2 + 2u);
 }
 
+TEST(MimeNetwork, SharedBackboneCloneAliasesWeightsNotHead) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.3f);
+    auto replica = net.clone_with_shared_backbone();
+
+    EXPECT_TRUE(net.shares_backbone_with(*replica));
+    EXPECT_EQ(replica->mode(), ActivationMode::threshold);
+    auto mine = net.backbone_parameters();
+    auto theirs = replica->backbone_parameters();
+    ASSERT_EQ(mine.size(), theirs.size());
+    for (std::size_t i = 0; i + 2 < mine.size(); ++i) {
+        EXPECT_TRUE(mine[i]->value.aliases(theirs[i]->value))
+            << "parameter " << i << " (" << mine[i]->name
+            << ") was duplicated";
+    }
+    // The classifier head is per-replica (serving installs a task head
+    // into it), equal in value but not in storage.
+    for (std::size_t i = mine.size() - 2; i < mine.size(); ++i) {
+        EXPECT_FALSE(mine[i]->value.aliases(theirs[i]->value));
+        for (std::int64_t n = 0; n < mine[i]->value.numel(); ++n) {
+            ASSERT_EQ(mine[i]->value[n], theirs[i]->value[n]);
+        }
+    }
+    EXPECT_GT(net.shared_backbone_bytes(), 0);
+}
+
+TEST(MimeNetwork, SharedBackboneCloneForwardsBitMatch) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.25f);
+    auto replica = net.clone_with_shared_backbone();
+
+    Rng rng(9);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    const Tensor expected = net.forward(x);
+    const Tensor actual = replica->forward(x);
+    ASSERT_EQ(actual.shape(), expected.shape());
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(actual[i], expected[i]);
+    }
+
+    // Per-replica threshold installs must not leak across replicas:
+    // blunting the replica's thresholds changes its output only.
+    replica->reset_thresholds(5.0f);
+    const Tensor after_replica_change = net.forward(x);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(after_replica_change[i], expected[i]);
+    }
+}
+
+TEST(MimeNetwork, LoadBackboneKeepsReplicasAliased) {
+    // load_backbone must restore values in place: reallocating would
+    // silently detach every shared-backbone replica.
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    auto replica = net.clone_with_shared_backbone();
+    const std::vector<Tensor> snapshot = net.snapshot_backbone();
+
+    net.backbone_parameters()[0]->value.fill(0.0f);
+    net.load_backbone(snapshot);
+    EXPECT_TRUE(net.shares_backbone_with(*replica));
+    // The replica observes the restored values through the shared
+    // storage.
+    EXPECT_EQ(replica->backbone_parameters()[0]->value[0], snapshot[0][0]);
+}
+
+TEST(MimeNetwork, BatchNormCloneSharesRunningStatistics) {
+    MimeNetworkConfig config = tiny_config();
+    config.batchnorm = true;
+    MimeNetwork net(config);
+    net.set_training(false);
+    auto replica = net.clone_with_shared_backbone();
+    auto mine = net.network().buffers();
+    auto theirs = replica->network().buffers();
+    ASSERT_EQ(mine.size(), theirs.size());
+    ASSERT_GT(mine.size(), 0u);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+        EXPECT_TRUE(mine[i]->value.aliases(theirs[i]->value));
+    }
+}
+
 }  // namespace
 }  // namespace mime::core

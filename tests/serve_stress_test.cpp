@@ -1,0 +1,265 @@
+// Deterministic concurrency stress tests for the serving runtime's
+// shared structures: multi-producer hammering of the bounded
+// RequestQueue (no request may be lost or duplicated, FIFO per
+// producer), close() racing active producers (accepted + rejected must
+// account for every push), and a seeded property hammering of the
+// ThresholdCache against a reference LRU model (hit/miss/evict
+// accounting must stay consistent at every step). Thread counts and
+// seeds are fixed so failures reproduce; these are the binaries the CI
+// ThreadSanitizer job runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "serve/request_queue.h"
+#include "serve/threshold_cache.h"
+
+namespace mime::serve {
+namespace {
+
+// Static task-name table rather than "t" + std::to_string(i): string
+// concatenation here trips a GCC 12 -Wrestrict false positive
+// (GCC PR105329) under -O3.
+const char* task_name(std::uint64_t index) {
+    static const char* const kNames[] = {"t0", "t1", "t2", "t3", "t4",
+                                         "t5", "t6", "t7", "t8"};
+    return kNames[index % (sizeof(kNames) / sizeof(kNames[0]))];
+}
+
+InferenceRequest make_request(std::int64_t id) {
+    InferenceRequest request;
+    request.id = id;
+    request.task = task_name(static_cast<std::uint64_t>(id) % 7);
+    request.enqueue_time = Clock::now();
+    return request;
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue under multi-producer load
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueueStress, NoLostOrDuplicatedRequests) {
+    constexpr std::int64_t kProducers = 8;
+    constexpr std::int64_t kPerProducer = 400;
+    constexpr std::int64_t kTotal = kProducers * kPerProducer;
+    // Tiny capacity so producers constantly hit backpressure.
+    RequestQueue queue(16);
+
+    std::vector<std::thread> producers;
+    for (std::int64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (std::int64_t i = 0; i < kPerProducer; ++i) {
+                // Ids partition by producer: producer p owns
+                // [p*kPerProducer, (p+1)*kPerProducer).
+                ASSERT_TRUE(queue.push(make_request(p * kPerProducer + i)));
+            }
+        });
+    }
+
+    std::vector<std::int64_t> seen_count(
+        static_cast<std::size_t>(kTotal), 0);
+    std::vector<std::int64_t> last_seen(
+        static_cast<std::size_t>(kProducers), -1);
+    std::int64_t received = 0;
+    while (received < kTotal) {
+        const auto drained = queue.drain_until(
+            Clock::now() + std::chrono::milliseconds(100));
+        for (const InferenceRequest& request : drained) {
+            ASSERT_GE(request.id, 0);
+            ASSERT_LT(request.id, kTotal);
+            ++seen_count[static_cast<std::size_t>(request.id)];
+            // FIFO per producer: ids within one producer's partition
+            // must arrive in submission order.
+            const std::int64_t producer = request.id / kPerProducer;
+            ASSERT_GT(request.id,
+                      last_seen[static_cast<std::size_t>(producer)]);
+            last_seen[static_cast<std::size_t>(producer)] = request.id;
+        }
+        received += static_cast<std::int64_t>(drained.size());
+    }
+    for (std::thread& producer : producers) {
+        producer.join();
+    }
+
+    EXPECT_EQ(received, kTotal);
+    for (std::int64_t id = 0; id < kTotal; ++id) {
+        ASSERT_EQ(seen_count[static_cast<std::size_t>(id)], 1)
+            << "request " << id << " lost or duplicated";
+    }
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueueStress, CloseRacingProducersLosesNothingAccepted) {
+    constexpr std::int64_t kProducers = 6;
+    constexpr std::int64_t kPerProducer = 300;
+    RequestQueue queue(32);
+
+    std::atomic<std::int64_t> accepted{0};
+    std::atomic<std::int64_t> rejected{0};
+    std::vector<std::thread> producers;
+    for (std::int64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (std::int64_t i = 0; i < kPerProducer; ++i) {
+                if (queue.push(make_request(p * kPerProducer + i))) {
+                    ++accepted;
+                } else {
+                    ++rejected;
+                }
+            }
+        });
+    }
+
+    // Drain some traffic, then slam the door while producers still run.
+    std::int64_t drained_before_close = 0;
+    while (drained_before_close < kProducers * kPerProducer / 4) {
+        drained_before_close += static_cast<std::int64_t>(
+            queue
+                .drain_until(Clock::now() +
+                             std::chrono::milliseconds(20))
+                .size());
+    }
+    queue.close();
+    for (std::thread& producer : producers) {
+        producer.join();
+    }
+    // Everything accepted before close stays drainable; nothing beyond.
+    const std::int64_t drained_after_close =
+        static_cast<std::int64_t>(queue.drain_now().size());
+
+    EXPECT_EQ(accepted.load() + rejected.load(),
+              kProducers * kPerProducer);
+    EXPECT_EQ(drained_before_close + drained_after_close, accepted.load());
+    EXPECT_FALSE(queue.push(make_request(0)));
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdCache accounting vs a reference LRU model
+// ---------------------------------------------------------------------------
+
+core::TaskAdaptation tiny_adaptation(const std::string& name) {
+    core::TaskAdaptation adaptation;
+    adaptation.name = name;
+    adaptation.thresholds.task_name = name;
+    adaptation.thresholds.thresholds = {Tensor({2}, 0.5f)};
+    adaptation.head_weight = Tensor({4, 2});
+    adaptation.head_bias = Tensor({4});
+    adaptation.num_classes = 4;
+    return adaptation;
+}
+
+TEST(ThresholdCacheStress, SeededHammeringMatchesReferenceLru) {
+    constexpr std::size_t kCapacity = 4;
+    constexpr std::int64_t kTasks = 11;
+    constexpr std::int64_t kOps = 5000;
+
+    std::int64_t loader_calls = 0;
+    ThresholdCache cache(kCapacity, [&loader_calls](const std::string& name) {
+        ++loader_calls;
+        return tiny_adaptation(name);
+    });
+
+    // Reference model: most-recent-first list of resident task names.
+    std::vector<std::string> model;
+    std::int64_t model_hits = 0;
+    std::int64_t model_misses = 0;
+    std::int64_t model_evictions = 0;
+
+    Rng rng(0xfeedULL);
+    for (std::int64_t op = 0; op < kOps; ++op) {
+        const std::string task =
+            "task" + std::to_string(rng.uniform_index(kTasks));
+        const core::TaskAdaptation& adaptation = cache.get(task);
+        ASSERT_EQ(adaptation.name, task);
+
+        const auto found = std::find(model.begin(), model.end(), task);
+        if (found != model.end()) {
+            ++model_hits;
+            model.erase(found);
+        } else {
+            ++model_misses;
+            if (model.size() == kCapacity) {
+                model.pop_back();
+                ++model_evictions;
+            }
+        }
+        model.insert(model.begin(), task);
+
+        // Full accounting must agree with the model after every op.
+        ASSERT_EQ(cache.hits(), model_hits);
+        ASSERT_EQ(cache.misses(), model_misses);
+        ASSERT_EQ(cache.evictions(), model_evictions);
+        ASSERT_LE(cache.size(), kCapacity);
+        ASSERT_EQ(cache.resident_tasks(), model);
+    }
+
+    // Conservation laws over the whole run.
+    EXPECT_EQ(cache.hits() + cache.misses(), kOps);
+    EXPECT_EQ(loader_calls, cache.misses());
+    EXPECT_EQ(cache.evictions(),
+              cache.misses() - static_cast<std::int64_t>(cache.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Queue + cache combined: producer/consumer pipeline with accounting
+// ---------------------------------------------------------------------------
+
+TEST(ServeStress, ProducerConsumerPipelineKeepsAccountsConsistent) {
+    // The real dispatch topology in miniature: N producers feed the
+    // bounded queue, one consumer drains and touches the (dispatch-
+    // thread-only) cache per request. All accounting must reconcile.
+    constexpr std::int64_t kProducers = 4;
+    constexpr std::int64_t kPerProducer = 500;
+    constexpr std::int64_t kTotal = kProducers * kPerProducer;
+    RequestQueue queue(24);
+    ThresholdCache cache(3, [](const std::string& name) {
+        return tiny_adaptation(name);
+    });
+
+    std::vector<std::thread> producers;
+    for (std::int64_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            Rng rng(static_cast<std::uint64_t>(1000 + p));
+            for (std::int64_t i = 0; i < kPerProducer; ++i) {
+                InferenceRequest request;
+                request.id = p * kPerProducer + i;
+                request.task = task_name(rng.uniform_index(9));
+                ASSERT_TRUE(queue.push(std::move(request)));
+            }
+        });
+    }
+
+    std::map<std::string, std::int64_t> served_per_task;
+    std::int64_t served = 0;
+    while (served < kTotal) {
+        for (InferenceRequest& request : queue.drain_until(
+                 Clock::now() + std::chrono::milliseconds(100))) {
+            const core::TaskAdaptation& adaptation =
+                cache.get(request.task);
+            ASSERT_EQ(adaptation.name, request.task);
+            ++served_per_task[request.task];
+            ++served;
+        }
+    }
+    for (std::thread& producer : producers) {
+        producer.join();
+    }
+
+    EXPECT_EQ(served, kTotal);
+    std::int64_t per_task_sum = 0;
+    for (const auto& [task, count] : served_per_task) {
+        per_task_sum += count;
+    }
+    EXPECT_EQ(per_task_sum, kTotal);
+    EXPECT_EQ(cache.hits() + cache.misses(), kTotal);
+    EXPECT_EQ(cache.evictions(),
+              cache.misses() - static_cast<std::int64_t>(cache.size()));
+}
+
+}  // namespace
+}  // namespace mime::serve

@@ -311,6 +311,45 @@ TEST(LoadGen, BurstyTrafficFormsSameTaskRuns) {
     EXPECT_LT(switches, 150);
 }
 
+TEST(LoadGen, SameSeedReproducesIdenticalStreams) {
+    // Bench reproducibility rests on this: a LoadSpec is a complete,
+    // deterministic description of its arrival stream.
+    for (const ArrivalPattern pattern :
+         {ArrivalPattern::uniform, ArrivalPattern::skewed,
+          ArrivalPattern::bursty}) {
+        LoadSpec spec;
+        spec.pattern = pattern;
+        spec.task_count = 5;
+        spec.request_count = 500;
+        spec.seed = 77;
+        const auto first = generate_arrivals(spec);
+        const auto second = generate_arrivals(spec);
+        ASSERT_EQ(first.size(), second.size()) << to_string(pattern);
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            // Bitwise-equal offsets, not approximately equal: the same
+            // seed must replay the exact same stream.
+            ASSERT_EQ(first[i].offset_us, second[i].offset_us)
+                << to_string(pattern) << " event " << i;
+            ASSERT_EQ(first[i].task, second[i].task)
+                << to_string(pattern) << " event " << i;
+        }
+
+        LoadSpec reseeded = spec;
+        reseeded.seed = 78;
+        const auto different = generate_arrivals(reseeded);
+        bool any_difference = false;
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            if (first[i].offset_us != different[i].offset_us ||
+                first[i].task != different[i].task) {
+                any_difference = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(any_difference)
+            << to_string(pattern) << ": changing the seed changed nothing";
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Latency recorder
 // ---------------------------------------------------------------------------
@@ -326,6 +365,58 @@ TEST(LatencyRecorder, PercentilesNearestRank) {
     EXPECT_DOUBLE_EQ(recorder.percentile(100.0), 100.0);
     EXPECT_DOUBLE_EQ(recorder.max(), 100.0);
     EXPECT_DOUBLE_EQ(recorder.mean(), 50.5);
+}
+
+TEST(LatencyRecorder, MergeComputesPooledPercentilesNotAverages) {
+    // Replica A is fast (1..100 us), replica B slow (1001..1100 us).
+    LatencyRecorder fast;
+    LatencyRecorder slow;
+    for (int i = 1; i <= 100; ++i) {
+        fast.add(static_cast<double>(i));
+        slow.add(static_cast<double>(1000 + i));
+    }
+
+    LatencyRecorder pooled = fast;
+    pooled.merge(slow);
+    EXPECT_EQ(pooled.count(), 200);
+    EXPECT_DOUBLE_EQ(pooled.max(), 1100.0);
+    EXPECT_DOUBLE_EQ(pooled.mean(), (50.5 + 1050.5) / 2.0);
+    // Exact pooled p50 over the 200 merged samples is 100 us. Averaging
+    // the per-replica p50s (50 and 1050) would report 550 — the error
+    // merge() exists to prevent.
+    EXPECT_DOUBLE_EQ(pooled.percentile(50.0), 100.0);
+    EXPECT_DOUBLE_EQ(pooled.percentile(100.0), 1100.0);
+
+    // Merging an empty recorder is a no-op.
+    LatencyRecorder empty;
+    pooled.merge(empty);
+    EXPECT_EQ(pooled.count(), 200);
+    LatencyRecorder target;
+    target.merge(pooled);
+    EXPECT_EQ(target.count(), 200);
+    EXPECT_DOUBLE_EQ(target.percentile(50.0), 100.0);
+}
+
+TEST(LatencyRecorder, MergeBeyondReservoirKeepsProportionalSample) {
+    // Push both recorders past the reservoir bound; the merged stream
+    // must keep exact count/mean/max and percentiles that reflect the
+    // mixture (2/3 of mass at ~10us, 1/3 at ~1000us).
+    LatencyRecorder a;
+    LatencyRecorder b;
+    const int n = 90000;
+    for (int i = 0; i < n; ++i) {
+        a.add(10.0);
+        if (i < n / 2) {
+            b.add(1000.0);
+        }
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), n + n / 2);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+    EXPECT_NEAR(a.mean(), (10.0 * n + 1000.0 * (n / 2)) / (1.5 * n), 1e-9);
+    // p50 falls in the fast mass, p95 in the slow mass.
+    EXPECT_DOUBLE_EQ(a.percentile(50.0), 10.0);
+    EXPECT_DOUBLE_EQ(a.percentile(95.0), 1000.0);
 }
 
 // ---------------------------------------------------------------------------

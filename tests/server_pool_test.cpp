@@ -1,0 +1,517 @@
+// Tests for the sharded server pool: routing policies, admission
+// control (shed and block), shared-backbone replication, pool-wide
+// stats aggregation, and a bit-match proof that pooled serving equals
+// direct single-network forwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <set>
+#include <thread>
+
+#include "common/check.h"
+#include "core/multitask.h"
+#include "serve/admission.h"
+#include "serve/routing.h"
+#include "serve/server_pool.h"
+#include "tensor/tensor_ops.h"
+
+namespace mime::serve {
+namespace {
+
+core::MimeNetworkConfig tiny_config(std::uint64_t seed = 3) {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = seed;
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+TEST(Router, RoundRobinCyclesFairly) {
+    Router router(RoutingPolicy::round_robin, 3);
+    const std::vector<std::int64_t> loads(3, 0);
+    std::vector<std::int64_t> picks(3, 0);
+    for (int i = 0; i < 9; ++i) {
+        const std::size_t replica = router.route("any", loads);
+        EXPECT_EQ(replica, static_cast<std::size_t>(i % 3));
+        ++picks[replica];
+    }
+    EXPECT_EQ(picks, (std::vector<std::int64_t>{3, 3, 3}));
+}
+
+TEST(Router, TaskAffinityIsSticky) {
+    Router router(RoutingPolicy::task_affinity, 4);
+    std::vector<std::int64_t> loads(4, 0);
+    for (int t = 0; t < 16; ++t) {
+        const std::string task = "task" + std::to_string(t);
+        const std::size_t first = router.route(task, loads);
+        // Stickiness must survive arbitrary load changes: affinity is
+        // task-determined, never load-determined.
+        loads[first] += 100;
+        for (int repeat = 0; repeat < 5; ++repeat) {
+            EXPECT_EQ(router.route(task, loads), first) << task;
+        }
+    }
+}
+
+TEST(Router, TaskAffinitySpreadsTasksAcrossReplicas) {
+    Router router(RoutingPolicy::task_affinity, 4);
+    const std::vector<std::int64_t> loads(4, 0);
+    std::set<std::size_t> used;
+    for (int t = 0; t < 64; ++t) {
+        used.insert(router.route("task" + std::to_string(t), loads));
+    }
+    // 64 tasks over 4 replicas: a hash that collapsed to one replica
+    // would defeat sharding entirely.
+    EXPECT_GE(used.size(), 3u);
+}
+
+TEST(Router, LeastLoadedPicksMinimumWithLowestIndexTie) {
+    Router router(RoutingPolicy::least_loaded, 3);
+    EXPECT_EQ(router.route("t", {3, 0, 2}), 1u);
+    EXPECT_EQ(router.route("t", {5, 5, 1}), 2u);
+    EXPECT_EQ(router.route("t", {2, 2, 2}), 0u);  // tie -> lowest index
+}
+
+TEST(Router, LeastLoadedBalancesSkewedService) {
+    // Simulate replicas that drain at different speeds: least_loaded
+    // must steer work toward the faster replica because the slow one's
+    // backlog keeps it off the argmin.
+    Router router(RoutingPolicy::least_loaded, 2);
+    std::vector<std::int64_t> loads(2, 0);
+    std::vector<std::int64_t> assigned(2, 0);
+    for (int i = 0; i < 300; ++i) {
+        const std::size_t replica = router.route("t", loads);
+        ++assigned[replica];
+        ++loads[replica];
+        // Replica 0 drains one request per three iterations, replica 1
+        // one per iteration.
+        if (i % 3 == 0 && loads[0] > 0) {
+            --loads[0];
+        }
+        if (loads[1] > 0) {
+            --loads[1];
+        }
+    }
+    EXPECT_EQ(assigned[0] + assigned[1], 300);
+    // The slow replica must end up with under half the stream (it still
+    // wins every idle tie, so it keeps roughly its service share).
+    EXPECT_LT(assigned[0], assigned[1]);
+    EXPECT_LT(assigned[0], 150);
+}
+
+TEST(Router, RejectsWrongLoadsSize) {
+    Router router(RoutingPolicy::least_loaded, 2);
+    EXPECT_THROW(router.route("t", {1, 2, 3}), check_error);
+}
+
+TEST(Router, TaskHashIsStableAcrossRuns) {
+    // FNV-1a with the standard offset/prime; pinned so affinity maps
+    // never silently change between platforms or releases.
+    EXPECT_EQ(task_hash(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(task_hash("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionController, ShedModeRefusesAtCapacityAndCounts) {
+    AdmissionController admission(AdmissionMode::shed, 2);
+    EXPECT_TRUE(admission.try_admit());
+    EXPECT_TRUE(admission.try_admit());
+    EXPECT_FALSE(admission.try_admit());  // at cap -> shed
+    EXPECT_FALSE(admission.try_admit());
+    EXPECT_EQ(admission.shed_count(), 2);
+    EXPECT_EQ(admission.pending(), 2);
+    admission.release();
+    EXPECT_TRUE(admission.try_admit());  // slot freed -> admitted again
+    EXPECT_EQ(admission.admitted_count(), 3);
+    EXPECT_EQ(admission.peak_pending(), 2);
+}
+
+TEST(AdmissionController, BlockModeWaitsForRelease) {
+    AdmissionController admission(AdmissionMode::block, 1);
+    EXPECT_TRUE(admission.try_admit());
+
+    std::atomic<bool> admitted{false};
+    std::thread waiter([&] {
+        EXPECT_TRUE(admission.try_admit());
+        admitted = true;
+    });
+    // The waiter must be blocked, not shed.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(admitted.load());
+    EXPECT_EQ(admission.shed_count(), 0);
+
+    admission.release();
+    waiter.join();
+    EXPECT_TRUE(admitted.load());
+    EXPECT_EQ(admission.peak_pending(), 1);  // never two in flight
+}
+
+TEST(AdmissionController, CloseUnblocksAndRefuses) {
+    AdmissionController admission(AdmissionMode::block, 1);
+    EXPECT_TRUE(admission.try_admit());
+    std::thread waiter([&] { EXPECT_FALSE(admission.try_admit()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    admission.close();
+    waiter.join();
+    EXPECT_FALSE(admission.try_admit());
+}
+
+TEST(AdmissionController, UnlimitedAdmitsEverything) {
+    AdmissionController admission(AdmissionMode::shed, 0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(admission.try_admit());
+    }
+    EXPECT_EQ(admission.shed_count(), 0);
+    EXPECT_EQ(admission.peak_pending(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// ServerPool end to end
+// ---------------------------------------------------------------------------
+
+struct PoolFixture {
+    core::MimeNetwork network{tiny_config()};
+    std::vector<core::TaskAdaptation> adaptations;
+
+    explicit PoolFixture(std::size_t task_count = 4) {
+        network.set_training(false);
+        network.set_mode(core::ActivationMode::threshold);
+        for (std::size_t t = 0; t < task_count; ++t) {
+            network.reset_thresholds(0.02f + 0.2f * static_cast<float>(t));
+            adaptations.push_back(core::capture_adaptation(
+                network, "task" + std::to_string(t), 10));
+        }
+    }
+
+    ThresholdCache::Loader loader() {
+        return [this](const std::string& name) {
+            for (const core::TaskAdaptation& adaptation : adaptations) {
+                if (adaptation.name == name) {
+                    return adaptation;
+                }
+            }
+            throw check_error("name", __FILE__, __LINE__,
+                              "unknown task " + name);
+        };
+    }
+
+    /// Reference forward: install the task directly, run a batch of one.
+    Tensor direct_logits(const std::string& task, const Tensor& image) {
+        for (const core::TaskAdaptation& adaptation : adaptations) {
+            if (adaptation.name != task) {
+                continue;
+            }
+            network.load_thresholds(adaptation.thresholds);
+            auto backbone = network.backbone_parameters();
+            backbone[backbone.size() - 2]->value.copy_from(
+                adaptation.head_weight);
+            backbone[backbone.size() - 1]->value.copy_from(
+                adaptation.head_bias);
+            return network.forward(stack({image}));
+        }
+        throw check_error("task", __FILE__, __LINE__, "unknown task");
+    }
+};
+
+TEST(ServerPool, PooledResultsBitMatchDirectForward) {
+    PoolFixture fixture(3);
+    Rng rng(17);
+
+    std::vector<std::string> request_tasks;
+    std::vector<Tensor> request_images;
+    std::vector<std::future<InferenceResult>> futures;
+    {
+        PoolConfig config;
+        config.replica_count = 3;
+        config.routing = RoutingPolicy::round_robin;  // mix tasks over
+                                                      // every replica
+        config.server.batcher.max_batch_size = 4;
+        config.server.batcher.max_wait = std::chrono::microseconds(1000);
+        config.server.cache_capacity = 3;
+        config.server.worker_threads = 1;
+        ServerPool pool(fixture.network, fixture.loader(), config);
+        EXPECT_EQ(pool.replica_count(), 3u);
+
+        for (std::int64_t i = 0; i < 24; ++i) {
+            const std::string task =
+                "task" + std::to_string(i % 3);
+            Tensor image = Tensor::randn({3, 32, 32}, rng);
+            request_tasks.push_back(task);
+            request_images.push_back(image);
+            futures.push_back(pool.submit_async(task, std::move(image)));
+        }
+        pool.drain();
+
+        const PoolStats stats = pool.stats();
+        EXPECT_EQ(stats.requests_completed, 24);
+        EXPECT_EQ(stats.requests_shed, 0);
+        // round_robin spread 24 requests evenly.
+        for (const ReplicaStats& replica : stats.replicas) {
+            EXPECT_EQ(replica.routed, 8);
+        }
+        pool.stop();
+    }
+
+    // The pool mutated per-replica thresholds/heads, but the shared
+    // backbone is untouched: direct forwards still reproduce every
+    // served logit bit for bit.
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const InferenceResult result = futures[i].get();
+        const Tensor reference =
+            fixture.direct_logits(request_tasks[i], request_images[i]);
+        ASSERT_EQ(result.logits.numel(), 10);
+        for (std::int64_t c = 0; c < 10; ++c) {
+            ASSERT_EQ(result.logits[c], reference[c])
+                << "request " << i << " class " << c;
+        }
+    }
+}
+
+TEST(ServerPool, ReplicasShareBackboneStorage) {
+    PoolFixture fixture(2);
+    auto replica = fixture.network.clone_with_shared_backbone();
+
+    EXPECT_TRUE(fixture.network.shares_backbone_with(*replica));
+    auto mine = fixture.network.backbone_parameters();
+    auto theirs = replica->backbone_parameters();
+    ASSERT_EQ(mine.size(), theirs.size());
+    // Conv/fc weights alias (same storage)...
+    for (std::size_t i = 0; i + 2 < mine.size(); ++i) {
+        EXPECT_EQ(mine[i]->value.data(), theirs[i]->value.data())
+            << "backbone parameter " << i << " was duplicated";
+    }
+    // ...while the classifier head and thresholds are per-replica.
+    for (std::size_t i = mine.size() - 2; i < mine.size(); ++i) {
+        EXPECT_NE(mine[i]->value.data(), theirs[i]->value.data());
+    }
+    for (std::int64_t s = 0; s < fixture.network.site_count(); ++s) {
+        EXPECT_NE(
+            fixture.network.site(s).mask().thresholds().value.data(),
+            replica->site(s).mask().thresholds().value.data());
+    }
+    EXPECT_GT(fixture.network.shared_backbone_bytes(), 0);
+
+    // Writing a replica's thresholds must not leak into the prototype.
+    replica->reset_thresholds(9.0f);
+    EXPECT_NE(fixture.network.site(0).mask().thresholds().value[0], 9.0f);
+}
+
+TEST(ServerPool, TaskAffinityHydratesEachTaskOncePoolWide) {
+    // 3 tasks, ample per-replica cache: affinity pins each task to one
+    // replica (misses == tasks), while round_robin drags every task
+    // through every replica (misses == tasks x replicas). Task count is
+    // odd so strict rotation provably cycles every task over both
+    // replicas.
+    constexpr std::size_t kTasks = 3;
+    constexpr std::size_t kReplicas = 2;
+    const auto run = [&](RoutingPolicy routing) {
+        PoolFixture fixture(kTasks);
+        PoolConfig config;
+        config.replica_count = kReplicas;
+        config.routing = routing;
+        config.server.batcher.max_wait = std::chrono::microseconds(200);
+        config.server.cache_capacity = kTasks;
+        config.server.worker_threads = 1;
+        ServerPool pool(fixture.network, fixture.loader(), config);
+        for (int round = 0; round < 6; ++round) {
+            for (std::size_t t = 0; t < kTasks; ++t) {
+                pool.submit("task" + std::to_string(t),
+                            Tensor({3, 32, 32}, 0.1f));
+            }
+        }
+        pool.drain();
+        const PoolStats stats = pool.stats();
+        pool.stop();
+        return stats;
+    };
+
+    const PoolStats affinity = run(RoutingPolicy::task_affinity);
+    EXPECT_EQ(affinity.cache_misses,
+              static_cast<std::int64_t>(kTasks));
+
+    const PoolStats rr = run(RoutingPolicy::round_robin);
+    EXPECT_EQ(rr.cache_misses,
+              static_cast<std::int64_t>(kTasks * kReplicas));
+    EXPECT_GT(affinity.cache_hit_rate, rr.cache_hit_rate);
+}
+
+TEST(ServerPool, ShedModeRefusesDeterministically) {
+    PoolFixture fixture(2);
+    // A loader gate wedges replica 0's dispatch thread mid-hydration so
+    // the test controls exactly how many requests are in flight.
+    std::promise<void> gate;
+    std::shared_future<void> gate_future = gate.get_future().share();
+    std::promise<void> loader_entered;
+    std::atomic<bool> first_load{true};
+    auto inner = fixture.loader();
+    ThresholdCache::Loader gated_loader =
+        [&, inner](const std::string& name) {
+            if (first_load.exchange(false)) {
+                loader_entered.set_value();
+                gate_future.wait();
+            }
+            return inner(name);
+        };
+
+    PoolConfig config;
+    config.replica_count = 1;
+    config.admission = AdmissionMode::shed;
+    config.max_pending = 2;
+    config.server.batcher.max_wait = std::chrono::microseconds(0);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, gated_loader, config);
+
+    auto first = pool.submit_async("task0", Tensor({3, 32, 32}, 0.1f));
+    loader_entered.get_future().wait();  // dispatch is now wedged
+    auto second = pool.submit_async("task0", Tensor({3, 32, 32}, 0.2f));
+    // Two in flight at max_pending=2: the third MUST be shed.
+    EXPECT_THROW(
+        pool.submit_async("task0", Tensor({3, 32, 32}, 0.3f)),
+        overload_error);
+
+    gate.set_value();
+    first.get();
+    second.get();
+    pool.drain();
+
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.requests_completed, 2);
+    EXPECT_EQ(stats.requests_shed, 1);
+    EXPECT_EQ(stats.peak_pending, 2);
+    pool.stop();
+}
+
+TEST(ServerPool, BlockModeNeverExceedsMaxPending) {
+    PoolFixture fixture(2);
+    PoolConfig config;
+    config.replica_count = 2;
+    config.admission = AdmissionMode::block;
+    config.max_pending = 3;
+    config.server.batcher.max_wait = std::chrono::microseconds(100);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, fixture.loader(), config);
+
+    std::vector<std::thread> clients;
+    std::atomic<int> completed{0};
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < 10; ++i) {
+                pool.submit("task" + std::to_string((c + i) % 2),
+                            Tensor({3, 32, 32}, 0.05f * c));
+                ++completed;
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    pool.drain();
+    const PoolStats stats = pool.stats();
+    pool.stop();
+
+    EXPECT_EQ(completed.load(), 40);
+    EXPECT_EQ(stats.requests_completed, 40);
+    EXPECT_EQ(stats.requests_shed, 0);
+    // The admission high-water mark proves the cap held under
+    // concurrency.
+    EXPECT_LE(stats.peak_pending, 3);
+}
+
+TEST(ServerPool, ConcurrentClientsOnAllPolicies) {
+    for (const RoutingPolicy routing :
+         {RoutingPolicy::round_robin, RoutingPolicy::task_affinity,
+          RoutingPolicy::least_loaded}) {
+        PoolFixture fixture(3);
+        PoolConfig config;
+        config.replica_count = 2;
+        config.routing = routing;
+        config.server.batcher.max_wait = std::chrono::microseconds(300);
+        config.server.cache_capacity = 3;
+        config.server.worker_threads = 1;
+        ServerPool pool(fixture.network, fixture.loader(), config);
+
+        constexpr int kThreads = 3;
+        constexpr int kPerThread = 8;
+        std::vector<std::thread> clients;
+        std::atomic<int> predictions_in_range{0};
+        for (int t = 0; t < kThreads; ++t) {
+            clients.emplace_back([&, t] {
+                Rng rng(static_cast<std::uint64_t>(50 + t));
+                for (int i = 0; i < kPerThread; ++i) {
+                    const InferenceResult result = pool.submit(
+                        "task" + std::to_string((t + i) % 3),
+                        Tensor::randn({3, 32, 32}, rng));
+                    if (result.predicted_class >= 0 &&
+                        result.predicted_class < 10) {
+                        ++predictions_in_range;
+                    }
+                }
+            });
+        }
+        for (std::thread& client : clients) {
+            client.join();
+        }
+        pool.drain();
+        const PoolStats stats = pool.stats();
+        pool.stop();
+
+        EXPECT_EQ(stats.requests_completed, kThreads * kPerThread)
+            << to_string(routing);
+        EXPECT_EQ(predictions_in_range.load(), kThreads * kPerThread)
+            << to_string(routing);
+        std::int64_t routed_total = 0;
+        for (const ReplicaStats& replica : stats.replicas) {
+            routed_total += replica.routed;
+        }
+        EXPECT_EQ(routed_total, kThreads * kPerThread)
+            << to_string(routing);
+    }
+}
+
+TEST(ServerPool, SubmitAfterStopThrows) {
+    PoolFixture fixture(2);
+    PoolConfig config;
+    config.replica_count = 2;
+    ServerPool pool(fixture.network, fixture.loader(), config);
+    pool.stop();
+    EXPECT_THROW(pool.submit("task0", Tensor({3, 32, 32})), check_error);
+}
+
+TEST(ServerPool, StatsMergeUsesPooledReservoirs) {
+    // Percentiles in pool stats must come from merged reservoirs: with
+    // one slow replica, the pooled p95 must reflect the slow stream,
+    // which per-replica averaging would halve.
+    PoolFixture fixture(2);
+    PoolConfig config;
+    config.replica_count = 2;
+    config.routing = RoutingPolicy::task_affinity;
+    config.server.batcher.max_wait = std::chrono::microseconds(100);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, fixture.loader(), config);
+    for (int i = 0; i < 10; ++i) {
+        pool.submit("task0", Tensor({3, 32, 32}, 0.1f));
+        pool.submit("task1", Tensor({3, 32, 32}, 0.2f));
+    }
+    pool.drain();
+    const PoolStats stats = pool.stats();
+    pool.stop();
+
+    EXPECT_GT(stats.p50_latency_us, 0.0);
+    EXPECT_GE(stats.p95_latency_us, stats.p50_latency_us);
+    EXPECT_GE(stats.p99_latency_us, stats.p95_latency_us);
+    const std::string table = stats.to_table_string();
+    EXPECT_NE(table.find("replicas"), std::string::npos);
+    EXPECT_NE(table.find("cache hit rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mime::serve

@@ -80,6 +80,39 @@ TEST(Tensor, CloneIsDeep) {
     EXPECT_EQ(a[0], 1.0f);
 }
 
+TEST(Tensor, CopyAssignmentIsDeep) {
+    Tensor a = Tensor::ones({3});
+    Tensor b({3}, 2.0f);
+    b = a;
+    b[0] = 9.0f;
+    EXPECT_EQ(a[0], 1.0f);
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Tensor, AliasSharesStorageBothWays) {
+    Tensor a = Tensor::ones({2, 2});
+    Tensor view = a.alias();
+    EXPECT_TRUE(a.aliases(view));
+    EXPECT_EQ(a.data(), view.data());
+    EXPECT_EQ(view.shape(), a.shape());
+
+    view[0] = 7.0f;
+    EXPECT_EQ(a[0], 7.0f);
+    a.fill(3.0f);
+    EXPECT_EQ(view[3], 3.0f);
+}
+
+TEST(Tensor, CopyOfAliasIsDeepAgain) {
+    // alias() is an explicit escape hatch; value semantics resume at
+    // the first copy.
+    Tensor a = Tensor::ones({4});
+    Tensor view = a.alias();
+    Tensor copy = view;
+    copy[0] = 5.0f;
+    EXPECT_EQ(a[0], 1.0f);
+    EXPECT_FALSE(copy.aliases(a));
+}
+
 TEST(Tensor, ReshapePreservesData) {
     Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
     const Tensor b = a.reshaped({3, 2});
