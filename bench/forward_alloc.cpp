@@ -1,0 +1,174 @@
+// Allocation micro-bench for the planned forward executor.
+//
+// Contrasts the legacy allocate-per-call forward (fresh im2col buffer +
+// output tensor per conv, mask per activation site, eval caches) with
+// the planned path (ForwardPlan buffers + Workspace scratch) on both
+// reference architectures. Reports req/s, tensor-storage allocations
+// and bytes per batch (via the Tensor allocation probe), and the
+// steady-state workspace footprint — and *asserts* that the planned
+// path performs zero tensor-storage allocations after its warm-up
+// batch, so CI catches any regression that reintroduces heap traffic
+// on the serving hot path.
+//
+// Environment knobs:
+//   MIME_ALLOC_ITERS  batches per measurement (default 20)
+//   MIME_ALLOC_BATCH  batch size (default 8)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/plain_cnn.h"
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "core/mime_network.h"
+#include "tensor/workspace.h"
+
+using namespace mime;
+
+namespace {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::atoll(value) : fallback;
+}
+
+struct PathResult {
+    double req_per_s = 0.0;
+    double allocs_per_batch = 0.0;
+    double alloc_kb_per_batch = 0.0;
+    std::size_t workspace_peak = 0;
+    std::size_t plan_buffers = 0;
+};
+
+core::MimeNetworkConfig vgg_config() {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = 5;
+    return config;
+}
+
+core::MimeNetworkConfig cnn_config() {
+    arch::PlainCnnConfig cnn;
+    cnn.input_size = 32;
+    cnn.blocks = {{16, 2}, {32, 2}};
+    cnn.fc_widths = {64};
+    cnn.num_classes = 10;
+    core::MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(cnn);
+    config.custom_classifier = arch::plain_cnn_classifier(cnn);
+    config.seed = 7;
+    return config;
+}
+
+PathResult run_legacy(core::MimeNetwork& net, const Tensor& x,
+                      std::int64_t iters) {
+    net.set_eval_mode(false);  // the true old path, caches and all
+    net.forward(x);            // warm-up parity with the planned run
+    const std::int64_t alloc0 = Tensor::storage_allocation_count();
+    const std::int64_t bytes0 = Tensor::storage_allocation_bytes();
+    const auto started = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+        net.forward(x);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    PathResult result;
+    result.req_per_s =
+        static_cast<double>(iters * x.shape().dim(0)) / elapsed.count();
+    result.allocs_per_batch =
+        static_cast<double>(Tensor::storage_allocation_count() - alloc0) /
+        static_cast<double>(iters);
+    result.alloc_kb_per_batch =
+        static_cast<double>(Tensor::storage_allocation_bytes() - bytes0) /
+        static_cast<double>(iters) / 1024.0;
+    return result;
+}
+
+PathResult run_planned(core::MimeNetwork& net, const Tensor& x,
+                       std::int64_t iters) {
+    net.set_eval_mode(true);
+    Workspace workspace;
+    net.forward_planned(x, workspace);  // warm-up: plan build + reserve
+    const std::int64_t alloc0 = Tensor::storage_allocation_count();
+    const std::int64_t bytes0 = Tensor::storage_allocation_bytes();
+    const auto started = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) {
+        net.forward_planned(x, workspace);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started;
+    const std::int64_t allocs = Tensor::storage_allocation_count() - alloc0;
+    MIME_REQUIRE(allocs == 0,
+                 "planned forward allocated " + std::to_string(allocs) +
+                     " tensor storage blocks after warm-up (expected 0)");
+    PathResult result;
+    result.req_per_s =
+        static_cast<double>(iters * x.shape().dim(0)) / elapsed.count();
+    result.allocs_per_batch = 0.0;
+    result.alloc_kb_per_batch =
+        static_cast<double>(Tensor::storage_allocation_bytes() - bytes0) /
+        static_cast<double>(iters) / 1024.0;
+    result.workspace_peak = workspace.peak_bytes();
+    result.plan_buffers = net.planned_buffer_bytes();
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_banner(
+        "Forward allocation — legacy allocate-per-call vs planned executor",
+        "after one warm-up batch a planned forward performs zero heap "
+        "(tensor-storage) allocations; steady-state footprint = plan "
+        "buffers + workspace peak");
+
+    const std::int64_t iters = env_int("MIME_ALLOC_ITERS", 20);
+    const std::int64_t batch = env_int("MIME_ALLOC_BATCH", 8);
+
+    Table table({"arch", "path", "req/s", "allocs/batch", "alloc KB/batch",
+                 "ws peak B", "plan buffers B"});
+    double legacy_allocs = 0.0;
+    double speedup_sum = 0.0;
+    int arch_count = 0;
+
+    const std::pair<std::string, core::MimeNetworkConfig> configs[] = {
+        {"vgg16(w/16)", vgg_config()},
+        {"plain-cnn", cnn_config()},
+    };
+    for (const auto& [name, config] : configs) {
+        core::MimeNetwork net(config);
+        net.set_training(false);
+        net.set_mode(core::ActivationMode::threshold);
+        net.reset_thresholds(0.1f);
+        Rng rng(17);
+        const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+
+        const PathResult legacy = run_legacy(net, x, iters);
+        const PathResult planned = run_planned(net, x, iters);
+        legacy_allocs += legacy.allocs_per_batch;
+        speedup_sum += planned.req_per_s / legacy.req_per_s;
+        ++arch_count;
+
+        table.add_row({name, "legacy", Table::num(legacy.req_per_s, 1),
+                       Table::num(legacy.allocs_per_batch, 1),
+                       Table::num(legacy.alloc_kb_per_batch, 1), "-", "-"});
+        table.add_row({name, "planned", Table::num(planned.req_per_s, 1),
+                       "0", "0.0", std::to_string(planned.workspace_peak),
+                       std::to_string(planned.plan_buffers)});
+    }
+    table.print();
+
+    bench::print_claim("planned allocations per batch after warm-up",
+                       "0 (plan-once / execute-many)", "0 (asserted)");
+    bench::print_claim(
+        "legacy allocations per batch (mean over archs)", "> 0",
+        Table::num(legacy_allocs / arch_count, 1));
+    bench::print_claim(
+        "planned vs legacy throughput (mean over archs)", ">= ~1x",
+        Table::ratio(speedup_sum / arch_count));
+    return 0;
+}

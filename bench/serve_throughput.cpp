@@ -308,7 +308,8 @@ int main() {
     }
 
     Table pool_table({"pool", "routing", "req/s", "speedup", "p50 us",
-                      "p95 us", "hit rate", "swaps/req"});
+                      "p95 us", "hit rate", "swaps/req", "ws peak/rep B",
+                      "ws peak pool B"});
     double base_rps[2] = {0.0, 0.0};
     double pool4_rps[2] = {0.0, 0.0};
     double pool4_hit_rate[2] = {0.0, 0.0};
@@ -342,7 +343,10 @@ int main() {
                  Table::num(stats.p50_latency_us, 0),
                  Table::num(stats.p95_latency_us, 0),
                  Table::num(stats.cache_hit_rate, 3),
-                 Table::num(swaps_per_request, 3)});
+                 Table::num(swaps_per_request, 3),
+                 std::to_string(stats.workspace_peak_bytes /
+                                static_cast<std::int64_t>(pool_size)),
+                 std::to_string(stats.workspace_peak_bytes)});
         }
     }
     pool_table.print();

@@ -1,0 +1,147 @@
+#include "core/forward_plan.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "core/mime_network.h"
+#include "nn/layers.h"
+
+namespace mime::core {
+
+namespace {
+
+std::int64_t tensor_bytes(const Tensor& t) {
+    return t.numel() * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace
+
+ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
+    : batch_size_(batch_size) {
+    MIME_REQUIRE(batch_size >= 1, "ForwardPlan batch size must be >= 1");
+    MIME_REQUIRE(!network.layer_specs().empty(),
+                 "ForwardPlan needs a built network");
+    const arch::LayerSpec& first = network.layer_specs().front();
+    input_shape_ = Shape(
+        {batch_size, first.in_channels, first.in_height, first.in_width});
+    input_slab_ = Tensor(input_shape_);
+
+    nn::Sequential& graph = network.network();
+    // Reserved up front: `last_buffer` points into steps_ during the
+    // build, so the vector must never reallocate.
+    steps_.reserve(graph.size());
+    Shape current = input_shape_;
+    Tensor* last_buffer = nullptr;  // most recent plan-owned buffer
+
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        nn::Module& layer = graph.layer(i);
+        Step step{};
+        if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+            step.kind = Step::Kind::conv;
+            step.conv = conv;
+            // One validated geometry drives both the buffer shape and
+            // the scratch reservation, so the plan can never diverge
+            // from what forward_into computes.
+            const ConvGeometry g =
+                conv->geometry(current.dim(2), current.dim(3));
+            const std::size_t scratch =
+                Workspace::aligned_floats(g.col_rows() * g.col_cols()) *
+                sizeof(float);
+            if (scratch > workspace_bytes_) {
+                workspace_bytes_ = scratch;
+            }
+            step.buffer = Tensor({batch_size, conv->out_channels(),
+                                  g.out_height(), g.out_width()});
+            current = step.buffer.shape();
+        } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+            MIME_REQUIRE(last_buffer != nullptr,
+                         "BatchNorm2d cannot be the first planned layer");
+            step.kind = Step::Kind::batchnorm;
+            step.bn = bn;
+        } else if (auto* site = dynamic_cast<ActivationSite*>(&layer)) {
+            MIME_REQUIRE(last_buffer != nullptr,
+                         "ActivationSite cannot be the first planned layer");
+            step.kind = Step::Kind::activation;
+            step.site = site;
+        } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+            step.kind = Step::Kind::pool;
+            step.pool = pool;
+            step.buffer = Tensor(pool->output_shape(current));
+            current = step.buffer.shape();
+        } else if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+            MIME_REQUIRE(last_buffer != nullptr,
+                         "Flatten cannot be the first planned layer");
+            step.kind = Step::Kind::flatten;
+            const std::int64_t features = current.numel() / batch_size;
+            step.buffer = last_buffer->alias(Shape({batch_size, features}));
+            current = step.buffer.shape();
+        } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+            step.kind = Step::Kind::linear;
+            step.linear = linear;
+            step.buffer = Tensor({batch_size, linear->out_features()});
+            current = step.buffer.shape();
+        } else {
+            MIME_REQUIRE(false, "ForwardPlan cannot schedule layer kind '" +
+                                    layer.kind() + "'");
+        }
+        steps_.push_back(std::move(step));
+        if (steps_.back().buffer.shape().rank() != 0) {
+            last_buffer = &steps_.back().buffer;
+        }
+    }
+
+    buffer_bytes_ = static_cast<std::size_t>(tensor_bytes(input_slab_));
+    for (const Step& step : steps_) {
+        if (step.kind == Step::Kind::conv ||
+            step.kind == Step::Kind::pool ||
+            step.kind == Step::Kind::linear) {
+            buffer_bytes_ +=
+                static_cast<std::size_t>(tensor_bytes(step.buffer));
+        }
+    }
+}
+
+const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
+    MIME_REQUIRE(input.shape() == input_shape_,
+                 "ForwardPlan::run input must be " + input_shape_.to_string() +
+                     ", got " + input.shape().to_string());
+    // Scratch has no cross-batch lifetime, so discard any leftover
+    // offset up front: a batch that threw mid-conv (between alloc and
+    // rewind) must not wedge every subsequent batch on this workspace.
+    workspace.reset();
+    if (workspace.capacity_bytes() < workspace_bytes_) {
+        workspace.reserve(workspace_bytes_);  // warm-up only
+    }
+
+    const Tensor* cur = &input;
+    Tensor* cur_mut = nullptr;  // null while cur is the caller's input
+    for (Step& step : steps_) {
+        switch (step.kind) {
+            case Step::Kind::conv:
+                step.conv->forward_into(*cur, workspace, step.buffer);
+                cur = cur_mut = &step.buffer;
+                break;
+            case Step::Kind::batchnorm:
+                step.bn->forward_into(*cur, *cur_mut);
+                break;
+            case Step::Kind::activation:
+                step.site->forward_eval_inplace(*cur_mut);
+                break;
+            case Step::Kind::pool:
+                step.pool->forward_into(*cur, step.buffer);
+                cur = cur_mut = &step.buffer;
+                break;
+            case Step::Kind::flatten:
+                // The view aliases cur_mut's storage; nothing to compute.
+                cur = cur_mut = &step.buffer;
+                break;
+            case Step::Kind::linear:
+                step.linear->forward_into(*cur, step.buffer);
+                cur = cur_mut = &step.buffer;
+                break;
+        }
+    }
+    return *cur;
+}
+
+}  // namespace mime::core

@@ -1,0 +1,108 @@
+// ForwardPlan: a pre-sized, allocation-free execution schedule for one
+// MimeNetwork forward pass at a fixed (batch size, input shape).
+//
+// The module-graph forward allocates on every call: each Conv2d
+// materializes an im2col buffer and a fresh output tensor, each
+// activation site a mask, and eval-mode forwards still pay for caches
+// that only a backward pass would read. MIME's value proposition is a
+// *fixed* steady-state working set per task switch, so serving wants the
+// dual: build the schedule once, then execute batches against
+// preallocated buffers with zero heap traffic.
+//
+// The plan walks the network's Sequential once at build time and records
+// one step per layer:
+//   * Conv2d / MaxPool2d / Linear steps own a preallocated output buffer
+//     and (conv only) a workspace scratch reservation for im2col;
+//   * BatchNorm2d normalizes the conv activations in place;
+//   * activation sites run as one fused in-place pass (threshold masking
+//     or ReLU — no mask tensor, no cached MAC outputs);
+//   * Flatten is free: an alias view of the previous buffer at the
+//     flattened shape.
+// Scratch lifetimes nest per layer, so the Workspace high-water mark is
+// the *maximum* im2col footprint over conv layers, not the sum.
+//
+// Thresholds are read live from the sites at execution time: a task's
+// threshold install between batches needs no plan rebuild.
+//
+// The plan holds non-owning pointers into the network's modules; the
+// network must outlive it (MimeNetwork owns its plans, which makes that
+// automatic). Executing a plan requires the network to be in eval mode —
+// backward-only caching is exactly the allocation the plan eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace mime::core {
+
+class MimeNetwork;
+class ActivationSite;
+
+class ForwardPlan {
+public:
+    /// Builds the schedule and allocates every buffer (this is the only
+    /// place a planned forward allocates). The network must outlive the
+    /// plan.
+    ForwardPlan(MimeNetwork& network, std::int64_t batch_size);
+
+    ForwardPlan(const ForwardPlan&) = delete;
+    ForwardPlan& operator=(const ForwardPlan&) = delete;
+
+    /// Executes one batch. `input` must match input_shape(); the
+    /// workspace is reset on entry (scratch never outlives a batch, and
+    /// a previous batch that threw mid-layer must not wedge this one)
+    /// and reserved to workspace_bytes() on first use. Returns the
+    /// logits buffer, which stays valid (and is overwritten) across
+    /// run() calls. Performs zero heap allocations after the first
+    /// call reserved the workspace.
+    const Tensor& run(const Tensor& input, Workspace& workspace);
+
+    /// Preallocated batched input slab callers may fill in place (the
+    /// server stacks request images straight into it) and pass to
+    /// run().
+    Tensor& input_slab() noexcept { return input_slab_; }
+
+    std::int64_t batch_size() const noexcept { return batch_size_; }
+    /// Batched input shape ([N, C, H, W]) this plan was built for.
+    const Shape& input_shape() const noexcept { return input_shape_; }
+
+    /// Scratch high-water mark a run needs (im2col; alignment-rounded).
+    std::size_t workspace_bytes() const noexcept { return workspace_bytes_; }
+    /// Bytes of plan-owned activation buffers (input slab included).
+    std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
+
+private:
+    struct Step {
+        enum class Kind {
+            conv,        ///< conv->forward_into, new buffer + scratch
+            batchnorm,   ///< bn->forward_into in place
+            activation,  ///< site->forward_eval_inplace (fused mask/ReLU)
+            pool,        ///< pool->forward_into, new buffer
+            flatten,     ///< alias view of the previous buffer
+            linear       ///< linear->forward_into, new buffer
+        };
+        Kind kind;
+        nn::Conv2d* conv = nullptr;
+        nn::BatchNorm2d* bn = nullptr;
+        ActivationSite* site = nullptr;
+        nn::MaxPool2d* pool = nullptr;
+        nn::Linear* linear = nullptr;
+        Tensor buffer;  ///< owned output (conv/pool/linear), view (flatten)
+    };
+
+    std::int64_t batch_size_;
+    Shape input_shape_;
+    Tensor input_slab_;
+    std::vector<Step> steps_;
+    std::size_t workspace_bytes_ = 0;
+    std::size_t buffer_bytes_ = 0;
+};
+
+}  // namespace mime::core

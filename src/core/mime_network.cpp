@@ -1,6 +1,7 @@
 #include "core/mime_network.h"
 
 #include "common/check.h"
+#include "core/forward_plan.h"
 
 namespace mime::core {
 
@@ -29,6 +30,24 @@ void ActivationSite::set_training(bool training) {
     nn::Module::set_training(training);
     relu_.set_training(training);
     mask_.set_training(training);
+}
+
+void ActivationSite::set_eval_mode(bool eval) {
+    nn::Module::set_eval_mode(eval);
+    relu_.set_eval_mode(eval);
+    mask_.set_eval_mode(eval);
+}
+
+std::int64_t ActivationSite::cached_state_bytes() const {
+    return relu_.cached_state_bytes() + mask_.cached_state_bytes();
+}
+
+void ActivationSite::forward_eval_inplace(Tensor& activations) {
+    if (mode_ == ActivationMode::relu) {
+        relu_.forward_eval_inplace(activations);
+    } else {
+        mask_.forward_eval_inplace(activations);
+    }
 }
 
 double ActivationSite::last_sparsity() const noexcept {
@@ -120,8 +139,55 @@ MimeNetwork::MimeNetwork(const MimeNetworkConfig& config)
                 "one activation site per threshold layer");
 }
 
+MimeNetwork::~MimeNetwork() = default;
+
 Tensor MimeNetwork::forward(const Tensor& input) {
     return network_.forward(input);
+}
+
+ForwardPlan& MimeNetwork::plan_for(std::int64_t batch_size) {
+    auto it = plans_.find(batch_size);
+    if (it == plans_.end()) {
+        it = plans_
+                 .emplace(batch_size,
+                          std::make_unique<ForwardPlan>(*this, batch_size))
+                 .first;
+    }
+    return *it->second;
+}
+
+const Tensor& MimeNetwork::forward_planned(const Tensor& input,
+                                           Workspace& workspace) {
+    MIME_REQUIRE(eval_mode_,
+                 "forward_planned requires eval mode (set_eval_mode(true)): "
+                 "backward caching is the allocation it eliminates");
+    MIME_REQUIRE(input.shape().rank() == 4,
+                 "forward_planned expects [N, C, H, W], got " +
+                     input.shape().to_string());
+    return plan_for(input.shape().dim(0)).run(input, workspace);
+}
+
+std::size_t MimeNetwork::planned_workspace_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& [batch, plan] : plans_) {
+        if (plan->workspace_bytes() > bytes) {
+            bytes = plan->workspace_bytes();
+        }
+    }
+    return bytes;
+}
+
+std::size_t MimeNetwork::planned_buffer_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& [batch, plan] : plans_) {
+        bytes += plan->buffer_bytes();
+    }
+    return bytes;
+}
+
+void MimeNetwork::set_eval_mode(bool eval) {
+    eval_mode_ = eval;
+    network_.set_eval_mode(eval);
 }
 
 void MimeNetwork::set_training(bool training) {

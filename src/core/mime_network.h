@@ -4,6 +4,7 @@
 // paper: one W_parent, many T_child).
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,8 +17,11 @@
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/pooling.h"
+#include "tensor/workspace.h"
 
 namespace mime::core {
+
+class ForwardPlan;
 
 /// Which activation the network's sites apply.
 enum class ActivationMode {
@@ -38,6 +42,13 @@ public:
     std::string kind() const override { return "ActivationSite"; }
     std::vector<nn::Parameter*> parameters() override;
     void set_training(bool training) override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: one fused in-place pass over the
+    /// activations — ReLU or threshold masking depending on mode() —
+    /// updating last_sparsity(). Bit-identical to forward().
+    void forward_eval_inplace(Tensor& activations);
 
     void set_mode(ActivationMode mode) { mode_ = mode; }
     ActivationMode mode() const noexcept { return mode_; }
@@ -88,6 +99,7 @@ struct MimeNetworkConfig {
 class MimeNetwork {
 public:
     explicit MimeNetwork(const MimeNetworkConfig& config);
+    ~MimeNetwork();  // out-of-line: plans_ holds incomplete ForwardPlan
 
     // -- running -----------------------------------------------------------
 
@@ -96,10 +108,48 @@ public:
     /// Backward from dL/dlogits; accumulates parameter gradients.
     Tensor backward(const Tensor& grad_logits);
 
+    /// Planned, allocation-free forward. Builds (and caches) a
+    /// ForwardPlan for this batch size on first use — the warm-up —
+    /// then executes against the plan's preallocated buffers with zero
+    /// heap allocations, using `workspace` for im2col scratch. Output
+    /// bit-matches forward(); the returned reference is overwritten by
+    /// the next planned run at this batch size. Requires eval mode.
+    const Tensor& forward_planned(const Tensor& input, Workspace& workspace);
+
+    /// The cached plan for one batch size (built on first use). Lets
+    /// callers stack images directly into plan_for(n).input_slab().
+    /// Plans are never evicted — that is what makes steady state
+    /// allocation-free — so a caller serving ragged batch sizes
+    /// accumulates one buffer set per distinct size, bounded by
+    /// ~(max_batch + 1)/2 times the largest plan (buffers scale
+    /// linearly with batch). Keep the batcher's max_batch_size modest
+    /// and watch planned_buffer_bytes() (serving surfaces it as
+    /// plan_buffer_bytes).
+    ForwardPlan& plan_for(std::int64_t batch_size);
+
+    /// Scratch high-water mark (bytes) over every plan built so far;
+    /// the workspace capacity a steady-state server replica needs.
+    std::size_t planned_workspace_bytes() const;
+    /// Plan-owned activation buffer bytes over every plan built so far.
+    std::size_t planned_buffer_bytes() const;
+
     /// Sets train/eval mode. While the backbone is frozen, BatchNorm
     /// layers stay in inference mode even during threshold training so
     /// their running statistics — part of W_parent — never drift.
     void set_training(bool training);
+
+    /// Inference-only execution for the whole graph: forwards retain no
+    /// backward-only caches (see nn::Module::set_eval_mode). Required
+    /// by forward_planned(); the serving stack turns it on.
+    void set_eval_mode(bool eval);
+    bool eval_mode() const noexcept { return eval_mode_; }
+
+    /// Backward-only cached bytes currently retained across the graph
+    /// (0 after any eval-mode forward).
+    std::int64_t cached_state_bytes() const {
+        return network_.cached_state_bytes();
+    }
+
     void set_pool(ThreadPool* pool) { network_.set_pool(pool); }
 
     // -- modes and parameter groups -----------------------------------------
@@ -197,6 +247,11 @@ private:
     std::vector<nn::BatchNorm2d*> batchnorms_;     // non-owning
     ActivationMode mode_ = ActivationMode::relu;
     bool backbone_frozen_ = false;
+    bool eval_mode_ = false;
+    /// Plans keyed by batch size, built lazily by plan_for(). Plans
+    /// hold pointers into network_'s modules, so they live (and die)
+    /// with this network.
+    std::map<std::int64_t, std::unique_ptr<ForwardPlan>> plans_;
 };
 
 }  // namespace mime::core

@@ -49,6 +49,12 @@ Tensor ThresholdMask::forward(const Tensor& input) {
                      input.shape().to_string() + " vs " +
                      activation_shape_.to_string());
 
+    if (eval_mode()) {
+        Tensor output = input;
+        forward_eval_inplace(output);
+        return output;
+    }
+
     cached_input_ = input;
     cached_mask_ = Tensor(input.shape());
     Tensor output(input.shape());
@@ -73,6 +79,43 @@ Tensor ThresholdMask::forward(const Tensor& input) {
     last_sparsity_ =
         static_cast<double>(zeros) / static_cast<double>(input.numel());
     return output;
+}
+
+void ThresholdMask::forward_eval_inplace(Tensor& activations) {
+    const std::int64_t per_sample = activation_shape_.numel();
+    const std::int64_t batch = activations.shape().dim(0);
+    MIME_REQUIRE(activations.numel() == batch * per_sample,
+                 "ThresholdMask activation shape mismatch: " +
+                     activations.shape().to_string() + " vs " +
+                     activation_shape_.to_string());
+    const float* t = thresholds_.value.data();
+    std::int64_t zeros = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        float* y = activations.data() + n * per_sample;
+        for (std::int64_t i = 0; i < per_sample; ++i) {
+            if (y[i] - t[i] >= 0.0f) {
+                // keep y[i]
+            } else {
+                y[i] = 0.0f;
+                ++zeros;
+            }
+        }
+    }
+    last_sparsity_ = static_cast<double>(zeros) /
+                     static_cast<double>(activations.numel());
+}
+
+void ThresholdMask::set_eval_mode(bool eval) {
+    nn::Module::set_eval_mode(eval);
+    if (eval) {
+        cached_input_ = Tensor();
+        cached_mask_ = Tensor();
+    }
+}
+
+std::int64_t ThresholdMask::cached_state_bytes() const {
+    return nn::cached_tensor_bytes(cached_input_) +
+           nn::cached_tensor_bytes(cached_mask_);
 }
 
 Tensor ThresholdMask::backward(const Tensor& grad_output) {

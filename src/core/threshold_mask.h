@@ -48,6 +48,15 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "ThresholdMask"; }
     std::vector<nn::Parameter*> parameters() override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: applies a = y * 1[y - t >= 0] to
+    /// `activations` in place in one fused pass — no mask tensor, no
+    /// cached MAC outputs — counting zeros for last_sparsity().
+    /// Bit-identical to forward(). Reads thresholds live, so a task's
+    /// threshold install mid-stream takes effect on the next batch.
+    void forward_eval_inplace(Tensor& activations);
 
     /// The threshold parameter tensor t (shape = activation shape).
     nn::Parameter& thresholds() noexcept { return thresholds_; }

@@ -21,11 +21,70 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float epsilon)
                  "BatchNorm2d momentum must be in (0, 1]");
 }
 
+void BatchNorm2d::forward_into(const Tensor& input, Tensor& output) {
+    MIME_REQUIRE(input.shape().rank() == 4 &&
+                     input.shape().dim(1) == channels_,
+                 "BatchNorm2d expects [N, " + std::to_string(channels_) +
+                     ", H, W], got " + input.shape().to_string());
+    MIME_REQUIRE(output.shape() == input.shape(),
+                 "BatchNorm2d::forward_into output shape mismatch: " +
+                     output.shape().to_string());
+    // Eval mode alone is enough: it declares inference-only execution,
+    // which implies the frozen running-statistics path regardless of
+    // the training flag (matching every other layer's eval behavior).
+    MIME_REQUIRE(!training() || eval_mode(),
+                 "BatchNorm2d::forward_into runs on frozen running "
+                 "statistics; set_training(false) or set_eval_mode(true) "
+                 "first");
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t plane = input.shape().dim(2) * input.shape().dim(3);
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        const float mean_value = running_mean_.value[c];
+        const float inv_std =
+            1.0f / std::sqrt(running_var_.value[c] + epsilon_);
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        for (std::int64_t n = 0; n < batch; ++n) {
+            const float* p = input.data() + (n * channels_ + c) * plane;
+            float* o = output.data() + (n * channels_ + c) * plane;
+            for (std::int64_t s = 0; s < plane; ++s) {
+                // Same intermediate rounding as forward()'s cached
+                // `norm[s]`, so planned and legacy outputs bit-match.
+                const float norm = (p[s] - mean_value) * inv_std;
+                o[s] = g * norm + b;
+            }
+        }
+    }
+}
+
+void BatchNorm2d::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_input_ = Tensor();
+        cached_normalized_ = Tensor();
+        cached_inv_std_ = Tensor();
+        cached_mean_ = Tensor();
+    }
+}
+
+std::int64_t BatchNorm2d::cached_state_bytes() const {
+    return cached_tensor_bytes(cached_input_) +
+           cached_tensor_bytes(cached_normalized_) +
+           cached_tensor_bytes(cached_inv_std_) +
+           cached_tensor_bytes(cached_mean_);
+}
+
 Tensor BatchNorm2d::forward(const Tensor& input) {
     MIME_REQUIRE(input.shape().rank() == 4 &&
                      input.shape().dim(1) == channels_,
                  "BatchNorm2d expects [N, " + std::to_string(channels_) +
                      ", H, W], got " + input.shape().to_string());
+    if (eval_mode()) {
+        // Inference-only: no batch statistics, no backward caches.
+        Tensor output(input.shape());
+        forward_into(input, output);
+        return output;
+    }
     const std::int64_t batch = input.shape().dim(0);
     const std::int64_t h = input.shape().dim(2);
     const std::int64_t w = input.shape().dim(3);

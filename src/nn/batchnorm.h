@@ -22,6 +22,15 @@ public:
     std::vector<Parameter*> parameters() override;
     /// Running statistics — persisted with the model, never optimized.
     std::vector<Parameter*> buffers() override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward on running statistics: normalizes into
+    /// the caller-preallocated `output` (which may be `input` itself —
+    /// the plan normalizes conv activations in place). No heap
+    /// allocation, no batch-statistics buffers, no backward caching.
+    /// Bit-identical to an inference-mode forward().
+    void forward_into(const Tensor& input, Tensor& output);
 
     Parameter& gamma() noexcept { return gamma_; }
     Parameter& beta() noexcept { return beta_; }

@@ -39,15 +39,7 @@ ConvGeometry Conv2d::geometry_for(const Tensor& input) const {
                  "Conv2d channel mismatch: layer expects " +
                      std::to_string(in_channels_) + ", input has " +
                      std::to_string(input.shape().dim(1)));
-    ConvGeometry g;
-    g.in_channels = in_channels_;
-    g.in_height = input.shape().dim(2);
-    g.in_width = input.shape().dim(3);
-    g.kernel = kernel_;
-    g.stride = stride_;
-    g.padding = padding_;
-    g.validate();
-    return g;
+    return geometry(input.shape().dim(2), input.shape().dim(3));
 }
 
 Tensor Conv2d::forward(const Tensor& input) {
@@ -58,7 +50,9 @@ Tensor Conv2d::forward(const Tensor& input) {
     const std::int64_t spatial = ho * wo;
     const std::int64_t ckk = g.col_rows();
 
-    cached_input_ = input;
+    if (!eval_mode()) {
+        cached_input_ = input;
+    }
     Tensor output({batch, out_channels_, ho, wo});
 
     const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
@@ -102,6 +96,76 @@ Tensor Conv2d::forward(const Tensor& input) {
         }
     }
     return output;
+}
+
+void Conv2d::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_input_ = Tensor();
+    }
+}
+
+std::int64_t Conv2d::cached_state_bytes() const {
+    return cached_tensor_bytes(cached_input_);
+}
+
+ConvGeometry Conv2d::geometry(std::int64_t in_height,
+                              std::int64_t in_width) const {
+    ConvGeometry g;
+    g.in_channels = in_channels_;
+    g.in_height = in_height;
+    g.in_width = in_width;
+    g.kernel = kernel_;
+    g.stride = stride_;
+    g.padding = padding_;
+    g.validate();
+    return g;
+}
+
+std::int64_t Conv2d::workspace_floats(std::int64_t in_height,
+                                      std::int64_t in_width) const {
+    const ConvGeometry g = geometry(in_height, in_width);
+    return static_cast<std::int64_t>(
+        Workspace::aligned_floats(g.col_rows() * g.col_cols()));
+}
+
+void Conv2d::forward_into(const Tensor& input, Workspace& workspace,
+                          Tensor& output) {
+    const ConvGeometry g = geometry_for(input);
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t spatial = ho * wo;
+    const std::int64_t ckk = g.col_rows();
+    MIME_REQUIRE(eval_mode(),
+                 "Conv2d::forward_into is inference-only; set_eval_mode "
+                 "first");
+    MIME_REQUIRE(output.shape() == Shape({batch, out_channels_, ho, wo}),
+                 "Conv2d::forward_into output must be preallocated to " +
+                     Shape({batch, out_channels_, ho, wo}).to_string() +
+                     ", got " + output.shape().to_string());
+
+    const Workspace::Checkpoint mark = workspace.checkpoint();
+    float* cols = workspace.alloc_floats(ckk * spatial);
+    const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
+    const std::int64_t out_stride = out_channels_ * spatial;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        im2col(g, input.data() + n * in_stride, cols);
+        float* out = output.data() + n * out_stride;
+        gemm(false, false, out_channels_, spatial, ckk, 1.0f,
+             weight_.value.data(), ckk, cols, spatial, 0.0f, out, spatial,
+             pool_);
+        if (bias_) {
+            const float* b = bias_->value.data();
+            for (std::int64_t c = 0; c < out_channels_; ++c) {
+                float* row = out + c * spatial;
+                for (std::int64_t s = 0; s < spatial; ++s) {
+                    row[s] += b[c];
+                }
+            }
+        }
+    }
+    workspace.rewind(mark);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {

@@ -5,6 +5,7 @@
 
 #include "nn/module.h"
 #include "tensor/im2col.h"
+#include "tensor/workspace.h"
 
 namespace mime::nn {
 
@@ -22,6 +23,28 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "Conv2d"; }
     std::vector<Parameter*> parameters() override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: writes into the caller-preallocated
+    /// `output` ([N, Cout, Ho, Wo]) using `workspace` for the im2col
+    /// scratch — no heap allocation, no backward caching. Samples run
+    /// sequentially with the GEMM on this module's pool (the legacy
+    /// forward instead splits samples across the pool with per-thread
+    /// heap scratch); both orders produce bit-identical outputs because
+    /// each output row's FMA chain is the same either way.
+    void forward_into(const Tensor& input, Workspace& workspace,
+                      Tensor& output);
+
+    /// Validated convolution geometry for an input of the given spatial
+    /// extents — the single source of truth for output sizes that both
+    /// the forwards and ForwardPlan's buffer pre-sizing derive from.
+    ConvGeometry geometry(std::int64_t in_height, std::int64_t in_width) const;
+
+    /// Workspace floats forward_into() allocates for one forward at
+    /// this input geometry (already alignment-rounded).
+    std::int64_t workspace_floats(std::int64_t in_height,
+                                  std::int64_t in_width) const;
 
     Parameter& weight() noexcept { return weight_; }
     Parameter& bias() { return bias_.value(); }

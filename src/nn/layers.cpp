@@ -5,6 +5,11 @@
 namespace mime::nn {
 
 Tensor ReLU::forward(const Tensor& input) {
+    if (eval_mode()) {
+        Tensor output = input;
+        forward_eval_inplace(output);
+        return output;
+    }
     Tensor output(input.shape());
     cached_mask_ = Tensor(input.shape());
     std::int64_t zeros = 0;
@@ -21,6 +26,32 @@ Tensor ReLU::forward(const Tensor& input) {
     last_sparsity_ =
         static_cast<double>(zeros) / static_cast<double>(input.numel());
     return output;
+}
+
+void ReLU::forward_eval_inplace(Tensor& activations) {
+    std::int64_t zeros = 0;
+    float* a = activations.data();
+    for (std::int64_t i = 0; i < activations.numel(); ++i) {
+        if (a[i] > 0.0f) {
+            // keep
+        } else {
+            a[i] = 0.0f;
+            ++zeros;
+        }
+    }
+    last_sparsity_ = static_cast<double>(zeros) /
+                     static_cast<double>(activations.numel());
+}
+
+void ReLU::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_mask_ = Tensor();
+    }
+}
+
+std::int64_t ReLU::cached_state_bytes() const {
+    return cached_tensor_bytes(cached_mask_);
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
@@ -51,7 +82,21 @@ Dropout::Dropout(double drop_probability, Rng& rng)
                  "dropout probability must be in [0, 1)");
 }
 
+void Dropout::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_scale_ = Tensor();
+    }
+}
+
+std::int64_t Dropout::cached_state_bytes() const {
+    return cached_tensor_bytes(cached_scale_);
+}
+
 Tensor Dropout::forward(const Tensor& input) {
+    if (eval_mode()) {
+        return input;  // inference pass-through, no backward scale kept
+    }
     if (!training() || drop_probability_ == 0.0) {
         cached_scale_ = Tensor::ones(input.shape());
         return input;

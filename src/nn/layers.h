@@ -12,6 +12,13 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "ReLU"; }
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: rectifies `activations` in place in one
+    /// pass (no output tensor, no mask), counting zeros for
+    /// last_sparsity(). Bit-identical to forward().
+    void forward_eval_inplace(Tensor& activations);
 
     /// Zero fraction of the most recent forward output (layerwise
     /// neuronal sparsity of the batch).
@@ -41,6 +48,8 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "Dropout"; }
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
 
     double drop_probability() const noexcept { return drop_probability_; }
 

@@ -29,10 +29,17 @@ Tensor Linear::forward(const Tensor& input) {
                  "Linear feature mismatch: layer expects " +
                      std::to_string(in_features_) + ", input has " +
                      std::to_string(input.shape().dim(1)));
-    cached_input_ = input;
+    if (!eval_mode()) {
+        cached_input_ = input;
+    }
     const std::int64_t batch = input.shape().dim(0);
-
     Tensor output({batch, out_features_});
+    forward_compute(input, output);
+    return output;
+}
+
+void Linear::forward_compute(const Tensor& input, Tensor& output) {
+    const std::int64_t batch = input.shape().dim(0);
     // out[N, O] = x[N, I] * W^T[I, O]
     gemm(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
          in_features_, weight_.value.data(), in_features_, 0.0f, output.data(),
@@ -46,7 +53,33 @@ Tensor Linear::forward(const Tensor& input) {
             }
         }
     }
-    return output;
+}
+
+void Linear::forward_into(const Tensor& input, Tensor& output) {
+    MIME_REQUIRE(eval_mode(),
+                 "Linear::forward_into is inference-only; set_eval_mode "
+                 "first");
+    MIME_REQUIRE(input.shape().rank() == 2 &&
+                     input.shape().dim(1) == in_features_,
+                 "Linear::forward_into expects [N, " +
+                     std::to_string(in_features_) + "], got " +
+                     input.shape().to_string());
+    MIME_REQUIRE(output.shape() == Shape({input.shape().dim(0), out_features_}),
+                 "Linear::forward_into output must be preallocated to [N, " +
+                     std::to_string(out_features_) + "], got " +
+                     output.shape().to_string());
+    forward_compute(input, output);
+}
+
+void Linear::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_input_ = Tensor();
+    }
+}
+
+std::int64_t Linear::cached_state_bytes() const {
+    return cached_tensor_bytes(cached_input_);
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {

@@ -20,6 +20,13 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "Linear"; }
     std::vector<Parameter*> parameters() override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: writes into the caller-preallocated
+    /// `output` ([N, out_features]); no heap allocation, no backward
+    /// caching. Bit-identical to forward().
+    void forward_into(const Tensor& input, Tensor& output);
 
     Parameter& weight() noexcept { return weight_; }
     Parameter& bias() { return bias_.value(); }
@@ -29,6 +36,8 @@ public:
     std::int64_t out_features() const noexcept { return out_features_; }
 
 private:
+    void forward_compute(const Tensor& input, Tensor& output);
+
     std::int64_t in_features_;
     std::int64_t out_features_;
     Parameter weight_;

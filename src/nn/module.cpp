@@ -53,6 +53,21 @@ void Sequential::set_training(bool training) {
     }
 }
 
+void Sequential::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    for (auto& layer : layers_) {
+        layer->set_eval_mode(eval);
+    }
+}
+
+std::int64_t Sequential::cached_state_bytes() const {
+    std::int64_t bytes = 0;
+    for (const auto& layer : layers_) {
+        bytes += layer->cached_state_bytes();
+    }
+    return bytes;
+}
+
 void Sequential::set_pool(ThreadPool* pool) {
     Module::set_pool(pool);
     for (auto& layer : layers_) {

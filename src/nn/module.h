@@ -45,6 +45,22 @@ public:
     virtual void set_training(bool training) { training_ = training; }
     bool training() const noexcept { return training_; }
 
+    /// Inference-only execution. Under eval mode forward() must not
+    /// retain any state whose only consumer is a backward pass (cached
+    /// inputs, masks, pooling argmax), and backward() is a checked
+    /// error. Deliberately distinct from set_training(false): threshold
+    /// training runs BatchNorm on frozen running *statistics* yet still
+    /// backpropagates through every layer, so "not training" cannot
+    /// imply "no caches". Entering eval mode releases caches already
+    /// held. The serving stack and the planned executor run eval-mode.
+    virtual void set_eval_mode(bool eval) { eval_mode_ = eval; }
+    bool eval_mode() const noexcept { return eval_mode_; }
+
+    /// Bytes of backward-only cached state currently retained (debug /
+    /// test probe; containers sum their children). Must report 0 after
+    /// any eval-mode forward.
+    virtual std::int64_t cached_state_bytes() const { return 0; }
+
     /// Optional worker pool for compute-heavy layers; propagated by
     /// Sequential. Null means single-threaded.
     virtual void set_pool(ThreadPool* pool) { pool_ = pool; }
@@ -55,7 +71,16 @@ protected:
 
 private:
     bool training_ = true;
+    bool eval_mode_ = false;
 };
+
+/// cached_state_bytes() helper: a released cache slot is a
+/// default-constructed Tensor (rank 0), which holds no batch state.
+inline std::int64_t cached_tensor_bytes(const Tensor& t) noexcept {
+    return t.shape().rank() == 0
+               ? 0
+               : t.numel() * static_cast<std::int64_t>(sizeof(float));
+}
 
 /// Ordered container of sub-modules; forward chains them, backward
 /// reverses the chain.
@@ -82,6 +107,8 @@ public:
     std::vector<Parameter*> parameters() override;
     std::vector<Parameter*> buffers() override;
     void set_training(bool training) override;
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
     void set_pool(ThreadPool* pool) override;
 
     std::size_t size() const noexcept { return layers_.size(); }

@@ -9,16 +9,16 @@ struct PoolGeometry {
     std::int64_t batch, channels, in_h, in_w, out_h, out_w;
 };
 
-PoolGeometry pool_geometry(const Tensor& input, std::int64_t kernel,
+PoolGeometry pool_geometry(const Shape& shape, std::int64_t kernel,
                            std::int64_t stride, const char* who) {
-    MIME_REQUIRE(input.shape().rank() == 4,
+    MIME_REQUIRE(shape.rank() == 4,
                  std::string(who) + " expects [N, C, H, W], got " +
-                     input.shape().to_string());
+                     shape.to_string());
     PoolGeometry g;
-    g.batch = input.shape().dim(0);
-    g.channels = input.shape().dim(1);
-    g.in_h = input.shape().dim(2);
-    g.in_w = input.shape().dim(3);
+    g.batch = shape.dim(0);
+    g.channels = shape.dim(1);
+    g.in_h = shape.dim(2);
+    g.in_w = shape.dim(3);
     MIME_REQUIRE(kernel <= g.in_h && kernel <= g.in_w,
                  std::string(who) + ": window larger than input");
     g.out_h = (g.in_h - kernel) / stride + 1;
@@ -26,6 +26,50 @@ PoolGeometry pool_geometry(const Tensor& input, std::int64_t kernel,
     MIME_REQUIRE(g.out_h > 0 && g.out_w > 0,
                  std::string(who) + ": window larger than input");
     return g;
+}
+
+PoolGeometry pool_geometry(const Tensor& input, std::int64_t kernel,
+                           std::int64_t stride, const char* who) {
+    return pool_geometry(input.shape(), kernel, stride, who);
+}
+
+/// The one window-max loop nest shared by MaxPool2d::forward (argmax
+/// recorded for backward) and forward_into (argmax null): legacy and
+/// planned paths cannot diverge.
+void max_pool_compute(const PoolGeometry& g, std::int64_t kernel,
+                      std::int64_t stride, const Tensor& input,
+                      Tensor& output, std::int64_t* argmax) {
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t c = 0; c < g.channels; ++c) {
+            const float* plane =
+                input.data() + (n * g.channels + c) * g.in_h * g.in_w;
+            const std::int64_t plane_base =
+                (n * g.channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
+                for (std::int64_t ox = 0; ox < g.out_w; ++ox, ++out_idx) {
+                    const std::int64_t y0 = oy * stride;
+                    const std::int64_t x0 = ox * stride;
+                    float best = plane[y0 * g.in_w + x0];
+                    std::int64_t best_idx = y0 * g.in_w + x0;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            const std::int64_t idx =
+                                (y0 + ky) * g.in_w + (x0 + kx);
+                            if (plane[idx] > best) {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    output[out_idx] = best;
+                    if (argmax != nullptr) {
+                        argmax[out_idx] = plane_base + best_idx;
+                    }
+                }
+            }
+        }
+    }
 }
 }  // namespace
 
@@ -39,39 +83,44 @@ Tensor MaxPool2d::forward(const Tensor& input) {
     const PoolGeometry g = pool_geometry(input, kernel_, stride_, "MaxPool2d");
     cached_input_shape_ = input.shape();
     Tensor output({g.batch, g.channels, g.out_h, g.out_w});
-    cached_argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
-
-    std::int64_t out_idx = 0;
-    for (std::int64_t n = 0; n < g.batch; ++n) {
-        for (std::int64_t c = 0; c < g.channels; ++c) {
-            const float* plane =
-                input.data() + (n * g.channels + c) * g.in_h * g.in_w;
-            const std::int64_t plane_base =
-                (n * g.channels + c) * g.in_h * g.in_w;
-            for (std::int64_t oy = 0; oy < g.out_h; ++oy) {
-                for (std::int64_t ox = 0; ox < g.out_w; ++ox, ++out_idx) {
-                    const std::int64_t y0 = oy * stride_;
-                    const std::int64_t x0 = ox * stride_;
-                    float best = plane[y0 * g.in_w + x0];
-                    std::int64_t best_idx = y0 * g.in_w + x0;
-                    for (std::int64_t ky = 0; ky < kernel_; ++ky) {
-                        for (std::int64_t kx = 0; kx < kernel_; ++kx) {
-                            const std::int64_t idx =
-                                (y0 + ky) * g.in_w + (x0 + kx);
-                            if (plane[idx] > best) {
-                                best = plane[idx];
-                                best_idx = idx;
-                            }
-                        }
-                    }
-                    output[out_idx] = best;
-                    cached_argmax_[static_cast<std::size_t>(out_idx)] =
-                        plane_base + best_idx;
-                }
-            }
-        }
+    std::int64_t* argmax = nullptr;
+    if (!eval_mode()) {
+        cached_argmax_.assign(static_cast<std::size_t>(output.numel()), 0);
+        argmax = cached_argmax_.data();
     }
+    max_pool_compute(g, kernel_, stride_, input, output, argmax);
     return output;
+}
+
+Shape MaxPool2d::output_shape(const Shape& input_shape) const {
+    const PoolGeometry g =
+        pool_geometry(input_shape, kernel_, stride_, "MaxPool2d");
+    return Shape({g.batch, g.channels, g.out_h, g.out_w});
+}
+
+void MaxPool2d::forward_into(const Tensor& input, Tensor& output) {
+    const PoolGeometry g = pool_geometry(input, kernel_, stride_, "MaxPool2d");
+    MIME_REQUIRE(eval_mode(),
+                 "MaxPool2d::forward_into is inference-only; set_eval_mode "
+                 "first");
+    MIME_REQUIRE(output.shape() ==
+                     Shape({g.batch, g.channels, g.out_h, g.out_w}),
+                 "MaxPool2d::forward_into output shape mismatch: " +
+                     output.shape().to_string());
+    max_pool_compute(g, kernel_, stride_, input, output, /*argmax=*/nullptr);
+}
+
+void MaxPool2d::set_eval_mode(bool eval) {
+    Module::set_eval_mode(eval);
+    if (eval) {
+        cached_argmax_.clear();
+        cached_argmax_.shrink_to_fit();
+    }
+}
+
+std::int64_t MaxPool2d::cached_state_bytes() const {
+    return static_cast<std::int64_t>(cached_argmax_.size() *
+                                     sizeof(std::int64_t));
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {

@@ -16,6 +16,16 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     std::string kind() const override { return "MaxPool2d"; }
+    void set_eval_mode(bool eval) override;
+    std::int64_t cached_state_bytes() const override;
+
+    /// Planned-executor forward: writes into the caller-preallocated
+    /// `output`; no heap allocation and no argmax bookkeeping (that
+    /// exists only for backward). Bit-identical to forward().
+    void forward_into(const Tensor& input, Tensor& output);
+
+    /// Output shape for pooling `input_shape` (validates geometry).
+    Shape output_shape(const Shape& input_shape) const;
 
     std::int64_t kernel() const noexcept { return kernel_; }
     std::int64_t stride() const noexcept { return stride_; }

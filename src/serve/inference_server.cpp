@@ -1,10 +1,12 @@
 #include "serve/inference_server.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/table.h"
+#include "core/forward_plan.h"
 #include "tensor/tensor_ops.h"
 
 namespace mime::serve {
@@ -31,6 +33,10 @@ std::string ServerStats::to_table_string() const {
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+    aggregate.add_row(
+        {"workspace peak (bytes)", std::to_string(workspace_peak_bytes)});
+    aggregate.add_row(
+        {"plan buffers (bytes)", std::to_string(plan_buffer_bytes)});
 
     Table tasks({"task", "requests", "batches", "mean sparsity"});
     for (const auto& [name, ts] : per_task) {
@@ -55,6 +61,10 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
     const arch::LayerSpec& first = network.layer_specs().front();
     input_shape_ = Shape({first.in_channels, first.in_height, first.in_width});
     network_->set_training(false);
+    // The planned executor needs eval-mode forwards (no backward-only
+    // caches); the legacy path keeps the network's previous cache
+    // behavior so A/B benches compare against the true old path.
+    network_->set_eval_mode(config.planned_executor);
     network_->set_mode(core::ActivationMode::threshold);
     network_->set_pool(&pool_);
     dispatcher_ = std::thread([this] { dispatch_loop(); });
@@ -174,17 +184,35 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
     try {
         install_task(task);
 
-        std::vector<Tensor> images;
-        images.reserve(batch.size());
-        for (InferenceRequest& request : batch) {
-            images.push_back(std::move(request.image));
+        // Planned path: stack request images into the plan's
+        // preallocated input slab and execute against plan buffers +
+        // this replica's workspace — zero heap allocations once the
+        // plan for this batch size is warm. Legacy path kept for A/B.
+        std::optional<Tensor> legacy_logits;
+        const Tensor* logits = nullptr;
+        if (config_.planned_executor) {
+            core::ForwardPlan& plan =
+                network_->plan_for(static_cast<std::int64_t>(batch.size()));
+            Tensor& slab = plan.input_slab();
+            for (std::size_t n = 0; n < batch.size(); ++n) {
+                batch_assign(slab, static_cast<std::int64_t>(n),
+                             batch[n].image);
+            }
+            logits = &network_->forward_planned(slab, workspace_);
+        } else {
+            std::vector<Tensor> images;
+            images.reserve(batch.size());
+            for (InferenceRequest& request : batch) {
+                images.push_back(std::move(request.image));
+            }
+            legacy_logits = network_->forward(stack(images));
+            logits = &*legacy_logits;
         }
-        const Tensor logits = network_->forward(stack(images));
         if (config_.simulated_service_time.count() > 0) {
             std::this_thread::sleep_for(config_.simulated_service_time);
         }
 
-        const std::int64_t head_width = logits.shape().dim(1);
+        const std::int64_t head_width = logits->shape().dim(1);
         const std::int64_t classes = active_classes_;
         MIME_REQUIRE(classes >= 1 && classes <= head_width,
                      "task " + task + " claims " + std::to_string(classes) +
@@ -216,7 +244,7 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             // Task-restricted logits row (the shared head is sized for
             // the largest task).
             const float* row =
-                logits.data() + static_cast<std::int64_t>(n) * head_width;
+                logits->data() + static_cast<std::int64_t>(n) * head_width;
             std::vector<float> row_values(
                 row, row + static_cast<std::size_t>(classes));
             result.logits = Tensor({classes}, std::move(row_values));
@@ -237,6 +265,10 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             completed_ += static_cast<std::int64_t>(batch.size());
             ++batches_run_;
             swaps_snapshot_ = threshold_swaps_;
+            workspace_peak_snapshot_ =
+                static_cast<std::int64_t>(workspace_.peak_bytes());
+            plan_buffers_snapshot_ =
+                static_cast<std::int64_t>(network_->planned_buffer_bytes());
             cache_hits_snapshot_ = cache_.hits();
             cache_misses_snapshot_ = cache_.misses();
             cache_evictions_snapshot_ = cache_.evictions();
@@ -285,6 +317,8 @@ ServerStats InferenceServer::stats() const {
     stats.requests_completed = completed_;
     stats.batches_run = batches_run_;
     stats.threshold_swaps = swaps_snapshot_;
+    stats.workspace_peak_bytes = workspace_peak_snapshot_;
+    stats.plan_buffer_bytes = plan_buffers_snapshot_;
     stats.cache_hits = cache_hits_snapshot_;
     stats.cache_misses = cache_misses_snapshot_;
     stats.cache_evictions = cache_evictions_snapshot_;

@@ -33,6 +33,7 @@
 #include "serve/request_queue.h"
 #include "serve/threshold_cache.h"
 #include "tensor/shape.h"
+#include "tensor/workspace.h"
 
 namespace mime {
 class Table;
@@ -60,6 +61,13 @@ struct ServerConfig {
     /// dispatch thread; a ServerPool uses it for admission-slot release
     /// and load tracking.
     std::function<void(std::size_t)> on_requests_complete;
+    /// Execute batches with the planned, allocation-free executor:
+    /// requests stack into the plan's preallocated input slab and the
+    /// forward runs against plan buffers plus this server's Workspace
+    /// (zero heap allocations after the first batch of each size). Off
+    /// falls back to the legacy allocate-per-call path — kept so
+    /// benches can A/B the two.
+    bool planned_executor = true;
 };
 
 /// Per-task aggregate serving statistics.
@@ -86,6 +94,12 @@ struct ServerStats {
     /// Completed requests per wall-clock second between the first
     /// enqueue and the last completion.
     double throughput_rps = 0.0;
+    /// Steady-state scratch high-water mark of this replica's Workspace
+    /// (0 when the legacy executor is configured).
+    std::int64_t workspace_peak_bytes = 0;
+    /// Bytes of plan-owned activation buffers across every batch size
+    /// planned so far (0 for the legacy executor).
+    std::int64_t plan_buffer_bytes = 0;
     std::map<std::string, TaskServeStats> per_task;
 
     /// Renders the aggregate + per-task rows via common/table.
@@ -136,6 +150,7 @@ private:
     core::MimeNetwork* network_;
     ServerConfig config_;
     Shape input_shape_;  ///< per-sample [C, H, W] the network accepts
+    Workspace workspace_;  ///< planned-executor scratch; dispatch-thread only
     ThreadPool pool_;
     RequestQueue queue_;
     TaskBatcher batcher_;      ///< dispatch-thread only
@@ -154,6 +169,8 @@ private:
     // Snapshots of the dispatch-thread-only counters above, refreshed
     // after every batch so stats() never races the dispatch thread.
     std::int64_t swaps_snapshot_ = 0;        ///< guarded by stats_mutex_
+    std::int64_t workspace_peak_snapshot_ = 0;  ///< guarded by stats_mutex_
+    std::int64_t plan_buffers_snapshot_ = 0;    ///< guarded by stats_mutex_
     std::int64_t cache_hits_snapshot_ = 0;   ///< guarded by stats_mutex_
     std::int64_t cache_misses_snapshot_ = 0; ///< guarded by stats_mutex_
     std::int64_t cache_evictions_snapshot_ = 0;  ///< guarded by stats_mutex_

@@ -31,13 +31,17 @@ std::string PoolStats::to_table_string() const {
                            std::to_string(cache_misses) + "/" +
                            std::to_string(cache_evictions)});
     aggregate.add_row({"cache hit rate", Table::num(cache_hit_rate, 3)});
+    aggregate.add_row(
+        {"workspace peak (bytes)", std::to_string(workspace_peak_bytes)});
+    aggregate.add_row(
+        {"plan buffers (bytes)", std::to_string(plan_buffer_bytes)});
     aggregate.add_row({"throughput (req/s)", Table::num(throughput_rps, 1)});
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
 
     Table per_replica({"replica", "routed", "completed", "batches", "swaps",
-                       "cache h/m/e"});
+                       "cache h/m/e", "ws peak (bytes)"});
     for (std::size_t i = 0; i < replicas.size(); ++i) {
         const ReplicaStats& r = replicas[i];
         per_replica.add_row(
@@ -47,7 +51,8 @@ std::string PoolStats::to_table_string() const {
              std::to_string(r.server.threshold_swaps),
              std::to_string(r.server.cache_hits) + "/" +
                  std::to_string(r.server.cache_misses) + "/" +
-                 std::to_string(r.server.cache_evictions)});
+                 std::to_string(r.server.cache_evictions),
+             std::to_string(r.server.workspace_peak_bytes)});
     }
     return aggregate.to_string() + "\n" + per_replica.to_string();
 }
@@ -179,6 +184,8 @@ PoolStats ServerPool::stats() const {
         stats.cache_hits += replica.server.cache_hits;
         stats.cache_misses += replica.server.cache_misses;
         stats.cache_evictions += replica.server.cache_evictions;
+        stats.workspace_peak_bytes += replica.server.workspace_peak_bytes;
+        stats.plan_buffer_bytes += replica.server.plan_buffer_bytes;
         stats.replicas.push_back(std::move(replica));
     }
     const std::int64_t lookups = stats.cache_hits + stats.cache_misses;

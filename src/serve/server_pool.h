@@ -65,6 +65,12 @@ struct PoolStats {
     std::int64_t cache_evictions = 0;
     /// hits / (hits + misses); 0 when the pool served nothing.
     double cache_hit_rate = 0.0;
+    /// Sum of every replica's steady-state workspace high-water mark —
+    /// the pool's total scratch footprint (memory scaling is tracked
+    /// alongside throughput in the pool sweep).
+    std::int64_t workspace_peak_bytes = 0;
+    /// Sum of every replica's plan-owned activation buffer bytes.
+    std::int64_t plan_buffer_bytes = 0;
     double mean_latency_us = 0.0;
     /// Merged-reservoir percentiles over every replica's stream.
     double p50_latency_us = 0.0;

@@ -1,24 +1,56 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
 
 namespace mime {
 
-Tensor::Tensor() : shape_() {
-    adopt(std::make_shared<std::vector<float>>(1, 0.0f));
+namespace {
+
+// Allocation probe (see tensor.h): every fresh storage block passes
+// through make_storage so the counters can't drift from reality.
+std::atomic<std::int64_t> g_storage_allocations{0};
+std::atomic<std::int64_t> g_storage_bytes{0};
+
+void count_storage(std::size_t elements) noexcept {
+    g_storage_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_storage_bytes.fetch_add(
+        static_cast<std::int64_t>(elements * sizeof(float)),
+        std::memory_order_relaxed);
 }
 
+std::shared_ptr<std::vector<float>> make_storage(std::size_t elements,
+                                                 float fill_value) {
+    count_storage(elements);
+    return std::make_shared<std::vector<float>>(elements, fill_value);
+}
+
+std::shared_ptr<std::vector<float>> make_storage(std::vector<float> values) {
+    count_storage(values.size());
+    return std::make_shared<std::vector<float>>(std::move(values));
+}
+
+}  // namespace
+
+std::int64_t Tensor::storage_allocation_count() noexcept {
+    return g_storage_allocations.load(std::memory_order_relaxed);
+}
+
+std::int64_t Tensor::storage_allocation_bytes() noexcept {
+    return g_storage_bytes.load(std::memory_order_relaxed);
+}
+
+Tensor::Tensor() : shape_() { adopt(make_storage(1, 0.0f)); }
+
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
-    adopt(std::make_shared<std::vector<float>>(
-        static_cast<std::size_t>(shape_.numel()), 0.0f));
+    adopt(make_storage(static_cast<std::size_t>(shape_.numel()), 0.0f));
 }
 
 Tensor::Tensor(Shape shape, float fill_value) : shape_(std::move(shape)) {
-    adopt(std::make_shared<std::vector<float>>(
-        static_cast<std::size_t>(shape_.numel()), fill_value));
+    adopt(make_storage(static_cast<std::size_t>(shape_.numel()), fill_value));
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
@@ -26,17 +58,17 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
     MIME_REQUIRE(static_cast<std::int64_t>(values.size()) == shape_.numel(),
                  "value count " + std::to_string(values.size()) +
                      " does not match shape " + shape_.to_string());
-    adopt(std::make_shared<std::vector<float>>(std::move(values)));
+    adopt(make_storage(std::move(values)));
 }
 
 Tensor::Tensor(const Tensor& other) : shape_(other.shape_) {
-    adopt(std::make_shared<std::vector<float>>(*other.data_));
+    adopt(make_storage(*other.data_));
 }
 
 Tensor& Tensor::operator=(const Tensor& other) {
     if (this != &other) {
         shape_ = other.shape_;
-        adopt(std::make_shared<std::vector<float>>(*other.data_));
+        adopt(make_storage(*other.data_));
     }
     return *this;
 }
@@ -117,6 +149,16 @@ Tensor Tensor::clone() const { return *this; }
 Tensor Tensor::alias() {
     Tensor view;
     view.shape_ = shape_;
+    view.adopt(data_);
+    return view;
+}
+
+Tensor Tensor::alias(Shape view_shape) {
+    MIME_REQUIRE(view_shape.numel() == shape_.numel(),
+                 "cannot alias " + shape_.to_string() + " as " +
+                     view_shape.to_string());
+    Tensor view;
+    view.shape_ = std::move(view_shape);
     view.adopt(data_);
     return view;
 }

@@ -94,6 +94,11 @@ public:
     /// concurrently — the caller owns the discipline that nobody writes.
     Tensor alias();
 
+    /// Shared view at a different shape; numel must match. The planned
+    /// executor uses this to make Flatten free: [N, C, H, W] and
+    /// [N, C*H*W] handles onto one activation buffer.
+    Tensor alias(Shape view_shape);
+
     /// True when both tensors share one storage block.
     bool aliases(const Tensor& other) const noexcept {
         return data_ != nullptr && data_ == other.data_;
@@ -117,6 +122,19 @@ public:
 
     /// Multiplies every element by `scale` in place.
     void scale(float scale);
+
+    // -- allocation probe ---------------------------------------------------
+    //
+    // Process-wide count of heap storage blocks (and bytes) created by
+    // tensors. The planned forward executor promises zero allocations
+    // after warm-up; bench/forward_alloc and the ctest suite hold it to
+    // that by diffing these counters around a batch. Relaxed atomics:
+    // the probe is a debug/accounting hook, not a synchronization point.
+
+    /// Storage blocks allocated since process start.
+    static std::int64_t storage_allocation_count() noexcept;
+    /// Total bytes of storage allocated since process start.
+    static std::int64_t storage_allocation_bytes() noexcept;
 
 private:
     std::vector<float>& vec() noexcept { return *data_; }

@@ -1,0 +1,60 @@
+#include "tensor/workspace.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace mime {
+
+namespace {
+constexpr std::size_t kCachelineFloats =
+    Workspace::kAlignBytes / sizeof(float);
+}  // namespace
+
+std::size_t Workspace::aligned_floats(std::int64_t count) {
+    MIME_REQUIRE(count >= 0, "workspace allocation count must be >= 0");
+    const auto n = static_cast<std::size_t>(count);
+    return (n + kCachelineFloats - 1) / kCachelineFloats * kCachelineFloats;
+}
+
+void Workspace::reserve(std::size_t bytes) {
+    MIME_REQUIRE(offset_floats_ == 0,
+                 "Workspace::reserve with live allocations would dangle "
+                 "outstanding scratch pointers; rewind/reset first");
+    const std::size_t floats =
+        aligned_floats(static_cast<std::int64_t>((bytes + sizeof(float) - 1) /
+                                                 sizeof(float)));
+    if (floats <= capacity_floats_) {
+        return;
+    }
+    // Aligned new: make_unique<float[]> only guarantees 16-byte
+    // alignment, which would put every cacheline-spaced offset mid-line.
+    block_.reset(static_cast<float*>(::operator new[](
+        floats * sizeof(float), std::align_val_t{kAlignBytes})));
+    capacity_floats_ = floats;
+}
+
+float* Workspace::alloc_floats(std::int64_t count) {
+    const std::size_t need = aligned_floats(count);
+    MIME_REQUIRE(offset_floats_ + need <= capacity_floats_,
+                 "workspace overflow: " +
+                     std::to_string((offset_floats_ + need) * sizeof(float)) +
+                     " bytes wanted, " +
+                     std::to_string(capacity_floats_ * sizeof(float)) +
+                     " reserved (plan byte accounting is wrong)");
+    float* out = block_.get() + offset_floats_;
+    offset_floats_ += need;
+    if (offset_floats_ > peak_floats_) {
+        peak_floats_ = offset_floats_;
+    }
+    return out;
+}
+
+void Workspace::rewind(Checkpoint mark) {
+    MIME_REQUIRE(mark.offset_floats <= offset_floats_,
+                 "Workspace::rewind to a checkpoint ahead of the bump "
+                 "pointer (checkpoints are LIFO)");
+    offset_floats_ = mark.offset_floats;
+}
+
+}  // namespace mime

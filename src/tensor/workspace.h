@@ -1,0 +1,114 @@
+// Workspace: a bump arena for forward-pass scratch memory.
+//
+// The planned executor (core/forward_plan.h) sizes every buffer a
+// forward pass needs ahead of time; what remains at execution time is
+// transient scratch — im2col column matrices, mostly — whose lifetime
+// nests perfectly per layer. A bump arena fits that exactly: alloc is a
+// pointer increment, freeing is rewinding to a checkpoint, and the
+// high-water mark reports the steady-state footprint the serving stats
+// publish next to sparsity.
+//
+// Invariants the executor leans on:
+//   * alloc never moves previously handed-out memory (no growth while
+//     any allocation is live — reserve() is only legal at offset 0), so
+//     raw float* stay valid until the matching rewind;
+//   * alloc beyond the reserved capacity is a checked error, never a
+//     silent heap allocation — the plan's byte accounting must be exact
+//     or the run aborts loudly;
+//   * allocations are rounded up to whole cachelines so two layers'
+//     scratch regions never interleave within one line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace mime {
+
+/// Bump arena handing out float scratch with checkpoint/rewind
+/// semantics and peak-bytes accounting.
+class Workspace {
+public:
+    Workspace() = default;
+    explicit Workspace(std::size_t bytes) { reserve(bytes); }
+
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+    // Moves must zero the source's size fields along with releasing its
+    // block — a defaulted move would leave the source claiming capacity
+    // it no longer backs, and its next alloc would hand out null.
+    Workspace(Workspace&& other) noexcept
+        : block_(std::move(other.block_)),
+          capacity_floats_(std::exchange(other.capacity_floats_, 0)),
+          offset_floats_(std::exchange(other.offset_floats_, 0)),
+          peak_floats_(std::exchange(other.peak_floats_, 0)) {}
+    Workspace& operator=(Workspace&& other) noexcept {
+        if (this != &other) {
+            block_ = std::move(other.block_);
+            capacity_floats_ = std::exchange(other.capacity_floats_, 0);
+            offset_floats_ = std::exchange(other.offset_floats_, 0);
+            peak_floats_ = std::exchange(other.peak_floats_, 0);
+        }
+        return *this;
+    }
+
+    /// Position of the bump pointer; hand it back to rewind() to free
+    /// everything allocated after it.
+    struct Checkpoint {
+        std::size_t offset_floats = 0;
+    };
+
+    /// Grows capacity to at least `bytes`. Only legal while nothing is
+    /// allocated (offset 0): growth reallocates the block and would
+    /// dangle every outstanding pointer.
+    void reserve(std::size_t bytes);
+
+    /// Returns `count` floats of scratch (rounded up to whole
+    /// cachelines). The memory is uninitialized. Throws when the
+    /// reserved capacity is exceeded (the caller's size planning was
+    /// wrong) — never allocates.
+    float* alloc_floats(std::int64_t count);
+
+    Checkpoint checkpoint() const noexcept { return {offset_floats_}; }
+
+    /// Frees every allocation made after `mark` (LIFO discipline).
+    void rewind(Checkpoint mark);
+
+    /// Frees everything (rewind to offset 0).
+    void reset() noexcept { offset_floats_ = 0; }
+
+    std::size_t capacity_bytes() const noexcept {
+        return capacity_floats_ * sizeof(float);
+    }
+    std::size_t used_bytes() const noexcept {
+        return offset_floats_ * sizeof(float);
+    }
+    /// High-water mark of used_bytes() over the workspace's lifetime —
+    /// the steady-state scratch footprint of whatever ran through it.
+    std::size_t peak_bytes() const noexcept {
+        return peak_floats_ * sizeof(float);
+    }
+
+    /// Rounds a float count up to a whole number of cachelines; the
+    /// plan's byte accounting must use the same rounding as alloc.
+    static std::size_t aligned_floats(std::int64_t count);
+
+    /// Cacheline size the block base and every allocation align to.
+    static constexpr std::size_t kAlignBytes = 64;
+
+private:
+    struct AlignedDelete {
+        void operator()(float* p) const noexcept {
+            ::operator delete[](p, std::align_val_t{kAlignBytes});
+        }
+    };
+
+    std::unique_ptr<float[], AlignedDelete> block_;
+    std::size_t capacity_floats_ = 0;
+    std::size_t offset_floats_ = 0;
+    std::size_t peak_floats_ = 0;
+};
+
+}  // namespace mime

@@ -69,6 +69,67 @@ TEST(BatchNorm, InferenceUsesRunningStats) {
     EXPECT_NEAR(y[0], bn.beta().value[0], 1e-4f);
 }
 
+TEST(BatchNorm, ForwardIntoBitMatchesInferenceForwardInPlace) {
+    BatchNorm2d bn(2);
+    bn.set_training(true);
+    Rng rng(8);
+    // A few training steps so running statistics are non-trivial.
+    for (int i = 0; i < 3; ++i) {
+        bn.forward(Tensor::randn({4, 2, 3, 3}, rng, 0.5f, 2.0f));
+    }
+    bn.set_training(false);
+    const Tensor x = Tensor::randn({2, 2, 3, 3}, rng);
+    const Tensor expected = bn.forward(x);
+
+    bn.set_eval_mode(true);
+    Tensor out(x.shape());
+    bn.forward_into(x, out);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(out[i], expected[i]);
+    }
+    // In-place: the planned executor normalizes conv activations where
+    // they sit.
+    Tensor inplace = x;
+    bn.forward_into(inplace, inplace);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(inplace[i], expected[i]);
+    }
+}
+
+TEST(BatchNorm, EvalModeAloneSufficesWithoutSetTraining) {
+    // set_eval_mode(true) must imply the running-statistics path even
+    // if the caller never touched the training flag (parity with every
+    // other layer's eval behavior).
+    BatchNorm2d bn(2);
+    bn.set_eval_mode(true);  // training() is still true here
+    Rng rng(10);
+    const Tensor x = Tensor::randn({1, 2, 3, 3}, rng);
+    const Tensor y = bn.forward(x);
+    EXPECT_EQ(y.shape(), x.shape());
+    EXPECT_EQ(bn.cached_state_bytes(), 0);
+    // Fresh running stats (mean 0, var 1): output ~= gamma*x/sqrt(1+eps).
+    const float inv_std = 1.0f / std::sqrt(1.0f + 1e-5f);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        ASSERT_FLOAT_EQ(y[i], x[i] * inv_std);
+    }
+}
+
+TEST(BatchNorm, EvalModeForwardRetainsNoBatchStatState) {
+    BatchNorm2d bn(3);
+    Rng rng(9);
+    const Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+    bn.set_training(false);
+    bn.forward(x);  // inference mode alone still caches for backward
+    EXPECT_GT(bn.cached_state_bytes(), 0);
+
+    bn.set_eval_mode(true);
+    EXPECT_EQ(bn.cached_state_bytes(), 0);
+    const Tensor y = bn.forward(x);
+    EXPECT_EQ(bn.cached_state_bytes(), 0);
+    EXPECT_EQ(y.shape(), x.shape());
+    EXPECT_THROW(bn.backward(y), check_error);
+}
+
 TEST(BatchNorm, TrainingGradCheck) {
     BatchNorm2d bn(3);
     bn.set_training(true);

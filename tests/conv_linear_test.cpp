@@ -1,5 +1,6 @@
 // Tests for Conv2d and Linear: reference forward, gradient checks,
-// threading equivalence.
+// threading equivalence, and the planned-executor forward_into variants
+// (workspace-backed, eval-mode, allocation-free).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -9,6 +10,7 @@
 #include "nn/conv2d.h"
 #include "nn/gradcheck.h"
 #include "nn/linear.h"
+#include "tensor/workspace.h"
 
 namespace mime::nn {
 namespace {
@@ -138,6 +140,77 @@ TEST(Conv2d, ParametersExposed) {
     Conv2d without(2, 3, 3, 1, 1, rng, false);
     EXPECT_EQ(without.parameters().size(), 1u);
     EXPECT_FALSE(without.has_bias());
+}
+
+TEST(Conv2d, ForwardIntoBitMatchesForward) {
+    Rng rng(12);
+    Conv2d conv(3, 5, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({4, 3, 8, 8}, rng);
+    const Tensor expected = conv.forward(x);
+
+    conv.set_eval_mode(true);
+    Workspace ws;
+    ws.reserve(static_cast<std::size_t>(conv.workspace_floats(8, 8)) *
+               sizeof(float));
+    Tensor out(expected.shape());
+    conv.forward_into(x, ws, out);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(out[i], expected[i]);
+    }
+    // Scratch is fully rewound after the call.
+    EXPECT_EQ(ws.used_bytes(), 0u);
+    EXPECT_GT(ws.peak_bytes(), 0u);
+}
+
+TEST(Conv2d, ForwardIntoRequiresEvalModeAndExactOutputShape) {
+    Rng rng(13);
+    Conv2d conv(2, 3, 3, 1, 0, rng);
+    const Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    Workspace ws(static_cast<std::size_t>(conv.workspace_floats(6, 6)) *
+                 sizeof(float));
+    Tensor out({1, 3, 4, 4});
+    EXPECT_THROW(conv.forward_into(x, ws, out), check_error);  // not eval
+    conv.set_eval_mode(true);
+    Tensor bad({1, 3, 5, 5});
+    EXPECT_THROW(conv.forward_into(x, ws, bad), check_error);
+    EXPECT_NO_THROW(conv.forward_into(x, ws, out));
+}
+
+TEST(Conv2d, EvalModeForwardRetainsNoCachedInput) {
+    Rng rng(14);
+    Conv2d conv(2, 4, 3, 1, 1, rng);
+    const Tensor x = Tensor::randn({2, 2, 8, 8}, rng);
+
+    conv.set_training(false);  // inference mode alone still caches...
+    conv.forward(x);
+    EXPECT_GT(conv.cached_state_bytes(), 0);
+
+    conv.set_eval_mode(true);  // ...eval mode releases and stops caching
+    EXPECT_EQ(conv.cached_state_bytes(), 0);
+    conv.forward(x);
+    EXPECT_EQ(conv.cached_state_bytes(), 0);
+    // With no cached input a backward pass is a checked error, not UB.
+    EXPECT_THROW(conv.backward(Tensor({2, 4, 8, 8})), check_error);
+}
+
+TEST(Linear, ForwardIntoBitMatchesForwardAndKeepsNoCache) {
+    Rng rng(15);
+    Linear fc(6, 4, rng);
+    const Tensor x = Tensor::randn({3, 6}, rng);
+    const Tensor expected = fc.forward(x);
+
+    fc.set_eval_mode(true);
+    EXPECT_EQ(fc.cached_state_bytes(), 0);
+    Tensor out({3, 4});
+    fc.forward_into(x, out);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(out[i], expected[i]);
+    }
+    EXPECT_EQ(fc.cached_state_bytes(), 0);
+    EXPECT_THROW(fc.backward(Tensor({3, 4})), check_error);
+
+    Tensor bad({3, 5});
+    EXPECT_THROW(fc.forward_into(x, bad), check_error);
 }
 
 TEST(Linear, ForwardMatchesManual) {

@@ -1,9 +1,14 @@
 // Tests for MimeNetwork: construction, mode switching, threshold sets,
-// backbone snapshots and freezing.
+// backbone snapshots and freezing, plus the planned executor
+// (ForwardPlan + Workspace): bit-match against the legacy forward,
+// zero allocations after warm-up, and eval-mode cache hygiene.
 #include <gtest/gtest.h>
 
+#include "arch/plain_cnn.h"
 #include "common/check.h"
+#include "core/forward_plan.h"
 #include "core/mime_network.h"
+#include "tensor/workspace.h"
 
 namespace mime::core {
 namespace {
@@ -261,6 +266,213 @@ TEST(MimeNetwork, LoadBackboneKeepsReplicasAliased) {
     // The replica observes the restored values through the shared
     // storage.
     EXPECT_EQ(replica->backbone_parameters()[0]->value[0], snapshot[0][0]);
+}
+
+// ---------------------------------------------------------------------------
+// Planned executor: ForwardPlan + Workspace
+// ---------------------------------------------------------------------------
+
+MimeNetworkConfig plain_cnn_config() {
+    arch::PlainCnnConfig cnn;
+    cnn.input_size = 32;
+    cnn.blocks = {{8, 2}, {16, 2}};
+    cnn.fc_widths = {32};
+    cnn.num_classes = 10;
+    MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(cnn);
+    config.custom_classifier = arch::plain_cnn_classifier(cnn);
+    config.seed = 11;
+    return config;
+}
+
+/// Planned forward must bit-match the legacy module-graph forward at
+/// every batch size, for the given network as currently configured.
+void expect_planned_matches_legacy(MimeNetwork& net, std::uint64_t seed) {
+    Workspace workspace;
+    Rng rng(seed);
+    for (const std::int64_t batch : {1, 7, 32}) {
+        const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+        net.set_eval_mode(false);
+        const Tensor expected = net.forward(x);  // legacy allocate-per-call
+        net.set_eval_mode(true);
+        const Tensor& planned = net.forward_planned(x, workspace);
+        ASSERT_EQ(planned.shape(), expected.shape()) << "batch " << batch;
+        for (std::int64_t i = 0; i < expected.numel(); ++i) {
+            ASSERT_EQ(planned[i], expected[i])
+                << "batch " << batch << " element " << i;
+        }
+    }
+    net.set_eval_mode(false);
+}
+
+TEST(ForwardPlan, BitMatchesLegacyForwardVggThreshold) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.15f);
+    expect_planned_matches_legacy(net, 21);
+}
+
+TEST(ForwardPlan, BitMatchesLegacyForwardVggRelu) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::relu);
+    expect_planned_matches_legacy(net, 22);
+}
+
+TEST(ForwardPlan, BitMatchesLegacyForwardPlainCnn) {
+    MimeNetwork net(plain_cnn_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.1f);
+    expect_planned_matches_legacy(net, 23);
+}
+
+TEST(ForwardPlan, BitMatchesLegacyForwardWithBatchNorm) {
+    MimeNetworkConfig config = tiny_config();
+    config.batchnorm = true;
+    MimeNetwork net(config);
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.1f);
+    expect_planned_matches_legacy(net, 24);
+}
+
+TEST(ForwardPlan, TracksThresholdSwapMidStream) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.05f);
+    const ThresholdSet set_a = net.snapshot_thresholds("a");
+    net.reset_thresholds(0.4f);
+    const ThresholdSet set_b = net.snapshot_thresholds("b");
+
+    Rng rng(31);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    net.load_thresholds(set_a);
+    const Tensor expected_a = net.forward(x);
+    net.load_thresholds(set_b);
+    const Tensor expected_b = net.forward(x);
+
+    // One plan serves both tasks: thresholds are read live, so a swap
+    // between batches needs no rebuild.
+    Workspace workspace;
+    net.set_eval_mode(true);
+    net.load_thresholds(set_a);
+    const Tensor planned_a = net.forward_planned(x, workspace);  // copy out
+    net.load_thresholds(set_b);
+    const Tensor& planned_b = net.forward_planned(x, workspace);
+    for (std::int64_t i = 0; i < expected_a.numel(); ++i) {
+        ASSERT_EQ(planned_a[i], expected_a[i]);
+        ASSERT_EQ(planned_b[i], expected_b[i]);
+    }
+    // The two outputs genuinely differ (the swap had an effect).
+    bool differs = false;
+    for (std::int64_t i = 0; i < expected_a.numel(); ++i) {
+        differs = differs || (expected_a[i] != expected_b[i]);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(ForwardPlan, ZeroTensorAllocationsAfterWarmup) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    net.reset_thresholds(0.1f);
+    net.set_eval_mode(true);
+
+    Rng rng(41);
+    const Tensor x = Tensor::randn({4, 3, 32, 32}, rng);
+    Workspace workspace;
+    net.forward_planned(x, workspace);  // warm-up: plan build + reserve
+
+    const std::int64_t allocations = Tensor::storage_allocation_count();
+    const std::int64_t bytes = Tensor::storage_allocation_bytes();
+    for (int iter = 0; iter < 3; ++iter) {
+        const Tensor& logits = net.forward_planned(x, workspace);
+        ASSERT_EQ(logits.shape(), Shape({4, 10}));
+    }
+    EXPECT_EQ(Tensor::storage_allocation_count(), allocations)
+        << "planned forward allocated tensor storage after warm-up";
+    EXPECT_EQ(Tensor::storage_allocation_bytes(), bytes);
+
+    // Steady-state scratch is bounded by the reserved capacity and is
+    // the maximum im2col footprint, not the sum over layers.
+    EXPECT_GT(workspace.peak_bytes(), 0u);
+    EXPECT_LE(workspace.peak_bytes(), workspace.capacity_bytes());
+    EXPECT_EQ(workspace.used_bytes(), 0u);  // every step rewound
+    EXPECT_EQ(net.planned_workspace_bytes(), workspace.peak_bytes());
+}
+
+TEST(ForwardPlan, PlanIsPerBatchSizeAndReusesWorkspace) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_eval_mode(true);
+    ForwardPlan& plan2 = net.plan_for(2);
+    ForwardPlan& plan5 = net.plan_for(5);
+    EXPECT_EQ(plan2.batch_size(), 2);
+    EXPECT_EQ(plan5.batch_size(), 5);
+    EXPECT_EQ(&plan2, &net.plan_for(2));  // cached, not rebuilt
+    EXPECT_EQ(plan2.input_shape(), Shape({2, 3, 32, 32}));
+    EXPECT_GT(plan2.workspace_bytes(), 0u);
+    EXPECT_GT(plan5.buffer_bytes(), plan2.buffer_bytes());
+    // One workspace serves every batch size (max, not sum).
+    EXPECT_EQ(net.planned_workspace_bytes(),
+              std::max(plan2.workspace_bytes(), plan5.workspace_bytes()));
+}
+
+TEST(ForwardPlan, RunSelfHealsAStaleWorkspaceOffset) {
+    // A batch that throws between a conv's scratch alloc and its rewind
+    // leaves the workspace offset dangling; the next run must discard
+    // it and proceed instead of failing forever.
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    net.set_eval_mode(true);
+    Rng rng(61);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    Workspace workspace;
+    const Tensor expected = net.forward_planned(x, workspace);
+
+    workspace.alloc_floats(32);  // simulate an aborted batch's leftovers
+    const Tensor& healed = net.forward_planned(x, workspace);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(healed[i], expected[i]);
+    }
+    EXPECT_EQ(workspace.used_bytes(), 0u);
+}
+
+TEST(ForwardPlan, RequiresEvalMode) {
+    MimeNetwork net(tiny_config());
+    net.set_training(false);
+    Workspace workspace;
+    Rng rng(1);
+    const Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+    EXPECT_THROW(net.forward_planned(x, workspace), mime::check_error);
+}
+
+TEST(MimeNetwork, EvalModeForwardRetainsNoCachedState) {
+    MimeNetworkConfig config = tiny_config();
+    config.batchnorm = true;  // BN batch-stat buffers are covered too
+    MimeNetwork net(config);
+    net.set_training(false);
+    net.set_mode(ActivationMode::threshold);
+    Rng rng(51);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+
+    // Without eval mode the graph retains backward-only caches even in
+    // inference mode (that is what threshold training relies on)...
+    net.forward(x);
+    EXPECT_GT(net.cached_state_bytes(), 0);
+
+    // ...entering eval mode releases them, and eval forwards (legacy
+    // and planned alike) leave none behind.
+    net.set_eval_mode(true);
+    EXPECT_EQ(net.cached_state_bytes(), 0);
+    net.forward(x);
+    EXPECT_EQ(net.cached_state_bytes(), 0);
+    Workspace workspace;
+    net.forward_planned(x, workspace);
+    EXPECT_EQ(net.cached_state_bytes(), 0);
 }
 
 TEST(MimeNetwork, BatchNormCloneSharesRunningStatistics) {

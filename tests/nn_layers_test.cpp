@@ -1,4 +1,6 @@
-// Tests for ReLU / Flatten / Dropout / pooling layers.
+// Tests for ReLU / Flatten / Dropout / pooling layers, including the
+// planned-executor eval-mode variants (fused in-place ReLU, cache-free
+// max pooling).
 #include <gtest/gtest.h>
 
 #include "common/check.h"
@@ -8,6 +10,55 @@
 
 namespace mime::nn {
 namespace {
+
+TEST(ReLU, EvalInplaceBitMatchesForwardAndKeepsNoMask) {
+    ReLU relu;
+    Rng rng(3);
+    const Tensor x = Tensor::randn({2, 8}, rng);
+    const Tensor expected = relu.forward(x);
+    const double expected_sparsity = relu.last_sparsity();
+
+    relu.set_eval_mode(true);
+    EXPECT_EQ(relu.cached_state_bytes(), 0);
+    Tensor inplace = x;
+    relu.forward_eval_inplace(inplace);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(inplace[i], expected[i]);
+    }
+    EXPECT_DOUBLE_EQ(relu.last_sparsity(), expected_sparsity);
+    EXPECT_EQ(relu.cached_state_bytes(), 0);
+}
+
+TEST(MaxPool2d, ForwardIntoBitMatchesForwardWithoutArgmaxState) {
+    MaxPool2d pool(2, 2);
+    Rng rng(5);
+    const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+    const Tensor expected = pool.forward(x);
+    EXPECT_GT(pool.cached_state_bytes(), 0);  // argmax kept for backward
+
+    pool.set_eval_mode(true);
+    EXPECT_EQ(pool.cached_state_bytes(), 0);
+    Tensor out(pool.output_shape(x.shape()));
+    ASSERT_EQ(out.shape(), expected.shape());
+    pool.forward_into(x, out);
+    for (std::int64_t i = 0; i < expected.numel(); ++i) {
+        ASSERT_EQ(out[i], expected[i]);
+    }
+    EXPECT_EQ(pool.cached_state_bytes(), 0);
+}
+
+TEST(Dropout, EvalModePassesThroughWithoutScaleCache) {
+    Rng rng(7);
+    Dropout dropout(0.5, rng);
+    dropout.set_training(false);
+    dropout.set_eval_mode(true);
+    const Tensor x = Tensor::randn({2, 4}, rng);
+    const Tensor y = dropout.forward(x);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        ASSERT_EQ(y[i], x[i]);
+    }
+    EXPECT_EQ(dropout.cached_state_bytes(), 0);
+}
 
 TEST(ReLU, ForwardMasksNegatives) {
     ReLU relu;

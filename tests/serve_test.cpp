@@ -617,6 +617,86 @@ TEST(InferenceServer, HydratesFromAdaptationStoreOnDisk) {
 }
 
 // ---------------------------------------------------------------------------
+// Planned executor in the server (Workspace stats, steady-state allocs)
+// ---------------------------------------------------------------------------
+
+TEST(InferenceServer, ReportsWorkspaceBytesWithPlannedExecutor) {
+    ServeFixture fixture;
+    ServerConfig config;
+    config.batcher.max_batch_size = 4;
+    config.batcher.max_wait = std::chrono::microseconds(500);
+    config.worker_threads = 1;
+    ASSERT_TRUE(config.planned_executor);  // the default
+    InferenceServer server(fixture.network, fixture.loader(), config);
+
+    Rng rng(27);
+    for (int i = 0; i < 8; ++i) {
+        server.submit("alpha", Tensor::randn({3, 32, 32}, rng));
+    }
+    server.drain();
+    const ServerStats stats = server.stats();
+    // Steady-state workspace bytes are reported alongside sparsity.
+    EXPECT_GT(stats.workspace_peak_bytes, 0);
+    EXPECT_GT(stats.plan_buffer_bytes, 0);
+    EXPECT_GT(stats.per_task.at("alpha").mean_sparsity, 0.0);
+    server.stop();
+}
+
+TEST(InferenceServer, SteadyStateBatchesAllocateNoTensorStorage) {
+    ServeFixture fixture;
+    ServerConfig config;
+    config.batcher.max_batch_size = 1;  // fixed batch size -> one plan
+    config.batcher.max_wait = std::chrono::microseconds(0);
+    config.worker_threads = 1;
+    InferenceServer server(fixture.network, fixture.loader(), config);
+
+    const Tensor image({3, 32, 32}, 0.1f);
+    // Warm-up: hydrate the task, build the plan, reserve the workspace.
+    server.submit("alpha", image);
+    server.submit("alpha", image);
+
+    const std::int64_t allocations = Tensor::storage_allocation_count();
+    server.submit("alpha", image);
+    const std::int64_t per_request =
+        Tensor::storage_allocation_count() - allocations;
+    // The forward itself is allocation-free; what remains is request
+    // plumbing (the submitted image, the result logits row) — a handful
+    // of tiny tensors, not the per-layer activation churn of the legacy
+    // path. Bound it tightly so a regression reintroducing per-layer
+    // allocation trips this immediately.
+    EXPECT_LE(per_request, 8)
+        << "steady-state request allocated " << per_request
+        << " tensor storage blocks";
+    server.stop();
+}
+
+TEST(InferenceServer, LegacyExecutorStillServesAndReportsNoWorkspace) {
+    ServeFixture fixture;
+    ServerConfig config;
+    config.batcher.max_batch_size = 4;
+    config.batcher.max_wait = std::chrono::microseconds(500);
+    config.worker_threads = 1;
+    config.planned_executor = false;
+    InferenceServer server(fixture.network, fixture.loader(), config);
+
+    Rng rng(28);
+    const Tensor image = Tensor::randn({3, 32, 32}, rng);
+    const InferenceResult result = server.submit("beta", image.clone());
+    EXPECT_EQ(result.task, "beta");
+    server.drain();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.workspace_peak_bytes, 0);
+    EXPECT_EQ(stats.plan_buffer_bytes, 0);
+
+    // Legacy and planned paths serve bit-identical logits.
+    const Tensor reference = fixture.direct_logits("beta", image);
+    for (std::int64_t c = 0; c < result.logits.numel(); ++c) {
+        ASSERT_EQ(result.logits[c], reference[c]);
+    }
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
 // Threshold install micro-properties (the serving hot path)
 // ---------------------------------------------------------------------------
 

@@ -1,10 +1,12 @@
-// Tests for Shape and the Tensor value type.
+// Tests for Shape, the Tensor value type, the allocation probe, and the
+// Workspace bump arena behind the planned forward executor.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/check.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace mime {
 namespace {
@@ -189,6 +191,109 @@ TEST(Tensor, Reductions) {
     EXPECT_DOUBLE_EQ(zero_fraction(t), 0.25);
     EXPECT_EQ(abs_sum(t), 6.0f);
     EXPECT_FLOAT_EQ(l2_norm(t), std::sqrt(14.0f));
+}
+
+TEST(Tensor, ReshapedAliasSharesStorageAtNewShape) {
+    Tensor t({2, 6});
+    t[3] = 7.0f;
+    Tensor view = t.alias(Shape{3, 4});
+    EXPECT_TRUE(view.aliases(t));
+    EXPECT_EQ(view.shape(), Shape({3, 4}));
+    EXPECT_EQ(view[3], 7.0f);
+    view[5] = -1.0f;  // writes are visible through both handles
+    EXPECT_EQ(t[5], -1.0f);
+    EXPECT_THROW(t.alias(Shape{5, 5}), check_error);
+}
+
+TEST(Tensor, AllocationProbeCountsStorageCreation) {
+    const std::int64_t count = Tensor::storage_allocation_count();
+    const std::int64_t bytes = Tensor::storage_allocation_bytes();
+    Tensor t({4, 4});
+    EXPECT_EQ(Tensor::storage_allocation_count(), count + 1);
+    EXPECT_EQ(Tensor::storage_allocation_bytes(),
+              bytes + 16 * static_cast<std::int64_t>(sizeof(float)));
+    Tensor copy = t;  // deep copy allocates
+    EXPECT_EQ(Tensor::storage_allocation_count(), count + 2);
+    // copy_from and fill reuse storage: no new blocks.
+    copy.copy_from(t);
+    copy.fill(0.0f);
+    EXPECT_EQ(Tensor::storage_allocation_count(), count + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, BumpAllocCheckpointRewindAndPeak) {
+    Workspace ws(4096);
+    EXPECT_GE(ws.capacity_bytes(), 4096u);
+    EXPECT_EQ(ws.used_bytes(), 0u);
+    EXPECT_EQ(ws.peak_bytes(), 0u);
+
+    float* a = ws.alloc_floats(100);
+    ASSERT_NE(a, nullptr);
+    const Workspace::Checkpoint mark = ws.checkpoint();
+    float* b = ws.alloc_floats(200);
+    ASSERT_NE(b, nullptr);
+    EXPECT_GT(b, a);  // bump, not reuse
+    const std::size_t high = ws.used_bytes();
+    EXPECT_EQ(ws.peak_bytes(), high);
+
+    ws.rewind(mark);
+    EXPECT_LT(ws.used_bytes(), high);
+    EXPECT_EQ(ws.peak_bytes(), high);  // peak survives rewind
+    // Rewinding frees the slot: the next alloc reuses b's memory.
+    EXPECT_EQ(ws.alloc_floats(200), b);
+
+    ws.reset();
+    EXPECT_EQ(ws.used_bytes(), 0u);
+}
+
+TEST(Workspace, AllocationsAreCachelineAligned) {
+    Workspace ws(4096);
+    float* a = ws.alloc_floats(1);  // rounds up to one cacheline
+    float* b = ws.alloc_floats(1);
+    // Absolute alignment, not just 64-byte spacing: the block base
+    // itself sits on a cacheline boundary.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) -
+                  reinterpret_cast<std::uintptr_t>(a),
+              64u);
+    EXPECT_EQ(Workspace::aligned_floats(1), 16u);
+    EXPECT_EQ(Workspace::aligned_floats(16), 16u);
+    EXPECT_EQ(Workspace::aligned_floats(17), 32u);
+    EXPECT_EQ(Workspace::aligned_floats(0), 0u);
+}
+
+TEST(Workspace, OverflowIsACheckedErrorNeverASilentAllocation) {
+    Workspace ws(64 * sizeof(float));
+    ws.alloc_floats(64);
+    EXPECT_THROW(ws.alloc_floats(1), check_error);
+    ws.reset();
+    EXPECT_NO_THROW(ws.alloc_floats(64));
+}
+
+TEST(Workspace, ReserveWithLiveAllocationsThrows) {
+    Workspace ws(256);
+    ws.alloc_floats(8);
+    // Growth would dangle the pointer just handed out.
+    EXPECT_THROW(ws.reserve(1 << 20), check_error);
+    ws.reset();
+    EXPECT_NO_THROW(ws.reserve(1 << 20));
+    EXPECT_GE(ws.capacity_bytes(), static_cast<std::size_t>(1 << 20));
+    // Shrinking reserve is a no-op, not a reallocation.
+    ws.reserve(16);
+    EXPECT_GE(ws.capacity_bytes(), static_cast<std::size_t>(1 << 20));
+}
+
+TEST(Workspace, RewindAheadOfPointerThrows) {
+    Workspace ws(1024);
+    const Workspace::Checkpoint mark = ws.checkpoint();
+    ws.alloc_floats(8);
+    const Workspace::Checkpoint later = ws.checkpoint();
+    ws.rewind(mark);
+    EXPECT_THROW(ws.rewind(later), check_error);
 }
 
 TEST(Tensor, ArgmaxFirstOnTies) {
