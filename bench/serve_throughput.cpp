@@ -1,22 +1,35 @@
 // Load-driven throughput bench for the serving runtime.
 //
-// Replays synthetic mixed-task arrival streams (uniform, skewed/Zipf,
-// bursty) against an InferenceServer under each batching policy and
-// reports requests/sec, p50/p95 latency, mean batch size and threshold
-// swaps per request. The contrast to watch: under interleaved traffic
-// the fifo policy dispatches tiny batches and swaps thresholds almost
-// every batch, while task_grouped amortizes both — the serving-time
-// payoff of MIME's cheap task switch.
+// Every scenario drives its backend purely through the unified
+// InferenceService client API — the same submit(task, image, options) /
+// RequestTicket / Outcome surface for a lone InferenceServer and a
+// sharded ServerPool — so the numbers compare backends, not client
+// plumbing.
 //
-// The second half sweeps the ServerPool: pool sizes {1, 2, 4} x
-// {round_robin, task_affinity} replaying the skewed stream closed-loop
-// from 4 client threads. Each replica models an attached accelerator
-// via ServerConfig::simulated_service_time (4x one measured forward, so
+// Part 1 replays synthetic mixed-task arrival streams (uniform,
+// skewed/Zipf, bursty) against an InferenceServer under each batching
+// policy and reports requests/sec, p50/p95 latency, mean batch size and
+// threshold swaps per request. The contrast to watch: under interleaved
+// traffic the fifo policy dispatches tiny batches and swaps thresholds
+// almost every batch, while task_grouped amortizes both — the
+// serving-time payoff of MIME's cheap task switch.
+//
+// Part 2 sweeps the ServerPool: pool sizes {1, 2, 4} x {round_robin,
+// task_affinity} replaying the skewed stream closed-loop from 4 client
+// threads. Each replica models an attached accelerator via
+// ServerConfig::simulated_service_time (4x one measured forward, so
 // dispatch-level parallelism is visible even when one CPU core runs all
 // the functional forwards). The contrasts to watch: aggregate req/s
 // rising with pool size, and task_affinity holding a higher
 // threshold-cache hit rate than round_robin because each task's
 // thresholds hydrate on exactly one replica.
+//
+// Part 3 is the mixed-priority scenario: one pool, closed-loop load
+// where a minority of requests are Priority::interactive (generous
+// deadline) and the rest Priority::batch (tight deadline). Interactive
+// lane precedence in the batcher holds interactive p95 near the
+// unloaded service time while batch traffic absorbs the queueing —
+// and sheds stale work as deadline_exceeded instead of serving it late.
 //
 // Environment knobs:
 //   MIME_SERVE_REQUESTS      requests per stream (default 150)
@@ -26,10 +39,10 @@
 //   MIME_SERVE_SIM_US        per-batch simulated accelerator service
 //                            time in us (default: 4x measured forward)
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <future>
 #include <thread>
 #include <vector>
 
@@ -40,6 +53,7 @@
 #include "serve/inference_server.h"
 #include "serve/load_gen.h"
 #include "serve/server_pool.h"
+#include "serve/service.h"
 #include "tensor/tensor_ops.h"
 
 using namespace mime;
@@ -49,62 +63,6 @@ namespace {
 std::int64_t env_int(const char* name, std::int64_t fallback) {
     const char* value = std::getenv(name);
     return value != nullptr ? std::atoll(value) : fallback;
-}
-
-struct RunResult {
-    serve::ServerStats stats;
-};
-
-RunResult replay(core::MimeNetwork& network,
-                 const std::vector<core::TaskAdaptation>& adaptations,
-                 const std::vector<serve::ArrivalEvent>& events,
-                 serve::BatchingPolicy policy) {
-    serve::ServerConfig config;
-    config.batcher.policy = policy;
-    config.batcher.max_batch_size = 8;
-    config.batcher.max_wait = std::chrono::microseconds(2000);
-    config.cache_capacity = adaptations.size();
-    config.worker_threads = 1;
-    serve::InferenceServer server(
-        network,
-        [&adaptations](const std::string& name) {
-            for (const core::TaskAdaptation& adaptation : adaptations) {
-                if (adaptation.name == name) {
-                    return adaptation;
-                }
-            }
-            throw check_error("name", __FILE__, __LINE__,
-                              "unknown task " + name);
-        },
-        config);
-
-    Rng rng(23);
-    std::vector<Tensor> images;
-    images.reserve(8);
-    for (int i = 0; i < 8; ++i) {
-        images.push_back(Tensor::randn({3, 32, 32}, rng));
-    }
-
-    // Open-loop replay: submit each request at its arrival offset.
-    const auto start = serve::Clock::now();
-    std::vector<std::future<serve::InferenceResult>> futures;
-    futures.reserve(events.size());
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        const serve::ArrivalEvent& event = events[i];
-        std::this_thread::sleep_until(
-            start + std::chrono::microseconds(
-                        static_cast<std::int64_t>(event.offset_us)));
-        futures.push_back(server.submit_async(
-            adaptations[static_cast<std::size_t>(event.task)].name,
-            images[i % images.size()]));
-    }
-    for (auto& future : futures) {
-        future.get();
-    }
-    server.drain();
-    RunResult result{server.stats()};
-    server.stop();
-    return result;
 }
 
 serve::ThresholdCache::Loader make_loader(
@@ -118,6 +76,120 @@ serve::ThresholdCache::Loader make_loader(
         throw check_error("name", __FILE__, __LINE__,
                           "unknown task " + name);
     };
+}
+
+std::vector<Tensor> make_images(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Tensor> images;
+    images.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+        images.push_back(Tensor::randn({3, 32, 32}, rng));
+    }
+    return images;
+}
+
+/// Open-loop replay through the unified API: submit each request at its
+/// arrival offset, then wait out every ticket.
+void drive_open_loop(serve::InferenceService& service,
+                     const std::vector<core::TaskAdaptation>& adaptations,
+                     const std::vector<serve::ArrivalEvent>& events,
+                     const std::vector<Tensor>& images) {
+    const auto start = serve::Clock::now();
+    std::vector<serve::RequestTicket> tickets;
+    tickets.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const serve::ArrivalEvent& event = events[i];
+        std::this_thread::sleep_until(
+            start + std::chrono::microseconds(
+                        static_cast<std::int64_t>(event.offset_us)));
+        tickets.push_back(service.submit(
+            adaptations[static_cast<std::size_t>(event.task)].name,
+            images[i % images.size()], {}));
+    }
+    for (serve::RequestTicket& ticket : tickets) {
+        ticket.wait();
+    }
+    service.drain();
+}
+
+serve::ServerStats replay(
+    core::MimeNetwork& network,
+    const std::vector<core::TaskAdaptation>& adaptations,
+    const std::vector<serve::ArrivalEvent>& events,
+    serve::BatchingPolicy policy) {
+    serve::ServerConfig config;
+    config.batcher.policy = policy;
+    config.batcher.max_batch_size = 8;
+    config.batcher.max_wait = std::chrono::microseconds(2000);
+    config.cache_capacity = adaptations.size();
+    config.worker_threads = 1;
+    serve::InferenceServer server(network, make_loader(adaptations),
+                                  config);
+
+    const std::vector<Tensor> images = make_images(23);
+    drive_open_loop(server, adaptations, events, images);
+    serve::ServerStats stats = server.stats();
+    server.stop();
+    return stats;
+}
+
+/// Closed-loop flood through the unified API: `client_count` threads
+/// partition the stream by index and submit as fast as admission lets
+/// them, so throughput measures the service rate rather than arrival
+/// pacing. Per-event SubmitOptions come from `make_options` (priority /
+/// deadline mixes); per-lane terminal statuses are tallied from the
+/// outcomes.
+struct ClosedLoopTally {
+    std::atomic<std::int64_t> ok_interactive{0};
+    std::atomic<std::int64_t> ok_batch{0};
+    std::atomic<std::int64_t> expired_interactive{0};
+    std::atomic<std::int64_t> expired_batch{0};
+};
+
+template <typename MakeOptions>
+void drive_closed_loop(serve::InferenceService& service,
+                       const std::vector<core::TaskAdaptation>& adaptations,
+                       const std::vector<serve::ArrivalEvent>& events,
+                       const std::vector<Tensor>& images,
+                       std::size_t client_count, MakeOptions make_options,
+                       ClosedLoopTally* tally) {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < client_count; ++c) {
+        clients.emplace_back([&, c] {
+            std::vector<serve::Priority> priorities;
+            std::vector<serve::RequestTicket> tickets;
+            for (std::size_t i = c; i < events.size(); i += client_count) {
+                serve::SubmitOptions options = make_options(events[i]);
+                priorities.push_back(options.priority);
+                tickets.push_back(service.submit(
+                    adaptations[static_cast<std::size_t>(events[i].task)]
+                        .name,
+                    images[i % images.size()], std::move(options)));
+            }
+            for (std::size_t i = 0; i < tickets.size(); ++i) {
+                const serve::Outcome<serve::InferenceResult> outcome =
+                    tickets[i].wait();
+                if (tally == nullptr) {
+                    continue;
+                }
+                const bool interactive =
+                    priorities[i] == serve::Priority::interactive;
+                if (outcome.ok()) {
+                    (interactive ? tally->ok_interactive : tally->ok_batch)
+                        .fetch_add(1);
+                } else if (outcome.status() ==
+                           serve::ServeStatus::deadline_exceeded) {
+                    (interactive ? tally->expired_interactive
+                                 : tally->expired_batch)
+                        .fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    service.drain();
 }
 
 serve::PoolStats replay_pool(
@@ -142,36 +214,11 @@ serve::PoolStats replay_pool(
     config.server.simulated_service_time = simulated_service;
     serve::ServerPool pool(network, make_loader(adaptations), config);
 
-    Rng rng(29);
-    std::vector<Tensor> images;
-    images.reserve(8);
-    for (int i = 0; i < 8; ++i) {
-        images.push_back(Tensor::randn({3, 32, 32}, rng));
-    }
-
-    // Closed-loop flood: 4 clients partition the stream by index and
-    // submit as fast as admission lets them, so throughput measures the
-    // pool's service rate rather than the arrival pacing.
-    constexpr std::size_t kClients = 4;
-    std::vector<std::thread> clients;
-    for (std::size_t c = 0; c < kClients; ++c) {
-        clients.emplace_back([&, c] {
-            std::vector<std::future<serve::InferenceResult>> futures;
-            for (std::size_t i = c; i < events.size(); i += kClients) {
-                futures.push_back(pool.submit_async(
-                    adaptations[static_cast<std::size_t>(events[i].task)]
-                        .name,
-                    images[i % images.size()]));
-            }
-            for (auto& future : futures) {
-                future.get();
-            }
-        });
-    }
-    for (std::thread& client : clients) {
-        client.join();
-    }
-    pool.drain();
+    const std::vector<Tensor> images = make_images(29);
+    drive_closed_loop(
+        pool, adaptations, events, images, 4,
+        [](const serve::ArrivalEvent&) { return serve::SubmitOptions{}; },
+        nullptr);
     serve::PoolStats stats = pool.stats();
     pool.stop();
     return stats;
@@ -226,13 +273,12 @@ int main() {
         for (const serve::BatchingPolicy policy :
              {serve::BatchingPolicy::fifo,
               serve::BatchingPolicy::task_grouped}) {
-            const RunResult run =
+            const serve::ServerStats s =
                 replay(network, adaptations, events, policy);
-            const serve::ServerStats& s = run.stats;
             const double swaps_per_request =
-                s.requests_completed > 0
+                s.requests_served > 0
                     ? static_cast<double>(s.threshold_swaps) /
-                          static_cast<double>(s.requests_completed)
+                          static_cast<double>(s.requests_served)
                     : 0.0;
             table.add_row({serve::to_string(pattern),
                            serve::to_string(policy),
@@ -330,9 +376,9 @@ int main() {
                 pool4_hit_rate[p] = stats.cache_hit_rate;
             }
             const double swaps_per_request =
-                stats.requests_completed > 0
+                stats.requests_served > 0
                     ? static_cast<double>(stats.threshold_swaps) /
-                          static_cast<double>(stats.requests_completed)
+                          static_cast<double>(stats.requests_served)
                     : 0.0;
             pool_table.add_row(
                 {std::to_string(pool_size), serve::to_string(routing),
@@ -366,5 +412,88 @@ int main() {
         "affinity higher (one home replica per task)",
         Table::num(pool4_hit_rate[1], 3) + " vs " +
             Table::num(pool4_hit_rate[0], 3));
+
+    // -----------------------------------------------------------------------
+    // Mixed-priority scenario: interactive lane held under batch load
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Mixed-priority serving — interactive vs batch lanes under load",
+        "interactive precedence holds its p95 while deadline-bearing "
+        "batch traffic absorbs the queueing");
+
+    serve::LoadSpec mixed_spec = pool_spec;
+    mixed_spec.interactive_fraction = 0.25;
+    mixed_spec.seed = 53;
+    const auto mixed_events = serve::generate_arrivals(mixed_spec);
+
+    serve::PoolConfig mixed_config;
+    mixed_config.replica_count = 2;
+    mixed_config.routing = serve::RoutingPolicy::task_affinity;
+    mixed_config.admission = serve::AdmissionMode::block;
+    mixed_config.max_pending = 32;
+    mixed_config.server.batcher.policy =
+        serve::BatchingPolicy::task_grouped;
+    mixed_config.server.batcher.max_batch_size = 8;
+    mixed_config.server.batcher.max_wait =
+        std::chrono::microseconds(2000);
+    mixed_config.server.cache_capacity = 3;
+    mixed_config.server.worker_threads = 1;
+    mixed_config.server.simulated_service_time = simulated_service;
+    serve::ServerPool mixed_pool(network, make_loader(adaptations),
+                                 mixed_config);
+    serve::InferenceService& mixed_service = mixed_pool;
+
+    // Batch traffic carries a deadline a queued request can miss under
+    // the closed-loop flood; interactive deadlines are generous.
+    const auto batch_deadline = std::chrono::duration_cast<
+        std::chrono::microseconds>(8 * simulated_service);
+    const auto interactive_deadline = std::chrono::seconds(2);
+    const std::vector<Tensor> mixed_images = make_images(37);
+    ClosedLoopTally tally;
+    drive_closed_loop(
+        mixed_service, adaptations, mixed_events, mixed_images, 4,
+        [&](const serve::ArrivalEvent& event) {
+            serve::SubmitOptions options;
+            options.priority = event.priority;
+            options.deadline = event.priority == serve::Priority::batch
+                                   ? batch_deadline
+                                   : std::chrono::duration_cast<
+                                         std::chrono::microseconds>(
+                                         interactive_deadline);
+            return options;
+        },
+        &tally);
+    const serve::ServiceStats mixed = mixed_service.service_stats();
+    mixed_service.stop();
+
+    Table mixed_table({"lane", "submitted", "served ok", "p95 us",
+                       "deadline expired"});
+    mixed_table.add_row(
+        {"interactive",
+         std::to_string(tally.ok_interactive.load() +
+                        tally.expired_interactive.load()),
+         std::to_string(mixed.interactive.completed),
+         Table::num(mixed.interactive.p95_latency_us, 0),
+         std::to_string(tally.expired_interactive.load())});
+    mixed_table.add_row(
+        {"batch",
+         std::to_string(tally.ok_batch.load() +
+                        tally.expired_batch.load()),
+         std::to_string(mixed.batch.completed),
+         Table::num(mixed.batch.p95_latency_us, 0),
+         std::to_string(tally.expired_batch.load())});
+    mixed_table.print();
+    std::printf("deadline_expired total: %lld, cancelled: %lld, "
+                "shed: %lld\n",
+                static_cast<long long>(mixed.deadline_expired),
+                static_cast<long long>(mixed.cancelled),
+                static_cast<long long>(mixed.shed));
+
+    bench::print_claim(
+        "interactive vs batch p95 under mixed load",
+        "interactive lower (lane precedence)",
+        Table::num(mixed.interactive.p95_latency_us, 0) + " vs " +
+            Table::num(mixed.batch.p95_latency_us, 0) + " us");
     return 0;
 }

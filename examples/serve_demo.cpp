@@ -1,17 +1,23 @@
-// Minimal tour of the serving runtime: persist three child-task
+// Tour of the unified serving client API: persist three child-task
 // adaptations to an AdaptationStore, stand up an InferenceServer that
-// hydrates its threshold cache from that store, serve a small mixed-task
-// stream from several client threads, and print the serving stats table.
+// hydrates its threshold cache from that store, then drive it purely
+// through the InferenceService surface — the SubmitOptions envelope
+// (deadline, priority, delivery mode), Outcome status codes instead of
+// exceptions, callback delivery, and best-effort cancellation — and
+// print the serving stats table.
 //
 // Usage: serve_demo [store_dir]   (default ./serve_demo_store)
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "core/adaptation_store.h"
 #include "core/multitask.h"
 #include "serve/inference_server.h"
+#include "serve/service.h"
 
 using namespace mime;
 
@@ -52,16 +58,34 @@ int main(int argc, char** argv) {
                                        // the eviction counter
     serve::InferenceServer server(network, store.task_loader(),
                                   server_config);
+    // Everything below goes through the backend-agnostic interface —
+    // swapping in a ServerPool would not change a line.
+    serve::InferenceService& service = server;
 
-    // Three client threads, each hammering its own task.
+    // Three client threads, each hammering its own task with interactive
+    // priority and a generous deadline; outcomes are checked, not
+    // caught.
     std::vector<std::thread> clients;
     for (std::size_t t = 0; t < tasks.size(); ++t) {
         clients.emplace_back([&, t] {
             Rng rng(static_cast<std::uint64_t>(40 + t));
             for (int i = 0; i < 12; ++i) {
-                const serve::InferenceResult result = server.submit(
-                    tasks[t].first, Tensor::randn({3, 32, 32}, rng));
+                serve::SubmitOptions options;
+                options.priority = serve::Priority::interactive;
+                options.deadline = std::chrono::milliseconds(500);
+                const serve::Outcome<serve::InferenceResult> outcome =
+                    service.run(tasks[t].first,
+                                Tensor::randn({3, 32, 32}, rng),
+                                std::move(options));
+                if (!outcome.ok()) {
+                    std::printf("%s: request failed: %s (%s)\n",
+                                tasks[t].first.c_str(),
+                                serve::to_string(outcome.status()),
+                                outcome.message().c_str());
+                    continue;
+                }
                 if (i == 0) {
+                    const serve::InferenceResult& result = outcome.value();
                     std::printf(
                         "%s: first result class=%lld latency=%.0f us "
                         "(batch of %lld)\n",
@@ -76,7 +100,48 @@ int main(int argc, char** argv) {
     for (std::thread& client : clients) {
         client.join();
     }
-    server.stop();
+
+    // Callback delivery: the outcome arrives on the dispatch side, no
+    // future to hold.
+    std::promise<std::string> delivered;
+    serve::SubmitOptions callback_options;
+    callback_options.priority = serve::Priority::batch;
+    callback_options.on_result =
+        [&delivered](serve::Outcome<serve::InferenceResult> outcome) {
+            delivered.set_value(
+                outcome.ok() ? "class " + std::to_string(
+                                              outcome.value().predicted_class)
+                             : std::string(serve::to_string(outcome.status())));
+        };
+    service.submit("cifar10-like", Tensor({3, 32, 32}, 0.1f),
+                   std::move(callback_options));
+    std::printf("callback delivery (batch priority): %s\n",
+                delivered.get_future().get().c_str());
+
+    // Structured failure statuses instead of exceptions: an
+    // already-expired deadline, a cancelled ticket, a bad envelope.
+    serve::SubmitOptions expired;
+    expired.deadline = std::chrono::microseconds(1);
+    std::printf("expired deadline    -> %s\n",
+                serve::to_string(
+                    service.run("cifar10-like", Tensor({3, 32, 32}, 0.2f),
+                                std::move(expired))
+                        .status()));
+    serve::RequestTicket doomed =
+        service.submit("fmnist-like", Tensor({3, 32, 32}, 0.3f), {});
+    std::printf("cancel() won: %s    -> %s\n",
+                doomed.cancel() ? "yes" : "no",
+                serve::to_string(doomed.wait().status()));
+    std::printf("mis-shaped request  -> %s\n",
+                serve::to_string(
+                    service.run("cifar10-like", Tensor({1, 28, 28})).status()));
+
+    service.drain();
+    service.stop();
+    std::printf("submit after stop   -> %s\n",
+                serve::to_string(
+                    service.run("cifar10-like", Tensor({3, 32, 32}))
+                        .status()));
 
     std::printf("\n%s\n", server.stats().to_table_string().c_str());
     std::filesystem::remove_all(store_dir);

@@ -19,8 +19,10 @@
 
 namespace mime::serve {
 
-/// Thrown by ServerPool::submit when admission control sheds a request.
-/// Derives from std::runtime_error (not check_error): overload is an
+/// Thrown by the deprecated throwing submit shims when admission control
+/// sheds a request; the InferenceService API reports the same condition
+/// as ServeStatus::overloaded on the result channel instead. Derives
+/// from std::runtime_error (not check_error): overload is an
 /// environmental condition, not a caller bug.
 class overload_error : public std::runtime_error {
 public:

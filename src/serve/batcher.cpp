@@ -24,31 +24,75 @@ TaskBatcher::TaskBatcher(BatcherConfig config) : config_(config) {
 }
 
 void TaskBatcher::add(InferenceRequest request) {
-    pending_.push_back(std::move(request));
+    Lane& lane =
+        request.priority == Priority::interactive ? interactive_ : batch_;
+    lane.push_back(std::move(request));
 }
 
 std::optional<Clock::time_point> TaskBatcher::next_deadline() const {
-    if (pending_.empty()) {
+    if (empty()) {
         return std::nullopt;
     }
-    return pending_.front().enqueue_time + config_.max_wait;
+    std::optional<Clock::time_point> earliest;
+    const auto consider = [&earliest](Clock::time_point candidate) {
+        if (!earliest || candidate < *earliest) {
+            earliest = candidate;
+        }
+    };
+    for (const Lane* lane : {&interactive_, &batch_}) {
+        if (!lane->empty()) {
+            consider(lane->front().enqueue_time + config_.max_wait);
+        }
+        for (const InferenceRequest& request : *lane) {
+            if (request.deadline != Clock::time_point::max()) {
+                consider(request.deadline);
+            }
+        }
+    }
+    return earliest;
 }
 
-std::optional<std::vector<InferenceRequest>> TaskBatcher::next_batch(
-    Clock::time_point now, bool flush) {
-    if (pending_.empty()) {
+void TaskBatcher::reap_lane(Lane& lane, Clock::time_point now,
+                            std::vector<ReapedRequest>& reaped) {
+    for (auto it = lane.begin(); it != lane.end();) {
+        InferenceRequest& request = *it;
+        if (request.control && request.control->cancelled()) {
+            reaped.push_back(
+                ReapedRequest{std::move(request), ServeStatus::cancelled});
+            it = lane.erase(it);
+            continue;
+        }
+        if (request.deadline <= now) {
+            // Claim so a concurrent cancel cannot also win; if the
+            // cancel got in first, it owns the terminal status.
+            const bool claimed =
+                !request.control || request.control->try_claim();
+            reaped.push_back(ReapedRequest{
+                std::move(request), claimed ? ServeStatus::deadline_exceeded
+                                            : ServeStatus::cancelled});
+            it = lane.erase(it);
+            continue;
+        }
+        ++it;
+    }
+}
+
+std::optional<std::vector<InferenceRequest>> TaskBatcher::form_from(
+    Lane& lane, Clock::time_point now, bool flush,
+    std::vector<ReapedRequest>& reaped) {
+    if (lane.empty()) {
         return std::nullopt;
     }
 
     // The oldest pending request picks the batch's task; this bounds
     // per-request delay under both policies.
-    const std::string& task = pending_.front().task;
+    const std::string& task = lane.front().task;
     const auto max_batch = static_cast<std::size_t>(config_.max_batch_size);
 
     std::vector<std::size_t> member_indices;
     member_indices.reserve(max_batch);
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-        if (pending_[i].task == task) {
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+        if (lane[i].task == task) {
             member_indices.push_back(i);
             if (member_indices.size() == max_batch) {
                 break;
@@ -59,7 +103,7 @@ std::optional<std::vector<InferenceRequest>> TaskBatcher::next_batch(
     }
 
     const bool full = member_indices.size() == max_batch;
-    const bool expired = now >= pending_.front().enqueue_time + config_.max_wait;
+    const bool expired = now >= lane.front().enqueue_time + config_.max_wait;
     if (!full && !expired && !flush) {
         return std::nullopt;
     }
@@ -69,12 +113,37 @@ std::optional<std::vector<InferenceRequest>> TaskBatcher::next_batch(
     // Erase back-to-front so earlier indices stay valid.
     for (auto it = member_indices.rbegin(); it != member_indices.rend();
          ++it) {
-        batch.push_back(std::move(pending_[*it]));
-        pending_.erase(pending_.begin() +
-                       static_cast<std::ptrdiff_t>(*it));
+        InferenceRequest& request = lane[*it];
+        // Dispatch claims the request here; a cancel that won in the
+        // window since the reap pass turns into a reaped entry instead
+        // of a batch member.
+        if (request.control && !request.control->try_claim()) {
+            reaped.push_back(
+                ReapedRequest{std::move(request), ServeStatus::cancelled});
+        } else {
+            batch.push_back(std::move(request));
+        }
+        lane.erase(lane.begin() + static_cast<std::ptrdiff_t>(*it));
     }
     std::reverse(batch.begin(), batch.end());
+    if (batch.empty()) {
+        return std::nullopt;
+    }
     return batch;
+}
+
+BatchResult TaskBatcher::next_batch(Clock::time_point now, bool flush) {
+    BatchResult result;
+    reap_lane(interactive_, now, result.reaped);
+    reap_lane(batch_, now, result.reaped);
+
+    // Interactive requests get batch-forming precedence: the batch lane
+    // is only consulted when no interactive batch is ready.
+    result.batch = form_from(interactive_, now, flush, result.reaped);
+    if (!result.batch) {
+        result.batch = form_from(batch_, now, flush, result.reaped);
+    }
+    return result;
 }
 
 }  // namespace mime::serve

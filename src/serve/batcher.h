@@ -1,13 +1,24 @@
-// Task-aware batch formation.
+// Task-aware, priority-aware batch formation with deadline enforcement.
 //
 // MIME's task switch is cheap (swap thresholds, never weights) but still
 // costs a pass over every site's threshold tensors, so the server wants
 // to run consecutive same-task requests as one forward batch. The
-// batcher holds pending requests and decides, given "now", whether a
-// batch is ready: either a full batch of one task exists, or the oldest
-// pending request has waited max_wait and must go out (tail latency
-// bound). Single-threaded by design — the dispatch loop owns it — which
-// keeps the policy logic deterministic and directly unit-testable.
+// batcher holds pending requests in two priority lanes — `interactive`
+// ahead of `batch` — and decides, given "now", whether a batch is ready:
+// either a full batch of one task exists, or the oldest pending request
+// in the chosen lane has waited max_wait and must go out (tail latency
+// bound). Batch formation always tries the interactive lane first; batch
+// traffic absorbs the queueing when interactive load saturates.
+//
+// Deadlines and cancellation are enforced here, at batch-forming time:
+// every next_batch() call first reaps pending requests whose absolute
+// deadline has passed (ServeStatus::deadline_exceeded) or whose
+// RequestControl shows a won cancel (ServeStatus::cancelled). Reaped
+// requests are returned to the caller for failure delivery and never
+// occupy a forward.
+//
+// Single-threaded by design — the dispatch loop owns it — which keeps
+// the policy logic deterministic and directly unit-testable.
 #pragma once
 
 #include <chrono>
@@ -21,11 +32,11 @@
 
 namespace mime::serve {
 
-/// How pending requests are grouped into batches.
+/// How pending requests are grouped into batches (within one lane).
 enum class BatchingPolicy {
     /// Strict arrival order: a batch is the longest same-task *prefix*
-    /// of the pending queue. Never reorders requests; a task change in
-    /// the stream always cuts the batch (models a naive server).
+    /// of the lane. Never reorders requests; a task change in the
+    /// stream always cuts the batch (models a naive server).
     fifo,
     /// Task-grouped: the oldest request picks the task, then *all*
     /// pending requests of that task join (up to max_batch_size),
@@ -41,8 +52,26 @@ struct BatcherConfig {
     /// Largest forward batch the server will form.
     std::int64_t max_batch_size = 8;
     /// Longest a request may sit pending before its batch is dispatched
-    /// even if not full.
+    /// even if not full (per lane; a saturated interactive lane may
+    /// still delay batch-lane traffic beyond this bound).
     std::chrono::microseconds max_wait{2000};
+};
+
+/// A request removed at batch-forming time without running: its deadline
+/// passed (`deadline_exceeded`) or a cancel won before dispatch
+/// (`cancelled`). The caller delivers the failure outcome.
+struct ReapedRequest {
+    InferenceRequest request;
+    ServeStatus status = ServeStatus::cancelled;
+};
+
+/// One batch-forming decision.
+struct BatchResult {
+    /// Claimed, same-task, same-lane requests ready for one forward;
+    /// nullopt when nothing is ready.
+    std::optional<std::vector<InferenceRequest>> batch;
+    /// Requests reaped by deadline expiry / cancellation this call.
+    std::vector<ReapedRequest> reaped;
 };
 
 class TaskBatcher {
@@ -51,26 +80,40 @@ public:
 
     const BatcherConfig& config() const noexcept { return config_; }
 
-    /// Takes ownership of a request.
+    /// Takes ownership of a request, routing it to its priority lane.
     void add(InferenceRequest request);
 
-    bool empty() const noexcept { return pending_.empty(); }
-    std::size_t pending_count() const noexcept { return pending_.size(); }
+    bool empty() const noexcept {
+        return interactive_.empty() && batch_.empty();
+    }
+    std::size_t pending_count() const noexcept {
+        return interactive_.size() + batch_.size();
+    }
 
-    /// When non-empty: the instant the oldest pending request expires
-    /// (enqueue_time + max_wait). The dispatch loop sleeps until then.
+    /// When non-empty: the next instant the batcher needs attention —
+    /// the earliest max_wait expiry of a lane front, or the earliest
+    /// request deadline (so expired requests are reaped promptly). The
+    /// dispatch loop sleeps until then.
     std::optional<Clock::time_point> next_deadline() const;
 
-    /// Forms the next batch if one is ready at `now`: the candidate
-    /// group is full, the oldest pending request has expired, or
-    /// `flush` forces whatever exists out. Requests in the returned
-    /// batch all share one task. Returns nullopt when nothing is ready.
-    std::optional<std::vector<InferenceRequest>> next_batch(
-        Clock::time_point now, bool flush = false);
+    /// Reaps expired/cancelled requests, then forms the next batch if
+    /// one is ready at `now`: the candidate group is full, the chosen
+    /// lane's oldest request has expired its max_wait, or `flush` forces
+    /// whatever exists out. The interactive lane is always tried first.
+    BatchResult next_batch(Clock::time_point now, bool flush = false);
 
 private:
+    using Lane = std::deque<InferenceRequest>;
+
+    void reap_lane(Lane& lane, Clock::time_point now,
+                   std::vector<ReapedRequest>& reaped);
+    std::optional<std::vector<InferenceRequest>> form_from(
+        Lane& lane, Clock::time_point now, bool flush,
+        std::vector<ReapedRequest>& reaped);
+
     BatcherConfig config_;
-    std::deque<InferenceRequest> pending_;
+    Lane interactive_;
+    Lane batch_;
 };
 
 }  // namespace mime::serve

@@ -22,6 +22,9 @@ double to_us(Clock::duration d) {
 std::string ServerStats::to_table_string() const {
     Table aggregate({"metric", "value"});
     aggregate.add_row({"requests", std::to_string(requests_completed)});
+    aggregate.add_row({"served ok", std::to_string(requests_served)});
+    aggregate.add_row({"deadline expired", std::to_string(deadline_expired)});
+    aggregate.add_row({"cancelled", std::to_string(cancelled)});
     aggregate.add_row({"batches", std::to_string(batches_run)});
     aggregate.add_row({"mean batch", Table::num(mean_batch_size, 2)});
     aggregate.add_row({"threshold swaps", std::to_string(threshold_swaps)});
@@ -33,6 +36,12 @@ std::string ServerStats::to_table_string() const {
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+    aggregate.add_row({"interactive done/p95 (us)",
+                       std::to_string(interactive.completed) + " / " +
+                           Table::num(interactive.p95_latency_us, 1)});
+    aggregate.add_row({"batch done/p95 (us)",
+                       std::to_string(batch.completed) + " / " +
+                           Table::num(batch.p95_latency_us, 1)});
     aggregate.add_row(
         {"workspace peak (bytes)", std::to_string(workspace_peak_bytes)});
     aggregate.add_row(
@@ -47,19 +56,24 @@ std::string ServerStats::to_table_string() const {
     return aggregate.to_string() + "\n" + tasks.to_string();
 }
 
+Shape InferenceServer::serving_input_shape(
+    const core::MimeNetwork& network) {
+    MIME_REQUIRE(!network.layer_specs().empty(),
+                 "network has no layers to serve");
+    const arch::LayerSpec& first = network.layer_specs().front();
+    return Shape({first.in_channels, first.in_height, first.in_width});
+}
+
 InferenceServer::InferenceServer(core::MimeNetwork& network,
                                  ThresholdCache::Loader loader,
                                  ServerConfig config)
     : network_(&network),
       config_(config),
+      input_shape_(serving_input_shape(network)),
       pool_(config.worker_threads),
       queue_(config.queue_capacity),
       batcher_(config.batcher),
       cache_(config.cache_capacity, std::move(loader)) {
-    MIME_REQUIRE(!network.layer_specs().empty(),
-                 "network has no layers to serve");
-    const arch::LayerSpec& first = network.layer_specs().front();
-    input_shape_ = Shape({first.in_channels, first.in_height, first.in_width});
     network_->set_training(false);
     // The planned executor needs eval-mode forwards (no backward-only
     // caches); the legacy path keeps the network's previous cache
@@ -72,61 +86,76 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
 
 InferenceServer::~InferenceServer() { stop(); }
 
-std::future<InferenceResult> InferenceServer::submit_async(
-    const std::string& task, Tensor image) {
-    MIME_REQUIRE(!task.empty(), "request needs a task name");
-    // Validate the full shape here so one mis-shaped request is rejected
-    // at the door instead of failing every request co-batched with it.
-    MIME_REQUIRE(image.shape() == input_shape_,
-                 "request image must be " + input_shape_.to_string() +
-                     ", got " + image.shape().to_string());
+RequestTicket InferenceServer::submit(const std::string& task, Tensor image,
+                                      SubmitOptions options) {
+    return submit_impl(task, std::move(image), std::move(options), nullptr);
+}
+
+RequestTicket InferenceServer::submit_impl(const std::string& task,
+                                           Tensor image,
+                                           SubmitOptions options,
+                                           bool* accepted,
+                                           bool envelope_checked) {
+    if (accepted != nullptr) {
+        *accepted = false;
+    }
+    if (!envelope_checked) {
+        if (auto error =
+                envelope_error(task, image, input_shape_, options)) {
+            return reject(options, ServeStatus::invalid_request,
+                          std::move(*error));
+        }
+    }
 
     InferenceRequest request;
     request.task = task;
     request.image = std::move(image);
+    request.priority = options.priority;
+    request.control = std::make_shared<RequestControl>();
     request.enqueue_time = Clock::now();
-
-    std::future<InferenceResult> future = request.promise.get_future();
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        MIME_REQUIRE(!stopped_, "submit on a stopped server");
-        request.id = next_request_id_++;
-        if (submitted_ == 0) {
-            first_enqueue_ = request.enqueue_time;
-        }
-        ++submitted_;
+    if (options.deadline.count() > 0) {
+        request.deadline = request.enqueue_time + options.deadline;
     }
-    const bool accepted = queue_.push(std::move(request));
-    if (!accepted) {
+    std::future<Outcome<InferenceResult>> future;
+    if (options.on_result) {
+        request.on_result = std::move(options.on_result);
+    } else {
+        future = request.promise.get_future();
+    }
+
+    const std::optional<std::int64_t> id =
+        state_.register_submit(request.enqueue_time);
+    if (!id.has_value()) {
+        // Claim so cancel() on the rejected ticket reports false.
+        request.control->try_claim();
+        request.deliver(Outcome<InferenceResult>(
+            ServeStatus::shutdown, "submit on a stopped server"));
+        return RequestTicket(-1, std::move(request.control),
+                             std::move(future));
+    }
+    request.id = *id;
+    std::shared_ptr<RequestControl> control = request.control;
+
+    if (!queue_.push(std::move(request))) {
         // Raced with stop(): un-count the request so drain() still
-        // terminates, then surface the rejection.
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            --submitted_;
-        }
-        drained_.notify_all();
-        MIME_REQUIRE(accepted, "submit on a stopped server");
+        // terminates, then deliver the rejection.
+        state_.rollback_submit();
+        control->try_claim();
+        request.deliver(Outcome<InferenceResult>(
+            ServeStatus::shutdown, "submit on a stopped server"));
+        return RequestTicket(*id, std::move(control), std::move(future));
     }
-    return future;
+    if (accepted != nullptr) {
+        *accepted = true;
+    }
+    return RequestTicket(*id, std::move(control), std::move(future));
 }
 
-InferenceResult InferenceServer::submit(const std::string& task,
-                                        Tensor image) {
-    return submit_async(task, std::move(image)).get();
-}
-
-void InferenceServer::drain() {
-    std::unique_lock<std::mutex> lock(stats_mutex_);
-    drained_.wait(lock, [this] { return completed_ == submitted_; });
-}
+void InferenceServer::drain() { state_.drain(); }
 
 void InferenceServer::stop() {
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (stopped_) {
-            return;
-        }
-        stopped_ = true;
+    if (!state_.begin_stop()) {
+        return;
     }
     queue_.close();
     if (dispatcher_.joinable()) {
@@ -147,12 +176,42 @@ void InferenceServer::dispatch_loop() {
         // Once the queue is closed no more requests can arrive; flush
         // partial batches instead of waiting out max_wait.
         const bool closing = queue_.closed();
-        while (auto batch = batcher_.next_batch(Clock::now(), closing)) {
-            run_batch(std::move(*batch));
+        for (;;) {
+            BatchResult decision = batcher_.next_batch(Clock::now(), closing);
+            for (ReapedRequest& reaped : decision.reaped) {
+                const char* why =
+                    reaped.status == ServeStatus::deadline_exceeded
+                        ? "deadline expired before batch formation"
+                        : "cancelled before dispatch";
+                fail_request(std::move(reaped.request), reaped.status, why);
+            }
+            if (!decision.batch.has_value()) {
+                break;
+            }
+            run_batch(std::move(*decision.batch));
         }
         if (closing && batcher_.empty() && queue_.size() == 0) {
             return;
         }
+    }
+}
+
+void InferenceServer::fail_request(InferenceRequest request,
+                                   ServeStatus status, std::string message) {
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        if (status == ServeStatus::deadline_exceeded) {
+            ++deadline_expired_;
+        } else if (status == ServeStatus::cancelled) {
+            ++cancelled_;
+        }
+    }
+    // Deliver before completing the accounting so drain() returning
+    // implies every outcome (callback or future) has been delivered.
+    request.deliver(Outcome<InferenceResult>(status, std::move(message)));
+    state_.complete(1, Clock::now());
+    if (config_.on_requests_complete) {
+        config_.on_requests_complete(1);
     }
 }
 
@@ -180,6 +239,7 @@ void InferenceServer::install_task(const std::string& task) {
 
 void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
     const Clock::time_point started = Clock::now();
+    const std::size_t batch_size = batch.size();
     const std::string task = batch.front().task;
     try {
         install_task(task);
@@ -231,8 +291,6 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
                 : sparsity_sum / static_cast<double>(site_sparsities.size());
 
         const Clock::time_point finished = Clock::now();
-        std::vector<double> latencies;
-        latencies.reserve(batch.size());
         std::vector<InferenceResult> results;
         results.reserve(batch.size());
         for (std::size_t n = 0; n < batch.size(); ++n) {
@@ -256,13 +314,12 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             }
             result.predicted_class = best;
             result.latency_us = to_us(finished - request.enqueue_time);
-            latencies.push_back(result.latency_us);
             results.push_back(std::move(result));
         }
 
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
-            completed_ += static_cast<std::int64_t>(batch.size());
+            served_ += static_cast<std::int64_t>(batch.size());
             ++batches_run_;
             swaps_snapshot_ = threshold_swaps_;
             workspace_peak_snapshot_ =
@@ -272,8 +329,16 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             cache_hits_snapshot_ = cache_.hits();
             cache_misses_snapshot_ = cache_.misses();
             cache_evictions_snapshot_ = cache_.evictions();
-            for (const double latency : latencies) {
+            for (std::size_t n = 0; n < batch.size(); ++n) {
+                const double latency = results[n].latency_us;
                 latency_.add(latency);
+                if (batch[n].priority == Priority::interactive) {
+                    lane_latency_interactive_.add(latency);
+                    ++lane_completed_interactive_;
+                } else {
+                    lane_latency_batch_.add(latency);
+                    ++lane_completed_batch_;
+                }
             }
             TaskServeStats& ts = per_task_[task];
             ts.requests += static_cast<std::int64_t>(batch.size());
@@ -282,28 +347,46 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
                  batch_sparsity) /
                 static_cast<double>(ts.batches + 1);
             ++ts.batches;
-            last_completion_ = finished;
         }
-        // Resolve promises only after the stats are consistent, so a
-        // client observing its future also observes its request in
-        // stats().
+        // Deliver outcomes after the serving stats above are consistent
+        // (a client observing its result also observes it in stats()),
+        // but before state_.complete: drain() returning must imply
+        // every outcome — callback or future — has been delivered.
         for (std::size_t n = 0; n < batch.size(); ++n) {
-            batch[n].promise.set_value(std::move(results[n]));
+            batch[n].deliver(
+                Outcome<InferenceResult>(std::move(results[n])));
         }
+        state_.complete(batch.size(), finished);
+    } catch (const std::exception& error) {
+        fail_batch(std::move(batch), started, error.what());
     } catch (...) {
-        std::exception_ptr error = std::current_exception();
-        for (InferenceRequest& request : batch) {
-            request.promise.set_exception(error);
-        }
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        completed_ += static_cast<std::int64_t>(batch.size());
-        ++batches_run_;
-        last_completion_ = started;
+        // A loader may throw anything; the dispatch thread must never
+        // unwind (std::terminate) or strand the batch undelivered.
+        fail_batch(std::move(batch), started,
+                   "non-standard exception during batch execution");
     }
-    drained_.notify_all();
+    // batch_size, not batch.size(): the failure paths moved the batch.
     if (config_.on_requests_complete) {
-        config_.on_requests_complete(batch.size());
+        config_.on_requests_complete(batch_size);
     }
+}
+
+void InferenceServer::fail_batch(std::vector<InferenceRequest> batch,
+                                 Clock::time_point started,
+                                 const std::string& message) {
+    // Batch-level failures (corrupt adaptation, unknown task) are a
+    // caller/deployment bug: surface them as structured invalid_request
+    // outcomes, never an exception on this thread.
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++batches_run_;
+        failed_ += static_cast<std::int64_t>(batch.size());
+    }
+    for (InferenceRequest& request : batch) {
+        request.deliver(Outcome<InferenceResult>(
+            ServeStatus::invalid_request, message));
+    }
+    state_.complete(batch.size(), started);
 }
 
 LatencyRecorder InferenceServer::latency_recorder() const {
@@ -311,10 +394,41 @@ LatencyRecorder InferenceServer::latency_recorder() const {
     return latency_;
 }
 
-ServerStats InferenceServer::stats() const {
+LatencyRecorder InferenceServer::latency_recorder(Priority lane) const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    return lane == Priority::interactive ? lane_latency_interactive_
+                                         : lane_latency_batch_;
+}
+
+ServiceStats InferenceServer::service_stats() const {
+    const ServerStats full = stats();
+    ServiceStats stats;
+    stats.submitted = state_.submitted();
+    stats.completed = full.requests_completed;
+    stats.shed = 0;  // a lone server blocks at queue_capacity, never sheds
+    stats.deadline_expired = full.deadline_expired;
+    stats.cancelled = full.cancelled;
+    stats.throughput_rps = full.throughput_rps;
+    stats.interactive = full.interactive;
+    stats.batch = full.batch;
+    return stats;
+}
+
+ServerStats InferenceServer::stats() const {
     ServerStats stats;
-    stats.requests_completed = completed_;
+    stats.throughput_rps = state_.throughput_rps();
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    // Terminal outcomes from the stats_mutex_ counters (all updated
+    // before delivery), not from state_ (which completes after delivery
+    // so drain() implies delivered): a client observing its result also
+    // observes it here, and requests_served can never exceed
+    // requests_completed in one snapshot.
+    stats.requests_completed =
+        served_ + failed_ + deadline_expired_ + cancelled_;
+    stats.requests_served = served_;
+    stats.deadline_expired = deadline_expired_;
+    stats.cancelled = cancelled_;
     stats.batches_run = batches_run_;
     stats.threshold_swaps = swaps_snapshot_;
     stats.workspace_peak_bytes = workspace_peak_snapshot_;
@@ -322,8 +436,10 @@ ServerStats InferenceServer::stats() const {
     stats.cache_hits = cache_hits_snapshot_;
     stats.cache_misses = cache_misses_snapshot_;
     stats.cache_evictions = cache_evictions_snapshot_;
+    // Numerator counts every request that rode in a batch (served or
+    // failed with it) so a failed batch does not understate the mean.
     stats.mean_batch_size =
-        batches_run_ > 0 ? static_cast<double>(completed_) /
+        batches_run_ > 0 ? static_cast<double>(served_ + failed_) /
                                static_cast<double>(batches_run_)
                          : 0.0;
     stats.mean_latency_us = latency_.mean();
@@ -334,12 +450,18 @@ ServerStats InferenceServer::stats() const {
         stats.p99_latency_us = quantiles.p99;
         stats.max_latency_us = latency_.max();
     }
-    if (completed_ > 0) {
-        const double elapsed_s =
-            to_us(last_completion_ - first_enqueue_) / 1e6;
-        stats.throughput_rps =
-            elapsed_s > 0.0 ? static_cast<double>(completed_) / elapsed_s
-                            : 0.0;
+    stats.interactive.completed = lane_completed_interactive_;
+    if (lane_latency_interactive_.count() > 0) {
+        const LatencyRecorder::Summary lane =
+            lane_latency_interactive_.summary();
+        stats.interactive.p50_latency_us = lane.p50;
+        stats.interactive.p95_latency_us = lane.p95;
+    }
+    stats.batch.completed = lane_completed_batch_;
+    if (lane_latency_batch_.count() > 0) {
+        const LatencyRecorder::Summary lane = lane_latency_batch_.summary();
+        stats.batch.p50_latency_us = lane.p50;
+        stats.batch.p95_latency_us = lane.p95;
     }
     stats.per_task = per_task_;
     return stats;

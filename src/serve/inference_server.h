@@ -1,21 +1,23 @@
 // Multi-task inference server over one MimeNetwork.
 //
 // Owns the network for its lifetime and serves per-task requests from
-// many client threads: requests flow through a bounded RequestQueue into
-// a TaskBatcher, a dedicated dispatch thread forms same-task batches,
+// many client threads through the unified InferenceService API: requests
+// flow through a bounded RequestQueue into a TaskBatcher, a dedicated
+// dispatch thread forms same-task batches (interactive lane ahead of
+// batch, expired deadlines and won cancels reaped before any forward),
 // installs the task's threshold set + head from the ThresholdCache (a
 // swap touches only T_child bytes — never W_parent), and runs one
 // forward per batch. Kernel-level parallelism inside the forward is
 // driven by a common/thread_pool the server owns.
 //
-// submit_async() returns a future; submit() blocks for the result.
-// Per-request latency plus aggregate throughput, swap, cache and
-// per-task sparsity statistics are collected continuously and printable
-// as a common/table.
+// submit() returns a cancellable RequestTicket; outcomes arrive as
+// Outcome<InferenceResult> through the ticket's future or a
+// dispatch-side callback. Per-request latency plus aggregate throughput,
+// swap, cache, per-priority and per-task sparsity statistics are
+// collected continuously and printable as a common/table.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,6 +33,8 @@
 #include "serve/latency_stats.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
+#include "serve/service.h"
+#include "serve/service_state.h"
 #include "serve/threshold_cache.h"
 #include "tensor/shape.h"
 #include "tensor/workspace.h"
@@ -56,10 +60,10 @@ struct ServerConfig {
     /// the hw-simulator-backed cost-model hook named in ROADMAP.md.
     /// Zero (the default) disables it.
     std::chrono::microseconds simulated_service_time{0};
-    /// Invoked after each batch fully completes (results or error
-    /// delivered), with the number of requests in it. Runs on the
-    /// dispatch thread; a ServerPool uses it for admission-slot release
-    /// and load tracking.
+    /// Invoked after each accepted request reaches a terminal outcome —
+    /// batch completions (with the batch size), reaped deadline/cancel
+    /// failures, and batch errors. Runs on the dispatch thread; a
+    /// ServerPool uses it for admission-slot release and load tracking.
     std::function<void(std::size_t)> on_requests_complete;
     /// Execute batches with the planned, allocation-free executor:
     /// requests stack into the plan's preallocated input slab and the
@@ -79,7 +83,12 @@ struct TaskServeStats {
 
 /// Aggregate serving statistics (a consistent snapshot).
 struct ServerStats {
+    /// Terminal outcomes delivered (results + structured failures).
     std::int64_t requests_completed = 0;
+    /// Requests served with a result (ServeStatus::ok).
+    std::int64_t requests_served = 0;
+    std::int64_t deadline_expired = 0;
+    std::int64_t cancelled = 0;
     std::int64_t batches_run = 0;
     std::int64_t threshold_swaps = 0;
     std::int64_t cache_hits = 0;
@@ -92,8 +101,11 @@ struct ServerStats {
     double p99_latency_us = 0.0;
     double max_latency_us = 0.0;
     /// Completed requests per wall-clock second between the first
-    /// enqueue and the last completion.
+    /// enqueue and the last completion (0 for a zero-length window).
     double throughput_rps = 0.0;
+    /// Per-priority completion counts and latency quantiles.
+    PriorityLaneStats interactive;
+    PriorityLaneStats batch;
     /// Steady-state scratch high-water mark of this replica's Workspace
     /// (0 when the legacy executor is configured).
     std::int64_t workspace_peak_bytes = 0;
@@ -106,7 +118,7 @@ struct ServerStats {
     std::string to_table_string() const;
 };
 
-class InferenceServer {
+class InferenceServer : public InferenceService {
 public:
     /// The network must outlive the server. The loader hydrates cache
     /// misses (see core::AdaptationStore::task_loader()). The server
@@ -114,37 +126,65 @@ public:
     /// thread pool.
     InferenceServer(core::MimeNetwork& network, ThresholdCache::Loader loader,
                     ServerConfig config = {});
-    ~InferenceServer();
+    ~InferenceServer() override;
 
     InferenceServer(const InferenceServer&) = delete;
     InferenceServer& operator=(const InferenceServer&) = delete;
 
     const ServerConfig& config() const noexcept { return config_; }
 
-    /// Enqueues one request; the future resolves when its batch has run.
-    /// Throws once the server is stopped.
-    std::future<InferenceResult> submit_async(const std::string& task,
-                                              Tensor image);
+    // Keep the deprecated throwing shims visible next to the override.
+    using InferenceService::submit;
 
-    /// Convenience: submit and wait.
-    InferenceResult submit(const std::string& task, Tensor image);
+    /// Unified submission surface (see InferenceService::submit): never
+    /// throws for runtime conditions — shutdown, deadline expiry,
+    /// cancellation and envelope errors arrive as ServeStatus.
+    RequestTicket submit(const std::string& task, Tensor image,
+                         SubmitOptions options) override;
 
-    /// Blocks until every request submitted so far has completed.
-    void drain();
+    /// Blocks until every accepted request has completed.
+    void drain() override;
 
     /// Drains, then stops the dispatch thread. Idempotent; the
     /// destructor calls it.
-    void stop();
+    void stop() override;
 
+    ServiceStats service_stats() const override;
     ServerStats stats() const;
 
     /// Snapshot of the latency reservoir; pool-wide percentiles merge
     /// these across replicas (see LatencyRecorder::merge).
     LatencyRecorder latency_recorder() const;
+    /// Per-priority reservoir (ok-served requests of that class only).
+    LatencyRecorder latency_recorder(Priority lane) const;
+
+    /// The per-sample [C, H, W] a network's serving front door accepts
+    /// (shared by InferenceServer and ServerPool construction).
+    static Shape serving_input_shape(const core::MimeNetwork& network);
 
 private:
+    friend class ServerPool;
+
+    /// Shared submission path. `accepted` (optional) reports whether the
+    /// request was registered and enqueued — rejected-at-door
+    /// submissions deliver their failure outcome without touching the
+    /// drain/completion accounting; the pool unwinds its own bookkeeping
+    /// off this flag. `envelope_checked` skips re-validation for callers
+    /// (the pool) that already ran envelope_error on this request.
+    RequestTicket submit_impl(const std::string& task, Tensor image,
+                              SubmitOptions options, bool* accepted,
+                              bool envelope_checked = false);
+
     void dispatch_loop();
     void run_batch(std::vector<InferenceRequest> batch);
+    /// Delivers a structured failure for a reaped request and records it
+    /// in the completion accounting.
+    void fail_request(InferenceRequest request, ServeStatus status,
+                      std::string message);
+    /// Delivers invalid_request to a whole batch after an execution
+    /// failure (corrupt adaptation, throwing loader).
+    void fail_batch(std::vector<InferenceRequest> batch,
+                    Clock::time_point started, const std::string& message);
     void install_task(const std::string& task);
 
     core::MimeNetwork* network_;
@@ -161,11 +201,16 @@ private:
     std::int64_t active_classes_ = 0;  ///< dispatch-thread only
     std::int64_t threshold_swaps_ = 0; ///< dispatch-thread only
 
+    /// Submission ids, drain condvar, idempotent stop, throughput window
+    /// — the bookkeeping shared with ServerPool via ServiceState.
+    ServiceState state_;
+
     mutable std::mutex stats_mutex_;
-    std::int64_t next_request_id_ = 0;  ///< guarded by stats_mutex_
-    std::int64_t submitted_ = 0;        ///< guarded by stats_mutex_
-    std::int64_t completed_ = 0;        ///< guarded by stats_mutex_
+    std::int64_t served_ = 0;           ///< ok results; guarded by stats_mutex_
+    std::int64_t failed_ = 0;           ///< batch errors; guarded by stats_mutex_
     std::int64_t batches_run_ = 0;      ///< guarded by stats_mutex_
+    std::int64_t deadline_expired_ = 0; ///< guarded by stats_mutex_
+    std::int64_t cancelled_ = 0;        ///< guarded by stats_mutex_
     // Snapshots of the dispatch-thread-only counters above, refreshed
     // after every batch so stats() never races the dispatch thread.
     std::int64_t swaps_snapshot_ = 0;        ///< guarded by stats_mutex_
@@ -175,11 +220,11 @@ private:
     std::int64_t cache_misses_snapshot_ = 0; ///< guarded by stats_mutex_
     std::int64_t cache_evictions_snapshot_ = 0;  ///< guarded by stats_mutex_
     LatencyRecorder latency_;           ///< guarded by stats_mutex_
+    LatencyRecorder lane_latency_interactive_;  ///< guarded by stats_mutex_
+    LatencyRecorder lane_latency_batch_;        ///< guarded by stats_mutex_
+    std::int64_t lane_completed_interactive_ = 0;  ///< stats_mutex_
+    std::int64_t lane_completed_batch_ = 0;        ///< stats_mutex_
     std::map<std::string, TaskServeStats> per_task_;  ///< stats_mutex_
-    Clock::time_point first_enqueue_{};               ///< stats_mutex_
-    Clock::time_point last_completion_{};             ///< stats_mutex_
-    std::condition_variable drained_;
-    bool stopped_ = false;  ///< guarded by stats_mutex_
 };
 
 }  // namespace mime::serve

@@ -53,8 +53,22 @@ std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec) {
     MIME_REQUIRE(spec.request_count > 0, "need at least one request");
     MIME_REQUIRE(spec.mean_interarrival_us > 0.0,
                  "mean_interarrival_us must be positive");
+    MIME_REQUIRE(spec.interactive_fraction >= 0.0 &&
+                     spec.interactive_fraction <= 1.0,
+                 "interactive_fraction must be in [0, 1]");
 
     Rng rng(spec.seed);
+    // Priorities draw from their own stream so tagging a mix does not
+    // perturb the task/offset sequence of an existing seed.
+    Rng priority_rng(spec.seed ^ 0x9e37'79b9'7f4a'7c15ULL);
+    const auto draw_priority = [&priority_rng, &spec] {
+        if (spec.interactive_fraction >= 1.0) {
+            return Priority::interactive;
+        }
+        return priority_rng.uniform() < spec.interactive_fraction
+                   ? Priority::interactive
+                   : Priority::batch;
+    };
     std::vector<ArrivalEvent> events;
     events.reserve(static_cast<std::size_t>(spec.request_count));
     double clock_us = 0.0;
@@ -87,7 +101,8 @@ std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec) {
                  events.size() <
                      static_cast<std::size_t>(spec.request_count);
                  ++i) {
-                events.push_back(ArrivalEvent{clock_us, task});
+                events.push_back(
+                    ArrivalEvent{clock_us, task, draw_priority()});
                 clock_us += exponential(rng, intra_gap);
             }
             clock_us += exponential(rng, idle_mean);
@@ -101,7 +116,7 @@ std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec) {
                 ? zipf_sample(rng, spec.task_count, spec.zipf_s)
                 : static_cast<std::int64_t>(rng.uniform_index(
                       static_cast<std::uint64_t>(spec.task_count)));
-        events.push_back(ArrivalEvent{clock_us, task});
+        events.push_back(ArrivalEvent{clock_us, task, draw_priority()});
         clock_us += exponential(rng, spec.mean_interarrival_us);
     }
     return events;

@@ -9,12 +9,18 @@
 //               run of closely spaced requests, then the stream idles
 //               (models per-client sessions; the best case for
 //               task-grouped batching).
+// Each event also carries a priority class for the InferenceService
+// envelope: `interactive_fraction` of the stream is tagged interactive,
+// the rest batch (drawn from a dedicated rng so task/offset sequences
+// are unchanged for a given seed).
 // Deterministic in the seed so bench runs are reproducible.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "serve/request.h"
 
 namespace mime::serve {
 
@@ -35,6 +41,9 @@ struct LoadSpec {
     double mean_burst_length = 8.0;
     /// Intra-burst gap as a fraction of mean_interarrival_us.
     double burst_gap_fraction = 0.05;
+    /// Fraction of requests tagged Priority::interactive (the rest are
+    /// Priority::batch); must be in [0, 1].
+    double interactive_fraction = 1.0;
     std::uint64_t seed = 1;
 };
 
@@ -42,6 +51,7 @@ struct LoadSpec {
 struct ArrivalEvent {
     double offset_us = 0.0;
     std::int64_t task = 0;  ///< index into the caller's task-name list
+    Priority priority = Priority::interactive;
 };
 
 /// Generates `spec.request_count` events with non-decreasing offsets.

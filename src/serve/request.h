@@ -1,20 +1,55 @@
-// Request / result types for the multi-task inference serving runtime.
+// Request / result / envelope types for the multi-task inference
+// serving runtime.
 //
-// A request carries one image tagged with the child task it belongs to;
-// the result carries the task-restricted logits and the latency measured
-// from enqueue to completion. Futures connect the two across threads.
+// A request carries one image tagged with the child task it belongs to,
+// plus the client envelope of the unified InferenceService API: an
+// absolute deadline (enforced at batch-forming time — an expired request
+// never occupies a forward), a priority class (interactive traffic gets
+// batch-forming precedence over batch traffic), a cancellation handle,
+// and the delivery channel. Results travel as `Outcome<InferenceResult>`
+// — an expected-style value-or-ServeStatus — through either a future or
+// a dispatch-side callback; overload, shutdown, expiry and cancellation
+// are data on this channel, never exceptions.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "common/check.h"
 #include "tensor/tensor.h"
 
 namespace mime::serve {
 
 using Clock = std::chrono::steady_clock;
+
+/// Terminal status of a served request. Everything except `ok` is a
+/// structured failure delivered on the result channel.
+enum class ServeStatus {
+    ok,                 ///< result delivered
+    overloaded,         ///< shed by admission control (retryable)
+    deadline_exceeded,  ///< expired before its batch formed
+    cancelled,          ///< RequestTicket::cancel() won before dispatch
+    shutdown,           ///< submitted to a stopped service
+    /// Malformed envelope (task, shape, options) — or the task proved
+    /// unservable at execution time (unknown task, corrupt adaptation,
+    /// throwing loader); the message says which.
+    invalid_request
+};
+
+const char* to_string(ServeStatus status);
+
+/// Scheduling class of a request. `interactive` requests get
+/// batch-forming precedence over `batch` in every batching policy.
+enum class Priority { interactive, batch };
+
+const char* to_string(Priority priority);
 
 /// Outcome of serving one request.
 struct InferenceResult {
@@ -26,14 +61,102 @@ struct InferenceResult {
     std::int64_t batch_size = 0;      ///< size of the batch it rode in
 };
 
-/// One in-flight request. Move-only (owns the promise side of the
-/// caller's future).
+/// Expected-style result channel: either a value (status `ok`) or a
+/// ServeStatus failure with a human-readable message. Accessing value()
+/// on a failure is a caller bug (check_error), so clients that branch on
+/// ok() / status() never see an exception from the serving runtime.
+template <typename T>
+class Outcome {
+public:
+    /// Success.
+    Outcome(T value) : value_(std::move(value)) {}
+
+    /// Failure; `status` must not be `ok`.
+    Outcome(ServeStatus status, std::string message)
+        : status_(status), message_(std::move(message)) {
+        MIME_REQUIRE(status != ServeStatus::ok,
+                     "a failure Outcome cannot carry ServeStatus::ok");
+    }
+
+    bool ok() const noexcept { return status_ == ServeStatus::ok; }
+    ServeStatus status() const noexcept { return status_; }
+    /// Empty on success; explains the failure otherwise.
+    const std::string& message() const noexcept { return message_; }
+
+    const T& value() const& { return require_value(); }
+    T& value() & { return require_value(); }
+    T&& value() && { return std::move(require_value()); }
+
+private:
+    T& require_value() const {
+        MIME_REQUIRE(ok(), std::string("Outcome::value() on status ") +
+                               to_string(status_) + ": " + message_);
+        return const_cast<T&>(*value_);
+    }
+
+    ServeStatus status_ = ServeStatus::ok;
+    std::optional<T> value_;
+    std::string message_;
+};
+
+/// Cancellation state shared between a RequestTicket and the request it
+/// tracks. A request is claimed by the dispatch side exactly when it is
+/// placed into a forward batch (or reaped for deadline expiry), so
+/// cancel() and dispatch race through one atomic: whichever transition
+/// wins decides whether the request runs.
+class RequestControl {
+public:
+    /// Client side. True when the cancel won: the request will complete
+    /// with ServeStatus::cancelled and never run a forward. False when
+    /// the dispatch side already claimed it (its real outcome is on the
+    /// way) or a previous cancel already won.
+    bool cancel() noexcept {
+        int expected = kPending;
+        return stage_.compare_exchange_strong(expected, kCancelled,
+                                              std::memory_order_acq_rel);
+    }
+
+    /// Dispatch side: claim the request for a batch (or for deadline
+    /// delivery). False when a cancel won first.
+    bool try_claim() noexcept {
+        int expected = kPending;
+        return stage_.compare_exchange_strong(expected, kClaimed,
+                                              std::memory_order_acq_rel);
+    }
+
+    bool cancelled() const noexcept {
+        return stage_.load(std::memory_order_acquire) == kCancelled;
+    }
+
+private:
+    static constexpr int kPending = 0;
+    static constexpr int kClaimed = 1;
+    static constexpr int kCancelled = 2;
+    std::atomic<int> stage_{kPending};
+};
+
+/// One in-flight request. Move-only (owns the delivery side of the
+/// caller's channel: the promise for future delivery, or the callback).
 struct InferenceRequest {
     std::int64_t id = -1;
     std::string task;
     Tensor image;                     ///< [C, H, W]
     Clock::time_point enqueue_time{};
-    std::promise<InferenceResult> promise;
+    /// Absolute expiry; max() = no deadline.
+    Clock::time_point deadline = Clock::time_point::max();
+    Priority priority = Priority::interactive;
+    /// Shared with the caller's RequestTicket; null for requests built
+    /// outside the service front door (unit tests).
+    std::shared_ptr<RequestControl> control;
+    /// Future-delivery channel (unused when on_result is set).
+    std::promise<Outcome<InferenceResult>> promise;
+    /// Callback-delivery channel, invoked from the dispatch side.
+    std::function<void(Outcome<InferenceResult>)> on_result;
+
+    /// Delivers the terminal outcome on whichever channel the caller
+    /// chose. Callback exceptions are swallowed (callbacks must not
+    /// throw; the dispatch thread cannot unwind on their behalf).
+    void deliver(Outcome<InferenceResult> outcome);
 };
 
 }  // namespace mime::serve

@@ -8,7 +8,7 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
     MIME_REQUIRE(capacity > 0, "queue capacity must be positive");
 }
 
-bool RequestQueue::push(InferenceRequest request) {
+bool RequestQueue::push(InferenceRequest&& request) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });

@@ -25,9 +25,10 @@ public:
     RequestQueue(const RequestQueue&) = delete;
     RequestQueue& operator=(const RequestQueue&) = delete;
 
-    /// Blocks while the queue is full; returns false (dropping the
-    /// request) once the queue is closed.
-    bool push(InferenceRequest request);
+    /// Blocks while the queue is full; returns false once the queue is
+    /// closed. On failure the request is left untouched so the caller
+    /// can still deliver its ServeStatus::shutdown outcome.
+    bool push(InferenceRequest&& request);
 
     /// Moves out every queued request, waiting until `deadline` for at
     /// least one to arrive. Returns immediately with whatever is queued

@@ -9,20 +9,15 @@
 
 namespace mime::serve {
 
-namespace {
-
-double to_us(Clock::duration d) {
-    return std::chrono::duration<double, std::micro>(d).count();
-}
-
-}  // namespace
-
 std::string PoolStats::to_table_string() const {
     Table aggregate({"metric", "value"});
     aggregate.add_row({"replicas", std::to_string(replicas.size())});
     aggregate.add_row({"submitted", std::to_string(requests_submitted)});
     aggregate.add_row({"completed", std::to_string(requests_completed)});
+    aggregate.add_row({"served ok", std::to_string(requests_served)});
     aggregate.add_row({"shed", std::to_string(requests_shed)});
+    aggregate.add_row({"deadline expired", std::to_string(deadline_expired)});
+    aggregate.add_row({"cancelled", std::to_string(cancelled)});
     aggregate.add_row({"peak pending", std::to_string(peak_pending)});
     aggregate.add_row({"batches", std::to_string(batches_run)});
     aggregate.add_row({"threshold swaps", std::to_string(threshold_swaps)});
@@ -39,6 +34,12 @@ std::string PoolStats::to_table_string() const {
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+    aggregate.add_row({"interactive done/p95 (us)",
+                       std::to_string(interactive.completed) + " / " +
+                           Table::num(interactive.p95_latency_us, 1)});
+    aggregate.add_row({"batch done/p95 (us)",
+                       std::to_string(batch.completed) + " / " +
+                           Table::num(batch.p95_latency_us, 1)});
 
     Table per_replica({"replica", "routed", "completed", "batches", "swaps",
                        "cache h/m/e", "ws peak (bytes)"});
@@ -65,6 +66,7 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
       router_(config.routing, config.replica_count) {
     MIME_REQUIRE(config.replica_count >= 1,
                  "pool needs at least one replica");
+    input_shape_ = InferenceServer::serving_input_shape(prototype);
     loads_.assign(config.replica_count, 0);
     routed_.assign(config.replica_count, 0);
 
@@ -89,49 +91,67 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
 
 ServerPool::~ServerPool() { stop(); }
 
-std::future<InferenceResult> ServerPool::submit_async(
-    const std::string& task, Tensor image) {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        MIME_REQUIRE(!stopped_, "submit on a stopped pool");
+RequestTicket ServerPool::submit(const std::string& task, Tensor image,
+                                 SubmitOptions options) {
+    if (state_.stopped()) {
+        return reject(options, ServeStatus::shutdown,
+                      "submit on a stopped pool");
     }
+    // Validate the envelope before admission so a malformed request can
+    // never consume a pool-wide slot or reach a replica.
+    if (auto error = envelope_error(task, image, input_shape_, options)) {
+        return reject(options, ServeStatus::invalid_request,
+                      std::move(*error));
+    }
+
     if (!admission_.try_admit()) {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            MIME_REQUIRE(!stopped_, "submit on a stopped pool");
+        if (state_.stopped()) {
+            return reject(options, ServeStatus::shutdown,
+                          "submit on a stopped pool");
         }
-        throw overload_error(
-            "pool at max_pending=" + std::to_string(config_.max_pending) +
-            "; request for task '" + task + "' shed");
+        return reject(options, ServeStatus::overloaded,
+                      "pool at max_pending=" +
+                          std::to_string(config_.max_pending) +
+                          "; request for task '" + task + "' shed");
     }
+
     std::size_t replica = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         replica = router_.route(task, loads_);
         ++loads_[replica];
         ++routed_[replica];
-        if (submitted_ == 0) {
-            first_enqueue_ = Clock::now();
-        }
-        ++submitted_;
     }
-    try {
-        return servers_[replica]->submit_async(task, std::move(image));
-    } catch (...) {
+    const std::optional<std::int64_t> id =
+        state_.register_submit(Clock::now());
+    if (!id.has_value()) {
+        // Raced with stop() after admission: unwind and reject.
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --loads_[replica];
             --routed_[replica];
-            --submitted_;
         }
         admission_.release();
-        drained_.notify_all();
-        throw;
+        return reject(options, ServeStatus::shutdown,
+                      "submit on a stopped pool");
     }
-}
 
-InferenceResult ServerPool::submit(const std::string& task, Tensor image) {
-    return submit_async(task, std::move(image)).get();
+    bool accepted = false;
+    RequestTicket ticket = servers_[replica]->submit_impl(
+        task, std::move(image), std::move(options), &accepted,
+        /*envelope_checked=*/true);
+    if (!accepted) {
+        // The replica rejected at its door (stop race); it already
+        // delivered the failure outcome — just unwind the accounting.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --loads_[replica];
+            --routed_[replica];
+        }
+        state_.rollback_submit();
+        admission_.release();
+    }
+    return ticket;
 }
 
 void ServerPool::on_requests_complete(std::size_t replica,
@@ -139,25 +159,16 @@ void ServerPool::on_requests_complete(std::size_t replica,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         loads_[replica] -= static_cast<std::int64_t>(count);
-        completed_ += static_cast<std::int64_t>(count);
-        last_completion_ = Clock::now();
     }
+    state_.complete(count, Clock::now());
     admission_.release(count);
-    drained_.notify_all();
 }
 
-void ServerPool::drain() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_.wait(lock, [this] { return completed_ == submitted_; });
-}
+void ServerPool::drain() { state_.drain(); }
 
 void ServerPool::stop() {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (stopped_) {
-            return;
-        }
-        stopped_ = true;
+    if (!state_.begin_stop()) {
+        return;
     }
     // Unblock admission waiters first so no submitter can deadlock
     // against a stopping pool, then stop replicas (each drains its own
@@ -168,17 +179,39 @@ void ServerPool::stop() {
     }
 }
 
+ServiceStats ServerPool::service_stats() const {
+    const PoolStats full = stats();
+    ServiceStats stats;
+    stats.submitted = full.requests_submitted;
+    stats.completed = full.requests_completed;
+    stats.shed = full.requests_shed;
+    stats.deadline_expired = full.deadline_expired;
+    stats.cancelled = full.cancelled;
+    stats.throughput_rps = full.throughput_rps;
+    stats.interactive = full.interactive;
+    stats.batch = full.batch;
+    return stats;
+}
+
 PoolStats ServerPool::stats() const {
     PoolStats stats;
     stats.requests_shed = admission_.shed_count();
     stats.peak_pending = admission_.peak_pending();
 
     LatencyRecorder merged;
+    LatencyRecorder merged_interactive;
+    LatencyRecorder merged_batch;
     stats.replicas.reserve(servers_.size());
     for (std::size_t i = 0; i < servers_.size(); ++i) {
         ReplicaStats replica;
         replica.server = servers_[i]->stats();
         merged.merge(servers_[i]->latency_recorder());
+        merged_interactive.merge(
+            servers_[i]->latency_recorder(Priority::interactive));
+        merged_batch.merge(servers_[i]->latency_recorder(Priority::batch));
+        stats.requests_served += replica.server.requests_served;
+        stats.deadline_expired += replica.server.deadline_expired;
+        stats.cancelled += replica.server.cancelled;
         stats.batches_run += replica.server.batches_run;
         stats.threshold_swaps += replica.server.threshold_swaps;
         stats.cache_hits += replica.server.cache_hits;
@@ -186,6 +219,8 @@ PoolStats ServerPool::stats() const {
         stats.cache_evictions += replica.server.cache_evictions;
         stats.workspace_peak_bytes += replica.server.workspace_peak_bytes;
         stats.plan_buffer_bytes += replica.server.plan_buffer_bytes;
+        stats.interactive.completed += replica.server.interactive.completed;
+        stats.batch.completed += replica.server.batch.completed;
         stats.replicas.push_back(std::move(replica));
     }
     const std::int64_t lookups = stats.cache_hits + stats.cache_misses;
@@ -200,19 +235,23 @@ PoolStats ServerPool::stats() const {
         stats.p95_latency_us = quantiles.p95;
         stats.p99_latency_us = quantiles.p99;
     }
+    if (merged_interactive.count() > 0) {
+        const LatencyRecorder::Summary lane = merged_interactive.summary();
+        stats.interactive.p50_latency_us = lane.p50;
+        stats.interactive.p95_latency_us = lane.p95;
+    }
+    if (merged_batch.count() > 0) {
+        const LatencyRecorder::Summary lane = merged_batch.summary();
+        stats.batch.p50_latency_us = lane.p50;
+        stats.batch.p95_latency_us = lane.p95;
+    }
 
+    stats.requests_submitted = state_.submitted();
+    stats.requests_completed = state_.completed();
+    stats.throughput_rps = state_.throughput_rps();
     std::lock_guard<std::mutex> lock(mutex_);
-    stats.requests_submitted = submitted_;
-    stats.requests_completed = completed_;
     for (std::size_t i = 0; i < routed_.size(); ++i) {
         stats.replicas[i].routed = routed_[i];
-    }
-    if (completed_ > 0) {
-        const double elapsed_s =
-            to_us(last_completion_ - first_enqueue_) / 1e6;
-        stats.throughput_rps =
-            elapsed_s > 0.0 ? static_cast<double>(completed_) / elapsed_s
-                            : 0.0;
     }
     return stats;
 }

@@ -1,5 +1,5 @@
 // Sharded multi-network server pool: N replica InferenceServers behind
-// one submit() facade.
+// one InferenceService facade.
 //
 // PR 2's single server runs one dispatch thread, so forwards serialize
 // no matter how many clients submit. The pool is the scaling step named
@@ -9,16 +9,20 @@
 // own ThresholdCache, so forwards proceed genuinely in parallel while a
 // task switch still touches only T_child bytes per replica.
 //
-// Request flow: admission control (pool-wide in-flight cap, block or
-// shed) -> routing policy (round_robin / task_affinity / least_loaded)
-// -> the chosen replica's queue/batcher/dispatcher. task_affinity hashes
-// each task onto one replica so its thresholds are hydrated exactly
-// once pool-wide; round_robin spreads a task over every replica and
-// pays capacity-miss thrashing in exchange for strict fairness.
+// Request flow: envelope validation -> admission control (pool-wide
+// in-flight cap, block or shed; a shed request completes with
+// ServeStatus::overloaded, never an exception) -> routing policy
+// (round_robin / task_affinity / least_loaded) -> the chosen replica's
+// queue/batcher/dispatcher, which enforces deadlines, priorities and
+// cancellation exactly as a lone server does. task_affinity hashes each
+// task onto one replica so its thresholds are hydrated exactly once
+// pool-wide; round_robin spreads a task over every replica and pays
+// capacity-miss thrashing in exchange for strict fairness.
 //
 // stats() aggregates across replicas: counters sum, and latency
-// percentiles are computed from the *merged* latency reservoirs
-// (LatencyRecorder::merge), never by averaging per-replica percentiles.
+// percentiles (total and per priority lane) are computed from the
+// *merged* latency reservoirs (LatencyRecorder::merge), never by
+// averaging per-replica percentiles.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +35,9 @@
 #include "serve/admission.h"
 #include "serve/inference_server.h"
 #include "serve/routing.h"
+#include "serve/service.h"
+#include "serve/service_state.h"
+#include "tensor/shape.h"
 
 namespace mime::serve {
 
@@ -55,8 +62,13 @@ struct ReplicaStats {
 /// Aggregate pool statistics (a consistent snapshot).
 struct PoolStats {
     std::int64_t requests_submitted = 0;
+    /// Terminal outcomes delivered (results + structured failures).
     std::int64_t requests_completed = 0;
+    /// Requests served with a result (ServeStatus::ok).
+    std::int64_t requests_served = 0;
     std::int64_t requests_shed = 0;
+    std::int64_t deadline_expired = 0;
+    std::int64_t cancelled = 0;
     std::int64_t peak_pending = 0;
     std::int64_t batches_run = 0;
     std::int64_t threshold_swaps = 0;
@@ -77,15 +89,18 @@ struct PoolStats {
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
     /// Completed requests per wall-clock second between the pool's
-    /// first admit and last completion.
+    /// first admit and last completion (0 for a zero-length window).
     double throughput_rps = 0.0;
+    /// Per-priority completion counts and merged-reservoir quantiles.
+    PriorityLaneStats interactive;
+    PriorityLaneStats batch;
     std::vector<ReplicaStats> replicas;
 
     /// Renders the aggregate + per-replica rows via common/table.
     std::string to_table_string() const;
 };
 
-class ServerPool {
+class ServerPool : public InferenceService {
 public:
     /// Replica 0 serves on `prototype` itself; replicas 1..N-1 serve on
     /// shared-backbone clones (see MimeNetwork::clone_with_shared_backbone),
@@ -95,7 +110,7 @@ public:
     /// threads (AdaptationStore::task_loader() qualifies).
     ServerPool(core::MimeNetwork& prototype, ThresholdCache::Loader loader,
                PoolConfig config = {});
-    ~ServerPool();
+    ~ServerPool() override;
 
     ServerPool(const ServerPool&) = delete;
     ServerPool& operator=(const ServerPool&) = delete;
@@ -103,22 +118,24 @@ public:
     const PoolConfig& config() const noexcept { return config_; }
     std::size_t replica_count() const noexcept { return servers_.size(); }
 
-    /// Routes one request to a replica. Throws overload_error when
-    /// admission sheds it (shed mode at max_pending), check_error once
-    /// the pool is stopped.
-    std::future<InferenceResult> submit_async(const std::string& task,
-                                              Tensor image);
+    // Keep the deprecated throwing shims visible next to the override.
+    using InferenceService::submit;
 
-    /// Convenience: submit and wait.
-    InferenceResult submit(const std::string& task, Tensor image);
+    /// Unified submission surface (see InferenceService::submit):
+    /// admission shedding completes the request with
+    /// ServeStatus::overloaded, a stopped pool with shutdown — no
+    /// exceptions on either path.
+    RequestTicket submit(const std::string& task, Tensor image,
+                         SubmitOptions options) override;
 
     /// Blocks until every admitted request has completed.
-    void drain();
+    void drain() override;
 
     /// Drains and stops every replica. Idempotent; the destructor calls
     /// it.
-    void stop();
+    void stop() override;
 
+    ServiceStats service_stats() const override;
     PoolStats stats() const;
 
 private:
@@ -126,20 +143,19 @@ private:
 
     PoolConfig config_;
     core::MimeNetwork* prototype_;
+    Shape input_shape_;  ///< per-sample [C, H, W] the prototype accepts
     std::vector<std::unique_ptr<core::MimeNetwork>> clones_;
     std::vector<std::unique_ptr<InferenceServer>> servers_;
     AdmissionController admission_;
+
+    /// Admitted/completed counters, drain condvar, idempotent stop,
+    /// throughput window — shared bookkeeping via ServiceState.
+    ServiceState state_;
 
     mutable std::mutex mutex_;
     Router router_;                      ///< guarded by mutex_
     std::vector<std::int64_t> loads_;    ///< in-flight per replica
     std::vector<std::int64_t> routed_;   ///< total assigned per replica
-    std::int64_t submitted_ = 0;         ///< admitted and enqueued
-    std::int64_t completed_ = 0;
-    Clock::time_point first_enqueue_{};
-    Clock::time_point last_completion_{};
-    std::condition_variable drained_;
-    bool stopped_ = false;
 };
 
 }  // namespace mime::serve

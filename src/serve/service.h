@@ -1,0 +1,185 @@
+// Unified client API for the serving runtime.
+//
+// `InferenceService` is the one submission surface every serving backend
+// implements — today `InferenceServer` (one network, one dispatch
+// thread) and `ServerPool` (N sharded replicas); the ROADMAP's
+// cross-host sharding step plugs behind the same contract. A submission
+// carries a `SubmitOptions` envelope (relative deadline, priority class,
+// delivery mode) and returns a move-only `RequestTicket` supporting
+// best-effort cancel(). Results arrive as `Outcome<InferenceResult>` —
+// overload shedding, stopped-service submission, deadline expiry and
+// cancellation are ServeStatus values on that channel, never exceptions
+// — through the ticket's future or, when `on_result` is set, a callback
+// invoked from the dispatch side (the async delivery step named in
+// ROADMAP.md).
+//
+// The pre-redesign throwing API (`submit(task, image)` /
+// `submit_async(task, image)`) survives only as thin deprecated shims
+// implemented on top of submit(); new code should branch on ServeStatus.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/request.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace mime::serve {
+
+/// How a request's outcome reaches the caller.
+enum class DeliveryMode {
+    future,   ///< wait on RequestTicket::wait() / the ticket's future
+    callback  ///< SubmitOptions::on_result runs on the dispatch side
+};
+
+const char* to_string(DeliveryMode mode);
+
+/// Per-request submission envelope.
+struct SubmitOptions {
+    /// Relative deadline from submission; zero = none. Enforced at
+    /// batch-forming time: an expired request completes with
+    /// ServeStatus::deadline_exceeded and never occupies a forward.
+    std::chrono::microseconds deadline{0};
+    /// interactive requests get batch-forming precedence over batch.
+    Priority priority = Priority::interactive;
+    /// When set, selects callback delivery: invoked exactly once with
+    /// the terminal outcome — from the dispatch side for accepted
+    /// requests, or inline from submit() itself for immediate
+    /// rejections (shed, shutdown, malformed envelope) — and the
+    /// ticket's future stays invalid. Must not throw and must not block
+    /// or retake locks held across submit().
+    std::function<void(Outcome<InferenceResult>)> on_result;
+
+    DeliveryMode delivery_mode() const noexcept {
+        return on_result ? DeliveryMode::callback : DeliveryMode::future;
+    }
+};
+
+/// Move-only handle to one submitted request. Immediately-rejected
+/// submissions (stopped service, shed, malformed envelope) still return
+/// a ticket whose outcome is already delivered.
+class RequestTicket {
+public:
+    RequestTicket() = default;
+    /// Built by InferenceService implementations.
+    RequestTicket(std::int64_t id, std::shared_ptr<RequestControl> control,
+                  std::future<Outcome<InferenceResult>> future)
+        : id_(id), control_(std::move(control)), future_(std::move(future)) {}
+
+    RequestTicket(RequestTicket&&) = default;
+    RequestTicket& operator=(RequestTicket&&) = default;
+    RequestTicket(const RequestTicket&) = delete;
+    RequestTicket& operator=(const RequestTicket&) = delete;
+
+    /// Service-local request id (replica-local under a pool).
+    std::int64_t id() const noexcept { return id_; }
+    bool valid() const noexcept { return control_ != nullptr; }
+    /// True for future delivery while wait() has not consumed the
+    /// outcome; false for callback delivery.
+    bool can_wait() const noexcept { return future_.valid(); }
+
+    /// Best-effort cancellation. True when the cancel won the race with
+    /// dispatch: the request completes with ServeStatus::cancelled and
+    /// never runs a forward. False when it was already dispatched (or
+    /// finished, or cancelled before) — its outcome arrives unchanged.
+    bool cancel() { return control_ != nullptr && control_->cancel(); }
+
+    /// Blocks for the outcome (future delivery only; consumes it).
+    Outcome<InferenceResult> wait() {
+        MIME_REQUIRE(future_.valid(),
+                     "RequestTicket::wait() needs future delivery and an "
+                     "unconsumed outcome");
+        return future_.get();
+    }
+
+private:
+    std::int64_t id_ = -1;
+    std::shared_ptr<RequestControl> control_;
+    std::future<Outcome<InferenceResult>> future_;
+};
+
+/// Completion count and latency quantiles of one priority class.
+struct PriorityLaneStats {
+    std::int64_t completed = 0;  ///< requests served ok in this class
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
+};
+
+/// Backend-agnostic serving counters, comparable across every
+/// InferenceService implementation (the richer ServerStats / PoolStats
+/// remain on the concrete classes).
+struct ServiceStats {
+    std::int64_t submitted = 0;  ///< accepted past the front door
+    std::int64_t completed = 0;  ///< terminal outcomes delivered
+    std::int64_t shed = 0;       ///< rejected with ServeStatus::overloaded
+    std::int64_t deadline_expired = 0;
+    std::int64_t cancelled = 0;
+    /// Completed requests per wall-clock second between first accept and
+    /// last completion; 0 while the window is empty or zero-length.
+    double throughput_rps = 0.0;
+    PriorityLaneStats interactive;
+    PriorityLaneStats batch;
+};
+
+class InferenceService {
+public:
+    virtual ~InferenceService() = default;
+
+    /// Submits one request under `options`. Never throws for runtime
+    /// conditions: overload, shutdown, expiry, cancellation and envelope
+    /// errors all arrive as ServeStatus on the result channel.
+    virtual RequestTicket submit(const std::string& task, Tensor image,
+                                 SubmitOptions options) = 0;
+
+    /// Convenience: submit with future delivery and wait for the
+    /// outcome. `options.on_result` must be empty.
+    Outcome<InferenceResult> run(const std::string& task, Tensor image,
+                                 SubmitOptions options = {});
+
+    /// Blocks until every accepted request has a delivered (or
+    /// concurrently delivering) outcome.
+    virtual void drain() = 0;
+
+    /// Drains in-flight work, then stops serving. Idempotent.
+    virtual void stop() = 0;
+
+    virtual ServiceStats service_stats() const = 0;
+
+    // --- Deprecated throwing shims (pre-InferenceService API) ---------
+    // Thin wrappers over submit() that translate failure statuses back
+    // into the old exceptions: overloaded -> overload_error, everything
+    // else -> check_error. Kept so existing callers compile; new code
+    // should branch on ServeStatus instead.
+
+    /// Deprecated: future resolves with the result or the mapped
+    /// exception; rejections detected at submission rethrow here.
+    std::future<InferenceResult> submit_async(const std::string& task,
+                                              Tensor image);
+
+    /// Deprecated: submit and wait, throwing on any non-ok status.
+    InferenceResult submit(const std::string& task, Tensor image);
+
+protected:
+    /// Delivers an immediate rejection on the envelope's channel and
+    /// returns the (already-completed) ticket. Shared by every backend's
+    /// front door.
+    static RequestTicket reject(SubmitOptions& options, ServeStatus status,
+                                std::string message);
+
+    /// The envelope rules every backend's front door enforces (task
+    /// named, image matches `input_shape`, deadline non-negative):
+    /// returns the invalid_request message, or nullopt when valid. One
+    /// definition so a lone server and a pool can never drift on what
+    /// they accept.
+    static std::optional<std::string> envelope_error(
+        const std::string& task, const Tensor& image,
+        const Shape& input_shape, const SubmitOptions& options);
+};
+
+}  // namespace mime::serve

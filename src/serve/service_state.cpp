@@ -1,0 +1,80 @@
+#include "serve/service_state.h"
+
+#include <chrono>
+
+namespace mime::serve {
+
+std::optional<std::int64_t> ServiceState::register_submit(
+    Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+        return std::nullopt;
+    }
+    if (submitted_ == 0) {
+        first_enqueue_ = now;
+    }
+    ++submitted_;
+    return next_id_++;
+}
+
+void ServiceState::rollback_submit() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --submitted_;
+    }
+    drained_.notify_all();
+}
+
+void ServiceState::complete(std::size_t count, Clock::time_point now) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        completed_ += static_cast<std::int64_t>(count);
+        last_completion_ = now;
+    }
+    drained_.notify_all();
+}
+
+void ServiceState::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+bool ServiceState::begin_stop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+        return false;
+    }
+    stopped_ = true;
+    return true;
+}
+
+bool ServiceState::stopped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+std::int64_t ServiceState::submitted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+std::int64_t ServiceState::completed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+double ServiceState::throughput_rps() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (completed_ <= 0) {
+        return 0.0;
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(last_completion_ - first_enqueue_)
+            .count();
+    // Zero-length window (single instantly-completed request): report 0
+    // rather than inf/NaN.
+    return elapsed_s > 0.0 ? static_cast<double>(completed_) / elapsed_s
+                           : 0.0;
+}
+
+}  // namespace mime::serve

@@ -1,0 +1,67 @@
+// Shared submission/completion bookkeeping for InferenceService
+// implementations.
+//
+// InferenceServer and ServerPool used to each re-declare the same
+// cluster of state: submitted/completed counters, the drained_ condvar,
+// the idempotent stopped_ flag, and the first-accept / last-completion
+// wall-clock window behind throughput_rps. ServiceState is that cluster
+// factored out once: the front door registers accepted submissions (and
+// rolls back ones whose enqueue raced with close), the dispatch side
+// records terminal deliveries, and drain()/begin_stop() provide the
+// blocking and idempotence semantics both backends share.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.h"
+
+namespace mime::serve {
+
+class ServiceState {
+public:
+    /// Registers one accepted submission and returns its service-local
+    /// id, or nullopt once stop has begun (the caller rejects with
+    /// ServeStatus::shutdown). The first registration opens the
+    /// throughput window.
+    std::optional<std::int64_t> register_submit(Clock::time_point now);
+
+    /// Rolls back a registration whose enqueue lost a race with close,
+    /// so drain() still terminates.
+    void rollback_submit();
+
+    /// Records `count` terminal deliveries (results or structured
+    /// failures) and advances the throughput window.
+    void complete(std::size_t count, Clock::time_point now);
+
+    /// Blocks until every registered submission has completed.
+    void drain();
+
+    /// Marks the service stopping. True exactly once; callers skip
+    /// their teardown on repeat calls.
+    bool begin_stop();
+
+    bool stopped() const;
+    std::int64_t submitted() const;
+    std::int64_t completed() const;
+
+    /// Completed requests per wall-clock second between the first
+    /// registration and the last completion. Returns 0 — never inf/NaN
+    /// — while nothing completed or when the window is zero-length (a
+    /// single instantly-completed request).
+    double throughput_rps() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable drained_;
+    std::int64_t next_id_ = 0;
+    std::int64_t submitted_ = 0;
+    std::int64_t completed_ = 0;
+    Clock::time_point first_enqueue_{};
+    Clock::time_point last_completion_{};
+    bool stopped_ = false;
+};
+
+}  // namespace mime::serve

@@ -6,6 +6,7 @@
 
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <thread>
 
 #include "common/check.h"
@@ -68,11 +69,11 @@ TEST(TaskBatcher, GroupsByTaskAcrossInterleavedArrivals) {
     batcher.add(make_request(3, "b", t0));
     batcher.add(make_request(4, "a", t0));
 
-    auto first = batcher.next_batch(Clock::now());
+    auto first = batcher.next_batch(Clock::now()).batch;
     ASSERT_TRUE(first.has_value());
     EXPECT_EQ(batch_tasks(*first), (std::vector<std::string>{"a", "a", "a"}));
 
-    auto second = batcher.next_batch(Clock::now());
+    auto second = batcher.next_batch(Clock::now()).batch;
     ASSERT_TRUE(second.has_value());
     EXPECT_EQ(batch_tasks(*second), (std::vector<std::string>{"b", "b"}));
     EXPECT_TRUE(batcher.empty());
@@ -90,7 +91,7 @@ TEST(TaskBatcher, RespectsMaxBatchSize) {
         batcher.add(make_request(i, "a", t0));
     }
     std::vector<std::size_t> sizes;
-    while (auto batch = batcher.next_batch(Clock::now())) {
+    while (auto batch = batcher.next_batch(Clock::now()).batch) {
         sizes.push_back(batch->size());
     }
     EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
@@ -108,10 +109,10 @@ TEST(TaskBatcher, FifoNeverReordersAcrossTaskChange) {
     batcher.add(make_request(1, "b", t0));
     batcher.add(make_request(2, "a", t0));
 
-    auto first = batcher.next_batch(Clock::now());
+    auto first = batcher.next_batch(Clock::now()).batch;
     ASSERT_TRUE(first.has_value());
     EXPECT_EQ(batch_tasks(*first), (std::vector<std::string>{"a"}));
-    auto second = batcher.next_batch(Clock::now());
+    auto second = batcher.next_batch(Clock::now()).batch;
     ASSERT_TRUE(second.has_value());
     EXPECT_EQ(batch_tasks(*second), (std::vector<std::string>{"b"}));
 }
@@ -128,16 +129,94 @@ TEST(TaskBatcher, WaitsForFullBatchUntilMaxWait) {
     batcher.add(make_request(1, "a", t0));
 
     // Not full and not expired: nothing is ready.
-    EXPECT_FALSE(batcher.next_batch(t0).has_value());
+    EXPECT_FALSE(batcher.next_batch(t0).batch.has_value());
     // Past the deadline the partial batch goes out.
-    auto late = batcher.next_batch(t0 + std::chrono::seconds(2));
+    auto late = batcher.next_batch(t0 + std::chrono::seconds(2)).batch;
     ASSERT_TRUE(late.has_value());
     EXPECT_EQ(late->size(), 2u);
     // Flush forces pending requests out regardless of age.
     batcher.add(make_request(2, "a", t0));
-    auto flushed = batcher.next_batch(t0, /*flush=*/true);
+    auto flushed = batcher.next_batch(t0, /*flush=*/true).batch;
     ASSERT_TRUE(flushed.has_value());
     EXPECT_EQ(flushed->size(), 1u);
+}
+
+TEST(TaskBatcher, InteractiveLaneHasBatchFormingPrecedence) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(0);  // always ready
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    // Batch-priority traffic arrives first, interactive later: the
+    // interactive lane must still dispatch first under both policies.
+    InferenceRequest background = make_request(0, "bg", t0);
+    background.priority = Priority::batch;
+    batcher.add(std::move(background));
+    batcher.add(make_request(1, "fg", t0));  // interactive by default
+
+    auto first = batcher.next_batch(Clock::now()).batch;
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(batch_tasks(*first), (std::vector<std::string>{"fg"}));
+    auto second = batcher.next_batch(Clock::now()).batch;
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(batch_tasks(*second), (std::vector<std::string>{"bg"}));
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(TaskBatcher, ReapsExpiredDeadlinesBeforeFormingBatches) {
+    BatcherConfig config;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(0);
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    InferenceRequest doomed = make_request(0, "a", t0);
+    doomed.deadline = t0 + std::chrono::microseconds(10);
+    batcher.add(std::move(doomed));
+    batcher.add(make_request(1, "a", t0));
+
+    // next_deadline must surface the request deadline so the dispatch
+    // loop wakes to expire it promptly.
+    ASSERT_TRUE(batcher.next_deadline().has_value());
+    EXPECT_LE(*batcher.next_deadline(), t0 + std::chrono::microseconds(10));
+
+    BatchResult decision =
+        batcher.next_batch(t0 + std::chrono::milliseconds(1));
+    ASSERT_EQ(decision.reaped.size(), 1u);
+    EXPECT_EQ(decision.reaped[0].status, ServeStatus::deadline_exceeded);
+    EXPECT_EQ(decision.reaped[0].request.id, 0);
+    ASSERT_TRUE(decision.batch.has_value());
+    EXPECT_EQ(decision.batch->size(), 1u);
+    EXPECT_EQ(decision.batch->front().id, 1);
+}
+
+TEST(TaskBatcher, ReapsCancelledRequestsWithoutDispatching) {
+    BatcherConfig config;
+    config.max_batch_size = 4;
+    config.max_wait = std::chrono::microseconds(0);
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    InferenceRequest cancelled = make_request(0, "a", t0);
+    cancelled.control = std::make_shared<RequestControl>();
+    auto control = cancelled.control;
+    batcher.add(std::move(cancelled));
+    InferenceRequest survivor = make_request(1, "a", t0);
+    survivor.control = std::make_shared<RequestControl>();
+    auto survivor_control = survivor.control;
+    batcher.add(std::move(survivor));
+    EXPECT_TRUE(control->cancel());
+
+    BatchResult decision = batcher.next_batch(Clock::now());
+    ASSERT_EQ(decision.reaped.size(), 1u);
+    EXPECT_EQ(decision.reaped[0].status, ServeStatus::cancelled);
+    ASSERT_TRUE(decision.batch.has_value());
+    EXPECT_EQ(decision.batch->size(), 1u);
+    EXPECT_EQ(decision.batch->front().id, 1);
+    // The dispatched request was claimed: a late cancel loses.
+    EXPECT_FALSE(survivor_control->cancel());
 }
 
 // ---------------------------------------------------------------------------

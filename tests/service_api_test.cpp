@@ -1,0 +1,461 @@
+// Conformance suite for the unified InferenceService client API,
+// parameterized over both backends (InferenceServer, ServerPool). The
+// contract under test: overload shed, stopped-service submission,
+// expired deadlines and cancellation surface as ServeStatus values on
+// the result channel (never exceptions), expired requests complete at
+// batch-forming time without occupying a forward, cancel() reports
+// whether it won the race with dispatch, and callback delivery carries
+// bit-identical results to future delivery. The cancel-race cases run
+// under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "core/multitask.h"
+#include "serve/inference_server.h"
+#include "serve/server_pool.h"
+#include "serve/service.h"
+#include "serve/service_state.h"
+
+namespace mime::serve {
+namespace {
+
+core::MimeNetworkConfig tiny_config(std::uint64_t seed = 3) {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.seed = seed;
+    return config;
+}
+
+struct ServiceFixture {
+    core::MimeNetwork network{tiny_config()};
+    std::vector<core::TaskAdaptation> adaptations;
+
+    explicit ServiceFixture(std::size_t task_count = 3) {
+        network.set_training(false);
+        network.set_mode(core::ActivationMode::threshold);
+        for (std::size_t t = 0; t < task_count; ++t) {
+            network.reset_thresholds(0.02f + 0.2f * static_cast<float>(t));
+            adaptations.push_back(core::capture_adaptation(
+                network, "task" + std::to_string(t), 10));
+        }
+    }
+
+    ThresholdCache::Loader loader() {
+        return [this](const std::string& name) {
+            for (const core::TaskAdaptation& adaptation : adaptations) {
+                if (adaptation.name == name) {
+                    return adaptation;
+                }
+            }
+            throw check_error("name", __FILE__, __LINE__,
+                              "unknown task " + name);
+        };
+    }
+};
+
+/// Wedges the first hydration pool-wide so tests control exactly what is
+/// pending behind the dispatch thread when the gate opens.
+struct LoaderGate {
+    std::promise<void> open_promise;
+    std::shared_future<void> open = open_promise.get_future().share();
+    std::promise<void> entered_promise;
+    std::future<void> entered = entered_promise.get_future();
+    std::atomic<bool> armed{true};
+
+    ThresholdCache::Loader wrap(ThresholdCache::Loader inner) {
+        return [this, inner](const std::string& name) {
+            if (armed.exchange(false)) {
+                entered_promise.set_value();
+                open.wait();
+            }
+            return inner(name);
+        };
+    }
+};
+
+enum class BackendKind { server, pool };
+
+struct BackendSpec {
+    const char* name;
+    BackendKind kind;
+};
+
+/// Both backends behind the one interface the suite drives. max_wait 0
+/// keeps batch formation immediate and deterministic.
+std::unique_ptr<InferenceService> make_backend(
+    BackendKind kind, ServiceFixture& fixture,
+    ThresholdCache::Loader loader) {
+    ServerConfig server_config;
+    server_config.batcher.max_batch_size = 4;
+    server_config.batcher.max_wait = std::chrono::microseconds(0);
+    server_config.cache_capacity = 4;
+    server_config.worker_threads = 1;
+    if (kind == BackendKind::server) {
+        return std::make_unique<InferenceServer>(fixture.network,
+                                                 std::move(loader),
+                                                 server_config);
+    }
+    PoolConfig pool_config;
+    pool_config.replica_count = 2;
+    pool_config.routing = RoutingPolicy::task_affinity;
+    pool_config.server = server_config;
+    return std::make_unique<ServerPool>(fixture.network, std::move(loader),
+                                        pool_config);
+}
+
+class ServiceApiTest : public ::testing::TestWithParam<BackendSpec> {};
+
+TEST_P(ServiceApiTest, OkOutcomeCarriesResultThroughTicket) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+
+    RequestTicket ticket =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    ASSERT_TRUE(ticket.valid());
+    ASSERT_TRUE(ticket.can_wait());
+    Outcome<InferenceResult> outcome = ticket.wait();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.status(), ServeStatus::ok);
+    EXPECT_EQ(outcome.value().task, "task0");
+    EXPECT_EQ(outcome.value().logits.numel(), 10);
+    EXPECT_GE(outcome.value().predicted_class, 0);
+    EXPECT_LT(outcome.value().predicted_class, 10);
+
+    // wait() can return before the pool's completion hook runs; drain()
+    // synchronizes the counters.
+    service->drain();
+    const ServiceStats stats = service->service_stats();
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_EQ(stats.interactive.completed, 1);  // the default priority
+    EXPECT_EQ(stats.batch.completed, 0);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, StoppedServiceDeliversShutdownNotException) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+    service->stop();
+
+    RequestTicket ticket =
+        service->submit("task0", Tensor({3, 32, 32}), {});
+    ASSERT_TRUE(ticket.can_wait());
+    const Outcome<InferenceResult> outcome = ticket.wait();
+    EXPECT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status(), ServeStatus::shutdown);
+    EXPECT_FALSE(outcome.message().empty());
+
+    // Nothing left to cancel on a rejected ticket.
+    RequestTicket again = service->submit("task0", Tensor({3, 32, 32}), {});
+    EXPECT_FALSE(again.cancel());
+
+    // The deprecated shims keep the old exception contract.
+    EXPECT_THROW(service->submit("task0", Tensor({3, 32, 32})),
+                 check_error);
+}
+
+TEST_P(ServiceApiTest, MalformedEnvelopeDeliversInvalidRequest) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+
+    EXPECT_EQ(service->run("", Tensor({3, 32, 32})).status(),
+              ServeStatus::invalid_request);
+    EXPECT_EQ(service->run("task0", Tensor({1, 28, 28})).status(),
+              ServeStatus::invalid_request);
+    SubmitOptions negative_deadline;
+    negative_deadline.deadline = std::chrono::microseconds(-5);
+    EXPECT_EQ(
+        service->run("task0", Tensor({3, 32, 32}), negative_deadline)
+            .status(),
+        ServeStatus::invalid_request);
+
+    // Rejections never enter the submitted/completed accounting and
+    // never block drain.
+    service->drain();
+    EXPECT_EQ(service->service_stats().submitted, 0);
+
+    // Well-formed traffic is unaffected.
+    EXPECT_TRUE(service->run("task0", Tensor({3, 32, 32}, 0.2f)).ok());
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, ExpiredDeadlineReapsBeforeLaterBatches) {
+    ServiceFixture fixture;
+    LoaderGate gate;
+    auto service =
+        make_backend(GetParam().kind, fixture, gate.wrap(fixture.loader()));
+
+    std::mutex order_mutex;
+    std::vector<std::string> order;
+    const auto record = [&order_mutex, &order](const std::string& label) {
+        return [&order_mutex, &order,
+                label](Outcome<InferenceResult> outcome) {
+            std::lock_guard<std::mutex> lock(order_mutex);
+            order.push_back(label + ":" +
+                            std::string(to_string(outcome.status())));
+        };
+    };
+
+    // A wedges the dispatch thread mid-hydration; B expires while
+    // pending; C stays valid. All one task so a pool routes them to the
+    // same replica.
+    SubmitOptions a;
+    a.on_result = record("a");
+    service->submit("task0", Tensor({3, 32, 32}, 0.1f), std::move(a));
+    gate.entered.wait();
+
+    SubmitOptions b;
+    b.deadline = std::chrono::microseconds(1);
+    b.on_result = record("b");
+    service->submit("task0", Tensor({3, 32, 32}, 0.2f), std::move(b));
+    SubmitOptions c;
+    c.deadline = std::chrono::seconds(30);
+    c.on_result = record("c");
+    service->submit("task0", Tensor({3, 32, 32}, 0.3f), std::move(c));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    gate.open_promise.set_value();
+    service->drain();
+
+    {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        // The expired request fails at batch-forming time, before C's
+        // batch runs — it never occupies a forward.
+        ASSERT_EQ(order.size(), 3u);
+        EXPECT_EQ(order[0], "a:ok");
+        EXPECT_EQ(order[1], "b:deadline_exceeded");
+        EXPECT_EQ(order[2], "c:ok");
+    }
+    const ServiceStats stats = service->service_stats();
+    EXPECT_EQ(stats.submitted, 3);
+    EXPECT_EQ(stats.completed, 3);
+    EXPECT_EQ(stats.deadline_expired, 1);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, CancelBeforeDispatchWinsAndDeliversCancelled) {
+    ServiceFixture fixture;
+    LoaderGate gate;
+    auto service =
+        make_backend(GetParam().kind, fixture, gate.wrap(fixture.loader()));
+
+    RequestTicket wedge =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    gate.entered.wait();
+
+    RequestTicket doomed =
+        service->submit("task0", Tensor({3, 32, 32}, 0.2f), {});
+    EXPECT_TRUE(doomed.cancel());
+    EXPECT_FALSE(doomed.cancel());  // a second cancel has nothing to win
+
+    gate.open_promise.set_value();
+    const Outcome<InferenceResult> cancelled_outcome = doomed.wait();
+    EXPECT_EQ(cancelled_outcome.status(), ServeStatus::cancelled);
+    EXPECT_TRUE(wedge.wait().ok());
+
+    service->drain();
+    const ServiceStats stats = service->service_stats();
+    EXPECT_EQ(stats.completed, 2);
+    EXPECT_EQ(stats.cancelled, 1);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, CancelAfterCompletionLoses) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+    RequestTicket ticket =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    ASSERT_TRUE(ticket.wait().ok());
+    EXPECT_FALSE(ticket.cancel());
+    EXPECT_EQ(service->service_stats().cancelled, 0);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, CancelRacingDispatchIsConsistent) {
+    // The race case the TSan CI job watches: cancels hammer the tickets
+    // while the dispatch thread claims batches. The invariant is
+    // exactness, not timing: a request either ran (outcome ok) or was
+    // cancelled (outcome cancelled), and cancel() returned true exactly
+    // for the cancelled ones.
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+
+    constexpr int kRequests = 48;
+    std::vector<RequestTicket> tickets;
+    tickets.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        tickets.push_back(
+            service->submit("task" + std::to_string(i % 2),
+                            Tensor({3, 32, 32}, 0.01f * i), {}));
+    }
+    std::vector<char> cancel_won(kRequests, 0);
+    std::thread canceller([&] {
+        for (int i = 0; i < kRequests; ++i) {
+            cancel_won[static_cast<std::size_t>(i)] =
+                tickets[static_cast<std::size_t>(i)].cancel() ? 1 : 0;
+        }
+    });
+    canceller.join();
+    service->drain();
+
+    std::int64_t cancelled = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        const Outcome<InferenceResult> outcome =
+            tickets[static_cast<std::size_t>(i)].wait();
+        if (cancel_won[static_cast<std::size_t>(i)] != 0) {
+            EXPECT_EQ(outcome.status(), ServeStatus::cancelled)
+                << "request " << i << " lost a cancel it reported winning";
+            ++cancelled;
+        } else {
+            EXPECT_TRUE(outcome.ok())
+                << "request " << i << ": " << to_string(outcome.status());
+        }
+    }
+    const ServiceStats stats = service->service_stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_EQ(stats.cancelled, cancelled);
+    EXPECT_EQ(stats.interactive.completed, kRequests - cancelled);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, CallbackAndFutureDeliverBitIdenticalResults) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+    Rng rng(19);
+    const Tensor image = Tensor::randn({3, 32, 32}, rng);
+
+    const Outcome<InferenceResult> via_future =
+        service->run("task1", image.clone());
+
+    std::promise<Outcome<InferenceResult>> relay;
+    std::future<Outcome<InferenceResult>> delivered = relay.get_future();
+    std::atomic<int> invocations{0};
+    SubmitOptions options;
+    options.priority = Priority::batch;
+    options.on_result = [&relay,
+                         &invocations](Outcome<InferenceResult> outcome) {
+        ++invocations;
+        relay.set_value(std::move(outcome));
+    };
+    RequestTicket ticket =
+        service->submit("task1", image.clone(), std::move(options));
+    EXPECT_FALSE(ticket.can_wait());  // callback delivery owns the channel
+
+    const Outcome<InferenceResult> via_callback = delivered.get();
+    service->drain();
+    EXPECT_EQ(invocations.load(), 1);
+    ASSERT_TRUE(via_future.ok());
+    ASSERT_TRUE(via_callback.ok());
+    const Tensor& a = via_future.value().logits;
+    const Tensor& b = via_callback.value().logits;
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::int64_t c = 0; c < a.numel(); ++c) {
+        ASSERT_EQ(a[c], b[c]) << "class " << c;
+    }
+    EXPECT_EQ(via_future.value().predicted_class,
+              via_callback.value().predicted_class);
+
+    const ServiceStats stats = service->service_stats();
+    EXPECT_EQ(stats.interactive.completed, 1);
+    EXPECT_EQ(stats.batch.completed, 1);
+    service->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServiceApiTest,
+    ::testing::Values(BackendSpec{"server", BackendKind::server},
+                      BackendSpec{"pool", BackendKind::pool}),
+    [](const ::testing::TestParamInfo<BackendSpec>& info) {
+        return std::string(info.param.name);
+    });
+
+// ---------------------------------------------------------------------------
+// Pool-specific conformance: admission shedding as a status
+// ---------------------------------------------------------------------------
+
+TEST(ServiceApiPool, OverloadShedDeliversOverloadedOutcome) {
+    ServiceFixture fixture;
+    LoaderGate gate;
+    PoolConfig config;
+    config.replica_count = 1;
+    config.admission = AdmissionMode::shed;
+    config.max_pending = 2;
+    config.server.batcher.max_wait = std::chrono::microseconds(0);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, gate.wrap(fixture.loader()), config);
+    InferenceService& service = pool;
+
+    RequestTicket first =
+        service.submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    gate.entered.wait();  // dispatch is now wedged
+    RequestTicket second =
+        service.submit("task0", Tensor({3, 32, 32}, 0.2f), {});
+    // Two in flight at max_pending=2: the third MUST be shed — as data,
+    // not an exception.
+    Outcome<InferenceResult> shed =
+        service.run("task0", Tensor({3, 32, 32}, 0.3f));
+    EXPECT_EQ(shed.status(), ServeStatus::overloaded);
+    EXPECT_NE(shed.message().find("max_pending"), std::string::npos);
+
+    gate.open_promise.set_value();
+    EXPECT_TRUE(first.wait().ok());
+    EXPECT_TRUE(second.wait().ok());
+    service.drain();
+
+    const ServiceStats stats = service.service_stats();
+    EXPECT_EQ(stats.completed, 2);
+    EXPECT_EQ(stats.shed, 1);
+    service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// ServiceState (the shared drain/stop/throughput bookkeeping)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceState, ThroughputGuardsZeroLengthWindow) {
+    // A single instantly-completed request makes first_enqueue ==
+    // last_completion; the rate must clamp to 0, never inf/NaN.
+    ServiceState state;
+    const Clock::time_point now = Clock::now();
+    ASSERT_TRUE(state.register_submit(now).has_value());
+    state.complete(1, now);
+    EXPECT_EQ(state.completed(), 1);
+    EXPECT_EQ(state.throughput_rps(), 0.0);
+
+    // A non-degenerate window reports a finite positive rate.
+    ASSERT_TRUE(state.register_submit(now).has_value());
+    state.complete(1, now + std::chrono::milliseconds(10));
+    EXPECT_NEAR(state.throughput_rps(), 200.0, 1e-6);
+}
+
+TEST(ServiceState, IdsAreSequentialAndStopIsIdempotent) {
+    ServiceState state;
+    const Clock::time_point now = Clock::now();
+    EXPECT_EQ(state.register_submit(now), std::optional<std::int64_t>(0));
+    EXPECT_EQ(state.register_submit(now), std::optional<std::int64_t>(1));
+    EXPECT_TRUE(state.begin_stop());
+    EXPECT_FALSE(state.begin_stop());
+    EXPECT_FALSE(state.register_submit(now).has_value());
+    state.complete(2, now);
+    state.drain();  // completed == submitted: returns immediately
+}
+
+}  // namespace
+}  // namespace mime::serve
