@@ -7,7 +7,9 @@
 // run end-to-end with `for b in build/bench/*; do $b; done`.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/vgg.h"
@@ -26,6 +28,32 @@ void print_banner(const std::string& experiment,
 /// Prints one "paper vs measured" summary line.
 void print_claim(const std::string& metric, const std::string& paper,
                  const std::string& measured);
+
+/// Minimal ordered JSON tree for machine-readable bench artifacts
+/// (BENCH_kernels.json, BENCH_serve.json). Insertion order is
+/// preserved so the emitted files diff cleanly run-to-run.
+class Json {
+public:
+    /// Scalar setters (each returns *this for chaining).
+    Json& set(const std::string& key, const std::string& value);
+    Json& set(const std::string& key, const char* value);
+    Json& set(const std::string& key, double value);
+    Json& set(const std::string& key, std::int64_t value);
+    Json& set(const std::string& key, int value);
+    Json& set(const std::string& key, bool value);
+    /// Nested object / array-of-objects setters.
+    Json& set(const std::string& key, Json value);
+    Json& set(const std::string& key, std::vector<Json> values);
+
+    std::string to_string(int indent = 0) const;
+
+private:
+    std::vector<std::pair<std::string, std::string>> scalars_or_trees_;
+};
+
+/// Writes `json` to MIME_BENCH_JSON_DIR/filename (dir defaults to the
+/// current working directory) and logs the path.
+void write_json_file(const std::string& filename, const Json& json);
 
 /// The trainable mini setup (width-scaled VGG16 + synthetic task suite);
 /// scale is controlled by MIME_BENCH_SCALE (0 = quick smoke, 1 = default

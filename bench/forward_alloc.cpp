@@ -23,6 +23,7 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "core/mime_network.h"
+#include "core/threshold_mask.h"
 #include "tensor/workspace.h"
 
 using namespace mime;
@@ -89,8 +90,9 @@ PathResult run_legacy(core::MimeNetwork& net, const Tensor& x,
 }
 
 PathResult run_planned(core::MimeNetwork& net, const Tensor& x,
-                       std::int64_t iters) {
+                       std::int64_t iters, bool sparse) {
     net.set_eval_mode(true);
+    net.set_sparse_execution({sparse, nn::kDefaultSparseDensityCutoff});
     Workspace workspace;
     net.forward_planned(x, workspace);  // warm-up: plan build + reserve
     const std::int64_t alloc0 = Tensor::storage_allocation_count();
@@ -117,6 +119,26 @@ PathResult run_planned(core::MimeNetwork& net, const Tensor& x,
     return result;
 }
 
+/// Structurally prunes every site to 1/4 channel density so the sparse
+/// planned path has dead rows to skip.
+void prune_channels(core::MimeNetwork& net) {
+    for (std::int64_t s = 0; s < net.site_count(); ++s) {
+        core::ThresholdMask& mask = net.site(s).mask();
+        Tensor& t = mask.thresholds().value;
+        const std::int64_t channels = mask.activation_shape().dim(0);
+        const std::int64_t extent =
+            mask.activation_shape().numel() / channels;
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float value =
+                (c % 4 == 0) ? 0.1f : core::kPrunedThreshold;
+            for (std::int64_t i = 0; i < extent; ++i) {
+                t.data()[c * extent + i] = value;
+            }
+        }
+        mask.mark_thresholds_dirty();
+    }
+}
+
 }  // namespace
 
 int main() {
@@ -133,6 +155,7 @@ int main() {
                  "ws peak B", "plan buffers B"});
     double legacy_allocs = 0.0;
     double speedup_sum = 0.0;
+    double sparse_speedup_sum = 0.0;
     int arch_count = 0;
 
     const std::pair<std::string, core::MimeNetworkConfig> configs[] = {
@@ -148,9 +171,20 @@ int main() {
         const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
 
         const PathResult legacy = run_legacy(net, x, iters);
-        const PathResult planned = run_planned(net, x, iters);
+        const PathResult planned =
+            run_planned(net, x, iters, /*sparse=*/false);
+        // Same plan, structurally pruned thresholds: dense pays the full
+        // MACs anyway, sparse skips the dead rows — both must stay
+        // allocation-free (run_planned asserts it).
+        prune_channels(net);
+        const PathResult pruned_dense =
+            run_planned(net, x, iters, /*sparse=*/false);
+        const PathResult pruned_sparse =
+            run_planned(net, x, iters, /*sparse=*/true);
         legacy_allocs += legacy.allocs_per_batch;
         speedup_sum += planned.req_per_s / legacy.req_per_s;
+        sparse_speedup_sum +=
+            pruned_sparse.req_per_s / pruned_dense.req_per_s;
         ++arch_count;
 
         table.add_row({name, "legacy", Table::num(legacy.req_per_s, 1),
@@ -159,16 +193,29 @@ int main() {
         table.add_row({name, "planned", Table::num(planned.req_per_s, 1),
                        "0", "0.0", std::to_string(planned.workspace_peak),
                        std::to_string(planned.plan_buffers)});
+        table.add_row({name, "planned dense (75% pruned)",
+                       Table::num(pruned_dense.req_per_s, 1), "0", "0.0",
+                       std::to_string(pruned_dense.workspace_peak),
+                       std::to_string(pruned_dense.plan_buffers)});
+        table.add_row({name, "planned sparse (75% pruned)",
+                       Table::num(pruned_sparse.req_per_s, 1), "0", "0.0",
+                       std::to_string(pruned_sparse.workspace_peak),
+                       std::to_string(pruned_sparse.plan_buffers)});
     }
     table.print();
 
     bench::print_claim("planned allocations per batch after warm-up",
-                       "0 (plan-once / execute-many)", "0 (asserted)");
+                       "0 (plan-once / execute-many)",
+                       "0 (asserted, dense and sparse)");
     bench::print_claim(
         "legacy allocations per batch (mean over archs)", "> 0",
         Table::num(legacy_allocs / arch_count, 1));
     bench::print_claim(
         "planned vs legacy throughput (mean over archs)", ">= ~1x",
         Table::ratio(speedup_sum / arch_count));
+    bench::print_claim(
+        "sparse vs dense planned @75% pruning (mean over archs)",
+        "> 1x (row compaction)",
+        Table::ratio(sparse_speedup_sum / arch_count));
     return 0;
 }

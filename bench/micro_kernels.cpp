@@ -46,6 +46,35 @@ void BM_GemmThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmThreaded)->Arg(256)->Arg(512);
 
+void BM_GemmRows(benchmark::State& state) {
+    const auto n = static_cast<std::int64_t>(state.range(0));
+    // Keep every (100/range(1))-th row: range(1)=4 -> 25% density.
+    const auto keep_mod = static_cast<std::int64_t>(state.range(1));
+    Rng rng(1);
+    const Tensor a = Tensor::randn({n, n}, rng);
+    const Tensor b = Tensor::randn({n, n}, rng);
+    Tensor c({n, n});
+    std::vector<std::int64_t> rows;
+    for (std::int64_t r = 0; r < n; ++r) {
+        if (r % keep_mod == 0) {
+            rows.push_back(r);
+        }
+    }
+    for (auto _ : state) {
+        gemm_rows(false, false, n, n, n, rows.data(),
+                  static_cast<std::int64_t>(rows.size()), 1.0f, a.data(), n,
+                  b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n *
+                            static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_GemmRows)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 10});
+
 void BM_Conv2dForward(benchmark::State& state) {
     Rng rng(2);
     nn::Conv2d conv(32, 64, 3, 1, 1, rng);

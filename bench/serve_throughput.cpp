@@ -50,6 +50,7 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "core/multitask.h"
+#include "core/threshold_mask.h"
 #include "serve/inference_server.h"
 #include "serve/load_gen.h"
 #include "serve/server_pool.h"
@@ -192,6 +193,56 @@ void drive_closed_loop(serve::InferenceService& service,
     service.drain();
 }
 
+/// Structurally prunes every site's thresholds to 1/4 channel density,
+/// with the live residue class rotated per task so different tasks keep
+/// different channels (the MIME child-task picture: each task's
+/// thresholds carve its own subnetwork out of W_parent).
+void prune_channels(core::MimeNetwork& network, std::int64_t live_rem) {
+    for (std::int64_t s = 0; s < network.site_count(); ++s) {
+        core::ThresholdMask& mask = network.site(s).mask();
+        Tensor& t = mask.thresholds().value;
+        const std::int64_t channels = mask.activation_shape().dim(0);
+        const std::int64_t extent =
+            mask.activation_shape().numel() / channels;
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float value = (c % 4 == live_rem % 4)
+                                    ? 0.05f
+                                    : core::kPrunedThreshold;
+            for (std::int64_t i = 0; i < extent; ++i) {
+                t.data()[c * extent + i] = value;
+            }
+        }
+        mask.mark_thresholds_dirty();
+    }
+}
+
+/// Closed-loop A/B run for sparse vs dense planned execution. No
+/// simulated accelerator: the run is forward-bound on purpose, so req/s
+/// measures what row compaction saves in the functional forward.
+serve::ServerStats replay_sparse_ab(
+    core::MimeNetwork& network,
+    const std::vector<core::TaskAdaptation>& adaptations,
+    const std::vector<serve::ArrivalEvent>& events, bool sparse) {
+    serve::ServerConfig config;
+    config.batcher.policy = serve::BatchingPolicy::task_grouped;
+    config.batcher.max_batch_size = 8;
+    config.batcher.max_wait = std::chrono::microseconds(2000);
+    config.cache_capacity = adaptations.size();
+    config.worker_threads = 1;
+    config.sparse_execution = sparse;
+    serve::InferenceServer server(network, make_loader(adaptations),
+                                  config);
+
+    const std::vector<Tensor> images = make_images(41);
+    drive_closed_loop(
+        server, adaptations, events, images, 4,
+        [](const serve::ArrivalEvent&) { return serve::SubmitOptions{}; },
+        nullptr);
+    serve::ServerStats stats = server.stats();
+    server.stop();
+    return stats;
+}
+
 serve::PoolStats replay_pool(
     core::MimeNetwork& network,
     const std::vector<core::TaskAdaptation>& adaptations,
@@ -254,6 +305,10 @@ int main() {
             network, "task" + std::to_string(t), 10));
     }
 
+    bench::Json serve_json;
+    serve_json.set("bench", "serve_throughput");
+    std::vector<bench::Json> policy_rows;
+
     Table table({"traffic", "policy", "req/s", "p50 us", "p95 us",
                  "mean batch", "swaps/req"});
     double fifo_rps_sum = 0.0;
@@ -292,14 +347,95 @@ int main() {
             } else {
                 grouped_rps_sum += s.throughput_rps;
             }
+            bench::Json row;
+            row.set("traffic", serve::to_string(pattern));
+            row.set("policy", serve::to_string(policy));
+            row.set("req_per_s", s.throughput_rps);
+            row.set("p50_us", s.p50_latency_us);
+            row.set("p95_us", s.p95_latency_us);
+            policy_rows.push_back(std::move(row));
         }
     }
     table.print();
+    serve_json.set("policy_replay", std::move(policy_rows));
 
     bench::print_claim(
         "task-grouped vs fifo throughput (mean over traffic mixes)",
         ">= 1x (amortized swaps)",
         Table::ratio(grouped_rps_sum / fifo_rps_sum));
+
+    // -----------------------------------------------------------------------
+    // Sparse execution A/B: row compaction on structurally pruned tasks
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Sparse execution A/B — row-compacted planned forwards, skewed "
+        "stream",
+        "structural pruning (75% dead channels) converts to serving "
+        "throughput when the executor skips dead rows");
+
+    // Child tasks whose thresholds structurally prune 3/4 of every
+    // site's channels, each task keeping a different residue class.
+    std::vector<core::TaskAdaptation> pruned_adaptations;
+    for (std::int64_t t = 0; t < task_count; ++t) {
+        prune_channels(network, t);
+        pruned_adaptations.push_back(core::capture_adaptation(
+            network, "pruned" + std::to_string(t), 10));
+    }
+
+    serve::LoadSpec sparse_spec;
+    sparse_spec.pattern = serve::ArrivalPattern::skewed;
+    sparse_spec.task_count = task_count;
+    sparse_spec.request_count = env_int("MIME_SERVE_POOL_REQUESTS", 240);
+    sparse_spec.mean_interarrival_us = 1.0;  // offsets unused: closed loop
+    sparse_spec.seed = 59;
+    const auto sparse_events = serve::generate_arrivals(sparse_spec);
+
+    const serve::ServerStats dense_stats = replay_sparse_ab(
+        network, pruned_adaptations, sparse_events, /*sparse=*/false);
+    const serve::ServerStats sparse_stats = replay_sparse_ab(
+        network, pruned_adaptations, sparse_events, /*sparse=*/true);
+
+    Table sparse_table({"executor", "req/s", "p50 us", "p95 us",
+                        "sparse hits", "skipped MACs"});
+    sparse_table.add_row(
+        {"dense planned", Table::num(dense_stats.throughput_rps, 1),
+         Table::num(dense_stats.p50_latency_us, 0),
+         Table::num(dense_stats.p95_latency_us, 0),
+         std::to_string(dense_stats.sparse_path_hits),
+         Table::num(dense_stats.skipped_mac_fraction, 4)});
+    sparse_table.add_row(
+        {"sparse planned", Table::num(sparse_stats.throughput_rps, 1),
+         Table::num(sparse_stats.p50_latency_us, 0),
+         Table::num(sparse_stats.p95_latency_us, 0),
+         std::to_string(sparse_stats.sparse_path_hits),
+         Table::num(sparse_stats.skipped_mac_fraction, 4)});
+    sparse_table.print();
+
+    const double sparse_speedup =
+        dense_stats.throughput_rps > 0.0
+            ? sparse_stats.throughput_rps / dense_stats.throughput_rps
+            : 0.0;
+    bench::print_claim("sparse vs dense planned req/s (skewed, pruned)",
+                       ">= 1.3x", Table::ratio(sparse_speedup));
+    bench::print_claim("skipped-MAC fraction (sparse run)",
+                       "~0.5-0.9 @ 75% channel pruning",
+                       Table::num(sparse_stats.skipped_mac_fraction, 3));
+
+    {
+        bench::Json ab;
+        ab.set("dense_req_per_s", dense_stats.throughput_rps);
+        ab.set("sparse_req_per_s", sparse_stats.throughput_rps);
+        ab.set("speedup", sparse_speedup);
+        ab.set("dense_p50_us", dense_stats.p50_latency_us);
+        ab.set("dense_p95_us", dense_stats.p95_latency_us);
+        ab.set("sparse_p50_us", sparse_stats.p50_latency_us);
+        ab.set("sparse_p95_us", sparse_stats.p95_latency_us);
+        ab.set("sparse_path_hits", sparse_stats.sparse_path_hits);
+        ab.set("skipped_mac_fraction",
+               sparse_stats.skipped_mac_fraction);
+        serve_json.set("sparse_ab", std::move(ab));
+    }
 
     // -----------------------------------------------------------------------
     // ServerPool sweep: pool size x routing policy on the skewed stream
@@ -353,6 +489,7 @@ int main() {
                     static_cast<long long>(simulated_service.count()));
     }
 
+    std::vector<bench::Json> pool_rows;
     Table pool_table({"pool", "routing", "req/s", "speedup", "p50 us",
                       "p95 us", "hit rate", "swaps/req", "ws peak/rep B",
                       "ws peak pool B"});
@@ -393,9 +530,19 @@ int main() {
                  std::to_string(stats.workspace_peak_bytes /
                                 static_cast<std::int64_t>(pool_size)),
                  std::to_string(stats.workspace_peak_bytes)});
+            bench::Json row;
+            row.set("pool_size", static_cast<std::int64_t>(pool_size));
+            row.set("routing", serve::to_string(routing));
+            row.set("req_per_s", stats.throughput_rps);
+            row.set("p50_us", stats.p50_latency_us);
+            row.set("p95_us", stats.p95_latency_us);
+            row.set("cache_hit_rate", stats.cache_hit_rate);
+            row.set("skipped_mac_fraction", stats.skipped_mac_fraction);
+            pool_rows.push_back(std::move(row));
         }
     }
     pool_table.print();
+    serve_json.set("pool_sweep", std::move(pool_rows));
 
     bench::print_claim("pool 4 vs 1 throughput (skewed, task_affinity)",
                        ">= 1.5x (parallel replicas)",
@@ -495,5 +642,7 @@ int main() {
         "interactive lower (lane precedence)",
         Table::num(mixed.interactive.p95_latency_us, 0) + " vs " +
             Table::num(mixed.batch.p95_latency_us, 0) + " us");
+
+    bench::write_json_file("BENCH_serve.json", serve_json);
     return 0;
 }

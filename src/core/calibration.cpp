@@ -71,6 +71,7 @@ std::vector<double> calibrate_thresholds(MimeNetwork& network,
             }
         }
         mask.thresholds().value = thresholds;
+        mask.mark_thresholds_dirty();
 
         // Achieved sparsity on the calibration batch after clamping.
         std::int64_t masked = 0;

@@ -17,7 +17,7 @@ std::int64_t tensor_bytes(const Tensor& t) {
 }  // namespace
 
 ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
-    : batch_size_(batch_size) {
+    : network_(&network), batch_size_(batch_size) {
     MIME_REQUIRE(batch_size >= 1, "ForwardPlan batch size must be >= 1");
     MIME_REQUIRE(!network.layer_specs().empty(),
                  "ForwardPlan needs a built network");
@@ -33,6 +33,15 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
     Shape current = input_shape_;
     Tensor* last_buffer = nullptr;  // most recent plan-owned buffer
 
+    // Deadness provenance for the sparse path: the most recent threshold
+    // mask whose structural zeros still cover the current buffer. Masks
+    // introduce it, max-pool keeps it at channel granularity (a pooled
+    // all-zero channel stays all-zero), flatten keeps it (row-major
+    // [C,H,W] flattens channels to contiguous feature ranges), and any
+    // compute layer (conv/bn/linear) replaces the values, killing it.
+    ActivationSite* upstream_site = nullptr;
+    bool upstream_channel_only = false;
+
     for (std::size_t i = 0; i < graph.size(); ++i) {
         nn::Module& layer = graph.layer(i);
         Step step{};
@@ -45,29 +54,49 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
             const ConvGeometry g =
                 conv->geometry(current.dim(2), current.dim(3));
             const std::size_t scratch =
-                Workspace::aligned_floats(g.col_rows() * g.col_cols()) *
+                static_cast<std::size_t>(conv->workspace_floats(
+                    current.dim(2), current.dim(3), batch_size)) *
                 sizeof(float);
             if (scratch > workspace_bytes_) {
                 workspace_bytes_ = scratch;
             }
+            // Conv consumes channel-level deadness (a fully-masked input
+            // channel zeroes its K*K rows of the column matrix), which
+            // both channel-only and full neuron-level provenance supply.
+            if (upstream_site != nullptr &&
+                upstream_site->mask().activation_shape().dim(0) ==
+                    conv->in_channels()) {
+                step.input_site = upstream_site;
+            }
             step.buffer = Tensor({batch_size, conv->out_channels(),
                                   g.out_height(), g.out_width()});
+            step.mac_per_k = static_cast<std::uint64_t>(
+                batch_size * conv->out_channels() * g.col_cols());
+            step.k_total = static_cast<std::uint64_t>(g.col_rows());
             current = step.buffer.shape();
+            upstream_site = nullptr;
         } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
             MIME_REQUIRE(last_buffer != nullptr,
                          "BatchNorm2d cannot be the first planned layer");
             step.kind = Step::Kind::batchnorm;
             step.bn = bn;
+            // The affine shift maps zeros to nonzeros: deadness dies.
+            upstream_site = nullptr;
         } else if (auto* site = dynamic_cast<ActivationSite*>(&layer)) {
             MIME_REQUIRE(last_buffer != nullptr,
                          "ActivationSite cannot be the first planned layer");
             step.kind = Step::Kind::activation;
             step.site = site;
+            upstream_site = site;
+            upstream_channel_only = false;
         } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
             step.kind = Step::Kind::pool;
             step.pool = pool;
             step.buffer = Tensor(pool->output_shape(current));
             current = step.buffer.shape();
+            // Pooling mixes neurons within a channel but a structurally
+            // dead channel (all zeros) pools to all zeros.
+            upstream_channel_only = true;
         } else if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
             MIME_REQUIRE(last_buffer != nullptr,
                          "Flatten cannot be the first planned layer");
@@ -78,8 +107,34 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
         } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
             step.kind = Step::Kind::linear;
             step.linear = linear;
+            if (upstream_site != nullptr) {
+                const ThresholdMask& mask = upstream_site->mask();
+                const std::int64_t channels = mask.activation_shape().dim(0);
+                if (!upstream_channel_only &&
+                    mask.activation_shape().numel() == linear->in_features()) {
+                    // Flatten of [C,H,W] is neuron-index order, so the
+                    // mask's live list IS the live-feature list.
+                    step.input_site = upstream_site;
+                    step.input_neuron_level = true;
+                } else if (channels > 0 &&
+                           linear->in_features() % channels == 0) {
+                    // Only channel deadness survived (pool in between):
+                    // each mask channel owns a contiguous run of
+                    // in_features/channels flattened features.
+                    step.input_site = upstream_site;
+                    step.input_neuron_level = false;
+                    step.input_channel_extent =
+                        linear->in_features() / channels;
+                    step.live_scratch.reserve(
+                        static_cast<std::size_t>(linear->in_features()));
+                }
+            }
             step.buffer = Tensor({batch_size, linear->out_features()});
+            step.mac_per_k = static_cast<std::uint64_t>(
+                batch_size * linear->out_features());
+            step.k_total = static_cast<std::uint64_t>(linear->in_features());
             current = step.buffer.shape();
+            upstream_site = nullptr;
         } else {
             MIME_REQUIRE(false, "ForwardPlan cannot schedule layer kind '" +
                                     layer.kind() + "'");
@@ -113,14 +168,38 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
         workspace.reserve(workspace_bytes_);  // warm-up only
     }
 
+    const bool sparse_enabled = network_->sparse_execution().enabled;
     const Tensor* cur = &input;
     Tensor* cur_mut = nullptr;  // null while cur is the caller's input
     for (Step& step : steps_) {
         switch (step.kind) {
-            case Step::Kind::conv:
-                step.conv->forward_into(*cur, workspace, step.buffer);
+            case Step::Kind::conv: {
+                dense_macs_ += step.mac_per_k * step.k_total;
+                nn::ActiveIndexView view;
+                const nn::ActiveIndexView* viewp = nullptr;
+                if (sparse_enabled && step.input_site != nullptr &&
+                    step.input_site->mode() == ActivationMode::threshold) {
+                    const ActiveSet& as =
+                        step.input_site->mask().active_set();
+                    view = {as.live_channels.data(),
+                            static_cast<std::int64_t>(
+                                as.live_channels.size()),
+                            as.channels};
+                    viewp = &view;
+                }
+                if (step.conv->forward_into(*cur, workspace, step.buffer,
+                                            viewp)) {
+                    ++sparse_hits_;
+                    const std::uint64_t kk = static_cast<std::uint64_t>(
+                        step.conv->kernel() * step.conv->kernel());
+                    skipped_macs_ +=
+                        step.mac_per_k *
+                        (step.k_total -
+                         static_cast<std::uint64_t>(view.count) * kk);
+                }
                 cur = cur_mut = &step.buffer;
                 break;
+            }
             case Step::Kind::batchnorm:
                 step.bn->forward_into(*cur, *cur_mut);
                 break;
@@ -135,10 +214,47 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
                 // The view aliases cur_mut's storage; nothing to compute.
                 cur = cur_mut = &step.buffer;
                 break;
-            case Step::Kind::linear:
-                step.linear->forward_into(*cur, step.buffer);
+            case Step::Kind::linear: {
+                dense_macs_ += step.mac_per_k * step.k_total;
+                nn::ActiveIndexView view;
+                const nn::ActiveIndexView* viewp = nullptr;
+                if (sparse_enabled && step.input_site != nullptr &&
+                    step.input_site->mode() == ActivationMode::threshold) {
+                    const ActiveSet& as =
+                        step.input_site->mask().active_set();
+                    if (step.input_neuron_level) {
+                        view = {as.live.data(),
+                                static_cast<std::int64_t>(as.live.size()),
+                                as.neurons};
+                    } else {
+                        // Expand live channels to their contiguous
+                        // feature runs; capacity was reserved at build,
+                        // so this never allocates.
+                        step.live_scratch.clear();
+                        for (const std::int64_t c : as.live_channels) {
+                            const std::int64_t base =
+                                c * step.input_channel_extent;
+                            for (std::int64_t t = 0;
+                                 t < step.input_channel_extent; ++t) {
+                                step.live_scratch.push_back(base + t);
+                            }
+                        }
+                        view = {step.live_scratch.data(),
+                                static_cast<std::int64_t>(
+                                    step.live_scratch.size()),
+                                step.linear->in_features()};
+                    }
+                    viewp = &view;
+                }
+                if (step.linear->forward_into(*cur, step.buffer, viewp)) {
+                    ++sparse_hits_;
+                    skipped_macs_ +=
+                        step.mac_per_k *
+                        (step.k_total - static_cast<std::uint64_t>(view.count));
+                }
                 cur = cur_mut = &step.buffer;
                 break;
+            }
         }
     }
     return *cur;

@@ -21,8 +21,19 @@
 // Scratch lifetimes nest per layer, so the Workspace high-water mark is
 // the *maximum* im2col footprint over conv layers, not the sum.
 //
+// Sparse execution: the build walk additionally records, per conv /
+// linear step, which upstream ThresholdMask (if any) provably zeroed
+// that step's input — threshold deadness survives max-pooling at channel
+// granularity and flatten at neuron granularity, and dies at any
+// conv/bn/linear in between. At run time, when the network's sparse
+// policy is on and the site runs in threshold mode, the step hands the
+// mask's structural ActiveSet to the layer, which skips the dead rows'
+// MACs via row-compacted GEMM (bit-identical outputs — the skipped terms
+// are exact zeros). Hit and skipped-MAC counters accumulate across runs.
+//
 // Thresholds are read live from the sites at execution time: a task's
-// threshold install between batches needs no plan rebuild.
+// threshold install between batches needs no plan rebuild (the
+// ActiveSet rebuild is the mask's own, amortized per install).
 //
 // The plan holds non-owning pointers into the network's modules; the
 // network must outlive it (MimeNetwork owns its plans, which makes that
@@ -78,6 +89,15 @@ public:
     /// Bytes of plan-owned activation buffers (input slab included).
     std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
 
+    /// Cumulative count of conv/linear steps that ran the row-compacted
+    /// sparse path (across all run() calls on this plan).
+    std::uint64_t sparse_hits() const noexcept { return sparse_hits_; }
+    /// Cumulative MACs those sparse hits skipped versus dense execution.
+    std::uint64_t skipped_macs() const noexcept { return skipped_macs_; }
+    /// Cumulative dense-equivalent MACs of every conv/linear step run
+    /// (the denominator for a skipped-MAC fraction).
+    std::uint64_t dense_macs() const noexcept { return dense_macs_; }
+
 private:
     struct Step {
         enum class Kind {
@@ -95,14 +115,38 @@ private:
         nn::MaxPool2d* pool = nullptr;
         nn::Linear* linear = nullptr;
         Tensor buffer;  ///< owned output (conv/pool/linear), view (flatten)
+
+        // -- sparse execution (conv / linear steps only) -------------------
+        /// Upstream mask whose structural zeros cover this step's input
+        /// (null when no mask's deadness survives to here).
+        ActivationSite* input_site = nullptr;
+        /// Linear only: the mask's neuron indices equal this step's
+        /// input-feature indices (no pool in between, numel matches), so
+        /// the full neuron-level live list applies; otherwise only
+        /// channel-level deadness is usable.
+        bool input_neuron_level = false;
+        /// Linear, channel-level only: input features per mask channel.
+        std::int64_t input_channel_extent = 0;
+        /// Linear, channel-level only: live-feature expansion scratch
+        /// (capacity reserved at build, so runs never allocate).
+        std::vector<std::int64_t> live_scratch;
+        /// MACs per unit of contraction depth (batch * Cout * spatial
+        /// for conv, batch * out_features for linear) and the dense
+        /// contraction depth — the skipped-MAC accounting constants.
+        std::uint64_t mac_per_k = 0;
+        std::uint64_t k_total = 0;
     };
 
+    MimeNetwork* network_;
     std::int64_t batch_size_;
     Shape input_shape_;
     Tensor input_slab_;
     std::vector<Step> steps_;
     std::size_t workspace_bytes_ = 0;
     std::size_t buffer_bytes_ = 0;
+    std::uint64_t sparse_hits_ = 0;
+    std::uint64_t skipped_macs_ = 0;
+    std::uint64_t dense_macs_ = 0;
 };
 
 }  // namespace mime::core

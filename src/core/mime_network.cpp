@@ -185,6 +185,50 @@ std::size_t MimeNetwork::planned_buffer_bytes() const {
     return bytes;
 }
 
+void MimeNetwork::set_sparse_execution(const SparseExecution& policy) {
+    sparse_execution_ = policy;
+    for (std::size_t i = 0; i < network_.size(); ++i) {
+        nn::Module& layer = network_.layer(i);
+        if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+            conv->set_sparse_density_cutoff(policy.density_cutoff);
+        } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+            linear->set_sparse_density_cutoff(policy.density_cutoff);
+        }
+    }
+}
+
+std::uint64_t MimeNetwork::planned_sparse_hits() const {
+    std::uint64_t n = 0;
+    for (const auto& [batch, plan] : plans_) {
+        n += plan->sparse_hits();
+    }
+    return n;
+}
+
+std::uint64_t MimeNetwork::planned_skipped_macs() const {
+    std::uint64_t n = 0;
+    for (const auto& [batch, plan] : plans_) {
+        n += plan->skipped_macs();
+    }
+    return n;
+}
+
+std::uint64_t MimeNetwork::planned_dense_macs() const {
+    std::uint64_t n = 0;
+    for (const auto& [batch, plan] : plans_) {
+        n += plan->dense_macs();
+    }
+    return n;
+}
+
+void MimeNetwork::set_pool(ThreadPool* pool) {
+    network_.set_pool(pool);
+    // Conv workspace sizing is band-aware (bands = min(pool size,
+    // batch)), so plans built under a different pool may under-reserve;
+    // rebuild lazily on next use.
+    plans_.clear();
+}
+
 void MimeNetwork::set_eval_mode(bool eval) {
     eval_mode_ = eval;
     network_.set_eval_mode(eval);
@@ -267,12 +311,14 @@ void MimeNetwork::load_thresholds(const ThresholdSet& set) {
         // Allocation-free install: a task switch on the serving hot path
         // costs exactly one pass over T_child bytes, never a reallocation.
         p.value.copy_from(set.thresholds[i]);
+        sites_[i]->mask().mark_thresholds_dirty();
     }
 }
 
 void MimeNetwork::reset_thresholds(float value) {
     for (ActivationSite* site : sites_) {
         site->mask().thresholds().value.fill(value);
+        site->mask().mark_thresholds_dirty();
     }
 }
 

@@ -29,6 +29,14 @@ enum class ActivationMode {
     threshold  ///< MIME: a = y * 1[y - t >= 0]
 };
 
+/// Policy for the sparse planned executor: whether conv/linear steps may
+/// take the row-compacted path for structurally pruned masks, and the
+/// density above which they fall back to dense.
+struct SparseExecution {
+    bool enabled = true;
+    double density_cutoff = nn::kDefaultSparseDensityCutoff;
+};
+
 /// One activation site (after each conv / hidden fc). Owns both a ReLU
 /// and a ThresholdMask and dispatches on the current mode, so the same
 /// backbone instance can serve as baseline and MIME model.
@@ -133,6 +141,20 @@ public:
     /// Plan-owned activation buffer bytes over every plan built so far.
     std::size_t planned_buffer_bytes() const;
 
+    /// Installs the sparse-execution policy, pushing the density cutoff
+    /// into every Conv2d / Linear layer.
+    void set_sparse_execution(const SparseExecution& policy);
+    const SparseExecution& sparse_execution() const noexcept {
+        return sparse_execution_;
+    }
+
+    /// Cumulative sparse-path counters summed over every cached plan:
+    /// conv/linear steps that ran row-compacted, the MACs they skipped,
+    /// and the dense-equivalent MAC total (fraction denominator).
+    std::uint64_t planned_sparse_hits() const;
+    std::uint64_t planned_skipped_macs() const;
+    std::uint64_t planned_dense_macs() const;
+
     /// Sets train/eval mode. While the backbone is frozen, BatchNorm
     /// layers stay in inference mode even during threshold training so
     /// their running statistics — part of W_parent — never drift.
@@ -150,7 +172,10 @@ public:
         return network_.cached_state_bytes();
     }
 
-    void set_pool(ThreadPool* pool) { network_.set_pool(pool); }
+    /// Installs (or clears) the thread pool and drops cached plans:
+    /// plan workspace sizing depends on the pool's band count, so a
+    /// stale plan could under-reserve conv scratch.
+    void set_pool(ThreadPool* pool);
 
     // -- modes and parameter groups -----------------------------------------
 
@@ -248,6 +273,7 @@ private:
     ActivationMode mode_ = ActivationMode::relu;
     bool backbone_frozen_ = false;
     bool eval_mode_ = false;
+    SparseExecution sparse_execution_{};
     /// Plans keyed by batch size, built lazily by plan_for(). Plans
     /// hold pointers into network_'s modules, so they live (and die)
     /// with this network.

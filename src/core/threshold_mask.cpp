@@ -4,7 +4,46 @@
 
 #include "common/check.h"
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace mime::core {
+
+namespace {
+
+// Fused mask apply + zero count over one sample: y[i] = y[i] if
+// y[i] - t[i] >= 0 else 0. The vector path compares the literal
+// subtraction against zero (not y >= t) so inf/NaN edge cases keep the
+// exact scalar semantics: inf - inf = NaN compares false either way.
+// _CMP_GE_OQ is the ordered quiet >=, matching scalar >= on NaN (false).
+std::int64_t apply_mask(float* y, const float* t, std::int64_t count) {
+    std::int64_t zeros = 0;
+    std::int64_t i = 0;
+#if defined(__AVX2__)
+    const __m256 zero = _mm256_setzero_ps();
+    for (; i + 8 <= count; i += 8) {
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        const __m256 vt = _mm256_loadu_ps(t + i);
+        const __m256 keep =
+            _mm256_cmp_ps(_mm256_sub_ps(vy, vt), zero, _CMP_GE_OQ);
+        _mm256_storeu_ps(y + i, _mm256_and_ps(vy, keep));
+        zeros += 8 - __builtin_popcount(static_cast<unsigned>(
+                         _mm256_movemask_ps(keep)));
+    }
+#endif
+    for (; i < count; ++i) {
+        if (y[i] - t[i] >= 0.0f) {
+            // keep y[i]
+        } else {
+            y[i] = 0.0f;
+            ++zeros;
+        }
+    }
+    return zeros;
+}
+
+}  // namespace
 
 float SteConfig::operator()(float x) const {
     const float ax = std::abs(x);
@@ -91,18 +130,46 @@ void ThresholdMask::forward_eval_inplace(Tensor& activations) {
     const float* t = thresholds_.value.data();
     std::int64_t zeros = 0;
     for (std::int64_t n = 0; n < batch; ++n) {
-        float* y = activations.data() + n * per_sample;
-        for (std::int64_t i = 0; i < per_sample; ++i) {
-            if (y[i] - t[i] >= 0.0f) {
-                // keep y[i]
-            } else {
-                y[i] = 0.0f;
-                ++zeros;
-            }
-        }
+        zeros += apply_mask(activations.data() + n * per_sample, t,
+                            per_sample);
     }
     last_sparsity_ = static_cast<double>(zeros) /
                      static_cast<double>(activations.numel());
+}
+
+const ActiveSet& ThresholdMask::active_set() {
+    if (!active_set_dirty_) {
+        return active_set_;
+    }
+    const std::int64_t neurons = activation_shape_.numel();
+    const std::int64_t channels = activation_shape_.dim(0);
+    const std::int64_t extent = neurons / channels;
+    if (active_set_.version == 0) {
+        active_set_.live.reserve(static_cast<std::size_t>(neurons));
+        active_set_.live_channels.reserve(static_cast<std::size_t>(channels));
+    }
+    active_set_.live.clear();
+    active_set_.live_channels.clear();
+    active_set_.neurons = neurons;
+    active_set_.channels = channels;
+    const float* t = thresholds_.value.data();
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const std::size_t before = active_set_.live.size();
+        for (std::int64_t i = c * extent; i < (c + 1) * extent; ++i) {
+            // Live iff t < +inf; NaN compares false, so NaN thresholds
+            // count as dead — consistent with the mask never passing a
+            // value through them.
+            if (t[i] < kPrunedThreshold) {
+                active_set_.live.push_back(i);
+            }
+        }
+        if (active_set_.live.size() != before) {
+            active_set_.live_channels.push_back(c);
+        }
+    }
+    ++active_set_.version;
+    active_set_dirty_ = false;
+    return active_set_;
 }
 
 void ThresholdMask::set_eval_mode(bool eval) {
@@ -172,6 +239,7 @@ void ThresholdMask::clamp_thresholds(float floor) {
     for (std::int64_t i = 0; i < thresholds_.value.numel(); ++i) {
         t[i] = std::max(t[i], floor);
     }
+    mark_thresholds_dirty();
 }
 
 }  // namespace mime::core

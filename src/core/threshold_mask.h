@@ -9,9 +9,54 @@
 // paper adopts (its Fig. 3a).
 #pragma once
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "nn/module.h"
 
 namespace mime::core {
+
+/// Threshold sentinel marking a neuron as structurally pruned: with
+/// t_i = +inf the mask condition y_i - t_i >= 0 is false for every
+/// finite y_i, so the neuron is dead for ALL inputs — not just
+/// data-dependently sparse. The sparse executor may skip its MACs
+/// without changing any output bit. (NaN thresholds are treated as dead
+/// too, consistent with the mask semantics: NaN comparisons are false.)
+inline constexpr float kPrunedThreshold =
+    std::numeric_limits<float>::infinity();
+
+/// Compact index sets of the structurally live neurons of one mask,
+/// rebuilt lazily when thresholds change (install/reset/clamp), not per
+/// batch. Consumed by the sparse planned executor to drive row-compacted
+/// GEMMs and partial im2col.
+struct ActiveSet {
+    /// Strictly ascending indices of live neurons (t_i < +inf) in the
+    /// flattened activation shape.
+    std::vector<std::int64_t> live;
+    /// Strictly ascending dim-0 slices ("channels" for conv-shaped
+    /// masks, the neurons themselves for flat masks) holding at least
+    /// one live neuron.
+    std::vector<std::int64_t> live_channels;
+    std::int64_t neurons = 0;   ///< total neuron count
+    std::int64_t channels = 0;  ///< total dim-0 extent
+    /// Bumped on every rebuild; lets cached consumers detect staleness.
+    std::uint64_t version = 0;
+
+    bool all_live() const noexcept {
+        return static_cast<std::int64_t>(live.size()) == neurons;
+    }
+    double density() const noexcept {
+        return neurons == 0 ? 1.0
+                            : static_cast<double>(live.size()) /
+                                  static_cast<double>(neurons);
+    }
+    double channel_density() const noexcept {
+        return channels == 0 ? 1.0
+                             : static_cast<double>(live_channels.size()) /
+                                   static_cast<double>(channels);
+    }
+};
 
 /// Piece-wise linear estimate g(x) of d/dx 1[x >= 0]:
 ///
@@ -91,6 +136,18 @@ public:
     /// t_i > 0, which the trainer enforces after each optimizer step.
     void clamp_thresholds(float floor);
 
+    /// The structurally-live index sets for the current thresholds,
+    /// rebuilt on first use after mark_thresholds_dirty() (the returned
+    /// reference stays valid until the next rebuild). Rebuilds reuse the
+    /// vectors' capacity, so steady-state threshold swaps allocate
+    /// nothing.
+    const ActiveSet& active_set();
+
+    /// Flags the active set stale. Must be called after any out-of-band
+    /// write to thresholds().value (the mask's own mutators do this
+    /// themselves).
+    void mark_thresholds_dirty() noexcept { active_set_dirty_ = true; }
+
     static constexpr float kExpClamp = 30.0f;
 
 private:
@@ -100,6 +157,8 @@ private:
     Tensor cached_input_;
     Tensor cached_mask_;
     double last_sparsity_ = 0.0;
+    ActiveSet active_set_;
+    bool active_set_dirty_ = true;
 };
 
 }  // namespace mime::core

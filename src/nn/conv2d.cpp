@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <vector>
@@ -122,15 +123,26 @@ ConvGeometry Conv2d::geometry(std::int64_t in_height,
     return g;
 }
 
-std::int64_t Conv2d::workspace_floats(std::int64_t in_height,
-                                      std::int64_t in_width) const {
-    const ConvGeometry g = geometry(in_height, in_width);
-    return static_cast<std::int64_t>(
-        Workspace::aligned_floats(g.col_rows() * g.col_cols()));
+std::int64_t Conv2d::conv_bands(std::int64_t batch) const {
+    if (pool_ == nullptr || batch <= 1) {
+        return 1;
+    }
+    return std::min<std::int64_t>(
+        static_cast<std::int64_t>(pool_->size()), batch);
 }
 
-void Conv2d::forward_into(const Tensor& input, Workspace& workspace,
-                          Tensor& output) {
+std::int64_t Conv2d::workspace_floats(std::int64_t in_height,
+                                      std::int64_t in_width,
+                                      std::int64_t batch) const {
+    const ConvGeometry g = geometry(in_height, in_width);
+    return conv_bands(batch) *
+           static_cast<std::int64_t>(
+               Workspace::aligned_floats(g.col_rows() * g.col_cols()));
+}
+
+bool Conv2d::forward_into(const Tensor& input, Workspace& workspace,
+                          Tensor& output,
+                          const ActiveIndexView* live_in_channels) {
     const ConvGeometry g = geometry_for(input);
     const std::int64_t batch = input.shape().dim(0);
     const std::int64_t ho = g.out_height();
@@ -145,16 +157,52 @@ void Conv2d::forward_into(const Tensor& input, Workspace& workspace,
                      Shape({batch, out_channels_, ho, wo}).to_string() +
                      ", got " + output.shape().to_string());
 
-    const Workspace::Checkpoint mark = workspace.checkpoint();
-    float* cols = workspace.alloc_floats(ckk * spatial);
+    const bool sparse = live_in_channels != nullptr &&
+                        live_in_channels->indices != nullptr &&
+                        !live_in_channels->all_live() &&
+                        live_in_channels->density() <= sparse_density_cutoff_;
+    const std::int64_t* rows = nullptr;
+    std::int64_t row_count = ckk;
+    if (sparse) {
+        MIME_REQUIRE(live_in_channels->total == in_channels_,
+                     "Conv2d live-channel view covers " +
+                         std::to_string(live_in_channels->total) +
+                         " channels, layer has " +
+                         std::to_string(in_channels_));
+        // Expand live channels to the K*K GEMM rows each one owns in
+        // the column matrix; ascending channels give ascending rows.
+        live_rows_.clear();
+        const std::int64_t kk = kernel_ * kernel_;
+        for (std::int64_t i = 0; i < live_in_channels->count; ++i) {
+            const std::int64_t base = live_in_channels->indices[i] * kk;
+            for (std::int64_t t = 0; t < kk; ++t) {
+                live_rows_.push_back(base + t);
+            }
+        }
+        rows = live_rows_.data();
+        row_count = static_cast<std::int64_t>(live_rows_.size());
+    }
+
     const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
     const std::int64_t out_stride = out_channels_ * spatial;
-    for (std::int64_t n = 0; n < batch; ++n) {
-        im2col(g, input.data() + n * in_stride, cols);
+
+    auto run_sample = [&](std::int64_t n, float* cols,
+                          ThreadPool* gemm_pool) {
         float* out = output.data() + n * out_stride;
-        gemm(false, false, out_channels_, spatial, ckk, 1.0f,
-             weight_.value.data(), ckk, cols, spatial, 0.0f, out, spatial,
-             pool_);
+        if (sparse) {
+            // Lower only the live channels; the dead channels' rows of
+            // `cols` keep stale garbage the compacted GEMM never reads.
+            im2col(g, input.data() + n * in_stride, cols,
+                   live_in_channels->indices, live_in_channels->count);
+            gemm_rows(false, false, out_channels_, spatial, ckk, rows,
+                      row_count, 1.0f, weight_.value.data(), ckk, cols,
+                      spatial, 0.0f, out, spatial, gemm_pool);
+        } else {
+            im2col(g, input.data() + n * in_stride, cols);
+            gemm(false, false, out_channels_, spatial, ckk, 1.0f,
+                 weight_.value.data(), ckk, cols, spatial, 0.0f, out,
+                 spatial, gemm_pool);
+        }
         if (bias_) {
             const float* b = bias_->value.data();
             for (std::int64_t c = 0; c < out_channels_; ++c) {
@@ -164,8 +212,40 @@ void Conv2d::forward_into(const Tensor& input, Workspace& workspace,
                 }
             }
         }
+    };
+
+    const Workspace::Checkpoint mark = workspace.checkpoint();
+    const std::int64_t bands = conv_bands(batch);
+    const std::int64_t band_stride =
+        static_cast<std::int64_t>(Workspace::aligned_floats(ckk * spatial));
+    // One carve for all bands, on this thread — Workspace is not
+    // thread-safe, so workers must never touch it.
+    float* cols_base = workspace.alloc_floats(bands * band_stride);
+    if (bands > 1) {
+        const std::int64_t per_band = (batch + bands - 1) / bands;
+        for (std::int64_t band = 0; band < bands; ++band) {
+            const std::int64_t n0 = band * per_band;
+            const std::int64_t n1 = std::min(n0 + per_band, batch);
+            if (n0 >= n1) {
+                break;
+            }
+            float* cols = cols_base + band * band_stride;
+            pool_->submit([&run_sample, cols, n0, n1] {
+                for (std::int64_t n = n0; n < n1; ++n) {
+                    // Workers keep their sample GEMMs single-threaded;
+                    // the parallelism is the per-sample banding itself.
+                    run_sample(n, cols, nullptr);
+                }
+            });
+        }
+        pool_->wait_idle();
+    } else {
+        for (std::int64_t n = 0; n < batch; ++n) {
+            run_sample(n, cols_base, pool_);
+        }
     }
     workspace.rewind(mark);
+    return sparse;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "nn/module.h"
+#include "nn/sparse.h"
 #include "tensor/im2col.h"
 #include "tensor/workspace.h"
 
@@ -28,13 +30,23 @@ public:
 
     /// Planned-executor forward: writes into the caller-preallocated
     /// `output` ([N, Cout, Ho, Wo]) using `workspace` for the im2col
-    /// scratch — no heap allocation, no backward caching. Samples run
-    /// sequentially with the GEMM on this module's pool (the legacy
-    /// forward instead splits samples across the pool with per-thread
-    /// heap scratch); both orders produce bit-identical outputs because
-    /// each output row's FMA chain is the same either way.
-    void forward_into(const Tensor& input, Workspace& workspace,
-                      Tensor& output);
+    /// scratch — no tensor-storage allocation, no backward caching.
+    /// When this module has a pool and batch > 1, samples are split
+    /// across conv_bands() workers, each with its own pre-carved
+    /// workspace slice (the band scratch is allocated up front on the
+    /// calling thread because Workspace is not thread-safe); outputs
+    /// are bit-identical to the sequential order because each output
+    /// row's FMA chain is the same either way.
+    ///
+    /// `live_in_channels`, when given, lists the input channels that can
+    /// be nonzero (the rest were structurally pruned by an upstream
+    /// threshold mask); if its density is at or below the cutoff, im2col
+    /// lowers only the live channels and the GEMM contracts over their
+    /// rows only — bit-identical to dense because the skipped rows
+    /// contribute exact zeros. Returns whether that compacted path ran.
+    bool forward_into(const Tensor& input, Workspace& workspace,
+                      Tensor& output,
+                      const ActiveIndexView* live_in_channels = nullptr);
 
     /// Validated convolution geometry for an input of the given spatial
     /// extents — the single source of truth for output sizes that both
@@ -42,9 +54,24 @@ public:
     ConvGeometry geometry(std::int64_t in_height, std::int64_t in_width) const;
 
     /// Workspace floats forward_into() allocates for one forward at
-    /// this input geometry (already alignment-rounded).
+    /// this input geometry and batch size (already alignment-rounded):
+    /// one im2col scratch slice per band.
     std::int64_t workspace_floats(std::int64_t in_height,
-                                  std::int64_t in_width) const;
+                                  std::int64_t in_width,
+                                  std::int64_t batch = 1) const;
+
+    /// Number of per-sample bands forward_into() splits a batch of the
+    /// given size into: min(pool size, batch) with a pool, else 1.
+    std::int64_t conv_bands(std::int64_t batch) const;
+
+    /// Density above which forward_into ignores `live_in_channels` and
+    /// runs dense (compaction bookkeeping beats the win near 1.0).
+    void set_sparse_density_cutoff(double cutoff) noexcept {
+        sparse_density_cutoff_ = cutoff;
+    }
+    double sparse_density_cutoff() const noexcept {
+        return sparse_density_cutoff_;
+    }
 
     Parameter& weight() noexcept { return weight_; }
     Parameter& bias() { return bias_.value(); }
@@ -67,6 +94,11 @@ private:
     Parameter weight_;
     std::optional<Parameter> bias_;
     Tensor cached_input_;  ///< saved by forward for the backward pass
+    double sparse_density_cutoff_ = kDefaultSparseDensityCutoff;
+    /// Scratch for the live-channel -> live-GEMM-row (c*K*K + t)
+    /// expansion; member so steady-state sparse forwards reuse its
+    /// capacity instead of reallocating.
+    std::vector<std::int64_t> live_rows_;
 };
 
 }  // namespace mime::nn

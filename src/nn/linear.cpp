@@ -34,16 +34,36 @@ Tensor Linear::forward(const Tensor& input) {
     }
     const std::int64_t batch = input.shape().dim(0);
     Tensor output({batch, out_features_});
-    forward_compute(input, output);
+    forward_compute(input, output, nullptr);
     return output;
 }
 
-void Linear::forward_compute(const Tensor& input, Tensor& output) {
+bool Linear::forward_compute(const Tensor& input, Tensor& output,
+                             const ActiveIndexView* live_features) {
     const std::int64_t batch = input.shape().dim(0);
-    // out[N, O] = x[N, I] * W^T[I, O]
-    gemm(false, true, batch, out_features_, in_features_, 1.0f, input.data(),
-         in_features_, weight_.value.data(), in_features_, 0.0f, output.data(),
-         out_features_, pool_);
+    const bool sparse = live_features != nullptr &&
+                        live_features->indices != nullptr &&
+                        !live_features->all_live() &&
+                        live_features->density() <= sparse_density_cutoff_;
+    if (sparse) {
+        MIME_REQUIRE(live_features->total == in_features_,
+                     "Linear live-feature view covers " +
+                         std::to_string(live_features->total) +
+                         " features, layer has " +
+                         std::to_string(in_features_));
+        // Contract over live input features only; the skipped features
+        // are exact zeros in `input`, so this bit-matches the dense
+        // product (same microkernel, same surviving-term order).
+        gemm_rows(false, true, batch, out_features_, in_features_,
+                  live_features->indices, live_features->count, 1.0f,
+                  input.data(), in_features_, weight_.value.data(),
+                  in_features_, 0.0f, output.data(), out_features_, pool_);
+    } else {
+        // out[N, O] = x[N, I] * W^T[I, O]
+        gemm(false, true, batch, out_features_, in_features_, 1.0f,
+             input.data(), in_features_, weight_.value.data(), in_features_,
+             0.0f, output.data(), out_features_, pool_);
+    }
     if (bias_) {
         const float* b = bias_->value.data();
         for (std::int64_t n = 0; n < batch; ++n) {
@@ -53,9 +73,11 @@ void Linear::forward_compute(const Tensor& input, Tensor& output) {
             }
         }
     }
+    return sparse;
 }
 
-void Linear::forward_into(const Tensor& input, Tensor& output) {
+bool Linear::forward_into(const Tensor& input, Tensor& output,
+                          const ActiveIndexView* live_features) {
     MIME_REQUIRE(eval_mode(),
                  "Linear::forward_into is inference-only; set_eval_mode "
                  "first");
@@ -68,7 +90,7 @@ void Linear::forward_into(const Tensor& input, Tensor& output) {
                  "Linear::forward_into output must be preallocated to [N, " +
                      std::to_string(out_features_) + "], got " +
                      output.shape().to_string());
-    forward_compute(input, output);
+    return forward_compute(input, output, live_features);
 }
 
 void Linear::set_eval_mode(bool eval) {

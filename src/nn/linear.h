@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "nn/module.h"
+#include "nn/sparse.h"
 
 namespace mime::nn {
 
@@ -26,7 +27,25 @@ public:
     /// Planned-executor forward: writes into the caller-preallocated
     /// `output` ([N, out_features]); no heap allocation, no backward
     /// caching. Bit-identical to forward().
-    void forward_into(const Tensor& input, Tensor& output);
+    ///
+    /// `live_features`, when given, lists the input features that can be
+    /// nonzero (the rest were provably zeroed by an upstream threshold
+    /// mask); if its density is at or below the cutoff the layer runs
+    /// the row-compacted GEMM over just those features — bit-identical
+    /// to the dense product because the skipped features contribute
+    /// exact zeros. Returns whether the compacted path ran (false means
+    /// dense fallback: null/all-live view or density above cutoff).
+    bool forward_into(const Tensor& input, Tensor& output,
+                      const ActiveIndexView* live_features = nullptr);
+
+    /// Density above which forward_into ignores `live_features` and
+    /// runs dense (compaction bookkeeping beats the win near 1.0).
+    void set_sparse_density_cutoff(double cutoff) noexcept {
+        sparse_density_cutoff_ = cutoff;
+    }
+    double sparse_density_cutoff() const noexcept {
+        return sparse_density_cutoff_;
+    }
 
     Parameter& weight() noexcept { return weight_; }
     Parameter& bias() { return bias_.value(); }
@@ -36,13 +55,15 @@ public:
     std::int64_t out_features() const noexcept { return out_features_; }
 
 private:
-    void forward_compute(const Tensor& input, Tensor& output);
+    bool forward_compute(const Tensor& input, Tensor& output,
+                         const ActiveIndexView* live_features);
 
     std::int64_t in_features_;
     std::int64_t out_features_;
     Parameter weight_;
     std::optional<Parameter> bias_;
     Tensor cached_input_;
+    double sparse_density_cutoff_ = kDefaultSparseDensityCutoff;
 };
 
 }  // namespace mime::nn

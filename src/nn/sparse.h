@@ -1,0 +1,34 @@
+// Shared vocabulary between the sparse planned executor (core) and the
+// layers that can exploit structural sparsity (nn): a non-owning view of
+// a live-index list plus the default density cutoff above which layers
+// fall back to the dense kernel (compaction overhead outweighs skipped
+// MACs when almost everything is live).
+#pragma once
+
+#include <cstdint>
+
+namespace mime::nn {
+
+/// Density above which sparse-capable layers run dense by default; a
+/// tunable knob via Conv2d/Linear::set_sparse_density_cutoff or
+/// MimeNetwork::set_sparse_execution.
+inline constexpr double kDefaultSparseDensityCutoff = 0.85;
+
+/// Non-owning view of the live indices of one axis (input channels for
+/// Conv2d, input features for Linear). Indices must be strictly
+/// ascending within [0, total). The pointee must outlive the forward
+/// call it is passed to.
+struct ActiveIndexView {
+    const std::int64_t* indices = nullptr;
+    std::int64_t count = 0;
+    std::int64_t total = 0;
+
+    double density() const noexcept {
+        return total == 0 ? 1.0
+                          : static_cast<double>(count) /
+                                static_cast<double>(total);
+    }
+    bool all_live() const noexcept { return count == total; }
+};
+
+}  // namespace mime::nn

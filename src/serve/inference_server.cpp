@@ -46,6 +46,10 @@ std::string ServerStats::to_table_string() const {
         {"workspace peak (bytes)", std::to_string(workspace_peak_bytes)});
     aggregate.add_row(
         {"plan buffers (bytes)", std::to_string(plan_buffer_bytes)});
+    aggregate.add_row(
+        {"sparse path hits", std::to_string(sparse_path_hits)});
+    aggregate.add_row(
+        {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
 
     Table tasks({"task", "requests", "batches", "mean sparsity"});
     for (const auto& [name, ts] : per_task) {
@@ -81,6 +85,8 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
     network_->set_eval_mode(config.planned_executor);
     network_->set_mode(core::ActivationMode::threshold);
     network_->set_pool(&pool_);
+    network_->set_sparse_execution(
+        {config.sparse_execution, config.sparse_density_cutoff});
     dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -329,6 +335,12 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             cache_hits_snapshot_ = cache_.hits();
             cache_misses_snapshot_ = cache_.misses();
             cache_evictions_snapshot_ = cache_.evictions();
+            sparse_hits_snapshot_ =
+                static_cast<std::int64_t>(network_->planned_sparse_hits());
+            skipped_macs_snapshot_ =
+                static_cast<std::int64_t>(network_->planned_skipped_macs());
+            dense_macs_snapshot_ =
+                static_cast<std::int64_t>(network_->planned_dense_macs());
             for (std::size_t n = 0; n < batch.size(); ++n) {
                 const double latency = results[n].latency_us;
                 latency_.add(latency);
@@ -436,6 +448,14 @@ ServerStats InferenceServer::stats() const {
     stats.cache_hits = cache_hits_snapshot_;
     stats.cache_misses = cache_misses_snapshot_;
     stats.cache_evictions = cache_evictions_snapshot_;
+    stats.sparse_path_hits = sparse_hits_snapshot_;
+    stats.skipped_macs = skipped_macs_snapshot_;
+    stats.dense_equivalent_macs = dense_macs_snapshot_;
+    stats.skipped_mac_fraction =
+        dense_macs_snapshot_ > 0
+            ? static_cast<double>(skipped_macs_snapshot_) /
+                  static_cast<double>(dense_macs_snapshot_)
+            : 0.0;
     // Numerator counts every request that rode in a batch (served or
     // failed with it) so a failed batch does not understate the mean.
     stats.mean_batch_size =

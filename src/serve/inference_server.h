@@ -72,6 +72,14 @@ struct ServerConfig {
     /// falls back to the legacy allocate-per-call path — kept so
     /// benches can A/B the two.
     bool planned_executor = true;
+    /// Let planned conv/linear steps skip structurally pruned rows via
+    /// row-compacted GEMM (bit-identical outputs; only effective with
+    /// the planned executor and tasks whose installed thresholds prune
+    /// neurons with core::kPrunedThreshold). Off forces dense — kept so
+    /// benches can A/B sparse against dense planned execution.
+    bool sparse_execution = true;
+    /// Density above which sparse-capable layers run dense anyway.
+    double sparse_density_cutoff = nn::kDefaultSparseDensityCutoff;
 };
 
 /// Per-task aggregate serving statistics.
@@ -112,6 +120,14 @@ struct ServerStats {
     /// Bytes of plan-owned activation buffers across every batch size
     /// planned so far (0 for the legacy executor).
     std::int64_t plan_buffer_bytes = 0;
+    /// Planned conv/linear steps that ran the row-compacted sparse path.
+    std::int64_t sparse_path_hits = 0;
+    /// MACs those sparse hits skipped versus dense execution.
+    std::int64_t skipped_macs = 0;
+    /// Dense-equivalent MACs of every planned conv/linear step run.
+    std::int64_t dense_equivalent_macs = 0;
+    /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
+    double skipped_mac_fraction = 0.0;
     std::map<std::string, TaskServeStats> per_task;
 
     /// Renders the aggregate + per-task rows via common/table.
@@ -219,6 +235,9 @@ private:
     std::int64_t cache_hits_snapshot_ = 0;   ///< guarded by stats_mutex_
     std::int64_t cache_misses_snapshot_ = 0; ///< guarded by stats_mutex_
     std::int64_t cache_evictions_snapshot_ = 0;  ///< guarded by stats_mutex_
+    std::int64_t sparse_hits_snapshot_ = 0;      ///< guarded by stats_mutex_
+    std::int64_t skipped_macs_snapshot_ = 0;     ///< guarded by stats_mutex_
+    std::int64_t dense_macs_snapshot_ = 0;       ///< guarded by stats_mutex_
     LatencyRecorder latency_;           ///< guarded by stats_mutex_
     LatencyRecorder lane_latency_interactive_;  ///< guarded by stats_mutex_
     LatencyRecorder lane_latency_batch_;        ///< guarded by stats_mutex_

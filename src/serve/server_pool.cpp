@@ -30,6 +30,10 @@ std::string PoolStats::to_table_string() const {
         {"workspace peak (bytes)", std::to_string(workspace_peak_bytes)});
     aggregate.add_row(
         {"plan buffers (bytes)", std::to_string(plan_buffer_bytes)});
+    aggregate.add_row(
+        {"sparse path hits", std::to_string(sparse_path_hits)});
+    aggregate.add_row(
+        {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
     aggregate.add_row({"throughput (req/s)", Table::num(throughput_rps, 1)});
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
@@ -219,6 +223,9 @@ PoolStats ServerPool::stats() const {
         stats.cache_evictions += replica.server.cache_evictions;
         stats.workspace_peak_bytes += replica.server.workspace_peak_bytes;
         stats.plan_buffer_bytes += replica.server.plan_buffer_bytes;
+        stats.sparse_path_hits += replica.server.sparse_path_hits;
+        stats.skipped_macs += replica.server.skipped_macs;
+        stats.dense_equivalent_macs += replica.server.dense_equivalent_macs;
         stats.interactive.completed += replica.server.interactive.completed;
         stats.batch.completed += replica.server.batch.completed;
         stats.replicas.push_back(std::move(replica));
@@ -227,6 +234,11 @@ PoolStats ServerPool::stats() const {
     if (lookups > 0) {
         stats.cache_hit_rate = static_cast<double>(stats.cache_hits) /
                                static_cast<double>(lookups);
+    }
+    if (stats.dense_equivalent_macs > 0) {
+        stats.skipped_mac_fraction =
+            static_cast<double>(stats.skipped_macs) /
+            static_cast<double>(stats.dense_equivalent_macs);
     }
     stats.mean_latency_us = merged.mean();
     if (merged.count() > 0) {

@@ -83,6 +83,12 @@ struct PoolStats {
     std::int64_t workspace_peak_bytes = 0;
     /// Sum of every replica's plan-owned activation buffer bytes.
     std::int64_t plan_buffer_bytes = 0;
+    /// Sums of the replicas' sparse planned-execution counters.
+    std::int64_t sparse_path_hits = 0;
+    std::int64_t skipped_macs = 0;
+    std::int64_t dense_equivalent_macs = 0;
+    /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
+    double skipped_mac_fraction = 0.0;
     double mean_latency_us = 0.0;
     /// Merged-reservoir percentiles over every replica's stream.
     double p50_latency_us = 0.0;

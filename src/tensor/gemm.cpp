@@ -1,9 +1,15 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/check.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define MIME_GEMM_AVX2 1
+#endif
 
 namespace mime {
 
@@ -20,9 +26,90 @@ inline float load(const float* p, std::int64_t ld, std::int64_t row,
     return transposed ? p[col * ld + row] : p[row * ld + col];
 }
 
-// Computes one row-band [m0, m1) of C without any threading.
+// Packing scratch lives per thread so a pool-banded gemm never shares
+// (or repeatedly reallocates) pack buffers; capacity is retained across
+// calls, so the serving hot path stops paying a heap allocation per
+// conv sample that the old per-call std::vector cost.
+thread_local std::vector<float> tl_a_pack;
+thread_local std::vector<float> tl_b_pack;
+
+// One row of the microkernel: c[jj:jend) += sum_p arow[p] * brows[p][j],
+// with arow already alpha-scaled. Dense and row-compacted execution both
+// funnel through this exact loop nest, which is what makes the sparse
+// path bit-match the dense one: for a given output element the FMA chain
+// visits the same surviving p's in the same order, and the terms the
+// sparse path drops are exactly zero in the dense run (a +0 accumulator
+// is unchanged by adding ±0, and cancellation can only produce +0 in
+// round-to-nearest, never -0).
+#if defined(MIME_GEMM_AVX2)
+inline void micro_row(float* crow, const float* arow,
+                      const float* const* brows, std::int64_t pack_cols,
+                      std::int64_t jj, std::int64_t jend) {
+    std::int64_t j = jj;
+    for (; j + 16 <= jend; j += 16) {
+        __m256 acc0 = _mm256_loadu_ps(crow + j);
+        __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+        for (std::int64_t p = 0; p < pack_cols; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) {
+                continue;
+            }
+            const __m256 a_vec = _mm256_set1_ps(av);
+            const float* brow = brows[p] + j;
+            acc0 = _mm256_fmadd_ps(a_vec, _mm256_loadu_ps(brow), acc0);
+            acc1 = _mm256_fmadd_ps(a_vec, _mm256_loadu_ps(brow + 8), acc1);
+        }
+        _mm256_storeu_ps(crow + j, acc0);
+        _mm256_storeu_ps(crow + j + 8, acc1);
+    }
+    for (; j + 8 <= jend; j += 8) {
+        __m256 acc = _mm256_loadu_ps(crow + j);
+        for (std::int64_t p = 0; p < pack_cols; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) {
+                continue;
+            }
+            acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                                  _mm256_loadu_ps(brows[p] + j), acc);
+        }
+        _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < jend; ++j) {
+        float acc = crow[j];
+        for (std::int64_t p = 0; p < pack_cols; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) {
+                continue;
+            }
+            acc = std::fma(av, brows[p][j], acc);
+        }
+        crow[j] = acc;
+    }
+}
+#else
+inline void micro_row(float* crow, const float* arow,
+                      const float* const* brows, std::int64_t pack_cols,
+                      std::int64_t jj, std::int64_t jend) {
+    for (std::int64_t j = jj; j < jend; ++j) {
+        float acc = crow[j];
+        for (std::int64_t p = 0; p < pack_cols; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) {
+                continue;
+            }
+            acc = std::fma(av, brows[p][j], acc);
+        }
+        crow[j] = acc;
+    }
+}
+#endif
+
+// Computes one row-band [m0, m1) of C without any threading. `rows`
+// restricts the contraction to the listed stored indices (identity when
+// null, in which case the contraction length is `row_count` itself).
 void gemm_band(bool trans_a, bool trans_b, std::int64_t m0, std::int64_t m1,
-               std::int64_t n, std::int64_t k, float alpha, const float* a,
+               std::int64_t n, const std::int64_t* rows,
+               std::int64_t row_count, float alpha, const float* a,
                std::int64_t lda, const float* b, std::int64_t ldb, float beta,
                float* c, std::int64_t ldc) {
     // Scale C by beta once up front.
@@ -37,49 +124,90 @@ void gemm_band(bool trans_a, bool trans_b, std::int64_t m0, std::int64_t m1,
         }
     }
 
-    // Pack a K-block of op(A) rows so the inner loop streams contiguously
-    // regardless of the transpose flag.
-    std::vector<float> a_pack;
-    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
-        const std::int64_t kend = std::min(kk + kBlockK, k);
+    std::vector<float>& a_pack = tl_a_pack;
+    std::vector<float>& b_pack = tl_b_pack;
+    const float* brows[kBlockK];
+
+    // Blocking runs over *positions* in the (possibly compacted) row
+    // list, so the per-output accumulation order is the ascending stored
+    // index order for dense and compacted execution alike.
+    for (std::int64_t kk = 0; kk < row_count; kk += kBlockK) {
+        const std::int64_t kend = std::min(kk + kBlockK, row_count);
+        const std::int64_t pack_cols = kend - kk;
+
+        // Resolve this block's op(B) row bases once. The transposed case
+        // packs the strided columns of the stored B into contiguous rows
+        // (one pass per K-block, amortized over every row of the band).
+        if (!trans_b) {
+            for (std::int64_t p = 0; p < pack_cols; ++p) {
+                const std::int64_t row =
+                    rows != nullptr ? rows[kk + p] : kk + p;
+                brows[p] = b + row * ldb;
+            }
+        } else {
+            b_pack.resize(static_cast<std::size_t>(pack_cols * n));
+            for (std::int64_t p = 0; p < pack_cols; ++p) {
+                const std::int64_t row =
+                    rows != nullptr ? rows[kk + p] : kk + p;
+                float* dst = b_pack.data() + p * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                    dst[j] = b[j * ldb + row];
+                }
+                brows[p] = dst;
+            }
+        }
+
         for (std::int64_t ii = m0; ii < m1; ii += kBlockM) {
             const std::int64_t iend = std::min(ii + kBlockM, m1);
             const std::int64_t pack_rows = iend - ii;
-            const std::int64_t pack_cols = kend - kk;
-            a_pack.assign(
-                static_cast<std::size_t>(pack_rows * pack_cols), 0.0f);
+            // Pack op(A) alpha-scaled so the microkernel streams
+            // contiguously regardless of the transpose flag. Scaling at
+            // pack time is the same single multiply the inner loop used
+            // to do, so results are unchanged.
+            a_pack.resize(static_cast<std::size_t>(pack_rows * pack_cols));
             for (std::int64_t i = 0; i < pack_rows; ++i) {
                 for (std::int64_t p = 0; p < pack_cols; ++p) {
+                    const std::int64_t col =
+                        rows != nullptr ? rows[kk + p] : kk + p;
                     a_pack[static_cast<std::size_t>(i * pack_cols + p)] =
-                        load(a, lda, ii + i, kk + p, trans_a);
+                        alpha * load(a, lda, ii + i, col, trans_a);
                 }
             }
             for (std::int64_t jj = 0; jj < n; jj += kBlockN) {
                 const std::int64_t jend = std::min(jj + kBlockN, n);
                 for (std::int64_t i = 0; i < pack_rows; ++i) {
-                    float* crow = c + (ii + i) * ldc;
-                    const float* arow =
-                        a_pack.data() + i * pack_cols;
-                    for (std::int64_t p = 0; p < pack_cols; ++p) {
-                        const float av = alpha * arow[p];
-                        if (av == 0.0f) {
-                            continue;
-                        }
-                        if (!trans_b) {
-                            const float* brow = b + (kk + p) * ldb;
-                            for (std::int64_t j = jj; j < jend; ++j) {
-                                crow[j] += av * brow[j];
-                            }
-                        } else {
-                            for (std::int64_t j = jj; j < jend; ++j) {
-                                crow[j] += av * b[j * ldb + (kk + p)];
-                            }
-                        }
-                    }
+                    micro_row(c + (ii + i) * ldc,
+                              a_pack.data() + i * pack_cols, brows, pack_cols,
+                              jj, jend);
                 }
             }
         }
     }
+}
+
+void gemm_dispatch(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                   const std::int64_t* rows, std::int64_t row_count,
+                   float alpha, const float* a, std::int64_t lda,
+                   const float* b, std::int64_t ldb, float beta, float* c,
+                   std::int64_t ldc, ThreadPool* pool) {
+    if (pool == nullptr || pool->size() <= 1 || m < 2 * kBlockM) {
+        gemm_band(trans_a, trans_b, 0, m, n, rows, row_count, alpha, a, lda,
+                  b, ldb, beta, c, ldc);
+        return;
+    }
+
+    const std::int64_t bands =
+        std::min<std::int64_t>(static_cast<std::int64_t>(pool->size()),
+                               (m + kBlockM - 1) / kBlockM);
+    const std::int64_t band_rows = (m + bands - 1) / bands;
+    for (std::int64_t b0 = 0; b0 < m; b0 += band_rows) {
+        const std::int64_t b1 = std::min(b0 + band_rows, m);
+        pool->submit([=] {
+            gemm_band(trans_a, trans_b, b0, b1, n, rows, row_count, alpha, a,
+                      lda, b, ldb, beta, c, ldc);
+        });
+    }
+    pool->wait_idle();
 }
 
 }  // namespace
@@ -94,25 +222,44 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
     if (m == 0 || n == 0) {
         return;
     }
+    gemm_dispatch(trans_a, trans_b, m, n, /*rows=*/nullptr, k, alpha, a, lda,
+                  b, ldb, beta, c, ldc, pool);
+}
 
-    if (pool == nullptr || pool->size() <= 1 || m < 2 * kBlockM) {
-        gemm_band(trans_a, trans_b, 0, m, n, k, alpha, a, lda, b, ldb, beta, c,
-                  ldc);
+void gemm_rows(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int64_t* rows,
+               std::int64_t row_count, float alpha, const float* a,
+               std::int64_t lda, const float* b, std::int64_t ldb,
+               float beta, float* c, std::int64_t ldc, ThreadPool* pool) {
+    MIME_REQUIRE(m >= 0 && n >= 0 && k >= 0,
+                 "gemm_rows dimensions must be >= 0");
+    MIME_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+                 "gemm_rows operands must be non-null");
+    MIME_REQUIRE(row_count >= 0 && row_count <= k,
+                 "gemm_rows row_count must be in [0, k]");
+    MIME_REQUIRE(rows != nullptr || row_count == 0,
+                 "gemm_rows needs a row list unless row_count is 0");
+    for (std::int64_t p = 0; p < row_count; ++p) {
+        MIME_REQUIRE(rows[p] >= 0 && rows[p] < k &&
+                         (p == 0 || rows[p] > rows[p - 1]),
+                     "gemm_rows row indices must be strictly ascending "
+                     "within [0, k)");
+    }
+    if (m == 0 || n == 0) {
         return;
     }
+    // An empty live set still applies beta (C = beta * C), matching the
+    // dense kernel contracted over an all-zero operand.
+    gemm_dispatch(trans_a, trans_b, m, n, rows, row_count, alpha, a, lda, b,
+                  ldb, beta, c, ldc, pool);
+}
 
-    const std::int64_t bands =
-        std::min<std::int64_t>(static_cast<std::int64_t>(pool->size()),
-                               (m + kBlockM - 1) / kBlockM);
-    const std::int64_t band_rows = (m + bands - 1) / bands;
-    for (std::int64_t b0 = 0; b0 < m; b0 += band_rows) {
-        const std::int64_t b1 = std::min(b0 + band_rows, m);
-        pool->submit([=] {
-            gemm_band(trans_a, trans_b, b0, b1, n, k, alpha, a, lda, b, ldb,
-                      beta, c, ldc);
-        });
-    }
-    pool->wait_idle();
+const char* gemm_kernel_name() {
+#if defined(MIME_GEMM_AVX2)
+    return "avx2+fma";
+#else
+    return "scalar";
+#endif
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, ThreadPool* pool) {

@@ -1,5 +1,14 @@
 // General matrix multiplication, the compute kernel behind Linear and
 // (via im2col) Conv2d layers.
+//
+// The blocked kernel carries SIMD microkernels selected at compile time
+// (AVX2+FMA when the translation unit is built with those ISA flags —
+// see MIME_ENABLE_SIMD in CMakeLists.txt — scalar otherwise); the
+// `gemm_reference` triple loop stays as the oracle tests validate
+// against. `gemm_rows` is the row-compacted entry point behind MIME's
+// sparse planned executor: it contracts over a caller-supplied live-row
+// index set only, skipping the multiply-accumulates of rows a threshold
+// mask provably zeroed.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,30 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc, ThreadPool* pool = nullptr);
+
+/// Row-compacted GEMM: contracts over the `row_count` indices in `rows`
+/// only, i.e.
+///   C[i,j] = alpha * sum_p op(A)[i, rows[p]] * op(B)[rows[p], j]
+///            + beta * C[i,j].
+///
+/// `rows` must be strictly ascending indices into [0, k) where k is the
+/// full contraction extent of the dense problem (used for validation
+/// only — the skipped rows are never touched, so the dead rows of a
+/// caller's B buffer may hold garbage). With beta == 0 the result
+/// bit-matches the dense gemm() whenever every skipped row contributes
+/// exactly zero (op(B) row all zeros, or op(A) column all zeros): both
+/// kernels share the same microkernel tiling, each output element's FMA
+/// chain visits the surviving terms in the same order, and a zero term
+/// never perturbs an accumulator that started from +0.
+void gemm_rows(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int64_t* rows,
+               std::int64_t row_count, float alpha, const float* a,
+               std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+               float* c, std::int64_t ldc, ThreadPool* pool = nullptr);
+
+/// The microkernel variant this build selected at compile time
+/// ("avx2+fma" or "scalar"); benches report it next to their numbers.
+const char* gemm_kernel_name();
 
 /// Tensor-level 2-D matmul: returns A[M,K] * B[K,N]. Both operands must be
 /// rank-2.

@@ -15,35 +15,61 @@ void ConvGeometry::validate() const {
                  "incompatible with input size");
 }
 
-void im2col(const ConvGeometry& g, const float* input, float* columns) {
-    g.validate();
+namespace {
+
+// Lowers one input channel into its K*K block of rows starting at
+// `columns + c*K*K*cols`; shared by the dense and live-channel paths so
+// the bytes written for a given channel are identical in both.
+void im2col_channel(const ConvGeometry& g, const float* input,
+                    float* columns, std::int64_t c) {
     const std::int64_t ho = g.out_height();
     const std::int64_t wo = g.out_width();
     const std::int64_t cols = ho * wo;
-
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < g.in_channels; ++c) {
-        const float* channel = input + c * g.in_height * g.in_width;
-        for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-            for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-                float* out_row = columns + row * cols;
-                for (std::int64_t oy = 0; oy < ho; ++oy) {
-                    const std::int64_t iy = oy * g.stride + ky - g.padding;
-                    if (iy < 0 || iy >= g.in_height) {
-                        for (std::int64_t ox = 0; ox < wo; ++ox) {
-                            out_row[oy * wo + ox] = 0.0f;
-                        }
-                        continue;
-                    }
-                    const float* in_row = channel + iy * g.in_width;
+    const float* channel = input + c * g.in_height * g.in_width;
+    std::int64_t row = c * g.kernel * g.kernel;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+        for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+            float* out_row = columns + row * cols;
+            for (std::int64_t oy = 0; oy < ho; ++oy) {
+                const std::int64_t iy = oy * g.stride + ky - g.padding;
+                if (iy < 0 || iy >= g.in_height) {
                     for (std::int64_t ox = 0; ox < wo; ++ox) {
-                        const std::int64_t ix = ox * g.stride + kx - g.padding;
-                        out_row[oy * wo + ox] =
-                            (ix >= 0 && ix < g.in_width) ? in_row[ix] : 0.0f;
+                        out_row[oy * wo + ox] = 0.0f;
                     }
+                    continue;
+                }
+                const float* in_row = channel + iy * g.in_width;
+                for (std::int64_t ox = 0; ox < wo; ++ox) {
+                    const std::int64_t ix = ox * g.stride + kx - g.padding;
+                    out_row[oy * wo + ox] =
+                        (ix >= 0 && ix < g.in_width) ? in_row[ix] : 0.0f;
                 }
             }
         }
+    }
+}
+
+}  // namespace
+
+void im2col(const ConvGeometry& g, const float* input, float* columns) {
+    g.validate();
+    for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        im2col_channel(g, input, columns, c);
+    }
+}
+
+void im2col(const ConvGeometry& g, const float* input, float* columns,
+            const std::int64_t* live_channels, std::int64_t live_count) {
+    g.validate();
+    MIME_REQUIRE(live_channels != nullptr || live_count == 0,
+                 "im2col needs a channel list unless live_count is 0");
+    for (std::int64_t i = 0; i < live_count; ++i) {
+        const std::int64_t c = live_channels[i];
+        MIME_REQUIRE(c >= 0 && c < g.in_channels &&
+                         (i == 0 || c > live_channels[i - 1]),
+                     "im2col live channels must be strictly ascending within "
+                     "[0, in_channels)");
+        im2col_channel(g, input, columns, c);
     }
 }
 

@@ -39,6 +39,14 @@ struct ConvGeometry {
 /// contribute zeros.
 void im2col(const ConvGeometry& g, const float* input, float* columns);
 
+/// Partial lowering for the sparse conv path: writes only the K*K row
+/// blocks of the `live_count` channels listed (strictly ascending) in
+/// `live_channels`. `columns` keeps its full [C*K*K, Hout*Wout] layout —
+/// rows of dead channels are left untouched (their previous contents are
+/// garbage and must never be read; the row-compacted GEMM skips them).
+void im2col(const ConvGeometry& g, const float* input, float* columns,
+            const std::int64_t* live_channels, std::int64_t live_count);
+
 /// Adjoint of im2col: accumulates `columns` [C*K*K, Hout*Wout] back into
 /// `input_grad` [C, H, W]. `input_grad` must be zeroed by the caller
 /// before the first accumulation.

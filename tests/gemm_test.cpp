@@ -1,6 +1,8 @@
 // Tests for the blocked GEMM kernel against the reference triple loop.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -110,6 +112,149 @@ TEST(Gemm, RejectsNullOperands) {
     std::vector<float> c{0.0f};
     EXPECT_THROW(gemm(false, false, 1, 1, 1, 1.0f, nullptr, 1, nullptr, 1,
                       0.0f, c.data(), 1),
+                 check_error);
+}
+
+TEST(GemmRows, MatchesCompactedReference) {
+    Rng rng(41);
+    const std::int64_t m = 37;
+    const std::int64_t n = 53;
+    const std::int64_t k = 300;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    // Every 3rd row live: strictly ascending, spans several K blocks.
+    std::vector<std::int64_t> rows;
+    for (std::int64_t r = 0; r < k; r += 3) {
+        rows.push_back(r);
+    }
+    const auto rc = static_cast<std::int64_t>(rows.size());
+
+    // Reference: gather the live columns of A / rows of B into dense
+    // compacted operands and run the oracle triple loop.
+    std::vector<float> a_c(static_cast<std::size_t>(m * rc));
+    std::vector<float> b_c(static_cast<std::size_t>(rc * n));
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < rc; ++p) {
+            a_c[i * rc + p] = a[i * k + rows[p]];
+        }
+    }
+    for (std::int64_t p = 0; p < rc; ++p) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            b_c[p * n + j] = b[rows[p] * n + j];
+        }
+    }
+    std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.25f);
+    std::vector<float> c_rows = c_ref;
+    gemm_reference(false, false, m, n, rc, 1.1f, a_c.data(), rc, b_c.data(),
+                   n, 0.5f, c_ref.data(), n);
+    gemm_rows(false, false, m, n, k, rows.data(), rc, 1.1f, a.data(), k,
+              b.data(), n, 0.5f, c_rows.data(), n);
+    expect_close(c_ref, c_rows);
+}
+
+TEST(GemmRows, BitMatchesDenseWhenSkippedRowsAreZero) {
+    Rng rng(42);
+    const std::int64_t m = 19;
+    const std::int64_t n = 47;
+    const std::int64_t k = 160;
+    const auto a = random_matrix(m, k, rng);
+    auto b = random_matrix(k, n, rng);
+    std::vector<std::int64_t> rows;
+    for (std::int64_t r = 0; r < k; ++r) {
+        if (r % 5 == 2) {
+            rows.push_back(r);
+        } else {
+            // Dead row: zero it so the dense contraction provably adds
+            // nothing for it.
+            std::fill(b.begin() + r * n, b.begin() + (r + 1) * n, 0.0f);
+        }
+    }
+    std::vector<float> c_dense(static_cast<std::size_t>(m * n), -7.0f);
+    std::vector<float> c_sparse = c_dense;
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c_dense.data(), n);
+    gemm_rows(false, false, m, n, k, rows.data(),
+              static_cast<std::int64_t>(rows.size()), 1.0f, a.data(), k,
+              b.data(), n, 0.0f, c_sparse.data(), n);
+    // Bit-exact, not just close: the contract the sparse planned
+    // executor relies on.
+    EXPECT_EQ(0, std::memcmp(c_dense.data(), c_sparse.data(),
+                             c_dense.size() * sizeof(float)));
+}
+
+TEST(GemmRows, TransBBitMatchesDenseWhenSkippedRowsAreZero) {
+    Rng rng(43);
+    const std::int64_t m = 7;
+    const std::int64_t n = 33;
+    const std::int64_t k = 96;
+    // op(B) = stored-B^T, so op(B)'s row r is stored column r. Zeroing
+    // op(A)'s dead columns instead exercises the A-side zero skip the
+    // masked-linear path relies on.
+    auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(n, k, rng);
+    std::vector<std::int64_t> rows;
+    for (std::int64_t r = 0; r < k; ++r) {
+        if (r % 4 != 1) {
+            rows.push_back(r);
+        } else {
+            for (std::int64_t i = 0; i < m; ++i) {
+                a[i * k + r] = 0.0f;
+            }
+        }
+    }
+    std::vector<float> c_dense(static_cast<std::size_t>(m * n), 3.0f);
+    std::vector<float> c_sparse = c_dense;
+    gemm(false, true, m, n, k, 1.0f, a.data(), k, b.data(), k, 0.0f,
+         c_dense.data(), n);
+    gemm_rows(false, true, m, n, k, rows.data(),
+              static_cast<std::int64_t>(rows.size()), 1.0f, a.data(), k,
+              b.data(), k, 0.0f, c_sparse.data(), n);
+    EXPECT_EQ(0, std::memcmp(c_dense.data(), c_sparse.data(),
+                             c_dense.size() * sizeof(float)));
+}
+
+TEST(GemmRows, FullRowListBitMatchesDense) {
+    Rng rng(44);
+    const std::int64_t m = 65;
+    const std::int64_t n = 40;
+    const std::int64_t k = 70;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<std::int64_t> rows(static_cast<std::size_t>(k));
+    for (std::int64_t r = 0; r < k; ++r) {
+        rows[static_cast<std::size_t>(r)] = r;
+    }
+    std::vector<float> c_dense(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> c_sparse = c_dense;
+    gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+         c_dense.data(), n);
+    gemm_rows(false, false, m, n, k, rows.data(), k, 1.0f, a.data(), k,
+              b.data(), n, 0.0f, c_sparse.data(), n);
+    EXPECT_EQ(0, std::memcmp(c_dense.data(), c_sparse.data(),
+                             c_dense.size() * sizeof(float)));
+}
+
+TEST(GemmRows, EmptyRowListAppliesBeta) {
+    const std::vector<float> a{1.0f, 2.0f};
+    const std::vector<float> b{3.0f, 4.0f};
+    std::vector<float> c{5.0f, 6.0f};
+    gemm_rows(false, false, 1, 2, 2, nullptr, 0, 1.0f, a.data(), 2, b.data(),
+              2, 0.5f, c.data(), 2);
+    EXPECT_FLOAT_EQ(c[0], 2.5f);
+    EXPECT_FLOAT_EQ(c[1], 3.0f);
+}
+
+TEST(GemmRows, RejectsUnsortedRows) {
+    const std::vector<float> a{1.0f, 2.0f};
+    const std::vector<float> b{3.0f, 4.0f};
+    std::vector<float> c{0.0f, 0.0f};
+    const std::vector<std::int64_t> bad{1, 0};
+    EXPECT_THROW(gemm_rows(false, false, 1, 2, 2, bad.data(), 2, 1.0f,
+                           a.data(), 2, b.data(), 2, 0.0f, c.data(), 2),
+                 check_error);
+    const std::vector<std::int64_t> oob{0, 2};
+    EXPECT_THROW(gemm_rows(false, false, 1, 2, 2, oob.data(), 2, 1.0f,
+                           a.data(), 2, b.data(), 2, 0.0f, c.data(), 2),
                  check_error);
 }
 

@@ -1,0 +1,277 @@
+// Sparse planned executor tests: the row-compacted path must bit-match
+// dense planned execution across architectures, batch sizes, batchnorm
+// variants, mid-stream threshold swaps, and the all-dead / all-live
+// edge cases — and stay allocation-free after warm-up.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "arch/plain_cnn.h"
+#include "common/thread_pool.h"
+#include "core/mime_network.h"
+#include "tensor/workspace.h"
+
+namespace mime {
+namespace {
+
+core::MimeNetworkConfig vgg_config(bool batchnorm) {
+    core::MimeNetworkConfig config;
+    config.vgg.input_size = 32;
+    config.vgg.width_scale = 0.0625;
+    config.vgg.num_classes = 10;
+    config.batchnorm = batchnorm;
+    config.seed = 5;
+    return config;
+}
+
+core::MimeNetworkConfig cnn_config(bool batchnorm) {
+    arch::PlainCnnConfig cnn;
+    cnn.input_size = 32;
+    cnn.blocks = {{16, 2}, {32, 2}};
+    cnn.fc_widths = {64};
+    cnn.num_classes = 10;
+    core::MimeNetworkConfig config;
+    config.custom_layers = arch::plain_cnn_spec(cnn);
+    config.custom_classifier = arch::plain_cnn_classifier(cnn);
+    config.batchnorm = batchnorm;
+    config.seed = 7;
+    return config;
+}
+
+/// Structurally prunes every site: channel c stays live iff
+/// c % keep_mod == live_rem; live channels keep a small finite
+/// threshold so they still mask data-dependently.
+void prune_channels(core::MimeNetwork& net, std::int64_t keep_mod,
+                    std::int64_t live_rem = 0) {
+    for (std::int64_t s = 0; s < net.site_count(); ++s) {
+        core::ThresholdMask& mask = net.site(s).mask();
+        Tensor& t = mask.thresholds().value;
+        const Shape& shape = mask.activation_shape();
+        const std::int64_t channels = shape.dim(0);
+        const std::int64_t extent = shape.numel() / channels;
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float value = (c % keep_mod == live_rem)
+                                    ? 0.05f
+                                    : core::kPrunedThreshold;
+            for (std::int64_t i = 0; i < extent; ++i) {
+                t.data()[c * extent + i] = value;
+            }
+        }
+        mask.mark_thresholds_dirty();
+    }
+}
+
+std::vector<float> tensor_copy(const Tensor& t) {
+    return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+bool bit_equal(const std::vector<float>& a, const Tensor& b) {
+    return a.size() == static_cast<std::size_t>(b.numel()) &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// (use vgg?, batchnorm?, batch size)
+using SparseCase = std::tuple<bool, bool, int>;
+
+class SparseForwardTest : public ::testing::TestWithParam<SparseCase> {};
+
+TEST_P(SparseForwardTest, BitMatchesDensePlanned) {
+    const auto [use_vgg, batchnorm, batch] = GetParam();
+    core::MimeNetwork net(use_vgg ? vgg_config(batchnorm)
+                                  : cnn_config(batchnorm));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, /*keep_mod=*/4);
+
+    Rng rng(17);
+    const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    net.set_sparse_execution({false, 0.85});
+    const std::vector<float> dense =
+        tensor_copy(net.forward_planned(x, workspace));
+    ASSERT_EQ(net.planned_sparse_hits(), 0u);
+
+    net.set_sparse_execution({true, 0.85});
+    const Tensor& sparse = net.forward_planned(x, workspace);
+    EXPECT_TRUE(bit_equal(dense, sparse))
+        << "sparse planned logits diverge from dense";
+    EXPECT_GT(net.planned_sparse_hits(), 0u);
+    EXPECT_GT(net.planned_skipped_macs(), 0u);
+    EXPECT_GT(net.planned_dense_macs(), net.planned_skipped_macs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SparseForwardTest,
+    ::testing::Combine(::testing::Bool(),        // vgg / plain-cnn
+                       ::testing::Bool(),        // batchnorm
+                       ::testing::Values(1, 7, 32)));
+
+TEST(SparseForward, MidStreamThresholdSwapRebuildsActiveSets) {
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+
+    // Two tasks with different live-channel patterns.
+    prune_channels(net, 2, 0);
+    const core::ThresholdSet task_a = net.snapshot_thresholds("a");
+    prune_channels(net, 4, 1);
+    const core::ThresholdSet task_b = net.snapshot_thresholds("b");
+
+    Rng rng(23);
+    const Tensor x = Tensor::randn({7, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    auto dense_logits = [&](const core::ThresholdSet& task) {
+        net.load_thresholds(task);
+        net.set_sparse_execution({false, 0.85});
+        return tensor_copy(net.forward_planned(x, workspace));
+    };
+    const std::vector<float> dense_a = dense_logits(task_a);
+    const std::vector<float> dense_b = dense_logits(task_b);
+    ASSERT_NE(0, std::memcmp(dense_a.data(), dense_b.data(),
+                             dense_a.size() * sizeof(float)))
+        << "tasks must differ for the swap test to mean anything";
+
+    net.set_sparse_execution({true, 0.85});
+    core::ThresholdMask& probe = net.site(0).mask();
+
+    net.load_thresholds(task_a);
+    const std::uint64_t version_a = probe.active_set().version;
+    const double density_a = probe.active_set().channel_density();
+    EXPECT_TRUE(bit_equal(dense_a, net.forward_planned(x, workspace)));
+
+    // Swap mid-stream: the next forward must pick up task B's live sets
+    // (stale active sets would compute task A's sparsity pattern).
+    net.load_thresholds(task_b);
+    EXPECT_TRUE(bit_equal(dense_b, net.forward_planned(x, workspace)));
+    EXPECT_GT(probe.active_set().version, version_a);
+    EXPECT_NE(probe.active_set().channel_density(), density_a);
+
+    // And back again.
+    net.load_thresholds(task_a);
+    EXPECT_TRUE(bit_equal(dense_a, net.forward_planned(x, workspace)));
+}
+
+TEST(SparseForward, AllDeadMasksBitMatchDense) {
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    net.reset_thresholds(core::kPrunedThreshold);
+
+    Rng rng(29);
+    const Tensor x = Tensor::randn({3, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    net.set_sparse_execution({false, 0.85});
+    const std::vector<float> dense =
+        tensor_copy(net.forward_planned(x, workspace));
+    net.set_sparse_execution({true, 0.85});
+    const Tensor& sparse = net.forward_planned(x, workspace);
+    EXPECT_TRUE(bit_equal(dense, sparse));
+    EXPECT_GT(net.planned_sparse_hits(), 0u);
+}
+
+TEST(SparseForward, AllLiveMasksFallBackDense) {
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    net.reset_thresholds(0.05f);  // finite everywhere: nothing pruned
+
+    Rng rng(31);
+    const Tensor x = Tensor::randn({4, 3, 32, 32}, rng);
+    Workspace workspace;
+    net.set_sparse_execution({true, 0.85});
+    net.forward_planned(x, workspace);
+    EXPECT_EQ(net.planned_sparse_hits(), 0u);
+    EXPECT_EQ(net.planned_skipped_macs(), 0u);
+    EXPECT_GT(net.planned_dense_macs(), 0u);
+}
+
+TEST(SparseForward, DensityCutoffGatesSparsePath) {
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 4);  // 25% channel density
+
+    Rng rng(37);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    // Cutoff below the measured density: everything runs dense.
+    net.set_sparse_execution({true, 0.1});
+    net.forward_planned(x, workspace);
+    EXPECT_EQ(net.planned_sparse_hits(), 0u);
+
+    // Cutoff above it: the compacted path engages.
+    net.set_sparse_execution({true, 1.0});
+    net.forward_planned(x, workspace);
+    EXPECT_GT(net.planned_sparse_hits(), 0u);
+}
+
+TEST(SparseForward, BandedPoolBitMatchesSingleThread) {
+    core::MimeNetwork net(vgg_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 4);
+    net.set_sparse_execution({true, 0.85});
+
+    Rng rng(41);
+    const Tensor x = Tensor::randn({8, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    const std::vector<float> single =
+        tensor_copy(net.forward_planned(x, workspace));
+
+    // With a pool the planned conv splits samples across bands; the
+    // per-sample math is unchanged, so outputs stay bit-identical (and
+    // TSan validates the banding has no races).
+    ThreadPool pool(4);
+    net.set_pool(&pool);
+    const Tensor& banded = net.forward_planned(x, workspace);
+    EXPECT_TRUE(bit_equal(single, banded));
+    net.set_pool(nullptr);
+}
+
+TEST(SparseForward, ZeroAllocationsAfterWarmUp) {
+    core::MimeNetwork net(vgg_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 2, 0);
+    const core::ThresholdSet task_a = net.snapshot_thresholds("a");
+    prune_channels(net, 4, 1);
+    const core::ThresholdSet task_b = net.snapshot_thresholds("b");
+    net.set_sparse_execution({true, 0.85});
+
+    Rng rng(43);
+    const Tensor x = Tensor::randn({8, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    // Warm-up: plan build, workspace reserve, first sparse pass for
+    // both tasks (active-set vectors size themselves here).
+    net.load_thresholds(task_a);
+    net.forward_planned(x, workspace);
+    net.load_thresholds(task_b);
+    net.forward_planned(x, workspace);
+
+    const std::int64_t alloc0 = Tensor::storage_allocation_count();
+    for (int i = 0; i < 4; ++i) {
+        net.load_thresholds(i % 2 == 0 ? task_a : task_b);
+        net.forward_planned(x, workspace);
+    }
+    EXPECT_EQ(Tensor::storage_allocation_count() - alloc0, 0)
+        << "sparse planned path must stay allocation-free after warm-up, "
+           "including across task swaps";
+}
+
+}  // namespace
+}  // namespace mime

@@ -170,6 +170,96 @@ TEST(ThresholdMask, ParameterExposedAsTrainable) {
     EXPECT_EQ(params[0]->value.shape(), Shape({4}));
 }
 
+TEST(ActiveSet, TracksStructurallyPrunedChannels) {
+    ThresholdMask mask({8, 2, 2}, 0.1f);
+    float* t = mask.thresholds().value.data();
+    for (std::int64_t c = 0; c < 8; ++c) {
+        if (c != 0 && c != 3) {
+            for (std::int64_t i = 0; i < 4; ++i) {
+                t[c * 4 + i] = kPrunedThreshold;
+            }
+        }
+    }
+    mask.mark_thresholds_dirty();
+
+    const ActiveSet& as = mask.active_set();
+    EXPECT_EQ(as.neurons, 32);
+    EXPECT_EQ(as.channels, 8);
+    EXPECT_EQ(as.live_channels, (std::vector<std::int64_t>{0, 3}));
+    std::vector<std::int64_t> expected_live;
+    for (std::int64_t i = 0; i < 4; ++i) expected_live.push_back(i);
+    for (std::int64_t i = 12; i < 16; ++i) expected_live.push_back(i);
+    EXPECT_EQ(as.live, expected_live);
+    EXPECT_FALSE(as.all_live());
+    EXPECT_DOUBLE_EQ(as.density(), 0.25);
+    EXPECT_DOUBLE_EQ(as.channel_density(), 0.25);
+}
+
+TEST(ActiveSet, RebuildsOnlyWhenDirty) {
+    ThresholdMask mask({16}, 0.0f);
+    const std::uint64_t v0 = mask.active_set().version;
+    // Repeated queries without mutation must not rebuild.
+    EXPECT_EQ(mask.active_set().version, v0);
+    EXPECT_EQ(mask.active_set().version, v0);
+
+    mask.thresholds().value.data()[5] = kPrunedThreshold;
+    mask.mark_thresholds_dirty();
+    const ActiveSet& as = mask.active_set();
+    EXPECT_GT(as.version, v0);
+    EXPECT_EQ(as.live.size(), 15u);
+}
+
+TEST(ActiveSet, NanAndInfThresholdsAreDead) {
+    ThresholdMask mask({4}, 0.0f);
+    float* t = mask.thresholds().value.data();
+    t[1] = kPrunedThreshold;
+    t[2] = std::numeric_limits<float>::quiet_NaN();
+    mask.mark_thresholds_dirty();
+    EXPECT_EQ(mask.active_set().live, (std::vector<std::int64_t>{0, 3}));
+
+    // A pruned threshold masks every input — even +inf, because
+    // inf - inf is NaN and NaN >= 0 is false.
+    const Tensor y = Tensor::full({1, 4},
+                                  std::numeric_limits<float>::infinity());
+    const Tensor out = mask.forward(y);
+    EXPECT_EQ(out.data()[1], 0.0f);
+    EXPECT_EQ(out.data()[2], 0.0f);
+}
+
+TEST(ActiveSet, AllFiniteThresholdsAllLive) {
+    ThresholdMask mask({4, 3}, 100.0f);  // high but finite: data-masked,
+                                         // not structurally pruned
+    const ActiveSet& as = mask.active_set();
+    EXPECT_TRUE(as.all_live());
+    EXPECT_EQ(as.live.size(), 12u);
+    EXPECT_EQ(as.live_channels.size(), 4u);
+}
+
+// The vectorized mask-apply (8-wide + scalar tail) must produce the
+// same bytes and the same fused zero count as the scalar definition
+// a_i = y_i * 1[y_i - t_i >= 0].
+TEST(ThresholdMask, VectorizedApplyMatchesScalarDefinition) {
+    Rng rng(99);
+    const std::int64_t features = 19;  // exercises the non-multiple-of-8 tail
+    const Tensor y = Tensor::randn({3, features}, rng);
+    ThresholdMask mask({features}, 0.3f);
+    const Tensor out = mask.forward(y);
+
+    const float* t = mask.thresholds().value.data();
+    std::int64_t zeros = 0;
+    for (std::int64_t n = 0; n < 3; ++n) {
+        for (std::int64_t i = 0; i < features; ++i) {
+            const float yi = y.data()[n * features + i];
+            const float expected = (yi - t[i] >= 0.0f) ? yi : 0.0f;
+            EXPECT_EQ(out.data()[n * features + i], expected);
+            if (expected == 0.0f) ++zeros;
+        }
+    }
+    // last_sparsity comes from the count fused into the apply loop.
+    EXPECT_DOUBLE_EQ(mask.last_sparsity(),
+                     static_cast<double>(zeros) / (3.0 * features));
+}
+
 // Sweep: sparsity is monotone in the threshold level.
 class ThresholdSweep : public ::testing::TestWithParam<float> {};
 
