@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/vgg.h"
+#include "common/json.h"
 #include "core/mime_network.h"
 #include "core/trainer.h"
 #include "data/task_suite.h"
@@ -29,31 +30,19 @@ void print_banner(const std::string& experiment,
 void print_claim(const std::string& metric, const std::string& paper,
                  const std::string& measured);
 
-/// Minimal ordered JSON tree for machine-readable bench artifacts
-/// (BENCH_kernels.json, BENCH_serve.json). Insertion order is
-/// preserved so the emitted files diff cleanly run-to-run.
-class Json {
-public:
-    /// Scalar setters (each returns *this for chaining).
-    Json& set(const std::string& key, const std::string& value);
-    Json& set(const std::string& key, const char* value);
-    Json& set(const std::string& key, double value);
-    Json& set(const std::string& key, std::int64_t value);
-    Json& set(const std::string& key, int value);
-    Json& set(const std::string& key, bool value);
-    /// Nested object / array-of-objects setters.
-    Json& set(const std::string& key, Json value);
-    Json& set(const std::string& key, std::vector<Json> values);
-
-    std::string to_string(int indent = 0) const;
-
-private:
-    std::vector<std::pair<std::string, std::string>> scalars_or_trees_;
-};
+/// Ordered JSON tree for machine-readable bench artifacts
+/// (BENCH_kernels.json, BENCH_serve.json). The implementation moved to
+/// src/common/json.h so the src/obs/ exporters can share it; the alias
+/// keeps every bench spelling `bench::Json` unchanged.
+using Json = ::mime::Json;
 
 /// Writes `json` to MIME_BENCH_JSON_DIR/filename (dir defaults to the
 /// current working directory) and logs the path.
 void write_json_file(const std::string& filename, const Json& json);
+
+/// Writes an arbitrary text body (e.g. a Prometheus metrics dump) to
+/// MIME_BENCH_JSON_DIR/filename and logs the path.
+void write_text_file(const std::string& filename, const std::string& body);
 
 /// The trainable mini setup (width-scaled VGG16 + synthetic task suite);
 /// scale is controlled by MIME_BENCH_SCALE (0 = quick smoke, 1 = default

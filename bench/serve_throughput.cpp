@@ -51,6 +51,7 @@
 #include "common/table.h"
 #include "core/multitask.h"
 #include "core/threshold_mask.h"
+#include "obs/export.h"
 #include "serve/inference_server.h"
 #include "serve/load_gen.h"
 #include "serve/server_pool.h"
@@ -216,13 +217,36 @@ void prune_channels(core::MimeNetwork& network, std::int64_t live_rem) {
     }
 }
 
+/// One scenario's SLO section for BENCH_serve.json: per-lane tail
+/// quantiles plus the miss/shed rates an operator would alert on.
+bench::Json lane_slo(const serve::PriorityLaneStats& lane,
+                     std::int64_t expired) {
+    bench::Json json;
+    json.set("completed", lane.completed);
+    json.set("p50_us", lane.p50_latency_us);
+    json.set("p95_us", lane.p95_latency_us);
+    json.set("p99_us", lane.p99_latency_us);
+    json.set("p999_us", lane.p999_latency_us);
+    json.set("deadline_expired", expired);
+    const std::int64_t finished = lane.completed + expired;
+    json.set("deadline_miss_rate",
+             finished > 0 ? static_cast<double>(expired) /
+                                static_cast<double>(finished)
+                          : 0.0);
+    return json;
+}
+
 /// Closed-loop A/B run for sparse vs dense planned execution. No
 /// simulated accelerator: the run is forward-bound on purpose, so req/s
-/// measures what row compaction saves in the functional forward.
+/// measures what row compaction saves in the functional forward. When
+/// `metrics_json` / `prom_text` are non-null the run also exports the
+/// server's metrics registry through both exporters.
 serve::ServerStats replay_sparse_ab(
     core::MimeNetwork& network,
     const std::vector<core::TaskAdaptation>& adaptations,
-    const std::vector<serve::ArrivalEvent>& events, bool sparse) {
+    const std::vector<serve::ArrivalEvent>& events, bool sparse,
+    bench::Json* metrics_json = nullptr,
+    std::string* prom_text = nullptr) {
     serve::ServerConfig config;
     config.batcher.policy = serve::BatchingPolicy::task_grouped;
     config.batcher.max_batch_size = 8;
@@ -239,6 +263,16 @@ serve::ServerStats replay_sparse_ab(
         [](const serve::ArrivalEvent&) { return serve::SubmitOptions{}; },
         nullptr);
     serve::ServerStats stats = server.stats();
+    if (metrics_json != nullptr || prom_text != nullptr) {
+        const std::vector<obs::MetricSnapshot> snapshot =
+            server.metrics().snapshot();
+        if (metrics_json != nullptr) {
+            *metrics_json = obs::metrics_to_json(snapshot);
+        }
+        if (prom_text != nullptr) {
+            *prom_text = obs::metrics_to_prometheus(snapshot);
+        }
+    }
     server.stop();
     return stats;
 }
@@ -353,6 +387,8 @@ int main() {
             row.set("req_per_s", s.throughput_rps);
             row.set("p50_us", s.p50_latency_us);
             row.set("p95_us", s.p95_latency_us);
+            row.set("p99_us", s.p99_latency_us);
+            row.set("p999_us", s.p999_latency_us);
             policy_rows.push_back(std::move(row));
         }
     }
@@ -393,8 +429,14 @@ int main() {
 
     const serve::ServerStats dense_stats = replay_sparse_ab(
         network, pruned_adaptations, sparse_events, /*sparse=*/false);
-    const serve::ServerStats sparse_stats = replay_sparse_ab(
-        network, pruned_adaptations, sparse_events, /*sparse=*/true);
+    // The sparse run doubles as the exporter demonstration: its registry
+    // snapshot lands in BENCH_serve.json (JSON exporter) and
+    // BENCH_serve.prom (Prometheus text exposition).
+    bench::Json sparse_metrics;
+    std::string sparse_prom;
+    const serve::ServerStats sparse_stats =
+        replay_sparse_ab(network, pruned_adaptations, sparse_events,
+                         /*sparse=*/true, &sparse_metrics, &sparse_prom);
 
     Table sparse_table({"executor", "req/s", "p50 us", "p95 us",
                         "sparse hits", "skipped MACs"});
@@ -431,10 +473,14 @@ int main() {
         ab.set("dense_p95_us", dense_stats.p95_latency_us);
         ab.set("sparse_p50_us", sparse_stats.p50_latency_us);
         ab.set("sparse_p95_us", sparse_stats.p95_latency_us);
+        ab.set("sparse_p99_us", sparse_stats.p99_latency_us);
+        ab.set("sparse_p999_us", sparse_stats.p999_latency_us);
         ab.set("sparse_path_hits", sparse_stats.sparse_path_hits);
         ab.set("skipped_mac_fraction",
                sparse_stats.skipped_mac_fraction);
         serve_json.set("sparse_ab", std::move(ab));
+        serve_json.set("sparse_run_metrics", std::move(sparse_metrics));
+        bench::write_text_file("BENCH_serve.prom", sparse_prom);
     }
 
     // -----------------------------------------------------------------------
@@ -536,6 +582,8 @@ int main() {
             row.set("req_per_s", stats.throughput_rps);
             row.set("p50_us", stats.p50_latency_us);
             row.set("p95_us", stats.p95_latency_us);
+            row.set("p99_us", stats.p99_latency_us);
+            row.set("p999_us", stats.p999_latency_us);
             row.set("cache_hit_rate", stats.cache_hit_rate);
             row.set("skipped_mac_fraction", stats.skipped_mac_fraction);
             pool_rows.push_back(std::move(row));
@@ -642,6 +690,30 @@ int main() {
         "interactive lower (lane precedence)",
         Table::num(mixed.interactive.p95_latency_us, 0) + " vs " +
             Table::num(mixed.batch.p95_latency_us, 0) + " us");
+
+    // The per-scenario SLO section: tail quantiles per lane plus the
+    // miss/shed rates a dashboard alerts on.
+    {
+        bench::Json slo;
+        slo.set("interactive",
+                lane_slo(mixed.interactive, tally.expired_interactive.load()));
+        slo.set("batch", lane_slo(mixed.batch, tally.expired_batch.load()));
+        slo.set("deadline_expired_total", mixed.deadline_expired);
+        const std::int64_t finished =
+            mixed.interactive.completed + mixed.batch.completed +
+            mixed.deadline_expired;
+        slo.set("deadline_miss_rate",
+                finished > 0 ? static_cast<double>(mixed.deadline_expired) /
+                                   static_cast<double>(finished)
+                             : 0.0);
+        slo.set("shed", mixed.shed);
+        const std::int64_t offered = mixed.submitted + mixed.shed;
+        slo.set("shed_rate",
+                offered > 0 ? static_cast<double>(mixed.shed) /
+                                  static_cast<double>(offered)
+                            : 0.0);
+        serve_json.set("mixed_priority_slo", std::move(slo));
+    }
 
     bench::write_json_file("BENCH_serve.json", serve_json);
     return 0;

@@ -1,0 +1,137 @@
+#include "common/json.h"
+
+#include <cstdio>
+
+namespace mime {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string json_number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+/// Indents every line after the first by `pad` (used when splicing a
+/// pre-rendered nested value into its parent).
+std::string reindent(const std::string& rendered, const std::string& pad) {
+    std::string out;
+    out.reserve(rendered.size());
+    for (const char c : rendered) {
+        out += c;
+        if (c == '\n') {
+            out += pad;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Json& Json::set(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    quoted += json_escape(value);
+    quoted += '"';
+    scalars_or_trees_.emplace_back(key, std::move(quoted));
+    return *this;
+}
+
+Json& Json::set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+}
+
+Json& Json::set(const std::string& key, double value) {
+    scalars_or_trees_.emplace_back(key, json_number(value));
+    return *this;
+}
+
+Json& Json::set(const std::string& key, std::int64_t value) {
+    scalars_or_trees_.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+Json& Json::set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+}
+
+Json& Json::set(const std::string& key, bool value) {
+    scalars_or_trees_.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+    scalars_or_trees_.emplace_back(key, value.to_string());
+    return *this;
+}
+
+Json& Json::set(const std::string& key, std::vector<Json> values) {
+    if (values.empty()) {
+        scalars_or_trees_.emplace_back(key, "[]");
+        return *this;
+    }
+    std::string rendered = "[\n";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        rendered += "  " + reindent(values[i].to_string(), "  ");
+        rendered += i + 1 < values.size() ? ",\n" : "\n";
+    }
+    rendered += "]";
+    scalars_or_trees_.emplace_back(key, std::move(rendered));
+    return *this;
+}
+
+std::string Json::to_string(int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    if (scalars_or_trees_.empty()) {
+        return "{}";
+    }
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < scalars_or_trees_.size(); ++i) {
+        const auto& [key, value] = scalars_or_trees_[i];
+        out += pad + "  \"" + json_escape(key) +
+               "\": " + reindent(value, pad + "  ");
+        out += i + 1 < scalars_or_trees_.size() ? ",\n" : "\n";
+    }
+    out += pad + "}";
+    return out;
+}
+
+std::string Json::to_line() const {
+    const std::string pretty = to_string();
+    std::string out;
+    out.reserve(pretty.size());
+    for (std::size_t i = 0; i < pretty.size(); ++i) {
+        if (pretty[i] == '\n') {
+            while (i + 1 < pretty.size() && pretty[i + 1] == ' ') {
+                ++i;
+            }
+            out += ' ';
+        } else {
+            out += pretty[i];
+        }
+    }
+    return out;
+}
+
+}  // namespace mime

@@ -1,5 +1,6 @@
 #include "core/forward_plan.h"
 
+#include <chrono>
 #include <string>
 
 #include "common/check.h"
@@ -30,6 +31,15 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
     // Reserved up front: `last_buffer` points into steps_ during the
     // build, so the vector must never reallocate.
     steps_.reserve(graph.size());
+    profiles_.reserve(graph.size());
+    // Per-kind ordinals for profile names (conv1, bn1, act1, ...). bn
+    // and act number after the conv/linear they follow, matching how
+    // the arch layer specs are usually read.
+    int conv_ordinal = 0;
+    int bn_ordinal = 0;
+    int act_ordinal = 0;
+    int pool_ordinal = 0;
+    int fc_ordinal = 0;
     Shape current = input_shape_;
     Tensor* last_buffer = nullptr;  // most recent plan-owned buffer
 
@@ -45,6 +55,7 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
     for (std::size_t i = 0; i < graph.size(); ++i) {
         nn::Module& layer = graph.layer(i);
         Step step{};
+        obs::LayerProfile profile;
         if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
             step.kind = Step::Kind::conv;
             step.conv = conv;
@@ -60,6 +71,8 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
             if (scratch > workspace_bytes_) {
                 workspace_bytes_ = scratch;
             }
+            profile.name = "conv" + std::to_string(++conv_ordinal);
+            profile.workspace_bytes = scratch;
             // Conv consumes channel-level deadness (a fully-masked input
             // channel zeroes its K*K rows of the column matrix), which
             // both channel-only and full neuron-level provenance supply.
@@ -80,6 +93,7 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
                          "BatchNorm2d cannot be the first planned layer");
             step.kind = Step::Kind::batchnorm;
             step.bn = bn;
+            profile.name = "bn" + std::to_string(++bn_ordinal);
             // The affine shift maps zeros to nonzeros: deadness dies.
             upstream_site = nullptr;
         } else if (auto* site = dynamic_cast<ActivationSite*>(&layer)) {
@@ -87,11 +101,13 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
                          "ActivationSite cannot be the first planned layer");
             step.kind = Step::Kind::activation;
             step.site = site;
+            profile.name = "act" + std::to_string(++act_ordinal);
             upstream_site = site;
             upstream_channel_only = false;
         } else if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
             step.kind = Step::Kind::pool;
             step.pool = pool;
+            profile.name = "pool" + std::to_string(++pool_ordinal);
             step.buffer = Tensor(pool->output_shape(current));
             current = step.buffer.shape();
             // Pooling mixes neurons within a channel but a structurally
@@ -101,12 +117,14 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
             MIME_REQUIRE(last_buffer != nullptr,
                          "Flatten cannot be the first planned layer");
             step.kind = Step::Kind::flatten;
+            profile.name = "flatten";
             const std::int64_t features = current.numel() / batch_size;
             step.buffer = last_buffer->alias(Shape({batch_size, features}));
             current = step.buffer.shape();
         } else if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
             step.kind = Step::Kind::linear;
             step.linear = linear;
+            profile.name = "fc" + std::to_string(++fc_ordinal);
             if (upstream_site != nullptr) {
                 const ThresholdMask& mask = upstream_site->mask();
                 const std::int64_t channels = mask.activation_shape().dim(0);
@@ -140,6 +158,7 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
                                     layer.kind() + "'");
         }
         steps_.push_back(std::move(step));
+        profiles_.push_back(std::move(profile));
         if (steps_.back().buffer.shape().rank() != 0) {
             last_buffer = &steps_.back().buffer;
         }
@@ -169,9 +188,21 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
     }
 
     const bool sparse_enabled = network_->sparse_execution().enabled;
+    // Hoisted once per run: profiling costs one branch per step when
+    // off, two steady_clock reads per step when on.
+    const bool profiling = network_->plan_profiling();
     const Tensor* cur = &input;
     Tensor* cur_mut = nullptr;  // null while cur is the caller's input
-    for (Step& step : steps_) {
+    for (std::size_t si = 0; si < steps_.size(); ++si) {
+        Step& step = steps_[si];
+        std::chrono::steady_clock::time_point step_begin;
+        std::uint64_t skipped_before = 0;
+        std::uint64_t dense_before = 0;
+        if (profiling) {
+            skipped_before = skipped_macs_;
+            dense_before = dense_macs_;
+            step_begin = std::chrono::steady_clock::now();
+        }
         switch (step.kind) {
             case Step::Kind::conv: {
                 dense_macs_ += step.mac_per_k * step.k_total;
@@ -255,6 +286,18 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
                 cur = cur_mut = &step.buffer;
                 break;
             }
+        }
+        if (profiling) {
+            obs::LayerProfile& profile = profiles_[si];
+            ++profile.runs;
+            profile.total_us +=
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - step_begin)
+                    .count();
+            profile.skipped_macs +=
+                static_cast<std::int64_t>(skipped_macs_ - skipped_before);
+            profile.dense_macs +=
+                static_cast<std::int64_t>(dense_macs_ - dense_before);
         }
     }
     return *cur;

@@ -44,6 +44,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/profile.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -98,6 +99,15 @@ public:
     /// (the denominator for a skipped-MAC fraction).
     std::uint64_t dense_macs() const noexcept { return dense_macs_; }
 
+    /// Per-step cost profiles (one per plan step, named conv1/bn1/act1/
+    /// pool1/.../fc3). runs/total_us/MAC fields accumulate only while
+    /// the owning network's plan profiling is enabled
+    /// (MimeNetwork::set_plan_profiling); names and workspace bytes are
+    /// filled at build time either way.
+    const std::vector<obs::LayerProfile>& profiles() const noexcept {
+        return profiles_;
+    }
+
 private:
     struct Step {
         enum class Kind {
@@ -142,6 +152,7 @@ private:
     Shape input_shape_;
     Tensor input_slab_;
     std::vector<Step> steps_;
+    std::vector<obs::LayerProfile> profiles_;  ///< parallel to steps_
     std::size_t workspace_bytes_ = 0;
     std::size_t buffer_bytes_ = 0;
     std::uint64_t sparse_hits_ = 0;

@@ -1,5 +1,7 @@
 #include "core/mime_network.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "core/forward_plan.h"
 
@@ -219,6 +221,29 @@ std::uint64_t MimeNetwork::planned_dense_macs() const {
         n += plan->dense_macs();
     }
     return n;
+}
+
+std::vector<obs::LayerProfile> MimeNetwork::planned_layer_profiles() const {
+    std::vector<obs::LayerProfile> merged;
+    for (const auto& [batch, plan] : plans_) {
+        const std::vector<obs::LayerProfile>& profiles = plan->profiles();
+        if (merged.empty()) {
+            merged = profiles;
+            continue;
+        }
+        // Every plan schedules the same Sequential, so step index i is
+        // the same layer in every plan.
+        for (std::size_t i = 0;
+             i < merged.size() && i < profiles.size(); ++i) {
+            merged[i].runs += profiles[i].runs;
+            merged[i].total_us += profiles[i].total_us;
+            merged[i].skipped_macs += profiles[i].skipped_macs;
+            merged[i].dense_macs += profiles[i].dense_macs;
+            merged[i].workspace_bytes = std::max(
+                merged[i].workspace_bytes, profiles[i].workspace_bytes);
+        }
+    }
+    return merged;
 }
 
 void MimeNetwork::set_pool(ThreadPool* pool) {

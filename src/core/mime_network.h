@@ -11,6 +11,7 @@
 
 #include "arch/vgg.h"
 #include "core/threshold_mask.h"
+#include "obs/profile.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/layers.h"
@@ -155,6 +156,20 @@ public:
     std::uint64_t planned_skipped_macs() const;
     std::uint64_t planned_dense_macs() const;
 
+    /// Enables per-step wall-time / MAC profiling inside every planned
+    /// run (see ForwardPlan::profiles). Off by default: when off, runs
+    /// pay one branch per step; when on, two steady_clock reads per
+    /// step.
+    void set_plan_profiling(bool enabled) noexcept {
+        plan_profiling_ = enabled;
+    }
+    bool plan_profiling() const noexcept { return plan_profiling_; }
+    /// Per-step profiles merged across every cached plan (step index
+    /// aligns across batch sizes because every plan walks the same
+    /// Sequential): runs / wall time / MACs sum; workspace bytes take
+    /// the max over plans.
+    std::vector<obs::LayerProfile> planned_layer_profiles() const;
+
     /// Sets train/eval mode. While the backbone is frozen, BatchNorm
     /// layers stay in inference mode even during threshold training so
     /// their running statistics — part of W_parent — never drift.
@@ -273,6 +288,7 @@ private:
     ActivationMode mode_ = ActivationMode::relu;
     bool backbone_frozen_ = false;
     bool eval_mode_ = false;
+    bool plan_profiling_ = false;
     SparseExecution sparse_execution_{};
     /// Plans keyed by batch size, built lazily by plan_for(). Plans
     /// hold pointers into network_'s modules, so they live (and die)

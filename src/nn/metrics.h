@@ -1,4 +1,9 @@
-// Classification metrics beyond plain accuracy.
+// Classification metrics beyond plain accuracy (confusion matrices,
+// per-class precision/recall — *model quality* measures).
+//
+// Not to be confused with src/obs/metrics.h, which is the runtime
+// metrics registry (counters/gauges/histograms for *serving
+// observability*).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,113 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mime::obs {
+
+namespace {
+
+std::string format_double(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+Json metrics_to_json(const std::vector<MetricSnapshot>& snapshot) {
+    Json root;
+    for (const MetricSnapshot& metric : snapshot) {
+        switch (metric.type) {
+            case MetricType::counter:
+                root.set(metric.name,
+                         static_cast<std::int64_t>(metric.value));
+                break;
+            case MetricType::gauge:
+                root.set(metric.name, metric.value);
+                break;
+            case MetricType::histogram: {
+                Json hist;
+                hist.set("count", metric.count);
+                hist.set("sum", metric.sum);
+                std::vector<Json> buckets;
+                std::int64_t cumulative = 0;
+                for (std::size_t i = 0; i < metric.bucket_counts.size();
+                     ++i) {
+                    cumulative += metric.bucket_counts[i];
+                    Json bucket;
+                    bucket.set("le",
+                               i < metric.bucket_upper_bounds.size()
+                                   ? format_double(
+                                         metric.bucket_upper_bounds[i])
+                                   : std::string("+Inf"));
+                    bucket.set("count", cumulative);
+                    buckets.push_back(std::move(bucket));
+                }
+                hist.set("buckets", std::move(buckets));
+                root.set(metric.name, std::move(hist));
+                break;
+            }
+        }
+    }
+    return root;
+}
+
+std::string metrics_to_prometheus(
+    const std::vector<MetricSnapshot>& snapshot) {
+    std::string out;
+    for (const MetricSnapshot& metric : snapshot) {
+        const std::string name = prometheus_name(metric.name);
+        if (!metric.help.empty()) {
+            out += "# HELP " + name + " " + metric.help + "\n";
+        }
+        out += "# TYPE " + name + " ";
+        out += to_string(metric.type);
+        out += "\n";
+        switch (metric.type) {
+            case MetricType::counter:
+                out += name + " " +
+                       std::to_string(
+                           static_cast<std::int64_t>(metric.value)) +
+                       "\n";
+                break;
+            case MetricType::gauge:
+                out += name + " " + format_double(metric.value) + "\n";
+                break;
+            case MetricType::histogram: {
+                std::int64_t cumulative = 0;
+                for (std::size_t i = 0; i < metric.bucket_counts.size();
+                     ++i) {
+                    cumulative += metric.bucket_counts[i];
+                    const std::string le =
+                        i < metric.bucket_upper_bounds.size()
+                            ? format_double(metric.bucket_upper_bounds[i])
+                            : std::string("+Inf");
+                    out += name + "_bucket{le=\"" + le + "\"} " +
+                           std::to_string(cumulative) + "\n";
+                }
+                out += name + "_sum " + format_double(metric.sum) + "\n";
+                out += name + "_count " + std::to_string(metric.count) +
+                       "\n";
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mime::obs

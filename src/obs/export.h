@@ -1,0 +1,30 @@
+// Exporters for MetricsRegistry snapshots: a JSON tree (mime::Json,
+// the same ordered writer bench artifacts use) and a Prometheus text
+// exposition dump. Both operate on the plain-struct snapshot, so they
+// never touch live atomics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace mime::obs {
+
+/// Sanitizes a metric name to the Prometheus charset [a-zA-Z0-9_:]
+/// ('.' and any other character become '_'; a leading digit gains a
+/// '_' prefix).
+std::string prometheus_name(const std::string& name);
+
+/// One JSON object keyed by metric name. Counters/gauges map to their
+/// value; histograms to {count, sum, buckets:[{le, count}...]} with
+/// cumulative bucket counts and a final le="+Inf".
+Json metrics_to_json(const std::vector<MetricSnapshot>& snapshot);
+
+/// Prometheus text exposition format: "# HELP" / "# TYPE" headers,
+/// cumulative `_bucket{le="..."}` series plus `_sum` / `_count` for
+/// histograms.
+std::string metrics_to_prometheus(const std::vector<MetricSnapshot>& snapshot);
+
+}  // namespace mime::obs

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include "common/check.h"
+
+namespace mime::obs {
+
+const char* to_string(MetricType type) {
+    switch (type) {
+        case MetricType::counter:
+            return "counter";
+        case MetricType::gauge:
+            return "gauge";
+        case MetricType::histogram:
+            return "histogram";
+    }
+    return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::int64_t>[upper_bounds_.size() + 1]) {
+    MIME_REQUIRE(!upper_bounds_.empty(),
+                 "histogram needs at least one bucket bound");
+    for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+        MIME_REQUIRE(upper_bounds_[i - 1] < upper_bounds_[i],
+                     "histogram bounds must be strictly increasing");
+    }
+    for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void Histogram::observe(double value) noexcept {
+    std::size_t bucket = upper_bounds_.size();  // +inf overflow
+    for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+        if (value <= upper_bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::int64_t Histogram::bucket_count(std::size_t bucket) const noexcept {
+    if (bucket > upper_bounds_.size()) {
+        return 0;
+    }
+    return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find_locked(
+    const std::string& name, MetricType type) const {
+    const auto it = index_.find(name);
+    if (it == index_.end()) {
+        return nullptr;
+    }
+    const Entry& entry = entries_[it->second];
+    MIME_REQUIRE(entry.type == type,
+                 "metric '" + name + "' already registered as " +
+                     to_string(entry.type) + ", requested as " +
+                     to_string(type));
+    return &entry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Entry* existing = find_locked(name, MetricType::counter)) {
+        return *existing->counter;
+    }
+    Counter& handle = counters_.emplace_back();
+    index_[name] = entries_.size();
+    entries_.push_back({name, help, MetricType::counter, &handle, nullptr,
+                        nullptr});
+    return handle;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Entry* existing = find_locked(name, MetricType::gauge)) {
+        return *existing->gauge;
+    }
+    Gauge& handle = gauges_.emplace_back();
+    index_[name] = entries_.size();
+    entries_.push_back({name, help, MetricType::gauge, nullptr, &handle,
+                        nullptr});
+    return handle;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const Entry* existing = find_locked(name, MetricType::histogram)) {
+        return *existing->histogram;
+    }
+    Histogram& handle = histograms_.emplace_back(std::move(upper_bounds));
+    index_[name] = entries_.size();
+    entries_.push_back({name, help, MetricType::histogram, nullptr, nullptr,
+                        &handle});
+    return handle;
+}
+
+std::size_t MetricsRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSnapshot> result;
+    result.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+        MetricSnapshot snap;
+        snap.name = entry.name;
+        snap.help = entry.help;
+        snap.type = entry.type;
+        switch (entry.type) {
+            case MetricType::counter:
+                snap.value = static_cast<double>(entry.counter->value());
+                break;
+            case MetricType::gauge:
+                snap.value = entry.gauge->value();
+                break;
+            case MetricType::histogram: {
+                const Histogram& h = *entry.histogram;
+                snap.bucket_upper_bounds = h.upper_bounds();
+                snap.bucket_counts.reserve(h.upper_bounds().size() + 1);
+                for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+                    snap.bucket_counts.push_back(h.bucket_count(i));
+                }
+                snap.count = h.count();
+                snap.sum = h.sum();
+                break;
+            }
+        }
+        result.push_back(std::move(snap));
+    }
+    return result;
+}
+
+}  // namespace mime::obs

@@ -1,0 +1,170 @@
+// Runtime metrics registry for the serving stack.
+//
+// (Not to be confused with src/nn/metrics.h, which computes
+// *model-quality* metrics — confusion matrices, per-class recall. This
+// file is the *runtime* side: counters, gauges and histograms describing
+// what the serving process is doing.)
+//
+// The registry is lock-light by construction: registration (naming a
+// metric, choosing histogram buckets) takes a mutex once, returns a
+// stable handle, and from then on the hot path is a relaxed atomic add
+// on that handle — no lock, no lookup, no allocation. Handles live in
+// deques owned by the registry, so they stay valid for the registry's
+// lifetime no matter how many metrics are registered after them.
+//
+// Three metric types, mirroring the Prometheus data model so the
+// exporters in src/obs/export.h are a direct mapping:
+//   * Counter   — monotonically increasing int64 (requests served).
+//   * Gauge     — last-write-wins double (workspace high-water bytes).
+//   * Histogram — fixed upper-bound buckets chosen at registration,
+//                 plus exact count and sum (batch sizes, latencies).
+//
+// snapshot() reads every metric with atomic loads and returns plain
+// structs; it never blocks writers. A snapshot is per-metric consistent
+// (each value is a real value that metric held), not cross-metric
+// atomic — the same contract scrapers get from any live process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mime::obs {
+
+/// Monotonically increasing counter. add() is a relaxed atomic add —
+/// safe from any thread, never locks.
+class Counter {
+public:
+    void add(std::int64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::int64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. set()/add() are atomic; add()
+/// uses a CAS loop so it stays portable to libstdc++ versions without
+/// atomic<double>::fetch_add.
+class Gauge {
+public:
+    void set(double value) noexcept {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    void add(double delta) noexcept {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` (strictly increasing) are
+/// chosen once at registration; an implicit +inf bucket catches the
+/// rest. observe() is a short scan over the bounds plus relaxed atomic
+/// adds — no lock, no allocation.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void observe(double value) noexcept;
+
+    const std::vector<double>& upper_bounds() const noexcept {
+        return upper_bounds_;
+    }
+    /// Per-bucket (non-cumulative) count; index upper_bounds().size()
+    /// is the +inf overflow bucket.
+    std::int64_t bucket_count(std::size_t bucket) const noexcept;
+    std::int64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+private:
+    std::vector<double> upper_bounds_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  // bounds + 1
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+enum class MetricType { counter, gauge, histogram };
+
+const char* to_string(MetricType type);
+
+/// Plain-struct copy of one metric, as returned by
+/// MetricsRegistry::snapshot(). For histograms, `bucket_counts` are
+/// per-bucket (non-cumulative) with the +inf bucket last.
+struct MetricSnapshot {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::counter;
+    double value = 0.0;  ///< counter / gauge reading
+    std::vector<double> bucket_upper_bounds;
+    std::vector<std::int64_t> bucket_counts;
+    std::int64_t count = 0;  ///< histogram observation count
+    double sum = 0.0;        ///< histogram observation sum
+};
+
+/// Named registry of counters / gauges / histograms. Register handles
+/// once (construction time), hammer them from hot paths lock-free,
+/// snapshot from any thread. Registering an existing name returns the
+/// same handle; re-registering under a different type is a caller bug
+/// (check_error).
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name, const std::string& help = "");
+    Gauge& gauge(const std::string& name, const std::string& help = "");
+    /// `upper_bounds` must be strictly increasing and non-empty; they
+    /// are fixed for the metric's lifetime (a second registration of
+    /// the same name ignores the bounds argument).
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds,
+                         const std::string& help = "");
+
+    std::size_t size() const;
+    /// Reads every metric (atomic loads; writers never block) in
+    /// registration order.
+    std::vector<MetricSnapshot> snapshot() const;
+
+private:
+    struct Entry {
+        std::string name;
+        std::string help;
+        MetricType type;
+        Counter* counter = nullptr;
+        Gauge* gauge = nullptr;
+        Histogram* histogram = nullptr;
+    };
+
+    const Entry* find_locked(const std::string& name, MetricType type) const;
+
+    mutable std::mutex mutex_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+    std::vector<Entry> entries_;  ///< registration order
+    std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace mime::obs

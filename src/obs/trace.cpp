@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace mime::obs {
+
+const char* to_string(SpanKind kind) {
+    switch (kind) {
+        case SpanKind::admission:
+            return "admission";
+        case SpanKind::queue_wait:
+            return "queue_wait";
+        case SpanKind::batch_form:
+            return "batch_form";
+        case SpanKind::threshold_swap:
+            return "threshold_swap";
+        case SpanKind::forward:
+            return "forward";
+        case SpanKind::delivery:
+            return "delivery";
+    }
+    return "unknown";
+}
+
+const Span* Trace::find(SpanKind kind) const {
+    for (const Span& span : spans_) {
+        if (span.kind == kind) {
+            return &span;
+        }
+    }
+    return nullptr;
+}
+
+bool Trace::ordered() const {
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+        if (spans_[i].end < spans_[i].begin) {
+            return false;
+        }
+        if (i > 0 && spans_[i].kind <= spans_[i - 1].kind) {
+            return false;
+        }
+        if (i > 0 && spans_[i].begin < spans_[i - 1].begin) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double Trace::total_us() const {
+    if (spans_.empty()) {
+        return 0.0;
+    }
+    return std::chrono::duration<double, std::micro>(spans_.back().end -
+                                                     spans_.front().begin)
+        .count();
+}
+
+std::string Trace::to_string() const {
+    std::string out;
+    for (const Span& span : spans_) {
+        char line[96];
+        std::snprintf(line, sizeof(line), "%s %.1fus\n",
+                      obs::to_string(span.kind), span.duration_us());
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace mime::obs

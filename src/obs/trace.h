@@ -1,0 +1,118 @@
+// Per-request tracing for the serving stack.
+//
+// A Trace is an ordered list of monotonic-clock spans recording where a
+// request spent its life: admission checks, queue wait, batch forming,
+// threshold swap, forward pass, delivery. Traces are attached to a
+// request at submit time (either forced via SubmitOptions::trace or
+// picked by a TraceSampler) and handed back read-only on the
+// RequestTicket once the outcome is delivered.
+//
+// Thread-safety contract: a Trace is written single-writer-at-a-time —
+// the submitting thread records the admission span *before* the request
+// is enqueued, the dispatch thread records the remaining spans, and the
+// client reads only after the outcome is delivered. Each hand-off
+// (queue mutex, promise fulfilment) establishes happens-before, so the
+// spans need no atomics and TSan agrees.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mime::obs {
+
+/// Monotonic clock used for all span timestamps (same epoch as
+/// serve::Clock so span boundaries line up with deadlines).
+using TraceClock = std::chrono::steady_clock;
+
+/// Lifecycle stages a request moves through. Values are ordered as the
+/// stages occur; a complete successful trace records each exactly once
+/// in this order.
+enum class SpanKind : std::uint8_t {
+    admission,       ///< envelope + admission checks, up to queue push
+    queue_wait,      ///< sitting in the bounded request queue
+    batch_form,      ///< inside TaskBatcher until its batch is closed
+    threshold_swap,  ///< install_task: hydrate + per-task threshold swap
+    forward,         ///< planned forward pass (plus simulated service)
+    delivery,        ///< building + delivering the outcome
+};
+
+const char* to_string(SpanKind kind);
+
+/// One timed stage: [begin, end] on the monotonic clock.
+struct Span {
+    SpanKind kind = SpanKind::admission;
+    TraceClock::time_point begin{};
+    TraceClock::time_point end{};
+
+    double duration_us() const {
+        return std::chrono::duration<double, std::micro>(end - begin).count();
+    }
+};
+
+/// Ordered span timeline for one request. record() appends; spans()
+/// returns them in recording order (which is lifecycle order for a
+/// request that completed normally).
+class Trace {
+public:
+    Trace() { spans_.reserve(8); }
+
+    void record(SpanKind kind, TraceClock::time_point begin,
+                TraceClock::time_point end) {
+        spans_.push_back(Span{kind, begin, end});
+    }
+
+    const std::vector<Span>& spans() const { return spans_; }
+    bool empty() const { return spans_.empty(); }
+
+    /// First span of the given kind, or nullptr if absent.
+    const Span* find(SpanKind kind) const;
+
+    /// True if spans are non-overlapping and in lifecycle order
+    /// (each span starts no earlier than the previous one began).
+    bool ordered() const;
+
+    /// Wall time from the first span's begin to the last span's end.
+    double total_us() const;
+
+    /// Human-readable one-line-per-span dump, e.g.
+    /// "queue_wait 123.4us".
+    std::string to_string() const;
+
+private:
+    std::vector<Span> spans_;
+};
+
+/// Decides which requests get a trace. Deterministic rate sampling:
+/// with rate r, request n is sampled iff floor((n+1)*r) > floor(n*r),
+/// which picks an evenly spaced r-fraction of requests with no RNG —
+/// run-to-run stable, and a single relaxed fetch_add per call.
+class TraceSampler {
+public:
+    explicit TraceSampler(double rate) : rate_(rate) {}
+
+    /// Rates <= 0 never sample (and skip the atomic entirely);
+    /// rates >= 1 always sample.
+    bool sample() noexcept {
+        if (rate_ <= 0.0) {
+            return false;
+        }
+        if (rate_ >= 1.0) {
+            return true;
+        }
+        const auto n = static_cast<double>(
+            count_.fetch_add(1, std::memory_order_relaxed));
+        return static_cast<std::int64_t>((n + 1.0) * rate_) >
+               static_cast<std::int64_t>(n * rate_);
+    }
+
+    double rate() const noexcept { return rate_; }
+
+private:
+    double rate_;
+    std::atomic<std::int64_t> count_{0};
+};
+
+}  // namespace mime::obs

@@ -36,6 +36,7 @@ std::string ServerStats::to_table_string() const {
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+    aggregate.add_row({"latency p99.9 (us)", Table::num(p999_latency_us, 1)});
     aggregate.add_row({"interactive done/p95 (us)",
                        std::to_string(interactive.completed) + " / " +
                            Table::num(interactive.p95_latency_us, 1)});
@@ -77,7 +78,49 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
       pool_(config.worker_threads),
       queue_(config.queue_capacity),
       batcher_(config.batcher),
-      cache_(config.cache_capacity, std::move(loader)) {
+      cache_(config.cache_capacity, std::move(loader)),
+      sampler_(config.trace_sample_rate),
+      served_(registry_.counter("serve.requests_served",
+                                "requests completed with a result")),
+      failed_(registry_.counter("serve.requests_failed",
+                                "requests failed by a batch error")),
+      deadline_expired_(registry_.counter(
+          "serve.deadline_expired", "requests reaped past their deadline")),
+      cancelled_(registry_.counter("serve.cancelled",
+                                   "requests whose cancel won the race")),
+      batches_run_(registry_.counter("serve.batches_run",
+                                     "forward batches executed")),
+      lane_completed_interactive_(registry_.counter(
+          "serve.interactive_completed",
+          "interactive-lane requests served ok")),
+      lane_completed_batch_(registry_.counter(
+          "serve.batch_completed", "batch-lane requests served ok")),
+      threshold_swaps_gauge_(registry_.gauge(
+          "serve.threshold_swaps", "per-task threshold installs")),
+      workspace_peak_gauge_(registry_.gauge(
+          "serve.workspace_peak_bytes", "planned scratch high-water mark")),
+      plan_buffers_gauge_(registry_.gauge(
+          "serve.plan_buffer_bytes", "plan-owned activation buffer bytes")),
+      cache_hits_gauge_(registry_.gauge("serve.cache_hits",
+                                        "threshold cache hits")),
+      cache_misses_gauge_(registry_.gauge("serve.cache_misses",
+                                          "threshold cache misses")),
+      cache_evictions_gauge_(registry_.gauge("serve.cache_evictions",
+                                             "threshold cache evictions")),
+      sparse_hits_gauge_(registry_.gauge(
+          "serve.sparse_path_hits",
+          "planned steps that ran row-compacted sparse")),
+      skipped_macs_gauge_(registry_.gauge(
+          "serve.skipped_macs", "MACs skipped by sparse execution")),
+      dense_macs_gauge_(registry_.gauge(
+          "serve.dense_equivalent_macs",
+          "dense-equivalent MACs of planned steps run")),
+      batch_size_hist_(registry_.histogram(
+          "serve.batch_size", {1, 2, 4, 8, 16, 32}, "formed batch sizes")),
+      latency_hist_(registry_.histogram(
+          "serve.latency_us",
+          {100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000},
+          "request latency, enqueue to completion (us)")) {
     network_->set_training(false);
     // The planned executor needs eval-mode forwards (no backward-only
     // caches); the legacy path keeps the network's previous cache
@@ -87,6 +130,7 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
     network_->set_pool(&pool_);
     network_->set_sparse_execution(
         {config.sparse_execution, config.sparse_density_cutoff});
+    network_->set_plan_profiling(config.profile_layers);
     dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -94,14 +138,15 @@ InferenceServer::~InferenceServer() { stop(); }
 
 RequestTicket InferenceServer::submit(const std::string& task, Tensor image,
                                       SubmitOptions options) {
-    return submit_impl(task, std::move(image), std::move(options), nullptr);
+    return submit_impl(task, std::move(image), std::move(options), nullptr,
+                       /*envelope_checked=*/false, /*trace=*/nullptr,
+                       /*admission_start=*/Clock::now());
 }
 
-RequestTicket InferenceServer::submit_impl(const std::string& task,
-                                           Tensor image,
-                                           SubmitOptions options,
-                                           bool* accepted,
-                                           bool envelope_checked) {
+RequestTicket InferenceServer::submit_impl(
+    const std::string& task, Tensor image, SubmitOptions options,
+    bool* accepted, bool envelope_checked, std::shared_ptr<obs::Trace> trace,
+    Clock::time_point admission_start) {
     if (accepted != nullptr) {
         *accepted = false;
     }
@@ -111,6 +156,12 @@ RequestTicket InferenceServer::submit_impl(const std::string& task,
             return reject(options, ServeStatus::invalid_request,
                           std::move(*error));
         }
+    }
+    // Callers that pre-checked the envelope (the pool) own the sampling
+    // decision; otherwise this replica's sampler decides.
+    if (trace == nullptr && !envelope_checked &&
+        (options.trace || sampler_.sample())) {
+        trace = std::make_shared<obs::Trace>();
     }
 
     InferenceRequest request;
@@ -142,6 +193,15 @@ RequestTicket InferenceServer::submit_impl(const std::string& task,
     request.id = *id;
     std::shared_ptr<RequestControl> control = request.control;
 
+    // Record admission *before* the queue push: after the push the
+    // dispatch thread owns the trace (the queue mutex is the hand-off),
+    // so this is the submitter's last write.
+    if (trace != nullptr) {
+        trace->record(obs::SpanKind::admission, admission_start,
+                      Clock::now());
+        request.trace = trace;
+    }
+
     if (!queue_.push(std::move(request))) {
         // Raced with stop(): un-count the request so drain() still
         // terminates, then deliver the rejection.
@@ -154,7 +214,8 @@ RequestTicket InferenceServer::submit_impl(const std::string& task,
     if (accepted != nullptr) {
         *accepted = true;
     }
-    return RequestTicket(*id, std::move(control), std::move(future));
+    return RequestTicket(*id, std::move(control), std::move(future),
+                         std::move(trace));
 }
 
 void InferenceServer::drain() { state_.drain(); }
@@ -177,6 +238,12 @@ void InferenceServer::dispatch_loop() {
             batcher_.next_deadline().value_or(Clock::now() + kIdleTick);
         std::vector<InferenceRequest> arrived = queue_.drain_until(deadline);
         for (InferenceRequest& request : arrived) {
+            if (request.trace != nullptr) {
+                const Clock::time_point drained = Clock::now();
+                request.trace->record(obs::SpanKind::queue_wait,
+                                      request.enqueue_time, drained);
+                request.batcher_add_time = drained;
+            }
             batcher_.add(std::move(request));
         }
         // Once the queue is closed no more requests can arrive; flush
@@ -204,13 +271,20 @@ void InferenceServer::dispatch_loop() {
 
 void InferenceServer::fail_request(InferenceRequest request,
                                    ServeStatus status, std::string message) {
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        if (status == ServeStatus::deadline_exceeded) {
-            ++deadline_expired_;
-        } else if (status == ServeStatus::cancelled) {
-            ++cancelled_;
+    if (status == ServeStatus::deadline_exceeded) {
+        deadline_expired_.add();
+    } else if (status == ServeStatus::cancelled) {
+        cancelled_.add();
+    }
+    if (request.trace != nullptr) {
+        // Reaped at batch-forming: time in the batcher, then straight to
+        // failure delivery — no swap/forward spans.
+        const Clock::time_point reaped = Clock::now();
+        if (request.batcher_add_time != Clock::time_point{}) {
+            request.trace->record(obs::SpanKind::batch_form,
+                                  request.batcher_add_time, reaped);
         }
+        request.trace->record(obs::SpanKind::delivery, reaped, reaped);
     }
     // Deliver before completing the accounting so drain() returning
     // implies every outcome (callback or future) has been delivered.
@@ -247,8 +321,19 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
     const Clock::time_point started = Clock::now();
     const std::size_t batch_size = batch.size();
     const std::string task = batch.front().task;
+    bool traced = false;
+    for (const InferenceRequest& request : batch) {
+        if (request.trace != nullptr) {
+            traced = true;
+            break;
+        }
+    }
     try {
         install_task(task);
+        // Untraced batches reuse `started` so they pay no extra clock
+        // read; the threshold_swap span is then only meaningful on
+        // traced batches.
+        const Clock::time_point installed = traced ? Clock::now() : started;
 
         // Planned path: stack request images into the plan's
         // preallocated input slab and execute against plan buffers +
@@ -323,33 +408,39 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             results.push_back(std::move(result));
         }
 
+        // Registry updates: relaxed atomic adds / sets, no lock. The
+        // gauges mirror the dispatch-thread-only counters (cache, swap,
+        // plan accounting) so stats() never races this thread.
+        served_.add(static_cast<std::int64_t>(batch.size()));
+        batches_run_.add();
+        batch_size_hist_.observe(static_cast<double>(batch.size()));
+        threshold_swaps_gauge_.set(static_cast<double>(threshold_swaps_));
+        workspace_peak_gauge_.set(
+            static_cast<double>(workspace_.peak_bytes()));
+        plan_buffers_gauge_.set(
+            static_cast<double>(network_->planned_buffer_bytes()));
+        cache_hits_gauge_.set(static_cast<double>(cache_.hits()));
+        cache_misses_gauge_.set(static_cast<double>(cache_.misses()));
+        cache_evictions_gauge_.set(
+            static_cast<double>(cache_.evictions()));
+        sparse_hits_gauge_.set(
+            static_cast<double>(network_->planned_sparse_hits()));
+        skipped_macs_gauge_.set(
+            static_cast<double>(network_->planned_skipped_macs()));
+        dense_macs_gauge_.set(
+            static_cast<double>(network_->planned_dense_macs()));
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
-            served_ += static_cast<std::int64_t>(batch.size());
-            ++batches_run_;
-            swaps_snapshot_ = threshold_swaps_;
-            workspace_peak_snapshot_ =
-                static_cast<std::int64_t>(workspace_.peak_bytes());
-            plan_buffers_snapshot_ =
-                static_cast<std::int64_t>(network_->planned_buffer_bytes());
-            cache_hits_snapshot_ = cache_.hits();
-            cache_misses_snapshot_ = cache_.misses();
-            cache_evictions_snapshot_ = cache_.evictions();
-            sparse_hits_snapshot_ =
-                static_cast<std::int64_t>(network_->planned_sparse_hits());
-            skipped_macs_snapshot_ =
-                static_cast<std::int64_t>(network_->planned_skipped_macs());
-            dense_macs_snapshot_ =
-                static_cast<std::int64_t>(network_->planned_dense_macs());
             for (std::size_t n = 0; n < batch.size(); ++n) {
                 const double latency = results[n].latency_us;
                 latency_.add(latency);
+                latency_hist_.observe(latency);
                 if (batch[n].priority == Priority::interactive) {
                     lane_latency_interactive_.add(latency);
-                    ++lane_completed_interactive_;
+                    lane_completed_interactive_.add();
                 } else {
                     lane_latency_batch_.add(latency);
-                    ++lane_completed_batch_;
+                    lane_completed_batch_.add();
                 }
             }
             TaskServeStats& ts = per_task_[task];
@@ -359,6 +450,28 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
                  batch_sparsity) /
                 static_cast<double>(ts.batches + 1);
             ++ts.batches;
+            if (config_.profile_layers) {
+                profiles_snapshot_ = network_->planned_layer_profiles();
+            }
+        }
+        // Traced requests get their dispatch-side spans written before
+        // delivery — delivery is the hand-off after which the client
+        // may read the trace.
+        if (traced) {
+            const Clock::time_point delivering = Clock::now();
+            for (InferenceRequest& request : batch) {
+                if (request.trace == nullptr) {
+                    continue;
+                }
+                request.trace->record(obs::SpanKind::batch_form,
+                                      request.batcher_add_time, started);
+                request.trace->record(obs::SpanKind::threshold_swap,
+                                      started, installed);
+                request.trace->record(obs::SpanKind::forward, installed,
+                                      finished);
+                request.trace->record(obs::SpanKind::delivery, finished,
+                                      delivering);
+            }
         }
         // Deliver outcomes after the serving stats above are consistent
         // (a client observing its result also observes it in stats()),
@@ -389,12 +502,16 @@ void InferenceServer::fail_batch(std::vector<InferenceRequest> batch,
     // Batch-level failures (corrupt adaptation, unknown task) are a
     // caller/deployment bug: surface them as structured invalid_request
     // outcomes, never an exception on this thread.
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++batches_run_;
-        failed_ += static_cast<std::int64_t>(batch.size());
-    }
+    batches_run_.add();
+    failed_.add(static_cast<std::int64_t>(batch.size()));
+    const Clock::time_point failed_at = Clock::now();
     for (InferenceRequest& request : batch) {
+        if (request.trace != nullptr) {
+            request.trace->record(obs::SpanKind::batch_form,
+                                  request.batcher_add_time, started);
+            request.trace->record(obs::SpanKind::delivery, started,
+                                  failed_at);
+        }
         request.deliver(Outcome<InferenceResult>(
             ServeStatus::invalid_request, message));
     }
@@ -430,60 +547,77 @@ ServerStats InferenceServer::stats() const {
     ServerStats stats;
     stats.throughput_rps = state_.throughput_rps();
 
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    // Terminal outcomes from the stats_mutex_ counters (all updated
-    // before delivery), not from state_ (which completes after delivery
-    // so drain() implies delivered): a client observing its result also
-    // observes it here, and requests_served can never exceed
-    // requests_completed in one snapshot.
+    // Counters and gauges come straight from the registry (all updated
+    // before delivery, so a client observing its result also observes
+    // it here). Read served/failed/expired/cancelled once each so the
+    // completed sum is consistent with the parts within this snapshot.
+    const std::int64_t served = served_.value();
+    const std::int64_t failed = failed_.value();
+    stats.requests_served = served;
+    stats.deadline_expired = deadline_expired_.value();
+    stats.cancelled = cancelled_.value();
     stats.requests_completed =
-        served_ + failed_ + deadline_expired_ + cancelled_;
-    stats.requests_served = served_;
-    stats.deadline_expired = deadline_expired_;
-    stats.cancelled = cancelled_;
-    stats.batches_run = batches_run_;
-    stats.threshold_swaps = swaps_snapshot_;
-    stats.workspace_peak_bytes = workspace_peak_snapshot_;
-    stats.plan_buffer_bytes = plan_buffers_snapshot_;
-    stats.cache_hits = cache_hits_snapshot_;
-    stats.cache_misses = cache_misses_snapshot_;
-    stats.cache_evictions = cache_evictions_snapshot_;
-    stats.sparse_path_hits = sparse_hits_snapshot_;
-    stats.skipped_macs = skipped_macs_snapshot_;
-    stats.dense_equivalent_macs = dense_macs_snapshot_;
+        served + failed + stats.deadline_expired + stats.cancelled;
+    stats.batches_run = batches_run_.value();
+    stats.threshold_swaps =
+        static_cast<std::int64_t>(threshold_swaps_gauge_.value());
+    stats.workspace_peak_bytes =
+        static_cast<std::int64_t>(workspace_peak_gauge_.value());
+    stats.plan_buffer_bytes =
+        static_cast<std::int64_t>(plan_buffers_gauge_.value());
+    stats.cache_hits = static_cast<std::int64_t>(cache_hits_gauge_.value());
+    stats.cache_misses =
+        static_cast<std::int64_t>(cache_misses_gauge_.value());
+    stats.cache_evictions =
+        static_cast<std::int64_t>(cache_evictions_gauge_.value());
+    stats.sparse_path_hits =
+        static_cast<std::int64_t>(sparse_hits_gauge_.value());
+    stats.skipped_macs =
+        static_cast<std::int64_t>(skipped_macs_gauge_.value());
+    stats.dense_equivalent_macs =
+        static_cast<std::int64_t>(dense_macs_gauge_.value());
     stats.skipped_mac_fraction =
-        dense_macs_snapshot_ > 0
-            ? static_cast<double>(skipped_macs_snapshot_) /
-                  static_cast<double>(dense_macs_snapshot_)
+        stats.dense_equivalent_macs > 0
+            ? static_cast<double>(stats.skipped_macs) /
+                  static_cast<double>(stats.dense_equivalent_macs)
             : 0.0;
     // Numerator counts every request that rode in a batch (served or
     // failed with it) so a failed batch does not understate the mean.
     stats.mean_batch_size =
-        batches_run_ > 0 ? static_cast<double>(served_ + failed_) /
-                               static_cast<double>(batches_run_)
-                         : 0.0;
+        stats.batches_run > 0
+            ? static_cast<double>(served + failed) /
+                  static_cast<double>(stats.batches_run)
+            : 0.0;
+    stats.interactive.completed = lane_completed_interactive_.value();
+    stats.batch.completed = lane_completed_batch_.value();
+
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     stats.mean_latency_us = latency_.mean();
     if (latency_.count() > 0) {
         const LatencyRecorder::Summary quantiles = latency_.summary();
         stats.p50_latency_us = quantiles.p50;
         stats.p95_latency_us = quantiles.p95;
         stats.p99_latency_us = quantiles.p99;
+        stats.p999_latency_us = quantiles.p999;
         stats.max_latency_us = latency_.max();
     }
-    stats.interactive.completed = lane_completed_interactive_;
     if (lane_latency_interactive_.count() > 0) {
         const LatencyRecorder::Summary lane =
             lane_latency_interactive_.summary();
         stats.interactive.p50_latency_us = lane.p50;
         stats.interactive.p95_latency_us = lane.p95;
+        stats.interactive.p99_latency_us = lane.p99;
+        stats.interactive.p999_latency_us = lane.p999;
     }
-    stats.batch.completed = lane_completed_batch_;
     if (lane_latency_batch_.count() > 0) {
         const LatencyRecorder::Summary lane = lane_latency_batch_.summary();
         stats.batch.p50_latency_us = lane.p50;
         stats.batch.p95_latency_us = lane.p95;
+        stats.batch.p99_latency_us = lane.p99;
+        stats.batch.p999_latency_us = lane.p999;
     }
     stats.per_task = per_task_;
+    stats.layer_profiles = profiles_snapshot_;
     return stats;
 }
 

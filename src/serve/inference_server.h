@@ -29,6 +29,9 @@
 
 #include "common/thread_pool.h"
 #include "core/mime_network.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/latency_stats.h"
 #include "serve/request.h"
@@ -80,6 +83,16 @@ struct ServerConfig {
     bool sparse_execution = true;
     /// Density above which sparse-capable layers run dense anyway.
     double sparse_density_cutoff = nn::kDefaultSparseDensityCutoff;
+    /// Fraction of requests that get a span Trace (0 = only requests
+    /// with SubmitOptions::trace set, 1 = all). Deterministic rate
+    /// sampling (see obs::TraceSampler); untraced requests pay one
+    /// branch.
+    double trace_sample_rate = 0.0;
+    /// Record per-layer wall time / skipped-MAC / workspace profiles in
+    /// ForwardPlan::run (see ServerStats::layer_profiles). One
+    /// steady_clock read per plan step per batch when on; a single
+    /// branch per step when off.
+    bool profile_layers = false;
 };
 
 /// Per-task aggregate serving statistics.
@@ -107,6 +120,7 @@ struct ServerStats {
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     double max_latency_us = 0.0;
     /// Completed requests per wall-clock second between the first
     /// enqueue and the last completion (0 for a zero-length window).
@@ -129,6 +143,9 @@ struct ServerStats {
     /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
     double skipped_mac_fraction = 0.0;
     std::map<std::string, TaskServeStats> per_task;
+    /// Per-plan-step cost profiles, populated only when
+    /// ServerConfig::profile_layers is on (empty otherwise).
+    std::vector<obs::LayerProfile> layer_profiles;
 
     /// Renders the aggregate + per-task rows via common/table.
     std::string to_table_string() const;
@@ -166,7 +183,17 @@ public:
     void stop() override;
 
     ServiceStats service_stats() const override;
+    /// Compatibility view over the metrics registry (plus the
+    /// reservoir-backed latency quantiles and per-task table, which
+    /// live outside it).
     ServerStats stats() const;
+
+    /// The underlying runtime metrics ("serve.*" counters / gauges /
+    /// histograms); snapshot() + obs/export.h turn this into JSON or
+    /// Prometheus text.
+    const obs::MetricsRegistry& metrics() const noexcept {
+        return registry_;
+    }
 
     /// Snapshot of the latency reservoir; pool-wide percentiles merge
     /// these across replicas (see LatencyRecorder::merge).
@@ -186,10 +213,16 @@ private:
     /// submissions deliver their failure outcome without touching the
     /// drain/completion accounting; the pool unwinds its own bookkeeping
     /// off this flag. `envelope_checked` skips re-validation for callers
-    /// (the pool) that already ran envelope_error on this request.
+    /// (the pool) that already ran envelope_error on this request; such
+    /// callers also own the sampling decision and pass their `trace`
+    /// (or null) plus the time their front door was entered, so the
+    /// admission span covers pool admission + routing. Local callers
+    /// leave `trace` null and this replica's sampler decides.
     RequestTicket submit_impl(const std::string& task, Tensor image,
                               SubmitOptions options, bool* accepted,
-                              bool envelope_checked = false);
+                              bool envelope_checked = false,
+                              std::shared_ptr<obs::Trace> trace = nullptr,
+                              Clock::time_point admission_start = {});
 
     void dispatch_loop();
     void run_batch(std::vector<InferenceRequest> batch);
@@ -221,29 +254,42 @@ private:
     /// — the bookkeeping shared with ServerPool via ServiceState.
     ServiceState state_;
 
+    /// Runtime metrics. Handles below are registered once in the
+    /// constructor; the hot path (dispatch thread, submitters) touches
+    /// them with relaxed atomic adds only. ServerStats is assembled
+    /// from these — what used to be a dozen mutex-guarded counters and
+    /// their "snapshot" shadows.
+    obs::MetricsRegistry registry_;
+    obs::TraceSampler sampler_;
+    obs::Counter& served_;            ///< ok results delivered
+    obs::Counter& failed_;            ///< batch-error outcomes
+    obs::Counter& deadline_expired_;
+    obs::Counter& cancelled_;
+    obs::Counter& batches_run_;
+    obs::Counter& lane_completed_interactive_;
+    obs::Counter& lane_completed_batch_;
+    // Gauges refreshed by the dispatch thread after every batch from
+    // its thread-local counters (cache, swaps, plan accounting).
+    obs::Gauge& threshold_swaps_gauge_;
+    obs::Gauge& workspace_peak_gauge_;
+    obs::Gauge& plan_buffers_gauge_;
+    obs::Gauge& cache_hits_gauge_;
+    obs::Gauge& cache_misses_gauge_;
+    obs::Gauge& cache_evictions_gauge_;
+    obs::Gauge& sparse_hits_gauge_;
+    obs::Gauge& skipped_macs_gauge_;
+    obs::Gauge& dense_macs_gauge_;
+    obs::Histogram& batch_size_hist_;
+    obs::Histogram& latency_hist_;
+
     mutable std::mutex stats_mutex_;
-    std::int64_t served_ = 0;           ///< ok results; guarded by stats_mutex_
-    std::int64_t failed_ = 0;           ///< batch errors; guarded by stats_mutex_
-    std::int64_t batches_run_ = 0;      ///< guarded by stats_mutex_
-    std::int64_t deadline_expired_ = 0; ///< guarded by stats_mutex_
-    std::int64_t cancelled_ = 0;        ///< guarded by stats_mutex_
-    // Snapshots of the dispatch-thread-only counters above, refreshed
-    // after every batch so stats() never races the dispatch thread.
-    std::int64_t swaps_snapshot_ = 0;        ///< guarded by stats_mutex_
-    std::int64_t workspace_peak_snapshot_ = 0;  ///< guarded by stats_mutex_
-    std::int64_t plan_buffers_snapshot_ = 0;    ///< guarded by stats_mutex_
-    std::int64_t cache_hits_snapshot_ = 0;   ///< guarded by stats_mutex_
-    std::int64_t cache_misses_snapshot_ = 0; ///< guarded by stats_mutex_
-    std::int64_t cache_evictions_snapshot_ = 0;  ///< guarded by stats_mutex_
-    std::int64_t sparse_hits_snapshot_ = 0;      ///< guarded by stats_mutex_
-    std::int64_t skipped_macs_snapshot_ = 0;     ///< guarded by stats_mutex_
-    std::int64_t dense_macs_snapshot_ = 0;       ///< guarded by stats_mutex_
     LatencyRecorder latency_;           ///< guarded by stats_mutex_
     LatencyRecorder lane_latency_interactive_;  ///< guarded by stats_mutex_
     LatencyRecorder lane_latency_batch_;        ///< guarded by stats_mutex_
-    std::int64_t lane_completed_interactive_ = 0;  ///< stats_mutex_
-    std::int64_t lane_completed_batch_ = 0;        ///< stats_mutex_
     std::map<std::string, TaskServeStats> per_task_;  ///< stats_mutex_
+    /// Per-layer profiles, refreshed after each batch when
+    /// config_.profile_layers; guarded by stats_mutex_.
+    std::vector<obs::LayerProfile> profiles_snapshot_;
 };
 
 }  // namespace mime::serve

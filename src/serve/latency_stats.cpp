@@ -11,8 +11,11 @@ namespace {
 
 double nearest_rank(const std::vector<double>& sorted, double p) {
     const auto n = static_cast<double>(sorted.size());
-    const auto rank =
-        static_cast<std::size_t>(std::ceil(p / 100.0 * n));  // 1-based
+    // The epsilon keeps mathematically exact ranks exact: 99.9/100 is
+    // slightly above 0.999 in binary, so without it ceil() at n = 1000
+    // would land one rank high (p99.9 -> the max, not the 999th).
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * n - 1e-9));  // 1-based
     return sorted[std::max<std::size_t>(rank, 1) - 1];
 }
 
@@ -111,6 +114,7 @@ LatencyRecorder::Summary LatencyRecorder::summary() const {
     result.p50 = nearest_rank(sorted, 50.0);
     result.p95 = nearest_rank(sorted, 95.0);
     result.p99 = nearest_rank(sorted, 99.0);
+    result.p999 = nearest_rank(sorted, 99.9);
     return result;
 }
 

@@ -15,12 +15,13 @@ namespace mime::serve {
 /// long-running server. Percentiles use the nearest-rank method.
 class LatencyRecorder {
 public:
-    /// One sorted pass worth of quantiles (cheaper than three
+    /// One sorted pass worth of quantiles (cheaper than four
     /// percentile() calls, which each sort a copy).
     struct Summary {
         double p50 = 0.0;
         double p95 = 0.0;
         double p99 = 0.0;
+        double p999 = 0.0;  ///< p99.9, the SLO tail quantile
     };
 
     void add(double latency_us);

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace mime::serve {
@@ -152,6 +153,15 @@ struct InferenceRequest {
     std::promise<Outcome<InferenceResult>> promise;
     /// Callback-delivery channel, invoked from the dispatch side.
     std::function<void(Outcome<InferenceResult>)> on_result;
+    /// Span timeline, present only for traced requests. Written by one
+    /// thread at a time: the submitter records admission before the
+    /// queue push, the dispatch thread records the rest, and the client
+    /// reads via RequestTicket::trace() only after delivery — each
+    /// hand-off already synchronizes, so no atomics needed.
+    std::shared_ptr<obs::Trace> trace;
+    /// When the dispatch thread handed this request to the batcher;
+    /// start of the batch_form span (traced requests only).
+    Clock::time_point batcher_add_time{};
 
     /// Delivers the terminal outcome on whichever channel the caller
     /// chose. Callback exceptions are swallowed (callbacks must not

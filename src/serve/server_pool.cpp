@@ -9,6 +9,24 @@
 
 namespace mime::serve {
 
+void PoolStats::accumulate(const ServerStats& server) {
+    requests_served += server.requests_served;
+    deadline_expired += server.deadline_expired;
+    cancelled += server.cancelled;
+    batches_run += server.batches_run;
+    threshold_swaps += server.threshold_swaps;
+    cache_hits += server.cache_hits;
+    cache_misses += server.cache_misses;
+    cache_evictions += server.cache_evictions;
+    workspace_peak_bytes += server.workspace_peak_bytes;
+    plan_buffer_bytes += server.plan_buffer_bytes;
+    sparse_path_hits += server.sparse_path_hits;
+    skipped_macs += server.skipped_macs;
+    dense_equivalent_macs += server.dense_equivalent_macs;
+    interactive.completed += server.interactive.completed;
+    batch.completed += server.batch.completed;
+}
+
 std::string PoolStats::to_table_string() const {
     Table aggregate({"metric", "value"});
     aggregate.add_row({"replicas", std::to_string(replicas.size())});
@@ -38,6 +56,7 @@ std::string PoolStats::to_table_string() const {
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
     aggregate.add_row({"latency p99 (us)", Table::num(p99_latency_us, 1)});
+    aggregate.add_row({"latency p99.9 (us)", Table::num(p999_latency_us, 1)});
     aggregate.add_row({"interactive done/p95 (us)",
                        std::to_string(interactive.completed) + " / " +
                            Table::num(interactive.p95_latency_us, 1)});
@@ -67,6 +86,7 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
     : config_(config),
       prototype_(&prototype),
       admission_(config.admission, config.max_pending),
+      sampler_(config.server.trace_sample_rate),
       router_(config.routing, config.replica_count) {
     MIME_REQUIRE(config.replica_count >= 1,
                  "pool needs at least one replica");
@@ -97,6 +117,7 @@ ServerPool::~ServerPool() { stop(); }
 
 RequestTicket ServerPool::submit(const std::string& task, Tensor image,
                                  SubmitOptions options) {
+    const Clock::time_point admission_start = Clock::now();
     if (state_.stopped()) {
         return reject(options, ServeStatus::shutdown,
                       "submit on a stopped pool");
@@ -140,10 +161,18 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
                       "submit on a stopped pool");
     }
 
+    // The pool owns the sampling decision (envelope_checked callers
+    // suppress the replica's sampler): the admission span then covers
+    // pool admission + routing from this front door's entry.
+    std::shared_ptr<obs::Trace> trace;
+    if (options.trace || sampler_.sample()) {
+        trace = std::make_shared<obs::Trace>();
+    }
+
     bool accepted = false;
     RequestTicket ticket = servers_[replica]->submit_impl(
         task, std::move(image), std::move(options), &accepted,
-        /*envelope_checked=*/true);
+        /*envelope_checked=*/true, std::move(trace), admission_start);
     if (!accepted) {
         // The replica rejected at its door (stop race); it already
         // delivered the failure outcome — just unwind the accounting.
@@ -213,21 +242,7 @@ PoolStats ServerPool::stats() const {
         merged_interactive.merge(
             servers_[i]->latency_recorder(Priority::interactive));
         merged_batch.merge(servers_[i]->latency_recorder(Priority::batch));
-        stats.requests_served += replica.server.requests_served;
-        stats.deadline_expired += replica.server.deadline_expired;
-        stats.cancelled += replica.server.cancelled;
-        stats.batches_run += replica.server.batches_run;
-        stats.threshold_swaps += replica.server.threshold_swaps;
-        stats.cache_hits += replica.server.cache_hits;
-        stats.cache_misses += replica.server.cache_misses;
-        stats.cache_evictions += replica.server.cache_evictions;
-        stats.workspace_peak_bytes += replica.server.workspace_peak_bytes;
-        stats.plan_buffer_bytes += replica.server.plan_buffer_bytes;
-        stats.sparse_path_hits += replica.server.sparse_path_hits;
-        stats.skipped_macs += replica.server.skipped_macs;
-        stats.dense_equivalent_macs += replica.server.dense_equivalent_macs;
-        stats.interactive.completed += replica.server.interactive.completed;
-        stats.batch.completed += replica.server.batch.completed;
+        stats.accumulate(replica.server);
         stats.replicas.push_back(std::move(replica));
     }
     const std::int64_t lookups = stats.cache_hits + stats.cache_misses;
@@ -246,16 +261,21 @@ PoolStats ServerPool::stats() const {
         stats.p50_latency_us = quantiles.p50;
         stats.p95_latency_us = quantiles.p95;
         stats.p99_latency_us = quantiles.p99;
+        stats.p999_latency_us = quantiles.p999;
     }
     if (merged_interactive.count() > 0) {
         const LatencyRecorder::Summary lane = merged_interactive.summary();
         stats.interactive.p50_latency_us = lane.p50;
         stats.interactive.p95_latency_us = lane.p95;
+        stats.interactive.p99_latency_us = lane.p99;
+        stats.interactive.p999_latency_us = lane.p999;
     }
     if (merged_batch.count() > 0) {
         const LatencyRecorder::Summary lane = merged_batch.summary();
         stats.batch.p50_latency_us = lane.p50;
         stats.batch.p95_latency_us = lane.p95;
+        stats.batch.p99_latency_us = lane.p99;
+        stats.batch.p999_latency_us = lane.p999;
     }
 
     stats.requests_submitted = state_.submitted();

@@ -94,6 +94,7 @@ struct PoolStats {
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     /// Completed requests per wall-clock second between the pool's
     /// first admit and last completion (0 for a zero-length window).
     double throughput_rps = 0.0;
@@ -101,6 +102,14 @@ struct PoolStats {
     PriorityLaneStats interactive;
     PriorityLaneStats batch;
     std::vector<ReplicaStats> replicas;
+
+    /// Folds one replica's ServerStats into the pool-wide sums — every
+    /// summable counter and byte total in one place, so a new
+    /// ServerStats field cannot be aggregated by the server but
+    /// silently dropped by the pool. Quantiles and derived rates are
+    /// NOT touched here: they come from the merged reservoirs
+    /// (averaging per-replica percentiles would be wrong).
+    void accumulate(const ServerStats& server);
 
     /// Renders the aggregate + per-replica rows via common/table.
     std::string to_table_string() const;
@@ -153,6 +162,10 @@ private:
     std::vector<std::unique_ptr<core::MimeNetwork>> clones_;
     std::vector<std::unique_ptr<InferenceServer>> servers_;
     AdmissionController admission_;
+    /// Pool-level sampler (rate from config.server.trace_sample_rate):
+    /// the pool owns the tracing decision so the admission span covers
+    /// pool admission + routing, not just the replica's front door.
+    obs::TraceSampler sampler_;
 
     /// Admitted/completed counters, drain condvar, idempotent stop,
     /// throughput window — shared bookkeeping via ServiceState.

@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/trace.h"
 #include "serve/request.h"
 #include "tensor/shape.h"
 #include "tensor/tensor.h"
@@ -55,6 +56,10 @@ struct SubmitOptions {
     /// ticket's future stays invalid. Must not throw and must not block
     /// or retake locks held across submit().
     std::function<void(Outcome<InferenceResult>)> on_result;
+    /// Force a span trace for this request regardless of the backend's
+    /// sampling rate (rate-based sampling still applies when false).
+    /// The trace arrives on RequestTicket::trace().
+    bool trace = false;
 
     DeliveryMode delivery_mode() const noexcept {
         return on_result ? DeliveryMode::callback : DeliveryMode::future;
@@ -69,8 +74,12 @@ public:
     RequestTicket() = default;
     /// Built by InferenceService implementations.
     RequestTicket(std::int64_t id, std::shared_ptr<RequestControl> control,
-                  std::future<Outcome<InferenceResult>> future)
-        : id_(id), control_(std::move(control)), future_(std::move(future)) {}
+                  std::future<Outcome<InferenceResult>> future,
+                  std::shared_ptr<const obs::Trace> trace = nullptr)
+        : id_(id),
+          control_(std::move(control)),
+          future_(std::move(future)),
+          trace_(std::move(trace)) {}
 
     RequestTicket(RequestTicket&&) = default;
     RequestTicket& operator=(RequestTicket&&) = default;
@@ -98,10 +107,18 @@ public:
         return future_.get();
     }
 
+    /// Span timeline for this request, when it was traced (forced via
+    /// SubmitOptions::trace or picked by the backend's sampler); null
+    /// otherwise. The spans are written by the service while the request
+    /// is in flight — read only after the outcome has been delivered
+    /// (wait() returned, or on_result ran).
+    const obs::Trace* trace() const noexcept { return trace_.get(); }
+
 private:
     std::int64_t id_ = -1;
     std::shared_ptr<RequestControl> control_;
     std::future<Outcome<InferenceResult>> future_;
+    std::shared_ptr<const obs::Trace> trace_;
 };
 
 /// Completion count and latency quantiles of one priority class.
@@ -109,6 +126,8 @@ struct PriorityLaneStats {
     std::int64_t completed = 0;  ///< requests served ok in this class
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;  ///< p99.9, the SLO tail quantile
 };
 
 /// Backend-agnostic serving counters, comparable across every

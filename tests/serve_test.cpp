@@ -476,6 +476,99 @@ TEST(LatencyRecorder, MergeComputesPooledPercentilesNotAverages) {
     EXPECT_DOUBLE_EQ(target.percentile(50.0), 100.0);
 }
 
+TEST(LatencyRecorder, EmptyAndSingletonEdgeCases) {
+    // Empty summary: every field zero, no division by zero.
+    LatencyRecorder empty;
+    EXPECT_EQ(empty.count(), 0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    const LatencyRecorder::Summary none = empty.summary();
+    EXPECT_DOUBLE_EQ(none.p50, 0.0);
+    EXPECT_DOUBLE_EQ(none.p999, 0.0);
+
+    // Merging empty into empty stays empty.
+    LatencyRecorder still_empty;
+    still_empty.merge(empty);
+    EXPECT_EQ(still_empty.count(), 0);
+
+    // A singleton answers every percentile with its one sample
+    // (nearest-rank clamps the rank to >= 1).
+    LatencyRecorder one;
+    one.add(42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.1), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(99.9), 42.0);
+    const LatencyRecorder::Summary single = one.summary();
+    EXPECT_DOUBLE_EQ(single.p50, 42.0);
+    EXPECT_DOUBLE_EQ(single.p99, 42.0);
+    EXPECT_DOUBLE_EQ(single.p999, 42.0);
+
+    // Merge of empty into singleton, and singleton into empty.
+    one.merge(empty);
+    EXPECT_EQ(one.count(), 1);
+    LatencyRecorder adopted;
+    adopted.merge(one);
+    EXPECT_EQ(adopted.count(), 1);
+    EXPECT_DOUBLE_EQ(adopted.percentile(99.9), 42.0);
+}
+
+TEST(LatencyRecorder, NearestRankAtTinyCounts) {
+    // count == 2: rank = max(ceil(p/100 * 2), 1). p50 -> rank 1,
+    // p51..p100 -> rank 2.
+    LatencyRecorder two;
+    two.add(10.0);
+    two.add(20.0);
+    EXPECT_DOUBLE_EQ(two.percentile(50.0), 10.0);
+    EXPECT_DOUBLE_EQ(two.percentile(51.0), 20.0);
+    EXPECT_DOUBLE_EQ(two.percentile(99.9), 20.0);
+
+    // count == 3: p33.3 -> rank 1, p34 -> rank 2, p67 -> rank 3.
+    LatencyRecorder three;
+    three.add(30.0);
+    three.add(10.0);  // insertion order must not matter
+    three.add(20.0);
+    EXPECT_DOUBLE_EQ(three.percentile(33.3), 10.0);
+    EXPECT_DOUBLE_EQ(three.percentile(34.0), 20.0);
+    EXPECT_DOUBLE_EQ(three.percentile(67.0), 30.0);
+    EXPECT_DOUBLE_EQ(three.percentile(100.0), 30.0);
+}
+
+TEST(LatencyRecorder, P999RequiresTailResolution) {
+    // 1000 distinct samples 1..1000: nearest-rank p99.9 is exactly the
+    // 999th order statistic; p99 the 990th. The single sorted pass in
+    // summary() must agree with percentile().
+    LatencyRecorder recorder;
+    for (int i = 1000; i >= 1; --i) {
+        recorder.add(static_cast<double>(i));
+    }
+    const LatencyRecorder::Summary summary = recorder.summary();
+    EXPECT_DOUBLE_EQ(summary.p99, 990.0);
+    EXPECT_DOUBLE_EQ(summary.p999, 999.0);
+    EXPECT_DOUBLE_EQ(summary.p999, recorder.percentile(99.9));
+}
+
+TEST(LatencyRecorder, MergeIsSeedStableAcrossRuns) {
+    // Past the reservoir bound, merge() subsamples — but with a fixed
+    // seed, so two identical merge sequences must produce identical
+    // percentile estimates (stats() snapshots are reproducible).
+    const auto build = [] {
+        LatencyRecorder a;
+        LatencyRecorder b;
+        for (int i = 0; i < 90000; ++i) {
+            a.add(static_cast<double>(i % 997));
+            b.add(static_cast<double>(2000 + i % 1009));
+        }
+        a.merge(b);
+        return a;
+    };
+    const LatencyRecorder first = build();
+    const LatencyRecorder second = build();
+    EXPECT_EQ(first.count(), second.count());
+    for (const double p : {50.0, 95.0, 99.0, 99.9}) {
+        EXPECT_DOUBLE_EQ(first.percentile(p), second.percentile(p))
+            << "p" << p;
+    }
+}
+
 TEST(LatencyRecorder, MergeBeyondReservoirKeepsProportionalSample) {
     // Push both recorders past the reservoir bound; the merged stream
     // must keep exact count/mean/max and percentiles that reflect the

@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "core/multitask.h"
+#include "obs/trace.h"
 #include "serve/inference_server.h"
 #include "serve/server_pool.h"
 #include "serve/service.h"
@@ -375,6 +376,118 @@ TEST_P(ServiceApiTest, CallbackAndFutureDeliverBitIdenticalResults) {
     const ServiceStats stats = service->service_stats();
     EXPECT_EQ(stats.interactive.completed, 1);
     EXPECT_EQ(stats.batch.completed, 1);
+    service->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing conformance (ISSUE: every span the serving path emits,
+// in order, on both backends; read-after-delivery only). TSan runs these.
+// ---------------------------------------------------------------------------
+
+TEST_P(ServiceApiTest, TracedRequestExposesOrderedSpanTimeline) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+
+    SubmitOptions options;
+    options.trace = true;  // explicit opt-in beats the sample rate
+    RequestTicket ticket =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f),
+                        std::move(options));
+    ASSERT_TRUE(ticket.wait().ok());
+
+    // The trace is complete only once the outcome has been delivered.
+    const obs::Trace* trace = ticket.trace();
+    ASSERT_NE(trace, nullptr);
+    const std::vector<obs::Span>& spans = trace->spans();
+    ASSERT_EQ(spans.size(), 6u);
+    EXPECT_EQ(spans[0].kind, obs::SpanKind::admission);
+    EXPECT_EQ(spans[1].kind, obs::SpanKind::queue_wait);
+    EXPECT_EQ(spans[2].kind, obs::SpanKind::batch_form);
+    EXPECT_EQ(spans[3].kind, obs::SpanKind::threshold_swap);
+    EXPECT_EQ(spans[4].kind, obs::SpanKind::forward);
+    EXPECT_EQ(spans[5].kind, obs::SpanKind::delivery);
+    EXPECT_TRUE(trace->ordered())
+        << "spans out of order:\n"
+        << trace->to_string();
+    // The forward actually took time; the whole timeline hangs together.
+    EXPECT_GT(trace->find(obs::SpanKind::forward)->duration_us(), 0.0);
+    EXPECT_GT(trace->total_us(), 0.0);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, UntracedByDefault) {
+    ServiceFixture fixture;
+    auto service =
+        make_backend(GetParam().kind, fixture, fixture.loader());
+    RequestTicket ticket =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    ASSERT_TRUE(ticket.wait().ok());
+    // Default sample rate is 0: no trace is allocated, no span cost paid.
+    EXPECT_EQ(ticket.trace(), nullptr);
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, ExpiredTracedRequestHasDeliveryButNoForward) {
+    ServiceFixture fixture;
+    LoaderGate gate;
+    auto service =
+        make_backend(GetParam().kind, fixture, gate.wrap(fixture.loader()));
+
+    // Wedge dispatch, then let a traced request expire while pending.
+    RequestTicket wedge =
+        service->submit("task0", Tensor({3, 32, 32}, 0.1f), {});
+    gate.entered.wait();
+    SubmitOptions options;
+    options.trace = true;
+    options.deadline = std::chrono::microseconds(1);
+    RequestTicket doomed = service->submit(
+        "task0", Tensor({3, 32, 32}, 0.2f), std::move(options));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.open_promise.set_value();
+
+    EXPECT_EQ(doomed.wait().status(), ServeStatus::deadline_exceeded);
+    ASSERT_TRUE(wedge.wait().ok());
+    const obs::Trace* trace = doomed.trace();
+    ASSERT_NE(trace, nullptr);
+    // Reaped at batch-forming time: the request never reached a forward,
+    // and the trace proves it.
+    EXPECT_NE(trace->find(obs::SpanKind::admission), nullptr);
+    EXPECT_NE(trace->find(obs::SpanKind::delivery), nullptr);
+    EXPECT_EQ(trace->find(obs::SpanKind::forward), nullptr);
+    EXPECT_EQ(trace->find(obs::SpanKind::threshold_swap), nullptr);
+    EXPECT_TRUE(trace->ordered());
+    service->stop();
+}
+
+TEST_P(ServiceApiTest, SampleRateOneTracesEveryRequest) {
+    ServiceFixture fixture;
+    ServerConfig server_config;
+    server_config.batcher.max_batch_size = 4;
+    server_config.batcher.max_wait = std::chrono::microseconds(0);
+    server_config.worker_threads = 1;
+    server_config.trace_sample_rate = 1.0;
+    std::unique_ptr<InferenceService> service;
+    if (GetParam().kind == BackendKind::server) {
+        service = std::make_unique<InferenceServer>(
+            fixture.network, fixture.loader(), server_config);
+    } else {
+        PoolConfig pool_config;
+        pool_config.replica_count = 2;
+        pool_config.server = server_config;
+        service = std::make_unique<ServerPool>(fixture.network,
+                                               fixture.loader(), pool_config);
+    }
+    for (int i = 0; i < 4; ++i) {
+        RequestTicket ticket =
+            service->submit("task" + std::to_string(i % 2),
+                            Tensor({3, 32, 32}, 0.1f), {});
+        ASSERT_TRUE(ticket.wait().ok()) << "request " << i;
+        const obs::Trace* trace = ticket.trace();
+        ASSERT_NE(trace, nullptr) << "request " << i << " not sampled";
+        EXPECT_EQ(trace->spans().size(), 6u);
+        EXPECT_TRUE(trace->ordered());
+    }
     service->stop();
 }
 
