@@ -31,6 +31,17 @@
 // unloaded service time while batch traffic absorbs the queueing —
 // and sheds stale work as deadline_exceeded instead of serving it late.
 //
+// Part 4 is the deadline-feasibility A/B: the same mixed-deadline flood
+// against a 2-replica pool with heuristic scheduling (load = request
+// counts, deadlines enforced only on expiry) vs cost-model scheduling
+// (predicted-microsecond loads, predictive shedding, join-feasible
+// batches). The contrast to watch: the all-in deadline miss rate
+// (expired + served-past-deadline) drops at equal or better goodput.
+//
+// Part 5 steps the load on an autoscaled pool (min 1, max 4 replicas):
+// a closed-loop burst must grow the active set with predicted backlog,
+// and the idle tail must shrink it back to min.
+//
 // Environment knobs:
 //   MIME_SERVE_REQUESTS      requests per stream (default 150)
 //   MIME_SERVE_TASKS         number of child tasks (default 4)
@@ -146,6 +157,19 @@ struct ClosedLoopTally {
     std::atomic<std::int64_t> ok_batch{0};
     std::atomic<std::int64_t> expired_interactive{0};
     std::atomic<std::int64_t> expired_batch{0};
+    /// Served ok but past the request's own deadline — capacity the
+    /// server burned on an answer the client no longer wanted. A
+    /// subset of ok_*; goodput = ok - late.
+    std::atomic<std::int64_t> late_interactive{0};
+    std::atomic<std::int64_t> late_batch{0};
+
+    std::int64_t ok() const { return ok_interactive + ok_batch; }
+    std::int64_t expired() const {
+        return expired_interactive + expired_batch;
+    }
+    std::int64_t late() const { return late_interactive + late_batch; }
+    /// Deadline misses all-in: expired before serving or served late.
+    std::int64_t missed() const { return expired() + late(); }
 };
 
 template <typename MakeOptions>
@@ -159,10 +183,12 @@ void drive_closed_loop(serve::InferenceService& service,
     for (std::size_t c = 0; c < client_count; ++c) {
         clients.emplace_back([&, c] {
             std::vector<serve::Priority> priorities;
+            std::vector<std::chrono::microseconds> deadlines;
             std::vector<serve::RequestTicket> tickets;
             for (std::size_t i = c; i < events.size(); i += client_count) {
                 serve::SubmitOptions options = make_options(events[i]);
                 priorities.push_back(options.priority);
+                deadlines.push_back(options.deadline);
                 tickets.push_back(service.submit(
                     adaptations[static_cast<std::size_t>(events[i].task)]
                         .name,
@@ -179,6 +205,13 @@ void drive_closed_loop(serve::InferenceService& service,
                 if (outcome.ok()) {
                     (interactive ? tally->ok_interactive : tally->ok_batch)
                         .fetch_add(1);
+                    if (deadlines[i].count() > 0 &&
+                        outcome.value().latency_us >
+                            static_cast<double>(deadlines[i].count())) {
+                        (interactive ? tally->late_interactive
+                                     : tally->late_batch)
+                            .fetch_add(1);
+                    }
                 } else if (outcome.status() ==
                            serve::ServeStatus::deadline_exceeded) {
                     (interactive ? tally->expired_interactive
@@ -713,6 +746,237 @@ int main() {
                                   static_cast<double>(offered)
                             : 0.0);
         serve_json.set("mixed_priority_slo", std::move(slo));
+    }
+
+    // -----------------------------------------------------------------------
+    // Deadline-feasibility A/B: heuristic vs cost-model scheduling
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Deadline feasibility A/B — heuristic vs cost-model scheduling",
+        "predictive shedding refuses work whose deadline cannot be met "
+        "and keeps batches feasible for their members");
+
+    serve::LoadSpec feas_spec = pool_spec;
+    feas_spec.interactive_fraction = 0.25;
+    feas_spec.seed = 61;
+    const auto feas_events = serve::generate_arrivals(feas_spec);
+    const std::vector<Tensor> feas_images = make_images(43);
+    // Tight enough that the closed-loop flood queues past it, loose
+    // enough that an uncontended batch fits: the regime where admitting
+    // doomed work costs feasible work its deadline.
+    const auto feas_deadline = std::chrono::duration_cast<
+        std::chrono::microseconds>(4 * simulated_service);
+
+    const auto replay_feasibility = [&](bool cost_aware,
+                                        ClosedLoopTally* tally) {
+        serve::PoolConfig config;
+        config.replica_count = 2;
+        config.routing = serve::RoutingPolicy::least_loaded;
+        config.admission = serve::AdmissionMode::block;
+        config.max_pending = 32;
+        config.cost_aware_scheduling = cost_aware;
+        config.server.batcher.policy = serve::BatchingPolicy::task_grouped;
+        config.server.batcher.max_batch_size = 8;
+        config.server.batcher.max_wait = std::chrono::microseconds(2000);
+        config.server.cache_capacity = 3;
+        config.server.worker_threads = 1;
+        config.server.simulated_service_time = simulated_service;
+        serve::ServerPool pool(network, make_loader(adaptations), config);
+        drive_closed_loop(
+            pool, adaptations, feas_events, feas_images, 4,
+            [&](const serve::ArrivalEvent& event) {
+                serve::SubmitOptions options;
+                options.priority = event.priority;
+                options.deadline =
+                    event.priority == serve::Priority::batch
+                        ? feas_deadline
+                        : std::chrono::duration_cast<
+                              std::chrono::microseconds>(
+                              std::chrono::seconds(2));
+                return options;
+            },
+            tally);
+        serve::PoolStats stats = pool.stats();
+        pool.stop();
+        return stats;
+    };
+
+    ClosedLoopTally heuristic_tally;
+    const serve::PoolStats heuristic_stats =
+        replay_feasibility(/*cost_aware=*/false, &heuristic_tally);
+    ClosedLoopTally cost_tally;
+    const serve::PoolStats cost_stats =
+        replay_feasibility(/*cost_aware=*/true, &cost_tally);
+
+    const auto miss_rate = [&](const ClosedLoopTally& tally) {
+        const std::int64_t finished = tally.ok() + tally.expired();
+        return finished > 0
+                   ? static_cast<double>(tally.missed()) /
+                         static_cast<double>(finished)
+                   : 0.0;
+    };
+    const auto goodput_rps = [](const serve::PoolStats& stats,
+                                const ClosedLoopTally& tally) {
+        // throughput_rps counts every completion; scale to the ones
+        // that were both ok and on time.
+        return stats.requests_completed > 0
+                   ? stats.throughput_rps *
+                         static_cast<double>(tally.ok() - tally.late()) /
+                         static_cast<double>(stats.requests_completed)
+                   : 0.0;
+    };
+
+    Table feas_table({"scheduler", "req/s", "goodput/s", "miss rate",
+                      "served late", "infeasible shed", "pred err"});
+    feas_table.add_row(
+        {"heuristic", Table::num(heuristic_stats.throughput_rps, 1),
+         Table::num(goodput_rps(heuristic_stats, heuristic_tally), 1),
+         Table::num(miss_rate(heuristic_tally), 3),
+         std::to_string(heuristic_tally.late()),
+         std::to_string(heuristic_stats.cost_infeasible_shed), "-"});
+    feas_table.add_row(
+        {"cost-model", Table::num(cost_stats.throughput_rps, 1),
+         Table::num(goodput_rps(cost_stats, cost_tally), 1),
+         Table::num(miss_rate(cost_tally), 3),
+         std::to_string(cost_tally.late()),
+         std::to_string(cost_stats.cost_infeasible_shed),
+         Table::num(cost_stats.cost_prediction_error, 3)});
+    feas_table.print();
+
+    bench::print_claim(
+        "deadline miss rate (expired + served late), cost vs heuristic",
+        "cost-model lower (doomed work shed at batch forming)",
+        Table::num(miss_rate(cost_tally), 3) + " vs " +
+            Table::num(miss_rate(heuristic_tally), 3));
+    bench::print_claim(
+        "goodput (ok and on time per second), cost vs heuristic",
+        "cost-model equal or better",
+        Table::num(goodput_rps(cost_stats, cost_tally), 1) + " vs " +
+            Table::num(goodput_rps(heuristic_stats, heuristic_tally), 1));
+
+    {
+        const auto side = [&](const serve::PoolStats& stats,
+                              const ClosedLoopTally& tally) {
+            bench::Json json;
+            json.set("req_per_s", stats.throughput_rps);
+            json.set("goodput_per_s", goodput_rps(stats, tally));
+            json.set("deadline_miss_rate", miss_rate(tally));
+            json.set("served_ok", tally.ok());
+            json.set("served_late", tally.late());
+            json.set("deadline_expired", tally.expired());
+            json.set("cost_infeasible_shed", stats.cost_infeasible_shed);
+            json.set("p95_us", stats.p95_latency_us);
+            json.set("p99_us", stats.p99_latency_us);
+            return json;
+        };
+        bench::Json feas;
+        feas.set("deadline_us",
+                 static_cast<std::int64_t>(feas_deadline.count()));
+        feas.set("heuristic", side(heuristic_stats, heuristic_tally));
+        bench::Json cost_side = side(cost_stats, cost_tally);
+        cost_side.set("cost_prediction_error",
+                      cost_stats.cost_prediction_error);
+        cost_side.set("cost_calibration_scale",
+                      cost_stats.cost_calibration_scale);
+        feas.set("cost_model", std::move(cost_side));
+        serve_json.set("deadline_feasibility_ab", std::move(feas));
+    }
+
+    // -----------------------------------------------------------------------
+    // Autoscaler load step: grow under a burst, shrink back when idle
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Autoscaler load step — replicas follow predicted backlog",
+        "a closed-loop burst grows the active set toward max; the idle "
+        "tail hands replicas back to min");
+
+    serve::PoolConfig scale_config;
+    scale_config.replica_count = 1;  // start at min
+    scale_config.routing = serve::RoutingPolicy::least_loaded;
+    scale_config.admission = serve::AdmissionMode::block;
+    scale_config.max_pending = 32;
+    scale_config.autoscaler.enabled = true;
+    scale_config.autoscaler.min_replicas = 1;
+    scale_config.autoscaler.max_replicas = 4;
+    scale_config.autoscaler.interval = std::chrono::milliseconds(5);
+    scale_config.autoscaler.grow_backlog_us =
+        2.0 * static_cast<double>(simulated_service.count());
+    scale_config.autoscaler.shrink_backlog_us =
+        0.25 * static_cast<double>(simulated_service.count());
+    scale_config.autoscaler.grow_patience = 1;
+    scale_config.autoscaler.shrink_patience = 3;
+    scale_config.server.batcher.policy = serve::BatchingPolicy::task_grouped;
+    scale_config.server.batcher.max_batch_size = 8;
+    scale_config.server.batcher.max_wait = std::chrono::microseconds(2000);
+    scale_config.server.cache_capacity = 3;
+    scale_config.server.worker_threads = 1;
+    scale_config.server.simulated_service_time = simulated_service;
+    serve::ServerPool scale_pool(network, make_loader(adaptations),
+                                 scale_config);
+
+    std::atomic<bool> burst_done{false};
+    std::size_t peak_active = scale_pool.active_replicas();
+    std::thread active_monitor([&] {
+        while (!burst_done.load()) {
+            peak_active =
+                std::max(peak_active, scale_pool.active_replicas());
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    const std::vector<Tensor> scale_images = make_images(53);
+    drive_closed_loop(
+        scale_pool, adaptations, pool_events, scale_images, 4,
+        [](const serve::ArrivalEvent&) { return serve::SubmitOptions{}; },
+        nullptr);
+    burst_done = true;
+    active_monitor.join();
+
+    // Idle tail: the scaler must walk the active set back down.
+    std::size_t final_active = scale_pool.active_replicas();
+    for (int spin = 0; spin < 2000 && final_active > 1; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        final_active = scale_pool.active_replicas();
+    }
+    const serve::PoolStats scale_stats = scale_pool.stats();
+    scale_pool.stop();
+
+    Table scale_table({"phase", "active", "grows", "shrinks",
+                       "budget blocked", "req/s", "p99 us"});
+    scale_table.add_row(
+        {"burst peak", std::to_string(peak_active),
+         std::to_string(scale_stats.autoscale_grows),
+         std::to_string(scale_stats.autoscale_shrinks),
+         std::to_string(scale_stats.autoscale_budget_blocked),
+         Table::num(scale_stats.throughput_rps, 1),
+         Table::num(scale_stats.p99_latency_us, 0)});
+    scale_table.add_row(
+        {"idle tail", std::to_string(final_active), "-", "-", "-", "-",
+         "-"});
+    scale_table.print();
+
+    bench::print_claim("autoscaler peak active replicas under burst",
+                       ">= 2 (grows with predicted backlog)",
+                       std::to_string(peak_active));
+    bench::print_claim("autoscaler active replicas after idle tail",
+                       "1 (shrinks back to min)",
+                       std::to_string(final_active));
+
+    {
+        bench::Json scale;
+        scale.set("peak_active",
+                  static_cast<std::int64_t>(peak_active));
+        scale.set("final_active",
+                  static_cast<std::int64_t>(final_active));
+        scale.set("grows", scale_stats.autoscale_grows);
+        scale.set("shrinks", scale_stats.autoscale_shrinks);
+        scale.set("budget_blocked", scale_stats.autoscale_budget_blocked);
+        scale.set("req_per_s", scale_stats.throughput_rps);
+        scale.set("p99_us", scale_stats.p99_latency_us);
+        scale.set("cost_prediction_error",
+                  scale_stats.cost_prediction_error);
+        serve_json.set("autoscaler_step", std::move(scale));
     }
 
     bench::write_json_file("BENCH_serve.json", serve_json);

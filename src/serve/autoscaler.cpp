@@ -1,0 +1,61 @@
+#include "serve/autoscaler.h"
+
+#include "common/check.h"
+
+namespace mime::serve {
+
+ReplicaAutoscaler::ReplicaAutoscaler(AutoscalerConfig config)
+    : config_(config) {
+    MIME_REQUIRE(config_.min_replicas >= 1,
+                 "autoscaler needs at least one replica");
+    MIME_REQUIRE(config_.max_replicas >= config_.min_replicas,
+                 "max_replicas must be >= min_replicas");
+    MIME_REQUIRE(config_.grow_backlog_us > config_.shrink_backlog_us,
+                 "grow threshold must sit above the shrink threshold "
+                 "(the gap is the hysteresis band)");
+    MIME_REQUIRE(config_.grow_patience >= 1 && config_.shrink_patience >= 1,
+                 "patience must be at least one tick");
+}
+
+int ReplicaAutoscaler::step(double backlog_per_replica_us,
+                            std::int64_t shed_delta, std::size_t active,
+                            std::int64_t replica_cost_bytes) {
+    const bool pressured =
+        backlog_per_replica_us > config_.grow_backlog_us || shed_delta > 0;
+    const bool idle = backlog_per_replica_us < config_.shrink_backlog_us &&
+                      shed_delta == 0;
+
+    if (pressured) {
+        shrink_streak_ = 0;
+        if (++grow_streak_ >= config_.grow_patience) {
+            grow_streak_ = 0;
+            if (active >= config_.max_replicas) {
+                return 0;
+            }
+            if (config_.memory_budget_bytes > 0 &&
+                replica_cost_bytes > 0 &&
+                static_cast<std::int64_t>(active + 1) * replica_cost_bytes >
+                    config_.memory_budget_bytes) {
+                ++budget_blocked_;
+                return 0;
+            }
+            return +1;
+        }
+        return 0;
+    }
+
+    grow_streak_ = 0;
+    if (idle) {
+        if (++shrink_streak_ >= config_.shrink_patience) {
+            shrink_streak_ = 0;
+            return active > config_.min_replicas ? -1 : 0;
+        }
+        return 0;
+    }
+    // In the hysteresis band: hold, and require fresh consecutive
+    // evidence before the next shrink.
+    shrink_streak_ = 0;
+    return 0;
+}
+
+}  // namespace mime::serve

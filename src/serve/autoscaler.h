@@ -1,0 +1,72 @@
+// Replica autoscaling policy for the server pool.
+//
+// ReplicaAutoscaler is the pure decision core: each tick it sees the
+// pool's predicted outstanding work per active replica (the cost
+// model's microseconds, summed over loads), the admission-shed delta
+// since the last tick, and the current/active bounds, and answers
+// grow (+1), hold (0) or shrink (-1). Hysteresis lives here — a grow
+// needs `grow_patience` consecutive over-threshold ticks, a shrink
+// `shrink_patience` under-threshold ticks, and the grow/shrink
+// thresholds are separated so the pool never oscillates around one
+// line. Keeping the policy free of threads and clocks makes the
+// grow/shrink behavior directly unit-testable; ServerPool drives it
+// from a background thread and applies the deltas (see
+// server_pool.h for how replicas are provisioned and activated).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstddef>
+
+namespace mime::serve {
+
+struct AutoscalerConfig {
+    bool enabled = false;
+    /// Active-replica bounds. PoolConfig::replica_count is the starting
+    /// point, clamped into [min_replicas, max_replicas].
+    std::size_t min_replicas = 1;
+    std::size_t max_replicas = 4;
+    /// Decision cadence of the pool's autoscaler thread.
+    std::chrono::milliseconds interval{20};
+    /// Grow when predicted outstanding work per active replica exceeds
+    /// this (microseconds) — or when admission shed anything since the
+    /// last tick — for grow_patience consecutive ticks.
+    double grow_backlog_us = 4000.0;
+    /// Shrink when it stays below this for shrink_patience ticks. Keep
+    /// well under grow_backlog_us: the gap is the hysteresis band.
+    double shrink_backlog_us = 500.0;
+    int grow_patience = 2;
+    int shrink_patience = 5;
+    /// Pool-wide budget for replica activation bytes (plan buffers +
+    /// workspace per replica, the PR 4 price of a replica); a grow that
+    /// would exceed it is skipped. 0 = unlimited.
+    std::int64_t memory_budget_bytes = 0;
+};
+
+class ReplicaAutoscaler {
+public:
+    explicit ReplicaAutoscaler(AutoscalerConfig config);
+
+    const AutoscalerConfig& config() const noexcept { return config_; }
+
+    /// One decision tick. `backlog_per_replica_us` is predicted
+    /// outstanding microseconds over active replicas, `shed_delta` the
+    /// admission sheds since the previous tick, `active` the current
+    /// active count, and `replica_cost_bytes` the price of activating
+    /// one more replica (0 = unknown/free). Returns +1 / 0 / -1;
+    /// the caller applies the change and the bounds here already
+    /// guarantee min_replicas <= active + result <= max_replicas.
+    int step(double backlog_per_replica_us, std::int64_t shed_delta,
+             std::size_t active, std::int64_t replica_cost_bytes = 0);
+
+    /// Grows skipped because activation would overrun the memory budget.
+    std::int64_t budget_blocked() const noexcept { return budget_blocked_; }
+
+private:
+    AutoscalerConfig config_;
+    int grow_streak_ = 0;
+    int shrink_streak_ = 0;
+    std::int64_t budget_blocked_ = 0;
+};
+
+}  // namespace mime::serve

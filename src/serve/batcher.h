@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +56,15 @@ struct BatcherConfig {
     /// even if not full (per lane; a saturated interactive lane may
     /// still delay batch-lane traffic beyond this bound).
     std::chrono::microseconds max_wait{2000};
+    /// Optional cost hook: predicted wall time (us) to execute a batch
+    /// of the given size for the task (see serve/cost_model.h). When
+    /// set, batch forming turns deadline enforcement predictive: a
+    /// request whose deadline cannot be met even served alone right now
+    /// is shed at reap time (ReapedRequest::predicted_infeasible), and
+    /// a candidate only joins a forming batch if the predicted cost of
+    /// the grown batch still meets every member's deadline.
+    std::function<double(const std::string&, std::int64_t)>
+        predict_batch_us;
 };
 
 /// A request removed at batch-forming time without running: its deadline
@@ -63,6 +73,10 @@ struct BatcherConfig {
 struct ReapedRequest {
     InferenceRequest request;
     ServeStatus status = ServeStatus::cancelled;
+    /// True when the cost hook shed this request before its deadline
+    /// actually passed: predicted service time alone already overruns
+    /// it, so running it would only waste a forward.
+    bool predicted_infeasible = false;
 };
 
 /// One batch-forming decision.

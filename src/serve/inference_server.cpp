@@ -17,6 +17,21 @@ double to_us(Clock::duration d) {
     return std::chrono::duration<double, std::micro>(d).count();
 }
 
+/// Installs the cost model's feasibility hook on the batcher config
+/// when cost admission is on and the caller did not bring its own hook.
+BatcherConfig make_batcher_config(const ServerConfig& config) {
+    BatcherConfig batcher = config.batcher;
+    if (config.cost_model && config.cost_admission &&
+        !batcher.predict_batch_us) {
+        std::shared_ptr<CostModel> model = config.cost_model;
+        batcher.predict_batch_us = [model](const std::string& task,
+                                           std::int64_t batch_size) {
+            return model->predict_batch_us(task, batch_size);
+        };
+    }
+    return batcher;
+}
+
 }  // namespace
 
 std::string ServerStats::to_table_string() const {
@@ -51,6 +66,10 @@ std::string ServerStats::to_table_string() const {
         {"sparse path hits", std::to_string(sparse_path_hits)});
     aggregate.add_row(
         {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
+    aggregate.add_row(
+        {"cost-infeasible shed", std::to_string(cost_infeasible_shed)});
+    aggregate.add_row(
+        {"cost prediction error", Table::num(cost_prediction_error, 4)});
 
     Table tasks({"task", "requests", "batches", "mean sparsity"});
     for (const auto& [name, ts] : per_task) {
@@ -77,7 +96,7 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
       input_shape_(serving_input_shape(network)),
       pool_(config.worker_threads),
       queue_(config.queue_capacity),
-      batcher_(config.batcher),
+      batcher_(make_batcher_config(config)),
       cache_(config.cache_capacity, std::move(loader)),
       sampler_(config.trace_sample_rate),
       served_(registry_.counter("serve.requests_served",
@@ -95,6 +114,10 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
           "interactive-lane requests served ok")),
       lane_completed_batch_(registry_.counter(
           "serve.batch_completed", "batch-lane requests served ok")),
+      cost_infeasible_shed_(registry_.counter(
+          "serve.cost_infeasible_shed",
+          "requests shed at batch forming: predicted cost cannot meet "
+          "their deadline")),
       threshold_swaps_gauge_(registry_.gauge(
           "serve.threshold_swaps", "per-task threshold installs")),
       workspace_peak_gauge_(registry_.gauge(
@@ -115,6 +138,12 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
       dense_macs_gauge_(registry_.gauge(
           "serve.dense_equivalent_macs",
           "dense-equivalent MACs of planned steps run")),
+      cost_predicted_gauge_(registry_.gauge(
+          "serve.cost_predicted_us",
+          "cost model's prediction for the last executed batch (us)")),
+      cost_error_gauge_(registry_.gauge(
+          "serve.cost_prediction_error",
+          "cost model mean |predicted-observed|/observed")),
       batch_size_hist_(registry_.histogram(
           "serve.batch_size", {1, 2, 4, 8, 16, 32}, "formed batch sizes")),
       latency_hist_(registry_.histogram(
@@ -252,16 +281,25 @@ void InferenceServer::dispatch_loop() {
         for (;;) {
             BatchResult decision = batcher_.next_batch(Clock::now(), closing);
             for (ReapedRequest& reaped : decision.reaped) {
-                const char* why =
-                    reaped.status == ServeStatus::deadline_exceeded
-                        ? "deadline expired before batch formation"
-                        : "cancelled before dispatch";
+                const char* why = "cancelled before dispatch";
+                if (reaped.status == ServeStatus::deadline_exceeded) {
+                    why = reaped.predicted_infeasible
+                              ? "predicted service time cannot meet the "
+                                "deadline; shed at batch formation"
+                              : "deadline expired before batch formation";
+                }
+                if (reaped.predicted_infeasible) {
+                    cost_infeasible_shed_.add();
+                }
                 fail_request(std::move(reaped.request), reaped.status, why);
             }
-            if (!decision.batch.has_value()) {
-                break;
+            if (decision.batch.has_value()) {
+                run_batch(std::move(*decision.batch));
+            } else if (decision.reaped.empty()) {
+                break;  // no batch, nothing reaped: the lanes are settled
             }
-            run_batch(std::move(*decision.batch));
+            // A reap-only round made progress (shed work may have
+            // unblocked a feasible batch); form again before sleeping.
         }
         if (closing && batcher_.empty() && queue_.size() == 0) {
             return;
@@ -382,6 +420,19 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
                 : sparsity_sum / static_cast<double>(site_sparsities.size());
 
         const Clock::time_point finished = Clock::now();
+        if (config_.cost_model) {
+            // Feed reality back: this task's observed site sparsities
+            // refresh the simulated path, and the measured service time
+            // (install + forward + simulated accelerator) calibrates
+            // the absolute scale.
+            config_.cost_model->set_task_sparsity(task, site_sparsities);
+            const CostFeedback feedback = config_.cost_model->observe_batch(
+                task, static_cast<std::int64_t>(batch.size()),
+                to_us(finished - started));
+            cost_predicted_gauge_.set(feedback.predicted_us);
+            cost_error_gauge_.set(
+                config_.cost_model->mean_abs_relative_error());
+        }
         std::vector<InferenceResult> results;
         results.reserve(batch.size());
         for (std::size_t n = 0; n < batch.size(); ++n) {
@@ -581,6 +632,9 @@ ServerStats InferenceServer::stats() const {
             ? static_cast<double>(stats.skipped_macs) /
                   static_cast<double>(stats.dense_equivalent_macs)
             : 0.0;
+    stats.cost_infeasible_shed = cost_infeasible_shed_.value();
+    stats.cost_predicted_us = cost_predicted_gauge_.value();
+    stats.cost_prediction_error = cost_error_gauge_.value();
     // Numerator counts every request that rode in a batch (served or
     // failed with it) so a failed batch does not understate the mean.
     stats.mean_batch_size =

@@ -33,6 +33,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
+#include "serve/cost_model.h"
 #include "serve/latency_stats.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
@@ -93,6 +94,18 @@ struct ServerConfig {
     /// steady_clock read per plan step per batch when on; a single
     /// branch per step when off.
     bool profile_layers = false;
+    /// Optional shared service-time predictor (see serve/cost_model.h).
+    /// When set, every batch's measured service time calibrates the
+    /// model and the task's observed site sparsities feed its simulated
+    /// path; the serve.cost_* metrics go live. A pool hands the same
+    /// instance to every replica.
+    std::shared_ptr<CostModel> cost_model;
+    /// With a cost model attached, also install its batcher hook:
+    /// requests whose predicted cost cannot meet their deadline are
+    /// shed at batch-forming time, and batches only grow while
+    /// predicted cost meets every member's deadline. Off keeps batching
+    /// heuristic (calibration still runs) — benches A/B this.
+    bool cost_admission = true;
 };
 
 /// Per-task aggregate serving statistics.
@@ -142,6 +155,14 @@ struct ServerStats {
     std::int64_t dense_equivalent_macs = 0;
     /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
     double skipped_mac_fraction = 0.0;
+    /// Requests shed at batch-forming time because predicted cost could
+    /// not meet their deadline (counted inside deadline_expired too —
+    /// infeasibility is a deadline failure, just an early one).
+    std::int64_t cost_infeasible_shed = 0;
+    /// Cost model's prediction for the last executed batch (us) and its
+    /// running mean |predicted-observed|/observed; 0 without a model.
+    double cost_predicted_us = 0.0;
+    double cost_prediction_error = 0.0;
     std::map<std::string, TaskServeStats> per_task;
     /// Per-plan-step cost profiles, populated only when
     /// ServerConfig::profile_layers is on (empty otherwise).
@@ -268,6 +289,7 @@ private:
     obs::Counter& batches_run_;
     obs::Counter& lane_completed_interactive_;
     obs::Counter& lane_completed_batch_;
+    obs::Counter& cost_infeasible_shed_;
     // Gauges refreshed by the dispatch thread after every batch from
     // its thread-local counters (cache, swaps, plan accounting).
     obs::Gauge& threshold_swaps_gauge_;
@@ -279,6 +301,8 @@ private:
     obs::Gauge& sparse_hits_gauge_;
     obs::Gauge& skipped_macs_gauge_;
     obs::Gauge& dense_macs_gauge_;
+    obs::Gauge& cost_predicted_gauge_;
+    obs::Gauge& cost_error_gauge_;
     obs::Histogram& batch_size_hist_;
     obs::Histogram& latency_hist_;
 

@@ -16,22 +16,31 @@ double exponential(Rng& rng, double mean) {
     return -mean * std::log(1.0 - rng.uniform());
 }
 
-/// Samples a task index from Zipf(s) over [0, task_count) by inverting
-/// the CDF (task_count is small, so the linear scan is fine).
-std::int64_t zipf_sample(Rng& rng, std::int64_t task_count, double s) {
-    double norm = 0.0;
-    for (std::int64_t k = 1; k <= task_count; ++k) {
-        norm += 1.0 / std::pow(static_cast<double>(k), s);
-    }
-    const double u = rng.uniform() * norm;
+/// Unnormalized Zipf(s) CDF over ranks 1..task_count, built once per
+/// arrival stream. The prefix sums accumulate in the same order the old
+/// per-event scan did, so draws against it are bit-identical for
+/// existing seeds.
+std::vector<double> zipf_cdf(std::int64_t task_count, double s) {
+    std::vector<double> cdf;
+    cdf.reserve(static_cast<std::size_t>(task_count));
     double cumulative = 0.0;
     for (std::int64_t k = 1; k <= task_count; ++k) {
         cumulative += 1.0 / std::pow(static_cast<double>(k), s);
-        if (u <= cumulative) {
-            return k - 1;
-        }
+        cdf.push_back(cumulative);
     }
-    return task_count - 1;
+    return cdf;
+}
+
+/// Samples a task index from Zipf(s) over [0, cdf.size()) by inverting
+/// the precomputed CDF. cdf.back() is the normalization, and the first
+/// entry >= u is exactly the rank the old linear scan stopped at.
+std::int64_t zipf_sample(Rng& rng, const std::vector<double>& cdf) {
+    const double u = rng.uniform() * cdf.back();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end()) {
+        return static_cast<std::int64_t>(cdf.size()) - 1;
+    }
+    return static_cast<std::int64_t>(it - cdf.begin());
 }
 
 }  // namespace
@@ -110,10 +119,14 @@ std::vector<ArrivalEvent> generate_arrivals(const LoadSpec& spec) {
         return events;
     }
 
+    const std::vector<double> cdf =
+        spec.pattern == ArrivalPattern::skewed
+            ? zipf_cdf(spec.task_count, spec.zipf_s)
+            : std::vector<double>{};
     for (std::int64_t i = 0; i < spec.request_count; ++i) {
         const std::int64_t task =
             spec.pattern == ArrivalPattern::skewed
-                ? zipf_sample(rng, spec.task_count, spec.zipf_s)
+                ? zipf_sample(rng, cdf)
                 : static_cast<std::int64_t>(rng.uniform_index(
                       static_cast<std::uint64_t>(spec.task_count)));
         events.push_back(ArrivalEvent{clock_us, task, draw_priority()});

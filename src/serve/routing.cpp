@@ -30,8 +30,14 @@ Router::Router(RoutingPolicy policy, std::size_t replica_count)
     MIME_REQUIRE(replica_count >= 1, "router needs at least one replica");
 }
 
+void Router::set_replica_count(std::size_t replica_count) {
+    MIME_REQUIRE(replica_count >= 1, "router needs at least one replica");
+    replica_count_ = replica_count;
+    next_ %= replica_count_;
+}
+
 std::size_t Router::route(const std::string& task,
-                          const std::vector<std::int64_t>& loads) {
+                          const std::vector<double>& loads) {
     MIME_REQUIRE(loads.size() == replica_count_,
                  "loads must have one entry per replica");
     switch (policy_) {
@@ -45,13 +51,24 @@ std::size_t Router::route(const std::string& task,
                 task_hash(task) %
                 static_cast<std::uint64_t>(replica_count_));
         case RoutingPolicy::least_loaded: {
-            std::size_t best = 0;
+            double min_load = loads[0];
             for (std::size_t i = 1; i < replica_count_; ++i) {
-                if (loads[i] < loads[best]) {
-                    best = i;
+                if (loads[i] < min_load) {
+                    min_load = loads[i];
                 }
             }
-            return best;
+            // Rotate among the minima: start the scan at the cursor so
+            // exact ties (idle pool, equal predicted cost) spread over
+            // the replicas instead of pinning replica 0.
+            for (std::size_t offset = 0; offset < replica_count_;
+                 ++offset) {
+                const std::size_t i = (next_ + offset) % replica_count_;
+                if (loads[i] == min_load) {
+                    next_ = (i + 1) % replica_count_;
+                    return i;
+                }
+            }
+            return 0;  // unreachable: min_load came from loads
         }
     }
     return 0;

@@ -1,5 +1,6 @@
 #include "serve/server_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -23,13 +24,16 @@ void PoolStats::accumulate(const ServerStats& server) {
     sparse_path_hits += server.sparse_path_hits;
     skipped_macs += server.skipped_macs;
     dense_equivalent_macs += server.dense_equivalent_macs;
+    cost_infeasible_shed += server.cost_infeasible_shed;
     interactive.completed += server.interactive.completed;
     batch.completed += server.batch.completed;
 }
 
 std::string PoolStats::to_table_string() const {
     Table aggregate({"metric", "value"});
-    aggregate.add_row({"replicas", std::to_string(replicas.size())});
+    aggregate.add_row({"replicas (active/provisioned)",
+                       std::to_string(active_replicas) + "/" +
+                           std::to_string(replicas.size())});
     aggregate.add_row({"submitted", std::to_string(requests_submitted)});
     aggregate.add_row({"completed", std::to_string(requests_completed)});
     aggregate.add_row({"served ok", std::to_string(requests_served)});
@@ -52,6 +56,18 @@ std::string PoolStats::to_table_string() const {
         {"sparse path hits", std::to_string(sparse_path_hits)});
     aggregate.add_row(
         {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
+    aggregate.add_row(
+        {"cost-infeasible shed", std::to_string(cost_infeasible_shed)});
+    aggregate.add_row(
+        {"cost prediction error", Table::num(cost_prediction_error, 4)});
+    aggregate.add_row(
+        {"cost calibration scale", Table::num(cost_calibration_scale, 3)});
+    aggregate.add_row({"autoscale grow/shrink/blocked",
+                       std::to_string(autoscale_grows) + "/" +
+                           std::to_string(autoscale_shrinks) + "/" +
+                           std::to_string(autoscale_budget_blocked)});
+    aggregate.add_row({"predicted outstanding (us)",
+                       Table::num(predicted_outstanding_us, 1)});
     aggregate.add_row({"throughput (req/s)", Table::num(throughput_rps, 1)});
     aggregate.add_row({"latency p50 (us)", Table::num(p50_latency_us, 1)});
     aggregate.add_row({"latency p95 (us)", Table::num(p95_latency_us, 1)});
@@ -87,22 +103,51 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
       prototype_(&prototype),
       admission_(config.admission, config.max_pending),
       sampler_(config.server.trace_sample_rate),
-      router_(config.routing, config.replica_count) {
+      router_(config.routing, 1) {
     MIME_REQUIRE(config.replica_count >= 1,
                  "pool needs at least one replica");
     input_shape_ = InferenceServer::serving_input_shape(prototype);
-    loads_.assign(config.replica_count, 0);
-    routed_.assign(config.replica_count, 0);
+
+    const AutoscalerConfig& scaler = config_.autoscaler;
+    std::size_t provisioned = config.replica_count;
+    active_ = config.replica_count;
+    if (scaler.enabled) {
+        MIME_REQUIRE(scaler.max_replicas >= scaler.min_replicas &&
+                         scaler.min_replicas >= 1,
+                     "autoscaler bounds must satisfy 1 <= min <= max");
+        provisioned = std::max(provisioned, scaler.max_replicas);
+        active_ = std::clamp(active_, scaler.min_replicas,
+                             scaler.max_replicas);
+    }
+    router_.set_replica_count(active_);
+
+    // One shared cost model feeds batcher feasibility, routing loads
+    // and the autoscaler; every replica calibrates it.
+    cost_model_ = config_.cost_model;
+    if (!cost_model_ &&
+        (config_.cost_aware_scheduling || scaler.enabled)) {
+        cost_model_ =
+            std::make_shared<CostModel>(prototype.layer_specs());
+    }
+
+    loads_.assign(provisioned, 0.0);
+    inflight_.assign(provisioned, 0);
+    routed_.assign(provisioned, 0);
+    route_scratch_.reserve(provisioned);
 
     // Replica 0 serves on the prototype itself; the rest on
-    // shared-backbone clones.
-    clones_.reserve(config.replica_count - 1);
-    for (std::size_t i = 1; i < config.replica_count; ++i) {
+    // shared-backbone clones. Every replica — including autoscaler
+    // standbys — is cloned here, before traffic, because cloning later
+    // would race replica 0's threshold installs on the prototype.
+    clones_.reserve(provisioned - 1);
+    for (std::size_t i = 1; i < provisioned; ++i) {
         clones_.push_back(prototype.clone_with_shared_backbone());
     }
-    servers_.reserve(config.replica_count);
-    for (std::size_t i = 0; i < config.replica_count; ++i) {
+    servers_.reserve(provisioned);
+    for (std::size_t i = 0; i < provisioned; ++i) {
         ServerConfig server_config = config.server;
+        server_config.cost_model = cost_model_;
+        server_config.cost_admission = config_.cost_aware_scheduling;
         server_config.on_requests_complete = [this, i](std::size_t count) {
             on_requests_complete(i, count);
         };
@@ -111,9 +156,77 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
         servers_.push_back(std::make_unique<InferenceServer>(
             network, loader, server_config));
     }
+
+    if (scaler.enabled) {
+        autoscaler_ = std::thread([this] { autoscaler_loop(); });
+    }
 }
 
 ServerPool::~ServerPool() { stop(); }
+
+std::size_t ServerPool::active_replicas() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+double ServerPool::request_cost_us(const std::string& task) const {
+    if (!config_.cost_aware_scheduling || !cost_model_) {
+        return 1.0;  // plain request count
+    }
+    // Price the request at its share of a typical (half-full) batch:
+    // per-request cost under batching is what routing should balance.
+    const std::int64_t expected_batch =
+        std::max<std::int64_t>(1, config_.server.batcher.max_batch_size / 2);
+    return cost_model_->predict_request_us(task, expected_batch);
+}
+
+void ServerPool::autoscaler_loop() {
+    ReplicaAutoscaler policy(config_.autoscaler);
+    std::int64_t last_shed = admission_.shed_count();
+    for (;;) {
+        // Price a replica from the live footprint of the busiest
+        // provisioned replica (plan buffers + workspace peak — the
+        // PR 4 accounting); 0 until the first batch has planned.
+        // Computed outside mutex_ so the scan never stalls submits.
+        std::int64_t replica_cost_bytes = 0;
+        for (const auto& server : servers_) {
+            const ServerStats s = server->stats();
+            replica_cost_bytes =
+                std::max(replica_cost_bytes,
+                         s.plan_buffer_bytes + s.workspace_peak_bytes);
+        }
+        const std::int64_t shed = admission_.shed_count();
+        const std::int64_t shed_delta = shed - last_shed;
+        last_shed = shed;
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        autoscale_cv_.wait_for(lock, config_.autoscaler.interval,
+                               [this] { return autoscale_stop_; });
+        if (autoscale_stop_) {
+            return;
+        }
+        double outstanding_us = 0.0;
+        for (std::size_t i = 0; i < active_; ++i) {
+            outstanding_us += loads_[i];
+        }
+        const int delta = policy.step(
+            outstanding_us / static_cast<double>(active_), shed_delta,
+            active_, replica_cost_bytes);
+        autoscale_budget_blocked_ = policy.budget_blocked();
+        if (delta > 0) {
+            ++active_;
+            ++autoscale_grows_;
+            router_.set_replica_count(active_);
+        } else if (delta < 0) {
+            // Deactivation only stops *new* routes; in-flight work on
+            // the retired replica drains normally and its completions
+            // still decrement loads_ through the stable index.
+            --active_;
+            ++autoscale_shrinks_;
+            router_.set_replica_count(active_);
+        }
+    }
+}
 
 RequestTicket ServerPool::submit(const std::string& task, Tensor image,
                                  SubmitOptions options) {
@@ -141,11 +254,20 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
     }
 
     std::size_t replica = 0;
+    const double cost_us = request_cost_us(task);
+    InferenceServer* server = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        replica = router_.route(task, loads_);
-        ++loads_[replica];
+        // Route among the active replicas only (the autoscaler may have
+        // retired the tail of the provisioned set).
+        route_scratch_.assign(loads_.begin(),
+                              loads_.begin() +
+                                  static_cast<std::ptrdiff_t>(active_));
+        replica = router_.route(task, route_scratch_);
+        loads_[replica] += cost_us;
+        ++inflight_[replica];
         ++routed_[replica];
+        server = servers_[replica].get();
     }
     const std::optional<std::int64_t> id =
         state_.register_submit(Clock::now());
@@ -153,7 +275,8 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
         // Raced with stop() after admission: unwind and reject.
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            --loads_[replica];
+            loads_[replica] = std::max(0.0, loads_[replica] - cost_us);
+            --inflight_[replica];
             --routed_[replica];
         }
         admission_.release();
@@ -170,7 +293,7 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
     }
 
     bool accepted = false;
-    RequestTicket ticket = servers_[replica]->submit_impl(
+    RequestTicket ticket = server->submit_impl(
         task, std::move(image), std::move(options), &accepted,
         /*envelope_checked=*/true, std::move(trace), admission_start);
     if (!accepted) {
@@ -178,7 +301,8 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
         // delivered the failure outcome — just unwind the accounting.
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            --loads_[replica];
+            loads_[replica] = std::max(0.0, loads_[replica] - cost_us);
+            --inflight_[replica];
             --routed_[replica];
         }
         state_.rollback_submit();
@@ -191,7 +315,21 @@ void ServerPool::on_requests_complete(std::size_t replica,
                                       std::size_t count) {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        loads_[replica] -= static_cast<std::int64_t>(count);
+        // Retire a proportional share of the replica's outstanding
+        // predicted cost: the pool does not track which request carried
+        // which price, and the proportion keeps loads_ and inflight_
+        // reaching zero together.
+        const std::int64_t inflight = inflight_[replica];
+        const auto done = static_cast<std::int64_t>(count);
+        if (inflight <= done) {
+            loads_[replica] = 0.0;
+            inflight_[replica] = 0;
+        } else {
+            loads_[replica] *=
+                static_cast<double>(inflight - done) /
+                static_cast<double>(inflight);
+            inflight_[replica] = inflight - done;
+        }
     }
     state_.complete(count, Clock::now());
     admission_.release(count);
@@ -202,6 +340,16 @@ void ServerPool::drain() { state_.drain(); }
 void ServerPool::stop() {
     if (!state_.begin_stop()) {
         return;
+    }
+    // Stop the autoscaler before the replicas so active_ stops moving
+    // while they drain.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        autoscale_stop_ = true;
+    }
+    autoscale_cv_.notify_all();
+    if (autoscaler_.joinable()) {
+        autoscaler_.join();
     }
     // Unblock admission waiters first so no submitter can deadlock
     // against a stopping pool, then stop replicas (each drains its own
@@ -281,9 +429,21 @@ PoolStats ServerPool::stats() const {
     stats.requests_submitted = state_.submitted();
     stats.requests_completed = state_.completed();
     stats.throughput_rps = state_.throughput_rps();
+    if (cost_model_) {
+        stats.cost_prediction_error =
+            cost_model_->mean_abs_relative_error();
+        stats.cost_calibration_scale = cost_model_->calibration_scale();
+    }
     std::lock_guard<std::mutex> lock(mutex_);
+    stats.active_replicas = active_;
+    stats.autoscale_grows = autoscale_grows_;
+    stats.autoscale_shrinks = autoscale_shrinks_;
+    stats.autoscale_budget_blocked = autoscale_budget_blocked_;
     for (std::size_t i = 0; i < routed_.size(); ++i) {
         stats.replicas[i].routed = routed_[i];
+    }
+    for (std::size_t i = 0; i < active_; ++i) {
+        stats.predicted_outstanding_us += loads_[i];
     }
     return stats;
 }

@@ -23,16 +23,30 @@
 // percentiles (total and per priority lane) are computed from the
 // *merged* latency reservoirs (LatencyRecorder::merge), never by
 // averaging per-replica percentiles.
+//
+// Cost-aware scheduling (default on) replaces the heuristic signals
+// with the shared CostModel's predictions: least_loaded loads become
+// predicted-microseconds-outstanding, and each replica's batcher sheds
+// predicted-infeasible work at batch-forming time. An optional
+// autoscaler (PoolConfig::autoscaler) grows/shrinks the *active*
+// replica set between min/max from admission pressure and predicted
+// per-replica backlog; all max_replicas are provisioned up front (see
+// the member comment for why) and a grow is priced against the memory
+// budget using the live per-replica plan + workspace bytes.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/mime_network.h"
 #include "serve/admission.h"
+#include "serve/autoscaler.h"
+#include "serve/cost_model.h"
 #include "serve/inference_server.h"
 #include "serve/routing.h"
 #include "serve/service.h"
@@ -43,6 +57,9 @@ namespace mime::serve {
 
 struct PoolConfig {
     /// Replica servers (each with its own dispatch thread and cache).
+    /// With the autoscaler enabled this is the *starting* active count
+    /// (clamped into its [min, max]); max_replicas are provisioned up
+    /// front and activation toggles which receive traffic.
     std::size_t replica_count = 2;
     RoutingPolicy routing = RoutingPolicy::task_affinity;
     AdmissionMode admission = AdmissionMode::block;
@@ -51,6 +68,17 @@ struct PoolConfig {
     std::size_t max_pending = 0;
     /// Per-replica server configuration (batcher, cache, workers...).
     ServerConfig server{};
+    /// Cost-model-driven scheduling: per-replica loads become predicted
+    /// microseconds outstanding (instead of request counts) and every
+    /// replica's batcher enforces predicted deadline feasibility. The
+    /// model calibrates online either way once it exists.
+    bool cost_aware_scheduling = true;
+    /// Shared predictor; built from the prototype's layer specs when
+    /// null and cost_aware_scheduling or the autoscaler needs one.
+    std::shared_ptr<CostModel> cost_model;
+    /// Replica autoscaling between min/max from admission pressure and
+    /// predicted per-replica backlog (see serve/autoscaler.h).
+    AutoscalerConfig autoscaler{};
 };
 
 /// One replica's contribution to the pool.
@@ -89,6 +117,21 @@ struct PoolStats {
     std::int64_t dense_equivalent_macs = 0;
     /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
     double skipped_mac_fraction = 0.0;
+    /// Sum of the replicas' cost-infeasible batch-forming sheds.
+    std::int64_t cost_infeasible_shed = 0;
+    /// Shared cost model state at snapshot time (0 without a model).
+    double cost_prediction_error = 0.0;
+    double cost_calibration_scale = 0.0;
+    /// Replicas currently receiving traffic (== replicas.size() unless
+    /// the autoscaler is enabled).
+    std::size_t active_replicas = 0;
+    std::int64_t autoscale_grows = 0;
+    std::int64_t autoscale_shrinks = 0;
+    /// Grows the autoscaler skipped for the memory budget.
+    std::int64_t autoscale_budget_blocked = 0;
+    /// Predicted outstanding microseconds summed over active replicas
+    /// at snapshot time (request counts when not cost-aware).
+    double predicted_outstanding_us = 0.0;
     double mean_latency_us = 0.0;
     /// Merged-reservoir percentiles over every replica's stream.
     double p50_latency_us = 0.0;
@@ -131,7 +174,15 @@ public:
     ServerPool& operator=(const ServerPool&) = delete;
 
     const PoolConfig& config() const noexcept { return config_; }
+    /// Provisioned replicas (autoscaler max when enabled).
     std::size_t replica_count() const noexcept { return servers_.size(); }
+    /// Replicas currently receiving traffic.
+    std::size_t active_replicas() const;
+    /// The shared cost model (null when neither cost-aware scheduling
+    /// nor the autoscaler asked for one).
+    const std::shared_ptr<CostModel>& cost_model() const noexcept {
+        return cost_model_;
+    }
 
     // Keep the deprecated throwing shims visible next to the override.
     using InferenceService::submit;
@@ -155,10 +206,21 @@ public:
 
 private:
     void on_requests_complete(std::size_t replica, std::size_t count);
+    /// Predicted cost one request of `task` adds to a replica's load
+    /// (1.0 — a request count — when not cost-aware).
+    double request_cost_us(const std::string& task) const;
+    void autoscaler_loop();
 
     PoolConfig config_;
     core::MimeNetwork* prototype_;
     Shape input_shape_;  ///< per-sample [C, H, W] the prototype accepts
+    std::shared_ptr<CostModel> cost_model_;  ///< may be null
+    /// Every replica is provisioned in the constructor — the autoscaler
+    /// only toggles how many are routable. Cloning or destroying a
+    /// replica mid-traffic would race replica 0's threshold installs on
+    /// the prototype (clone_with_shared_backbone snapshots T_child), so
+    /// standby replicas idle instead: an idle dispatch thread costs a
+    /// 50 ms wakeup, and plans/workspaces are lazy until first traffic.
     std::vector<std::unique_ptr<core::MimeNetwork>> clones_;
     std::vector<std::unique_ptr<InferenceServer>> servers_;
     AdmissionController admission_;
@@ -172,9 +234,23 @@ private:
     ServiceState state_;
 
     mutable std::mutex mutex_;
-    Router router_;                      ///< guarded by mutex_
-    std::vector<std::int64_t> loads_;    ///< in-flight per replica
-    std::vector<std::int64_t> routed_;   ///< total assigned per replica
+    Router router_;  ///< guarded by mutex_; sized to the active count
+    std::size_t active_ = 0;  ///< replicas receiving traffic
+    /// Outstanding work per replica: predicted microseconds when
+    /// cost-aware, else the in-flight request count. Completions
+    /// retire a proportional share (the pool does not track which
+    /// request carried which cost).
+    std::vector<double> loads_;
+    std::vector<std::int64_t> inflight_;  ///< in-flight per replica
+    std::vector<std::int64_t> routed_;    ///< total assigned per replica
+    std::vector<double> route_scratch_;   ///< active-prefix loads view
+    std::int64_t autoscale_grows_ = 0;    ///< guarded by mutex_
+    std::int64_t autoscale_shrinks_ = 0;  ///< guarded by mutex_
+    std::int64_t autoscale_budget_blocked_ = 0;  ///< guarded by mutex_
+
+    std::condition_variable autoscale_cv_;
+    bool autoscale_stop_ = false;  ///< guarded by mutex_
+    std::thread autoscaler_;
 };
 
 }  // namespace mime::serve

@@ -24,7 +24,10 @@ const core::TaskAdaptation& ThresholdCache::get(const std::string& task) {
     // Hydrate before evicting so a throwing loader leaves the cache
     // untouched.
     core::TaskAdaptation adaptation = loader_(task);
-    if (entries_.size() == capacity_) {
+    // A loop, not an == check: an overshoot (capacity shrunk below the
+    // resident count) must drain back under the bound instead of
+    // disabling eviction forever.
+    while (entries_.size() >= capacity_) {
         index_.erase(entries_.back().task);
         entries_.pop_back();
         ++evictions_;
@@ -32,6 +35,11 @@ const core::TaskAdaptation& ThresholdCache::get(const std::string& task) {
     entries_.push_front(Entry{task, std::move(adaptation)});
     index_[task] = entries_.begin();
     return entries_.front().adaptation;
+}
+
+void ThresholdCache::set_capacity(std::size_t capacity) {
+    MIME_REQUIRE(capacity > 0, "cache capacity must be positive");
+    capacity_ = capacity;
 }
 
 bool ThresholdCache::contains(const std::string& task) const {

@@ -40,6 +40,11 @@ public:
     std::size_t size() const noexcept { return index_.size(); }
     std::size_t capacity() const noexcept { return capacity_; }
 
+    /// Rebounds the cache. Shrinking below the resident count does not
+    /// evict immediately; the next get() drains the overshoot (the
+    /// eviction guard is a loop, not an exact-match check).
+    void set_capacity(std::size_t capacity);
+
     std::int64_t hits() const noexcept { return hits_; }
     std::int64_t misses() const noexcept { return misses_; }
     std::int64_t evictions() const noexcept { return evictions_; }

@@ -1,0 +1,520 @@
+// Tests for cost-model-driven scheduling: the hardware-backed cost
+// predictor (simulator pricing, online calibration), the pure
+// autoscaler policy, predictive deadline feasibility in the batcher,
+// plus regressions for this PR's bugfix sweep (zipf CDF sampling stays
+// seed-stable, batch compaction preserves arrival order, the cache
+// eviction guard drains overshoot after a capacity shrink).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "serve/autoscaler.h"
+#include "serve/batcher.h"
+#include "serve/cost_model.h"
+#include "serve/load_gen.h"
+#include "serve/threshold_cache.h"
+
+namespace mime::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Load generator: zipf CDF sampling (satellite bugfix 1)
+// ---------------------------------------------------------------------------
+
+/// The pre-CDF per-event linear scan, reproduced verbatim: rebuild the
+/// partial sums, draw u against the total, stop at the first partial
+/// sum >= u. The production path must stay bit-identical to this for
+/// every existing seed.
+std::int64_t zipf_linear_reference(Rng& rng, std::int64_t task_count,
+                                   double s) {
+    double total = 0.0;
+    for (std::int64_t k = 1; k <= task_count; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k), s);
+    }
+    const double u = rng.uniform() * total;
+    double cumulative = 0.0;
+    for (std::int64_t k = 1; k <= task_count; ++k) {
+        cumulative += 1.0 / std::pow(static_cast<double>(k), s);
+        if (cumulative >= u) {
+            return k - 1;
+        }
+    }
+    return task_count - 1;
+}
+
+TEST(LoadGen, ZipfCdfSamplingBitMatchesLinearScanReference) {
+    LoadSpec spec;
+    spec.pattern = ArrivalPattern::skewed;
+    spec.task_count = 17;
+    spec.request_count = 2000;
+    spec.zipf_s = 1.3;
+    spec.seed = 42;
+
+    const std::vector<ArrivalEvent> events = generate_arrivals(spec);
+    ASSERT_EQ(events.size(), 2000u);
+
+    // Replay the rng consumption of generate_arrivals: one uniform for
+    // the zipf draw, one for the exponential interarrival gap.
+    Rng rng(spec.seed);
+    for (const ArrivalEvent& event : events) {
+        EXPECT_EQ(event.task,
+                  zipf_linear_reference(rng, spec.task_count, spec.zipf_s));
+        rng.uniform();  // burn the interarrival draw
+    }
+}
+
+TEST(LoadGen, ZipfStreamIsSkewedAndOrdered) {
+    LoadSpec spec;
+    spec.pattern = ArrivalPattern::skewed;
+    spec.task_count = 8;
+    spec.request_count = 4000;
+    spec.zipf_s = 1.1;
+    spec.seed = 7;
+
+    const std::vector<ArrivalEvent> events = generate_arrivals(spec);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].offset_us, events[i - 1].offset_us);
+    }
+    const std::vector<std::int64_t> histogram =
+        task_histogram(events, spec.task_count);
+    // Zipf rank 0 dominates the tail by construction.
+    EXPECT_GT(histogram[0], histogram[7] * 2);
+    std::int64_t total = 0;
+    for (const std::int64_t count : histogram) {
+        total += count;
+    }
+    EXPECT_EQ(total, spec.request_count);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher compaction order (satellite bugfix 2)
+// ---------------------------------------------------------------------------
+
+InferenceRequest make_request(
+    std::int64_t id, const std::string& task, Clock::time_point enqueue_time,
+    Clock::time_point deadline = Clock::time_point::max()) {
+    InferenceRequest request;
+    request.id = id;
+    request.task = task;
+    request.image = Tensor({3, 32, 32});
+    request.enqueue_time = enqueue_time;
+    request.deadline = deadline;
+    return request;
+}
+
+std::vector<std::int64_t> batch_ids(
+    const std::vector<InferenceRequest>& batch) {
+    std::vector<std::int64_t> ids;
+    ids.reserve(batch.size());
+    for (const InferenceRequest& request : batch) {
+        ids.push_back(request.id);
+    }
+    return ids;
+}
+
+TEST(TaskBatcher, CompactionPreservesArrivalOrderOfSurvivors) {
+    // task_grouped pulls members from scattered positions; the requests
+    // left behind must keep strict arrival order (the compaction is one
+    // stable left-slide, not a reversed back-to-front erase).
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 8;
+    config.max_wait = std::chrono::microseconds(0);  // always ready
+    TaskBatcher batcher(config);
+
+    const auto t0 = Clock::now();
+    batcher.add(make_request(0, "a", t0));
+    batcher.add(make_request(1, "b", t0));
+    batcher.add(make_request(2, "a", t0));
+    batcher.add(make_request(3, "c", t0));
+    batcher.add(make_request(4, "b", t0));
+    batcher.add(make_request(5, "a", t0));
+    batcher.add(make_request(6, "c", t0));
+
+    auto first = batcher.next_batch(Clock::now()).batch;
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(batch_ids(*first), (std::vector<std::int64_t>{0, 2, 5}));
+
+    // Survivors slid left in order: b1, c3, b4, c6 -> "b" batch next.
+    auto second = batcher.next_batch(Clock::now()).batch;
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(batch_ids(*second), (std::vector<std::int64_t>{1, 4}));
+
+    auto third = batcher.next_batch(Clock::now()).batch;
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(batch_ids(*third), (std::vector<std::int64_t>{3, 6}));
+    EXPECT_TRUE(batcher.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ThresholdCache eviction guard (satellite bugfix 4)
+// ---------------------------------------------------------------------------
+
+core::TaskAdaptation synthetic_adaptation(const std::string& name) {
+    core::TaskAdaptation adaptation;
+    adaptation.name = name;
+    adaptation.thresholds.task_name = name;
+    adaptation.thresholds.thresholds = {Tensor({4}, 0.5f)};
+    adaptation.head_weight = Tensor({10, 4});
+    adaptation.head_bias = Tensor({10});
+    adaptation.num_classes = 10;
+    return adaptation;
+}
+
+TEST(ThresholdCache, ShrinkingCapacityDrainsOvershootOnNextGet) {
+    ThresholdCache cache(4, [](const std::string& name) {
+        return synthetic_adaptation(name);
+    });
+    cache.get("a");
+    cache.get("b");
+    cache.get("c");
+    cache.get("d");
+    EXPECT_EQ(cache.size(), 4u);
+
+    // Shrinking does not evict immediately...
+    cache.set_capacity(2);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.capacity(), 2u);
+
+    // ...but the next miss drains the whole overshoot. Under the old
+    // `size == capacity` guard this get evicted exactly one entry and
+    // the cache sat over capacity forever.
+    cache.get("e");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 3);
+    EXPECT_TRUE(cache.contains("e"));
+    EXPECT_TRUE(cache.contains("d"));  // most recent survivor
+
+    // Steady state after the drain: normal LRU, one eviction per miss.
+    cache.get("f");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 4);
+}
+
+TEST(ThresholdCache, RejectsZeroCapacity) {
+    ThresholdCache cache(2, [](const std::string& name) {
+        return synthetic_adaptation(name);
+    });
+    EXPECT_THROW(cache.set_capacity(0), check_error);
+}
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+std::vector<arch::LayerSpec> tiny_layers() {
+    arch::LayerSpec conv;
+    conv.name = "conv1";
+    conv.kind = arch::LayerKind::conv;
+    conv.in_channels = 3;
+    conv.out_channels = 8;
+    conv.kernel = 3;
+    conv.padding = 1;
+    conv.in_height = 8;
+    conv.in_width = 8;
+
+    arch::LayerSpec conv2 = conv;
+    conv2.name = "conv2";
+    conv2.in_channels = 8;
+    conv2.out_channels = 8;
+
+    arch::LayerSpec fc;
+    fc.name = "fc";
+    fc.kind = arch::LayerKind::fc;
+    fc.in_channels = 8 * 8 * 8;
+    fc.out_channels = 16;
+
+    return {conv, conv2, fc};
+}
+
+TEST(CostModel, SimulatorPredictionIsMonotoneInBatchSize) {
+    CostModel model(tiny_layers());
+    const double one = model.predict_batch_us("t", 1);
+    const double two = model.predict_batch_us("t", 2);
+    const double four = model.predict_batch_us("t", 4);
+    EXPECT_GT(one, 0.0);
+    EXPECT_LT(one, two);
+    EXPECT_LT(two, four);
+    // Per-request share shrinks (or holds) as the expected batch grows:
+    // that is the amortization least_loaded prices with.
+    EXPECT_GE(model.predict_request_us("t", 1),
+              model.predict_request_us("t", 4));
+}
+
+TEST(CostModel, SparserTasksPriceCheaperThanDense) {
+    CostModel model(tiny_layers());
+    model.set_task_sparsity("sparse", {0.9, 0.9, 0.9});
+    model.set_task_sparsity("dense", {0.0, 0.0, 0.0});
+    EXPECT_TRUE(model.has_task_profile("sparse"));
+
+    const double sparse_us = model.predict_batch_us("sparse", 4);
+    const double dense_us = model.predict_batch_us("dense", 4);
+    EXPECT_LT(sparse_us, dense_us);
+    EXPECT_LT(model.predict_batch_energy("sparse", 4),
+              model.predict_batch_energy("dense", 4));
+
+    // Unknown tasks price pessimistically at dense.
+    EXPECT_FALSE(model.has_task_profile("never-seen"));
+    EXPECT_EQ(model.predict_batch_us("never-seen", 4), dense_us);
+}
+
+TEST(CostModel, ClampsHostileSparsityObservations) {
+    CostModel model(tiny_layers());
+    // 1.0 (fully dead site), negatives and NaN must all be absorbed —
+    // SparsityProfile itself rejects values outside [0, 1).
+    model.set_task_sparsity(
+        "hostile", {1.0, -0.5, std::nan("")});
+    EXPECT_GT(model.predict_batch_us("hostile", 2), 0.0);
+    // A short observation (one site) pads by repeating its last value.
+    model.set_task_sparsity("short", {0.8});
+    EXPECT_LT(model.predict_batch_us("short", 2),
+              model.predict_batch_us("never-seen", 2));
+}
+
+TEST(CostModel, LinearFallbackPricesExactly) {
+    CostModelConfig config;
+    config.use_simulator = false;
+    config.default_per_sample_us = 200.0;
+    config.default_batch_overhead_us = 50.0;
+    CostModel model(tiny_layers(), config);
+    EXPECT_DOUBLE_EQ(model.predict_batch_us("t", 1), 250.0);
+    EXPECT_DOUBLE_EQ(model.predict_batch_us("t", 4), 850.0);
+    EXPECT_DOUBLE_EQ(model.predict_batch_energy("t", 4), 0.0);
+
+    // An empty layer list cannot be priced by the simulator; the model
+    // must quietly fall back instead of faulting on every predict.
+    CostModel degenerate({});
+    EXPECT_GT(degenerate.predict_batch_us("t", 1), 0.0);
+}
+
+TEST(CostModel, CalibrationConvergesOnObservedServiceTimes) {
+    CostModelConfig config;
+    config.use_simulator = false;
+    config.default_per_sample_us = 100.0;
+    config.default_batch_overhead_us = 0.0;
+    CostModel model(tiny_layers(), config);
+
+    // The replica consistently measures 2.5x the base model.
+    ASSERT_DOUBLE_EQ(model.predict_batch_us("t", 1), 100.0);
+    CostFeedback feedback{};
+    for (int i = 0; i < 40; ++i) {
+        feedback = model.observe_batch("t", 1, 250.0);
+    }
+    EXPECT_EQ(model.observation_count(), 40);
+    // Scale has converged near measured/base and the blended prediction
+    // lands on the observed time.
+    EXPECT_NEAR(model.calibration_scale(), 2.5, 0.1);
+    EXPECT_NEAR(model.predict_batch_us("t", 1), 250.0, 5.0);
+    // The last feedback's prediction was already close, so its error is
+    // small even though the first observations were 60% off.
+    EXPECT_LT(feedback.abs_relative_error, 0.05);
+    EXPECT_GT(model.mean_abs_relative_error(), 0.0);
+
+    // Calibration generalizes to shapes never observed: batch 4 is
+    // scaled by the learned factor, not stuck at the base model.
+    EXPECT_GT(model.predict_batch_us("t", 4), 2.0 * 400.0);
+}
+
+TEST(CostModel, CalibrationScaleIsClampedAndIgnoresBadSamples) {
+    CostModelConfig config;
+    config.use_simulator = false;
+    config.default_per_sample_us = 1.0;
+    config.default_batch_overhead_us = 0.0;
+    config.calibration_alpha = 1.0;  // jump straight to each ratio
+    config.max_calibration_scale = 10.0;
+    CostModel model(tiny_layers(), config);
+
+    // A wild measurement (plan warm-up page fault) cannot poison the
+    // scale past the clamp.
+    model.observe_batch("t", 1, 1e9);
+    EXPECT_DOUBLE_EQ(model.calibration_scale(), 10.0);
+
+    // Non-positive measurements are clock glitches: no calibration, no
+    // error accounting.
+    const std::int64_t before = model.observation_count();
+    model.observe_batch("t", 1, 0.0);
+    model.observe_batch("t", 1, -5.0);
+    EXPECT_EQ(model.observation_count(), before);
+    EXPECT_DOUBLE_EQ(model.calibration_scale(), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaAutoscaler policy
+// ---------------------------------------------------------------------------
+
+AutoscalerConfig scaler_config() {
+    AutoscalerConfig config;
+    config.enabled = true;
+    config.min_replicas = 1;
+    config.max_replicas = 4;
+    config.grow_backlog_us = 1000.0;
+    config.shrink_backlog_us = 100.0;
+    config.grow_patience = 2;
+    config.shrink_patience = 3;
+    return config;
+}
+
+TEST(ReplicaAutoscaler, GrowNeedsPatienceAndRespectsMax) {
+    ReplicaAutoscaler scaler(scaler_config());
+    EXPECT_EQ(scaler.step(5000.0, 0, 1), 0);  // streak 1 of 2
+    EXPECT_EQ(scaler.step(5000.0, 0, 1), 1);  // streak 2 -> grow
+    // Saturated at max_replicas: pressure can no longer grow.
+    EXPECT_EQ(scaler.step(5000.0, 0, 4), 0);
+    EXPECT_EQ(scaler.step(5000.0, 0, 4), 0);
+}
+
+TEST(ReplicaAutoscaler, AdmissionShedsCountAsPressure) {
+    ReplicaAutoscaler scaler(scaler_config());
+    // Backlog is calm but admission shed work since the last tick: the
+    // pool is refusing requests, which is the strongest grow signal.
+    EXPECT_EQ(scaler.step(0.0, 3, 1), 0);
+    EXPECT_EQ(scaler.step(0.0, 2, 1), 1);
+}
+
+TEST(ReplicaAutoscaler, ShrinkNeedsPatienceAndRespectsMin) {
+    ReplicaAutoscaler scaler(scaler_config());
+    EXPECT_EQ(scaler.step(0.0, 0, 3), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 3), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 3), -1);  // third calm tick -> shrink
+    // At the floor an idle pool holds.
+    EXPECT_EQ(scaler.step(0.0, 0, 1), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 1), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 1), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 1), 0);
+}
+
+TEST(ReplicaAutoscaler, HysteresisBandResetsShrinkStreak) {
+    ReplicaAutoscaler scaler(scaler_config());
+    EXPECT_EQ(scaler.step(0.0, 0, 2), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 2), 0);
+    // Mid-band tick (between shrink and grow thresholds): no decision,
+    // and the shrink streak starts over — the pool must not flap on a
+    // backlog hovering at the shrink line.
+    EXPECT_EQ(scaler.step(500.0, 0, 2), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 2), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 2), 0);
+    EXPECT_EQ(scaler.step(0.0, 0, 2), -1);
+}
+
+TEST(ReplicaAutoscaler, MemoryBudgetBlocksGrowsAndCounts) {
+    AutoscalerConfig config = scaler_config();
+    config.grow_patience = 1;
+    config.memory_budget_bytes = 1000;
+    ReplicaAutoscaler scaler(config);
+
+    // Activating a second 600-byte replica would cost 1200 > 1000.
+    EXPECT_EQ(scaler.step(5000.0, 0, 1, 600), 0);
+    EXPECT_EQ(scaler.budget_blocked(), 1);
+    // A 400-byte replica fits: 2 * 400 <= 1000.
+    EXPECT_EQ(scaler.step(5000.0, 0, 1, 400), 1);
+    EXPECT_EQ(scaler.budget_blocked(), 1);
+    // Unknown replica cost (0) is never budget-blocked.
+    EXPECT_EQ(scaler.step(5000.0, 0, 2, 0), 1);
+}
+
+TEST(ReplicaAutoscaler, RejectsDegenerateConfigs) {
+    AutoscalerConfig zero_min = scaler_config();
+    zero_min.min_replicas = 0;
+    EXPECT_THROW(ReplicaAutoscaler{zero_min}, check_error);
+
+    AutoscalerConfig inverted = scaler_config();
+    inverted.max_replicas = 0;
+    EXPECT_THROW(ReplicaAutoscaler{inverted}, check_error);
+
+    AutoscalerConfig no_band = scaler_config();
+    no_band.shrink_backlog_us = no_band.grow_backlog_us;
+    EXPECT_THROW(ReplicaAutoscaler{no_band}, check_error);
+}
+
+// ---------------------------------------------------------------------------
+// Predictive deadline feasibility in the batcher (tentpole wiring)
+// ---------------------------------------------------------------------------
+
+BatcherConfig costed_batcher(double per_member_us) {
+    BatcherConfig config;
+    config.policy = BatchingPolicy::task_grouped;
+    config.max_batch_size = 8;
+    config.max_wait = std::chrono::microseconds(0);
+    config.predict_batch_us = [per_member_us](const std::string&,
+                                              std::int64_t batch) {
+        return per_member_us * static_cast<double>(batch);
+    };
+    return config;
+}
+
+TEST(TaskBatcher, ShedsPredictedInfeasibleRequestsAtReapTime) {
+    // Every batch costs 1 second per member; a 1 ms deadline can never
+    // be met, so the request is shed before it occupies a forward.
+    TaskBatcher batcher(costed_batcher(1'000'000.0));
+    const auto now = Clock::now();
+    batcher.add(make_request(0, "a", now,
+                             now + std::chrono::milliseconds(1)));
+
+    const BatchResult result = batcher.next_batch(now);
+    EXPECT_FALSE(result.batch.has_value());
+    ASSERT_EQ(result.reaped.size(), 1u);
+    EXPECT_EQ(result.reaped[0].status, ServeStatus::deadline_exceeded);
+    EXPECT_TRUE(result.reaped[0].predicted_infeasible);
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(TaskBatcher, FeasibleDeadlinesAreNotShedPredictively) {
+    TaskBatcher batcher(costed_batcher(100.0));  // 100 us per member
+    const auto now = Clock::now();
+    batcher.add(make_request(0, "a", now, now + std::chrono::seconds(1)));
+
+    const BatchResult result = batcher.next_batch(now);
+    ASSERT_TRUE(result.batch.has_value());
+    EXPECT_EQ(result.batch->size(), 1u);
+    EXPECT_TRUE(result.reaped.empty());
+}
+
+TEST(TaskBatcher, JoinRefusalKeepsBatchFeasibleForItsMembers) {
+    // 600 us per member: any member alone fits a 1 ms deadline, two
+    // together (1200 us) do not. The batch must go out solo and the
+    // refused candidate must stay pending, not be dropped.
+    TaskBatcher batcher(costed_batcher(600.0));
+    const auto now = Clock::now();
+    const auto deadline = now + std::chrono::milliseconds(1);
+    batcher.add(make_request(0, "a", now, deadline));
+    batcher.add(make_request(1, "a", now, deadline));
+    // No-deadline candidate: joining would still break member 0's
+    // deadline, so it too must wait for the next batch.
+    batcher.add(make_request(2, "a", now));
+
+    const BatchResult first = batcher.next_batch(now);
+    ASSERT_TRUE(first.batch.has_value());
+    EXPECT_EQ(batch_ids(*first.batch), (std::vector<std::int64_t>{0}));
+    EXPECT_TRUE(first.reaped.empty());
+    EXPECT_EQ(batcher.pending_count(), 2u);
+
+    const BatchResult second = batcher.next_batch(now);
+    ASSERT_TRUE(second.batch.has_value());
+    EXPECT_EQ(batch_ids(*second.batch), (std::vector<std::int64_t>{1}));
+
+    // The no-deadline straggler rides the last batch unconstrained.
+    const BatchResult third = batcher.next_batch(now);
+    ASSERT_TRUE(third.batch.has_value());
+    EXPECT_EQ(batch_ids(*third.batch), (std::vector<std::int64_t>{2}));
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(TaskBatcher, LooseDeadlinesStillBatchTogether) {
+    TaskBatcher batcher(costed_batcher(100.0));
+    const auto now = Clock::now();
+    const auto deadline = now + std::chrono::seconds(1);
+    for (std::int64_t i = 0; i < 4; ++i) {
+        batcher.add(make_request(i, "a", now, deadline));
+    }
+    const BatchResult result = batcher.next_batch(now);
+    ASSERT_TRUE(result.batch.has_value());
+    EXPECT_EQ(result.batch->size(), 4u);  // 400 us fits 1 s easily
+}
+
+}  // namespace
+}  // namespace mime::serve

@@ -4,8 +4,11 @@
 // direct single-network forwards.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -34,7 +37,7 @@ core::MimeNetworkConfig tiny_config(std::uint64_t seed = 3) {
 
 TEST(Router, RoundRobinCyclesFairly) {
     Router router(RoutingPolicy::round_robin, 3);
-    const std::vector<std::int64_t> loads(3, 0);
+    const std::vector<double> loads(3, 0.0);
     std::vector<std::int64_t> picks(3, 0);
     for (int i = 0; i < 9; ++i) {
         const std::size_t replica = router.route("any", loads);
@@ -46,7 +49,7 @@ TEST(Router, RoundRobinCyclesFairly) {
 
 TEST(Router, TaskAffinityIsSticky) {
     Router router(RoutingPolicy::task_affinity, 4);
-    std::vector<std::int64_t> loads(4, 0);
+    std::vector<double> loads(4, 0.0);
     for (int t = 0; t < 16; ++t) {
         const std::string task = "task" + std::to_string(t);
         const std::size_t first = router.route(task, loads);
@@ -61,7 +64,7 @@ TEST(Router, TaskAffinityIsSticky) {
 
 TEST(Router, TaskAffinitySpreadsTasksAcrossReplicas) {
     Router router(RoutingPolicy::task_affinity, 4);
-    const std::vector<std::int64_t> loads(4, 0);
+    const std::vector<double> loads(4, 0.0);
     std::set<std::size_t> used;
     for (int t = 0; t < 64; ++t) {
         used.insert(router.route("task" + std::to_string(t), loads));
@@ -71,11 +74,34 @@ TEST(Router, TaskAffinitySpreadsTasksAcrossReplicas) {
     EXPECT_GE(used.size(), 3u);
 }
 
-TEST(Router, LeastLoadedPicksMinimumWithLowestIndexTie) {
+TEST(Router, LeastLoadedPicksMinimum) {
     Router router(RoutingPolicy::least_loaded, 3);
     EXPECT_EQ(router.route("t", {3, 0, 2}), 1u);
     EXPECT_EQ(router.route("t", {5, 5, 1}), 2u);
-    EXPECT_EQ(router.route("t", {2, 2, 2}), 0u);  // tie -> lowest index
+}
+
+TEST(Router, LeastLoadedBreaksTiesRoundRobin) {
+    // An all-idle (or equal-predicted-cost) pool must spread exact ties
+    // instead of hot-spotting replica 0 — the old lowest-index rule
+    // pinned every post-drain burst onto one replica.
+    Router router(RoutingPolicy::least_loaded, 3);
+    std::vector<std::int64_t> picks(3, 0);
+    for (int i = 0; i < 9; ++i) {
+        ++picks[router.route("t", {4, 4, 4})];
+    }
+    EXPECT_EQ(picks, (std::vector<std::int64_t>{3, 3, 3}));
+
+    // Ties among a strict subset rotate within that subset, and a
+    // subsequent strict minimum still wins outright.
+    std::vector<std::int64_t> subset_picks(3, 0);
+    for (int i = 0; i < 8; ++i) {
+        const std::size_t replica = router.route("t", {0, 7, 0});
+        EXPECT_NE(replica, 1u);
+        ++subset_picks[replica];
+    }
+    EXPECT_EQ(subset_picks[0], 4);
+    EXPECT_EQ(subset_picks[2], 4);
+    EXPECT_EQ(router.route("t", {9, 1, 9}), 1u);
 }
 
 TEST(Router, LeastLoadedBalancesSkewedService) {
@@ -83,7 +109,7 @@ TEST(Router, LeastLoadedBalancesSkewedService) {
     // must steer work toward the faster replica because the slow one's
     // backlog keeps it off the argmin.
     Router router(RoutingPolicy::least_loaded, 2);
-    std::vector<std::int64_t> loads(2, 0);
+    std::vector<double> loads(2, 0.0);
     std::vector<std::int64_t> assigned(2, 0);
     for (int i = 0; i < 300; ++i) {
         const std::size_t replica = router.route("t", loads);
@@ -99,8 +125,8 @@ TEST(Router, LeastLoadedBalancesSkewedService) {
         }
     }
     EXPECT_EQ(assigned[0] + assigned[1], 300);
-    // The slow replica must end up with under half the stream (it still
-    // wins every idle tie, so it keeps roughly its service share).
+    // The slow replica must end up with under half the stream (ties now
+    // rotate, so it keeps at most its service share).
     EXPECT_LT(assigned[0], assigned[1]);
     EXPECT_LT(assigned[0], 150);
 }
@@ -511,6 +537,108 @@ TEST(ServerPool, StatsMergeUsesPooledReservoirs) {
     const std::string table = stats.to_table_string();
     EXPECT_NE(table.find("replicas"), std::string::npos);
     EXPECT_NE(table.find("cache hit rate"), std::string::npos);
+}
+
+TEST(ServerPool, CostAwareSchedulingCalibratesAndRetiresLoad) {
+    // Default pool: cost-aware scheduling builds its own model from the
+    // prototype's layer specs, prices every routed request, and retires
+    // the predicted load as completions arrive.
+    PoolFixture fixture(2);
+    PoolConfig config;
+    config.replica_count = 2;
+    config.routing = RoutingPolicy::least_loaded;
+    config.server.batcher.max_wait = std::chrono::microseconds(200);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, fixture.loader(), config);
+    ASSERT_NE(pool.cost_model(), nullptr);
+
+    for (int i = 0; i < 16; ++i) {
+        pool.submit("task" + std::to_string(i % 2),
+                    Tensor({3, 32, 32}, 0.1f));
+    }
+    pool.drain();
+    const PoolStats stats = pool.stats();
+    pool.stop();
+
+    EXPECT_EQ(stats.requests_served, 16);
+    // Every batch fed the calibrator, so the model has observations and
+    // a positive (clamped) scale.
+    EXPECT_GT(pool.cost_model()->observation_count(), 0);
+    EXPECT_GT(stats.cost_calibration_scale, 0.0);
+    // All work completed -> the predicted-outstanding ledger is empty.
+    EXPECT_EQ(stats.predicted_outstanding_us, 0.0);
+    EXPECT_EQ(stats.active_replicas, 2u);
+}
+
+TEST(ServerPool, AutoscalerGrowsUnderLoadAndShrinksBackToMin) {
+    PoolFixture fixture(2);
+
+    // Deterministic linear pricing so the predicted backlog is exact:
+    // a 48-request burst on one active replica is tens of thousands of
+    // predicted microseconds, far past grow_backlog_us.
+    CostModelConfig cost_config;
+    cost_config.use_simulator = false;
+    cost_config.default_per_sample_us = 2000.0;
+
+    PoolConfig config;
+    config.replica_count = 1;  // start at min
+    config.routing = RoutingPolicy::least_loaded;
+    config.cost_model = std::make_shared<CostModel>(
+        fixture.network.layer_specs(), cost_config);
+    config.autoscaler.enabled = true;
+    config.autoscaler.min_replicas = 1;
+    config.autoscaler.max_replicas = 3;
+    config.autoscaler.interval = std::chrono::milliseconds(2);
+    config.autoscaler.grow_backlog_us = 1000.0;
+    config.autoscaler.shrink_backlog_us = 200.0;
+    config.autoscaler.grow_patience = 1;
+    config.autoscaler.shrink_patience = 2;
+    config.server.batcher.max_batch_size = 4;
+    config.server.batcher.max_wait = std::chrono::microseconds(200);
+    // Model an attached accelerator so the burst stays queued long
+    // enough for the scaler to react on any host.
+    config.server.simulated_service_time = std::chrono::milliseconds(3);
+    config.server.worker_threads = 1;
+
+    ServerPool pool(fixture.network, fixture.loader(), config);
+    EXPECT_EQ(pool.replica_count(), 3u);  // provisioned to max up front
+    EXPECT_EQ(pool.active_replicas(), 1u);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 48; ++i) {
+        futures.push_back(pool.submit_async(
+            "task" + std::to_string(i % 2), Tensor({3, 32, 32}, 0.1f)));
+    }
+    // The scaler must activate extra replicas while the queue drains.
+    std::size_t peak_active = pool.active_replicas();
+    for (int spin = 0; spin < 2000 && peak_active < 2; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        peak_active = std::max(peak_active, pool.active_replicas());
+    }
+    EXPECT_GE(peak_active, 2u);
+    pool.drain();
+    for (std::future<InferenceResult>& future : futures) {
+        EXPECT_EQ(future.get().logits.shape().dim(-1), 10);
+    }
+
+    // Idle backlog sits below shrink_backlog_us: the scaler must hand
+    // the extra replicas back until it rests at min_replicas.
+    std::size_t active = pool.active_replicas();
+    for (int spin = 0; spin < 5000 && active > 1; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        active = pool.active_replicas();
+    }
+    EXPECT_EQ(active, 1u);
+
+    const PoolStats stats = pool.stats();
+    pool.stop();
+    EXPECT_GE(stats.autoscale_grows, 1);
+    EXPECT_GE(stats.autoscale_shrinks, 1);
+    EXPECT_EQ(stats.active_replicas, 1u);
+    EXPECT_EQ(stats.requests_completed, 48);
+    const std::string table = stats.to_table_string();
+    EXPECT_NE(table.find("replicas (active/provisioned)"),
+              std::string::npos);
 }
 
 }  // namespace
