@@ -7,8 +7,9 @@
 // and bytes per batch (via the Tensor allocation probe), and the
 // steady-state workspace footprint — and *asserts* that the planned
 // path performs zero tensor-storage allocations after its warm-up
-// batch, so CI catches any regression that reintroduces heap traffic
-// on the serving hot path.
+// batch (dense, sparse, and int8 quantized variants alike), so CI
+// catches any regression that reintroduces heap traffic on the
+// serving hot path.
 //
 // Environment knobs:
 //   MIME_ALLOC_ITERS  batches per measurement (default 20)
@@ -90,9 +91,11 @@ PathResult run_legacy(core::MimeNetwork& net, const Tensor& x,
 }
 
 PathResult run_planned(core::MimeNetwork& net, const Tensor& x,
-                       std::int64_t iters, bool sparse) {
+                       std::int64_t iters, bool sparse,
+                       bool quantized = false) {
     net.set_eval_mode(true);
     net.set_sparse_execution({sparse, nn::kDefaultSparseDensityCutoff});
+    net.set_quantized_execution({quantized});
     Workspace workspace;
     net.forward_planned(x, workspace);  // warm-up: plan build + reserve
     const std::int64_t alloc0 = Tensor::storage_allocation_count();
@@ -181,6 +184,13 @@ int main() {
             run_planned(net, x, iters, /*sparse=*/false);
         const PathResult pruned_sparse =
             run_planned(net, x, iters, /*sparse=*/true);
+        // Int8 quantized plan over the same pruned sparse structure:
+        // the int8 slabs live in the plan/workspace like everything
+        // else, so the zero-allocation guarantee must hold here too
+        // (run_planned asserts it).
+        const PathResult pruned_int8 = run_planned(
+            net, x, iters, /*sparse=*/true, /*quantized=*/true);
+        net.set_quantized_execution({false});
         legacy_allocs += legacy.allocs_per_batch;
         speedup_sum += planned.req_per_s / legacy.req_per_s;
         sparse_speedup_sum +=
@@ -201,12 +211,16 @@ int main() {
                        Table::num(pruned_sparse.req_per_s, 1), "0", "0.0",
                        std::to_string(pruned_sparse.workspace_peak),
                        std::to_string(pruned_sparse.plan_buffers)});
+        table.add_row({name, "planned int8 sparse (75% pruned)",
+                       Table::num(pruned_int8.req_per_s, 1), "0", "0.0",
+                       std::to_string(pruned_int8.workspace_peak),
+                       std::to_string(pruned_int8.plan_buffers)});
     }
     table.print();
 
     bench::print_claim("planned allocations per batch after warm-up",
                        "0 (plan-once / execute-many)",
-                       "0 (asserted, dense and sparse)");
+                       "0 (asserted: dense, sparse, and int8 sparse)");
     bench::print_claim(
         "legacy allocations per batch (mean over archs)", "> 0",
         Table::num(legacy_allocs / arch_count, 1));

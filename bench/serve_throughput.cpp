@@ -269,16 +269,17 @@ bench::Json lane_slo(const serve::PriorityLaneStats& lane,
     return json;
 }
 
-/// Closed-loop A/B run for sparse vs dense planned execution. No
-/// simulated accelerator: the run is forward-bound on purpose, so req/s
-/// measures what row compaction saves in the functional forward. When
+/// Closed-loop A/B run for sparse vs dense planned execution (and,
+/// with `quantized`, int8 vs float). No simulated accelerator: the run
+/// is forward-bound on purpose, so req/s measures what row compaction
+/// (or int8 arithmetic) saves in the functional forward. When
 /// `metrics_json` / `prom_text` are non-null the run also exports the
 /// server's metrics registry through both exporters.
 serve::ServerStats replay_sparse_ab(
     core::MimeNetwork& network,
     const std::vector<core::TaskAdaptation>& adaptations,
     const std::vector<serve::ArrivalEvent>& events, bool sparse,
-    bench::Json* metrics_json = nullptr,
+    bool quantized = false, bench::Json* metrics_json = nullptr,
     std::string* prom_text = nullptr) {
     serve::ServerConfig config;
     config.batcher.policy = serve::BatchingPolicy::task_grouped;
@@ -287,6 +288,7 @@ serve::ServerStats replay_sparse_ab(
     config.cache_capacity = adaptations.size();
     config.worker_threads = 1;
     config.sparse_execution = sparse;
+    config.quantized_execution = quantized;
     serve::InferenceServer server(network, make_loader(adaptations),
                                   config);
 
@@ -467,9 +469,10 @@ int main() {
     // BENCH_serve.prom (Prometheus text exposition).
     bench::Json sparse_metrics;
     std::string sparse_prom;
-    const serve::ServerStats sparse_stats =
-        replay_sparse_ab(network, pruned_adaptations, sparse_events,
-                         /*sparse=*/true, &sparse_metrics, &sparse_prom);
+    const serve::ServerStats sparse_stats = replay_sparse_ab(
+        network, pruned_adaptations, sparse_events,
+        /*sparse=*/true, /*quantized=*/false, &sparse_metrics,
+        &sparse_prom);
 
     Table sparse_table({"executor", "req/s", "p50 us", "p95 us",
                         "sparse hits", "skipped MACs"});
@@ -514,6 +517,65 @@ int main() {
         serve_json.set("sparse_ab", std::move(ab));
         serve_json.set("sparse_run_metrics", std::move(sparse_metrics));
         bench::write_text_file("BENCH_serve.prom", sparse_prom);
+    }
+
+    // -----------------------------------------------------------------------
+    // Quantized execution A/B: int8 planned forwards vs float sparse
+    // -----------------------------------------------------------------------
+    std::printf("\n");
+    bench::print_banner(
+        "Quantized execution A/B — int8 planned forwards, skewed stream",
+        "per-channel int8 weights + dynamic activation quantization on "
+        "top of the same row-compacted sparse plans");
+
+    // The float side reuses sparse_stats above: same network, same
+    // pruned tasks, same arrival stream — the only delta is the int8
+    // executor.
+    const serve::ServerStats int8_stats = replay_sparse_ab(
+        network, pruned_adaptations, sparse_events,
+        /*sparse=*/true, /*quantized=*/true);
+
+    Table int8_table({"executor", "req/s", "p50 us", "p95 us",
+                      "quantized hits", "max weight rel err"});
+    int8_table.add_row(
+        {"float sparse", Table::num(sparse_stats.throughput_rps, 1),
+         Table::num(sparse_stats.p50_latency_us, 0),
+         Table::num(sparse_stats.p95_latency_us, 0),
+         std::to_string(sparse_stats.quantized_path_hits), "-"});
+    int8_table.add_row(
+        {"int8 sparse", Table::num(int8_stats.throughput_rps, 1),
+         Table::num(int8_stats.p50_latency_us, 0),
+         Table::num(int8_stats.p95_latency_us, 0),
+         std::to_string(int8_stats.quantized_path_hits),
+         Table::num(int8_stats.quantized_weight_max_rel_error, 5)});
+    int8_table.print();
+
+    const double int8_speedup =
+        sparse_stats.throughput_rps > 0.0
+            ? int8_stats.throughput_rps / sparse_stats.throughput_rps
+            : 0.0;
+    bench::print_claim(
+        "int8 vs float sparse planned req/s (skewed, pruned)", ">= 1.1x",
+        Table::ratio(int8_speedup));
+    bench::print_claim("quantized weight max rel error",
+                       "< 0.0079 (half-LSB of int8)",
+                       Table::num(
+                           int8_stats.quantized_weight_max_rel_error, 5));
+
+    {
+        bench::Json ab;
+        ab.set("float_sparse_req_per_s", sparse_stats.throughput_rps);
+        ab.set("int8_req_per_s", int8_stats.throughput_rps);
+        ab.set("speedup", int8_speedup);
+        ab.set("int8_p50_us", int8_stats.p50_latency_us);
+        ab.set("int8_p95_us", int8_stats.p95_latency_us);
+        ab.set("int8_p99_us", int8_stats.p99_latency_us);
+        ab.set("quantized_path_hits", int8_stats.quantized_path_hits);
+        ab.set("quantized_weight_max_rel_error",
+               int8_stats.quantized_weight_max_rel_error);
+        ab.set("sparse_path_hits", int8_stats.sparse_path_hits);
+        ab.set("skipped_mac_fraction", int8_stats.skipped_mac_fraction);
+        serve_json.set("quantized_ab", std::move(ab));
     }
 
     // -----------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "core/forward_plan.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -18,7 +19,9 @@ std::int64_t tensor_bytes(const Tensor& t) {
 }  // namespace
 
 ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
-    : network_(&network), batch_size_(batch_size) {
+    : network_(&network),
+      batch_size_(batch_size),
+      quantized_(network.quantized_execution().enabled) {
     MIME_REQUIRE(batch_size >= 1, "ForwardPlan batch size must be >= 1");
     MIME_REQUIRE(!network.layer_specs().empty(),
                  "ForwardPlan needs a built network");
@@ -64,10 +67,19 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
             // from what forward_into computes.
             const ConvGeometry g =
                 conv->geometry(current.dim(2), current.dim(3));
-            const std::size_t scratch =
-                static_cast<std::size_t>(conv->workspace_floats(
-                    current.dim(2), current.dim(3), batch_size)) *
-                sizeof(float);
+            std::size_t scratch;
+            if (quantized_) {
+                step.qweight =
+                    nn::quantize_weights_per_channel(conv->weight().value);
+                quantized_max_rel_error_ = std::max(
+                    quantized_max_rel_error_, step.qweight.max_rel_error);
+                scratch = conv->quantized_workspace_bytes(
+                    current.dim(2), current.dim(3), batch_size);
+            } else {
+                scratch = static_cast<std::size_t>(conv->workspace_floats(
+                              current.dim(2), current.dim(3), batch_size)) *
+                          sizeof(float);
+            }
             if (scratch > workspace_bytes_) {
                 workspace_bytes_ = scratch;
             }
@@ -147,6 +159,23 @@ ForwardPlan::ForwardPlan(MimeNetwork& network, std::int64_t batch_size)
                         static_cast<std::size_t>(linear->in_features()));
                 }
             }
+            if (quantized_) {
+                // Linear keeps its int8 snapshot transposed ([in, out])
+                // so the GEMM tiles 16-wide over out_features; the
+                // per-output-channel scales are unaffected.
+                step.qweight = nn::transpose_quantized(
+                    nn::quantize_weights_per_channel(linear->weight().value));
+                quantized_max_rel_error_ = std::max(
+                    quantized_max_rel_error_, step.qweight.max_rel_error);
+                // Unlike the float path, quantized linear needs scratch
+                // (int8 activations + int32 accumulators).
+                const std::size_t scratch =
+                    linear->quantized_workspace_bytes(batch_size);
+                if (scratch > workspace_bytes_) {
+                    workspace_bytes_ = scratch;
+                }
+                profile.workspace_bytes = scratch;
+            }
             step.buffer = Tensor({batch_size, linear->out_features()});
             step.mac_per_k = static_cast<std::uint64_t>(
                 batch_size * linear->out_features());
@@ -218,8 +247,16 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
                             as.channels};
                     viewp = &view;
                 }
-                if (step.conv->forward_into(*cur, workspace, step.buffer,
-                                            viewp)) {
+                bool compacted;
+                if (quantized_) {
+                    compacted = step.conv->forward_into_quantized(
+                        *cur, workspace, step.buffer, step.qweight, viewp);
+                    ++quantized_hits_;
+                } else {
+                    compacted = step.conv->forward_into(*cur, workspace,
+                                                        step.buffer, viewp);
+                }
+                if (compacted) {
                     ++sparse_hits_;
                     const std::uint64_t kk = static_cast<std::uint64_t>(
                         step.conv->kernel() * step.conv->kernel());
@@ -277,7 +314,16 @@ const Tensor& ForwardPlan::run(const Tensor& input, Workspace& workspace) {
                     }
                     viewp = &view;
                 }
-                if (step.linear->forward_into(*cur, step.buffer, viewp)) {
+                bool compacted;
+                if (quantized_) {
+                    compacted = step.linear->forward_into_quantized(
+                        *cur, workspace, step.buffer, step.qweight, viewp);
+                    ++quantized_hits_;
+                } else {
+                    compacted =
+                        step.linear->forward_into(*cur, step.buffer, viewp);
+                }
+                if (compacted) {
                     ++sparse_hits_;
                     skipped_macs_ +=
                         step.mac_per_k *

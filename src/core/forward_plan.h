@@ -31,6 +31,15 @@
 // MACs via row-compacted GEMM (bit-identical outputs — the skipped terms
 // are exact zeros). Hit and skipped-MAC counters accumulate across runs.
 //
+// Quantized execution: when the network's QuantizedExecution policy is
+// on at build time, conv/linear steps snapshot their weights as int8
+// with per-output-channel scales (the float masters are untouched) and
+// run through the int8 kernels — activations quantize with one dynamic
+// scale per sample into workspace scratch, the contraction happens in
+// int32, and the dequantized float lands in the same output buffer, so
+// BN / activation / threshold-mask stages are unchanged. Deadness
+// propagation composes: the same live sets drive qgemm_rows.
+//
 // Thresholds are read live from the sites at execution time: a task's
 // threshold install between batches needs no plan rebuild (the
 // ActiveSet rebuild is the mask's own, amortized per install).
@@ -49,6 +58,7 @@
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "nn/pooling.h"
+#include "nn/quantize.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
 
@@ -89,6 +99,18 @@ public:
     std::size_t workspace_bytes() const noexcept { return workspace_bytes_; }
     /// Bytes of plan-owned activation buffers (input slab included).
     std::size_t buffer_bytes() const noexcept { return buffer_bytes_; }
+
+    /// Whether this plan was built for int8 quantized execution (fixed
+    /// at build time; MimeNetwork::set_quantized_execution clears
+    /// cached plans so the mode can never go stale).
+    bool quantized() const noexcept { return quantized_; }
+    /// Cumulative conv/linear steps run through the int8 kernels.
+    std::uint64_t quantized_hits() const noexcept { return quantized_hits_; }
+    /// Worst per-channel relative error of the weights this plan
+    /// pre-quantized at build (0 for a float plan).
+    double quantized_max_rel_error() const noexcept {
+        return quantized_max_rel_error_;
+    }
 
     /// Cumulative count of conv/linear steps that ran the row-compacted
     /// sparse path (across all run() calls on this plan).
@@ -145,6 +167,14 @@ private:
         /// contraction depth — the skipped-MAC accounting constants.
         std::uint64_t mac_per_k = 0;
         std::uint64_t k_total = 0;
+
+        // -- quantized execution (conv / linear steps only) ----------------
+        /// Int8 snapshot of the layer's weights with per-output-channel
+        /// scales, built once when the plan is built under an enabled
+        /// QuantizedExecution policy (empty otherwise). The float
+        /// master weights stay untouched, so threshold installs and
+        /// calibration see exactly the weights they always did.
+        nn::QuantizedTensor qweight;
     };
 
     MimeNetwork* network_;
@@ -158,6 +188,9 @@ private:
     std::uint64_t sparse_hits_ = 0;
     std::uint64_t skipped_macs_ = 0;
     std::uint64_t dense_macs_ = 0;
+    bool quantized_ = false;
+    std::uint64_t quantized_hits_ = 0;
+    double quantized_max_rel_error_ = 0.0;
 };
 
 }  // namespace mime::core

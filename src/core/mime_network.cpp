@@ -199,6 +199,29 @@ void MimeNetwork::set_sparse_execution(const SparseExecution& policy) {
     }
 }
 
+void MimeNetwork::set_quantized_execution(const QuantizedExecution& policy) {
+    quantized_execution_ = policy;
+    // Plans snapshot quantized weights (and size scratch) for one mode
+    // at build time; rebuild lazily under the new policy.
+    plans_.clear();
+}
+
+std::uint64_t MimeNetwork::planned_quantized_hits() const {
+    std::uint64_t n = 0;
+    for (const auto& [batch, plan] : plans_) {
+        n += plan->quantized_hits();
+    }
+    return n;
+}
+
+double MimeNetwork::planned_quantized_max_rel_error() const {
+    double worst = 0.0;
+    for (const auto& [batch, plan] : plans_) {
+        worst = std::max(worst, plan->quantized_max_rel_error());
+    }
+    return worst;
+}
+
 std::uint64_t MimeNetwork::planned_sparse_hits() const {
     std::uint64_t n = 0;
     for (const auto& [batch, plan] : plans_) {

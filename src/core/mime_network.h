@@ -38,6 +38,16 @@ struct SparseExecution {
     double density_cutoff = nn::kDefaultSparseDensityCutoff;
 };
 
+/// Policy for the quantized planned executor: when enabled, plans built
+/// afterwards pre-quantize conv/linear weights to int8 (per-output-
+/// channel scales; float master weights untouched) and run those steps
+/// through the int8 row-compacted kernels with per-sample dynamic
+/// activation quantization. Composes with SparseExecution — the live
+/// sets drive the same row compaction either way.
+struct QuantizedExecution {
+    bool enabled = false;
+};
+
 /// One activation site (after each conv / hidden fc). Owns both a ReLU
 /// and a ThresholdMask and dispatches on the current mode, so the same
 /// backbone instance can serve as baseline and MIME model.
@@ -155,6 +165,22 @@ public:
     std::uint64_t planned_sparse_hits() const;
     std::uint64_t planned_skipped_macs() const;
     std::uint64_t planned_dense_macs() const;
+
+    /// Installs the quantized-execution policy. Clears cached plans:
+    /// each plan snapshots int8 weights at build time (like set_pool,
+    /// a stale plan would silently run the wrong mode), so flip this
+    /// before the serving warm-up, not per batch.
+    void set_quantized_execution(const QuantizedExecution& policy);
+    const QuantizedExecution& quantized_execution() const noexcept {
+        return quantized_execution_;
+    }
+
+    /// Cumulative conv/linear steps run through the int8 kernels,
+    /// summed over every cached plan.
+    std::uint64_t planned_quantized_hits() const;
+    /// Worst per-channel relative weight-quantization error over every
+    /// cached plan's pre-quantized weights (0 when none are quantized).
+    double planned_quantized_max_rel_error() const;
 
     /// Enables per-step wall-time / MAC profiling inside every planned
     /// run (see ForwardPlan::profiles). Off by default: when off, runs
@@ -290,6 +316,7 @@ private:
     bool eval_mode_ = false;
     bool plan_profiling_ = false;
     SparseExecution sparse_execution_{};
+    QuantizedExecution quantized_execution_{};
     /// Plans keyed by batch size, built lazily by plan_for(). Plans
     /// hold pointers into network_'s modules, so they live (and die)
     /// with this network.

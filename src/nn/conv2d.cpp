@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "tensor/gemm.h"
+#include "tensor/qgemm.h"
 
 namespace mime::nn {
 
@@ -242,6 +243,155 @@ bool Conv2d::forward_into(const Tensor& input, Workspace& workspace,
     } else {
         for (std::int64_t n = 0; n < batch; ++n) {
             run_sample(n, cols_base, pool_);
+        }
+    }
+    workspace.rewind(mark);
+    return sparse;
+}
+
+std::size_t Conv2d::quantized_workspace_bytes(std::int64_t in_height,
+                                              std::int64_t in_width,
+                                              std::int64_t batch) const {
+    const ConvGeometry g = geometry(in_height, in_width);
+    const auto cols = static_cast<std::size_t>(g.col_rows() * g.col_cols());
+    const auto acc =
+        static_cast<std::size_t>(out_channels_ * g.col_cols()) *
+        sizeof(std::int32_t);
+    const auto slab = static_cast<std::size_t>(batch * in_channels_ *
+                                               in_height * in_width);
+    return Workspace::aligned_bytes(slab) +
+           Workspace::aligned_bytes(static_cast<std::size_t>(batch) *
+                                    sizeof(float)) +
+           static_cast<std::size_t>(conv_bands(batch)) *
+               (Workspace::aligned_bytes(cols) +
+                Workspace::aligned_bytes(acc));
+}
+
+bool Conv2d::forward_into_quantized(const Tensor& input,
+                                    Workspace& workspace, Tensor& output,
+                                    const nn::QuantizedTensor& qweight,
+                                    const ActiveIndexView* live_in_channels) {
+    const ConvGeometry g = geometry_for(input);
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t ho = g.out_height();
+    const std::int64_t wo = g.out_width();
+    const std::int64_t spatial = ho * wo;
+    const std::int64_t ckk = g.col_rows();
+    MIME_REQUIRE(eval_mode(),
+                 "Conv2d::forward_into_quantized is inference-only; "
+                 "set_eval_mode first");
+    MIME_REQUIRE(output.shape() == Shape({batch, out_channels_, ho, wo}),
+                 "Conv2d::forward_into_quantized output must be "
+                 "preallocated to " +
+                     Shape({batch, out_channels_, ho, wo}).to_string() +
+                     ", got " + output.shape().to_string());
+    MIME_REQUIRE(qweight.rows == out_channels_ && qweight.cols == ckk,
+                 "quantized weights are [" + std::to_string(qweight.rows) +
+                     ", " + std::to_string(qweight.cols) +
+                     "], layer needs [" + std::to_string(out_channels_) +
+                     ", " + std::to_string(ckk) + "]");
+
+    const bool sparse = live_in_channels != nullptr &&
+                        live_in_channels->indices != nullptr &&
+                        !live_in_channels->all_live() &&
+                        live_in_channels->density() <= sparse_density_cutoff_;
+    const std::int64_t* rows = nullptr;
+    std::int64_t row_count = ckk;
+    if (sparse) {
+        MIME_REQUIRE(live_in_channels->total == in_channels_,
+                     "Conv2d live-channel view covers " +
+                         std::to_string(live_in_channels->total) +
+                         " channels, layer has " +
+                         std::to_string(in_channels_));
+        live_rows_.clear();
+        const std::int64_t kk = kernel_ * kernel_;
+        for (std::int64_t i = 0; i < live_in_channels->count; ++i) {
+            const std::int64_t base = live_in_channels->indices[i] * kk;
+            for (std::int64_t t = 0; t < kk; ++t) {
+                live_rows_.push_back(base + t);
+            }
+        }
+        rows = live_rows_.data();
+        row_count = static_cast<std::int64_t>(live_rows_.size());
+    }
+
+    const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
+    const std::int64_t out_stride = out_channels_ * spatial;
+
+    const Workspace::Checkpoint mark = workspace.checkpoint();
+    // One dynamic scale *per sample*: a hot outlier in one image must
+    // not inflate the quantization step of the rest of the batch. Each
+    // sample's scale depends only on its own bytes, so the band workers
+    // can quantize their own (disjoint) sample slices and thread count
+    // never changes the produced bytes.
+    auto* qinput = workspace.alloc<std::int8_t>(batch * in_stride);
+    auto* x_scales = workspace.alloc<float>(batch);
+
+    const std::int64_t bands = conv_bands(batch);
+    const std::size_t cols_stride =
+        Workspace::aligned_bytes(static_cast<std::size_t>(ckk * spatial));
+    const std::size_t acc_stride =
+        Workspace::aligned_bytes(static_cast<std::size_t>(
+            out_channels_ * spatial * sizeof(std::int32_t)));
+    auto* cols_base = static_cast<std::int8_t*>(
+        workspace.alloc_bytes(static_cast<std::size_t>(bands) * cols_stride));
+    auto* acc_base = static_cast<std::int32_t*>(
+        workspace.alloc_bytes(static_cast<std::size_t>(bands) * acc_stride));
+
+    const float* bias = bias_ ? bias_->value.data() : nullptr;
+    const float* w_scales = qweight.scales.data();
+    const std::int8_t* w_data = qweight.data.data();
+
+    auto run_sample = [&](std::int64_t n, std::int8_t* cols,
+                          std::int32_t* acc, ThreadPool* gemm_pool) {
+        const float* x = input.data() + n * in_stride;
+        const float absmax = nn::activation_absmax(x, in_stride);
+        x_scales[n] = absmax == 0.0f ? 0.0f : absmax / 127.0f;
+        nn::quantize_with_scale(x, in_stride,
+                                absmax == 0.0f ? 0.0f : 127.0f / absmax,
+                                qinput + n * in_stride);
+        if (sparse) {
+            im2col(g, qinput + n * in_stride, cols,
+                   live_in_channels->indices, live_in_channels->count);
+            qgemm_rows(out_channels_, spatial, ckk, rows, row_count, w_data,
+                       ckk, cols, spatial, acc, spatial, gemm_pool);
+        } else {
+            im2col(g, qinput + n * in_stride, cols);
+            qgemm(out_channels_, spatial, ckk, w_data, ckk, cols, spatial,
+                  acc, spatial, gemm_pool);
+        }
+        float* out = output.data() + n * out_stride;
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+            nn::dequantize_affine(acc + c * spatial, spatial,
+                                  w_scales[c] * x_scales[n],
+                                  bias != nullptr ? bias[c] : 0.0f,
+                                  out + c * spatial);
+        }
+    };
+
+    if (bands > 1) {
+        const std::int64_t per_band = (batch + bands - 1) / bands;
+        for (std::int64_t band = 0; band < bands; ++band) {
+            const std::int64_t n0 = band * per_band;
+            const std::int64_t n1 = std::min(n0 + per_band, batch);
+            if (n0 >= n1) {
+                break;
+            }
+            std::int8_t* cols =
+                cols_base + static_cast<std::size_t>(band) * cols_stride;
+            auto* acc = reinterpret_cast<std::int32_t*>(
+                reinterpret_cast<std::int8_t*>(acc_base) +
+                static_cast<std::size_t>(band) * acc_stride);
+            pool_->submit([&run_sample, cols, acc, n0, n1] {
+                for (std::int64_t n = n0; n < n1; ++n) {
+                    run_sample(n, cols, acc, nullptr);
+                }
+            });
+        }
+        pool_->wait_idle();
+    } else {
+        for (std::int64_t n = 0; n < batch; ++n) {
+            run_sample(n, cols_base, acc_base, pool_);
         }
     }
     workspace.rewind(mark);

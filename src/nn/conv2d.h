@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/quantize.h"
 #include "nn/sparse.h"
 #include "tensor/im2col.h"
 #include "tensor/workspace.h"
@@ -48,6 +49,23 @@ public:
                       Tensor& output,
                       const ActiveIndexView* live_in_channels = nullptr);
 
+    /// Int8 planned forward: quantizes each sample of the input (one
+    /// dynamic scale per sample, so a hot outlier in one image never
+    /// inflates the others' step size — and each sample's bytes depend
+    /// only on its own data, so banding never changes them), lowers to
+    /// an int8 column matrix, contracts against `qweight`
+    /// (per-output-channel scales, prebuilt by the plan from the float
+    /// master weights) into int32 accumulators, and dequantizes + bias
+    /// into the float `output`.
+    /// Same live-channel compaction and return semantics as
+    /// forward_into; scratch comes from `workspace`
+    /// (quantized_workspace_bytes), so steady state allocates nothing.
+    bool forward_into_quantized(const Tensor& input, Workspace& workspace,
+                                Tensor& output,
+                                const nn::QuantizedTensor& qweight,
+                                const ActiveIndexView* live_in_channels =
+                                    nullptr);
+
     /// Validated convolution geometry for an input of the given spatial
     /// extents — the single source of truth for output sizes that both
     /// the forwards and ForwardPlan's buffer pre-sizing derive from.
@@ -59,6 +77,14 @@ public:
     std::int64_t workspace_floats(std::int64_t in_height,
                                   std::int64_t in_width,
                                   std::int64_t batch = 1) const;
+
+    /// Workspace bytes forward_into_quantized() allocates at this input
+    /// geometry and batch size (alignment-rounded): the int8 input
+    /// slab plus, per band, an int8 column matrix and an int32
+    /// accumulator tile.
+    std::size_t quantized_workspace_bytes(std::int64_t in_height,
+                                          std::int64_t in_width,
+                                          std::int64_t batch = 1) const;
 
     /// Number of per-sample bands forward_into() splits a batch of the
     /// given size into: min(pool size, batch) with a pool, else 1.

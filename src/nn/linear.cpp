@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "tensor/gemm.h"
+#include "tensor/qgemm.h"
 
 namespace mime::nn {
 
@@ -91,6 +92,101 @@ bool Linear::forward_into(const Tensor& input, Tensor& output,
                      std::to_string(out_features_) + "], got " +
                      output.shape().to_string());
     return forward_compute(input, output, live_features);
+}
+
+std::size_t Linear::quantized_workspace_bytes(std::int64_t batch) const {
+    return Workspace::aligned_bytes(
+               static_cast<std::size_t>(in_features_ * batch)) +
+           Workspace::aligned_bytes(static_cast<std::size_t>(batch) *
+                                    sizeof(float)) +
+           Workspace::aligned_bytes(
+               static_cast<std::size_t>(out_features_ * batch) *
+               sizeof(std::int32_t));
+}
+
+bool Linear::forward_into_quantized(const Tensor& input,
+                                    Workspace& workspace, Tensor& output,
+                                    const nn::QuantizedTensor& qweight,
+                                    const ActiveIndexView* live_features) {
+    MIME_REQUIRE(eval_mode(),
+                 "Linear::forward_into_quantized is inference-only; "
+                 "set_eval_mode first");
+    MIME_REQUIRE(input.shape().rank() == 2 &&
+                     input.shape().dim(1) == in_features_,
+                 "Linear::forward_into_quantized expects [N, " +
+                     std::to_string(in_features_) + "], got " +
+                     input.shape().to_string());
+    const std::int64_t batch = input.shape().dim(0);
+    MIME_REQUIRE(output.shape() == Shape({batch, out_features_}),
+                 "Linear::forward_into_quantized output must be "
+                 "preallocated to [N, " +
+                     std::to_string(out_features_) + "], got " +
+                     output.shape().to_string());
+    // The plan snapshots linear weights *transposed* ([in, out] int8,
+    // scales still per output channel — see transpose_quantized), so
+    // the GEMM runs activations-major: the 16-wide column tiles land on
+    // out_features instead of the batch (which is often < 16), and the
+    // live-feature index set compacts the contraction rows directly.
+    MIME_REQUIRE(qweight.rows == in_features_ && qweight.cols == out_features_,
+                 "quantized weights are [" + std::to_string(qweight.rows) +
+                     ", " + std::to_string(qweight.cols) +
+                     "], layer needs them transposed to [" +
+                     std::to_string(in_features_) + ", " +
+                     std::to_string(out_features_) + "]");
+
+    const bool sparse = live_features != nullptr &&
+                        live_features->indices != nullptr &&
+                        !live_features->all_live() &&
+                        live_features->density() <= sparse_density_cutoff_;
+    if (sparse) {
+        MIME_REQUIRE(live_features->total == in_features_,
+                     "Linear live-feature view covers " +
+                         std::to_string(live_features->total) +
+                         " features, layer has " +
+                         std::to_string(in_features_));
+    }
+
+    const Workspace::Checkpoint mark = workspace.checkpoint();
+    // One dynamic scale per sample row (matching the conv path): an
+    // outlier in one sample must not inflate the others' step size.
+    auto* xq = workspace.alloc<std::int8_t>(batch * in_features_);
+    auto* x_scales = workspace.alloc<float>(batch);
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const float* x = input.data() + n * in_features_;
+        const float absmax = nn::activation_absmax(x, in_features_);
+        x_scales[n] = absmax == 0.0f ? 0.0f : absmax / 127.0f;
+        nn::quantize_with_scale(x, in_features_,
+                                absmax == 0.0f ? 0.0f : 127.0f / absmax,
+                                xq + n * in_features_);
+    }
+    auto* acc = workspace.alloc<std::int32_t>(batch * out_features_);
+
+    if (sparse) {
+        // Contract over live input features only; a dead feature's
+        // column of xq is exactly zero (0 * inv_scale rounds to 0), so
+        // this equals the dense int8 product exactly.
+        qgemm_rows(batch, out_features_, in_features_,
+                   live_features->indices, live_features->count, xq,
+                   in_features_, qweight.data.data(), out_features_, acc,
+                   out_features_, pool_);
+    } else {
+        qgemm(batch, out_features_, in_features_, xq, in_features_,
+              qweight.data.data(), out_features_, acc, out_features_, pool_);
+    }
+
+    const float* bias = bias_ ? bias_->value.data() : nullptr;
+    const float* w_scales = qweight.scales.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+        const std::int32_t* arow = acc + n * out_features_;
+        float* orow = output.data() + n * out_features_;
+        for (std::int64_t o = 0; o < out_features_; ++o) {
+            orow[o] =
+                static_cast<float>(arow[o]) * (w_scales[o] * x_scales[n]) +
+                (bias != nullptr ? bias[o] : 0.0f);
+        }
+    }
+    workspace.rewind(mark);
+    return sparse;
 }
 
 void Linear::set_eval_mode(bool eval) {

@@ -4,7 +4,9 @@
 #include <optional>
 
 #include "nn/module.h"
+#include "nn/quantize.h"
 #include "nn/sparse.h"
+#include "tensor/workspace.h"
 
 namespace mime::nn {
 
@@ -37,6 +39,24 @@ public:
     /// dense fallback: null/all-live view or density above cutoff).
     bool forward_into(const Tensor& input, Tensor& output,
                       const ActiveIndexView* live_features = nullptr);
+
+    /// Int8 planned forward: quantizes the activations ([N, in], one
+    /// dynamic scale per sample row) into workspace scratch, contracts them
+    /// against `qweight` — the weight matrix quantized and then
+    /// *transposed* to [in, out] (see transpose_quantized; scales stay
+    /// per output channel) — with the int8 kernel into int32, and
+    /// dequantizes + bias into the float `output`. Same live-feature
+    /// compaction and return semantics as forward_into.
+    bool forward_into_quantized(const Tensor& input, Workspace& workspace,
+                                Tensor& output,
+                                const nn::QuantizedTensor& qweight,
+                                const ActiveIndexView* live_features =
+                                    nullptr);
+
+    /// Workspace bytes forward_into_quantized() allocates for one
+    /// forward at this batch size (alignment-rounded): the int8
+    /// activation slab plus the int32 accumulator tile.
+    std::size_t quantized_workspace_bytes(std::int64_t batch) const;
 
     /// Density above which forward_into ignores `live_features` and
     /// runs dense (compaction bookkeeping beats the win near 1.0).

@@ -45,6 +45,8 @@ CostModel::CostModel(std::vector<arch::LayerSpec> layers,
                      config_.min_calibration_scale <=
                          config_.max_calibration_scale,
                  "calibration scale clamp must be a positive range");
+    MIME_REQUIRE(config_.quantized_mac_scale > 0.0,
+                 "quantized_mac_scale must be positive");
     if (layers_.empty()) {
         // Nothing for the simulator to price; fall back to the linear
         // model rather than faulting on every predict.
@@ -118,10 +120,14 @@ const hw::SparsityProfile& CostModel::profile_for(
 
 double CostModel::base_batch_us(const std::string& task,
                                 std::int64_t batch_size) const {
+    // The compute term scales inversely with the replicas' MAC
+    // throughput (int8 replicas price cheaper); the batch overhead is
+    // dispatch bookkeeping, which quantization does not touch.
     if (!config_.use_simulator) {
         return config_.default_batch_overhead_us +
                config_.default_per_sample_us *
-                   static_cast<double>(batch_size);
+                   static_cast<double>(batch_size) /
+                   config_.quantized_mac_scale;
     }
     const auto key = std::make_pair(task, batch_size);
     const auto memo = base_us_memo_.find(key);
@@ -133,8 +139,9 @@ double CostModel::base_batch_us(const std::string& task,
     options.batch.assign(static_cast<std::size_t>(batch_size), 0);
     options.profiles = {profile_for(task)};
     const hw::SimulationResult result = simulator_.run(layers_, options);
-    const double us =
-        result.total_cycles / (config_.accelerator_clock_ghz * 1000.0);
+    const double us = result.total_cycles /
+                      (config_.accelerator_clock_ghz * 1000.0) /
+                      config_.quantized_mac_scale;
     energy_memo_[key] = result.total_energy.total();
     base_us_memo_[key] = us;
     return us;

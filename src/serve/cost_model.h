@@ -64,6 +64,16 @@ struct CostModelConfig {
     /// Site-sparsity updates smaller than this (max abs delta) keep the
     /// memoized simulations instead of re-pricing every batch size.
     double sparsity_epsilon = 1e-3;
+    /// MAC-throughput multiplier of the replicas this model prices:
+    /// base predictions divide by it, so int8-quantized replicas (whose
+    /// 8-bit MACs move ~4x fewer operand bytes and pack wider SIMD
+    /// lanes) price proportionally cheaper than float ones before any
+    /// calibration. 1.0 = full-precision replicas; the pool sets ~1.5
+    /// for quantized pools, matching the measured int8/f32 planned
+    /// forward speedup. Must be > 0. Calibration would eventually learn
+    /// the scale anyway — seeding it keeps the first batches' deadline
+    /// feasibility and routing loads from being systematically wrong.
+    double quantized_mac_scale = 1.0;
 };
 
 /// What observe_batch() fed back: the model's prediction for the shape

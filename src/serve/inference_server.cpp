@@ -67,6 +67,10 @@ std::string ServerStats::to_table_string() const {
     aggregate.add_row(
         {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
     aggregate.add_row(
+        {"quantized path hits", std::to_string(quantized_path_hits)});
+    aggregate.add_row({"quantized weight max rel err",
+                       Table::num(quantized_weight_max_rel_error, 4)});
+    aggregate.add_row(
         {"cost-infeasible shed", std::to_string(cost_infeasible_shed)});
     aggregate.add_row(
         {"cost prediction error", Table::num(cost_prediction_error, 4)});
@@ -138,6 +142,12 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
       dense_macs_gauge_(registry_.gauge(
           "serve.dense_equivalent_macs",
           "dense-equivalent MACs of planned steps run")),
+      quantized_hits_gauge_(registry_.gauge(
+          "serve.quantized_path_hits",
+          "planned steps that ran the int8 quantized kernels")),
+      quantized_error_gauge_(registry_.gauge(
+          "serve.quantized_weight_max_rel_error",
+          "worst per-channel relative error of int8 weight snapshots")),
       cost_predicted_gauge_(registry_.gauge(
           "serve.cost_predicted_us",
           "cost model's prediction for the last executed batch (us)")),
@@ -159,6 +169,7 @@ InferenceServer::InferenceServer(core::MimeNetwork& network,
     network_->set_pool(&pool_);
     network_->set_sparse_execution(
         {config.sparse_execution, config.sparse_density_cutoff});
+    network_->set_quantized_execution({config.quantized_execution});
     network_->set_plan_profiling(config.profile_layers);
     dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
@@ -480,6 +491,10 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
             static_cast<double>(network_->planned_skipped_macs()));
         dense_macs_gauge_.set(
             static_cast<double>(network_->planned_dense_macs()));
+        quantized_hits_gauge_.set(
+            static_cast<double>(network_->planned_quantized_hits()));
+        quantized_error_gauge_.set(
+            network_->planned_quantized_max_rel_error());
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             for (std::size_t n = 0; n < batch.size(); ++n) {
@@ -632,6 +647,9 @@ ServerStats InferenceServer::stats() const {
             ? static_cast<double>(stats.skipped_macs) /
                   static_cast<double>(stats.dense_equivalent_macs)
             : 0.0;
+    stats.quantized_path_hits =
+        static_cast<std::int64_t>(quantized_hits_gauge_.value());
+    stats.quantized_weight_max_rel_error = quantized_error_gauge_.value();
     stats.cost_infeasible_shed = cost_infeasible_shed_.value();
     stats.cost_predicted_us = cost_predicted_gauge_.value();
     stats.cost_prediction_error = cost_error_gauge_.value();

@@ -84,6 +84,13 @@ struct ServerConfig {
     bool sparse_execution = true;
     /// Density above which sparse-capable layers run dense anyway.
     double sparse_density_cutoff = nn::kDefaultSparseDensityCutoff;
+    /// Execute planned conv/linear steps through the int8 quantized
+    /// kernels (per-output-channel weight scales snapshotted at plan
+    /// build; per-sample dynamic activation scales; float masters and
+    /// threshold machinery untouched). Composes with sparse_execution —
+    /// the same live sets drive the row-compacted int8 GEMM. Off (the
+    /// default) keeps full-precision execution; benches A/B the two.
+    bool quantized_execution = false;
     /// Fraction of requests that get a span Trace (0 = only requests
     /// with SubmitOptions::trace set, 1 = all). Deterministic rate
     /// sampling (see obs::TraceSampler); untraced requests pay one
@@ -155,6 +162,11 @@ struct ServerStats {
     std::int64_t dense_equivalent_macs = 0;
     /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
     double skipped_mac_fraction = 0.0;
+    /// Planned conv/linear steps that ran the int8 quantized kernels.
+    std::int64_t quantized_path_hits = 0;
+    /// Worst per-channel relative error of the int8 weight snapshots
+    /// across this replica's plans (0 without quantized execution).
+    double quantized_weight_max_rel_error = 0.0;
     /// Requests shed at batch-forming time because predicted cost could
     /// not meet their deadline (counted inside deadline_expired too —
     /// infeasibility is a deadline failure, just an early one).
@@ -301,6 +313,8 @@ private:
     obs::Gauge& sparse_hits_gauge_;
     obs::Gauge& skipped_macs_gauge_;
     obs::Gauge& dense_macs_gauge_;
+    obs::Gauge& quantized_hits_gauge_;
+    obs::Gauge& quantized_error_gauge_;
     obs::Gauge& cost_predicted_gauge_;
     obs::Gauge& cost_error_gauge_;
     obs::Histogram& batch_size_hist_;

@@ -24,6 +24,9 @@ void PoolStats::accumulate(const ServerStats& server) {
     sparse_path_hits += server.sparse_path_hits;
     skipped_macs += server.skipped_macs;
     dense_equivalent_macs += server.dense_equivalent_macs;
+    quantized_path_hits += server.quantized_path_hits;
+    quantized_weight_max_rel_error = std::max(
+        quantized_weight_max_rel_error, server.quantized_weight_max_rel_error);
     cost_infeasible_shed += server.cost_infeasible_shed;
     interactive.completed += server.interactive.completed;
     batch.completed += server.batch.completed;
@@ -56,6 +59,10 @@ std::string PoolStats::to_table_string() const {
         {"sparse path hits", std::to_string(sparse_path_hits)});
     aggregate.add_row(
         {"skipped MAC fraction", Table::num(skipped_mac_fraction, 4)});
+    aggregate.add_row(
+        {"quantized path hits", std::to_string(quantized_path_hits)});
+    aggregate.add_row({"quantized weight max rel err",
+                       Table::num(quantized_weight_max_rel_error, 4)});
     aggregate.add_row(
         {"cost-infeasible shed", std::to_string(cost_infeasible_shed)});
     aggregate.add_row(
@@ -126,8 +133,16 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
     cost_model_ = config_.cost_model;
     if (!cost_model_ &&
         (config_.cost_aware_scheduling || scaler.enabled)) {
-        cost_model_ =
-            std::make_shared<CostModel>(prototype.layer_specs());
+        CostModelConfig cost_config;
+        if (config_.server.quantized_execution) {
+            // Int8 replicas finish batches ~1.5x faster than float ones
+            // (measured planned-forward speedup); seed the model so the
+            // first batches' feasibility checks and routing loads start
+            // near reality instead of waiting for calibration.
+            cost_config.quantized_mac_scale = 1.5;
+        }
+        cost_model_ = std::make_shared<CostModel>(prototype.layer_specs(),
+                                                  cost_config);
     }
 
     loads_.assign(provisioned, 0.0);

@@ -117,6 +117,11 @@ struct PoolStats {
     std::int64_t dense_equivalent_macs = 0;
     /// skipped_macs / dense_equivalent_macs (0 when nothing ran).
     double skipped_mac_fraction = 0.0;
+    /// Sum of the replicas' int8-quantized planned-step counters.
+    std::int64_t quantized_path_hits = 0;
+    /// Worst per-channel int8 weight error over every replica (max, not
+    /// sum — it bounds the pool's accuracy exposure).
+    double quantized_weight_max_rel_error = 0.0;
     /// Sum of the replicas' cost-infeasible batch-forming sheds.
     std::int64_t cost_infeasible_shed = 0;
     /// Shared cost model state at snapshot time (0 without a model).

@@ -1,5 +1,8 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace mime {
@@ -19,47 +22,86 @@ namespace {
 
 // Lowers one input channel into its K*K block of rows starting at
 // `columns + c*K*K*cols`; shared by the dense and live-channel paths so
-// the bytes written for a given channel are identical in both.
-void im2col_channel(const ConvGeometry& g, const float* input,
-                    float* columns, std::int64_t c) {
+// the bytes written for a given channel are identical in both. The
+// element type is templated — float for the f32 path, int8 for the
+// quantized executor (pure data movement either way; out-of-image taps
+// are the type's zero, which for int8 dequantizes to exactly 0).
+template <typename T>
+void im2col_channel(const ConvGeometry& g, const T* input, T* columns,
+                    std::int64_t c) {
     const std::int64_t ho = g.out_height();
     const std::int64_t wo = g.out_width();
     const std::int64_t cols = ho * wo;
-    const float* channel = input + c * g.in_height * g.in_width;
+    const T* channel = input + c * g.in_height * g.in_width;
     std::int64_t row = c * g.kernel * g.kernel;
     for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
         for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-            float* out_row = columns + row * cols;
+            T* out_row = columns + row * cols;
+            if (g.stride == 1) {
+                // Stride 1 (every conv in the reproduced nets): each
+                // output row is one contiguous run of the input row
+                // between zero-padded edges — memset/memcpy instead of
+                // a bounds check per element. Bytes written are
+                // identical to the general loop below.
+                const std::int64_t x0 = std::max<std::int64_t>(
+                    0, g.padding - kx);
+                const std::int64_t x1 = std::min<std::int64_t>(
+                    wo, g.in_width + g.padding - kx);
+                for (std::int64_t oy = 0; oy < ho; ++oy) {
+                    const std::int64_t iy = oy + ky - g.padding;
+                    T* dst = out_row + oy * wo;
+                    if (iy < 0 || iy >= g.in_height || x0 >= x1) {
+                        std::memset(dst, 0,
+                                    static_cast<std::size_t>(wo) * sizeof(T));
+                        continue;
+                    }
+                    if (x0 > 0) {
+                        std::memset(dst, 0,
+                                    static_cast<std::size_t>(x0) * sizeof(T));
+                    }
+                    std::memcpy(dst + x0,
+                                channel + iy * g.in_width + x0 + kx -
+                                    g.padding,
+                                static_cast<std::size_t>(x1 - x0) *
+                                    sizeof(T));
+                    if (x1 < wo) {
+                        std::memset(dst + x1, 0,
+                                    static_cast<std::size_t>(wo - x1) *
+                                        sizeof(T));
+                    }
+                }
+                continue;
+            }
             for (std::int64_t oy = 0; oy < ho; ++oy) {
                 const std::int64_t iy = oy * g.stride + ky - g.padding;
                 if (iy < 0 || iy >= g.in_height) {
                     for (std::int64_t ox = 0; ox < wo; ++ox) {
-                        out_row[oy * wo + ox] = 0.0f;
+                        out_row[oy * wo + ox] = T{};
                     }
                     continue;
                 }
-                const float* in_row = channel + iy * g.in_width;
+                const T* in_row = channel + iy * g.in_width;
                 for (std::int64_t ox = 0; ox < wo; ++ox) {
                     const std::int64_t ix = ox * g.stride + kx - g.padding;
                     out_row[oy * wo + ox] =
-                        (ix >= 0 && ix < g.in_width) ? in_row[ix] : 0.0f;
+                        (ix >= 0 && ix < g.in_width) ? in_row[ix] : T{};
                 }
             }
         }
     }
 }
 
-}  // namespace
-
-void im2col(const ConvGeometry& g, const float* input, float* columns) {
+template <typename T>
+void im2col_all(const ConvGeometry& g, const T* input, T* columns) {
     g.validate();
     for (std::int64_t c = 0; c < g.in_channels; ++c) {
         im2col_channel(g, input, columns, c);
     }
 }
 
-void im2col(const ConvGeometry& g, const float* input, float* columns,
-            const std::int64_t* live_channels, std::int64_t live_count) {
+template <typename T>
+void im2col_live(const ConvGeometry& g, const T* input, T* columns,
+                 const std::int64_t* live_channels, std::int64_t live_count) {
     g.validate();
     MIME_REQUIRE(live_channels != nullptr || live_count == 0,
                  "im2col needs a channel list unless live_count is 0");
@@ -71,6 +113,28 @@ void im2col(const ConvGeometry& g, const float* input, float* columns,
                      "[0, in_channels)");
         im2col_channel(g, input, columns, c);
     }
+}
+
+}  // namespace
+
+void im2col(const ConvGeometry& g, const float* input, float* columns) {
+    im2col_all(g, input, columns);
+}
+
+void im2col(const ConvGeometry& g, const std::int8_t* input,
+            std::int8_t* columns) {
+    im2col_all(g, input, columns);
+}
+
+void im2col(const ConvGeometry& g, const float* input, float* columns,
+            const std::int64_t* live_channels, std::int64_t live_count) {
+    im2col_live(g, input, columns, live_channels, live_count);
+}
+
+void im2col(const ConvGeometry& g, const std::int8_t* input,
+            std::int8_t* columns, const std::int64_t* live_channels,
+            std::int64_t live_count) {
+    im2col_live(g, input, columns, live_channels, live_count);
 }
 
 void col2im(const ConvGeometry& g, const float* columns, float* input_grad) {

@@ -39,6 +39,12 @@ struct ConvGeometry {
 /// contribute zeros.
 void im2col(const ConvGeometry& g, const float* input, float* columns);
 
+/// Int8 lowering for the quantized executor — identical layout and tap
+/// rules on already-quantized samples (pure data movement; a zero tap
+/// dequantizes to exactly 0 at any scale).
+void im2col(const ConvGeometry& g, const std::int8_t* input,
+            std::int8_t* columns);
+
 /// Partial lowering for the sparse conv path: writes only the K*K row
 /// blocks of the `live_count` channels listed (strictly ascending) in
 /// `live_channels`. `columns` keeps its full [C*K*K, Hout*Wout] layout —
@@ -46,6 +52,11 @@ void im2col(const ConvGeometry& g, const float* input, float* columns);
 /// garbage and must never be read; the row-compacted GEMM skips them).
 void im2col(const ConvGeometry& g, const float* input, float* columns,
             const std::int64_t* live_channels, std::int64_t live_count);
+
+/// Int8 partial lowering (see above; composes with qgemm_rows).
+void im2col(const ConvGeometry& g, const std::int8_t* input,
+            std::int8_t* columns, const std::int64_t* live_channels,
+            std::int64_t live_count);
 
 /// Adjoint of im2col: accumulates `columns` [C*K*K, Hout*Wout] back into
 /// `input_grad` [C, H, W]. `input_grad` must be zeroed by the caller

@@ -50,6 +50,14 @@ float* Workspace::alloc_floats(std::int64_t count) {
     return out;
 }
 
+void* Workspace::alloc_bytes(std::size_t bytes) {
+    // Bytes round up to whole floats, and alloc_floats rounds to whole
+    // cachelines, so the arena cost is exactly aligned_bytes(bytes).
+    return alloc_floats(
+        static_cast<std::int64_t>((bytes + sizeof(float) - 1) /
+                                  sizeof(float)));
+}
+
 void Workspace::rewind(Checkpoint mark) {
     MIME_REQUIRE(mark.offset_floats <= offset_floats_,
                  "Workspace::rewind to a checkpoint ahead of the bump "

@@ -71,6 +71,21 @@ public:
     /// wrong) — never allocates.
     float* alloc_floats(std::int64_t count);
 
+    /// Byte-granular variant for non-float scratch (int8 activation
+    /// slabs, int32 accumulators): returns `bytes` of cacheline-aligned
+    /// uninitialized scratch, consuming aligned_bytes(bytes) of arena —
+    /// an int8 slab costs its own footprint, not 4x it. Same overflow
+    /// and checkpoint/rewind semantics as alloc_floats (the two
+    /// interleave freely).
+    void* alloc_bytes(std::size_t bytes);
+
+    /// Typed convenience over alloc_bytes.
+    template <typename T>
+    T* alloc(std::int64_t count) {
+        return static_cast<T*>(
+            alloc_bytes(static_cast<std::size_t>(count) * sizeof(T)));
+    }
+
     Checkpoint checkpoint() const noexcept { return {offset_floats_}; }
 
     /// Frees every allocation made after `mark` (LIFO discipline).
@@ -94,6 +109,12 @@ public:
     /// Rounds a float count up to a whole number of cachelines; the
     /// plan's byte accounting must use the same rounding as alloc.
     static std::size_t aligned_floats(std::int64_t count);
+
+    /// Rounds a byte count up to a whole number of cachelines — the
+    /// arena cost of one alloc_bytes(bytes) call.
+    static std::size_t aligned_bytes(std::size_t bytes) {
+        return (bytes + kAlignBytes - 1) / kAlignBytes * kAlignBytes;
+    }
 
     /// Cacheline size the block base and every allocation align to.
     static constexpr std::size_t kAlignBytes = 64;

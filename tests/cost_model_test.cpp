@@ -292,6 +292,32 @@ TEST(CostModel, LinearFallbackPricesExactly) {
     EXPECT_GT(degenerate.predict_batch_us("t", 1), 0.0);
 }
 
+TEST(CostModel, QuantizedMacScaleDiscountsComputeNotOverhead) {
+    // Int8 replicas price their MAC work cheaper by the configured
+    // throughput multiplier; dispatch overhead is unaffected.
+    CostModelConfig config;
+    config.use_simulator = false;
+    config.default_per_sample_us = 200.0;
+    config.default_batch_overhead_us = 50.0;
+    config.quantized_mac_scale = 2.0;
+    CostModel model(tiny_layers(), config);
+    EXPECT_DOUBLE_EQ(model.predict_batch_us("t", 1), 150.0);
+    EXPECT_DOUBLE_EQ(model.predict_batch_us("t", 4), 450.0);
+
+    // Simulator path: the whole modeled compute scales down.
+    CostModelConfig sim_config;
+    sim_config.quantized_mac_scale = 1.5;
+    CostModel quantized(tiny_layers(), sim_config);
+    CostModel fp32(tiny_layers());
+    EXPECT_NEAR(quantized.predict_batch_us("t", 4) * 1.5,
+                fp32.predict_batch_us("t", 4),
+                fp32.predict_batch_us("t", 4) * 1e-9);
+
+    CostModelConfig bad;
+    bad.quantized_mac_scale = 0.0;
+    EXPECT_THROW(CostModel(tiny_layers(), bad), check_error);
+}
+
 TEST(CostModel, CalibrationConvergesOnObservedServiceTimes) {
     CostModelConfig config;
     config.use_simulator = false;

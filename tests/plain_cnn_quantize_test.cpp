@@ -2,6 +2,10 @@
 // architectures, and fixed-point quantization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <vector>
+
 #include "arch/plain_cnn.h"
 #include "common/check.h"
 #include "core/mime_network.h"
@@ -174,6 +178,205 @@ TEST(Quantize, ModuleParametersQuantized) {
     // assumption holds for our models).
     for (std::int64_t i = 0; i < before.numel(); ++i) {
         EXPECT_NEAR(before[i], after[i], 2e-2f);
+    }
+}
+
+TEST(Quantize, PerChannelNoWorseThanPerTensor) {
+    Rng rng(7);
+    // Per-channel shines when channel magnitudes differ wildly: scale
+    // the rows across three orders of magnitude.
+    Tensor t = Tensor::randn({8, 64}, rng);
+    for (std::int64_t c = 0; c < 8; ++c) {
+        const float gain = std::pow(10.0f, static_cast<float>(c % 4) - 2.0f);
+        for (std::int64_t i = 0; i < 64; ++i) {
+            t.data()[c * 64 + i] *= gain;
+        }
+    }
+    Tensor per_tensor = t;
+    Tensor per_channel = t;
+    const auto global = nn::fake_quantize(per_tensor, 8);
+    const auto channel = nn::fake_quantize_per_channel(per_channel, 8);
+
+    // Each channel's scale is at most the global one, so the worst
+    // absolute error can only improve. (The *relative* metric is
+    // normalized per channel — ~half an LSB over the channel's own
+    // absmax either way — so it is not comparable across variants.)
+    EXPECT_LE(channel.max_abs_error, global.max_abs_error + 1e-12);
+    EXPECT_LE(channel.scale, global.scale + 1e-12);
+    EXPECT_GT(channel.max_channel_rel_error, 0.0);
+    // Small channels are resolvable now: mean error drops hard.
+    EXPECT_LT(channel.mean_abs_error, global.mean_abs_error * 0.5);
+}
+
+TEST(Quantize, PerChannelZeroChannelsUnchanged) {
+    Rng rng(8);
+    Tensor t = Tensor::randn({4, 16}, rng);
+    for (std::int64_t i = 0; i < 16; ++i) {
+        t.data()[2 * 16 + i] = 0.0f;  // channel 2 all-zero
+    }
+    const Tensor original = t;
+    const auto stats = nn::fake_quantize_per_channel(t, 8);
+    EXPECT_GT(stats.scale, 0.0);
+    for (std::int64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(t.data()[2 * 16 + i], 0.0f);
+    }
+    // A fully zero tensor reports scale 0 and no error.
+    Tensor zeros({3, 5});
+    const auto zstats = nn::fake_quantize_per_channel(zeros, 8);
+    EXPECT_EQ(zstats.scale, 0.0);
+    EXPECT_EQ(zstats.max_abs_error, 0.0);
+    EXPECT_EQ(zstats.saturated, 0);
+}
+
+TEST(Quantize, SymmetricScaleNeverSaturates) {
+    // The absmax-derived scale maps the extreme values onto the last
+    // integer level exactly, so the clip counter must stay zero. It
+    // exists to catch a future scale policy (percentile calibration,
+    // cross-batch reuse) that actually clips — if this starts failing,
+    // saturation became real and needs accuracy analysis.
+    Rng rng(9);
+    Tensor t = Tensor::randn({256}, rng);
+    t.data()[17] = 100.0f;  // a hard outlier still defines the scale
+    const auto stats = nn::fake_quantize(t, 8);
+    EXPECT_EQ(stats.saturated, 0);
+
+    Tensor m = Tensor::randn({6, 40}, rng);
+    const auto cstats = nn::fake_quantize_per_channel(m, 6);
+    EXPECT_EQ(cstats.saturated, 0);
+}
+
+TEST(Quantize, NonPowerOfTwoBitWidths) {
+    // bits = 5 -> 15 positive levels; nothing in the code assumes
+    // power-of-two level counts, and the half-LSB error bound must hold
+    // for odd widths too.
+    Rng rng(10);
+    Tensor t = Tensor::randn({333}, rng);
+    const Tensor original = t;
+    const auto stats = nn::fake_quantize(t, 5);
+    const double levels = 15.0;
+    EXPECT_NEAR(stats.scale,
+                static_cast<double>(nn::activation_absmax(original.data(), original.numel())) / levels,
+                1e-9);
+    EXPECT_LE(stats.max_abs_error, stats.scale * 0.5 + 1e-7);
+    // Every surviving value sits on the 5-bit grid.
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const double q = t.data()[i] / stats.scale;
+        EXPECT_NEAR(q, std::nearbyint(q), 1e-3);
+    }
+    const double rel3 = nn::quantization_relative_error(original, 3);
+    const double rel5 = nn::quantization_relative_error(original, 5);
+    EXPECT_GT(rel3, rel5);
+}
+
+// ---------------------------------------------------------------------------
+// Real int8 path (quantized planned executor building blocks)
+// ---------------------------------------------------------------------------
+
+TEST(QuantizeInt8, WeightsPerChannelRoundTrip) {
+    Rng rng(11);
+    Tensor w = Tensor::randn({8, 27}, rng);
+    for (std::int64_t i = 0; i < 27; ++i) {
+        w.data()[3 * 27 + i] = 0.0f;  // a pruned output channel
+    }
+    const auto q = nn::quantize_weights_per_channel(w);
+    ASSERT_EQ(q.rows, 8);
+    ASSERT_EQ(q.cols, 27);
+    ASSERT_EQ(q.scales.size(), 8u);
+    EXPECT_FALSE(q.empty());
+
+    // Dead channel: scale 0, all-zero data -> dequantizes to exactly 0.
+    EXPECT_EQ(q.scales[3], 0.0f);
+    for (std::int64_t i = 0; i < 27; ++i) {
+        EXPECT_EQ(q.data[3 * 27 + i], 0);
+    }
+
+    // Live channels reconstruct within half an LSB of their own scale.
+    for (std::int64_t r = 0; r < 8; ++r) {
+        if (r == 3) {
+            continue;
+        }
+        EXPECT_GT(q.scales[r], 0.0f);
+        for (std::int64_t i = 0; i < 27; ++i) {
+            const float rec = static_cast<float>(q.data[r * 27 + i]) *
+                              q.scales[static_cast<std::size_t>(r)];
+            EXPECT_NEAR(w.data()[r * 27 + i], rec,
+                        q.scales[static_cast<std::size_t>(r)] * 0.5f + 1e-7f);
+            EXPECT_GE(q.data[r * 27 + i], -127);
+        }
+    }
+    EXPECT_GT(q.max_rel_error, 0.0);
+    EXPECT_LT(q.max_rel_error, 1.0 / 127.0);
+}
+
+TEST(QuantizeInt8, TransposeKeepsScalesPerOutputChannel) {
+    Rng rng(12);
+    const Tensor w = Tensor::randn({5, 9}, rng);
+    const auto q = nn::quantize_weights_per_channel(w);
+    const auto t = nn::transpose_quantized(q);
+    ASSERT_EQ(t.rows, 9);
+    ASSERT_EQ(t.cols, 5);
+    EXPECT_EQ(t.scales, q.scales);  // still indexed by output channel
+    EXPECT_EQ(t.max_rel_error, q.max_rel_error);
+    for (std::int64_t r = 0; r < 5; ++r) {
+        for (std::int64_t c = 0; c < 9; ++c) {
+            EXPECT_EQ(t.data[c * 5 + r], q.data[r * 9 + c]);
+        }
+    }
+}
+
+TEST(QuantizeInt8, ActivationsDynamicScale) {
+    Rng rng(13);
+    const Tensor x = Tensor::randn({100}, rng);
+    std::vector<std::int8_t> out(100);
+    const float scale = nn::quantize_activations(x.data(), 100, out.data());
+    EXPECT_NEAR(scale, nn::activation_absmax(x.data(), 100) / 127.0f, 1e-7f);
+    for (std::int64_t i = 0; i < 100; ++i) {
+        EXPECT_NEAR(x.data()[i], static_cast<float>(out[i]) * scale,
+                    scale * 0.5f + 1e-7f);
+    }
+
+    // All-zero input: scale 0, zero bytes (dequantizes to exact 0).
+    const std::vector<float> zeros(32, 0.0f);
+    std::vector<std::int8_t> qz(32, 99);
+    EXPECT_EQ(nn::quantize_activations(zeros.data(), 32, qz.data()), 0.0f);
+    for (const std::int8_t v : qz) {
+        EXPECT_EQ(v, 0);
+    }
+}
+
+TEST(QuantizeInt8, SplitPhasesMatchFusedQuantize) {
+    // activation_absmax + quantize_with_scale is the banding-friendly
+    // decomposition of quantize_activations; both must produce the same
+    // bytes (the executor relies on that for thread-count invariance).
+    Rng rng(14);
+    const Tensor x = Tensor::randn({77}, rng);  // odd count: vector + tail
+    std::vector<std::int8_t> fused(77);
+    const float scale = nn::quantize_activations(x.data(), 77, fused.data());
+
+    const float absmax = nn::activation_absmax(x.data(), 77);
+    EXPECT_GT(absmax, 0.0f);
+    std::vector<std::int8_t> split(77);
+    nn::quantize_with_scale(x.data(), 77, 127.0f / absmax, split.data());
+    EXPECT_EQ(0, std::memcmp(fused.data(), split.data(), 77));
+    EXPECT_NEAR(scale, absmax / 127.0f, 1e-9f);
+
+    // inv_scale 0 (the all-zero-sample convention) zero-fills.
+    std::vector<std::int8_t> z(77, 42);
+    nn::quantize_with_scale(x.data(), 77, 0.0f, z.data());
+    for (const std::int8_t v : z) {
+        EXPECT_EQ(v, 0);
+    }
+}
+
+TEST(QuantizeInt8, DequantizeAffine) {
+    std::vector<std::int32_t> acc(19);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = static_cast<std::int32_t>(i) * 100 - 900;
+    }
+    std::vector<float> out(19);
+    nn::dequantize_affine(acc.data(), 19, 0.25f, 1.5f, out.data());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], static_cast<float>(acc[i]) * 0.25f + 1.5f);
     }
 }
 

@@ -698,6 +698,61 @@ TEST(InferenceServer, ServedOutputsBitMatchDirectForward) {
     }
 }
 
+TEST(InferenceServer, QuantizedExecutionServesAndReportsCounters) {
+    ServeFixture fixture;
+    ServerConfig config;
+    config.batcher.max_batch_size = 4;
+    config.batcher.max_wait = std::chrono::microseconds(2000);
+    config.worker_threads = 1;
+    config.quantized_execution = true;
+    InferenceServer server(fixture.network, fixture.loader(), config);
+
+    Rng rng(19);
+    const Tensor image = Tensor::randn({3, 32, 32}, rng);
+    // The same (task, image) twice: the int8 path is deterministic, so
+    // serving must reproduce logits bit-for-bit across batches.
+    const InferenceResult first =
+        server.submit_async("alpha", image.clone()).get();
+    server.drain();
+    const InferenceResult second =
+        server.submit_async("alpha", image.clone()).get();
+    const InferenceResult other =
+        server.submit_async("beta", image.clone()).get();
+    server.drain();
+
+    ASSERT_EQ(first.logits.numel(), second.logits.numel());
+    for (std::int64_t c = 0; c < first.logits.numel(); ++c) {
+        ASSERT_EQ(first.logits[c], second.logits[c]) << "class " << c;
+    }
+    (void)other;
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests_served, 3);
+    EXPECT_GT(stats.quantized_path_hits, 0);
+    EXPECT_GT(stats.quantized_weight_max_rel_error, 0.0);
+    EXPECT_LT(stats.quantized_weight_max_rel_error, 0.05);
+    // The counters ride the metrics registry like every other serving
+    // stat (JSON / Prometheus export included).
+    bool found = false;
+    for (const auto& metric : server.metrics().snapshot()) {
+        if (metric.name == "serve.quantized_path_hits") {
+            EXPECT_EQ(metric.type, obs::MetricType::gauge);
+            EXPECT_GT(metric.value, 0.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    server.stop();
+
+    // A float server reports zero quantized activity.
+    config.quantized_execution = false;
+    InferenceServer fp32(fixture.network, fixture.loader(), config);
+    fp32.submit_async("alpha", image.clone()).get();
+    fp32.drain();
+    EXPECT_EQ(fp32.stats().quantized_path_hits, 0);
+    EXPECT_EQ(fp32.stats().quantized_weight_max_rel_error, 0.0);
+}
+
 TEST(InferenceServer, ConcurrentSubmitsAreSafe) {
     ServeFixture fixture;
     ServerConfig config;

@@ -296,6 +296,42 @@ TEST(Workspace, RewindAheadOfPointerThrows) {
     EXPECT_THROW(ws.rewind(later), check_error);
 }
 
+TEST(Workspace, MixedWidthAllocBytesInterleavesWithFloats) {
+    // The quantized executor carves int8 slabs and int32 accumulators
+    // from the same arena as float im2col scratch. alloc_bytes must
+    // charge the byte footprint (cacheline-rounded), not sizeof(float)
+    // per element — an int8 slab costing 4x its size would blow the
+    // plan's exact byte accounting.
+    Workspace ws(4096);
+    auto* q = ws.alloc<std::int8_t>(65);  // 65 bytes -> two cachelines
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0u);
+    EXPECT_EQ(ws.used_bytes(), 128u);
+    EXPECT_EQ(Workspace::aligned_bytes(65), 128u);
+    EXPECT_EQ(Workspace::aligned_bytes(64), 64u);
+    EXPECT_EQ(Workspace::aligned_bytes(0), 0u);
+
+    const Workspace::Checkpoint mark = ws.checkpoint();
+    auto* acc = ws.alloc<std::int32_t>(16);  // 64 bytes -> one line
+    float* f = ws.alloc_floats(16);          // interleaves freely
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(acc) % 64, 0u);
+    EXPECT_EQ(ws.used_bytes(), 128u + 64u + 64u);
+
+    // LIFO rewind frees both typed allocations together; the next
+    // byte-granular alloc reuses the accumulator's memory.
+    ws.rewind(mark);
+    EXPECT_EQ(ws.used_bytes(), 128u);
+    EXPECT_EQ(static_cast<void*>(ws.alloc<std::int32_t>(4)),
+              static_cast<void*>(acc));
+    (void)f;
+
+    // Same overflow discipline as alloc_floats: a checked error, never
+    // a silent heap allocation.
+    ws.reset();
+    ws.alloc<std::int8_t>(4096);
+    EXPECT_THROW(ws.alloc<std::int8_t>(1), check_error);
+}
+
 TEST(Tensor, ArgmaxFirstOnTies) {
     const Tensor t({4}, std::vector<float>{5, 1, 5, 2});
     EXPECT_EQ(argmax(t), 0);

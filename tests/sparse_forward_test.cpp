@@ -273,5 +273,225 @@ TEST(SparseForward, ZeroAllocationsAfterWarmUp) {
            "including across task swaps";
 }
 
+// ---------------------------------------------------------------------------
+// Quantized planned execution
+// ---------------------------------------------------------------------------
+
+std::int64_t argmax_row(const float* row, std::int64_t n) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < n; ++j) {
+        if (row[j] > row[best]) {
+            best = j;
+        }
+    }
+    return best;
+}
+
+TEST(QuantizedForward, Top1AgreementAcrossArchsAndBatches) {
+    // Accuracy guard for the int8 path: top-1 decisions must agree with
+    // float planned execution on >= 99% of samples, aggregated across
+    // {vgg, plain-cnn} x batch {1, 7, 32}. ReLU mode: the threshold
+    // nonlinearity has a masking cliff at t where int8 noise legitimately
+    // flips the mask (covered by the bit-stability tests below instead);
+    // ReLU has no cliff, so disagreements here measure pure quantization
+    // error. Deterministic — fixed seeds make this a regression gate,
+    // not a flaky statistical test.
+    std::int64_t agree = 0;
+    std::int64_t total = 0;
+    for (const bool use_vgg : {true, false}) {
+        core::MimeNetwork net(use_vgg ? vgg_config(true) : cnn_config(true));
+        net.set_training(false);
+        net.set_eval_mode(true);
+        net.set_mode(core::ActivationMode::relu);
+
+        Rng rng(123);
+        std::int64_t arch_agree = 0;
+        std::int64_t arch_total = 0;
+        for (const int batch : {1, 7, 32}) {
+            for (int trial = 0; trial < 4; ++trial) {
+                const Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+                Workspace workspace;
+                net.set_quantized_execution({false});
+                const std::vector<float> fp32 =
+                    tensor_copy(net.forward_planned(x, workspace));
+                net.set_quantized_execution({true});
+                const Tensor& int8 = net.forward_planned(x, workspace);
+                const std::int64_t classes = int8.shape().dim(1);
+                for (std::int64_t n = 0; n < batch; ++n) {
+                    arch_agree += argmax_row(fp32.data() + n * classes,
+                                             classes) ==
+                                  argmax_row(int8.data() + n * classes,
+                                             classes);
+                    ++arch_total;
+                }
+            }
+        }
+        // Per-architecture floor, looser than the aggregate gate.
+        EXPECT_GE(arch_agree, (arch_total * 95 + 99) / 100)
+            << (use_vgg ? "vgg" : "plain-cnn") << ": " << arch_agree << "/"
+            << arch_total;
+        agree += arch_agree;
+        total += arch_total;
+    }
+    EXPECT_GE(agree * 100, total * 99)
+        << "aggregate top-1 agreement " << agree << "/" << total
+        << " below 99%";
+}
+
+TEST(QuantizedForward, BitStableAcrossRunsAndTaskSwaps) {
+    // The int8 path must be a function of (weights, thresholds, input)
+    // only: repeated runs and A->B->A task swaps reproduce logits
+    // bit-for-bit. Per-sample activation scales make this hold under
+    // banding too (each sample's bytes depend only on its own data).
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 2, 0);
+    const core::ThresholdSet task_a = net.snapshot_thresholds("a");
+    prune_channels(net, 4, 1);
+    const core::ThresholdSet task_b = net.snapshot_thresholds("b");
+    net.set_quantized_execution({true});
+    net.set_sparse_execution({true, 0.85});
+
+    Rng rng(47);
+    const Tensor x = Tensor::randn({7, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    net.load_thresholds(task_a);
+    const std::vector<float> first =
+        tensor_copy(net.forward_planned(x, workspace));
+    EXPECT_TRUE(bit_equal(first, net.forward_planned(x, workspace)))
+        << "repeated quantized runs must be bit-identical";
+
+    net.load_thresholds(task_b);
+    const std::vector<float> other =
+        tensor_copy(net.forward_planned(x, workspace));
+    ASSERT_FALSE(bit_equal(first, net.forward_planned(x, workspace)))
+        << "tasks must differ for the swap test to mean anything";
+    EXPECT_TRUE(bit_equal(other, net.forward_planned(x, workspace)));
+
+    net.load_thresholds(task_a);
+    EXPECT_TRUE(bit_equal(first, net.forward_planned(x, workspace)))
+        << "task swap must restore bit-identical quantized logits";
+}
+
+TEST(QuantizedForward, SparseBitMatchesDenseQuantized) {
+    // Dead channels / features quantize to exact 0 (scale 0 rows and
+    // zero activations), so row compaction changes nothing about the
+    // int32 accumulation: int8 sparse == int8 dense bit-for-bit, the
+    // same exactness guarantee the float sparse path has.
+    core::MimeNetwork net(vgg_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 4);
+    net.set_quantized_execution({true});
+
+    Rng rng(53);
+    const Tensor x = Tensor::randn({5, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    net.set_sparse_execution({false, 0.85});
+    const std::vector<float> dense =
+        tensor_copy(net.forward_planned(x, workspace));
+    ASSERT_GT(net.planned_quantized_hits(), 0u);
+
+    net.set_sparse_execution({true, 0.85});
+    const Tensor& sparse = net.forward_planned(x, workspace);
+    EXPECT_TRUE(bit_equal(dense, sparse))
+        << "int8 sparse planned logits diverge from int8 dense";
+    EXPECT_GT(net.planned_sparse_hits(), 0u);
+    EXPECT_GT(net.planned_quantized_hits(), 0u);
+}
+
+TEST(QuantizedForward, BandedPoolBitMatchesSingleThread) {
+    core::MimeNetwork net(vgg_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 4);
+    net.set_quantized_execution({true});
+    net.set_sparse_execution({true, 0.85});
+
+    Rng rng(59);
+    const Tensor x = Tensor::randn({8, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    const std::vector<float> single =
+        tensor_copy(net.forward_planned(x, workspace));
+
+    // Activation scales are per sample, so band boundaries never change
+    // which bytes a sample quantizes to — pooled output is bit-identical.
+    ThreadPool pool(4);
+    net.set_pool(&pool);
+    const Tensor& banded = net.forward_planned(x, workspace);
+    EXPECT_TRUE(bit_equal(single, banded));
+    net.set_pool(nullptr);
+}
+
+TEST(QuantizedForward, CountersAndWeightErrorSurface) {
+    core::MimeNetwork net(cnn_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::relu);
+    net.set_quantized_execution({true});
+    ASSERT_TRUE(net.quantized_execution().enabled);
+
+    Rng rng(61);
+    const Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+    Workspace workspace;
+    net.forward_planned(x, workspace);
+    // plain-cnn: 4 convs + 2 fcs = 6 quantized steps per run.
+    const std::uint64_t per_run = net.planned_quantized_hits();
+    EXPECT_EQ(per_run, 6u);
+    net.forward_planned(x, workspace);
+    EXPECT_EQ(net.planned_quantized_hits(), 2 * per_run);
+
+    // Int8 per-channel weight error: nonzero, and far below 1/127 would
+    // be impossible — sanity-band it rather than pinning a value.
+    const double err = net.planned_quantized_max_rel_error();
+    EXPECT_GT(err, 0.0);
+    EXPECT_LT(err, 0.05);
+
+    // Flipping the policy off clears cached plans: the next forward
+    // runs float and reports no quantized hits.
+    net.set_quantized_execution({false});
+    net.forward_planned(x, workspace);
+    EXPECT_EQ(net.planned_quantized_hits(), 0u);
+    EXPECT_EQ(net.planned_quantized_max_rel_error(), 0.0);
+}
+
+TEST(QuantizedForward, ZeroAllocationsAfterWarmUp) {
+    core::MimeNetwork net(vgg_config(false));
+    net.set_training(false);
+    net.set_eval_mode(true);
+    net.set_mode(core::ActivationMode::threshold);
+    prune_channels(net, 2, 0);
+    const core::ThresholdSet task_a = net.snapshot_thresholds("a");
+    prune_channels(net, 4, 1);
+    const core::ThresholdSet task_b = net.snapshot_thresholds("b");
+    net.set_quantized_execution({true});
+    net.set_sparse_execution({true, 0.85});
+
+    Rng rng(67);
+    const Tensor x = Tensor::randn({8, 3, 32, 32}, rng);
+    Workspace workspace;
+
+    net.load_thresholds(task_a);
+    net.forward_planned(x, workspace);
+    net.load_thresholds(task_b);
+    net.forward_planned(x, workspace);
+
+    const std::int64_t alloc0 = Tensor::storage_allocation_count();
+    for (int i = 0; i < 4; ++i) {
+        net.load_thresholds(i % 2 == 0 ? task_a : task_b);
+        net.forward_planned(x, workspace);
+    }
+    EXPECT_EQ(Tensor::storage_allocation_count() - alloc0, 0)
+        << "quantized planned path must stay allocation-free after "
+           "warm-up, including across task swaps";
+}
+
 }  // namespace
 }  // namespace mime
