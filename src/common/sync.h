@@ -1,0 +1,176 @@
+// Capability-annotated synchronization primitives.
+//
+// Every mutex in the tree lives behind these wrappers so Clang's thread
+// safety analysis (-Wthread-safety, promoted to an error in CI) can
+// check the concurrency contract at compile time: which fields a lock
+// guards (MIME_GUARDED_BY), which private helpers may only run with the
+// lock held (MIME_REQUIRES), and which public entry points must be
+// called without it (MIME_EXCLUDES — the lock-order contract between,
+// e.g., the pool mutex and the cost-model mutex). GCC and MSVC see
+// plain std::mutex semantics: the attribute macros expand to nothing,
+// so the annotations cost nothing where they cannot be checked.
+//
+// tools/lint.py enforces that no raw std::mutex / std::lock_guard /
+// std::unique_lock / std::condition_variable appears outside this
+// header — new concurrent code must come through here, where the
+// analysis can see it.
+//
+// Style notes for annotated code:
+//   * Use explicit `while (!predicate()) cv.wait(lock);` loops instead
+//     of the predicate-lambda overloads of std::condition_variable.
+//     The analysis checks each lambda body as a separate function and
+//     cannot see that the enclosing wait holds the lock, so guarded
+//     reads inside wait predicates would need an escape hatch.
+//   * MIME_NO_THREAD_SAFETY_ANALYSIS is budgeted (<= 3 uses tree-wide,
+//     each with a written justification; tools/lint.py counts them).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros: Clang's thread safety analysis attributes when
+// available, no-ops otherwise. Spellings follow the canonical
+// mutex.h example from the Clang documentation.
+// ---------------------------------------------------------------------------
+#if defined(__clang__) && (!defined(SWIG))
+#define MIME_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MIME_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define MIME_CAPABILITY(x) MIME_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define MIME_SCOPED_CAPABILITY MIME_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding `x`.
+#define MIME_GUARDED_BY(x) MIME_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be accessed while holding `x`.
+#define MIME_PT_GUARDED_BY(x) MIME_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the listed capabilities.
+#define MIME_REQUIRES(...) \
+    MIME_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define MIME_ACQUIRE(...) \
+    MIME_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define MIME_RELEASE(...) \
+    MIME_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; the boolean result reports
+/// success.
+#define MIME_TRY_ACQUIRE(...) \
+    MIME_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities
+/// (it acquires them itself; calling with one held would self-deadlock
+/// or invert a documented lock order).
+#define MIME_EXCLUDES(...) MIME_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-acquisition ordering between two capabilities.
+#define MIME_ACQUIRED_BEFORE(...) \
+    MIME_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MIME_ACQUIRED_AFTER(...) \
+    MIME_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the capability that guards the result.
+#define MIME_RETURN_CAPABILITY(x) MIME_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Budgeted —
+/// tools/lint.py fails the build beyond 3 uses or uses without an
+/// adjacent justification comment.
+#define MIME_NO_THREAD_SAFETY_ANALYSIS \
+    MIME_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mime {
+
+class CondVar;
+
+/// Exclusive mutex. A thin std::mutex wrapper that carries the
+/// capability annotation; lock/unlock are meant to be driven through
+/// MutexLock, not called bare (bare calls are still annotated so the
+/// analysis tracks them when unavoidable).
+class MIME_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() MIME_ACQUIRE() { mutex_.lock(); }
+    void unlock() MIME_RELEASE() { mutex_.unlock(); }
+    bool try_lock() MIME_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+private:
+    friend class MutexLock;
+    friend class CondVar;
+    std::mutex mutex_;
+};
+
+/// RAII lock over a Mutex (the annotated std::unique_lock). Supports
+/// early unlock()/relock() — the analysis tracks the held state — and
+/// is the handle CondVar waits on.
+class MIME_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) MIME_ACQUIRE(mutex)
+        : lock_(mutex.mutex_) {}
+    ~MutexLock() MIME_RELEASE() = default;
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// Releases early (e.g. to notify a condvar outside the critical
+    /// section). The destructor then releases nothing.
+    void unlock() MIME_RELEASE() { lock_.unlock(); }
+    /// Re-acquires after an early unlock().
+    void lock() MIME_ACQUIRE() { lock_.lock(); }
+
+private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting on a MutexLock. Waits release and
+/// re-acquire the underlying mutex, so the capability is held again
+/// when they return — use explicit `while (!pred)` loops around waits
+/// (see the header comment for why not the predicate overloads).
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// Blocks until notified (or spuriously woken; loop on the
+    /// predicate). `lock` must hold the mutex guarding the predicate.
+    void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+    /// Blocks until notified or `deadline`; cv_status::timeout reports
+    /// which.
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(
+        MutexLock& lock,
+        const std::chrono::time_point<Clock, Duration>& deadline) {
+        return cv_.wait_until(lock.lock_, deadline);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(
+        MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
+        return cv_.wait_for(lock.lock_, timeout);
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace mime

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     task_available_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
     MIME_REQUIRE(task != nullptr, "cannot submit an empty task");
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         MIME_REQUIRE(!stopping_, "cannot submit to a stopping pool");
         tasks_.push(std::move(task));
         ++in_flight_;
@@ -39,17 +39,20 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) {
+        all_done_.wait(lock);
+    }
 }
 
 void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            task_available_.wait(lock,
-                                 [this] { return stopping_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && tasks_.empty()) {
+                task_available_.wait(lock);
+            }
             if (tasks_.empty()) {
                 return;  // stopping_ and drained
             }
@@ -58,7 +61,7 @@ void ThreadPool::worker_loop() {
         }
         task();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             --in_flight_;
             if (in_flight_ == 0) {
                 all_done_.notify_all();

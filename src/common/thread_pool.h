@@ -6,13 +6,13 @@
 // opt-in convenience for examples and benches.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace mime {
 
@@ -31,21 +31,21 @@ public:
     std::size_t size() const noexcept { return workers_.size(); }
 
     /// Enqueue a task; returns immediately.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) MIME_EXCLUDES(mutex_);
 
     /// Block until every submitted task has finished.
-    void wait_idle();
+    void wait_idle() MIME_EXCLUDES(mutex_);
 
 private:
-    void worker_loop();
+    void worker_loop() MIME_EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable task_available_;
-    std::condition_variable all_done_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
+    std::vector<std::thread> workers_;  ///< written in the ctor only
+    Mutex mutex_;
+    std::queue<std::function<void()>> tasks_ MIME_GUARDED_BY(mutex_);
+    CondVar task_available_;
+    CondVar all_done_;
+    std::size_t in_flight_ MIME_GUARDED_BY(mutex_) = 0;
+    bool stopping_ MIME_GUARDED_BY(mutex_) = false;
 };
 
 /// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the

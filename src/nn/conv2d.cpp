@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "tensor/gemm.h"
 #include "tensor/qgemm.h"
 
@@ -417,7 +417,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     const std::int64_t in_stride = in_channels_ * g.in_height * g.in_width;
     const std::int64_t out_stride = out_channels_ * spatial;
 
-    std::mutex accumulate_mutex;
+    Mutex accumulate_mutex;
 
     auto run_range = [&](std::size_t begin, std::size_t end) {
         std::vector<float> cols(static_cast<std::size_t>(ckk * spatial));
@@ -455,7 +455,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
             col2im(g, grad_cols.data(), grad_input.data() + n * in_stride);
         }
 
-        std::lock_guard lock(accumulate_mutex);
+        MutexLock lock(accumulate_mutex);
         weight_.grad.axpy(1.0f, local_grad_w);
         if (bias_) {
             bias_->grad.axpy(1.0f, local_grad_b);

@@ -113,15 +113,17 @@ double ConfusionMatrix::macro_f1() const {
 std::string ConfusionMatrix::to_string() const {
     std::string out = "true\\pred";
     for (std::int64_t p = 0; p < classes_; ++p) {
-        out += "\t" + std::to_string(p);
+        out += '\t';
+        out += std::to_string(p);
     }
-    out += "\n";
+    out += '\n';
     for (std::int64_t c = 0; c < classes_; ++c) {
         out += std::to_string(c);
         for (std::int64_t p = 0; p < classes_; ++p) {
-            out += "\t" + std::to_string(count(c, p));
+            out += '\t';
+            out += std::to_string(count(c, p));
         }
-        out += "\n";
+        out += '\n';
     }
     return out;
 }

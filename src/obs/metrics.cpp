@@ -69,7 +69,7 @@ const MetricsRegistry::Entry* MetricsRegistry::find_locked(
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Entry* existing = find_locked(name, MetricType::counter)) {
         return *existing->counter;
     }
@@ -82,7 +82,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Entry* existing = find_locked(name, MetricType::gauge)) {
         return *existing->gauge;
     }
@@ -96,7 +96,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds,
                                       const std::string& help) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const Entry* existing = find_locked(name, MetricType::histogram)) {
         return *existing->histogram;
     }
@@ -108,12 +108,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::size_t MetricsRegistry::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<MetricSnapshot> result;
     result.reserve(entries_.size());
     for (const Entry& entry : entries_) {

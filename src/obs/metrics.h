@@ -30,9 +30,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace mime::obs {
 
@@ -133,19 +134,22 @@ public:
     MetricsRegistry(const MetricsRegistry&) = delete;
     MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-    Counter& counter(const std::string& name, const std::string& help = "");
-    Gauge& gauge(const std::string& name, const std::string& help = "");
+    Counter& counter(const std::string& name, const std::string& help = "")
+        MIME_EXCLUDES(mutex_);
+    Gauge& gauge(const std::string& name, const std::string& help = "")
+        MIME_EXCLUDES(mutex_);
     /// `upper_bounds` must be strictly increasing and non-empty; they
     /// are fixed for the metric's lifetime (a second registration of
     /// the same name ignores the bounds argument).
     Histogram& histogram(const std::string& name,
                          std::vector<double> upper_bounds,
-                         const std::string& help = "");
+                         const std::string& help = "")
+        MIME_EXCLUDES(mutex_);
 
-    std::size_t size() const;
+    std::size_t size() const MIME_EXCLUDES(mutex_);
     /// Reads every metric (atomic loads; writers never block) in
     /// registration order.
-    std::vector<MetricSnapshot> snapshot() const;
+    std::vector<MetricSnapshot> snapshot() const MIME_EXCLUDES(mutex_);
 
 private:
     struct Entry {
@@ -157,14 +161,19 @@ private:
         Histogram* histogram = nullptr;
     };
 
-    const Entry* find_locked(const std::string& name, MetricType type) const;
+    const Entry* find_locked(const std::string& name, MetricType type) const
+        MIME_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+    /// Handle deques are append-only under mutex_; the handles
+    /// themselves are lock-free atomics, deliberately read and written
+    /// with no lock held (the registry's whole point), so they carry no
+    /// GUARDED_BY — the registration bookkeeping below does.
     std::deque<Counter> counters_;
     std::deque<Gauge> gauges_;
     std::deque<Histogram> histograms_;
-    std::vector<Entry> entries_;  ///< registration order
-    std::map<std::string, std::size_t> index_;
+    std::vector<Entry> entries_ MIME_GUARDED_BY(mutex_);
+    std::map<std::string, std::size_t> index_ MIME_GUARDED_BY(mutex_);
 };
 
 }  // namespace mime::obs

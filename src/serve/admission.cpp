@@ -19,15 +19,16 @@ AdmissionController::AdmissionController(AdmissionMode mode,
     : mode_(mode), max_pending_(max_pending) {}
 
 bool AdmissionController::try_admit() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto cap = static_cast<std::int64_t>(max_pending_);
     if (max_pending_ != 0 && pending_ >= cap) {
         if (mode_ == AdmissionMode::shed) {
             ++shed_;
             return false;
         }
-        slot_freed_.wait(lock,
-                         [&] { return closed_ || pending_ < cap; });
+        while (!closed_ && pending_ >= cap) {
+            slot_freed_.wait(lock);
+        }
     }
     if (closed_) {
         return false;
@@ -40,7 +41,7 @@ bool AdmissionController::try_admit() {
 
 void AdmissionController::release(std::size_t count) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         pending_ -= static_cast<std::int64_t>(count);
     }
     slot_freed_.notify_all();
@@ -48,29 +49,29 @@ void AdmissionController::release(std::size_t count) {
 
 void AdmissionController::close() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
     slot_freed_.notify_all();
 }
 
 std::int64_t AdmissionController::pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return pending_;
 }
 
 std::int64_t AdmissionController::peak_pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return peak_pending_;
 }
 
 std::int64_t AdmissionController::shed_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return shed_;
 }
 
 std::int64_t AdmissionController::admitted_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return admitted_;
 }
 

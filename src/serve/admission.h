@@ -11,11 +11,11 @@
 // which tests use to prove the cap was never exceeded.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "common/sync.h"
 
 namespace mime::serve {
 
@@ -45,29 +45,29 @@ public:
     /// Takes one slot. Returns true when admitted; false when the
     /// request must be shed (shed mode at capacity) or the controller
     /// was closed. In block mode, waits until a slot frees or close().
-    bool try_admit();
+    bool try_admit() MIME_EXCLUDES(mutex_);
 
     /// Returns `count` slots and wakes blocked admitters.
-    void release(std::size_t count = 1);
+    void release(std::size_t count = 1) MIME_EXCLUDES(mutex_);
 
     /// Wakes and refuses all current and future admitters.
-    void close();
+    void close() MIME_EXCLUDES(mutex_);
 
-    std::int64_t pending() const;
-    std::int64_t peak_pending() const;
-    std::int64_t shed_count() const;
-    std::int64_t admitted_count() const;
+    std::int64_t pending() const MIME_EXCLUDES(mutex_);
+    std::int64_t peak_pending() const MIME_EXCLUDES(mutex_);
+    std::int64_t shed_count() const MIME_EXCLUDES(mutex_);
+    std::int64_t admitted_count() const MIME_EXCLUDES(mutex_);
 
 private:
     const AdmissionMode mode_;
     const std::size_t max_pending_;
-    mutable std::mutex mutex_;
-    std::condition_variable slot_freed_;
-    std::int64_t pending_ = 0;
-    std::int64_t peak_pending_ = 0;
-    std::int64_t shed_ = 0;
-    std::int64_t admitted_ = 0;
-    bool closed_ = false;
+    mutable Mutex mutex_;
+    CondVar slot_freed_;
+    std::int64_t pending_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t peak_pending_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t shed_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t admitted_ MIME_GUARDED_BY(mutex_) = 0;
+    bool closed_ MIME_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mime::serve

@@ -56,7 +56,7 @@ CostModel::CostModel(std::vector<arch::LayerSpec> layers,
 
 void CostModel::set_task_sparsity(
     const std::string& task, const std::vector<double>& site_sparsities) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     TaskProfile& profile = tasks_[task];
     std::vector<double> clamped;
     clamped.reserve(site_sparsities.size());
@@ -88,7 +88,7 @@ void CostModel::set_task_sparsity(
 }
 
 bool CostModel::has_task_profile(const std::string& task) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.count(task) > 0;
 }
 
@@ -166,14 +166,14 @@ double CostModel::predict_locked(const std::string& task,
 double CostModel::predict_batch_us(const std::string& task,
                                    std::int64_t batch_size) const {
     MIME_REQUIRE(batch_size >= 1, "batch_size must be positive");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return predict_locked(task, batch_size);
 }
 
 double CostModel::predict_request_us(const std::string& task,
                                      std::int64_t expected_batch) const {
     MIME_REQUIRE(expected_batch >= 1, "expected_batch must be positive");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return predict_locked(task, expected_batch) /
            static_cast<double>(expected_batch);
 }
@@ -181,7 +181,7 @@ double CostModel::predict_request_us(const std::string& task,
 double CostModel::predict_batch_energy(const std::string& task,
                                        std::int64_t batch_size) const {
     MIME_REQUIRE(batch_size >= 1, "batch_size must be positive");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!config_.use_simulator) {
         return 0.0;
     }
@@ -193,7 +193,7 @@ CostFeedback CostModel::observe_batch(const std::string& task,
                                       std::int64_t batch_size,
                                       double measured_us) {
     MIME_REQUIRE(batch_size >= 1, "batch_size must be positive");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CostFeedback feedback;
     feedback.predicted_us = predict_locked(task, batch_size);
     if (!(measured_us > 0.0)) {
@@ -223,17 +223,17 @@ CostFeedback CostModel::observe_batch(const std::string& task,
 }
 
 double CostModel::calibration_scale() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return calibration_scale_;
 }
 
 std::int64_t CostModel::observation_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return observation_count_;
 }
 
 double CostModel::mean_abs_relative_error() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return observation_count_ == 0
                ? 0.0
                : abs_relative_error_sum_ /

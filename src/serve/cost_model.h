@@ -31,12 +31,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "arch/layer_spec.h"
+#include "common/sync.h"
 #include "hw/simulator.h"
 #include "hw/systolic_config.h"
 
@@ -99,38 +99,46 @@ public:
     /// layers repeat the last known value. Deltas below
     /// sparsity_epsilon keep the memoized prices.
     void set_task_sparsity(const std::string& task,
-                           const std::vector<double>& site_sparsities);
-    bool has_task_profile(const std::string& task) const;
+                           const std::vector<double>& site_sparsities)
+        MIME_EXCLUDES(mutex_);
+    bool has_task_profile(const std::string& task) const
+        MIME_EXCLUDES(mutex_);
 
     /// Predicted wall microseconds to serve one batch of `batch_size`
     /// requests of `task` (calibrated; monotone in batch_size for the
     /// uncalibrated base model). Unknown tasks price at dense (zero
     /// sparsity) — pessimistic, so feasibility errs toward serving.
     double predict_batch_us(const std::string& task,
-                            std::int64_t batch_size) const;
+                            std::int64_t batch_size) const
+        MIME_EXCLUDES(mutex_);
 
     /// Per-request share of a batch of `expected_batch` — the unit the
-    /// pool adds to a replica's outstanding-cost load on submit.
+    /// pool adds to a replica's outstanding-cost load on submit. Must
+    /// be called without any caller lock that dispatch threads also
+    /// take while calibrating (the pool calls it before its router
+    /// mutex for exactly that reason).
     double predict_request_us(const std::string& task,
-                              std::int64_t expected_batch) const;
+                              std::int64_t expected_batch) const
+        MIME_EXCLUDES(mutex_);
 
     /// Model-side energy of one batch in normalized MAC-energy units
     /// (simulator path; the linear fallback reports 0 — it has no
     /// energy story).
     double predict_batch_energy(const std::string& task,
-                                std::int64_t batch_size) const;
+                                std::int64_t batch_size) const
+        MIME_EXCLUDES(mutex_);
 
     /// Feeds one measured batch service time back into calibration and
     /// returns what the model had predicted for that shape.
     CostFeedback observe_batch(const std::string& task,
                                std::int64_t batch_size,
-                               double measured_us);
+                               double measured_us) MIME_EXCLUDES(mutex_);
 
-    double calibration_scale() const;
-    std::int64_t observation_count() const;
+    double calibration_scale() const MIME_EXCLUDES(mutex_);
+    std::int64_t observation_count() const MIME_EXCLUDES(mutex_);
     /// Mean |predicted - observed| / observed over every observation —
     /// the serve.cost_prediction_error gauge.
-    double mean_abs_relative_error() const;
+    double mean_abs_relative_error() const MIME_EXCLUDES(mutex_);
 
 private:
     struct TaskProfile {
@@ -141,35 +149,38 @@ private:
         std::int64_t samples = 0;
     };
 
-    /// Uncalibrated base prediction (simulator or linear). Caller holds
-    /// mutex_.
+    /// Uncalibrated base prediction (simulator or linear).
     double base_batch_us(const std::string& task,
-                         std::int64_t batch_size) const;
-    /// Calibrated + observation-blended prediction. Caller holds mutex_.
+                         std::int64_t batch_size) const
+        MIME_REQUIRES(mutex_);
+    /// Calibrated + observation-blended prediction.
     double predict_locked(const std::string& task,
-                          std::int64_t batch_size) const;
-    const hw::SparsityProfile& profile_for(const std::string& task) const;
+                          std::int64_t batch_size) const
+        MIME_REQUIRES(mutex_);
+    const hw::SparsityProfile& profile_for(const std::string& task) const
+        MIME_REQUIRES(mutex_);
 
     CostModelConfig config_;
     std::vector<arch::LayerSpec> layers_;
     hw::InferenceSimulator simulator_;
     hw::SparsityProfile dense_profile_;  ///< unknown-task fallback
 
-    mutable std::mutex mutex_;
-    std::map<std::string, TaskProfile> tasks_;
+    mutable Mutex mutex_;
+    std::map<std::string, TaskProfile> tasks_ MIME_GUARDED_BY(mutex_);
     /// Simulator profiles rebuilt lazily from tasks_; keyed by task.
-    mutable std::map<std::string, hw::SparsityProfile> profiles_;
+    mutable std::map<std::string, hw::SparsityProfile> profiles_
+        MIME_GUARDED_BY(mutex_);
     /// Memoized base prices/energies keyed by (task, batch_size).
     mutable std::map<std::pair<std::string, std::int64_t>, double>
-        base_us_memo_;
+        base_us_memo_ MIME_GUARDED_BY(mutex_);
     mutable std::map<std::pair<std::string, std::int64_t>, double>
-        energy_memo_;
+        energy_memo_ MIME_GUARDED_BY(mutex_);
     /// Observed service-time EWMAs keyed by (task, batch_size).
     std::map<std::pair<std::string, std::int64_t>, ObservedShape>
-        observed_;
-    double calibration_scale_ = 1.0;
-    std::int64_t observation_count_ = 0;
-    double abs_relative_error_sum_ = 0.0;
+        observed_ MIME_GUARDED_BY(mutex_);
+    double calibration_scale_ MIME_GUARDED_BY(mutex_) = 1.0;
+    std::int64_t observation_count_ MIME_GUARDED_BY(mutex_) = 0;
+    double abs_relative_error_sum_ MIME_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace mime::serve

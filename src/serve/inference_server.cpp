@@ -496,7 +496,7 @@ void InferenceServer::run_batch(std::vector<InferenceRequest> batch) {
         quantized_error_gauge_.set(
             network_->planned_quantized_max_rel_error());
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             for (std::size_t n = 0; n < batch.size(); ++n) {
                 const double latency = results[n].latency_us;
                 latency_.add(latency);
@@ -585,12 +585,12 @@ void InferenceServer::fail_batch(std::vector<InferenceRequest> batch,
 }
 
 LatencyRecorder InferenceServer::latency_recorder() const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return latency_;
 }
 
 LatencyRecorder InferenceServer::latency_recorder(Priority lane) const {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return lane == Priority::interactive ? lane_latency_interactive_
                                          : lane_latency_batch_;
 }
@@ -663,7 +663,7 @@ ServerStats InferenceServer::stats() const {
     stats.interactive.completed = lane_completed_interactive_.value();
     stats.batch.completed = lane_completed_batch_.value();
 
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     stats.mean_latency_us = latency_.mean();
     if (latency_.count() > 0) {
         const LatencyRecorder::Summary quantiles = latency_.summary();

@@ -22,11 +22,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/mime_network.h"
 #include "obs/metrics.h"
@@ -219,7 +219,7 @@ public:
     /// Compatibility view over the metrics registry (plus the
     /// reservoir-backed latency quantiles and per-task table, which
     /// live outside it).
-    ServerStats stats() const;
+    ServerStats stats() const MIME_EXCLUDES(stats_mutex_);
 
     /// The underlying runtime metrics ("serve.*" counters / gauges /
     /// histograms); snapshot() + obs/export.h turn this into JSON or
@@ -230,9 +230,10 @@ public:
 
     /// Snapshot of the latency reservoir; pool-wide percentiles merge
     /// these across replicas (see LatencyRecorder::merge).
-    LatencyRecorder latency_recorder() const;
+    LatencyRecorder latency_recorder() const MIME_EXCLUDES(stats_mutex_);
     /// Per-priority reservoir (ok-served requests of that class only).
-    LatencyRecorder latency_recorder(Priority lane) const;
+    LatencyRecorder latency_recorder(Priority lane) const
+        MIME_EXCLUDES(stats_mutex_);
 
     /// The per-sample [C, H, W] a network's serving front door accepts
     /// (shared by InferenceServer and ServerPool construction).
@@ -320,14 +321,16 @@ private:
     obs::Histogram& batch_size_hist_;
     obs::Histogram& latency_hist_;
 
-    mutable std::mutex stats_mutex_;
-    LatencyRecorder latency_;           ///< guarded by stats_mutex_
-    LatencyRecorder lane_latency_interactive_;  ///< guarded by stats_mutex_
-    LatencyRecorder lane_latency_batch_;        ///< guarded by stats_mutex_
-    std::map<std::string, TaskServeStats> per_task_;  ///< stats_mutex_
+    mutable Mutex stats_mutex_;
+    LatencyRecorder latency_ MIME_GUARDED_BY(stats_mutex_);
+    LatencyRecorder lane_latency_interactive_ MIME_GUARDED_BY(stats_mutex_);
+    LatencyRecorder lane_latency_batch_ MIME_GUARDED_BY(stats_mutex_);
+    std::map<std::string, TaskServeStats> per_task_
+        MIME_GUARDED_BY(stats_mutex_);
     /// Per-layer profiles, refreshed after each batch when
-    /// config_.profile_layers; guarded by stats_mutex_.
-    std::vector<obs::LayerProfile> profiles_snapshot_;
+    /// config_.profile_layers.
+    std::vector<obs::LayerProfile> profiles_snapshot_
+        MIME_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace mime::serve

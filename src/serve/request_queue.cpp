@@ -9,9 +9,10 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool RequestQueue::push(InferenceRequest&& request) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.size() >= capacity_) {
+        not_full_.wait(lock);
+    }
     if (closed_) {
         return false;
     }
@@ -23,14 +24,18 @@ bool RequestQueue::push(InferenceRequest&& request) {
 
 std::vector<InferenceRequest> RequestQueue::drain_until(
     Clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_until(lock, deadline,
-                          [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+            break;
+        }
+    }
     return drain_locked();
 }
 
 std::vector<InferenceRequest> RequestQueue::drain_now() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return drain_locked();
 }
 
@@ -47,7 +52,7 @@ std::vector<InferenceRequest> RequestQueue::drain_locked() {
 
 void RequestQueue::close() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         closed_ = true;
     }
     not_full_.notify_all();
@@ -55,12 +60,12 @@ void RequestQueue::close() {
 }
 
 bool RequestQueue::closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
 }
 

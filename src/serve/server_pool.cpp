@@ -180,7 +180,7 @@ ServerPool::ServerPool(core::MimeNetwork& prototype,
 ServerPool::~ServerPool() { stop(); }
 
 std::size_t ServerPool::active_replicas() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return active_;
 }
 
@@ -214,9 +214,17 @@ void ServerPool::autoscaler_loop() {
         const std::int64_t shed_delta = shed - last_shed;
         last_shed = shed;
 
-        std::unique_lock<std::mutex> lock(mutex_);
-        autoscale_cv_.wait_for(lock, config_.autoscaler.interval,
-                               [this] { return autoscale_stop_; });
+        MutexLock lock(mutex_);
+        // Explicit wait loop (not the predicate overload): the analysis
+        // cannot see mutex_ held inside a predicate lambda, and the
+        // loop needs guarded reads of autoscale_stop_.
+        const auto deadline = Clock::now() + config_.autoscaler.interval;
+        while (!autoscale_stop_) {
+            if (autoscale_cv_.wait_until(lock, deadline) ==
+                std::cv_status::timeout) {
+                break;
+            }
+        }
         if (autoscale_stop_) {
             return;
         }
@@ -272,7 +280,7 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
     const double cost_us = request_cost_us(task);
     InferenceServer* server = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Route among the active replicas only (the autoscaler may have
         // retired the tail of the provisioned set).
         route_scratch_.assign(loads_.begin(),
@@ -289,7 +297,7 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
     if (!id.has_value()) {
         // Raced with stop() after admission: unwind and reject.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             loads_[replica] = std::max(0.0, loads_[replica] - cost_us);
             --inflight_[replica];
             --routed_[replica];
@@ -315,7 +323,7 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
         // The replica rejected at its door (stop race); it already
         // delivered the failure outcome — just unwind the accounting.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             loads_[replica] = std::max(0.0, loads_[replica] - cost_us);
             --inflight_[replica];
             --routed_[replica];
@@ -329,7 +337,7 @@ RequestTicket ServerPool::submit(const std::string& task, Tensor image,
 void ServerPool::on_requests_complete(std::size_t replica,
                                       std::size_t count) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         // Retire a proportional share of the replica's outstanding
         // predicted cost: the pool does not track which request carried
         // which price, and the proportion keeps loads_ and inflight_
@@ -359,7 +367,7 @@ void ServerPool::stop() {
     // Stop the autoscaler before the replicas so active_ stops moving
     // while they drain.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         autoscale_stop_ = true;
     }
     autoscale_cv_.notify_all();
@@ -449,7 +457,7 @@ PoolStats ServerPool::stats() const {
             cost_model_->mean_abs_relative_error();
         stats.cost_calibration_scale = cost_model_->calibration_scale();
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats.active_replicas = active_;
     stats.autoscale_grows = autoscale_grows_;
     stats.autoscale_shrinks = autoscale_shrinks_;

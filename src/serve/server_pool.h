@@ -35,14 +35,13 @@
 // budget using the live per-replica plan + workspace bytes.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/mime_network.h"
 #include "serve/admission.h"
 #include "serve/autoscaler.h"
@@ -182,7 +181,7 @@ public:
     /// Provisioned replicas (autoscaler max when enabled).
     std::size_t replica_count() const noexcept { return servers_.size(); }
     /// Replicas currently receiving traffic.
-    std::size_t active_replicas() const;
+    std::size_t active_replicas() const MIME_EXCLUDES(mutex_);
     /// The shared cost model (null when neither cost-aware scheduling
     /// nor the autoscaler asked for one).
     const std::shared_ptr<CostModel>& cost_model() const noexcept {
@@ -207,14 +206,21 @@ public:
     void stop() override;
 
     ServiceStats service_stats() const override;
-    PoolStats stats() const;
+    PoolStats stats() const MIME_EXCLUDES(mutex_);
 
 private:
-    void on_requests_complete(std::size_t replica, std::size_t count);
+    void on_requests_complete(std::size_t replica, std::size_t count)
+        MIME_EXCLUDES(mutex_);
     /// Predicted cost one request of `task` adds to a replica's load
-    /// (1.0 — a request count — when not cost-aware).
-    double request_cost_us(const std::string& task) const;
-    void autoscaler_loop();
+    /// (1.0 — a request count — when not cost-aware). EXCLUDES(mutex_)
+    /// is the machine-checked lock-order contract: this calls into the
+    /// shared CostModel, whose mutex the dispatch threads hold while
+    /// calibrating — taking it under the router mutex would couple every
+    /// submit to every replica's calibration (and invert the only
+    /// sanctioned order: cost-model mutex after, never inside, mutex_).
+    double request_cost_us(const std::string& task) const
+        MIME_EXCLUDES(mutex_);
+    void autoscaler_loop() MIME_EXCLUDES(mutex_);
 
     PoolConfig config_;
     core::MimeNetwork* prototype_;
@@ -238,23 +244,28 @@ private:
     /// throughput window — shared bookkeeping via ServiceState.
     ServiceState state_;
 
-    mutable std::mutex mutex_;
-    Router router_;  ///< guarded by mutex_; sized to the active count
-    std::size_t active_ = 0;  ///< replicas receiving traffic
+    mutable Mutex mutex_;
+    /// Sized to the active count; routing state mutates on every
+    /// route(), so reads need the lock as much as writes do.
+    Router router_ MIME_GUARDED_BY(mutex_);
+    std::size_t active_ MIME_GUARDED_BY(mutex_) = 0;  ///< receiving traffic
     /// Outstanding work per replica: predicted microseconds when
     /// cost-aware, else the in-flight request count. Completions
     /// retire a proportional share (the pool does not track which
     /// request carried which cost).
-    std::vector<double> loads_;
-    std::vector<std::int64_t> inflight_;  ///< in-flight per replica
-    std::vector<std::int64_t> routed_;    ///< total assigned per replica
-    std::vector<double> route_scratch_;   ///< active-prefix loads view
-    std::int64_t autoscale_grows_ = 0;    ///< guarded by mutex_
-    std::int64_t autoscale_shrinks_ = 0;  ///< guarded by mutex_
-    std::int64_t autoscale_budget_blocked_ = 0;  ///< guarded by mutex_
+    std::vector<double> loads_ MIME_GUARDED_BY(mutex_);
+    /// In-flight per replica.
+    std::vector<std::int64_t> inflight_ MIME_GUARDED_BY(mutex_);
+    /// Total assigned per replica.
+    std::vector<std::int64_t> routed_ MIME_GUARDED_BY(mutex_);
+    /// Active-prefix loads view.
+    std::vector<double> route_scratch_ MIME_GUARDED_BY(mutex_);
+    std::int64_t autoscale_grows_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t autoscale_shrinks_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t autoscale_budget_blocked_ MIME_GUARDED_BY(mutex_) = 0;
 
-    std::condition_variable autoscale_cv_;
-    bool autoscale_stop_ = false;  ///< guarded by mutex_
+    CondVar autoscale_cv_;
+    bool autoscale_stop_ MIME_GUARDED_BY(mutex_) = false;
     std::thread autoscaler_;
 };
 

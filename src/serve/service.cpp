@@ -1,10 +1,10 @@
 #include "serve/service.h"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/sync.h"
 #include "serve/admission.h"
 
 namespace mime::serve {
@@ -84,10 +84,10 @@ std::exception_ptr to_legacy_exception(const Outcome<InferenceResult>& outcome) 
 /// thread, inside submit()) are recorded so the shim can rethrow them at
 /// the call site, exactly where the old API threw.
 struct LegacyRelay {
-    std::mutex mutex;
+    Mutex mutex;
     std::promise<InferenceResult> promise;
     std::thread::id submitter = std::this_thread::get_id();
-    std::exception_ptr sync_error;
+    std::exception_ptr sync_error MIME_GUARDED_BY(mutex);
 };
 
 }  // namespace
@@ -106,14 +106,14 @@ std::future<InferenceResult> InferenceService::submit_async(
         std::exception_ptr error = to_legacy_exception(outcome);
         relay->promise.set_exception(error);
         if (std::this_thread::get_id() == relay->submitter) {
-            std::lock_guard<std::mutex> lock(relay->mutex);
+            MutexLock lock(relay->mutex);
             relay->sync_error = error;
         }
     };
     submit(task, std::move(image), std::move(options));
 
     {
-        std::lock_guard<std::mutex> lock(relay->mutex);
+        MutexLock lock(relay->mutex);
         if (relay->sync_error) {
             std::rethrow_exception(relay->sync_error);
         }

@@ -6,7 +6,7 @@ namespace mime::serve {
 
 std::optional<std::int64_t> ServiceState::register_submit(
     Clock::time_point now) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) {
         return std::nullopt;
     }
@@ -19,7 +19,7 @@ std::optional<std::int64_t> ServiceState::register_submit(
 
 void ServiceState::rollback_submit() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         --submitted_;
     }
     drained_.notify_all();
@@ -27,7 +27,7 @@ void ServiceState::rollback_submit() {
 
 void ServiceState::complete(std::size_t count, Clock::time_point now) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         completed_ += static_cast<std::int64_t>(count);
         last_completion_ = now;
     }
@@ -35,12 +35,14 @@ void ServiceState::complete(std::size_t count, Clock::time_point now) {
 }
 
 void ServiceState::drain() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_.wait(lock, [this] { return completed_ == submitted_; });
+    MutexLock lock(mutex_);
+    while (completed_ != submitted_) {
+        drained_.wait(lock);
+    }
 }
 
 bool ServiceState::begin_stop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) {
         return false;
     }
@@ -49,22 +51,22 @@ bool ServiceState::begin_stop() {
 }
 
 bool ServiceState::stopped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stopped_;
 }
 
 std::int64_t ServiceState::submitted() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return submitted_;
 }
 
 std::int64_t ServiceState::completed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return completed_;
 }
 
 double ServiceState::throughput_rps() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (completed_ <= 0) {
         return 0.0;
     }

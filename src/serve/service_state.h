@@ -11,11 +11,10 @@
 // blocking and idempotence semantics both backends share.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 
+#include "common/sync.h"
 #include "serve/request.h"
 
 namespace mime::serve {
@@ -26,42 +25,44 @@ public:
     /// id, or nullopt once stop has begun (the caller rejects with
     /// ServeStatus::shutdown). The first registration opens the
     /// throughput window.
-    std::optional<std::int64_t> register_submit(Clock::time_point now);
+    std::optional<std::int64_t> register_submit(Clock::time_point now)
+        MIME_EXCLUDES(mutex_);
 
     /// Rolls back a registration whose enqueue lost a race with close,
     /// so drain() still terminates.
-    void rollback_submit();
+    void rollback_submit() MIME_EXCLUDES(mutex_);
 
     /// Records `count` terminal deliveries (results or structured
     /// failures) and advances the throughput window.
-    void complete(std::size_t count, Clock::time_point now);
+    void complete(std::size_t count, Clock::time_point now)
+        MIME_EXCLUDES(mutex_);
 
     /// Blocks until every registered submission has completed.
-    void drain();
+    void drain() MIME_EXCLUDES(mutex_);
 
     /// Marks the service stopping. True exactly once; callers skip
     /// their teardown on repeat calls.
-    bool begin_stop();
+    bool begin_stop() MIME_EXCLUDES(mutex_);
 
-    bool stopped() const;
-    std::int64_t submitted() const;
-    std::int64_t completed() const;
+    bool stopped() const MIME_EXCLUDES(mutex_);
+    std::int64_t submitted() const MIME_EXCLUDES(mutex_);
+    std::int64_t completed() const MIME_EXCLUDES(mutex_);
 
     /// Completed requests per wall-clock second between the first
     /// registration and the last completion. Returns 0 — never inf/NaN
     /// — while nothing completed or when the window is zero-length (a
     /// single instantly-completed request).
-    double throughput_rps() const;
+    double throughput_rps() const MIME_EXCLUDES(mutex_);
 
 private:
-    mutable std::mutex mutex_;
-    std::condition_variable drained_;
-    std::int64_t next_id_ = 0;
-    std::int64_t submitted_ = 0;
-    std::int64_t completed_ = 0;
-    Clock::time_point first_enqueue_{};
-    Clock::time_point last_completion_{};
-    bool stopped_ = false;
+    mutable Mutex mutex_;
+    CondVar drained_;
+    std::int64_t next_id_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t submitted_ MIME_GUARDED_BY(mutex_) = 0;
+    std::int64_t completed_ MIME_GUARDED_BY(mutex_) = 0;
+    Clock::time_point first_enqueue_ MIME_GUARDED_BY(mutex_) = {};
+    Clock::time_point last_completion_ MIME_GUARDED_BY(mutex_) = {};
+    bool stopped_ MIME_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mime::serve

@@ -6,9 +6,11 @@
 // eviction guard drains overshoot after a capacity shrink).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
@@ -367,6 +369,73 @@ TEST(CostModel, CalibrationScaleIsClampedAndIgnoresBadSamples) {
     model.observe_batch("t", 1, -5.0);
     EXPECT_EQ(model.observation_count(), before);
     EXPECT_DOUBLE_EQ(model.calibration_scale(), 10.0);
+}
+
+// Regression for the capability-annotation audit: one model is shared
+// by every replica's dispatch thread (calibrating), the pool's submit
+// path (pricing) and sparsity installs — all serialized on the model's
+// internal mutex. Hammer all three concurrently; afterwards the
+// bookkeeping must be exact and the scale inside its clamps. Runs
+// under ThreadSanitizer in CI.
+TEST(CostModel, ConcurrentCalibrateAndPredictStayCoherent) {
+    CostModelConfig config;
+    config.use_simulator = false;
+    config.default_per_sample_us = 100.0;
+    config.default_batch_overhead_us = 10.0;
+    CostModel model(tiny_layers(), config);
+
+    constexpr int kCalibrators = 3;
+    constexpr int kObservationsEach = 500;
+    constexpr int kPredictors = 3;
+
+    std::atomic<bool> stop_predicting{false};
+    std::atomic<bool> saw_bad_prediction{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kCalibrators + kPredictors + 1);
+
+    for (int t = 0; t < kCalibrators; ++t) {
+        threads.emplace_back([&model, t] {
+            const std::string task = "task" + std::to_string(t);
+            for (int i = 0; i < kObservationsEach; ++i) {
+                model.observe_batch(task, 1 + i % 4, 250.0);
+            }
+        });
+    }
+    for (int t = 0; t < kPredictors; ++t) {
+        threads.emplace_back([&] {
+            while (!stop_predicting.load()) {
+                const double batch_us = model.predict_batch_us("task0", 4);
+                const double request_us =
+                    model.predict_request_us("task1", 4);
+                if (!(batch_us > 0.0) || !(request_us > 0.0)) {
+                    saw_bad_prediction.store(true);
+                }
+            }
+        });
+    }
+    threads.emplace_back([&model, &stop_predicting] {
+        int i = 0;
+        while (!stop_predicting.load()) {
+            const double s = 0.1 * static_cast<double>(i++ % 9);
+            model.set_task_sparsity("task0", {s, s, s});
+        }
+    });
+
+    for (int t = 0; t < kCalibrators; ++t) {
+        threads[static_cast<std::size_t>(t)].join();
+    }
+    stop_predicting.store(true);
+    for (std::size_t t = kCalibrators; t < threads.size(); ++t) {
+        threads[t].join();
+    }
+
+    EXPECT_FALSE(saw_bad_prediction.load());
+    // No observation lost or double-counted under contention.
+    EXPECT_EQ(model.observation_count(),
+              static_cast<std::int64_t>(kCalibrators) * kObservationsEach);
+    EXPECT_GE(model.calibration_scale(), config.min_calibration_scale);
+    EXPECT_LE(model.calibration_scale(), config.max_calibration_scale);
+    EXPECT_GT(model.mean_abs_relative_error(), 0.0);
 }
 
 // ---------------------------------------------------------------------------

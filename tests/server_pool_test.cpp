@@ -641,5 +641,133 @@ TEST(ServerPool, AutoscalerGrowsUnderLoadAndShrinksBackToMin) {
               std::string::npos);
 }
 
+// Regression for the capability-annotation audit: active_ and the
+// router size move only under mutex_, so a reader can never observe the
+// autoscaler mid-transition (an active count outside [min, max], or a
+// routed target past the provisioned set). Submitting threads race the
+// scaler while observers hammer the snapshot paths.
+TEST(ServerPool, ActiveCountStaysBoundedWhileAutoscalerRacesSubmits) {
+    PoolFixture fixture(2);
+
+    CostModelConfig cost_config;
+    cost_config.use_simulator = false;
+    cost_config.default_per_sample_us = 2000.0;
+
+    PoolConfig config;
+    config.replica_count = 1;
+    config.routing = RoutingPolicy::least_loaded;
+    config.cost_model = std::make_shared<CostModel>(
+        fixture.network.layer_specs(), cost_config);
+    config.autoscaler.enabled = true;
+    config.autoscaler.min_replicas = 1;
+    config.autoscaler.max_replicas = 3;
+    config.autoscaler.interval = std::chrono::milliseconds(1);
+    config.autoscaler.grow_backlog_us = 500.0;
+    config.autoscaler.shrink_backlog_us = 100.0;
+    config.autoscaler.grow_patience = 1;
+    config.autoscaler.shrink_patience = 1;
+    config.server.batcher.max_batch_size = 4;
+    config.server.batcher.max_wait = std::chrono::microseconds(200);
+    config.server.simulated_service_time = std::chrono::milliseconds(1);
+    config.server.worker_threads = 1;
+
+    ServerPool pool(fixture.network, fixture.loader(), config);
+
+    std::atomic<bool> stop_observing{false};
+    std::atomic<bool> saw_out_of_bounds{false};
+    std::thread observer([&] {
+        while (!stop_observing.load()) {
+            const std::size_t active = pool.active_replicas();
+            if (active < 1 || active > 3) {
+                saw_out_of_bounds.store(true);
+            }
+            const PoolStats snapshot = pool.stats();
+            if (snapshot.active_replicas < 1 ||
+                snapshot.active_replicas > 3) {
+                saw_out_of_bounds.store(true);
+            }
+        }
+    });
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 12;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&pool, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                pool.submit("task" + std::to_string(c % 2),
+                            Tensor({3, 32, 32}, 0.1f));
+            }
+        });
+    }
+    for (std::thread& client : clients) {
+        client.join();
+    }
+    pool.drain();
+    stop_observing.store(true);
+    observer.join();
+
+    const PoolStats stats = pool.stats();
+    pool.stop();
+    EXPECT_FALSE(saw_out_of_bounds.load());
+    EXPECT_EQ(stats.requests_completed, kClients * kPerClient);
+    // Every request routed to some replica, none lost mid-transition.
+    std::int64_t routed_total = 0;
+    for (const ReplicaStats& replica : stats.replicas) {
+        routed_total += replica.routed;
+    }
+    EXPECT_EQ(routed_total, kClients * kPerClient);
+}
+
+// Regression for the snapshot-read audit: stats() merges per-replica
+// counters and then reads the guarded pool ledger in one critical
+// section, so a snapshot taken mid-traffic must be internally coherent
+// (ledger non-negative, completed never ahead of submitted) even while
+// dispatch threads mutate everything underneath it.
+TEST(ServerPool, StatsSnapshotStaysCoherentUnderConcurrentTraffic) {
+    PoolFixture fixture(2);
+    PoolConfig config;
+    config.replica_count = 2;
+    config.routing = RoutingPolicy::least_loaded;
+    config.server.batcher.max_batch_size = 4;
+    config.server.batcher.max_wait = std::chrono::microseconds(200);
+    config.server.worker_threads = 1;
+    ServerPool pool(fixture.network, fixture.loader(), config);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> saw_incoherent{false};
+    std::thread scraper([&] {
+        while (!done.load()) {
+            const PoolStats snapshot = pool.stats();
+            if (snapshot.predicted_outstanding_us < 0.0 ||
+                snapshot.requests_completed >
+                    snapshot.requests_submitted ||
+                snapshot.replicas.size() != 2) {
+                saw_incoherent.store(true);
+            }
+        }
+    });
+
+    std::vector<std::future<InferenceResult>> futures;
+    futures.reserve(32);
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit_async(
+            "task" + std::to_string(i % 2), Tensor({3, 32, 32}, 0.1f)));
+    }
+    for (std::future<InferenceResult>& future : futures) {
+        EXPECT_EQ(future.get().logits.shape().dim(-1), 10);
+    }
+    pool.drain();
+    done.store(true);
+    scraper.join();
+
+    const PoolStats stats = pool.stats();
+    pool.stop();
+    EXPECT_FALSE(saw_incoherent.load());
+    EXPECT_EQ(stats.requests_completed, 32);
+    EXPECT_EQ(stats.predicted_outstanding_us, 0.0);
+}
+
 }  // namespace
 }  // namespace mime::serve

@@ -13,12 +13,12 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "core/multitask.h"
 #include "obs/trace.h"
 #include "serve/inference_server.h"
@@ -200,12 +200,12 @@ TEST_P(ServiceApiTest, ExpiredDeadlineReapsBeforeLaterBatches) {
     auto service =
         make_backend(GetParam().kind, fixture, gate.wrap(fixture.loader()));
 
-    std::mutex order_mutex;
+    Mutex order_mutex;
     std::vector<std::string> order;
     const auto record = [&order_mutex, &order](const std::string& label) {
         return [&order_mutex, &order,
                 label](Outcome<InferenceResult> outcome) {
-            std::lock_guard<std::mutex> lock(order_mutex);
+            MutexLock lock(order_mutex);
             order.push_back(label + ":" +
                             std::string(to_string(outcome.status())));
         };
@@ -233,7 +233,7 @@ TEST_P(ServiceApiTest, ExpiredDeadlineReapsBeforeLaterBatches) {
     service->drain();
 
     {
-        std::lock_guard<std::mutex> lock(order_mutex);
+        MutexLock lock(order_mutex);
         // The expired request fails at batch-forming time, before C's
         // batch runs — it never occupies a forward.
         ASSERT_EQ(order.size(), 3u);

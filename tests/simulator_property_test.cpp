@@ -21,9 +21,10 @@ std::vector<arch::LayerSpec> layers() {
 std::vector<SparsityProfile> profiles(std::int64_t tasks) {
     std::vector<SparsityProfile> result;
     for (std::int64_t t = 0; t < tasks; ++t) {
+        std::string name = "t";
+        name += std::to_string(t);
         result.push_back(SparsityProfile::uniform(
-            "t" + std::to_string(t),
-            0.4 + 0.05 * static_cast<double>(t)));
+            name, 0.4 + 0.05 * static_cast<double>(t)));
     }
     return result;
 }

@@ -1,0 +1,173 @@
+// Contract tests for the capability-annotated primitives in
+// common/sync.h. The annotations themselves are checked at compile time
+// by the clang thread-safety CI job; what runs here is the runtime
+// contract the rest of the tree leans on: MutexLock releases on every
+// exit path (including exceptions and early unlock), CondVar timed
+// waits report timeout-vs-wakeup correctly, and a GUARDED_BY counter
+// driven through MutexLock from many threads stays exact. This test is
+// part of the ThreadSanitizer CI matrix, so the mutual-exclusion cases
+// double as data-race probes on the wrappers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace mime {
+namespace {
+
+TEST(Sync, MutexLockReleasesOnDestruction) {
+    Mutex mutex;
+    {
+        MutexLock lock(mutex);
+        // Held: a second acquisition attempt must fail.
+        EXPECT_FALSE(mutex.try_lock());
+    }
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(Sync, MutexLockReleasesWhenScopeThrows) {
+    Mutex mutex;
+    try {
+        MutexLock lock(mutex);
+        throw std::runtime_error("unwind while holding the lock");
+    } catch (const std::runtime_error&) {
+    }
+    // The unwound MutexLock must have released; a leaked lock would
+    // deadlock every later user of this mutex.
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+}
+
+TEST(Sync, MutexLockEarlyUnlockAndRelock) {
+    Mutex mutex;
+    MutexLock lock(mutex);
+    lock.unlock();
+    EXPECT_TRUE(mutex.try_lock());
+    mutex.unlock();
+    lock.lock();
+    EXPECT_FALSE(mutex.try_lock());
+    // Destructor releases the re-acquired lock; nothing to clean up.
+}
+
+TEST(Sync, CondVarTimedWaitTimesOut) {
+    Mutex mutex;
+    CondVar cv;
+    MutexLock lock(mutex);
+    const auto start = std::chrono::steady_clock::now();
+    const std::cv_status status =
+        cv.wait_for(lock, std::chrono::milliseconds(10));
+    EXPECT_EQ(status, std::cv_status::timeout);
+    EXPECT_GE(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(10));
+}
+
+TEST(Sync, CondVarNotifyWakesWaiterBeforeDeadline) {
+    Mutex mutex;
+    CondVar cv;
+    bool ready = false;  // guarded by mutex (local, so no annotation)
+
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        {
+            MutexLock lock(mutex);
+            ready = true;
+        }
+        cv.notify_one();
+    });
+
+    {
+        MutexLock lock(mutex);
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (!ready) {
+            // Far deadline: reaching it means the wakeup was lost.
+            ASSERT_NE(cv.wait_until(lock, deadline), std::cv_status::timeout);
+        }
+        EXPECT_TRUE(ready);
+    }
+    producer.join();
+}
+
+// The GUARDED_BY contract at runtime: many threads hammer one counter,
+// every access through MutexLock. An exact final count proves mutual
+// exclusion; under TSan this also proves the wrappers establish the
+// happens-before edges std::mutex promises.
+TEST(Sync, GuardedCounterStaysExactUnderContention) {
+    constexpr int kThreads = 8;
+    constexpr int kIncrementsPerThread = 5000;
+
+    Mutex mutex;
+    std::int64_t counter = 0;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIncrementsPerThread; ++i) {
+                MutexLock lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) *
+                           kIncrementsPerThread);
+}
+
+// Producer/consumer handoff through CondVar with the explicit
+// while-loop style the tree uses (no predicate lambdas — see the
+// sync.h header comment). Every produced value must be consumed exactly
+// once, in order.
+TEST(Sync, CondVarHandsOffEveryValueInOrder) {
+    constexpr int kValues = 1000;
+
+    Mutex mutex;
+    CondVar not_empty;
+    std::vector<int> queue;
+    bool done = false;
+
+    std::vector<int> consumed;
+    std::thread consumer([&] {
+        for (;;) {
+            MutexLock lock(mutex);
+            while (queue.empty() && !done) {
+                not_empty.wait(lock);
+            }
+            if (queue.empty() && done) {
+                return;
+            }
+            consumed.insert(consumed.end(), queue.begin(), queue.end());
+            queue.clear();
+        }
+    });
+
+    for (int i = 0; i < kValues; ++i) {
+        {
+            MutexLock lock(mutex);
+            queue.push_back(i);
+        }
+        not_empty.notify_one();
+    }
+    {
+        MutexLock lock(mutex);
+        done = true;
+    }
+    not_empty.notify_one();
+    consumer.join();
+
+    ASSERT_EQ(consumed.size(), static_cast<std::size_t>(kValues));
+    for (int i = 0; i < kValues; ++i) {
+        EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+    }
+}
+
+}  // namespace
+}  // namespace mime
